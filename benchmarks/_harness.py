@@ -1,0 +1,12 @@
+"""Benchmark-harness helper shared by every bench module."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` under pytest-benchmark with a single round.
+
+    Experiment functions are memoised, so extra rounds would only time the
+    cache; one round reflects the real cost of regenerating the artefact.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

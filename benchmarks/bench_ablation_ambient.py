@@ -1,0 +1,47 @@
+"""Ablation (extension): the governor across ambient temperatures.
+
+The fixed-point analysis folds the ambient into its predictions, so the
+governor adapts for free: in a hot room the same workload's fixed point is
+higher and the time-to-violation shorter, and the migration fires earlier.
+The foreground stays protected across the whole sweep.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import ambient_sweep
+
+from _harness import run_once
+
+
+def test_ablation_ambient_sweep(benchmark, emit):
+    sweep = run_once(benchmark, ambient_sweep)
+    text = render_table(
+        ["ambient (degC)", "first migration (s)", "peak T (degC)", "GT1 FPS"],
+        [
+            [amb,
+             "-" if p.first_migration_s is None else f"{p.first_migration_s:.1f}",
+             p.peak_temp_c, p.gt1_fps]
+            for amb, p in sweep
+        ],
+        title="Ablation: proposed governor vs ambient temperature "
+              "(3DMark GT1 + BML, 85 degC limit)",
+    )
+    emit("ablation_ambient", text)
+
+    by_ambient = dict(sweep)
+    cold, mild, hot = (by_ambient[a] for a in (15.0, 27.0, 40.0))
+    # Cold room: the analysis sees enough margin and (correctly) leaves the
+    # background app alone — selectivity, not reflexive throttling.
+    assert cold.first_migration_s is None or (
+        mild.first_migration_s is not None
+        and cold.first_migration_s > mild.first_migration_s
+    )
+    # The hotter the room, the earlier the (predictive) migration.
+    times = [p.first_migration_s for _, p in sweep
+             if p.first_migration_s is not None]
+    assert len(times) >= 2
+    assert all(b <= a + 1.0 for a, b in zip(times, times[1:]))
+    # The hottest room is the thermal worst case of the sweep.
+    assert hot.peak_temp_c == max(p.peak_temp_c for _, p in sweep)
+    # The foreground is protected everywhere.
+    for _, p in sweep:
+        assert p.gt1_fps > 90.0

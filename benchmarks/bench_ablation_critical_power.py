@@ -1,0 +1,59 @@
+"""Ablation (extension): how the critical power and safe budget move.
+
+Three sweeps on the Odroid-XU3 lumped parameters: ambient temperature,
+thermal resistance (fan on/off proxy), and the thermal limit feeding the
+safe-power budget.  All are direct applications of the Section IV.A
+analysis — the quantities a designer would read off before choosing an
+enclosure or a throttling setpoint.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import (
+    critical_power_vs_ambient,
+    critical_power_vs_resistance,
+    safe_budget_vs_limit,
+)
+
+from _harness import run_once
+
+
+def test_ablation_critical_power_vs_ambient(benchmark, emit):
+    sweep = run_once(benchmark, critical_power_vs_ambient)
+    text = render_table(
+        ["ambient (degC)", "critical power (W)"],
+        [[amb, f"{p:.2f}"] for amb, p in sweep],
+        title="Ablation: critical power vs ambient temperature",
+    )
+    emit("ablation_critical_power_ambient", text)
+    powers = [p for _, p in sweep]
+    assert all(b < a for a, b in zip(powers, powers[1:]))
+    # Sanity: the span is substantial (ambient matters).
+    assert powers[0] - powers[-1] > 0.5
+
+
+def test_ablation_critical_power_vs_resistance(benchmark, emit):
+    sweep = run_once(benchmark, critical_power_vs_resistance)
+    text = render_table(
+        ["R scale", "critical power (W)"],
+        [[s, f"{p:.2f}"] for s, p in sweep],
+        title="Ablation: critical power vs thermal resistance (fan proxy)",
+    )
+    emit("ablation_critical_power_resistance", text)
+    by_scale = dict(sweep)
+    # Unit scale reproduces the paper's 5.5 W figure.
+    assert abs(by_scale[1.0] - 5.5) < 0.01
+    # Halving R (adding a fan) more than doubles the safe envelope.
+    assert by_scale[0.5] > 2.0 * by_scale[1.0] * 0.9
+
+
+def test_ablation_safe_budget_vs_limit(benchmark, emit):
+    sweep = run_once(benchmark, safe_budget_vs_limit)
+    text = render_table(
+        ["thermal limit (degC)", "safe dynamic power (W)"],
+        [[lim, f"{b:.2f}"] for lim, b in sweep],
+        title="Ablation: safe power budget vs thermal limit",
+    )
+    emit("ablation_safe_budget", text)
+    budgets = [b for _, b in sweep]
+    assert all(b >= a for a, b in zip(budgets, budgets[1:]))
+    assert budgets[-1] > budgets[0]

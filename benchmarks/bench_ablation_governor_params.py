@@ -1,0 +1,48 @@
+"""Ablation (extension): the governor's prediction horizon.
+
+The paper leaves the horizon as "a user-defined limit".  This ablation runs
+3DMark GT1 + BML under the proposed governor with different horizons: a
+longer horizon acts earlier (or at all), which caps the peak temperature,
+while the foreground frame rate stays protected in every configuration
+because only the background app is ever migrated.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.ablations import horizon_sweep
+
+from _harness import run_once
+
+HORIZONS = (10.0, 30.0, 60.0, 120.0)
+
+
+def test_ablation_governor_horizon(benchmark, emit):
+    points = run_once(benchmark, lambda: horizon_sweep(HORIZONS))
+    text = render_table(
+        ["horizon (s)", "first migration (s)", "peak T (degC)",
+         "GT1 FPS", "migrations"],
+        [
+            [p.horizon_s,
+             "-" if p.first_migration_s is None else f"{p.first_migration_s:.1f}",
+             p.peak_temp_c, p.gt1_fps, p.n_migrations]
+            for p in points
+        ],
+        title="Ablation: prediction horizon of the application-aware governor",
+    )
+    emit("ablation_governor_horizon", text)
+
+    by_horizon = {p.horizon_s: p for p in points}
+    migrated = [p for p in points if p.first_migration_s is not None]
+    assert migrated, "at least one horizon must trigger a migration"
+    # Longer horizons act earlier.
+    times = [
+        p.first_migration_s for p in points if p.first_migration_s is not None
+    ]
+    assert all(b <= a + 1.0 for a, b in zip(times, times[1:]))
+    # Peak temperature is non-increasing as the horizon grows.
+    peaks = [p.peak_temp_c for p in points]
+    assert all(b <= a + 1.0 for a, b in zip(peaks, peaks[1:]))
+    # The foreground benchmark is never sacrificed.
+    for p in points:
+        assert p.gt1_fps > 85.0
+    # The longest horizon clearly beats the shortest on temperature.
+    assert by_horizon[120.0].peak_temp_c <= by_horizon[10.0].peak_temp_c

@@ -1,0 +1,46 @@
+"""Ablation (extension): the interference matrix behind the paper's premise.
+
+Under the stock phone governor, every background kernel slows every
+foreground app — and the compute-bound kernels (which burn the most power
+and heat) hurt more than the memory-bound ones.  This is the system-wide
+throttling collateral the application-aware governor eliminates.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.interference import (
+    BACKGROUNDS,
+    FOREGROUNDS,
+    interference_matrix,
+)
+
+from _harness import run_once
+
+
+def test_ablation_interference_matrix(benchmark, emit):
+    matrix = run_once(benchmark, interference_matrix)
+    rows = []
+    for fg in FOREGROUNDS:
+        for bg in BACKGROUNDS:
+            r = matrix[(fg, bg)]
+            rows.append(
+                [fg, bg, r.solo_fps, r.contended_fps,
+                 f"{r.slowdown_pct:.1f}%"]
+            )
+    text = render_table(
+        ["foreground", "background", "solo FPS", "contended FPS", "slowdown"],
+        rows,
+        title="Extension: foreground slowdown by background kernel "
+              "(stock governor, Nexus 6P model)",
+    )
+    emit("ablation_interference", text)
+
+    # Every background costs the foreground something.
+    for result in matrix.values():
+        assert result.slowdown_pct > -2.0  # never a speed-up beyond noise
+    # The compute-bound offender (BML) hurts the game clearly.
+    assert matrix[("stickman", "bml")].slowdown_pct > 8.0
+    # Memory-bound dijkstra is gentler than compute-bound BML for the game.
+    assert (
+        matrix[("stickman", "dijkstra")].slowdown_pct
+        < matrix[("stickman", "bml")].slowdown_pct
+    )

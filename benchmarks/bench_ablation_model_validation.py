@@ -1,0 +1,43 @@
+"""Ablation (extension): validating the analysis against the plant.
+
+The governor's decisions are only as good as the lumped fixed-point
+analysis behind them.  This benchmark pins the big cluster at a ladder of
+frequencies, lets each operating point settle, and compares the analysis'
+predicted steady state with the plant's — including one supercritical point
+where the only correct prediction is "no fixed point at all".
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.validation import steady_state_validation
+
+from _harness import run_once
+
+
+def test_ablation_model_validation(benchmark, emit):
+    points = run_once(benchmark, steady_state_validation)
+    text = render_table(
+        ["big MHz", "P_dyn (W)", "class", "predicted (degC)",
+         "plant (degC)", "error (K)", "agree"],
+        [
+            [p.freq_mhz, p.p_dyn_w, p.predicted_class,
+             "-" if p.predicted_ss_c is None else f"{p.predicted_ss_c:.1f}",
+             f"{p.plant_ss_c:.1f}",
+             "-" if p.error_k is None else f"{p.error_k:+.2f}",
+             p.agreement]
+            for p in points
+        ],
+        title="Extension: fixed-point predictions vs the simulated plant",
+    )
+    emit("ablation_model_validation", text)
+
+    # Qualitative agreement everywhere, including the runaway point.
+    assert all(p.agreement for p in points)
+    stable = [p for p in points if p.error_k is not None]
+    runaway = [p for p in points if p.predicted_class == "runaway"]
+    assert len(stable) >= 3
+    assert len(runaway) >= 1
+    # Quantitative accuracy on the stable points: within 2 K everywhere.
+    assert max(abs(p.error_k) for p in stable) < 2.0
+    # The sweep spans a real dynamic range (tens of kelvin).
+    temps = [p.plant_ss_c for p in stable]
+    assert max(temps) - min(temps) > 25.0

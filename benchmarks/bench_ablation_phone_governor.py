@@ -1,0 +1,44 @@
+"""Ablation (extension): the proposed governor on the phone model.
+
+The paper proves its governor on the Odroid-XU3; this extension closes the
+loop on the simulated Nexus 6P with a foreground Hangouts call and a
+background sync task: the stock trip governor throttles the call along with
+everything else, while the application-aware governor migrates only the
+sync task and preserves the call's frame rate at a regulated temperature.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.nexus_governor import POLICIES, phone_policy_comparison
+
+from _harness import run_once
+
+
+def test_ablation_phone_governor(benchmark, emit):
+    results = run_once(benchmark, phone_policy_comparison)
+    text = render_table(
+        ["policy", "call FPS", "peak T (degC)", "end T (degC)",
+         "sync Gcycles", "sync cluster", "battery W"],
+        [
+            [r.policy, r.foreground_fps, r.peak_temp_c, r.end_temp_c,
+             round(r.sync_progress_gcycles), r.sync_final_cluster,
+             r.mean_power_w]
+            for r in (results[p] for p in POLICIES)
+        ],
+        title="Extension: Hangouts + background sync on the Nexus 6P model",
+    )
+    emit("ablation_phone_governor", text)
+
+    none, stock, proposed = (
+        results["none"], results["stock"], results["proposed"]
+    )
+    # Unmanaged: full quality but the package runs hot.
+    assert none.peak_temp_c > 44.0
+    # Stock governor: temperature regulated, call quality wrecked.
+    assert stock.peak_temp_c < 41.0
+    assert stock.foreground_fps < none.foreground_fps - 8.0
+    # Proposed: call quality preserved at a controlled temperature.
+    assert proposed.foreground_fps >= none.foreground_fps - 1.0
+    assert proposed.peak_temp_c < none.peak_temp_c - 2.5
+    assert proposed.sync_final_cluster == "a53"
+    # The selective policy also saves battery vs unmanaged.
+    assert proposed.mean_power_w < none.mean_power_w - 0.5

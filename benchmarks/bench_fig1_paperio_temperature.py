@@ -1,0 +1,34 @@
+"""Figure 1: package temperature while playing Paper.io, throttle off vs on.
+
+Paper shape: without throttling the package reaches ~50 degC by the end of a
+140 s session and is still rising; with the stock governor the temperature
+is regulated near the trip (~40 degC), at a frame-rate cost (Table I).
+"""
+
+from repro.analysis.figures import summarize
+from repro.experiments.nexus import temperature_profiles
+
+from _harness import run_once
+
+
+def test_fig1_paperio_temperature_profile(benchmark, emit):
+    base, throttled = run_once(
+        benchmark, lambda: temperature_profiles("paperio")
+    )
+    text = "\n".join(
+        [
+            "Figure 1: Paper.io package temperature (degC)",
+            summarize(base, (0.0, 50.0, 100.0, 140.0)),
+            summarize(throttled, (0.0, 50.0, 100.0, 140.0)),
+        ]
+    )
+    emit("fig1_paperio_temperature", text)
+
+    # Unthrottled run gets hot: well above the throttled one at the end.
+    assert base.final() > throttled.final() + 3.0
+    # Paper: ~50 degC at the end of the unthrottled run.
+    assert 43.0 < base.final() < 55.0
+    # The governor holds the temperature near its 40 degC trip.
+    assert throttled.max() < 43.5
+    # Both start from the same warm device.
+    assert abs(base.at(0.0) - throttled.at(0.0)) < 1.0

@@ -1,0 +1,44 @@
+"""Figure 2: GPU-frequency residencies in Paper.io, throttle off vs on.
+
+Paper shape: without throttling the two highest Adreno frequencies (510 and
+600 MHz) carry substantial time (32% + 15%); with throttling their use drops
+to ~zero and the mass shifts to 390 MHz and below.
+"""
+
+from repro.analysis.residency import (
+    mean_frequency_khz,
+    residency_shift,
+    top_frequency_share,
+)
+from repro.analysis.tables import render_table
+from repro.experiments.nexus import residency_comparison
+
+from _harness import run_once
+
+
+def test_fig2_paperio_gpu_residency(benchmark, emit):
+    base, throttled, domain = run_once(
+        benchmark, lambda: residency_comparison("paperio")
+    )
+    assert domain == "gpu"
+    rows = [
+        [khz // 1000, round(base.get(khz, 0.0) * 100.0, 1),
+         round(throttled.get(khz, 0.0) * 100.0, 1)]
+        for khz in sorted(base)
+    ]
+    text = render_table(
+        ["GPU MHz", "w/o throttle %", "w/ throttle %"],
+        rows,
+        title="Figure 2: Paper.io GPU frequency residencies",
+    )
+    emit("fig2_paperio_residency", text)
+
+    # Top two frequencies carry real weight unthrottled, collapse throttled.
+    assert top_frequency_share(base, 2) > 0.25
+    assert top_frequency_share(throttled, 2) < 0.15
+    # The residency-weighted mean frequency drops markedly.
+    assert residency_shift(base, throttled) > 0.25
+    # Low frequencies dominate under throttling (paper: 390 MHz at 67%).
+    low = sum(frac for khz, frac in throttled.items() if khz <= 390000)
+    assert low > 0.50
+    assert mean_frequency_khz(throttled) < mean_frequency_khz(base)

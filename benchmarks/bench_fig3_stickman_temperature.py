@@ -1,0 +1,33 @@
+"""Figure 3: package temperature while playing Stickman Hook.
+
+Paper shape: unthrottled temperature climbs well past the governed run,
+especially beyond ~50 s; throttling keeps the maximum below ~40 degC.
+"""
+
+from repro.analysis.figures import summarize
+from repro.experiments.nexus import temperature_profiles
+
+from _harness import run_once
+
+
+def test_fig3_stickman_temperature_profile(benchmark, emit):
+    base, throttled = run_once(
+        benchmark, lambda: temperature_profiles("stickman")
+    )
+    text = "\n".join(
+        [
+            "Figure 3: Stickman Hook package temperature (degC)",
+            summarize(base, (0.0, 50.0, 100.0, 140.0)),
+            summarize(throttled, (0.0, 50.0, 100.0, 140.0)),
+        ]
+    )
+    emit("fig3_stickman_temperature", text)
+
+    assert base.final() > throttled.final() + 2.0
+    # Divergence grows after the device heats up (paper: "especially after
+    # running the application for 50 seconds").
+    early_gap = base.at(30.0) - throttled.at(30.0)
+    late_gap = base.at(140.0) - throttled.at(140.0)
+    assert late_gap > early_gap
+    # Governor keeps the maximum near its trip (paper: below ~40 degC).
+    assert throttled.max() < 43.0

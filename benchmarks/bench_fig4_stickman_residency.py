@@ -1,0 +1,38 @@
+"""Figure 4: GPU-frequency residencies in Stickman Hook.
+
+Paper shape: throttling drives the 450/510 MHz share to ~zero, lowers the
+390 MHz share, and grows the two lowest frequencies (180 MHz: 12% -> 31%,
+305 MHz: 0% -> 9%).
+"""
+
+from repro.analysis.residency import residency_shift, top_frequency_share
+from repro.analysis.tables import render_table
+from repro.experiments.nexus import residency_comparison
+
+from _harness import run_once
+
+
+def test_fig4_stickman_gpu_residency(benchmark, emit):
+    base, throttled, domain = run_once(
+        benchmark, lambda: residency_comparison("stickman")
+    )
+    assert domain == "gpu"
+    rows = [
+        [khz // 1000, round(base.get(khz, 0.0) * 100.0, 1),
+         round(throttled.get(khz, 0.0) * 100.0, 1)]
+        for khz in sorted(base)
+    ]
+    text = render_table(
+        ["GPU MHz", "w/o throttle %", "w/ throttle %"],
+        rows,
+        title="Figure 4: Stickman Hook GPU frequency residencies",
+    )
+    emit("fig4_stickman_residency", text)
+
+    # High frequencies lose their share under throttling.
+    assert top_frequency_share(throttled, 3) < top_frequency_share(base, 3)
+    # The two lowest frequencies grow (paper: 180 MHz 12%->31%, 305 0%->9%).
+    low_base = base.get(180000, 0.0) + base.get(305000, 0.0)
+    low_throt = throttled.get(180000, 0.0) + throttled.get(305000, 0.0)
+    assert low_throt > low_base + 0.10
+    assert residency_shift(base, throttled) > 0.10

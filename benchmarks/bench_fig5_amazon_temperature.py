@@ -1,0 +1,34 @@
+"""Figure 5: package temperature while using the Amazon shopping app.
+
+Paper shape: with and without throttling the temperatures track each other
+for the first ~80 s; afterwards the unthrottled run keeps heating while the
+governor holds the line by reducing the CPU frequency.
+"""
+
+from repro.analysis.figures import summarize
+from repro.experiments.nexus import temperature_profiles
+
+from _harness import run_once
+
+
+def test_fig5_amazon_temperature_profile(benchmark, emit):
+    base, throttled = run_once(
+        benchmark, lambda: temperature_profiles("amazon")
+    )
+    text = "\n".join(
+        [
+            "Figure 5: Amazon package temperature (degC)",
+            summarize(base, (0.0, 40.0, 80.0, 140.0)),
+            summarize(throttled, (0.0, 40.0, 80.0, 140.0)),
+        ]
+    )
+    emit("fig5_amazon_temperature", text)
+
+    # Early on, the two runs track each other closely (paper: first 80 s).
+    assert abs(base.at(40.0) - throttled.at(40.0)) < 1.5
+    # Later the unthrottled run is the hotter one.
+    assert base.final() >= throttled.final()
+    # The CPU app heats more gently than the games: stays under ~45 degC.
+    assert base.max() < 45.0
+    # Governor regulation near the trip.
+    assert throttled.max() < 42.5

@@ -1,0 +1,41 @@
+"""Figure 6: big-core (A57) frequency residencies in the Amazon app.
+
+Paper shape: throttling lowers the share of the highest frequencies (960 MHz
+bucket drops 32% -> 23%) and grows the lowest (384 MHz rises 25% -> 37%):
+the residency-weighted mean frequency falls.
+"""
+
+from repro.analysis.residency import (
+    mean_frequency_khz,
+    residency_shift,
+    top_frequency_share,
+)
+from repro.analysis.tables import render_table
+from repro.experiments.nexus import residency_comparison
+
+from _harness import run_once
+
+
+def test_fig6_amazon_big_core_residency(benchmark, emit):
+    base, throttled, domain = run_once(
+        benchmark, lambda: residency_comparison("amazon")
+    )
+    assert domain == "a57"
+    rows = [
+        [khz // 1000, round(base.get(khz, 0.0) * 100.0, 1),
+         round(throttled.get(khz, 0.0) * 100.0, 1)]
+        for khz in sorted(base)
+        if base.get(khz, 0.0) > 0.005 or throttled.get(khz, 0.0) > 0.005
+    ]
+    text = render_table(
+        ["A57 MHz", "w/o throttle %", "w/ throttle %"],
+        rows,
+        title="Figure 6: Amazon big-core frequency residencies",
+    )
+    emit("fig6_amazon_residency", text)
+
+    # Throttling shifts CPU residency downward.
+    assert residency_shift(base, throttled) > 0.02
+    assert mean_frequency_khz(throttled) < mean_frequency_khz(base)
+    # The top frequency loses share.
+    assert top_frequency_share(throttled, 1) < top_frequency_share(base, 1)

@@ -1,0 +1,54 @@
+"""Figure 7: fixed-point functions at 2 / 5.5 / 8 W (Odroid-XU3 parameters).
+
+Paper shape: the function is concave over the auxiliary-temperature axis;
+at 2 W it crosses zero twice (unstable + stable fixed points), at 5.5 W the
+roots merge (critically stable), at 8 W it stays below zero (no fixed
+points: thermal runaway).  Increasing power moves the curve down.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import render_table
+from repro.experiments.fig7 import figure7
+
+from _harness import run_once
+
+
+def test_fig7_fixed_point_functions(benchmark, emit):
+    curves = run_once(benchmark, figure7)
+
+    rows = []
+    for curve in curves:
+        report = curve.report
+        rows.append(
+            [
+                curve.p_dyn_w,
+                report.classification.value,
+                "-" if report.unstable_aux is None else f"{report.unstable_aux:.2f}",
+                "-" if report.stable_aux is None else f"{report.stable_aux:.2f}",
+                "-" if report.stable_temp_k is None
+                else f"{report.stable_temp_k - 273.15:.1f}",
+            ]
+        )
+    text = render_table(
+        ["P_dyn (W)", "class", "x_unstable", "x_stable", "T_stable (degC)"],
+        rows,
+        title="Figure 7: fixed-point analysis at the paper's three powers",
+    )
+    emit("fig7_fixed_point", text)
+
+    by_power = {c.p_dyn_w: c for c in curves}
+    # Root structure: 2 / merged / 0.
+    assert by_power[2.0].n_roots == 2
+    assert by_power[8.0].n_roots == 0
+    crit = by_power[5.5]
+    if crit.n_roots == 2:
+        assert crit.report.stable_aux - crit.report.unstable_aux < 0.15
+    # Concavity of every curve on the plotted grid.
+    for curve in curves:
+        assert (np.diff(curve.f, 2) < 1e-9).all()
+    # The curve moves down with power.
+    assert (by_power[5.5].f < by_power[2.0].f).all()
+    assert (by_power[8.0].f < by_power[5.5].f).all()
+    # At 8 W the function never touches zero.
+    assert by_power[8.0].f.max() < 0.0

@@ -1,0 +1,40 @@
+"""Figure 8: maximum SoC temperature while running 3DMark (three scenarios).
+
+Paper shape: 3DMark alone (blue) settles lowest; 3DMark+BML under the stock
+kernel policy (red) runs far hotter, approaching the high 80s/90s; the
+proposed controller (black) migrates BML and lands between the two, much
+closer to the baseline.
+"""
+
+from repro.analysis.figures import summarize
+from repro.experiments.odroid import figure8, run_3dmark
+
+from _harness import run_once
+
+
+def test_fig8_odroid_max_temperature(benchmark, emit):
+    series = run_once(benchmark, figure8)
+    text = "\n".join(
+        [
+            "Figure 8: Odroid-XU3 maximum temperature (degC), 3DMark scenarios",
+            summarize(series["alone"], (50.0, 150.0, 250.0)),
+            summarize(series["bml_default"], (50.0, 150.0, 250.0)),
+            summarize(series["bml_proposed"], (50.0, 150.0, 250.0)),
+        ]
+    )
+    emit("fig8_odroid_temperature", text)
+
+    alone = series["alone"]
+    default = series["bml_default"]
+    proposed = series["bml_proposed"]
+    # Ordering at the end of the run: alone <= proposed << default.
+    assert default.final() > proposed.final() + 5.0
+    assert proposed.final() >= alone.final() - 2.0
+    # The default run climbs towards the 90s (paper: ~95 degC).
+    assert default.max() > 85.0
+    # The proposed controller keeps the system under its 85 degC limit.
+    assert proposed.max() < 85.0
+    # The migration actually happened.
+    run = run_3dmark("bml_proposed")
+    assert run.migrations and run.migrations[0][1] == "to_little"
+    assert run.bml_final_cluster == "a7"

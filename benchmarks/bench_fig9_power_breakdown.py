@@ -1,0 +1,44 @@
+"""Figure 9: power-distribution pie charts for the three 3DMark scenarios.
+
+Paper shape: (a) alone — the GPU is the largest consumer, big cluster ~38%;
+(b) +BML — total jumps (paper: 3.65 W) and the big cluster grows to ~60%;
+(c) proposed — migration shrinks the big share back (~42%) and grows the
+LITTLE share (7% -> 16%).
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.odroid import INA_RAILS, figure9
+
+from _harness import run_once
+
+
+def test_fig9_power_breakdown(benchmark, emit):
+    pies = run_once(benchmark, figure9)
+    rows = []
+    for scenario in ("alone", "bml_default", "bml_proposed"):
+        pie = pies[scenario]
+        rows.append(
+            [scenario, f"{pie.total_w:.2f}"]
+            + [f"{pie.share_pct(rail):.0f}%" for rail in INA_RAILS]
+        )
+    text = render_table(
+        ["scenario", "total W", "big (a15)", "little (a7)", "gpu", "mem"],
+        rows,
+        title="Figure 9: average power distribution (INA231 rails)",
+    )
+    emit("fig9_power_breakdown", text)
+
+    alone, default, proposed = (
+        pies["alone"], pies["bml_default"], pies["bml_proposed"]
+    )
+    # (a) GPU is the largest consumer when 3DMark runs alone.
+    assert alone.shares["gpu"] == max(alone.shares.values())
+    # (b) BML inflates the big-cluster share to a dominant majority.
+    assert default.shares["a15"] > 0.5
+    assert default.shares["a15"] > alone.shares["a15"] + 0.15
+    assert default.total_w > alone.total_w + 1.0
+    # (c) Migration moves share from the big rail to the LITTLE rail.
+    assert proposed.shares["a15"] < default.shares["a15"] - 0.15
+    assert proposed.shares["a7"] > default.shares["a7"] + 0.04
+    # The proposed run's big share returns near the standalone level.
+    assert abs(proposed.shares["a15"] - alone.shares["a15"]) < 0.10

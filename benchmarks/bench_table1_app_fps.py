@@ -1,0 +1,42 @@
+"""Table I: median frame rate of five popular apps, throttling off vs on.
+
+Paper rows (Nexus 6P): Paper.io 35->23 (34%), Stickman Hook 59->40 (32%),
+Amazon 35->28 (20%), Google Hangouts 42->38 (10%), Facebook 35->24 (31%).
+
+Shape requirements: every app loses FPS under the stock thermal governor;
+games lose roughly a third; Hangouts loses the least.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.nexus import table1
+
+from _harness import run_once
+
+
+def test_table1_app_frame_rates(benchmark, emit):
+    rows = run_once(benchmark, table1)
+    text = render_table(
+        ["App", "FPS w/o throttle", "FPS w/ throttle", "Reduction %",
+         "paper w/o", "paper w/", "paper %"],
+        [
+            [r.app, r.fps_without, r.fps_with, r.reduction_pct,
+             r.paper_fps_without, r.paper_fps_with, r.paper_reduction_pct]
+            for r in rows
+        ],
+        title="Table I: median frame rate with and without thermal throttling",
+    )
+    emit("table1_app_fps", text)
+
+    by_app = {r.app: r for r in rows}
+    # Every app is slower with throttling enabled.
+    for row in rows:
+        assert row.fps_with < row.fps_without, row.app
+    # Games lose a large fraction (paper: ~1/3).
+    for game in ("paperio", "stickman"):
+        assert by_app[game].reduction_pct > 20.0
+    # Hangouts is a mild casualty (paper: 10%, the smallest drop).
+    assert by_app["hangouts"].reduction_pct < 16.0
+    # Absolute levels within a sensible band of the paper's numbers.
+    for row in rows:
+        assert abs(row.fps_without - row.paper_fps_without) <= 6.0, row.app
+        assert abs(row.fps_with - row.paper_fps_with) <= 8.0, row.app

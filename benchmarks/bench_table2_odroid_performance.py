@@ -1,0 +1,46 @@
+"""Table II: application performance with the proposed control algorithm.
+
+Paper rows: 3DMark GT1 97 / 86 / 93 FPS, 3DMark GT2 51 / 49 / 51 FPS,
+Nenamark3 3.5 / 3.4 / 3.5 levels (alone / +BML / +BML with proposed control).
+
+Shape requirements: the background BML costs performance under the default
+kernel policy; the proposed governor recovers (nearly) the standalone score
+in every row.
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments.odroid import table2
+
+from _harness import run_once
+
+
+def test_table2_odroid_performance(benchmark, emit):
+    rows = run_once(benchmark, table2)
+    text = render_table(
+        ["Test", "Alone", "+BML", "+BML proposed",
+         "paper alone", "paper +BML", "paper prop.", "unit"],
+        [
+            [r.test, r.alone, r.with_bml, r.with_proposed,
+             r.paper_alone, r.paper_with_bml, r.paper_with_proposed, r.unit]
+            for r in rows
+        ],
+        title="Table II: performance under the three Odroid-XU3 scenarios",
+    )
+    emit("table2_odroid_performance", text)
+
+    by_test = {r.test: r for r in rows}
+    for row in rows:
+        # The default policy loses performance to the background app ...
+        assert row.with_bml < row.alone, row.test
+        # ... and the proposed controller recovers (almost) all of it.
+        assert row.with_proposed > row.with_bml, row.test
+        assert row.with_proposed >= row.alone * 0.95, row.test
+    # Absolute FPS levels near the paper's.
+    gt1 = by_test["3DMark GT1"]
+    assert abs(gt1.alone - 97.0) <= 6.0
+    gt2 = by_test["3DMark GT2"]
+    assert abs(gt2.alone - 51.0) <= 4.0
+    # Nenamark scores in the paper's ballpark.
+    nena = by_test["Nenamark3"]
+    assert 2.5 <= nena.alone <= 5.0
+    assert nena.with_bml <= nena.alone - 0.1

@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures, asserts
+the qualitative *shape* the paper reports (who wins, by roughly what factor,
+where crossovers fall), and writes its rendered output both to stdout and to
+``benchmarks/results/<name>.txt`` so the artefacts survive pytest's output
+capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Writer fixture: ``emit(name, text)`` prints and persists an artefact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

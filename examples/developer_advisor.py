@@ -1,0 +1,51 @@
+"""Will my app get throttled?  The developer advisor in action.
+
+The paper closes by noting its case study "can be used by application
+developers to optimize their apps such that they do not experience thermal
+throttling."  This example profiles two catalog apps on the Nexus 6P model
+and asks the advisor for a verdict against the phone's 40 degC package
+limit — then checks the verdict by actually enabling the stock governor.
+
+Run with:  python examples/developer_advisor.py
+"""
+
+from repro import Simulation, nexus6p
+from repro.apps import make_app
+from repro.core.advisor import advise, render_advice
+from repro.experiments.nexus import nexus_thermal_config
+from repro.kernel import KernelConfig
+
+PROFILE_S = 60.0
+LIMIT_C = 40.0
+
+
+def profile(app_name: str) -> Simulation:
+    """Unconstrained profiling run (no thermal governor)."""
+    sim = Simulation(
+        nexus6p(), [make_app(app_name)], kernel_config=KernelConfig(), seed=3
+    )
+    sim.run(PROFILE_S)
+    return sim
+
+
+def measured_with_governor(app_name: str) -> float:
+    """Ground truth: median FPS with the stock governor enabled."""
+    sim = Simulation(
+        nexus6p(), [make_app(app_name)],
+        kernel_config=KernelConfig(thermal=nexus_thermal_config()), seed=3,
+    )
+    sim.run(140.0)
+    return sim.app(app_name).fps.median_fps(start_s=5.0)
+
+
+def main() -> None:
+    for app_name in ("paperio", "hangouts"):
+        sim = profile(app_name)
+        report = advise(sim, app_name, t_limit_c=LIMIT_C)
+        print(render_advice(report))
+        actual = measured_with_governor(app_name)
+        print(f"  ground truth with the stock governor: {actual:.0f} FPS\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Reproduce the paper's Section III on the simulated Nexus 6P.
+
+Runs each of the five popular Play-Store apps twice (stock thermal governor
+disabled / enabled), then prints Table I and the per-app temperature and
+GPU/CPU-residency summaries behind Figures 1-6.
+
+Run with:  python examples/nexus6p_throttling_study.py  [--seed N]
+"""
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.experiments.nexus import (
+    residency_comparison,
+    table1,
+    temperature_profiles,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    rows = table1(seed=args.seed)
+    print(render_table(
+        ["App", "FPS w/o", "FPS w/", "Reduction %", "paper w/o", "paper w/"],
+        [[r.app, r.fps_without, r.fps_with, r.reduction_pct,
+          r.paper_fps_without, r.paper_fps_with] for r in rows],
+        title="Table I: median frame rate with and without throttling",
+    ))
+
+    for app in ("paperio", "stickman", "amazon"):
+        base, throttled = temperature_profiles(app, seed=args.seed)
+        print(f"\n{app}: package temperature (degC)")
+        print(f"  without throttling: start {base.at(0):.1f}, "
+              f"end {base.final():.1f}, max {base.max():.1f}")
+        print(f"  with throttling:    start {throttled.at(0):.1f}, "
+              f"end {throttled.final():.1f}, max {throttled.max():.1f}")
+
+        res_base, res_throttled, domain = residency_comparison(
+            app, seed=args.seed
+        )
+        print(f"  {domain} residencies (MHz: w/o% -> w/%):")
+        for khz in sorted(res_base):
+            b = res_base.get(khz, 0.0) * 100.0
+            t = res_throttled.get(khz, 0.0) * 100.0
+            if b > 1.0 or t > 1.0:
+                print(f"    {khz // 1000:5d}: {b:5.1f} -> {t:5.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Reproduce the paper's Section IV.C on the simulated Odroid-XU3.
+
+Runs 3DMark under three scenarios — alone, with MiBench basicmath-large
+(BML) in the background under the stock IPA policy, and with BML under the
+proposed application-aware governor — then prints Table II, the Figure 8
+temperature summary and the Figure 9 power breakdowns, plus the governor's
+migration decisions.
+
+Run with:  python examples/odroid_app_aware_governor.py  [--seed N]
+"""
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.experiments.odroid import (
+    INA_RAILS,
+    SCENARIOS,
+    figure8,
+    figure9,
+    run_3dmark,
+    table2,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args()
+
+    rows = table2(seed=args.seed)
+    print(render_table(
+        ["Test", "Alone", "+BML", "+BML proposed", "unit"],
+        [[r.test, r.alone, r.with_bml, r.with_proposed, r.unit] for r in rows],
+        title="Table II: application performance under the three scenarios",
+    ))
+
+    print("\nFigure 8: maximum SoC temperature (degC)")
+    for scenario, series in figure8(seed=args.seed).items():
+        print(f"  {scenario:13s}: t=50s {series.at(50):5.1f}  "
+              f"t=150s {series.at(150):5.1f}  end {series.final():5.1f}  "
+              f"max {series.max():5.1f}")
+
+    print("\nFigure 9: average power distribution (INA231 rails)")
+    for scenario, pie in figure9(seed=args.seed).items():
+        shares = "  ".join(
+            f"{rail}={pie.share_pct(rail):4.1f}%" for rail in INA_RAILS
+        )
+        print(f"  {scenario:13s}: total {pie.total_w:4.2f} W   {shares}")
+
+    run = run_3dmark("bml_proposed", seed=args.seed)
+    print("\nGovernor decisions (proposed scenario):")
+    for time_s, direction in run.migrations:
+        print(f"  t={time_s:6.1f}s  bml {direction}")
+    print(f"  BML finished on cluster: {run.bml_final_cluster}, "
+          f"progress {run.bml_progress_gcycles:.0f} Gcycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Three thermal policies on one app mix, via the declarative Scenario API.
+
+One call compares: no thermal management, the platform's stock kernel
+policy, and the paper's application-aware governor, on any platform and
+app mix.
+
+Run with:  python examples/policy_comparison.py [--platform odroid-xu3]
+"""
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.sim.experiment import AppSpec, compare_policies
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--platform", default="odroid-xu3", choices=("nexus6p", "odroid-xu3")
+    )
+    parser.add_argument("--duration", type=float, default=90.0)
+    args = parser.parse_args()
+
+    apps = (AppSpec.catalog("stickman"), AppSpec.batch("bml"))
+    limit_c = 41.0 if args.platform == "nexus6p" else 70.0
+    results = compare_policies(
+        args.platform, apps, duration_s=args.duration, t_limit_c=limit_c
+    )
+
+    rows = []
+    for policy, result in results.items():
+        rows.append(
+            [
+                policy,
+                result.fps.get("stickman", float("nan")),
+                result.peak_temp_c,
+                result.mean_power_w,
+                len(result.governor_events),
+            ]
+        )
+    print(render_table(
+        ["policy", "game FPS", "peak T (degC)", "battery W", "gov. actions"],
+        rows,
+        title=f"Policy comparison on {args.platform} "
+              f"(stickman + BML, limit {limit_c:.0f} degC)",
+    ))
+    proposed = results["proposed"]
+    for time_s, name, direction in proposed.governor_events:
+        print(f"proposed governor: t={time_s:.1f}s {name} {direction}")
+
+
+if __name__ == "__main__":
+    main()

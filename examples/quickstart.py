@@ -1,0 +1,42 @@
+"""Quickstart: stability analysis + a first simulation in ~40 lines.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ODROID_XU3_LUMPED, Simulation, analyze, critical_power_w, odroid_xu3
+from repro.apps import ThreeDMarkApp
+from repro.kernel import KernelConfig
+from repro.units import kelvin_to_celsius
+
+
+def main() -> None:
+    # --- 1. The paper's power-temperature stability analysis --------------
+    params = ODROID_XU3_LUMPED
+    print(f"Critical power of the Odroid-XU3 (fan off): "
+          f"{critical_power_w(params):.2f} W")
+    for p_dyn in (2.0, 5.5, 8.0):
+        report = analyze(params, p_dyn)
+        if report.stable_temp_k is not None:
+            print(f"  P_dyn = {p_dyn:3.1f} W -> {report.classification.value:9s}"
+                  f"  T_ss = {kelvin_to_celsius(report.stable_temp_k):6.1f} degC")
+        else:
+            print(f"  P_dyn = {p_dyn:3.1f} W -> {report.classification.value:9s}"
+                  f"  (thermal runaway)")
+
+    # --- 2. A full-system simulation: 3DMark on the Odroid-XU3 ------------
+    mark = ThreeDMarkApp(gt1_duration_s=30.0, gt2_duration_s=30.0)
+    sim = Simulation(odroid_xu3(), [mark], kernel_config=KernelConfig(), seed=1)
+    sim.run(60.0)
+
+    print(f"\n3DMark GT1: {mark.gt1_fps(settle_s=5.0):.0f} FPS, "
+          f"GT2: {mark.gt2_fps(settle_s=5.0):.0f} FPS")
+    temps = {n: f"{kelvin_to_celsius(t):.1f}" for n, t in
+             sim.thermal.temperatures_k().items()}
+    print(f"Final temperatures (degC): {temps}")
+    freqs = {d: f"{f / 1e6:.0f} MHz" for d, f in
+             sim.kernel.current_freqs_hz().items()}
+    print(f"Final frequencies: {freqs}")
+
+
+if __name__ == "__main__":
+    main()

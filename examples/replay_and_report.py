@@ -1,0 +1,99 @@
+"""Record-and-replay workflow plus the one-shot run report.
+
+1. Profile a stochastic game session into a per-frame trace CSV (the kind
+   of data systrace/gfxinfo would give you on a real phone).
+2. Replay the exact trace on the simulated Odroid-XU3 — now the workload is
+   reproducible sample-for-sample.
+3. Print a full markdown report of the replay run and export the trace
+   channels to CSV for plotting.
+
+Run with:  python examples/replay_and_report.py
+"""
+
+import csv
+import pathlib
+import tempfile
+
+from repro import Simulation, odroid_xu3
+from repro.analysis import summarize_run, traces_to_csv
+from repro.apps import FrameApp, FrameWorkload, GAME_PHASES
+from repro.apps.replay import ReplayApp
+from repro.kernel import KernelConfig
+
+
+def record_trace(path: pathlib.Path, duration_s: float = 30.0) -> int:
+    """Run a phase-switching game and record its frames to ``path``."""
+    app = RecordingGame()
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=9)
+    sim.run(duration_s)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["start_offset_s", "cpu_cycles", "gpu_cycles"])
+        for offset, cpu, gpu in app.recorded:
+            writer.writerow([f"{offset:.4f}", f"{cpu:.0f}", f"{gpu:.0f}"])
+    return len(app.recorded)
+
+
+class RecordingGame(FrameApp):
+    """A game that remembers every frame it issued."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "recorder",
+            FrameWorkload(
+                cpu_cycles_per_frame=6e6, gpu_cycles_per_frame=7e6,
+                target_fps=60.0, sigma=0.2,
+            ),
+            phases=GAME_PHASES,
+        )
+        self.recorded: list[tuple[float, float, float]] = []
+        self._pending_cpu: dict[int, float] = {}
+        self._pending_t: dict[int, float] = {}
+
+    def _begin_frame(self, now_s: float) -> None:
+        frame_id = self._frame_id + 1
+        cpu_mean, _ = self._mean_cycles(now_s)
+        cost = self._draw_cost(cpu_mean, now_s)
+        self._pending_cpu[frame_id] = cost
+        self._pending_t[frame_id] = now_s
+        self._frame_id = frame_id
+        self._in_flight += 1
+        self._task.add_work(cost, tag=(self.name, frame_id, "cpu"))
+
+    def on_cpu_complete(self, tag: tuple, now_s: float) -> None:
+        _, frame_id, _stage = tag
+        _, gpu_mean = self._mean_cycles(now_s)
+        gpu_cost = self._draw_cost(gpu_mean, now_s)
+        self.recorded.append(
+            (self._pending_t.pop(frame_id), self._pending_cpu.pop(frame_id),
+             gpu_cost)
+        )
+        self.ctx.kernel.gpu.submit(
+            self.name, gpu_cost, tag=(self.name, frame_id, "gpu")
+        )
+
+
+def main() -> None:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-replay-"))
+    trace_path = workdir / "frames.csv"
+    n = record_trace(trace_path)
+    print(f"Recorded {n} frames to {trace_path}")
+
+    replay = ReplayApp.from_csv("replay", trace_path, pipeline_depth=3)
+    sim = Simulation(odroid_xu3(), [replay], kernel_config=KernelConfig(), seed=1)
+    sim.run(35.0, until=lambda s: replay.finished)
+    print(f"Replayed {replay.fps.frame_count} frames "
+          f"(median {replay.fps.median_fps(start_s=2.0):.0f} FPS)\n")
+
+    print(summarize_run(sim, title="Replay run report"))
+
+    out_csv = workdir / "channels.csv"
+    rows = traces_to_csv(
+        sim.traces, out_csv,
+        channels=["temp.big", "temp.gpu", "power.total", "freq.gpu"],
+    )
+    print(f"Exported {rows} rows of trace channels to {out_csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Tour of the virtual /sys and /proc interface.
+
+The proposed governor is a *userspace* program: everything it knows comes
+from sysfs/procfs reads, and everything it does goes through
+sched_setaffinity.  This example pokes the same interface by hand — the
+same code would run against a real board with ``pathlib`` reads instead.
+
+Run with:  python examples/userspace_sysfs_tour.py
+"""
+
+from repro import Simulation, odroid_xu3
+from repro.apps import basicmath_large
+from repro.kernel import KernelConfig
+
+
+def main() -> None:
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    sim.run(5.0)
+    fs = sim.kernel.fs
+
+    print("cpufreq policies:")
+    for policy in ("policy0", "policy4"):
+        base = f"/sys/devices/system/cpu/cpufreq/{policy}"
+        print(f"  {policy}: governor={fs.read(base + '/scaling_governor')} "
+              f"cur={fs.read_int(base + '/scaling_cur_freq')} kHz "
+              f"(cpus {fs.read(base + '/affected_cpus')})")
+
+    print("\nGPU devfreq:")
+    print(f"  governor={fs.read('/sys/class/devfreq/gpu/governor')} "
+          f"cur={fs.read_int('/sys/class/devfreq/gpu/cur_freq') // 1000000} MHz")
+
+    print("\nthermal zones:")
+    index = 0
+    while fs.exists(f"/sys/class/thermal/thermal_zone{index}/type"):
+        base = f"/sys/class/thermal/thermal_zone{index}"
+        print(f"  zone{index}: {fs.read(base + '/type'):8s} "
+              f"{fs.read_int(base + '/temp') / 1000.0:.1f} degC")
+        index += 1
+
+    print("\nINA231 power monitors:")
+    for domain, addr in sim.platform.extras["ina231"].items():
+        watts = fs.read_float(f"/sys/bus/i2c/drivers/INA231/{addr}/sensor_W")
+        print(f"  {addr} ({domain:4s}): {watts:.3f} W")
+
+    print("\n/proc for the background task:")
+    pid = bml.pid
+    print(f"  comm: {fs.read(f'/proc/{pid}/comm')}")
+    for line in fs.read(f"/proc/{pid}/sched").splitlines():
+        print(f"  {line}")
+
+    # Userspace control: cap the big cluster, then migrate the task.
+    print("\ncapping big cluster to 1 GHz via scaling_max_freq ...")
+    fs.write("/sys/devices/system/cpu/cpufreq/policy4/scaling_max_freq", 1000000)
+    sim.run(2.0)
+    cur = fs.read_int("/sys/devices/system/cpu/cpufreq/policy4/scaling_cur_freq")
+    print(f"  policy4 now at {cur} kHz")
+
+    api = sim.kernel.userspace_api()
+    api.set_affinity(pid, api.little_cluster)
+    sim.run(2.0)
+    print(f"  {fs.read(f'/proc/{pid}/comm')} now on: "
+          f"{sim.kernel.task_cluster(pid)}")
+
+
+if __name__ == "__main__":
+    main()

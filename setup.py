@@ -1,0 +1,9 @@
+"""Thin setup shim: all metadata lives in pyproject.toml.
+
+Kept so `pip install -e .` works in offline environments without the
+`wheel` package (legacy develop-mode fallback).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""repro — reproduction of "Power and Thermal Analysis of Commercial Mobile
+Platforms: Experiments and Case Studies" (Bhat, Gumussoy, Ogras; DATE 2019).
+
+Public API layers:
+
+* ``repro.core``     — the paper's contribution: power-temperature stability
+  analysis and the application-aware thermal governor.
+* ``repro.soc``      — SoC models (Snapdragon 810 / Nexus 6P, Exynos 5422 /
+  Odroid-XU3): OPP tables, power model.
+* ``repro.thermal``  — RC thermal networks and sensors.
+* ``repro.kernel``   — Linux-like substrate: scheduler, cpufreq/devfreq
+  governors, thermal zones (step_wise, IPA), virtual sysfs/procfs.
+* ``repro.apps``     — workload models (Play-Store apps, 3DMark, Nenamark,
+  MiBench BML).
+* ``repro.sim``      — the simulation engine tying it all together.
+* ``repro.analysis`` — residency/FPS/power-breakdown analysis.
+* ``repro.experiments`` — one module per paper table/figure.
+
+Quick start::
+
+    from repro import Simulation, odroid_xu3
+    from repro.apps import ThreeDMarkApp, basicmath_large
+    from repro.core import ApplicationAwareGovernor
+
+    sim = Simulation(odroid_xu3(), [ThreeDMarkApp(), basicmath_large()])
+    governor = ApplicationAwareGovernor.for_simulation(sim)
+    governor.install(sim.kernel)
+    sim.run(250.0)
+"""
+
+from repro.core.fixed_point import StabilityClass, analyze, critical_power_w
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.core.stability import ODROID_XU3_LUMPED, LumpedThermalParams
+from repro.errors import ReproError
+from repro.kernel.kernel import Kernel, KernelConfig, ThermalConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.snapdragon810 import nexus6p
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ODROID_XU3_LUMPED",
+    "ApplicationAwareGovernor",
+    "GovernorConfig",
+    "Kernel",
+    "KernelConfig",
+    "LumpedThermalParams",
+    "ReproError",
+    "Simulation",
+    "StabilityClass",
+    "ThermalConfig",
+    "analyze",
+    "critical_power_w",
+    "nexus6p",
+    "odroid_xu3",
+    "__version__",
+]

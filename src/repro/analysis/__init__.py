@@ -1,0 +1,54 @@
+"""Trace analysis: residencies, FPS stats, power breakdowns, tables."""
+
+from repro.analysis.breakdown import (
+    PowerBreakdown,
+    breakdown_delta,
+    breakdown_from_traces,
+)
+from repro.analysis.compare import RunDelta, compare_runs
+from repro.analysis.energy_opt import (
+    EnergyPoint,
+    energy_optimal_point,
+    energy_per_gigacycle,
+    race_to_idle_penalty,
+)
+from repro.analysis.export import fps_to_csv, traces_to_csv
+from repro.analysis.figures import Series, summarize
+from repro.analysis.interference import InterferenceResult, measure_interference
+from repro.analysis.report import summarize_run
+from repro.analysis.residency import (
+    mean_frequency_khz,
+    parse_time_in_state,
+    residency_fractions,
+    residency_of_policy,
+    residency_shift,
+    top_frequency_share,
+)
+from repro.analysis.tables import percent_reduction, render_table
+
+__all__ = [
+    "EnergyPoint",
+    "RunDelta",
+    "InterferenceResult",
+    "PowerBreakdown",
+    "Series",
+    "breakdown_delta",
+    "compare_runs",
+    "energy_optimal_point",
+    "energy_per_gigacycle",
+    "fps_to_csv",
+    "breakdown_from_traces",
+    "mean_frequency_khz",
+    "measure_interference",
+    "parse_time_in_state",
+    "percent_reduction",
+    "race_to_idle_penalty",
+    "render_table",
+    "residency_fractions",
+    "residency_of_policy",
+    "residency_shift",
+    "summarize",
+    "summarize_run",
+    "traces_to_csv",
+    "top_frequency_share",
+]

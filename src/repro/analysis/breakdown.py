@@ -1,0 +1,58 @@
+"""Power-distribution breakdowns (the paper's Figure 9 pie charts)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average total power and per-rail shares over a window."""
+
+    total_w: float
+    shares: dict[str, float]
+
+    def share_pct(self, rail: str) -> float:
+        """Share of one rail in percent."""
+        try:
+            return self.shares[rail] * 100.0
+        except KeyError:
+            raise AnalysisError(
+                f"no rail {rail!r}; have {sorted(self.shares)}"
+            ) from None
+
+
+def breakdown_from_traces(
+    traces: TraceRecorder,
+    rails: Sequence[str],
+    start_s: float = 0.0,
+    end_s: float | None = None,
+) -> PowerBreakdown:
+    """Average-power shares of ``rails`` from ``power.<rail>`` channels."""
+    means: dict[str, float] = {}
+    for rail in rails:
+        times, watts = traces.series(f"power.{rail}")
+        if end_s is not None:
+            mask = (times >= start_s) & (times < end_s)
+        else:
+            mask = times >= start_s
+        if not mask.any():
+            raise AnalysisError(f"no power samples for rail {rail!r} in window")
+        means[rail] = float(watts[mask].mean())
+    total = sum(means.values())
+    if total <= 0.0:
+        raise AnalysisError("zero total power in window")
+    return PowerBreakdown(
+        total_w=total, shares={r: w / total for r, w in means.items()}
+    )
+
+
+def breakdown_delta(
+    before: PowerBreakdown, after: PowerBreakdown, rail: str
+) -> float:
+    """Change of one rail's share (percentage points, after - before)."""
+    return (after.shares.get(rail, 0.0) - before.shares.get(rail, 0.0)) * 100.0

@@ -1,0 +1,92 @@
+"""A/B comparison of two simulation runs.
+
+Policy work is comparative by nature: the same workload under two
+configurations.  ``compare_runs`` lines up two finished simulations of the
+same platform and reports the deltas this study cares about — per-app FPS,
+peak/end temperatures, per-rail average power, and the big-domain DVFS
+residency shift — as one structured object plus a rendered table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.residency import residency_fractions, residency_shift
+from repro.analysis.tables import render_table
+from repro.errors import AnalysisError
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class RunDelta:
+    """Deltas of run B relative to run A (B - A)."""
+
+    fps: dict[str, float] = field(default_factory=dict)
+    peak_temp_k: float = 0.0
+    end_temp_k: float = 0.0
+    rail_power_w: dict[str, float] = field(default_factory=dict)
+    big_residency_shift: float = 0.0  # positive = B runs slower clocks
+
+    def render(self, label_a: str = "A", label_b: str = "B") -> str:
+        """Human-readable delta table."""
+        rows = []
+        for app, delta in sorted(self.fps.items()):
+            rows.append([f"fps[{app}]", f"{delta:+.1f}"])
+        rows.append(["peak temp (K)", f"{self.peak_temp_k:+.1f}"])
+        rows.append(["end temp (K)", f"{self.end_temp_k:+.1f}"])
+        for rail, delta in sorted(self.rail_power_w.items()):
+            rows.append([f"power[{rail}] (W)", f"{delta:+.2f}"])
+        rows.append(
+            ["big residency shift", f"{self.big_residency_shift:+.1%}"]
+        )
+        return render_table(
+            ["metric", f"{label_b} - {label_a}"], rows,
+            title=f"Run comparison: {label_b} vs {label_a}",
+        )
+
+
+def compare_runs(run_a: Simulation, run_b: Simulation) -> RunDelta:
+    """Compute B - A deltas for two finished runs of the same platform."""
+    if run_a.platform.name != run_b.platform.name:
+        raise AnalysisError(
+            f"platform mismatch: {run_a.platform.name!r} vs "
+            f"{run_b.platform.name!r}"
+        )
+    if run_a.energy.elapsed_s <= 0.0 or run_b.energy.elapsed_s <= 0.0:
+        raise AnalysisError("both runs must have executed")
+
+    fps: dict[str, float] = {}
+    for name in set(run_a.apps) & set(run_b.apps):
+        metrics_a = run_a.app(name).metrics()
+        metrics_b = run_b.app(name).metrics()
+        if "median_fps" in metrics_a and "median_fps" in metrics_b:
+            fps[name] = metrics_b["median_fps"] - metrics_a["median_fps"]
+
+    _, temps_a = run_a.traces.series("temp.max")
+    _, temps_b = run_b.traces.series("temp.max")
+
+    rails = set(run_a.energy.breakdown()) & set(run_b.energy.breakdown())
+    rail_power = {
+        rail: run_b.energy.average_power_w(rail)
+        - run_a.energy.average_power_w(rail)
+        for rail in rails
+    }
+
+    big = run_a.platform.big_cluster.name
+    try:
+        shift = residency_shift(
+            residency_fractions(run_a.kernel.policies[big].time_in_state),
+            residency_fractions(run_b.kernel.policies[big].time_in_state),
+        )
+    except AnalysisError:
+        shift = 0.0
+
+    return RunDelta(
+        fps=fps,
+        peak_temp_k=float(np.max(temps_b) - np.max(temps_a)),
+        end_temp_k=float(temps_b[-1] - temps_a[-1]),
+        rail_power_w=rail_power,
+        big_residency_shift=shift,
+    )

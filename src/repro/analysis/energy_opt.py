@@ -1,0 +1,87 @@
+"""Energy-optimal frequency analysis for batch work.
+
+For throughput work (MiBench-style batch), the energy to retire one
+gigacycle depends on the frequency: run slow and leakage dominates (the job
+takes longer while the chip keeps leaking), run fast and the V^2 dynamic
+cost dominates.  The optimum sits in between — the classic result behind
+race-to-idle debates.  With deep idle gating (cpuidle) the post-completion
+cost is ~zero, so the energy of the *run* is the whole story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+from repro.soc.components import ClusterSpec
+from repro.soc.power_model import dynamic_power_w, leakage_power_w
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """Cost of retiring work at one OPP."""
+
+    freq_hz: float
+    voltage_v: float
+    power_w: float
+    seconds_per_gcycle: float
+    joules_per_gcycle: float
+
+
+def energy_per_gigacycle(
+    cluster: ClusterSpec, temp_k: float, busy_cores: float = 1.0
+) -> list[EnergyPoint]:
+    """Energy per instruction-weighted gigacycle at every OPP.
+
+    ``busy_cores`` is the parallelism of the job; the cluster's idle power
+    is charged for the whole run (the other cores are in shallow idle while
+    the cluster is active).
+    """
+    if busy_cores <= 0.0 or busy_cores > cluster.n_cores:
+        raise AnalysisError(
+            f"busy_cores must be in (0, {cluster.n_cores}], got {busy_cores}"
+        )
+    points = []
+    for opp in cluster.opps:
+        rate_gcycles = cluster.ipc * opp.freq_hz * busy_cores / 1e9
+        power = (
+            cluster.idle_power_w
+            + dynamic_power_w(
+                cluster.ceff_w_per_v2hz, opp.voltage_v, opp.freq_hz, busy_cores
+            )
+            + leakage_power_w(cluster.leakage, temp_k, opp.voltage_v)
+        )
+        seconds = 1.0 / rate_gcycles
+        points.append(
+            EnergyPoint(
+                freq_hz=opp.freq_hz,
+                voltage_v=opp.voltage_v,
+                power_w=power,
+                seconds_per_gcycle=seconds,
+                joules_per_gcycle=power * seconds,
+            )
+        )
+    return points
+
+
+def energy_optimal_point(
+    cluster: ClusterSpec, temp_k: float, busy_cores: float = 1.0
+) -> EnergyPoint:
+    """The OPP minimising joules per gigacycle."""
+    points = energy_per_gigacycle(cluster, temp_k, busy_cores)
+    return min(points, key=lambda p: p.joules_per_gcycle)
+
+
+def race_to_idle_penalty(
+    cluster: ClusterSpec, temp_k: float, busy_cores: float = 1.0
+) -> float:
+    """How much more energy the *maximum* frequency costs vs the optimum.
+
+    Returns joules_max / joules_optimal - 1 (0.0 when max is optimal).
+    Small values mean race-to-idle is nearly free; large values mean the
+    energy-optimal policy is worth the latency.
+    """
+    points = energy_per_gigacycle(cluster, temp_k, busy_cores)
+    best = min(p.joules_per_gcycle for p in points)
+    at_max = points[-1].joules_per_gcycle
+    return at_max / best - 1.0

@@ -1,0 +1,74 @@
+"""CSV export of traces and FPS series (for external plotting).
+
+The benchmarks print text tables; for figures a downstream user usually
+wants the raw series.  These helpers dump any subset of trace channels (or
+an app's per-second FPS) as plain CSV, aligned on a common time grid by
+zero-order hold.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.frames import FpsMeter
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder, resample_zoh
+
+
+def traces_to_csv(
+    traces: TraceRecorder,
+    path: str | pathlib.Path,
+    channels: Sequence[str] | None = None,
+    grid_dt_s: float = 0.1,
+) -> int:
+    """Write selected channels to ``path``; returns the number of rows.
+
+    All channels are resampled onto a shared grid spanning the recording
+    (zero-order hold), so the CSV is rectangular.
+    """
+    names = list(channels) if channels is not None else traces.names()
+    if not names:
+        raise AnalysisError("no channels to export")
+    if grid_dt_s <= 0.0:
+        raise AnalysisError("grid step must be positive")
+    start = min(traces.channel(n).times[0] for n in names)
+    end = max(traces.channel(n).times[-1] for n in names)
+    grid = np.arange(start, end + grid_dt_s / 2, grid_dt_s)
+    columns = {
+        name: resample_zoh(
+            traces.channel(name).times, traces.channel(name).values, grid
+        )
+        for name in names
+    }
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s"] + names)
+        for i, t in enumerate(grid):
+            writer.writerow(
+                [f"{t:.3f}"] + [f"{columns[n][i]:.6g}" for n in names]
+            )
+    return len(grid)
+
+
+def fps_to_csv(
+    meter: FpsMeter,
+    path: str | pathlib.Path,
+    start_s: float = 0.0,
+    end_s: float | None = None,
+) -> int:
+    """Write an app's per-second FPS series to ``path``; returns row count."""
+    times, fps = meter.fps_series(start_s, end_s)
+    if times.size == 0:
+        raise AnalysisError("no complete FPS buckets to export")
+    path = pathlib.Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["bucket_start_s", "fps"])
+        for t, f in zip(times, fps):
+            writer.writerow([f"{t:.3f}", f"{f:.3f}"])
+    return int(times.size)

@@ -1,0 +1,56 @@
+"""Series helpers for regenerating the paper's figures as data.
+
+Benchmarks print these summaries; plotting is intentionally out of scope
+(no matplotlib offline), but every figure's underlying series is exposed so
+a user can plot them with one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named (x, y) series belonging to a figure."""
+
+    label: str
+    x: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise AnalysisError(f"series {self.label!r}: x/y length mismatch")
+
+    def at(self, x_value: float) -> float:
+        """y at the first x >= x_value (nearest sample at the end)."""
+        if len(self.x) == 0:
+            raise AnalysisError(f"series {self.label!r} is empty")
+        idx = int(np.searchsorted(self.x, x_value))
+        idx = min(idx, len(self.x) - 1)
+        return float(self.y[idx])
+
+    def max(self) -> float:
+        """Maximum y."""
+        if len(self.y) == 0:
+            raise AnalysisError(f"series {self.label!r} is empty")
+        return float(self.y.max())
+
+    def final(self) -> float:
+        """Last y value."""
+        if len(self.y) == 0:
+            raise AnalysisError(f"series {self.label!r} is empty")
+        return float(self.y[-1])
+
+
+def summarize(series: Series, checkpoints: tuple[float, ...]) -> str:
+    """One-line summary of a series at a few x checkpoints."""
+    parts = [f"{series.label}:"]
+    for x in checkpoints:
+        parts.append(f"y({x:g})={series.at(x):.1f}")
+    parts.append(f"max={series.max():.1f}")
+    return " ".join(parts)

@@ -1,0 +1,71 @@
+"""App-interference analysis.
+
+The paper's premise: a background app degrades the foreground both by
+stealing resources *and* by heating the shared package.  This module
+quantifies it — run a foreground app solo and then against a background,
+and decompose the FPS loss into the two runs' deltas along with the extra
+heat the pair produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sim.engine import Simulation
+
+
+@dataclass(frozen=True)
+class InterferenceResult:
+    """Foreground degradation caused by one background app."""
+
+    foreground: str
+    background: str
+    solo_fps: float
+    contended_fps: float
+    solo_peak_temp_c: float
+    contended_peak_temp_c: float
+
+    @property
+    def slowdown_pct(self) -> float:
+        """Foreground FPS loss in percent."""
+        return (1.0 - self.contended_fps / self.solo_fps) * 100.0
+
+    @property
+    def extra_heat_k(self) -> float:
+        """Peak-temperature increase caused by the background app."""
+        return self.contended_peak_temp_c - self.solo_peak_temp_c
+
+
+def measure_interference(
+    solo_sim: Simulation,
+    contended_sim: Simulation,
+    foreground: str,
+    background: str,
+    settle_s: float = 5.0,
+    temp_channel: str = "temp.max",
+) -> InterferenceResult:
+    """Compare a solo run with a contended run of the same foreground app.
+
+    Both simulations must already have run; the foreground app must exist
+    in both, the background only in the contended one.
+    """
+    solo_app = solo_sim.app(foreground)
+    contended_app = contended_sim.app(foreground)
+    contended_sim.app(background)  # existence check
+    if background in solo_sim.apps:
+        raise AnalysisError(
+            f"background {background!r} also present in the solo run"
+        )
+    _, solo_temps = solo_sim.traces.series(temp_channel)
+    _, cont_temps = contended_sim.traces.series(temp_channel)
+    return InterferenceResult(
+        foreground=foreground,
+        background=background,
+        solo_fps=solo_app.fps.median_fps(start_s=settle_s),
+        contended_fps=contended_app.fps.median_fps(start_s=settle_s),
+        solo_peak_temp_c=float(np.max(solo_temps)),
+        contended_peak_temp_c=float(np.max(cont_temps)),
+    )

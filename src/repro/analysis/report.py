@@ -1,0 +1,93 @@
+"""One-shot run reports: a markdown summary of a finished simulation.
+
+``summarize_run`` distils a :class:`~repro.sim.engine.Simulation` into the
+quantities this study cares about — temperatures, per-rail power, DVFS
+residencies, app metrics — as a human-readable markdown document.  Examples
+and downstream notebooks use it to avoid re-writing the same boilerplate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.residency import residency_fractions
+from repro.analysis.tables import render_table
+from repro.errors import AnalysisError
+from repro.sim.engine import Simulation
+
+
+def _temperature_section(sim: Simulation) -> list[str]:
+    lines = ["## Temperatures (degC)", ""]
+    rows = []
+    for node in sim.thermal.node_names:
+        times, temps = sim.traces.series(f"temp.{node}")
+        rows.append([node, temps[0], float(temps.max()), temps[-1]])
+    lines.append(render_table(["node", "start", "max", "end"], rows))
+    return lines
+
+
+def _power_section(sim: Simulation) -> list[str]:
+    lines = ["## Power (W, averages)", ""]
+    rows = []
+    for rail in sorted(sim.energy.breakdown()):
+        rows.append(
+            [rail, sim.energy.average_power_w(rail),
+             f"{sim.energy.breakdown()[rail] * 100.0:.1f}%"]
+        )
+    rows.append(["total", sim.energy.total_energy_j() / sim.energy.elapsed_s, "100%"])
+    lines.append(render_table(["rail", "avg W", "share"], rows))
+    return lines
+
+
+def _residency_section(sim: Simulation) -> list[str]:
+    lines = ["## DVFS residencies", ""]
+    for domain, policy in sorted(sim.kernel.policies.items()):
+        try:
+            residency = residency_fractions(policy.time_in_state)
+        except AnalysisError:
+            continue
+        top = sorted(residency.items(), key=lambda kv: -kv[1])[:3]
+        cells = ", ".join(f"{khz // 1000} MHz: {frac * 100.0:.0f}%" for khz, frac in top)
+        lines.append(f"- **{domain}**: {cells}")
+    return lines
+
+
+def _apps_section(sim: Simulation) -> list[str]:
+    lines = ["## Applications", ""]
+    for name, app in sorted(sim.apps.items()):
+        metrics = app.metrics()
+        if metrics:
+            cells = ", ".join(f"{k}={_fmt(v)}" for k, v in sorted(metrics.items()))
+            lines.append(f"- **{name}**: {cells}")
+        else:
+            lines.append(f"- **{name}**: (no metrics)")
+    return lines
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def summarize_run(sim: Simulation, title: str = "Simulation report") -> str:
+    """Render a full markdown report of a finished run."""
+    if sim.energy.elapsed_s <= 0.0:
+        raise AnalysisError("the simulation has not run yet")
+    lines = [
+        f"# {title}",
+        "",
+        f"Platform: **{sim.platform.name}**, duration: "
+        f"**{sim.now_s:.1f} s**, ambient: "
+        f"**{sim.thermal.ambient_k - 273.15:.1f} degC**",
+        "",
+    ]
+    lines += _temperature_section(sim) + [""]
+    lines += _power_section(sim) + [""]
+    lines += _residency_section(sim) + [""]
+    if sim.apps:
+        lines += _apps_section(sim) + [""]
+    if sim.battery is not None:
+        lines.append(
+            f"Battery: {sim.battery.soc * 100.0:.1f}% remaining "
+            f"({sim.battery.remaining_wh:.2f} Wh)"
+        )
+    return "\n".join(lines).rstrip() + "\n"

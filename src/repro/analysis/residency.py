@@ -1,0 +1,71 @@
+"""Frequency-residency analysis (the paper's Figures 2, 4 and 6).
+
+Residency is the fraction of time a DVFS domain spends at each OPP.  The
+kernel exposes it as ``time_in_state`` (kHz / USER_HZ-tick pairs); this
+module normalises it, compares throttled vs unthrottled histograms, and
+computes the residency-weighted mean frequency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import AnalysisError
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.kernel.wiring import USER_HZ
+
+
+def residency_fractions(time_in_state: Mapping[int, float]) -> dict[int, float]:
+    """Normalise per-OPP seconds into fractions summing to 1 (keyed by kHz)."""
+    total = sum(time_in_state.values())
+    if total <= 0.0:
+        raise AnalysisError("no residency accumulated")
+    return {khz: seconds / total for khz, seconds in sorted(time_in_state.items())}
+
+
+def residency_of_policy(policy: DvfsPolicy) -> dict[int, float]:
+    """Residency fractions of a live policy object."""
+    return residency_fractions(policy.time_in_state)
+
+
+def parse_time_in_state(text: str) -> dict[int, float]:
+    """Parse the sysfs ``stats/time_in_state`` format into seconds per kHz."""
+    out: dict[int, float] = {}
+    for line in text.strip().splitlines():
+        parts = line.split()
+        if len(parts) != 2:
+            raise AnalysisError(f"malformed time_in_state line: {line!r}")
+        khz, ticks = int(parts[0]), int(parts[1])
+        out[khz] = ticks / USER_HZ
+    if not out:
+        raise AnalysisError("empty time_in_state")
+    return out
+
+
+def mean_frequency_khz(residency: Mapping[int, float]) -> float:
+    """Residency-weighted mean frequency."""
+    total = sum(residency.values())
+    if total <= 0.0:
+        raise AnalysisError("empty residency histogram")
+    return sum(khz * frac for khz, frac in residency.items()) / total
+
+
+def top_frequency_share(residency: Mapping[int, float], n_top: int = 2) -> float:
+    """Combined residency of the ``n_top`` highest frequencies.
+
+    The paper's headline observation is that throttling drives this to ~0.
+    """
+    if not residency:
+        raise AnalysisError("empty residency histogram")
+    top = sorted(residency)[-n_top:]
+    return sum(residency[khz] for khz in top)
+
+
+def residency_shift(
+    unthrottled: Mapping[int, float], throttled: Mapping[int, float]
+) -> float:
+    """Downward shift of the mean frequency caused by throttling, as a
+    fraction of the unthrottled mean (positive = slower under throttling)."""
+    base = mean_frequency_khz(unthrottled)
+    after = mean_frequency_khz(throttled)
+    return (base - after) / base

@@ -1,0 +1,51 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's tables report; this
+module does the (deliberately dependency-free) formatting.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import AnalysisError
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    if not headers:
+        raise AnalysisError("a table needs headers")
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def percent_reduction(before: float, after: float) -> float:
+    """Percentage reduction from ``before`` to ``after`` (paper's Table I)."""
+    if before <= 0.0:
+        raise AnalysisError("baseline must be positive")
+    return (before - after) / before * 100.0

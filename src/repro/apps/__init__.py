@@ -1,0 +1,45 @@
+"""Workload models: frame pipelines, Play-Store apps, benchmarks, batch."""
+
+from repro.apps.base import AppContext, Application
+from repro.apps.catalog import CATALOG, CatalogEntry, make_app, popular_app_names
+from repro.apps.frames import FpsMeter, FrameApp, FrameWorkload
+from repro.apps.gfxbench import NenamarkApp, ThreeDMarkApp
+from repro.apps.mibench import (
+    MIBENCH_SUITE,
+    BatchApp,
+    basicmath_large,
+    dijkstra_large,
+    fft_large,
+    qsort_large,
+    susan_corners,
+)
+from repro.apps.phases import BROWSE_PHASES, GAME_PHASES, MarkovPhaseModel, Phase
+from repro.apps.replay import FrameRecord, ReplayApp, load_trace
+
+__all__ = [
+    "CATALOG",
+    "MIBENCH_SUITE",
+    "AppContext",
+    "Application",
+    "BROWSE_PHASES",
+    "BatchApp",
+    "CatalogEntry",
+    "FpsMeter",
+    "FrameApp",
+    "FrameRecord",
+    "FrameWorkload",
+    "GAME_PHASES",
+    "MarkovPhaseModel",
+    "NenamarkApp",
+    "Phase",
+    "ReplayApp",
+    "ThreeDMarkApp",
+    "basicmath_large",
+    "dijkstra_large",
+    "fft_large",
+    "qsort_large",
+    "susan_corners",
+    "load_trace",
+    "make_app",
+    "popular_app_names",
+]

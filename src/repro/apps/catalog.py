@@ -1,0 +1,139 @@
+"""The five popular Play-Store applications of the paper's Section III.
+
+The paper picks five of the top-30 Google Play apps: two games (Paper.io,
+Stickman Hook), one shopping app (Amazon), one video-conferencing app
+(Google Hangouts) and one social-media app (Facebook).  Each is modelled as
+a frame pipeline whose demand statistics were calibrated on the simulated
+Nexus 6P so that the *unthrottled* median frame rates match the paper's
+Table I; the throttled rates then *emerge* from the simulated stock thermal
+governor rather than being dialled in.
+
+Games are GPU-dominated (their residency figures are GPU frequencies);
+Amazon/Hangouts/Facebook are CPU-dominated (Figure 6 shows big-core
+frequencies for Amazon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.frames import FrameApp, FrameWorkload
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One catalog app: its store category and calibrated demand."""
+
+    name: str
+    category: str
+    kind: str  # "gpu" for games, "cpu" for UI-driven apps
+    workload: FrameWorkload
+    paper_fps_without: float
+    paper_fps_with: float
+
+
+PAPERIO = CatalogEntry(
+    name="paperio",
+    category="game",
+    kind="gpu",
+    workload=FrameWorkload(
+        cpu_cycles_per_frame=8.0e6,
+        gpu_cycles_per_frame=15.0e6,
+        target_fps=60.0,
+        sigma=0.30,
+        phase_amp=0.60,
+        phase_period_s=20.0,
+        pipeline_depth=2,
+        touch_rate_hz=1.0,
+    ),
+    paper_fps_without=35.0,
+    paper_fps_with=23.0,
+)
+
+STICKMAN_HOOK = CatalogEntry(
+    name="stickman",
+    category="game",
+    kind="gpu",
+    workload=FrameWorkload(
+        cpu_cycles_per_frame=6.0e6,
+        gpu_cycles_per_frame=7.5e6,
+        target_fps=60.0,
+        sigma=0.22,
+        phase_amp=0.38,
+        phase_period_s=15.0,
+        pipeline_depth=2,
+        touch_rate_hz=3.0,
+    ),
+    paper_fps_without=59.0,
+    paper_fps_with=40.0,
+)
+
+AMAZON = CatalogEntry(
+    name="amazon",
+    category="shopping",
+    kind="cpu",
+    workload=FrameWorkload(
+        cpu_cycles_per_frame=88.0e6,
+        gpu_cycles_per_frame=2.5e6,
+        target_fps=60.0,
+        sigma=0.80,
+        phase_amp=0.60,
+        phase_period_s=10.0,
+        pipeline_depth=3,
+        touch_rate_hz=0.3,
+    ),
+    paper_fps_without=35.0,
+    paper_fps_with=28.0,
+)
+
+GOOGLE_HANGOUTS = CatalogEntry(
+    name="hangouts",
+    category="video-conferencing",
+    kind="cpu",
+    workload=FrameWorkload(
+        cpu_cycles_per_frame=60.0e6,
+        gpu_cycles_per_frame=4.0e6,
+        target_fps=42.0,
+        sigma=0.15,
+        phase_amp=0.20,
+        phase_period_s=25.0,
+        pipeline_depth=3,
+        touch_rate_hz=0.2,
+    ),
+    paper_fps_without=42.0,
+    paper_fps_with=38.0,
+)
+
+FACEBOOK = CatalogEntry(
+    name="facebook",
+    category="social-media",
+    kind="cpu",
+    workload=FrameWorkload(
+        cpu_cycles_per_frame=80.0e6,
+        gpu_cycles_per_frame=8.0e6,
+        target_fps=60.0,
+        sigma=0.50,
+        phase_amp=0.55,
+        phase_period_s=12.0,
+        pipeline_depth=3,
+        touch_rate_hz=0.5,
+    ),
+    paper_fps_without=35.0,
+    paper_fps_with=24.0,
+)
+
+CATALOG: dict[str, CatalogEntry] = {
+    entry.name: entry
+    for entry in (PAPERIO, STICKMAN_HOOK, AMAZON, GOOGLE_HANGOUTS, FACEBOOK)
+}
+
+
+def make_app(name: str) -> FrameApp:
+    """Instantiate a catalog app by name."""
+    entry = CATALOG[name]
+    return FrameApp(entry.name, entry.workload)
+
+
+def popular_app_names() -> tuple[str, ...]:
+    """The five apps in the paper's Table I order."""
+    return ("paperio", "stickman", "amazon", "hangouts", "facebook")

@@ -1,0 +1,164 @@
+"""GPU benchmark applications: 3DMark (GT1/GT2) and Nenamark3 models.
+
+These drive the Odroid-XU3 experiments of Section IV.C:
+
+* :class:`ThreeDMarkApp` — two back-to-back graphics tests rendered
+  off-screen (uncapped frame rate).  GT2 frames cost roughly twice GT1
+  frames, reproducing the paper's 97 vs 51 FPS split.
+* :class:`NenamarkApp` — a benchmark whose difficulty ramps continuously;
+  it terminates once the achieved frame rate falls below a threshold, and
+  its score is the number of *levels* survived (the paper reports 3.5 / 3.4
+  / 3.5 levels).
+"""
+
+from __future__ import annotations
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class ThreeDMarkApp(FrameApp):
+    """3DMark model: Graphics Test 1 then Graphics Test 2."""
+
+    def __init__(
+        self,
+        name: str = "3dmark",
+        gt1_duration_s: float = 120.0,
+        gt2_duration_s: float = 120.0,
+        gt1_gpu_cycles: float = 6.1e6,
+        gt2_gpu_cycles: float = 11.6e6,
+        gt1_cpu_cycles: float = 16.0e6,
+        gt2_cpu_cycles: float = 18.0e6,
+    ) -> None:
+        if gt1_duration_s <= 0.0 or gt2_duration_s <= 0.0:
+            raise ConfigurationError("test durations must be positive")
+        workload = FrameWorkload(
+            cpu_cycles_per_frame=gt1_cpu_cycles,
+            gpu_cycles_per_frame=gt1_gpu_cycles,
+            target_fps=1000.0,  # off-screen rendering: effectively uncapped
+            sigma=0.08,
+            pipeline_depth=3,
+        )
+        super().__init__(name, workload)
+        self.gt1_duration_s = gt1_duration_s
+        self.gt2_duration_s = gt2_duration_s
+        self._gt1 = (gt1_cpu_cycles, gt1_gpu_cycles)
+        self._gt2 = (gt2_cpu_cycles, gt2_gpu_cycles)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Length of the full benchmark."""
+        return self.gt1_duration_s + self.gt2_duration_s
+
+    def _mean_cycles(self, now_s: float) -> tuple[float, float]:
+        if now_s < self.gt1_duration_s:
+            return self._gt1
+        return self._gt2
+
+    def gt1_fps(self, settle_s: float = 10.0) -> float:
+        """Median FPS of Graphics Test 1 (skipping the cold start)."""
+        return self.fps.median_fps(start_s=settle_s, end_s=self.gt1_duration_s)
+
+    def gt2_fps(self, settle_s: float = 10.0) -> float:
+        """Median FPS of Graphics Test 2."""
+        return self.fps.median_fps(
+            start_s=self.gt1_duration_s + settle_s, end_s=self.total_duration_s
+        )
+
+    def metrics(self) -> dict:
+        out = {"frames": self.fps.frame_count}
+        try:
+            out["gt1_fps"] = self.gt1_fps()
+            out["gt2_fps"] = self.gt2_fps()
+        except AnalysisError:
+            pass
+        return out
+
+
+class NenamarkApp(FrameApp):
+    """Nenamark model: ramping difficulty until the frame rate collapses.
+
+    Difficulty (in *levels*) grows linearly with time; the per-frame GPU
+    cost grows with difficulty.  When the rolling one-second frame rate
+    drops below ``threshold_fps``, the benchmark terminates and the score
+    is the difficulty reached, in levels.
+    """
+
+    def __init__(
+        self,
+        name: str = "nenamark",
+        base_gpu_cycles: float = 6.0e6,
+        cpu_cycles: float = 8.0e6,
+        slope_per_level: float = 0.175,
+        level_duration_s: float = 40.0,
+        threshold_fps: float = 60.0,
+        max_levels: float = 8.0,
+    ) -> None:
+        if slope_per_level <= 0.0 or level_duration_s <= 0.0:
+            raise ConfigurationError("slope and level duration must be positive")
+        workload = FrameWorkload(
+            cpu_cycles_per_frame=cpu_cycles,
+            gpu_cycles_per_frame=base_gpu_cycles,
+            target_fps=1000.0,  # rendered uncapped; the score is the level
+            sigma=0.05,
+            pipeline_depth=3,
+        )
+        super().__init__(name, workload)
+        self.base_gpu_cycles = base_gpu_cycles
+        self.slope_per_level = slope_per_level
+        self.level_duration_s = level_duration_s
+        self.threshold_fps = threshold_fps
+        self.max_levels = max_levels
+        self._terminated = False
+        self._score_levels: float | None = None
+        self._next_check_s = 6.0  # cold-start grace: devfreq must ramp first
+        self._below_count = 0
+
+    def difficulty_levels(self, now_s: float) -> float:
+        """Difficulty (levels started) at ``now_s``."""
+        return min(now_s / self.level_duration_s, self.max_levels)
+
+    def _mean_cycles(self, now_s: float) -> tuple[float, float]:
+        scale = 1.0 + self.slope_per_level * self.difficulty_levels(now_s)
+        return (
+            self.workload.cpu_cycles_per_frame,
+            self.base_gpu_cycles * scale,
+        )
+
+    @property
+    def finished(self) -> bool:
+        """Whether the benchmark has terminated."""
+        return self._terminated
+
+    @property
+    def score_levels(self) -> float:
+        """Levels survived (0.1 granularity, as the paper reports)."""
+        if self._score_levels is None:
+            raise AnalysisError("nenamark has not terminated yet")
+        return round(self._score_levels, 1)
+
+    def step(self, now_s: float, dt_s: float) -> None:
+        if self._terminated:
+            return
+        if now_s >= self._next_check_s:
+            self._next_check_s = now_s + 1.0
+            _, fps = self.fps.fps_series(start_s=max(now_s - 1.0, 0.0), end_s=now_s)
+            if fps.size and float(fps[-1]) < self.threshold_fps:
+                self._below_count += 1
+            else:
+                self._below_count = 0
+            if self._below_count >= 2:  # two consecutive slow seconds
+                self._terminated = True
+                self._score_levels = self.difficulty_levels(now_s)
+                return
+            if self.difficulty_levels(now_s) >= self.max_levels:
+                self._terminated = True
+                self._score_levels = self.max_levels
+                return
+        super().step(now_s, dt_s)
+
+    def metrics(self) -> dict:
+        out = {"frames": self.fps.frame_count, "finished": self._terminated}
+        if self._score_levels is not None:
+            out["score_levels"] = self.score_levels
+        return out

@@ -1,0 +1,84 @@
+"""Markov phase models for application demand.
+
+The default :class:`~repro.apps.frames.FrameWorkload` modulates demand with
+a sinusoid.  Real apps switch between discrete behavioural phases — menu,
+gameplay, cutscene; browsing, scrolling, idle — with roughly exponential
+dwell times.  :class:`MarkovPhaseModel` provides that alternative: a
+continuous-time Markov chain over named phases, each scaling the mean
+per-frame cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One behavioural phase: a demand multiplier and a mean dwell time."""
+
+    name: str
+    demand_factor: float
+    mean_dwell_s: float
+
+    def __post_init__(self) -> None:
+        if self.demand_factor <= 0.0:
+            raise ConfigurationError(f"phase {self.name!r}: factor must be > 0")
+        if self.mean_dwell_s <= 0.0:
+            raise ConfigurationError(f"phase {self.name!r}: dwell must be > 0")
+
+
+class MarkovPhaseModel:
+    """Continuous-time Markov chain over phases (uniform jump distribution).
+
+    Deterministic given its RNG stream; time only moves forward (``factor``
+    must be called with non-decreasing ``now_s``).
+    """
+
+    def __init__(self, phases: Sequence[Phase], rng: np.random.Generator) -> None:
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        names = [p.name for p in phases]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate phase names: {names}")
+        self._phases = tuple(phases)
+        self._rng = rng
+        self._current = 0
+        self._next_switch_s = self._draw_dwell(0.0)
+
+    def _draw_dwell(self, now_s: float) -> float:
+        return now_s + self._rng.exponential(
+            self._phases[self._current].mean_dwell_s
+        )
+
+    @property
+    def current_phase(self) -> Phase:
+        """The phase active at the last queried time."""
+        return self._phases[self._current]
+
+    def factor(self, now_s: float) -> float:
+        """Demand multiplier at ``now_s`` (advances the chain as needed)."""
+        while now_s >= self._next_switch_s and len(self._phases) > 1:
+            choices = [i for i in range(len(self._phases)) if i != self._current]
+            self._current = int(self._rng.choice(choices))
+            self._next_switch_s = self._draw_dwell(self._next_switch_s)
+        return self._phases[self._current].demand_factor
+
+
+#: A ready-made gaming profile: menus, normal play, heavy action scenes.
+GAME_PHASES = (
+    Phase("menu", demand_factor=0.35, mean_dwell_s=6.0),
+    Phase("play", demand_factor=1.0, mean_dwell_s=18.0),
+    Phase("action", demand_factor=1.6, mean_dwell_s=8.0),
+)
+
+#: A browsing profile: idle reading, scroll bursts.
+BROWSE_PHASES = (
+    Phase("read", demand_factor=0.3, mean_dwell_s=8.0),
+    Phase("scroll", demand_factor=1.5, mean_dwell_s=3.0),
+)

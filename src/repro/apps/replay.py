@@ -1,0 +1,136 @@
+"""Trace-driven workloads: replay recorded per-frame demand.
+
+For users who have profiled a real app (e.g. with systrace/gfxinfo), a
+:class:`ReplayApp` replays a recorded sequence of per-frame CPU and GPU
+costs instead of drawing them from a stochastic model.  Traces are plain
+CSV: ``start_offset_s, cpu_cycles, gpu_cycles`` per frame, relative to app
+start; the app issues each frame at its recorded offset (subject to the
+pipeline-depth limit) and measures achieved FPS like any other frame app.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.apps.base import Application
+from repro.apps.frames import FpsMeter
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """One recorded frame."""
+
+    start_offset_s: float
+    cpu_cycles: float
+    gpu_cycles: float
+
+    def __post_init__(self) -> None:
+        if self.start_offset_s < 0.0:
+            raise ConfigurationError("frame offsets must be non-negative")
+        if self.cpu_cycles <= 0.0 or self.gpu_cycles <= 0.0:
+            raise ConfigurationError("frame cycle counts must be positive")
+
+
+def load_trace(path: str | pathlib.Path) -> tuple[FrameRecord, ...]:
+    """Read a frame trace CSV (header optional)."""
+    records = []
+    with pathlib.Path(path).open() as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].strip().lower().startswith(("start", "#")):
+                continue
+            if len(row) != 3:
+                raise ConfigurationError(f"malformed trace row: {row}")
+            records.append(
+                FrameRecord(float(row[0]), float(row[1]), float(row[2]))
+            )
+    if not records:
+        raise ConfigurationError(f"empty frame trace: {path}")
+    offsets = [r.start_offset_s for r in records]
+    if offsets != sorted(offsets):
+        raise ConfigurationError("frame offsets must be non-decreasing")
+    return tuple(records)
+
+
+class ReplayApp(Application):
+    """Replays a recorded frame trace through the CPU->GPU pipeline."""
+
+    def __init__(
+        self,
+        name: str,
+        frames: Sequence[FrameRecord],
+        cluster: str | None = None,
+        pipeline_depth: int = 2,
+        loop: bool = False,
+    ) -> None:
+        super().__init__(name)
+        if not frames:
+            raise ConfigurationError("replay needs at least one frame")
+        if pipeline_depth < 1:
+            raise ConfigurationError("pipeline_depth must be >= 1")
+        self._frames = tuple(frames)
+        self._cluster = cluster
+        self._depth = pipeline_depth
+        self._loop = loop
+        self.fps = FpsMeter()
+        self._task = None
+        self._cursor = 0
+        self._loop_offset_s = 0.0
+        self._in_flight = 0
+        self._frame_id = 0
+
+    @classmethod
+    def from_csv(cls, name: str, path, **kwargs) -> "ReplayApp":
+        """Build directly from a trace file."""
+        return cls(name, load_trace(path), **kwargs)
+
+    def on_attach(self) -> None:
+        kernel = self.ctx.kernel
+        cluster = self._cluster or kernel.platform.big_cluster.name
+        self._task = kernel.spawn(self.name, cluster=cluster)
+
+    def pids(self) -> list[int]:
+        return [self._task.pid] if self._task is not None else []
+
+    @property
+    def finished(self) -> bool:
+        """Whether the (non-looping) trace has been fully issued."""
+        return not self._loop and self._cursor >= len(self._frames)
+
+    def step(self, now_s: float, dt_s: float) -> None:
+        while self._in_flight < self._depth:
+            if self._cursor >= len(self._frames):
+                if not self._loop:
+                    return
+                trace_span = self._frames[-1].start_offset_s
+                self._loop_offset_s += trace_span + 1e-3
+                self._cursor = 0
+            record = self._frames[self._cursor]
+            if record.start_offset_s + self._loop_offset_s > now_s:
+                return
+            self._cursor += 1
+            self._frame_id += 1
+            self._in_flight += 1
+            self._task.add_work(
+                record.cpu_cycles, tag=(self.name, self._frame_id, record.gpu_cycles)
+            )
+
+    def on_cpu_complete(self, tag: tuple, now_s: float) -> None:
+        _, frame_id, gpu_cycles = tag
+        self.ctx.kernel.gpu.submit(
+            self.name, gpu_cycles, tag=(self.name, frame_id)
+        )
+
+    def on_gpu_complete(self, tag: tuple, now_s: float) -> None:
+        self._in_flight -= 1
+        self.fps.record(now_s)
+
+    def metrics(self) -> dict:
+        return {
+            "frames": self.fps.frame_count,
+            "issued": self._frame_id,
+            "finished": self.finished,
+        }

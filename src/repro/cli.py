@@ -1,0 +1,208 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's artefacts or run one-off analyses:
+
+* ``table1`` / ``table2`` — the paper's tables;
+* ``fig7`` / ``fig8`` / ``fig9`` — the analysis/odroid figures (as text);
+* ``stability --power P`` — classify one operating point;
+* ``budget --limit C`` — safe dynamic power for a thermal limit;
+* ``critical`` — the critical power of the Odroid-XU3 lumped model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import render_table
+from repro.core.budget import safe_power_budget_w
+from repro.core.fixed_point import analyze, critical_power_w
+from repro.core.stability import ODROID_XU3_LUMPED
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+def _cmd_table1(args: argparse.Namespace) -> str:
+    from repro.experiments.nexus import table1
+
+    rows = table1(seed=args.seed)
+    return render_table(
+        ["App", "FPS w/o", "FPS w/", "Reduction %", "paper w/o", "paper w/"],
+        [[r.app, r.fps_without, r.fps_with, r.reduction_pct,
+          r.paper_fps_without, r.paper_fps_with] for r in rows],
+        title="Table I",
+    )
+
+
+def _cmd_table2(args: argparse.Namespace) -> str:
+    from repro.experiments.odroid import table2
+
+    rows = table2(seed=args.seed)
+    return render_table(
+        ["Test", "Alone", "+BML", "+BML proposed", "unit"],
+        [[r.test, r.alone, r.with_bml, r.with_proposed, r.unit] for r in rows],
+        title="Table II",
+    )
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    from repro.experiments.fig7 import figure7
+
+    lines = ["Figure 7: fixed-point analysis"]
+    for curve in figure7():
+        report = curve.report
+        if report.stable_temp_k is None:
+            lines.append(
+                f"  P_dyn={curve.p_dyn_w:.1f} W: {report.classification.value}"
+            )
+        else:
+            lines.append(
+                f"  P_dyn={curve.p_dyn_w:.1f} W: {report.classification.value}, "
+                f"T_stable={kelvin_to_celsius(report.stable_temp_k):.1f} degC "
+                f"(x={report.stable_aux:.2f})"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_fig8(args: argparse.Namespace) -> str:
+    from repro.experiments.odroid import figure8
+
+    lines = ["Figure 8: max temperature (degC)"]
+    for scenario, series in figure8(seed=args.seed).items():
+        lines.append(
+            f"  {scenario:13s}: t=50s {series.at(50):5.1f}  "
+            f"t=150s {series.at(150):5.1f}  end {series.final():5.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_fig9(args: argparse.Namespace) -> str:
+    from repro.experiments.odroid import INA_RAILS, figure9
+
+    lines = ["Figure 9: power distribution"]
+    for scenario, pie in figure9(seed=args.seed).items():
+        shares = "  ".join(
+            f"{rail}={pie.share_pct(rail):4.1f}%" for rail in INA_RAILS
+        )
+        lines.append(f"  {scenario:13s}: {pie.total_w:4.2f} W   {shares}")
+    return "\n".join(lines)
+
+
+def _cmd_stability(args: argparse.Namespace) -> str:
+    report = analyze(ODROID_XU3_LUMPED, args.power)
+    if report.stable_temp_k is None:
+        return (
+            f"P_dyn = {args.power:.2f} W: {report.classification.value} "
+            f"(no fixed point — thermal runaway)"
+        )
+    return (
+        f"P_dyn = {args.power:.2f} W: {report.classification.value}, "
+        f"stable fixed point at {kelvin_to_celsius(report.stable_temp_k):.1f} "
+        f"degC (aux x = {report.stable_aux:.3f})"
+    )
+
+
+def _cmd_budget(args: argparse.Namespace) -> str:
+    budget = safe_power_budget_w(
+        ODROID_XU3_LUMPED, celsius_to_kelvin(args.limit)
+    )
+    return (
+        f"Safe dynamic power for a {args.limit:.1f} degC limit: {budget:.2f} W"
+    )
+
+
+def _cmd_advise(args: argparse.Namespace) -> str:
+    from repro.apps.catalog import CATALOG, make_app
+    from repro.core.advisor import advise, render_advice
+    from repro.kernel.kernel import KernelConfig
+    from repro.sim.engine import Simulation
+    from repro.soc.snapdragon810 import nexus6p
+
+    if args.app not in CATALOG:
+        raise SystemExit(f"unknown app {args.app!r}; have {sorted(CATALOG)}")
+    sim = Simulation(
+        nexus6p(), [make_app(args.app)], kernel_config=KernelConfig(),
+        seed=args.seed,
+    )
+    sim.run(args.profile_s)
+    return render_advice(advise(sim, args.app, t_limit_c=args.limit))
+
+
+def _cmd_describe(args: argparse.Namespace) -> str:
+    from repro.soc.exynos5422 import odroid_xu3
+    from repro.soc.snapdragon810 import nexus6p
+    from repro.thermal.describe import describe_network
+
+    platforms = {"nexus6p": nexus6p, "odroid-xu3": odroid_xu3}
+    if args.platform not in platforms:
+        raise SystemExit(
+            f"unknown platform {args.platform!r}; have {sorted(platforms)}"
+        )
+    return describe_network(platforms[args.platform]().thermal)
+
+
+def _cmd_critical(args: argparse.Namespace) -> str:
+    return (
+        f"Critical power (Odroid-XU3, fan off): "
+        f"{critical_power_w(ODROID_XU3_LUMPED):.2f} W"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, fn, needs_seed in (
+        ("table1", _cmd_table1, True),
+        ("table2", _cmd_table2, True),
+        ("fig7", _cmd_fig7, False),
+        ("fig8", _cmd_fig8, True),
+        ("fig9", _cmd_fig9, True),
+        ("critical", _cmd_critical, False),
+    ):
+        cmd = sub.add_parser(name)
+        cmd.set_defaults(fn=fn)
+        if needs_seed:
+            cmd.add_argument("--seed", type=int, default=3)
+
+    stab = sub.add_parser("stability")
+    stab.add_argument("--power", type=float, required=True,
+                      help="dynamic power in watts")
+    stab.set_defaults(fn=_cmd_stability)
+
+    budget = sub.add_parser("budget")
+    budget.add_argument("--limit", type=float, required=True,
+                        help="thermal limit in degC")
+    budget.set_defaults(fn=_cmd_budget)
+
+    advise_cmd = sub.add_parser("advise")
+    advise_cmd.add_argument("--app", required=True,
+                            help="catalog app to profile")
+    advise_cmd.add_argument("--limit", type=float, default=40.0,
+                            help="thermal limit in degC")
+    advise_cmd.add_argument("--profile-s", type=float, default=60.0,
+                            dest="profile_s")
+    advise_cmd.add_argument("--seed", type=int, default=3)
+    advise_cmd.set_defaults(fn=_cmd_advise)
+
+    describe_cmd = sub.add_parser("describe")
+    describe_cmd.add_argument("--platform", required=True,
+                              help="nexus6p or odroid-xu3")
+    describe_cmd.set_defaults(fn=_cmd_describe)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    print(args.fn(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

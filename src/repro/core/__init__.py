@@ -1,0 +1,83 @@
+"""The paper's contribution: power-temperature stability analysis and the
+application-aware thermal governor built on it."""
+
+from repro.core.advisor import AdvisorReport, advise, render_advice
+from repro.core.budget import (
+    headroom_w,
+    safe_power_budget_w,
+    sustainable_frequency_fraction,
+)
+from repro.core.calibration import (
+    DEFAULT_RAIL_SHARES,
+    ambient_offset_k,
+    effective_resistance_k_per_w,
+    fit_leakage,
+    lump_platform,
+)
+from repro.core.fixed_point import (
+    FixedPointReport,
+    StabilityClass,
+    analyze,
+    critical_power_w,
+    steady_state_temp_k,
+)
+from repro.core.multinode import (
+    HotspotReport,
+    binding_hotspot,
+    candidate_nodes,
+    per_node_analysis,
+    safe_everywhere,
+)
+from repro.core.governor import (
+    ApplicationAwareGovernor,
+    GovernorConfig,
+    MigrationEvent,
+    Prediction,
+)
+from repro.core.qos import QosConfig, QosController
+from repro.core.registry import RealTimeRegistry
+from repro.core.stability import (
+    ODROID_XU3_LUMPED,
+    FixedPointFunction,
+    LumpedThermalParams,
+)
+from repro.core.time_to_fixed_point import (
+    time_to_fixed_point_s,
+    time_to_temperature_s,
+)
+
+__all__ = [
+    "AdvisorReport",
+    "DEFAULT_RAIL_SHARES",
+    "ODROID_XU3_LUMPED",
+    "ApplicationAwareGovernor",
+    "FixedPointFunction",
+    "FixedPointReport",
+    "GovernorConfig",
+    "HotspotReport",
+    "LumpedThermalParams",
+    "MigrationEvent",
+    "Prediction",
+    "QosConfig",
+    "QosController",
+    "RealTimeRegistry",
+    "StabilityClass",
+    "ambient_offset_k",
+    "advise",
+    "analyze",
+    "binding_hotspot",
+    "candidate_nodes",
+    "critical_power_w",
+    "effective_resistance_k_per_w",
+    "fit_leakage",
+    "headroom_w",
+    "lump_platform",
+    "per_node_analysis",
+    "render_advice",
+    "safe_everywhere",
+    "safe_power_budget_w",
+    "steady_state_temp_k",
+    "sustainable_frequency_fraction",
+    "time_to_fixed_point_s",
+    "time_to_temperature_s",
+]

@@ -1,0 +1,131 @@
+"""Developer advisor: will this app be throttled, and what would fit?
+
+The paper's conclusion: the study "can be used by application developers to
+optimize their apps such that they do not experience thermal throttling."
+This module operationalises that: given a profiling run of an app on a
+platform model, it
+
+1. measures the app's sustained power draw,
+2. computes the platform's safe power budget at the thermal limit
+   (Section IV.A inverted, :mod:`repro.core.budget`),
+3. verdicts whether sustained operation will throttle, and if so by how
+   much demand must shrink (cubic DVFS law) and what frame rate that
+   roughly sustains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import safe_power_budget_w, sustainable_frequency_fraction
+from repro.core.calibration import lump_platform
+from repro.core.fixed_point import analyze
+from repro.core.stability import LumpedThermalParams
+from repro.errors import AnalysisError
+from repro.sim.engine import Simulation
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class AdvisorReport:
+    """Verdict for one app profile against one thermal limit."""
+
+    app: str
+    t_limit_c: float
+    sustained_power_w: float
+    safe_budget_w: float
+    steady_temp_c: float | None
+    will_throttle: bool
+    demand_scale: float
+    sustainable_fps_estimate: float | None
+
+    @property
+    def headroom_w(self) -> float:
+        """Power margin to the budget (negative = over)."""
+        return self.safe_budget_w - self.sustained_power_w
+
+
+def advise(
+    sim: Simulation,
+    app_name: str,
+    t_limit_c: float,
+    params: LumpedThermalParams | None = None,
+    warmup_s: float = 5.0,
+) -> AdvisorReport:
+    """Analyse a finished profiling run of ``app_name`` on ``sim``.
+
+    The simulation must have run with the app as the dominant workload and
+    *no* thermal governor, so the measured power reflects unconstrained
+    demand.
+    """
+    if sim.energy.elapsed_s <= warmup_s:
+        raise AnalysisError("profiling run too short for the warmup window")
+    app = sim.app(app_name)
+    lumped = params or lump_platform(sim.platform, sim.thermal)
+
+    soc_rails = [c.rail for c in sim.platform.clusters]
+    soc_rails += [sim.platform.gpu.rail, sim.platform.memory.rail]
+    sustained = 0.0
+    for rail in soc_rails:
+        times, watts = sim.traces.series(f"power.{rail}")
+        mask = times >= warmup_s
+        if not mask.any():
+            raise AnalysisError(f"no post-warmup samples on rail {rail!r}")
+        sustained += float(watts[mask].mean())
+
+    t_limit_k = celsius_to_kelvin(t_limit_c)
+    budget = safe_power_budget_w(lumped, t_limit_k)
+    hotspot_temp_k = sim.thermal.temperature_k(
+        sim.platform.big_cluster.thermal_node
+    )
+    p_dyn = max(sustained - lumped.leakage_w(hotspot_temp_k), 0.01)
+    report = analyze(lumped, p_dyn)
+    steady_c = (
+        None if report.stable_temp_k is None
+        else kelvin_to_celsius(report.stable_temp_k)
+    )
+    will_throttle = steady_c is None or steady_c > t_limit_c
+    scale = sustainable_frequency_fraction(lumped, t_limit_k, p_dyn)
+
+    fps_estimate = None
+    metrics = app.metrics()
+    if "median_fps" in metrics:
+        fps_estimate = metrics["median_fps"] * (scale if will_throttle else 1.0)
+
+    return AdvisorReport(
+        app=app_name,
+        t_limit_c=t_limit_c,
+        sustained_power_w=sustained,
+        safe_budget_w=budget,
+        steady_temp_c=steady_c,
+        will_throttle=will_throttle,
+        demand_scale=scale,
+        sustainable_fps_estimate=fps_estimate,
+    )
+
+
+def render_advice(report: AdvisorReport) -> str:
+    """Human-readable advisory text."""
+    lines = [
+        f"App {report.app!r} against a {report.t_limit_c:.0f} degC limit:",
+        f"  sustained SoC power: {report.sustained_power_w:.2f} W "
+        f"(safe budget {report.safe_budget_w:.2f} W, "
+        f"headroom {report.headroom_w:+.2f} W)",
+    ]
+    if report.steady_temp_c is None:
+        lines.append("  steady state: THERMAL RUNAWAY at this demand")
+    else:
+        lines.append(f"  steady-state temperature: {report.steady_temp_c:.1f} degC")
+    if report.will_throttle:
+        lines.append(
+            f"  verdict: WILL be throttled; shrink demand to "
+            f"~{report.demand_scale * 100.0:.0f}% to run sustainably"
+        )
+        if report.sustainable_fps_estimate is not None:
+            lines.append(
+                f"  sustainable frame rate estimate: "
+                f"~{report.sustainable_fps_estimate:.0f} FPS"
+            )
+    else:
+        lines.append("  verdict: fits the thermal envelope; no throttling expected")
+    return "\n".join(lines)

@@ -1,0 +1,368 @@
+"""The application-aware thermal governor (Section IV.B).
+
+Every control period (100 ms by default) the governor, running as a
+*userspace* daemon against /sys and /proc:
+
+1. reads the per-rail power sensors and totals the draw;
+2. subtracts the modelled leakage at the current hotspot temperature to
+   estimate the dynamic power, and runs the fixed-point stability analysis;
+3. if the stable fixed-point temperature exceeds the thermal limit (or no
+   fixed point exists at all) *and* the predicted time to violation is
+   below the user horizon, it identifies the most power-hungry process over
+   a one-second utilisation window — skipping processes registered as
+   real-time — and migrates it to the LITTLE cluster.
+
+Unlike the stock governors of Section III, nothing else is throttled: every
+other app keeps running at full performance.
+
+An optional extension (off by default, matching the paper) migrates
+processes back to the big cluster once ample thermal headroom returns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.calibration import lump_platform
+from repro.core.fixed_point import StabilityClass, analyze
+from repro.core.registry import RealTimeRegistry
+from repro.core.stability import LumpedThermalParams
+from repro.core.time_to_fixed_point import time_to_temperature_s
+from repro.errors import ConfigurationError, SysfsError
+from repro.kernel.kernel import UserspaceApi
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class GovernorConfig:
+    """Tunables of the application-aware governor."""
+
+    t_limit_c: float = 85.0
+    horizon_s: float = 60.0
+    window_s: float = 1.0
+    period_s: float = 0.1
+    #: False turns off the fixed-point prediction: the governor then acts
+    #: only once the measured temperature crosses the limit (the reactive
+    #: baseline the ablation benchmarks compare against).
+    predictive: bool = True
+    #: How to throttle the offender: "migrate" moves it to the LITTLE
+    #: cluster (the paper's mechanism); "duty_cycle" halves its CPU
+    #: bandwidth quota in place (an in-place selective-throttling variant).
+    action: str = "migrate"
+    #: Lowest quota the duty-cycle action may impose.
+    min_quota: float = 0.125
+    migrate_back: bool = False
+    back_margin_c: float = 8.0
+    back_dwell_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0.0 or self.window_s <= 0.0 or self.horizon_s <= 0.0:
+            raise ConfigurationError("governor periods must be positive")
+        if self.window_s < self.period_s:
+            raise ConfigurationError("window must be at least one period")
+        if self.action not in ("migrate", "duty_cycle"):
+            raise ConfigurationError(f"unknown governor action {self.action!r}")
+        if not 0.0 < self.min_quota <= 1.0:
+            raise ConfigurationError("min_quota must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One governor action, for post-hoc analysis."""
+
+    time_s: float
+    pid: int
+    name: str
+    direction: str  # "to_little" or "to_big"
+    attributed_power_w: float
+    predicted_stable_temp_c: float | None
+    time_to_violation_s: float
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One control-period analysis outcome."""
+
+    time_s: float
+    p_total_w: float
+    p_dyn_w: float
+    temp_c: float
+    classification: StabilityClass
+    stable_temp_c: float | None
+    time_to_violation_s: float
+
+
+@dataclass
+class _UtilSample:
+    time_s: float
+    runtime_s: Mapping[int, float]
+    cluster: Mapping[int, str]
+
+
+class ApplicationAwareGovernor:
+    """Userspace daemon implementing the paper's proposed control algorithm."""
+
+    def __init__(
+        self,
+        api: UserspaceApi,
+        params: LumpedThermalParams,
+        power_paths: Mapping[str, str],
+        cluster_rails: Mapping[str, str],
+        temp_path: str,
+        config: GovernorConfig | None = None,
+    ) -> None:
+        if not power_paths:
+            raise ConfigurationError("governor needs at least one power sensor path")
+        self._api = api
+        self.params = params
+        self.config = config or GovernorConfig()
+        self._power_paths = dict(power_paths)
+        self._cluster_rails = dict(cluster_rails)
+        self._temp_path = temp_path
+        self.registry = RealTimeRegistry()
+        self._samples: deque[_UtilSample] = deque()
+        self._migrated: list[int] = []
+        self._cool_since_s: float | None = None
+        self.events: list[MigrationEvent] = []
+        self.predictions: list[Prediction] = []
+
+    # ------------------------------------------------------------- helpers
+
+    @classmethod
+    def for_simulation(
+        cls,
+        sim,
+        config: GovernorConfig | None = None,
+        sensor: str | None = None,
+        params: LumpedThermalParams | None = None,
+    ) -> "ApplicationAwareGovernor":
+        """Build a governor wired to a :class:`repro.sim.engine.Simulation`.
+
+        Discovers the power-sensor and thermal-zone paths exactly the way a
+        deployment script would: by scanning /sys.
+        """
+        platform = sim.platform
+        api = sim.kernel.userspace_api()
+        rails = [c.rail for c in platform.clusters]
+        rails += [platform.gpu.rail, platform.memory.rail]
+        power_paths = {
+            rail: f"/sys/class/power_sensors/{rail}/power_w" for rail in rails
+        }
+        sensor_name = sensor or platform.sensors[0].name
+        for spec in platform.sensors:
+            if spec.node == platform.big_cluster.thermal_node:
+                sensor_name = sensor or spec.name
+                break
+        temp_path = None
+        for i in range(32):
+            path = f"/sys/class/thermal/thermal_zone{i}/type"
+            if not api.fs.exists(path):
+                break
+            if api.fs.read(path).strip() == sensor_name:
+                temp_path = f"/sys/class/thermal/thermal_zone{i}/temp"
+                break
+        if temp_path is None:
+            raise ConfigurationError(f"no thermal zone of type {sensor_name!r}")
+        lumped = params or lump_platform(platform, sim.thermal)
+        cluster_rails = {c.name: c.rail for c in platform.clusters}
+        return cls(api, lumped, power_paths, cluster_rails, temp_path, config)
+
+    def install(self, kernel) -> None:
+        """Register as a periodic userspace daemon on ``kernel``."""
+        kernel.register_daemon(
+            "app-aware-governor", self.config.period_s, self.run
+        )
+
+    # ------------------------------------------------------- measurements
+
+    def _read_rail_powers_w(self) -> dict[str, float]:
+        powers = {}
+        for rail, path in self._power_paths.items():
+            powers[rail] = self._api.fs.read_float(path)
+        return powers
+
+    def _read_temp_c(self) -> float:
+        return self._api.fs.read_int(self._temp_path) / 1000.0
+
+    def _snapshot_utilization(self, now_s: float) -> None:
+        runtime: dict[int, float] = {}
+        cluster: dict[int, str] = {}
+        for pid in self._api.pids():
+            try:
+                text = self._api.fs.read(f"/proc/{pid}/sched")
+            except SysfsError:
+                continue
+            rt_ms = None
+            cl = None
+            for line in text.splitlines():
+                if line.startswith("se.sum_exec_runtime"):
+                    rt_ms = float(line.split(":", 1)[1])
+                elif line.startswith("current_cluster"):
+                    cl = line.split(":", 1)[1].strip()
+            if rt_ms is None or cl is None:
+                continue
+            runtime[pid] = rt_ms / 1000.0
+            cluster[pid] = cl
+        self._samples.append(_UtilSample(now_s, runtime, cluster))
+        horizon = now_s - self.config.window_s - 1e-9
+        while len(self._samples) > 2 and self._samples[1].time_s <= horizon:
+            self._samples.popleft()
+
+    def _window_deltas(self) -> tuple[dict[int, float], dict[int, str]]:
+        """Per-pid busy core-seconds over the window, plus current cluster."""
+        if len(self._samples) < 2:
+            return {}, {}
+        first, last = self._samples[0], self._samples[-1]
+        deltas = {}
+        for pid, runtime in last.runtime_s.items():
+            before = first.runtime_s.get(pid, 0.0)
+            delta = runtime - before
+            if delta > 0.0:
+                deltas[pid] = delta
+        return deltas, dict(last.cluster)
+
+    def _attribute_power_w(self) -> dict[int, float]:
+        """Average-utilisation power attribution over the window (paper's
+        one-second filter against momentary peaks)."""
+        deltas, clusters = self._window_deltas()
+        if not deltas:
+            return {}
+        rail_powers = self._read_rail_powers_w()
+        by_cluster: dict[str, float] = {}
+        for pid, delta in deltas.items():
+            by_cluster[clusters[pid]] = by_cluster.get(clusters[pid], 0.0) + delta
+        attributed = {}
+        for pid, delta in deltas.items():
+            cl = clusters[pid]
+            rail = self._cluster_rails.get(cl)
+            if rail is None or by_cluster[cl] <= 0.0:
+                continue
+            attributed[pid] = rail_powers.get(rail, 0.0) * delta / by_cluster[cl]
+        return attributed
+
+    # ------------------------------------------------------------ control
+
+    def run(self, now_s: float) -> None:
+        """One control period: measure, analyse, act."""
+        self._snapshot_utilization(now_s)
+        rail_powers = self._read_rail_powers_w()
+        p_total = sum(rail_powers.values())
+        temp_c = self._read_temp_c()
+        temp_k = celsius_to_kelvin(temp_c)
+        p_dyn = max(p_total - self.params.leakage_w(temp_k), 0.01)
+
+        report = analyze(self.params, p_dyn)
+        t_limit_k = celsius_to_kelvin(self.config.t_limit_c)
+        violation_predicted = (
+            report.classification is StabilityClass.RUNAWAY
+            or (report.stable_temp_k is not None and report.stable_temp_k > t_limit_k)
+        )
+        t_violation = float("inf")
+        if violation_predicted:
+            if temp_k >= t_limit_k:
+                t_violation = 0.0
+            else:
+                t_violation = time_to_temperature_s(
+                    self.params, p_dyn, temp_k, t_limit_k
+                )
+        stable_c = (
+            kelvin_to_celsius(report.stable_temp_k)
+            if report.stable_temp_k is not None
+            else None
+        )
+        self.predictions.append(
+            Prediction(
+                now_s, p_total, p_dyn, temp_c, report.classification,
+                stable_c, t_violation,
+            )
+        )
+
+        if self.config.predictive:
+            must_act = violation_predicted and t_violation < self.config.horizon_s
+        else:
+            must_act = temp_c >= self.config.t_limit_c
+        if must_act:
+            self._cool_since_s = None
+            self._act(now_s, stable_c, t_violation)
+            return
+        if self.config.migrate_back and self._migrated:
+            self._maybe_migrate_back(now_s, temp_c, stable_c, t_violation)
+
+    def _act(
+        self, now_s: float, stable_c: float | None, t_violation: float
+    ) -> None:
+        attributed = self._attribute_power_w()
+        big = self._api.big_cluster
+        little = self._api.little_cluster
+        candidates = [
+            (watts, pid)
+            for pid, watts in attributed.items()
+            if not self.registry.is_protected(pid)
+        ]
+        # Only processes on the big cluster can be demoted further.
+        deltas, clusters = self._window_deltas()
+        candidates = [
+            (w, pid) for (w, pid) in candidates if clusters.get(pid) == big
+        ]
+        if not candidates:
+            return
+        watts, pid = max(candidates)
+        if self.config.action == "duty_cycle":
+            current = self._api.cpu_quota(pid)
+            new_quota = max(current / 2.0, self.config.min_quota)
+            if new_quota >= current - 1e-12:
+                return  # already at the floor: nothing more to take
+            self._api.set_cpu_quota(pid, new_quota)
+            direction = f"quota_{new_quota:g}"
+        else:
+            self._api.set_affinity(pid, little)
+            self._migrated.append(pid)
+            direction = "to_little"
+        self.events.append(
+            MigrationEvent(
+                time_s=now_s,
+                pid=pid,
+                name=self._api.process_name(pid),
+                direction=direction,
+                attributed_power_w=watts,
+                predicted_stable_temp_c=stable_c,
+                time_to_violation_s=t_violation,
+            )
+        )
+
+    def _maybe_migrate_back(
+        self, now_s: float, temp_c: float, stable_c: float | None,
+        t_violation: float,
+    ) -> None:
+        cool = (
+            stable_c is not None
+            and stable_c < self.config.t_limit_c - self.config.back_margin_c
+            and temp_c < self.config.t_limit_c - self.config.back_margin_c
+        )
+        if not cool:
+            self._cool_since_s = None
+            return
+        if self._cool_since_s is None:
+            self._cool_since_s = now_s
+            return
+        if now_s - self._cool_since_s < self.config.back_dwell_s:
+            return
+        pid = self._migrated.pop()
+        self._cool_since_s = None
+        try:
+            self._api.set_affinity(pid, self._api.big_cluster)
+        except Exception:
+            return  # the process exited; nothing to undo
+        self.events.append(
+            MigrationEvent(
+                time_s=now_s,
+                pid=pid,
+                name=self._api.process_name(pid),
+                direction="to_big",
+                attributed_power_w=0.0,
+                predicted_stable_temp_c=stable_c,
+                time_to_violation_s=t_violation,
+            )
+        )

@@ -1,0 +1,86 @@
+"""Multi-hotspot stability analysis (extension).
+
+The paper's lumped analysis tracks one hotspot.  On a real SoC the binding
+constraint can move — a GPU-heavy workload is limited by the GPU sensor,
+a CPU-heavy one by the big cluster.  This module runs the Section IV.A
+analysis once per candidate hotspot node, each with its own effective
+thermal resistance from the same rail-power mix, and reports which node
+binds (hits the highest steady state, or runs away first).
+
+Approximation: the total leakage fit is shared across nodes (leakage is
+evaluated at the hotspot temperature), which is conservative for the
+hottest node and slightly pessimistic for the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.core.calibration import lump_platform
+from repro.core.fixed_point import FixedPointReport, StabilityClass, analyze
+from repro.core.stability import LumpedThermalParams
+from repro.errors import StabilityError
+from repro.soc.platform import PlatformSpec
+from repro.thermal.model import ThermalModel
+
+
+@dataclass(frozen=True)
+class HotspotReport:
+    """Stability analysis of one candidate hotspot node."""
+
+    node: str
+    params: LumpedThermalParams
+    report: FixedPointReport
+
+
+def candidate_nodes(platform: PlatformSpec) -> tuple[str, ...]:
+    """Component-bearing thermal nodes, deduplicated in platform order."""
+    nodes = []
+    for spec in (*platform.clusters, platform.gpu, platform.memory):
+        if spec.thermal_node not in nodes:
+            nodes.append(spec.thermal_node)
+    return tuple(nodes)
+
+
+def per_node_analysis(
+    platform: PlatformSpec,
+    model: ThermalModel,
+    p_dyn_w: float,
+    rail_shares: Mapping[str, float] | None = None,
+) -> dict[str, HotspotReport]:
+    """Run the fixed-point analysis against every candidate hotspot."""
+    out: dict[str, HotspotReport] = {}
+    for node in candidate_nodes(platform):
+        params = lump_platform(platform, model, node=node, rail_shares=rail_shares)
+        out[node] = HotspotReport(
+            node=node, params=params, report=analyze(params, p_dyn_w)
+        )
+    return out
+
+
+def binding_hotspot(reports: Mapping[str, HotspotReport]) -> HotspotReport:
+    """The node that limits the system: first runaway, else hottest stable."""
+    if not reports:
+        raise StabilityError("no hotspot reports to compare")
+    runaways = [
+        r for r in reports.values()
+        if r.report.classification is StabilityClass.RUNAWAY
+    ]
+    if runaways:
+        # All runaway nodes are equivalent failures; pick the largest-R one
+        # (it would have diverged first).
+        return max(runaways, key=lambda r: r.params.r_k_per_w)
+    return max(reports.values(), key=lambda r: r.report.stable_temp_k)
+
+
+def safe_everywhere(
+    reports: Mapping[str, HotspotReport], t_limit_k: float
+) -> bool:
+    """Whether every hotspot's stable fixed point respects the limit."""
+    for r in reports.values():
+        if r.report.stable_temp_k is None:
+            return False
+        if r.report.stable_temp_k > t_limit_k:
+            return False
+    return True

@@ -1,0 +1,194 @@
+"""QoS-tracking DVFS controller — the related-work baseline (extension).
+
+The paper's Section II discusses closed-loop QoS managers (QScale, MAESTRO:
+Sahin & Coskun; cooperative CPU-GPU scaling: Prakash et al.).  Their common
+shape: track a target frame rate with per-domain DVFS and back off when the
+temperature approaches the limit.  Crucially, such controllers throttle the
+*foreground* pipeline itself under thermal pressure, whereas the paper's
+governor removes the background offender instead.
+
+This implementation is a faithful member of that family, used by the
+ablation benchmarks as a comparison point.  It is a pure userspace daemon:
+it pins frequencies by writing ``scaling_min_freq``/``scaling_max_freq``
+(and the devfreq equivalents) — a standard technique that needs no special
+kernel support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.frames import FpsMeter
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import GPU_DOMAIN, UserspaceApi
+from repro.kernel.wiring import policy_dir
+
+
+@dataclass(frozen=True)
+class QosConfig:
+    """Tunables of the QoS controller."""
+
+    target_fps: float
+    t_limit_c: float = 85.0
+    thermal_margin_c: float = 3.0
+    period_s: float = 0.5
+    fps_window_s: float = 2.0
+    deadband: float = 0.05  # relative FPS error tolerated without action
+
+    def __post_init__(self) -> None:
+        if self.target_fps <= 0.0:
+            raise ConfigurationError("target_fps must be positive")
+        if self.period_s <= 0.0 or self.fps_window_s <= 0.0:
+            raise ConfigurationError("controller periods must be positive")
+        if not 0.0 <= self.deadband < 1.0:
+            raise ConfigurationError("deadband must be in [0, 1)")
+
+
+@dataclass
+class QosAction:
+    """One controller decision, for post-hoc analysis."""
+
+    time_s: float
+    fps: float
+    temp_c: float
+    direction: str  # "up", "down", "thermal_down", "hold"
+    levels: dict = field(default_factory=dict)
+
+
+class QosController:
+    """Step-based QoS feedback over the big-CPU and GPU frequency ladders."""
+
+    def __init__(
+        self,
+        api: UserspaceApi,
+        fps_meter: FpsMeter,
+        temp_path: str,
+        config: QosConfig,
+        cpu_policy_dir: str,
+        gpu_dir: str = "/sys/class/devfreq/gpu",
+    ) -> None:
+        self._api = api
+        self._meter = fps_meter
+        self._temp_path = temp_path
+        self.config = config
+        self._cpu_dir = cpu_policy_dir
+        self._gpu_dir = gpu_dir
+        fs = api.fs
+        self._cpu_freqs_khz = [
+            int(tok) for tok in
+            fs.read(f"{cpu_policy_dir}/scaling_available_frequencies").split()
+        ]
+        self._gpu_freqs_hz = [
+            int(tok) for tok in
+            fs.read(f"{gpu_dir}/available_frequencies").split()
+        ]
+        self._cpu_level = len(self._cpu_freqs_khz) - 1
+        self._gpu_level = len(self._gpu_freqs_hz) - 1
+        self.actions: list[QosAction] = []
+        self._apply()
+
+    @classmethod
+    def for_simulation(
+        cls, sim, app, config: QosConfig, sensor: str | None = None
+    ) -> "QosController":
+        """Wire a controller to a simulation and a frame app's FPS meter."""
+        platform = sim.platform
+        api = sim.kernel.userspace_api()
+        sensor_name = sensor
+        if sensor_name is None:
+            for spec in platform.sensors:
+                if spec.node == platform.big_cluster.thermal_node:
+                    sensor_name = spec.name
+                    break
+            else:
+                sensor_name = platform.sensors[0].name
+        temp_path = None
+        for i in range(32):
+            path = f"/sys/class/thermal/thermal_zone{i}/type"
+            if not api.fs.exists(path):
+                break
+            if api.fs.read(path).strip() == sensor_name:
+                temp_path = f"/sys/class/thermal/thermal_zone{i}/temp"
+                break
+        if temp_path is None:
+            raise ConfigurationError(f"no thermal zone of type {sensor_name!r}")
+        return cls(
+            api,
+            app.fps,
+            temp_path,
+            config,
+            cpu_policy_dir=policy_dir(sim.kernel, platform.big_cluster.name),
+        )
+
+    def install(self, kernel) -> None:
+        """Register as a periodic userspace daemon."""
+        kernel.register_daemon("qos-controller", self.config.period_s, self.run)
+
+    # ------------------------------------------------------------ actuation
+
+    def _pin_cpu(self, khz: int) -> None:
+        fs = self._api.fs
+        current_min = fs.read_int(f"{self._cpu_dir}/scaling_min_freq")
+        if khz >= current_min:
+            fs.write(f"{self._cpu_dir}/scaling_max_freq", khz)
+            fs.write(f"{self._cpu_dir}/scaling_min_freq", khz)
+        else:
+            fs.write(f"{self._cpu_dir}/scaling_min_freq", khz)
+            fs.write(f"{self._cpu_dir}/scaling_max_freq", khz)
+
+    def _pin_gpu(self, hz: int) -> None:
+        fs = self._api.fs
+        current_min = fs.read_int(f"{self._gpu_dir}/min_freq")
+        if hz >= current_min:
+            fs.write(f"{self._gpu_dir}/max_freq", hz)
+            fs.write(f"{self._gpu_dir}/min_freq", hz)
+        else:
+            fs.write(f"{self._gpu_dir}/min_freq", hz)
+            fs.write(f"{self._gpu_dir}/max_freq", hz)
+
+    def _apply(self) -> None:
+        self._pin_cpu(self._cpu_freqs_khz[self._cpu_level])
+        self._pin_gpu(self._gpu_freqs_hz[self._gpu_level])
+
+    def _step(self, delta: int) -> None:
+        self._cpu_level = min(
+            max(self._cpu_level + delta, 0), len(self._cpu_freqs_khz) - 1
+        )
+        self._gpu_level = min(
+            max(self._gpu_level + delta, 0), len(self._gpu_freqs_hz) - 1
+        )
+        self._apply()
+
+    # -------------------------------------------------------------- control
+
+    def _achieved_fps(self, now_s: float) -> float:
+        start = max(now_s - self.config.fps_window_s, 0.0)
+        _, fps = self._meter.fps_series(start_s=start, end_s=now_s)
+        if fps.size == 0:
+            return 0.0
+        return float(fps.mean())
+
+    def run(self, now_s: float) -> None:
+        """One control period."""
+        if now_s < self.config.fps_window_s:
+            return  # no complete FPS window yet
+        fps = self._achieved_fps(now_s)
+        temp_c = self._api.fs.read_int(self._temp_path) / 1000.0
+        err = (self.config.target_fps - fps) / self.config.target_fps
+        if temp_c > self.config.t_limit_c - self.config.thermal_margin_c:
+            direction = "thermal_down"
+            self._step(-1)
+        elif err > self.config.deadband:
+            direction = "up"
+            self._step(+1)
+        elif err < -2.0 * self.config.deadband:
+            direction = "down"
+            self._step(-1)
+        else:
+            direction = "hold"
+        self.actions.append(
+            QosAction(
+                time_s=now_s, fps=fps, temp_c=temp_c, direction=direction,
+                levels={"cpu": self._cpu_level, "gpu": self._gpu_level},
+            )
+        )

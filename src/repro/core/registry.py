@@ -1,0 +1,39 @@
+"""Real-time process registry.
+
+The paper: "The algorithm also lets processes with real-time requirements
+register themselves so that they are not penalized."  Foreground apps (the
+3DMark benchmark in Section IV.C) register their pids; the governor never
+migrates a registered process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RealTimeRegistry:
+    """Set of protected pids with human-readable labels."""
+
+    def __init__(self) -> None:
+        self._protected: dict[int, str] = {}
+
+    def register(self, pid: int, label: str = "") -> None:
+        """Protect ``pid`` from governor throttling/migration."""
+        if pid < 0:
+            raise ConfigurationError(f"invalid pid {pid}")
+        self._protected[int(pid)] = label
+
+    def unregister(self, pid: int) -> None:
+        """Remove protection (no-op if the pid is not registered)."""
+        self._protected.pop(int(pid), None)
+
+    def is_protected(self, pid: int) -> bool:
+        """Whether the governor must leave ``pid`` alone."""
+        return int(pid) in self._protected
+
+    def pids(self) -> tuple[int, ...]:
+        """All protected pids, sorted."""
+        return tuple(sorted(self._protected))
+
+    def __len__(self) -> int:
+        return len(self._protected)

@@ -1,0 +1,127 @@
+"""Data-driven skin-temperature prediction (extension, after ref [5]).
+
+Egilmez et al. (DATE 2015, the paper's ref [5]) fit a linear predictor for
+the phone's *skin* temperature — the quantity the user actually feels —
+from on-die observables, then drive DVFS with it.  This module implements
+that identification step on simulation traces:
+
+    T_skin[k+1] = a * T_skin[k] + b * T_pkg[k] + c * P[k] + d
+
+fitted by least squares on ZOH-aligned channels.  Because the skin node lags
+the package by tens of seconds (see ``experiments.skin``), the predictor
+gives a governor early warning long before the shell is hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder, resample_zoh
+
+
+@dataclass(frozen=True)
+class SkinModel:
+    """Fitted coefficients of the one-step skin predictor."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+    dt_s: float
+    rmse_c: float
+
+    def step(self, t_skin_c: float, t_pkg_c: float, power_w: float) -> float:
+        """One prediction step of ``dt_s`` seconds."""
+        return self.a * t_skin_c + self.b * t_pkg_c + self.c * power_w + self.d
+
+    def forecast(
+        self,
+        t_skin_c: float,
+        t_pkg_c: float,
+        power_w: float,
+        horizon_s: float,
+    ) -> float:
+        """Skin temperature after ``horizon_s`` with held package/power."""
+        if horizon_s < 0.0:
+            raise AnalysisError("horizon must be non-negative")
+        steps = int(round(horizon_s / self.dt_s))
+        value = t_skin_c
+        for _ in range(steps):
+            value = self.step(value, t_pkg_c, power_w)
+        return value
+
+    def steady_state_c(self, t_pkg_c: float, power_w: float) -> float:
+        """Fixed point of the recursion for held package temp and power."""
+        if not 0.0 < self.a < 1.0:
+            raise AnalysisError(
+                f"non-contracting skin model (a={self.a}); cannot extrapolate"
+            )
+        return (self.b * t_pkg_c + self.c * power_w + self.d) / (1.0 - self.a)
+
+    def time_to_limit_s(
+        self,
+        t_skin_c: float,
+        t_pkg_c: float,
+        power_w: float,
+        limit_c: float,
+        max_horizon_s: float = 3600.0,
+    ) -> float:
+        """Time until the predicted skin temperature crosses ``limit_c``.
+
+        Returns ``inf`` when the held-input steady state stays below it.
+        """
+        if t_skin_c >= limit_c:
+            return 0.0
+        if self.steady_state_c(t_pkg_c, power_w) <= limit_c:
+            return float("inf")
+        value = t_skin_c
+        elapsed = 0.0
+        while elapsed < max_horizon_s:
+            value = self.step(value, t_pkg_c, power_w)
+            elapsed += self.dt_s
+            if value >= limit_c:
+                return elapsed
+        return float("inf")
+
+
+def fit_skin_model(
+    traces: TraceRecorder,
+    skin_channel: str = "temp.skin",
+    pkg_channel: str = "temp.soc",
+    power_channel: str = "power.total",
+    dt_s: float = 1.0,
+) -> SkinModel:
+    """Identify a :class:`SkinModel` from recorded channels."""
+    if dt_s <= 0.0:
+        raise AnalysisError("dt must be positive")
+    skin_t, skin_v = traces.series(skin_channel)
+    if skin_t.size < 10:
+        raise AnalysisError("need at least 10 skin samples to fit")
+    start, end = float(skin_t[0]), float(skin_t[-1])
+    grid = np.arange(start, end, dt_s)
+    if grid.size < 10:
+        raise AnalysisError("recording too short for the requested dt")
+    skin = resample_zoh(skin_t, skin_v, grid)
+    pkg_t, pkg_v = traces.series(pkg_channel)
+    pkg = resample_zoh(pkg_t, pkg_v, grid)
+    pow_t, pow_v = traces.series(power_channel)
+    power = resample_zoh(pow_t, pow_v, grid)
+
+    design = np.column_stack(
+        [skin[:-1], pkg[:-1], power[:-1], np.ones(grid.size - 1)]
+    )
+    target = skin[1:]
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    predicted = design @ coeffs
+    rmse = float(np.sqrt(np.mean((predicted - target) ** 2)))
+    return SkinModel(
+        a=float(coeffs[0]),
+        b=float(coeffs[1]),
+        c=float(coeffs[2]),
+        d=float(coeffs[3]),
+        dt_s=dt_s,
+        rmse_c=rmse,
+    )

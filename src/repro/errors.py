@@ -1,0 +1,36 @@
+"""Exception hierarchy shared by every ``repro`` subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at an API boundary.  Subsystems raise the most specific subclass
+that applies; none of these wrap third-party exceptions silently.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A platform, model or governor was configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an inconsistent state."""
+
+
+class SysfsError(ReproError):
+    """A virtual sysfs/procfs node was accessed incorrectly."""
+
+
+class SchedulingError(ReproError):
+    """A task or scheduler operation was invalid (unknown pid, bad affinity)."""
+
+
+class AnalysisError(ReproError):
+    """A trace analysis was requested on data that cannot support it."""
+
+
+class StabilityError(ReproError):
+    """The power-temperature stability analysis received invalid parameters."""

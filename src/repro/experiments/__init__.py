@@ -1,0 +1,19 @@
+"""One module per paper artefact: Table I/II, Figures 1-9, ablations."""
+
+from repro.experiments import (
+    ablations,
+    daq_power,
+    fig7,
+    interference,
+    nexus,
+    nexus_governor,
+    odroid,
+    skin,
+    validation,
+)
+
+__all__ = [
+    "ablations", "daq_power", "fig7", "interference", "nexus",
+    "nexus_governor", "odroid",
+    "skin", "validation",
+]

@@ -1,0 +1,264 @@
+"""Ablation studies (extensions beyond the paper's figures).
+
+Two families:
+
+* governor-parameter ablations — how the horizon, window and control period
+  of the application-aware governor affect when it migrates, the resulting
+  peak temperature, and the foreground frame rate;
+* model ablations — how the critical power moves with ambient temperature
+  and thermal resistance, and the safe power budget across thermal limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.gfxbench import ThreeDMarkApp
+from repro.apps.mibench import basicmath_large
+from repro.core.budget import safe_power_budget_w
+from repro.core.fixed_point import critical_power_w
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.core.stability import ODROID_XU3_LUMPED, LumpedThermalParams
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.units import celsius_to_kelvin
+
+DEFAULT_SEED = 3
+
+
+@dataclass(frozen=True)
+class GovernorAblationPoint:
+    """Outcome of one governor configuration on the 3DMark+BML scenario."""
+
+    horizon_s: float
+    window_s: float
+    period_s: float
+    first_migration_s: float | None
+    peak_temp_c: float
+    gt1_fps: float
+    n_migrations: int
+    time_above_limit_s: float = 0.0
+    predictive: bool = True
+
+
+@lru_cache(maxsize=64)
+def governor_point(
+    horizon_s: float,
+    window_s: float = 1.0,
+    period_s: float = 0.1,
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 150.0,
+    t_limit_c: float = 85.0,
+    predictive: bool = True,
+) -> GovernorAblationPoint:
+    """Run 3DMark GT1 + BML under one governor configuration."""
+    platform = odroid_xu3()
+    mark = ThreeDMarkApp(gt1_duration_s=duration_s, gt2_duration_s=10.0)
+    bml = basicmath_large()
+    sim = Simulation(platform, [mark, bml], kernel_config=KernelConfig(), seed=seed)
+    config = GovernorConfig(
+        t_limit_c=t_limit_c, horizon_s=horizon_s, window_s=window_s,
+        period_s=period_s, predictive=predictive,
+    )
+    governor = ApplicationAwareGovernor.for_simulation(sim, config)
+    for pid in mark.pids():
+        governor.registry.register(pid, mark.name)
+    governor.install(sim.kernel)
+    sim.run(duration_s)
+    times, temps = sim.traces.series("temp.max")
+    record_dt = float(times[1] - times[0]) if len(times) > 1 else 0.0
+    above = float((temps > t_limit_c).sum()) * record_dt
+    first = governor.events[0].time_s if governor.events else None
+    return GovernorAblationPoint(
+        horizon_s=horizon_s,
+        window_s=window_s,
+        period_s=period_s,
+        first_migration_s=first,
+        peak_temp_c=float(np.max(temps)),
+        gt1_fps=mark.fps.median_fps(start_s=10.0, end_s=duration_s),
+        n_migrations=len(governor.events),
+        time_above_limit_s=above,
+        predictive=predictive,
+    )
+
+
+def horizon_sweep(
+    horizons_s: tuple[float, ...] = (10.0, 30.0, 60.0, 120.0),
+    seed: int = DEFAULT_SEED,
+) -> list[GovernorAblationPoint]:
+    """Earlier horizons migrate later; peak temperature grows accordingly."""
+    return [governor_point(h, seed=seed) for h in horizons_s]
+
+
+def predictive_vs_reactive(
+    t_limit_c: float = 78.0,
+    seed: int = DEFAULT_SEED,
+) -> tuple[GovernorAblationPoint, GovernorAblationPoint]:
+    """Head-to-head: the paper's predictive policy vs a reactive baseline.
+
+    The reactive governor performs the same migration but only *after* the
+    temperature has crossed the limit; the predictive one acts when the
+    fixed-point analysis says the violation is imminent.  Returns
+    (predictive, reactive) points on the 3DMark+BML scenario.
+    """
+    predictive = governor_point(
+        60.0, seed=seed, t_limit_c=t_limit_c, predictive=True
+    )
+    reactive = governor_point(
+        60.0, seed=seed, t_limit_c=t_limit_c, predictive=False
+    )
+    return predictive, reactive
+
+
+@dataclass(frozen=True)
+class PolicyComparisonPoint:
+    """Outcome of one thermal-management policy on the game+BML scenario."""
+
+    policy: str
+    fps_late: float
+    peak_temp_c: float
+    bml_progress_gcycles: float
+    actions: int
+
+
+def _game_plus_bml(seed: int):
+    from repro.apps.frames import FrameApp, FrameWorkload
+    from repro.apps.mibench import basicmath_large
+
+    game = FrameApp(
+        "game",
+        FrameWorkload(
+            cpu_cycles_per_frame=6e6, gpu_cycles_per_frame=8e6,
+            target_fps=60.0, sigma=0.05, pipeline_depth=3,
+        ),
+    )
+    bml = basicmath_large()
+    sim = Simulation(
+        odroid_xu3(), [game, bml], kernel_config=KernelConfig(), seed=seed
+    )
+    return sim, game, bml
+
+
+@lru_cache(maxsize=8)
+def qos_vs_proposed(
+    t_limit_c: float = 62.0,
+    seed: int = DEFAULT_SEED,
+    duration_s: float = 120.0,
+) -> tuple[PolicyComparisonPoint, PolicyComparisonPoint]:
+    """The paper's governor vs the related-work QoS-DVFS baseline.
+
+    Both manage the same scenario — a 60 FPS game plus a background BML —
+    with the same thermal limit.  The QoS controller can only throttle the
+    foreground pipeline; the proposed governor removes the offender instead.
+    Returns (proposed, qos).
+    """
+    from repro.core.qos import QosConfig, QosController
+
+    # --- proposed application-aware governor ------------------------------
+    sim_p, game_p, bml_p = _game_plus_bml(seed)
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim_p, GovernorConfig(t_limit_c=t_limit_c, horizon_s=60.0)
+    )
+    for pid in game_p.pids():
+        governor.registry.register(pid, "game")
+    governor.install(sim_p.kernel)
+    sim_p.run(duration_s)
+    _, temps_p = sim_p.traces.series("temp.max")
+    proposed = PolicyComparisonPoint(
+        policy="proposed",
+        fps_late=game_p.fps.median_fps(start_s=duration_s * 0.75),
+        peak_temp_c=float(np.max(temps_p)),
+        bml_progress_gcycles=bml_p.progress_gigacycles(),
+        actions=len(governor.events),
+    )
+
+    # --- QoS-DVFS baseline -------------------------------------------------
+    sim_q, game_q, bml_q = _game_plus_bml(seed)
+    controller = QosController.for_simulation(
+        sim_q, game_q, QosConfig(target_fps=60.0, t_limit_c=t_limit_c)
+    )
+    controller.install(sim_q.kernel)
+    sim_q.run(duration_s)
+    _, temps_q = sim_q.traces.series("temp.max")
+    qos = PolicyComparisonPoint(
+        policy="qos-dvfs",
+        fps_late=game_q.fps.median_fps(start_s=duration_s * 0.75),
+        peak_temp_c=float(np.max(temps_q)),
+        bml_progress_gcycles=bml_q.progress_gigacycles(),
+        actions=len(controller.actions),
+    )
+    return proposed, qos
+
+
+@lru_cache(maxsize=16)
+def _ambient_point(ambient_c: float, seed: int) -> GovernorAblationPoint:
+    platform = odroid_xu3()
+    mark = ThreeDMarkApp(gt1_duration_s=150.0, gt2_duration_s=10.0)
+    bml = basicmath_large()
+    sim = Simulation(
+        platform, [mark, bml], kernel_config=KernelConfig(), seed=seed,
+        ambient_c=ambient_c, initial_temp_c=ambient_c + 20.0,
+    )
+    config = GovernorConfig(t_limit_c=85.0, horizon_s=60.0)
+    governor = ApplicationAwareGovernor.for_simulation(sim, config)
+    for pid in mark.pids():
+        governor.registry.register(pid, mark.name)
+    governor.install(sim.kernel)
+    sim.run(150.0)
+    _, temps = sim.traces.series("temp.max")
+    first = governor.events[0].time_s if governor.events else None
+    return GovernorAblationPoint(
+        horizon_s=60.0, window_s=1.0, period_s=0.1,
+        first_migration_s=first,
+        peak_temp_c=float(np.max(temps)),
+        gt1_fps=mark.fps.median_fps(start_s=10.0, end_s=150.0),
+        n_migrations=len(governor.events),
+    )
+
+
+def ambient_sweep(
+    ambients_c: tuple[float, ...] = (15.0, 27.0, 40.0),
+    seed: int = DEFAULT_SEED,
+) -> list[tuple[float, GovernorAblationPoint]]:
+    """The governor across room temperatures: hotter rooms shrink the
+    margin, so the predictive migration fires earlier."""
+    return [(amb, _ambient_point(amb, seed)) for amb in ambients_c]
+
+
+def critical_power_vs_ambient(
+    ambients_c: tuple[float, ...] = (15.0, 25.0, 35.0, 45.0),
+    params: LumpedThermalParams = ODROID_XU3_LUMPED,
+) -> list[tuple[float, float]]:
+    """(ambient degC, critical power W) — hotter rooms run away sooner."""
+    out = []
+    for amb_c in ambients_c:
+        p = replace(params, t_ambient_k=celsius_to_kelvin(amb_c))
+        out.append((amb_c, critical_power_w(p)))
+    return out
+
+
+def critical_power_vs_resistance(
+    scales: tuple[float, ...] = (0.5, 0.75, 1.0, 1.25, 1.5),
+    params: LumpedThermalParams = ODROID_XU3_LUMPED,
+) -> list[tuple[float, float]]:
+    """(R scale, critical power W) — e.g. a fan halves R and lifts P_crit."""
+    out = []
+    for scale in scales:
+        p = replace(params, r_k_per_w=params.r_k_per_w * scale)
+        out.append((scale, critical_power_w(p)))
+    return out
+
+
+def safe_budget_vs_limit(
+    limits_c: tuple[float, ...] = (70.0, 80.0, 85.0, 90.0, 95.0),
+    params: LumpedThermalParams = ODROID_XU3_LUMPED,
+) -> list[tuple[float, float]]:
+    """(thermal limit degC, safe dynamic power W)."""
+    return [
+        (lim, safe_power_budget_w(params, celsius_to_kelvin(lim)))
+        for lim in limits_c
+    ]

@@ -1,0 +1,55 @@
+"""Battery-power study of the five apps (Section III instrumentation).
+
+The paper measures the Nexus 6P's battery power with an NI DAQ at 1 kHz.
+While the paper's figures focus on temperature and FPS, the power capture
+is the study's backbone; this experiment reports the measured mean battery
+power (and the energy-per-frame efficiency) for every app, throttled and
+unthrottled — the table a reader would produce from the same capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.experiments.nexus import DEFAULT_SEED, run_app
+from repro.apps.catalog import popular_app_names
+
+
+@dataclass(frozen=True)
+class PowerRow:
+    """Mean power and per-frame energy of one app under both governors."""
+
+    app: str
+    power_without_w: float
+    power_with_w: float
+    energy_per_frame_without_mj: float
+    energy_per_frame_with_mj: float
+
+    @property
+    def power_saving_pct(self) -> float:
+        """Battery-power reduction from throttling, in percent."""
+        return (1.0 - self.power_with_w / self.power_without_w) * 100.0
+
+
+@lru_cache(maxsize=4)
+def power_study(seed: int = DEFAULT_SEED) -> tuple[PowerRow, ...]:
+    """Run the DAQ power study across the whole catalog."""
+    rows = []
+    for name in popular_app_names():
+        base = run_app(name, False, seed)
+        throttled = run_app(name, True, seed)
+        rows.append(
+            PowerRow(
+                app=name,
+                power_without_w=base.mean_power_w,
+                power_with_w=throttled.mean_power_w,
+                energy_per_frame_without_mj=(
+                    base.mean_power_w / base.median_fps * 1000.0
+                ),
+                energy_per_frame_with_mj=(
+                    throttled.mean_power_w / throttled.median_fps * 1000.0
+                ),
+            )
+        )
+    return tuple(rows)

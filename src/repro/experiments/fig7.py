@@ -1,0 +1,59 @@
+"""Figure 7: fixed-point functions at three power levels.
+
+Regenerates the paper's illustration on the Odroid-XU3 lumped parameters:
+at 2 W the function has two roots (stable + unstable fixed points), at
+5.5 W the roots merge (critically stable), and at 8 W there are none
+(thermal runaway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fixed_point import FixedPointReport, analyze
+from repro.core.stability import (
+    ODROID_XU3_LUMPED,
+    FixedPointFunction,
+    LumpedThermalParams,
+)
+
+PAPER_POWERS_W = (2.0, 5.5, 8.0)
+
+
+@dataclass(frozen=True)
+class FixedPointCurve:
+    """One panel of Figure 7."""
+
+    p_dyn_w: float
+    x: np.ndarray
+    f: np.ndarray
+    report: FixedPointReport
+
+    @property
+    def n_roots(self) -> int:
+        """Number of fixed points (2, 1 or 0)."""
+        if self.report.stable_aux is None:
+            return 0
+        if abs(self.report.stable_aux - self.report.unstable_aux) < 1e-6:
+            return 1
+        return 2
+
+
+def figure7(
+    params: LumpedThermalParams = ODROID_XU3_LUMPED,
+    powers_w: tuple[float, ...] = PAPER_POWERS_W,
+    x_range: tuple[float, float] = (2.0, 6.0),
+    n_points: int = 201,
+) -> list[FixedPointCurve]:
+    """Evaluate the fixed-point function over the paper's auxiliary range."""
+    x = np.linspace(x_range[0], x_range[1], n_points)
+    curves = []
+    for p_dyn in powers_w:
+        func = FixedPointFunction.from_lumped(params, p_dyn)
+        f = np.array([func(xi) for xi in x])
+        curves.append(
+            FixedPointCurve(p_dyn_w=p_dyn, x=x, f=f, report=analyze(params, p_dyn))
+        )
+    return curves

@@ -1,0 +1,54 @@
+"""Interference matrix: which backgrounds hurt which foregrounds, and how.
+
+The paper's Section I motivates application-aware management with exactly
+this phenomenon: "if a background application increases the temperature,
+the governors decrease the frequency of all processors in the system."
+This experiment measures it on the phone model with the stock governor: a
+grid of foreground apps against background MiBench kernels, reporting the
+foreground's FPS loss and the added heat.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.analysis.interference import InterferenceResult, measure_interference
+from repro.apps.catalog import make_app
+from repro.apps.mibench import MIBENCH_SUITE
+from repro.experiments.nexus import nexus_thermal_config
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+DEFAULT_SEED = 3
+RUN_DURATION_S = 90.0
+FOREGROUNDS = ("stickman", "hangouts")
+BACKGROUNDS = ("bml", "fft", "dijkstra")
+
+
+@lru_cache(maxsize=32)
+def _run(foreground: str, background: str | None, seed: int) -> Simulation:
+    apps = [make_app(foreground)]
+    if background is not None:
+        apps.append(MIBENCH_SUITE[background](cluster="a57"))
+    sim = Simulation(
+        nexus6p(), apps,
+        kernel_config=KernelConfig(thermal=nexus_thermal_config()),
+        seed=seed,
+    )
+    sim.run(RUN_DURATION_S)
+    return sim
+
+
+@lru_cache(maxsize=4)
+def interference_matrix(
+    seed: int = DEFAULT_SEED,
+) -> dict[tuple[str, str], InterferenceResult]:
+    """(foreground, background) -> measured interference, stock governor."""
+    out: dict[tuple[str, str], InterferenceResult] = {}
+    for fg in FOREGROUNDS:
+        solo = _run(fg, None, seed)
+        for bg in BACKGROUNDS:
+            contended = _run(fg, bg, seed)
+            out[(fg, bg)] = measure_interference(solo, contended, fg, bg)
+    return out

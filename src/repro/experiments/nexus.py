@@ -1,0 +1,137 @@
+"""Section III experiments: popular apps on the Nexus 6P model.
+
+Each app runs twice — thermal governor disabled vs enabled — for 140 s (the
+x-range of the paper's temperature figures).  Results are cached per
+(app, throttling, seed) so the table and the per-app figures share runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.figures import Series
+from repro.analysis.residency import residency_fractions
+from repro.analysis.tables import percent_reduction
+from repro.apps.catalog import CATALOG, make_app, popular_app_names
+from repro.kernel.kernel import GPU_DOMAIN, KernelConfig, ThermalConfig
+from repro.kernel.thermal.zone import TripPoint
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+RUN_DURATION_S = 140.0
+DEFAULT_SEED = 3
+
+#: The stock phone policy: step-wise trips on the package sensor, cooling
+#: both CPU clusters and the GPU (what MSM thermal does on the real device).
+NEXUS_TRIP_C = 40.0
+
+
+def nexus_thermal_config() -> ThermalConfig:
+    """The default thermal governor configuration of the simulated phone."""
+    return ThermalConfig(
+        kind="step_wise",
+        sensor="pkg",
+        cooled=("a57", "a53", GPU_DOMAIN),
+        trips=(TripPoint(NEXUS_TRIP_C, hyst_c=1.5),),
+        polling_s=0.1,
+    )
+
+
+@dataclass(frozen=True)
+class NexusRun:
+    """Extracted results of one app run."""
+
+    app: str
+    throttled: bool
+    median_fps: float
+    temperature: Series            # package temperature over time (degC)
+    residency: dict[int, float]    # fractions by kHz
+    residency_domain: str          # "gpu" or "a57"
+    peak_temp_c: float
+    mean_power_w: float
+
+
+@lru_cache(maxsize=32)
+def run_app(name: str, throttled: bool, seed: int = DEFAULT_SEED) -> NexusRun:
+    """Run one catalog app on the phone, with or without the governor."""
+    entry = CATALOG[name]
+    platform = nexus6p()
+    app = make_app(name)
+    config = KernelConfig(
+        thermal=nexus_thermal_config() if throttled else None
+    )
+    sim = Simulation(platform, [app], kernel_config=config, seed=seed,
+                     enable_daq=True)
+    sim.run(RUN_DURATION_S)
+    times, temps = sim.traces.series("temp.soc")
+    domain = GPU_DOMAIN if entry.kind == "gpu" else "a57"
+    residency = residency_fractions(sim.kernel.policies[domain].time_in_state)
+    label = "with throttling" if throttled else "without throttling"
+    return NexusRun(
+        app=name,
+        throttled=throttled,
+        median_fps=app.fps.median_fps(start_s=5.0),
+        temperature=Series(label, times, temps),
+        residency=residency,
+        residency_domain=domain,
+        peak_temp_c=float(np.max(temps)),
+        mean_power_w=sim.daq.mean_power_w(start_s=5.0),
+    )
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table I."""
+
+    app: str
+    fps_without: float
+    fps_with: float
+    reduction_pct: float
+    paper_fps_without: float
+    paper_fps_with: float
+    paper_reduction_pct: float
+
+
+def table1(seed: int = DEFAULT_SEED) -> list[Table1Row]:
+    """Median frame rates with/without throttling for all five apps."""
+    rows = []
+    for name in popular_app_names():
+        entry = CATALOG[name]
+        base = run_app(name, False, seed)
+        throt = run_app(name, True, seed)
+        rows.append(
+            Table1Row(
+                app=name,
+                fps_without=base.median_fps,
+                fps_with=throt.median_fps,
+                reduction_pct=percent_reduction(base.median_fps, throt.median_fps),
+                paper_fps_without=entry.paper_fps_without,
+                paper_fps_with=entry.paper_fps_with,
+                paper_reduction_pct=percent_reduction(
+                    entry.paper_fps_without, entry.paper_fps_with
+                ),
+            )
+        )
+    return rows
+
+
+def temperature_profiles(
+    name: str, seed: int = DEFAULT_SEED
+) -> tuple[Series, Series]:
+    """Figure 1/3/5 data: (without throttling, with throttling) traces."""
+    return (
+        run_app(name, False, seed).temperature,
+        run_app(name, True, seed).temperature,
+    )
+
+
+def residency_comparison(
+    name: str, seed: int = DEFAULT_SEED
+) -> tuple[dict[int, float], dict[int, float], str]:
+    """Figure 2/4/6 data: (unthrottled, throttled, domain) residencies."""
+    base = run_app(name, False, seed)
+    throt = run_app(name, True, seed)
+    return base.residency, throt.residency, base.residency_domain

@@ -1,0 +1,91 @@
+"""Extension: the proposed governor on the *phone* model.
+
+The paper demonstrates the application-aware governor on the Odroid-XU3
+(where governors are easy to replace) and offers its Nexus measurements "as
+a baseline when evaluating future thermal management algorithms".  This
+experiment completes that loop on the simulated phone: a foreground
+video-call (Hangouts) plus a background sync service on the big cluster,
+under three policies:
+
+* ``none``     — no thermal management (upper performance bound, hot);
+* ``stock``    — the shipped step-wise trip governor (throttles everything);
+* ``proposed`` — the paper's governor: the sync task is migrated to the
+  LITTLE cores, the call is registered as real-time and left alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.catalog import make_app
+from repro.apps.mibench import BatchApp
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.errors import ConfigurationError
+from repro.experiments.nexus import nexus_thermal_config
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+DEFAULT_SEED = 3
+RUN_DURATION_S = 140.0
+POLICIES = ("none", "stock", "proposed")
+FOREGROUND = "hangouts"
+
+
+@dataclass(frozen=True)
+class PhonePolicyResult:
+    """Outcome of one policy on the phone scenario."""
+
+    policy: str
+    foreground_fps: float
+    peak_temp_c: float
+    end_temp_c: float
+    sync_progress_gcycles: float
+    sync_final_cluster: str
+    mean_power_w: float
+
+
+@lru_cache(maxsize=8)
+def run_phone_policy(
+    policy: str, seed: int = DEFAULT_SEED
+) -> PhonePolicyResult:
+    """Run the Hangouts + background-sync scenario under one policy."""
+    if policy not in POLICIES:
+        raise ConfigurationError(f"unknown policy {policy!r}; have {POLICIES}")
+    call = make_app(FOREGROUND)
+    sync = BatchApp("sync", n_threads=1)
+    config = KernelConfig(
+        thermal=nexus_thermal_config() if policy == "stock" else None
+    )
+    sim = Simulation(
+        nexus6p(), [call, sync], kernel_config=config, seed=seed,
+        enable_daq=True,
+    )
+    if policy == "proposed":
+        governor = ApplicationAwareGovernor.for_simulation(
+            sim, GovernorConfig(t_limit_c=41.0, horizon_s=60.0), sensor="pkg"
+        )
+        for pid in call.pids():
+            governor.registry.register(pid, FOREGROUND)
+        governor.install(sim.kernel)
+    sim.run(RUN_DURATION_S)
+    _, temps = sim.traces.series("temp.soc")
+    return PhonePolicyResult(
+        policy=policy,
+        foreground_fps=call.fps.median_fps(start_s=10.0),
+        peak_temp_c=float(np.max(temps)),
+        end_temp_c=float(temps[-1]),
+        sync_progress_gcycles=sync.progress_gigacycles(),
+        sync_final_cluster=sync.metrics()["cluster"],
+        mean_power_w=sim.daq.mean_power_w(start_s=5.0),
+    )
+
+
+def phone_policy_comparison(
+    seed: int = DEFAULT_SEED,
+) -> dict[str, PhonePolicyResult]:
+    """All three policies on the same scenario."""
+    return {policy: run_phone_policy(policy, seed) for policy in POLICIES}

@@ -1,0 +1,200 @@
+"""Section IV.C experiments: 3DMark / Nenamark on the Odroid-XU3 model.
+
+Three scenarios per benchmark, exactly as the paper:
+
+* ``alone``         — benchmark only, default kernel policy (IPA);
+* ``bml_default``   — benchmark + MiBench basicmath-large in the background,
+  default kernel policy ("thermal trip points and ARM intelligent power
+  allocation");
+* ``bml_proposed``  — benchmark + BML with the stock thermal governor
+  replaced by the paper's application-aware governor; the benchmark
+  registers itself as real-time so only BML may be migrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.analysis.breakdown import PowerBreakdown, breakdown_from_traces
+from repro.analysis.figures import Series
+from repro.apps.gfxbench import NenamarkApp, ThreeDMarkApp
+from repro.apps.mibench import basicmath_large
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import GPU_DOMAIN, KernelConfig, ThermalConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+DEFAULT_SEED = 3
+RUN_DURATION_S = 250.0
+SCENARIOS = ("alone", "bml_default", "bml_proposed")
+
+#: Rails measurable by the board's INA231 monitors (the Fig. 9 pies).
+INA_RAILS = ("a15", "a7", "gpu", "mem")
+
+
+def odroid_default_thermal() -> ThermalConfig:
+    """The stock Linux policy on the board: IPA on the big-core sensor."""
+    return ThermalConfig(
+        kind="ipa",
+        sensor="soc_big",
+        cooled=("a15", "a7", GPU_DOMAIN),
+        sustainable_power_w=2.5,
+        switch_on_temp_c=70.0,
+        control_temp_c=90.0,
+    )
+
+
+def proposed_governor_config() -> GovernorConfig:
+    """The paper's governor: 100 ms period, 1 s window, 85 degC limit."""
+    return GovernorConfig(
+        t_limit_c=85.0, horizon_s=60.0, window_s=1.0, period_s=0.1
+    )
+
+
+@dataclass(frozen=True)
+class OdroidRun:
+    """Extracted results of one Odroid scenario."""
+
+    scenario: str
+    benchmark: str
+    gt1_fps: float | None
+    gt2_fps: float | None
+    nenamark_levels: float | None
+    max_temperature: Series
+    breakdown: PowerBreakdown
+    migrations: tuple[tuple[float, str], ...]  # (time, direction)
+    bml_progress_gcycles: float | None
+    bml_final_cluster: str | None
+
+
+def _check_scenario(scenario: str) -> None:
+    if scenario not in SCENARIOS:
+        raise ConfigurationError(
+            f"unknown scenario {scenario!r}; have {SCENARIOS}"
+        )
+
+
+def _build(scenario: str, benchmark_app, seed: int):
+    platform = odroid_xu3()
+    apps = [benchmark_app]
+    if scenario != "alone":
+        apps.append(basicmath_large())
+    if scenario == "bml_proposed":
+        config = KernelConfig()  # proposed governor replaces the kernel policy
+    else:
+        config = KernelConfig(thermal=odroid_default_thermal())
+    sim = Simulation(platform, apps, kernel_config=config, seed=seed)
+    governor = None
+    if scenario == "bml_proposed":
+        governor = ApplicationAwareGovernor.for_simulation(
+            sim, proposed_governor_config()
+        )
+        for pid in benchmark_app.pids():
+            governor.registry.register(pid, benchmark_app.name)
+        governor.install(sim.kernel)
+    return sim, governor
+
+
+def _extract(scenario: str, sim: Simulation, governor, benchmark) -> OdroidRun:
+    times, temps = sim.traces.series("temp.max")
+    migrations = ()
+    if governor is not None:
+        migrations = tuple((e.time_s, e.direction) for e in governor.events)
+    bml_progress = None
+    bml_cluster = None
+    if "bml" in sim.apps:
+        bml = sim.app("bml")
+        bml_progress = bml.progress_gigacycles()
+        bml_cluster = bml.metrics()["cluster"]
+    gt1 = gt2 = levels = None
+    if isinstance(benchmark, ThreeDMarkApp):
+        gt1, gt2 = benchmark.gt1_fps(), benchmark.gt2_fps()
+    if isinstance(benchmark, NenamarkApp) and benchmark.finished:
+        levels = benchmark.score_levels
+    return OdroidRun(
+        scenario=scenario,
+        benchmark=benchmark.name,
+        gt1_fps=gt1,
+        gt2_fps=gt2,
+        nenamark_levels=levels,
+        max_temperature=Series(scenario, times, temps),
+        breakdown=breakdown_from_traces(sim.traces, INA_RAILS, start_s=20.0),
+        migrations=migrations,
+        bml_progress_gcycles=bml_progress,
+        bml_final_cluster=bml_cluster,
+    )
+
+
+@lru_cache(maxsize=16)
+def run_3dmark(scenario: str, seed: int = DEFAULT_SEED) -> OdroidRun:
+    """One 3DMark scenario (GT1 then GT2, 250 s total)."""
+    _check_scenario(scenario)
+    mark = ThreeDMarkApp(gt1_duration_s=125.0, gt2_duration_s=125.0)
+    sim, governor = _build(scenario, mark, seed)
+    sim.run(RUN_DURATION_S)
+    return _extract(scenario, sim, governor, mark)
+
+
+@lru_cache(maxsize=16)
+def run_nenamark(scenario: str, seed: int = DEFAULT_SEED) -> OdroidRun:
+    """One Nenamark scenario (runs until the benchmark terminates)."""
+    _check_scenario(scenario)
+    nena = NenamarkApp()
+    sim, governor = _build(scenario, nena, seed)
+    sim.run(400.0, until=lambda s: nena.finished)
+    return _extract(scenario, sim, governor, nena)
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One row of the paper's Table II."""
+
+    test: str
+    alone: float
+    with_bml: float
+    with_proposed: float
+    paper_alone: float
+    paper_with_bml: float
+    paper_with_proposed: float
+    unit: str
+
+
+def table2(seed: int = DEFAULT_SEED) -> list[Table2Row]:
+    """Application performance under the three scenarios."""
+    marks = {s: run_3dmark(s, seed) for s in SCENARIOS}
+    nenas = {s: run_nenamark(s, seed) for s in SCENARIOS}
+    return [
+        Table2Row(
+            "3DMark GT1",
+            marks["alone"].gt1_fps,
+            marks["bml_default"].gt1_fps,
+            marks["bml_proposed"].gt1_fps,
+            97.0, 86.0, 93.0, "FPS",
+        ),
+        Table2Row(
+            "3DMark GT2",
+            marks["alone"].gt2_fps,
+            marks["bml_default"].gt2_fps,
+            marks["bml_proposed"].gt2_fps,
+            51.0, 49.0, 51.0, "FPS",
+        ),
+        Table2Row(
+            "Nenamark3",
+            nenas["alone"].nenamark_levels,
+            nenas["bml_default"].nenamark_levels,
+            nenas["bml_proposed"].nenamark_levels,
+            3.5, 3.4, 3.5, "levels",
+        ),
+    ]
+
+
+def figure8(seed: int = DEFAULT_SEED) -> dict[str, Series]:
+    """Maximum SoC temperature over time for the three 3DMark scenarios."""
+    return {s: run_3dmark(s, seed).max_temperature for s in SCENARIOS}
+
+
+def figure9(seed: int = DEFAULT_SEED) -> dict[str, PowerBreakdown]:
+    """Power-distribution pies for the three 3DMark scenarios."""
+    return {s: run_3dmark(s, seed).breakdown for s in SCENARIOS}

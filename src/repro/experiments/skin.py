@@ -1,0 +1,83 @@
+"""Skin-temperature extension experiment.
+
+The paper's introduction motivates thermal management through *skin*
+temperature: it lags the package but is what the user feels, and vendors
+limit it around 40-45 degC.  The Nexus 6P model carries a skin node; this
+experiment quantifies how the stock governor's package-trip throttling also
+bounds the skin temperature during gaming, and how much hotter the shell
+gets when throttling is disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.analysis.figures import Series
+from repro.apps.catalog import make_app
+from repro.experiments.nexus import RUN_DURATION_S, nexus_thermal_config
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+DEFAULT_SEED = 3
+#: Typical vendor comfort limit for the shell of a phone.
+SKIN_COMFORT_LIMIT_C = 43.0
+
+
+@dataclass(frozen=True)
+class SkinRun:
+    """Skin and package temperatures of one app session."""
+
+    app: str
+    throttled: bool
+    package: Series
+    skin: Series
+    skin_final_c: float
+    skin_rise_c: float
+
+
+@lru_cache(maxsize=16)
+def run_skin(
+    app_name: str, throttled: bool, seed: int = DEFAULT_SEED
+) -> SkinRun:
+    """Run one catalog app and record both package and skin nodes."""
+    app = make_app(app_name)
+    config = KernelConfig(thermal=nexus_thermal_config() if throttled else None)
+    sim = Simulation(nexus6p(), [app], kernel_config=config, seed=seed)
+    sim.run(RUN_DURATION_S)
+    pkg_t, pkg_v = sim.traces.series("temp.soc")
+    skin_t, skin_v = sim.traces.series("temp.skin")
+    label = "throttled" if throttled else "unthrottled"
+    return SkinRun(
+        app=app_name,
+        throttled=throttled,
+        package=Series(f"pkg-{label}", pkg_t, pkg_v),
+        skin=Series(f"skin-{label}", skin_t, skin_v),
+        skin_final_c=float(skin_v[-1]),
+        skin_rise_c=float(skin_v[-1] - skin_v[0]),
+    )
+
+
+def skin_comparison(
+    app_name: str = "paperio", seed: int = DEFAULT_SEED
+) -> tuple[SkinRun, SkinRun]:
+    """(unthrottled, throttled) skin runs for one app."""
+    return run_skin(app_name, False, seed), run_skin(app_name, True, seed)
+
+
+def skin_lag_s(run: SkinRun, fraction: float = 0.5) -> float:
+    """How much later the skin reaches ``fraction`` of its final rise than
+    the package does — the thermal lag a skin-aware governor must predict
+    across (cf. Egilmez et al., DATE 2015, the paper's ref [5])."""
+    def crossing(series: Series) -> float:
+        rise = series.final() - series.at(0.0)
+        if rise <= 0.0:
+            return 0.0
+        target = series.at(0.0) + fraction * rise
+        above = np.nonzero(series.y >= target)[0]
+        return float(series.x[above[0]]) if above.size else float(series.x[-1])
+
+    return crossing(run.skin) - crossing(run.package)

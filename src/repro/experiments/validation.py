@@ -1,0 +1,113 @@
+"""Model-validation experiment: the Section IV.A analysis vs the plant.
+
+The governor trusts the lumped fixed-point analysis; this experiment
+quantifies that trust.  The big cluster is pinned (userspace governor) at a
+ladder of frequencies under a fixed two-thread load, each operating point is
+run to thermal steady state, and the analysis' predicted fixed point is
+compared against the plant's settled hotspot temperature.  The hottest
+configurations cross the critical power, where the check becomes: does the
+plant actually run away when the analysis says there is no fixed point?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.apps.mibench import BatchApp
+from repro.core.calibration import lump_platform
+from repro.core.fixed_point import StabilityClass, analyze
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.units import kelvin_to_celsius
+
+DEFAULT_SEED = 3
+RUNAWAY_STOP_C = 150.0
+SOC_RAILS = ("a15", "a7", "gpu", "mem")
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One pinned operating point: prediction vs plant."""
+
+    freq_mhz: int
+    p_dyn_w: float
+    predicted_class: str
+    predicted_ss_c: float | None
+    plant_ss_c: float
+    plant_ran_away: bool
+
+    @property
+    def error_k(self) -> float | None:
+        """Prediction error in kelvin (None for runaway points)."""
+        if self.predicted_ss_c is None:
+            return None
+        return self.predicted_ss_c - self.plant_ss_c
+
+    @property
+    def agreement(self) -> bool:
+        """Whether the analysis and the plant agree qualitatively."""
+        if self.predicted_class == StabilityClass.RUNAWAY.value:
+            return self.plant_ran_away
+        return not self.plant_ran_away
+
+
+def _run_point(
+    freq_mhz: int, seed: int, settle_s: float, n_threads: int = 2
+) -> ValidationPoint:
+    sim = Simulation(
+        odroid_xu3(),
+        [BatchApp("burn", n_threads=n_threads)],
+        kernel_config=KernelConfig(
+            cpu_governor="userspace", gpu_governor="powersave"
+        ),
+        seed=seed,
+    )
+    sim.kernel.userspace_set_speed("a15", freq_mhz * 1e6)
+    sim.kernel.userspace_set_speed("a7", 200e6)
+
+    def too_hot(s: Simulation) -> bool:
+        return kelvin_to_celsius(s.thermal.max_temperature_k()) > RUNAWAY_STOP_C
+
+    sim.run(settle_s, until=too_hot)
+    plant_temp_k = sim.thermal.temperature_k("big")
+    ran_away = kelvin_to_celsius(plant_temp_k) > RUNAWAY_STOP_C
+
+    shares = sim.energy.breakdown(SOC_RAILS)
+    params = lump_platform(sim.platform, sim.thermal, rail_shares=shares)
+    soc_watts = sum(
+        sim.traces.series(f"power.{rail}")[1][-1] for rail in SOC_RAILS
+    )
+    p_dyn = max(soc_watts - params.leakage_w(plant_temp_k), 0.01)
+    report = analyze(params, p_dyn)
+    return ValidationPoint(
+        freq_mhz=freq_mhz,
+        p_dyn_w=p_dyn,
+        predicted_class=report.classification.value,
+        predicted_ss_c=(
+            None if report.stable_temp_k is None
+            else kelvin_to_celsius(report.stable_temp_k)
+        ),
+        plant_ss_c=kelvin_to_celsius(plant_temp_k),
+        plant_ran_away=ran_away,
+    )
+
+
+@lru_cache(maxsize=4)
+def steady_state_validation(
+    seed: int = DEFAULT_SEED,
+    freqs_mhz: tuple[int, ...] = (800, 1200, 1600, 1900),
+    settle_s: float = 600.0,
+    include_runaway_point: bool = True,
+) -> tuple[ValidationPoint, ...]:
+    """Prediction-vs-plant sweep over pinned big-cluster frequencies.
+
+    With ``include_runaway_point`` an additional four-thread 2 GHz point is
+    appended, which sits beyond the critical power: there the check is the
+    qualitative one (analysis says "no fixed point", plant must run away).
+    """
+    points = [_run_point(f, seed, settle_s) for f in freqs_mhz]
+    if include_runaway_point:
+        points.append(_run_point(2000, seed, settle_s, n_threads=4))
+    return tuple(points)

@@ -1,0 +1,45 @@
+"""Linux-like kernel substrate: tasks, scheduler, DVFS, thermal, sysfs."""
+
+from repro.kernel.cpuidle import DEFAULT_IDLE_STATES, ClusterIdleGovernor, IdleState
+from repro.kernel.gpu import GpuDevice, GpuJob, GpuTickResult
+from repro.kernel.kernel import (
+    GPU_DOMAIN,
+    HotplugConfig,
+    Kernel,
+    KernelConfig,
+    KernelTickResult,
+    ThermalConfig,
+    UserspaceApi,
+)
+from repro.kernel.scheduler import ClusterUsage, Scheduler, TickResult
+from repro.kernel.sysfs import SysfsNode, VirtualFs
+from repro.kernel.task import Task, TaskState
+from repro.kernel.tracing import EventTracer, TraceEvent
+from repro.kernel.wiring import build_fs, policy_dir
+
+__all__ = [
+    "DEFAULT_IDLE_STATES",
+    "GPU_DOMAIN",
+    "ClusterIdleGovernor",
+    "HotplugConfig",
+    "IdleState",
+    "ClusterUsage",
+    "GpuDevice",
+    "GpuJob",
+    "GpuTickResult",
+    "Kernel",
+    "KernelConfig",
+    "KernelTickResult",
+    "Scheduler",
+    "SysfsNode",
+    "Task",
+    "EventTracer",
+    "TraceEvent",
+    "TaskState",
+    "ThermalConfig",
+    "TickResult",
+    "UserspaceApi",
+    "VirtualFs",
+    "build_fs",
+    "policy_dir",
+]

@@ -1,0 +1,29 @@
+"""cpufreq/devfreq subsystem: policies and frequency governors."""
+
+from repro.kernel.cpufreq.governors import (
+    GOVERNOR_FACTORIES,
+    FreqGovernor,
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    SimpleOndemandGovernor,
+    StepGovernor,
+    UserspaceGovernor,
+    make_governor,
+)
+from repro.kernel.cpufreq.policy import DvfsPolicy
+
+__all__ = [
+    "GOVERNOR_FACTORIES",
+    "DvfsPolicy",
+    "FreqGovernor",
+    "InteractiveGovernor",
+    "OndemandGovernor",
+    "PerformanceGovernor",
+    "PowersaveGovernor",
+    "SimpleOndemandGovernor",
+    "StepGovernor",
+    "UserspaceGovernor",
+    "make_governor",
+]

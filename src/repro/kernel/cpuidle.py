@@ -1,0 +1,116 @@
+"""cpuidle: idle-state selection and idle-power gating.
+
+The base power model charges each cluster a constant ``idle_power_w`` — the
+shallow "WFI" cost of a powered but idle cluster.  Real kernels go deeper:
+after enough quiet time, cores and then the whole cluster are power-gated.
+This module implements a dwell-based idle governor (a simplified ``menu``):
+
+* ``wfi``          — entered immediately when idle (scale 1.0);
+* ``core_sleep``   — after ``core_dwell_s`` of cluster idleness (scale ~0.4);
+* ``cluster_off``  — after ``cluster_dwell_s`` (scale ~0.05, retention only).
+
+The selected state scales the cluster's idle power.  Any activity resets
+the dwell (the exit-latency cost is far below our tick and is ignored).
+Per-state residency accounting mirrors ``/sys/.../cpuidle/state*/time``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IdleState:
+    """One idle state: its power scale and the dwell needed to enter it."""
+
+    name: str
+    power_scale: float
+    entry_dwell_s: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.power_scale <= 1.0:
+            raise ConfigurationError(
+                f"idle state {self.name!r}: power scale must be in [0, 1]"
+            )
+        if self.entry_dwell_s < 0.0:
+            raise ConfigurationError(
+                f"idle state {self.name!r}: dwell must be non-negative"
+            )
+
+
+DEFAULT_IDLE_STATES = (
+    IdleState("wfi", power_scale=1.0, entry_dwell_s=0.0),
+    IdleState("core_sleep", power_scale=0.4, entry_dwell_s=0.05),
+    IdleState("cluster_off", power_scale=0.05, entry_dwell_s=0.2),
+)
+
+#: Cluster busy level below which it counts as idle for dwell purposes.
+IDLE_BUSY_THRESHOLD = 0.02
+
+
+class ClusterIdleGovernor:
+    """Dwell-based idle-state selection for one cluster."""
+
+    def __init__(self, states: Sequence[IdleState] = DEFAULT_IDLE_STATES) -> None:
+        if not states:
+            raise ConfigurationError("need at least one idle state")
+        ordered = sorted(states, key=lambda s: s.entry_dwell_s)
+        if ordered[0].entry_dwell_s > 0.0:
+            raise ConfigurationError(
+                "the shallowest idle state must have zero entry dwell"
+            )
+        scales = [s.power_scale for s in ordered]
+        if any(b > a for a, b in zip(scales, scales[1:])):
+            raise ConfigurationError(
+                "deeper idle states must not consume more power"
+            )
+        self._states = tuple(ordered)
+        self._idle_dwell_s = 0.0
+        self._current = self._states[0]
+        self._residency_s = {s.name: 0.0 for s in self._states}
+        self._usage = {s.name: 0 for s in self._states}
+
+    @property
+    def states(self) -> tuple[IdleState, ...]:
+        """Idle states, shallowest first."""
+        return self._states
+
+    @property
+    def current_state(self) -> IdleState:
+        """State the cluster's idle cores are currently in."""
+        return self._current
+
+    def update(self, busy_cores: float, n_cores: int, dt_s: float) -> float:
+        """Advance one tick; returns the idle-power scale for this tick."""
+        busy_level = busy_cores / max(n_cores, 1)
+        if busy_level > IDLE_BUSY_THRESHOLD:
+            self._idle_dwell_s = 0.0
+            new_state = self._states[0]
+        else:
+            self._idle_dwell_s += dt_s
+            new_state = self._states[0]
+            for state in self._states:
+                if self._idle_dwell_s >= state.entry_dwell_s:
+                    new_state = state
+        if new_state.name != self._current.name:
+            self._usage[new_state.name] += 1
+            self._current = new_state
+        self._residency_s[self._current.name] += dt_s
+        return self._current.power_scale
+
+    def residency_s(self, state_name: str) -> float:
+        """Accumulated seconds in one state."""
+        try:
+            return self._residency_s[state_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown idle state {state_name!r}") from None
+
+    def usage(self, state_name: str) -> int:
+        """Number of entries into one state."""
+        try:
+            return self._usage[state_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown idle state {state_name!r}") from None

@@ -1,0 +1,150 @@
+"""Virtual sysfs/procfs: the userspace-facing file interface of the kernel.
+
+On real hardware the paper's proposed governor is a userspace process that
+polls ``/sys`` (cpufreq, thermal zones, INA231 power monitors) and ``/proc``.
+This module provides a virtual file tree backed by simulator state so the
+same control code runs unchanged against either the simulator or a board.
+
+Two node kinds exist: *static* nodes registered at an exact path with
+getter/setter callbacks, and *dynamic* subtrees (``/proc/<pid>/...``) served
+by a resolver function.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.errors import SysfsError
+
+Getter = Callable[[], str]
+Setter = Callable[[str], None]
+
+
+class SysfsNode:
+    """One virtual file with read and optional write callbacks."""
+
+    def __init__(self, getter: Getter | None, setter: Setter | None = None) -> None:
+        if getter is None and setter is None:
+            raise SysfsError("a sysfs node needs a getter or a setter")
+        self._getter = getter
+        self._setter = setter
+
+    @property
+    def readable(self) -> bool:
+        """Whether the node supports reads."""
+        return self._getter is not None
+
+    @property
+    def writable(self) -> bool:
+        """Whether the node supports writes."""
+        return self._setter is not None
+
+    def read(self) -> str:
+        if self._getter is None:
+            raise SysfsError("node is write-only")
+        return self._getter()
+
+    def write(self, value: str) -> None:
+        if self._setter is None:
+            raise SysfsError("node is read-only")
+        self._setter(value)
+
+
+class VirtualFs:
+    """Path-addressed collection of virtual files."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, SysfsNode] = {}
+        self._resolvers: list[tuple[str, Callable[[str], SysfsNode | None]]] = []
+
+    @staticmethod
+    def _norm(path: str) -> str:
+        if not path.startswith("/"):
+            raise SysfsError(f"paths must be absolute, got {path!r}")
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/")
+
+    def register(
+        self, path: str, getter: Getter | None, setter: Setter | None = None
+    ) -> None:
+        """Add a static node at ``path`` (must not already exist)."""
+        path = self._norm(path)
+        if path in self._nodes:
+            raise SysfsError(f"node {path!r} already registered")
+        self._nodes[path] = SysfsNode(getter, setter)
+
+    def register_value(self, path: str, value: str) -> None:
+        """Add a constant read-only node."""
+        self.register(path, getter=lambda v=value: v)
+
+    def register_resolver(
+        self, prefix: str, resolver: Callable[[str], SysfsNode | None]
+    ) -> None:
+        """Serve every path under ``prefix`` through ``resolver``.
+
+        The resolver receives the path *relative* to the prefix and returns a
+        node or None (=> ENOENT).
+        """
+        self._resolvers.append((self._norm(prefix) + "/", resolver))
+
+    def _lookup(self, path: str) -> SysfsNode:
+        path = self._norm(path)
+        node = self._nodes.get(path)
+        if node is not None:
+            return node
+        for prefix, resolver in self._resolvers:
+            if path.startswith(prefix):
+                node = resolver(path[len(prefix):])
+                if node is not None:
+                    return node
+        raise SysfsError(f"no such file: {path}")
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` resolves to a node."""
+        try:
+            self._lookup(path)
+            return True
+        except SysfsError:
+            return False
+
+    def read(self, path: str) -> str:
+        """Read a node; returns the raw string (usually newline-free)."""
+        return self._lookup(path).read()
+
+    def read_int(self, path: str) -> int:
+        """Read a node and parse it as an integer (sysfs convention)."""
+        raw = self.read(path).strip()
+        try:
+            return int(raw)
+        except ValueError:
+            raise SysfsError(f"{path}: expected an integer, got {raw!r}") from None
+
+    def read_float(self, path: str) -> float:
+        """Read a node and parse it as a float."""
+        raw = self.read(path).strip()
+        try:
+            return float(raw)
+        except ValueError:
+            raise SysfsError(f"{path}: expected a float, got {raw!r}") from None
+
+    def write(self, path: str, value) -> None:
+        """Write ``value`` (stringified) to a node."""
+        self._lookup(path).write(str(value))
+
+    def listdir(self, path: str) -> list[str]:
+        """Immediate children of a static directory (sorted)."""
+        prefix = self._norm(path) + "/"
+        children = set()
+        for node_path in self._nodes:
+            if node_path.startswith(prefix):
+                children.add(node_path[len(prefix):].split("/", 1)[0])
+        if not children and not any(
+            p.startswith(prefix) or prefix.startswith(p) for p, _ in self._resolvers
+        ):
+            raise SysfsError(f"no such directory: {path}")
+        return sorted(children)
+
+    def paths(self) -> Iterable[str]:
+        """All static paths (for introspection/tests)."""
+        return sorted(self._nodes)

@@ -1,0 +1,17 @@
+"""Kernel thermal framework: zones, trips, cooling, step_wise and IPA."""
+
+from repro.kernel.thermal.cooling import CoolingDevice, DvfsCoolingDevice
+from repro.kernel.thermal.ipa import PowerActor, PowerAllocatorGovernor
+from repro.kernel.thermal.step_wise import StepWiseGovernor
+from repro.kernel.thermal.zone import ThermalGovernor, ThermalZone, TripPoint
+
+__all__ = [
+    "CoolingDevice",
+    "DvfsCoolingDevice",
+    "PowerActor",
+    "PowerAllocatorGovernor",
+    "StepWiseGovernor",
+    "ThermalGovernor",
+    "ThermalZone",
+    "TripPoint",
+]

@@ -1,0 +1,78 @@
+"""Cooling devices: the actuators of thermal governors.
+
+A cooling device maps an integer state (0 = no cooling) onto a frequency cap
+of one DVFS policy, exactly like the kernel's ``cpufreq_cooling`` /
+``devfreq_cooling`` drivers: state ``s`` disallows the top ``s`` OPPs.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernel.cpufreq.policy import DvfsPolicy
+
+
+class CoolingDevice:
+    """Abstract cooling device with a bounded integer state."""
+
+    def __init__(self, name: str, max_state: int) -> None:
+        if max_state < 1:
+            raise ConfigurationError(f"cooling device {name!r}: max_state must be >= 1")
+        self.name = name
+        self.max_state = max_state
+        self._cur_state = 0
+
+    @property
+    def cur_state(self) -> int:
+        """Current throttle state (0 = unthrottled)."""
+        return self._cur_state
+
+    def set_state(self, state: int) -> None:
+        """Set the throttle state, clamped to [0, max_state]."""
+        self._cur_state = min(max(int(state), 0), self.max_state)
+        self._apply()
+
+    def _apply(self) -> None:
+        raise NotImplementedError
+
+
+class DvfsCoolingDevice(CoolingDevice):
+    """Caps a :class:`DvfsPolicy` — state ``s`` removes the top ``s`` OPPs."""
+
+    def __init__(self, name: str, policy: DvfsPolicy) -> None:
+        super().__init__(name, max_state=len(policy.opps) - 1)
+        self._policy = policy
+        self._apply()
+
+    @property
+    def policy(self) -> DvfsPolicy:
+        """The capped policy."""
+        return self._policy
+
+    def cap_hz(self) -> float:
+        """Frequency cap implied by the current state."""
+        freqs = self._policy.opps.frequencies_hz()
+        return freqs[len(freqs) - 1 - self._cur_state]
+
+    def _apply(self) -> None:
+        self._policy.set_thermal_max(self.cap_hz())
+
+    def state_for_cap(self, freq_hz: float) -> int:
+        """State whose cap is the highest OPP at or below ``freq_hz``."""
+        freqs = self._policy.opps.frequencies_hz()
+        capped = self._policy.opps.floor(max(freq_hz, freqs[0])).freq_hz
+        return len(freqs) - 1 - self._policy.opps.index_of(capped)
+
+    def state_for_power(self, budget_w: float, power_of_freq) -> int:
+        """State capping at the fastest OPP whose power fits ``budget_w``.
+
+        ``power_of_freq`` maps a frequency in Hz to worst-case watts; it must
+        be non-decreasing in frequency (guaranteed by OPP monotonicity).
+        """
+        freqs = self._policy.opps.frequencies_hz()
+        chosen = freqs[0]
+        for f in freqs:
+            if power_of_freq(f) <= budget_w:
+                chosen = f
+            else:
+                break
+        return self.state_for_cap(chosen)

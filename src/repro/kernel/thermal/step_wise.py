@@ -1,0 +1,64 @@
+"""The Linux ``step_wise`` thermal governor.
+
+Policy (as in ``drivers/thermal/gov_step_wise.c``): when the temperature is
+above a passive trip and the trend is rising, raise every bound cooling
+device's state by one per poll; when it falls below the trip minus its
+hysteresis, lower the state by one.  This produces the staircase throttling
+that phones ship with — the baseline behaviour of the paper's Section III.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.thermal.zone import ThermalGovernor, ThermalZone
+
+
+class StepWiseGovernor(ThermalGovernor):
+    """One-step-per-poll escalation above trips, slower de-escalation below.
+
+    Escalation is immediate (every poll while above a trip and rising), but
+    in-band relaxation happens only once per ``relax_every`` polls — phones
+    throttle fast and un-throttle cautiously, which is what keeps their
+    temperature parked just under the trip instead of oscillating wildly.
+    """
+
+    name = "step_wise"
+
+    def __init__(self, relax_every: int = 5) -> None:
+        if relax_every < 1:
+            raise ValueError(f"relax_every must be >= 1, got {relax_every}")
+        self.relax_every = relax_every
+        self._polls_in_band = 0
+
+    def reset(self) -> None:
+        self._polls_in_band = 0
+
+    def _relax(self, zone: ThermalZone) -> None:
+        for device in zone.bindings:
+            device.set_state(device.cur_state - 1)
+
+    def update(self, zone: ThermalZone, now_s: float) -> None:
+        temp_c = zone.last_temp_c
+        if temp_c is None:
+            return
+        passive = [t for t in zone.trips if t.trip_type == "passive"]
+        if not passive:
+            return
+        exceeded = [t for t in passive if temp_c > t.temp_c]
+        if exceeded:
+            self._polls_in_band = 0
+            if zone.trend_rising() or all(d.cur_state == 0 for d in zone.bindings):
+                for device in zone.bindings:
+                    device.set_state(device.cur_state + 1)
+            return
+        lowest = passive[0]
+        if temp_c < lowest.temp_c - lowest.hyst_c:
+            # Clearly cool: relax unconditionally.
+            self._polls_in_band = 0
+            self._relax(zone)
+        elif not zone.trend_rising():
+            # Inside the hysteresis band and cooling: relax slowly so the
+            # system parks just below the trip rather than bouncing off it.
+            self._polls_in_band += 1
+            if self._polls_in_band >= self.relax_every:
+                self._polls_in_band = 0
+                self._relax(zone)

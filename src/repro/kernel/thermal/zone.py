@@ -1,0 +1,89 @@
+"""Thermal zones: sensor + trip points + a thermal governor + cooling bindings.
+
+Mirrors the Linux thermal framework: each zone polls its sensor at a fixed
+period, keeps a short temperature history for trend detection, and hands
+control to its governor (step_wise, power_allocator, or none).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.kernel.thermal.cooling import CoolingDevice
+from repro.thermal.sensors import TemperatureSensor
+
+
+@dataclass(frozen=True)
+class TripPoint:
+    """One trip point (degrees Celsius, like sysfs trip_point_N_temp/1000)."""
+
+    temp_c: float
+    hyst_c: float = 2.0
+    trip_type: str = "passive"
+
+    def __post_init__(self) -> None:
+        if self.hyst_c < 0.0:
+            raise ConfigurationError("trip hysteresis must be non-negative")
+        if self.trip_type not in ("passive", "active", "hot", "critical"):
+            raise ConfigurationError(f"unknown trip type {self.trip_type!r}")
+
+
+class ThermalGovernor:
+    """Base class for zone governors."""
+
+    name = "base"
+
+    def update(self, zone: "ThermalZone", now_s: float) -> None:
+        """React to the zone's latest reading by adjusting cooling devices."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear internal state (on unbind)."""
+
+
+class ThermalZone:
+    """One thermal zone device."""
+
+    def __init__(
+        self,
+        name: str,
+        sensor: TemperatureSensor,
+        trips: Sequence[TripPoint] = (),
+        governor: ThermalGovernor | None = None,
+        bindings: Sequence[CoolingDevice] = (),
+        polling_s: float = 0.1,
+        history_len: int = 8,
+    ) -> None:
+        if polling_s <= 0.0:
+            raise ConfigurationError(f"zone {name!r}: polling period must be positive")
+        self.name = name
+        self.sensor = sensor
+        self.trips = tuple(sorted(trips, key=lambda t: t.temp_c))
+        self.governor = governor
+        self.bindings = tuple(bindings)
+        self.polling_s = polling_s
+        self._history: deque[float] = deque(maxlen=history_len)
+        self.last_temp_c: float | None = None
+
+    def poll(self, now_s: float) -> float:
+        """Read the sensor, update history, run the governor; returns degC."""
+        temp_c = self.sensor.read_c()
+        self._history.append(temp_c)
+        self.last_temp_c = temp_c
+        if self.governor is not None:
+            self.governor.update(self, now_s)
+        return temp_c
+
+    def trend_rising(self) -> bool:
+        """Whether the recent readings are increasing (simple first/last)."""
+        if len(self._history) < 2:
+            return True
+        return self._history[-1] > self._history[0]
+
+    def unthrottle(self) -> None:
+        """Drop every bound cooling device to state 0."""
+        for device in self.bindings:
+            device.set_state(0)

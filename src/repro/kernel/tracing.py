@@ -1,0 +1,81 @@
+"""Kernel event tracing (an ftrace-flavoured ring buffer).
+
+Scenario debugging needs the *sequence* of discrete events — migrations,
+cooling-state changes, hotplug, governor decisions — not just the sampled
+traces.  The :class:`EventTracer` is a bounded ring buffer the kernel and
+userspace daemons emit into; it renders in an ftrace-like one-line format
+and is exposed at ``/sys/kernel/debug/tracing/trace`` (with a writable
+``trace_marker``, like the real thing).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One discrete kernel event."""
+
+    time_s: float
+    source: str
+    event: str
+    detail: str = ""
+
+    def render(self) -> str:
+        """One ftrace-like line."""
+        detail = f" {self.detail}" if self.detail else ""
+        return f"[{self.time_s:10.3f}] {self.source}: {self.event}{detail}"
+
+
+class EventTracer:
+    """Bounded ring buffer of :class:`TraceEvent`."""
+
+    def __init__(self, capacity: int = 10000) -> None:
+        if capacity < 1:
+            raise ConfigurationError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self._dropped = 0
+
+    def emit(self, time_s: float, source: str, event: str, detail: str = "") -> None:
+        """Record one event (oldest events are dropped when full)."""
+        if len(self._events) == self.capacity:
+            self._dropped += 1
+        self._events.append(TraceEvent(time_s, source, event, detail))
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring-buffer bound."""
+        return self._dropped
+
+    def events(
+        self, source: str | None = None, event: str | None = None
+    ) -> list[TraceEvent]:
+        """Events matching the optional source/event filters, oldest first."""
+        out = []
+        for entry in self._events:
+            if source is not None and entry.source != source:
+                continue
+            if event is not None and entry.event != event:
+                continue
+            out.append(entry)
+        return out
+
+    def render(self) -> str:
+        """The whole buffer in ftrace-like lines."""
+        lines = [entry.render() for entry in self._events]
+        if self._dropped:
+            lines.insert(0, f"# {self._dropped} events dropped")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        """Empty the buffer."""
+        self._events.clear()
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,292 @@
+"""Wires a :class:`~repro.kernel.kernel.Kernel` into its /sys and /proc tree.
+
+Path layout mirrors Linux closely enough that the userspace governor code is
+board-portable:
+
+* ``/sys/devices/system/cpu/cpufreq/policy<N>/...`` — one per cluster, where
+  ``N`` is the first CPU index of the cluster (policy0 = LITTLE, policy4 =
+  big on both modelled SoCs).
+* ``/sys/class/devfreq/gpu/...`` — the GPU devfreq domain (frequencies in
+  Hz, as devfreq does).
+* ``/sys/class/thermal/thermal_zone<i>/...`` and ``cooling_device<i>/...``.
+* ``/sys/bus/i2c/drivers/INA231/<addr>/sensor_W`` — Odroid-XU3 power
+  monitors (when the platform declares INA231 addresses), plus a generic
+  ``/sys/class/power_sensors/<rail>/power_w`` fallback for any platform.
+* ``/proc/<pid>/{comm,sched,stat}`` — dynamic, resolver-served.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import SysfsError
+from repro.kernel.sysfs import SysfsNode, VirtualFs
+from repro.units import khz_to_hz
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.kernel import Kernel
+
+USER_HZ = 100  # jiffies per second, as Linux reports in /proc/<pid>/stat
+
+
+def _policy_dirs(kernel: "Kernel") -> dict[str, str]:
+    """Map cluster name -> cpufreq policy directory."""
+    dirs = {}
+    cpu_index = 0
+    for cluster in kernel.platform.clusters:
+        dirs[cluster.name] = (
+            f"/sys/devices/system/cpu/cpufreq/policy{cpu_index}"
+        )
+        cpu_index += cluster.n_cores
+    return dirs
+
+
+def _wire_cpufreq(fs: VirtualFs, kernel: "Kernel") -> None:
+    cpu_index = 0
+    for cluster in kernel.platform.clusters:
+        name = cluster.name
+        policy = kernel.policies[name]
+        base = _policy_dirs(kernel)[name]
+        cpus = " ".join(str(i) for i in range(cpu_index, cpu_index + cluster.n_cores))
+        cpu_index += cluster.n_cores
+
+        fs.register_value(f"{base}/affected_cpus", cpus)
+        # Per-CPU online nodes; writing any CPU of a cluster hotplugs the
+        # whole cluster (our hotplug granularity is the cluster).
+        for cpu in cpus.split():
+            fs.register(
+                f"/sys/devices/system/cpu/cpu{cpu}/online",
+                getter=lambda d=name: "1" if kernel.cluster_online(d) else "0",
+                setter=lambda v, d=name: kernel.set_cluster_online(
+                    d, v.strip() == "1"
+                ),
+            )
+        fs.register_value(
+            f"{base}/scaling_available_frequencies",
+            " ".join(str(k) for k in policy.opps.frequencies_khz()),
+        )
+        fs.register_value(
+            f"{base}/cpuinfo_min_freq", str(policy.opps.frequencies_khz()[0])
+        )
+        fs.register_value(
+            f"{base}/cpuinfo_max_freq", str(policy.opps.frequencies_khz()[-1])
+        )
+        fs.register(
+            f"{base}/scaling_cur_freq",
+            getter=lambda p=policy: str(int(round(p.cur_freq_hz / 1e3))),
+        )
+        fs.register(
+            f"{base}/scaling_governor",
+            getter=lambda d=name: kernel.governors[d].name,
+            setter=lambda v, d=name: kernel.set_cpu_governor(d, v.strip()),
+        )
+        fs.register(
+            f"{base}/scaling_min_freq",
+            getter=lambda p=policy: str(int(round(p.user_min_hz / 1e3))),
+            setter=lambda v, p=policy: p.set_user_limits(
+                khz_to_hz(int(v)), p.user_max_hz
+            ),
+        )
+        fs.register(
+            f"{base}/scaling_max_freq",
+            getter=lambda p=policy: str(int(round(p.user_max_hz / 1e3))),
+            setter=lambda v, p=policy: p.set_user_limits(
+                p.user_min_hz, khz_to_hz(int(v))
+            ),
+        )
+        fs.register(
+            f"{base}/scaling_setspeed",
+            getter=lambda: "<unsupported>",
+            setter=lambda v, d=name: kernel.userspace_set_speed(
+                d, khz_to_hz(int(v))
+            ),
+        )
+        fs.register(
+            f"{base}/stats/time_in_state",
+            getter=lambda p=policy: "".join(
+                f"{khz} {int(round(seconds * USER_HZ))}\n"
+                for khz, seconds in p.time_in_state.items()
+            ),
+        )
+        fs.register(
+            f"{base}/stats/total_trans",
+            getter=lambda p=policy: str(p.total_transitions),
+        )
+        first_cpu = cpus.split()[0]
+        for j, state in enumerate(kernel.idle_governors[name].states):
+            idle_base = (
+                f"/sys/devices/system/cpu/cpu{first_cpu}/cpuidle/state{j}"
+            )
+            fs.register_value(f"{idle_base}/name", state.name)
+            fs.register(
+                f"{idle_base}/time",
+                getter=lambda d=name, n=state.name: str(
+                    int(kernel.idle_governors[d].residency_s(n) * 1e6)
+                ),
+            )
+            fs.register(
+                f"{idle_base}/usage",
+                getter=lambda d=name, n=state.name: str(
+                    kernel.idle_governors[d].usage(n)
+                ),
+            )
+        fs.register(
+            f"{base}/stats/trans_table",
+            getter=lambda p=policy: "".join(
+                f"{src} {dst} {count}\n"
+                for (src, dst), count in sorted(p.transitions.items())
+            ),
+        )
+
+
+def _wire_devfreq(fs: VirtualFs, kernel: "Kernel") -> None:
+    from repro.kernel.kernel import GPU_DOMAIN
+
+    policy = kernel.policies[GPU_DOMAIN]
+    base = "/sys/class/devfreq/gpu"
+    fs.register_value(
+        f"{base}/available_frequencies",
+        " ".join(str(int(f)) for f in policy.opps.frequencies_hz()),
+    )
+    fs.register(f"{base}/cur_freq", getter=lambda: str(int(policy.cur_freq_hz)))
+    fs.register(
+        f"{base}/governor", getter=lambda: kernel.governors[GPU_DOMAIN].name
+    )
+    fs.register(
+        f"{base}/min_freq",
+        getter=lambda: str(int(policy.user_min_hz)),
+        setter=lambda v: policy.set_user_limits(float(v), policy.user_max_hz),
+    )
+    fs.register(
+        f"{base}/max_freq",
+        getter=lambda: str(int(policy.user_max_hz)),
+        setter=lambda v: policy.set_user_limits(policy.user_min_hz, float(v)),
+    )
+    fs.register(
+        f"{base}/time_in_state",
+        getter=lambda: "".join(
+            f"{khz} {int(round(seconds * USER_HZ))}\n"
+            for khz, seconds in policy.time_in_state.items()
+        ),
+    )
+
+
+def _wire_thermal(fs: VirtualFs, kernel: "Kernel") -> None:
+    for i, (name, zone) in enumerate(sorted(kernel.zones.items())):
+        base = f"/sys/class/thermal/thermal_zone{i}"
+        fs.register_value(f"{base}/type", name)
+        fs.register(
+            f"{base}/temp",
+            getter=lambda z=zone: str(z.sensor.read_millicelsius()),
+        )
+        fs.register(
+            f"{base}/policy",
+            getter=lambda z=zone: (
+                z.governor.name if z.governor is not None else "user_space"
+            ),
+        )
+        for j, trip in enumerate(zone.trips):
+            fs.register_value(
+                f"{base}/trip_point_{j}_temp", str(int(trip.temp_c * 1000))
+            )
+            fs.register_value(
+                f"{base}/trip_point_{j}_hyst", str(int(trip.hyst_c * 1000))
+            )
+            fs.register_value(f"{base}/trip_point_{j}_type", trip.trip_type)
+    for i, device in enumerate(kernel.cooling_devices):
+        base = f"/sys/class/thermal/cooling_device{i}"
+        fs.register_value(f"{base}/type", device.name)
+        fs.register_value(f"{base}/max_state", str(device.max_state))
+        fs.register(
+            f"{base}/cur_state",
+            getter=lambda d=device: str(d.cur_state),
+            setter=lambda v, d=device: d.set_state(int(v)),
+        )
+
+
+def _wire_power(fs: VirtualFs, kernel: "Kernel") -> None:
+    ina_addresses = kernel.platform.extras.get("ina231", {})
+    for rail, sensor in kernel.power_sensors.items():
+        fs.register(
+            f"/sys/class/power_sensors/{rail}/power_w",
+            getter=lambda s=sensor: f"{s.read_w():.6f}",
+        )
+    for domain, addr in ina_addresses.items():
+        rail = domain  # rails are named after their domain on the Odroid
+        sensor = kernel.power_sensors.get(rail)
+        if sensor is None:
+            raise SysfsError(f"INA231 address declared for unknown rail {rail!r}")
+        fs.register(
+            f"/sys/bus/i2c/drivers/INA231/{addr}/sensor_W",
+            getter=lambda s=sensor: f"{s.read_w():.6f}",
+        )
+
+
+def _wire_proc(fs: VirtualFs, kernel: "Kernel") -> None:
+    def resolver(rel_path: str) -> SysfsNode | None:
+        parts = rel_path.split("/")
+        if len(parts) != 2:
+            return None
+        pid_str, leaf = parts
+        try:
+            pid = int(pid_str)
+        except ValueError:
+            return None
+        try:
+            task = kernel.scheduler.task(pid)
+        except Exception:
+            return None
+        if leaf == "comm":
+            return SysfsNode(getter=lambda t=task: t.name)
+        if leaf == "stat":
+            def stat(t=task) -> str:
+                utime_ticks = int(round(t.total_core_seconds() * USER_HZ))
+                state = "R" if t.runnable else "S"
+                return (
+                    f"{t.pid} ({t.name}) {state} 1 {t.pid} {t.pid} 0 -1 0 "
+                    f"0 0 0 0 {utime_ticks} 0 0 0 {t.nice} {t.n_threads}"
+                )
+            return SysfsNode(getter=stat)
+        if leaf == "sched":
+            def sched(t=task) -> str:
+                runtime_ms = t.total_core_seconds() * 1000.0
+                lines = [
+                    f"{t.name} ({t.pid}, #threads: {t.n_threads})",
+                    f"se.sum_exec_runtime : {runtime_ms:.6f}",
+                    f"current_cluster : {t.cluster}",
+                    f"nr_migrations : {t.migrations}",
+                ]
+                return "\n".join(lines) + "\n"
+            return SysfsNode(getter=sched)
+        return None
+
+    fs.register_resolver("/proc", resolver)
+
+
+def _wire_tracing(fs: VirtualFs, kernel: "Kernel") -> None:
+    base = "/sys/kernel/debug/tracing"
+    fs.register(f"{base}/trace", getter=lambda: kernel.tracer.render())
+    fs.register(
+        f"{base}/trace_marker",
+        getter=None,
+        setter=lambda v: kernel.tracer.emit(
+            kernel._clock.now, "userspace", "marker", v.strip()
+        ),
+    )
+
+
+def build_fs(kernel: "Kernel") -> VirtualFs:
+    """Construct the full virtual /sys + /proc tree for ``kernel``."""
+    fs = VirtualFs()
+    _wire_cpufreq(fs, kernel)
+    _wire_devfreq(fs, kernel)
+    _wire_thermal(fs, kernel)
+    _wire_power(fs, kernel)
+    _wire_proc(fs, kernel)
+    _wire_tracing(fs, kernel)
+    return fs
+
+
+def policy_dir(kernel: "Kernel", cluster: str) -> str:
+    """Public helper: cpufreq policy directory of a cluster."""
+    return _policy_dirs(kernel)[cluster]

@@ -1,0 +1,8 @@
+"""Power measurement: rail sensors, external DAQ, energy accounting."""
+
+from repro.power.battery import NEXUS6P_CAPACITY_WH, Battery
+from repro.power.daq import PowerDaq
+from repro.power.energy import EnergyMeter
+from repro.power.sensors import RailPowerSensor
+
+__all__ = ["Battery", "EnergyMeter", "NEXUS6P_CAPACITY_WH", "PowerDaq", "RailPowerSensor"]

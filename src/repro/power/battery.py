@@ -1,0 +1,68 @@
+"""A simple battery model (extension).
+
+Phones are battery-powered; the same power draw that heats the device also
+drains it.  This coulomb-counting model tracks state of charge and projects
+time-to-empty, enough to relate governor choices to battery life in the
+examples (the Nexus 6P shipped a 3450 mAh / ~13.3 Wh cell).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError, SimulationError
+
+NEXUS6P_CAPACITY_WH = 13.28  # 3450 mAh at 3.85 V nominal
+
+
+class Battery:
+    """Energy-integrating battery with state-of-charge accounting."""
+
+    def __init__(
+        self, capacity_wh: float = NEXUS6P_CAPACITY_WH, initial_soc: float = 1.0
+    ) -> None:
+        if capacity_wh <= 0.0:
+            raise ConfigurationError("battery capacity must be positive")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise ConfigurationError("initial SoC must be in [0, 1]")
+        self.capacity_wh = float(capacity_wh)
+        self._remaining_wh = capacity_wh * initial_soc
+
+    @property
+    def remaining_wh(self) -> float:
+        """Energy left in the cell."""
+        return self._remaining_wh
+
+    @property
+    def soc(self) -> float:
+        """State of charge in [0, 1]."""
+        return self._remaining_wh / self.capacity_wh
+
+    @property
+    def empty(self) -> bool:
+        """Whether the cell is exhausted."""
+        return self._remaining_wh <= 0.0
+
+    def drain(self, power_w: float, dt_s: float) -> None:
+        """Consume ``power_w`` for ``dt_s`` seconds (clamped at empty)."""
+        if power_w < 0.0:
+            raise SimulationError(f"negative drain power {power_w}")
+        if dt_s <= 0.0:
+            raise SimulationError(f"drain dt must be positive, got {dt_s}")
+        self._remaining_wh = max(
+            self._remaining_wh - power_w * dt_s / 3600.0, 0.0
+        )
+
+    def time_to_empty_s(self, power_w: float) -> float:
+        """Projected runtime at a constant draw (inf at zero power)."""
+        if power_w < 0.0:
+            raise SimulationError(f"negative power {power_w}")
+        if power_w == 0.0:
+            return math.inf
+        return self._remaining_wh * 3600.0 / power_w
+
+    def recharge(self, soc: float = 1.0) -> None:
+        """Reset the state of charge."""
+        if not 0.0 <= soc <= 1.0:
+            raise ConfigurationError("SoC must be in [0, 1]")
+        self._remaining_wh = self.capacity_wh * soc

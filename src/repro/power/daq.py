@@ -1,0 +1,94 @@
+"""External power measurement: the National Instruments DAQ of Section III.
+
+The paper measures the Nexus 6P's battery power with an NI PXIe-4081 at
+1 kHz.  The simulated instrument supersamples the simulator's zero-order-held
+battery power with additive Gaussian noise.  Samples are retained so the
+analysis layer can compute means/energies exactly the way one would from a
+real capture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+
+
+class PowerDaq:
+    """1 kHz (configurable) power sampler with Gaussian measurement noise."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        sample_rate_hz: float = 1000.0,
+        noise_std_w: float = 0.02,
+    ) -> None:
+        if sample_rate_hz <= 0.0:
+            raise ConfigurationError("DAQ sample rate must be positive")
+        if noise_std_w < 0.0:
+            raise ConfigurationError("DAQ noise std must be non-negative")
+        self._rng = rng
+        self._rate = sample_rate_hz
+        self._noise = noise_std_w
+        self._chunks: list[np.ndarray] = []
+        self._time_chunks: list[np.ndarray] = []
+        self._next_sample_s = 0.0
+
+    @property
+    def sample_rate_hz(self) -> float:
+        """Configured sampling rate."""
+        return self._rate
+
+    def capture(self, start_s: float, dt_s: float, power_w: float) -> None:
+        """Record the samples falling inside ``[start_s, start_s + dt_s)``.
+
+        The simulator holds ``power_w`` constant over the tick (ZOH), so all
+        samples in the window share the mean and differ only by noise.
+        """
+        end_s = start_s + dt_s
+        period = 1.0 / self._rate
+        if self._next_sample_s < start_s:
+            self._next_sample_s = start_s
+        n = int((end_s - self._next_sample_s) / period) + 1
+        if self._next_sample_s >= end_s:
+            n = 0
+        if n <= 0:
+            return
+        times = self._next_sample_s + period * np.arange(n)
+        times = times[times < end_s - 1e-12]
+        n = times.size
+        if n == 0:
+            return
+        samples = np.full(n, power_w)
+        if self._noise > 0.0:
+            samples = samples + self._rng.normal(0.0, self._noise, size=n)
+        self._chunks.append(samples)
+        self._time_chunks.append(times)
+        self._next_sample_s = float(times[-1]) + period
+
+    def samples(self) -> tuple[np.ndarray, np.ndarray]:
+        """All captured ``(times, watts)`` so far."""
+        if not self._chunks:
+            return np.empty(0), np.empty(0)
+        return np.concatenate(self._time_chunks), np.concatenate(self._chunks)
+
+    def mean_power_w(self, start_s: float | None = None, end_s: float | None = None) -> float:
+        """Average measured power over a window (whole capture by default)."""
+        times, watts = self.samples()
+        if times.size == 0:
+            raise AnalysisError("DAQ has captured no samples")
+        mask = np.ones(times.size, dtype=bool)
+        if start_s is not None:
+            mask &= times >= start_s
+        if end_s is not None:
+            mask &= times < end_s
+        if not mask.any():
+            raise AnalysisError("DAQ window contains no samples")
+        return float(watts[mask].mean())
+
+    def energy_j(self) -> float:
+        """Integrated energy of the capture (trapezoidal)."""
+        times, watts = self.samples()
+        if times.size < 2:
+            raise AnalysisError("need at least two samples to integrate energy")
+        return float(np.trapezoid(watts, times))

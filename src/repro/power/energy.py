@@ -1,0 +1,66 @@
+"""Exact per-rail energy accounting inside the simulator.
+
+Unlike :mod:`repro.power.daq` (which models a noisy instrument), the
+:class:`EnergyMeter` integrates the true rail powers tick by tick.  The
+power-distribution pie charts of the paper's Figure 9 are average-power
+breakdowns, which this meter produces directly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import AnalysisError
+
+
+class EnergyMeter:
+    """Accumulates joules per rail and exposes average-power breakdowns."""
+
+    def __init__(self) -> None:
+        self._energy_j: dict[str, float] = {}
+        self._elapsed_s = 0.0
+
+    def accumulate(self, rail_powers_w: Mapping[str, float], dt_s: float) -> None:
+        """Add one tick of per-rail power."""
+        if dt_s <= 0.0:
+            raise AnalysisError(f"dt must be positive, got {dt_s}")
+        for rail, watts in rail_powers_w.items():
+            self._energy_j[rail] = self._energy_j.get(rail, 0.0) + watts * dt_s
+        self._elapsed_s += dt_s
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total accumulated time."""
+        return self._elapsed_s
+
+    def energy_j(self, rail: str) -> float:
+        """Energy of one rail so far."""
+        return self._energy_j.get(rail, 0.0)
+
+    def total_energy_j(self) -> float:
+        """Energy across all rails."""
+        return sum(self._energy_j.values())
+
+    def average_power_w(self, rail: str) -> float:
+        """Average power of one rail over the accumulated window."""
+        if self._elapsed_s <= 0.0:
+            raise AnalysisError("no time accumulated yet")
+        return self._energy_j.get(rail, 0.0) / self._elapsed_s
+
+    def breakdown(self, rails: tuple[str, ...] | None = None) -> dict[str, float]:
+        """Fraction of total energy per rail (the Fig. 9 pie chart).
+
+        Restricting ``rails`` renormalises over that subset (e.g. the four
+        measurable INA231 rails, excluding the board constant).
+        """
+        if rails is None:
+            rails = tuple(self._energy_j)
+        total = sum(self._energy_j.get(r, 0.0) for r in rails)
+        if total <= 0.0:
+            raise AnalysisError("no energy accumulated for the requested rails")
+        return {r: self._energy_j.get(r, 0.0) / total for r in rails}
+
+    def reset(self) -> None:
+        """Zero all accumulators (e.g. to skip a warm-up window)."""
+        self._energy_j.clear()
+        self._elapsed_s = 0.0

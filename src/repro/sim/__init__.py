@@ -1,0 +1,24 @@
+"""Simulation engine: clock, RNG policy, trace recording, system wiring."""
+
+from repro.sim.clock import Clock, PeriodicTimer
+from repro.sim.engine import Simulation
+from repro.sim.experiment import AppSpec, Scenario, ScenarioResult, compare_policies
+from repro.sim.workload_gen import WorkloadGenerator, WorkloadRanges
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceChannel, TraceRecorder, resample_zoh
+
+__all__ = [
+    "AppSpec",
+    "Clock",
+    "PeriodicTimer",
+    "RngRegistry",
+    "Scenario",
+    "ScenarioResult",
+    "Simulation",
+    "TraceChannel",
+    "TraceRecorder",
+    "WorkloadGenerator",
+    "WorkloadRanges",
+    "compare_policies",
+    "resample_zoh",
+]

@@ -1,0 +1,223 @@
+"""The simulation engine: device + OS + workloads advancing in lock-step.
+
+Per tick:
+
+1. every application steps (starts frames, emits touches, queues work);
+2. the kernel runs governors/zones/daemons, then dispatches CPU + GPU work;
+3. completion tags are routed back to their applications;
+4. the power model converts activity + temperatures into per-rail watts;
+5. the thermal model integrates one step; sensors and meters are fed;
+6. traces are recorded at the recording period.
+
+The power→temperature→leakage loop closes across ticks (explicit coupling),
+which is accurate at a 10 ms step against thermal time constants of seconds
+and allows genuine thermal runaway to occur when the operating point is
+beyond the critical power of Section IV.A.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.apps.base import AppContext, Application
+from repro.errors import ConfigurationError, SimulationError
+from repro.kernel.kernel import GPU_DOMAIN, Kernel, KernelConfig
+from repro.power.daq import PowerDaq
+from repro.power.energy import EnergyMeter
+from repro.sim.clock import Clock, PeriodicTimer
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.soc.platform import BOARD_RAIL, PlatformSpec
+from repro.soc.power_model import ComponentActivity
+from repro.thermal.model import ThermalModel
+from repro.units import celsius_to_kelvin, kelvin_to_celsius
+
+
+class Simulation:
+    """One simulated device running a set of applications."""
+
+    def __init__(
+        self,
+        platform: PlatformSpec,
+        apps: Sequence[Application] = (),
+        kernel_config: KernelConfig | None = None,
+        seed: int = 0,
+        dt_s: float = 0.01,
+        ambient_c: float | None = None,
+        initial_temp_c: float | None = None,
+        record_period_s: float = 0.1,
+        enable_daq: bool = False,
+        daq_rate_hz: float = 1000.0,
+        battery=None,
+    ) -> None:
+        self.platform = platform
+        self.clock = Clock(dt_s)
+        self.rng = RngRegistry(seed)
+        ambient_k = (
+            platform.default_ambient_k
+            if ambient_c is None
+            else celsius_to_kelvin(ambient_c)
+        )
+        initial_k = (
+            platform.initial_temp_k
+            if initial_temp_c is None
+            else celsius_to_kelvin(initial_temp_c)
+        )
+        self.thermal = ThermalModel(
+            platform.thermal, dt_s, ambient_k=ambient_k, initial_k=initial_k
+        )
+        self.kernel = Kernel(
+            platform, self.thermal, self.clock, self.rng, kernel_config
+        )
+        self.traces = TraceRecorder()
+        self.energy = EnergyMeter()
+        self.daq = (
+            PowerDaq(self.rng.stream("daq"), sample_rate_hz=daq_rate_hz)
+            if enable_daq
+            else None
+        )
+        self.battery = battery
+        self._record_timer = PeriodicTimer(self.clock, record_period_s)
+        self._apps: dict[str, Application] = {}
+        for app in apps:
+            self.add_app(app)
+
+    # -------------------------------------------------------------- set-up
+
+    def add_app(self, app: Application) -> None:
+        """Attach an application to this simulation."""
+        if app.name in self._apps:
+            raise ConfigurationError(f"duplicate app name {app.name!r}")
+        app.attach(AppContext(kernel=self.kernel, rng=self.rng.stream(f"app.{app.name}")))
+        self._apps[app.name] = app
+
+    @property
+    def apps(self) -> dict[str, Application]:
+        """Attached applications by name."""
+        return dict(self._apps)
+
+    def app(self, name: str) -> Application:
+        """Look up an attached application."""
+        try:
+            return self._apps[name]
+        except KeyError:
+            raise SimulationError(
+                f"no app {name!r}; have {sorted(self._apps)}"
+            ) from None
+
+    # ---------------------------------------------------------------- step
+
+    def _dispatch(self, tags, gpu: bool, now_s: float) -> None:
+        for tag in tags:
+            if not isinstance(tag, tuple) or not tag:
+                continue
+            app = self._apps.get(tag[0])
+            if app is None:
+                continue
+            if gpu:
+                app.on_gpu_complete(tag, now_s)
+            else:
+                app.on_cpu_complete(tag, now_s)
+
+    def step(self) -> None:
+        """Advance the whole system by one tick."""
+        now = self.clock.now
+        dt = self.clock.dt
+
+        for app in self._apps.values():
+            app.step(now, dt)
+
+        kres = self.kernel.tick(now, dt)
+        self._dispatch(kres.completed_cpu_tags, gpu=False, now_s=now)
+        self._dispatch(kres.gpu.completed_tags, gpu=True, now_s=now)
+
+        temps = self.thermal.temperatures_k()
+        cluster_activity = {}
+        total_busy = 0.0
+        total_cores = 0
+        for cluster in self.platform.clusters:
+            usage = kres.usage[cluster.name]
+            cluster_activity[cluster.name] = ComponentActivity(
+                freq_hz=kres.freqs_hz[cluster.name],
+                busy_units=min(usage.busy_cores, float(cluster.n_cores)),
+                temp_k=temps[cluster.thermal_node],
+                powered=self.kernel.cluster_online(cluster.name),
+                idle_scale=self.kernel.idle_scale(cluster.name),
+            )
+            total_busy += usage.busy_cores
+            total_cores += cluster.n_cores
+        gpu_activity = ComponentActivity(
+            freq_hz=kres.freqs_hz[GPU_DOMAIN],
+            busy_units=min(kres.gpu.busy_fraction, 1.0),
+            temp_k=temps[self.platform.gpu.thermal_node],
+            idle_scale=self.kernel.idle_scale(GPU_DOMAIN),
+        )
+        mem_activity = min(
+            1.0,
+            0.25 * total_busy / max(total_cores, 1)
+            + 0.6 * kres.gpu.busy_fraction,
+        )
+        rails = self.kernel.power_model.rail_powers(
+            cluster_activity,
+            gpu_activity,
+            mem_activity,
+            temps[self.platform.memory.thermal_node],
+        )
+        rail_watts = {rail: sample.total_w for rail, sample in rails.items()}
+        soc_watts = dict(rail_watts)
+        if self.platform.board_power_w > 0.0:
+            rail_watts[BOARD_RAIL] = self.platform.board_power_w
+        battery_w = sum(rail_watts.values())
+
+        self.thermal.step(rail_watts)
+        self.kernel.update_power_readings(soc_watts, dt)
+        self.energy.accumulate(rail_watts, dt)
+        if self.daq is not None:
+            self.daq.capture(now, dt, battery_w)
+        if self.battery is not None:
+            self.battery.drain(battery_w, dt)
+
+        if self._record_timer.poll():
+            self._record(now, kres, rail_watts, battery_w)
+
+        self.clock.advance()
+
+    def _record(self, now, kres, rail_watts, battery_w) -> None:
+        for node, temp_k in self.thermal.temperatures_k().items():
+            self.traces.record(f"temp.{node}", now, kelvin_to_celsius(temp_k))
+        self.traces.record(
+            "temp.max", now, kelvin_to_celsius(self.thermal.max_temperature_k())
+        )
+        for domain, freq in kres.freqs_hz.items():
+            self.traces.record(f"freq.{domain}", now, freq / 1e6)
+        for rail, watts in rail_watts.items():
+            self.traces.record(f"power.{rail}", now, watts)
+        self.traces.record("power.total", now, battery_w)
+        for cluster in self.platform.clusters:
+            self.traces.record(
+                f"busy.{cluster.name}", now, kres.usage[cluster.name].busy_cores
+            )
+        self.traces.record("busy.gpu", now, kres.gpu.busy_fraction)
+        if self.battery is not None:
+            self.traces.record("battery.soc", now, self.battery.soc)
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        duration_s: float,
+        until: Callable[["Simulation"], bool] | None = None,
+    ) -> None:
+        """Run for ``duration_s`` seconds (or until the predicate is true)."""
+        if duration_s <= 0.0:
+            raise ConfigurationError("duration must be positive")
+        end = self.clock.now + duration_s
+        while self.clock.now < end - 1e-9:
+            self.step()
+            if until is not None and until(self):
+                break
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time."""
+        return self.clock.now

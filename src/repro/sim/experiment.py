@@ -1,0 +1,196 @@
+"""Declarative scenario runner.
+
+The experiment modules each assemble platform + apps + policy by hand; this
+module packages that pattern into a single reusable entry point:
+
+    result = Scenario(
+        platform="odroid-xu3",
+        apps=(AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+        policy="proposed",
+        duration_s=120.0,
+    ).run()
+
+Policies: ``none`` (no thermal management), ``stock`` (the platform's
+default kernel policy: step-wise trips on the phone, IPA on the Odroid),
+``proposed`` (the paper's application-aware governor; every non-batch app
+is registered as real-time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.breakdown import PowerBreakdown, breakdown_from_traces
+from repro.apps.base import Application
+from repro.apps.catalog import CATALOG, make_app
+from repro.apps.mibench import MIBENCH_SUITE
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+
+PLATFORMS = ("nexus6p", "odroid-xu3")
+POLICIES = ("none", "stock", "proposed")
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One workload in a scenario."""
+
+    kind: str  # "catalog" or "batch"
+    name: str
+    cluster: str | None = None
+
+    @classmethod
+    def catalog(cls, name: str, cluster: str | None = None) -> "AppSpec":
+        """A Play-Store catalog app (foreground: registered under 'proposed')."""
+        if name not in CATALOG:
+            raise ConfigurationError(
+                f"unknown catalog app {name!r}; have {sorted(CATALOG)}"
+            )
+        return cls("catalog", name, cluster)
+
+    @classmethod
+    def batch(cls, name: str, cluster: str | None = None) -> "AppSpec":
+        """A MiBench batch kernel (background: migratable)."""
+        if name not in MIBENCH_SUITE:
+            raise ConfigurationError(
+                f"unknown MiBench kernel {name!r}; have {sorted(MIBENCH_SUITE)}"
+            )
+        return cls("batch", name, cluster)
+
+    def build(self) -> Application:
+        """Instantiate the application."""
+        if self.kind == "catalog":
+            app = make_app(self.name)
+            if self.cluster is not None:
+                app._cluster = self.cluster
+            return app
+        return MIBENCH_SUITE[self.name](cluster=self.cluster)
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Standardised outcome of one scenario run."""
+
+    policy: str
+    fps: dict[str, float]
+    peak_temp_c: float
+    end_temp_c: float
+    breakdown: PowerBreakdown
+    mean_power_w: float
+    governor_events: tuple[tuple[float, str, str], ...]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A declarative experiment: platform + apps + policy."""
+
+    platform: str
+    apps: tuple[AppSpec, ...]
+    policy: str = "stock"
+    duration_s: float = 120.0
+    seed: int = 3
+    t_limit_c: float | None = None
+    governor: GovernorConfig | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.platform not in PLATFORMS:
+            raise ConfigurationError(
+                f"unknown platform {self.platform!r}; have {PLATFORMS}"
+            )
+        if self.policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; have {POLICIES}"
+            )
+        if not self.apps:
+            raise ConfigurationError("a scenario needs at least one app")
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("duration must be positive")
+
+    def _platform(self):
+        if self.platform == "nexus6p":
+            from repro.soc.snapdragon810 import nexus6p
+
+            return nexus6p()
+        from repro.soc.exynos5422 import odroid_xu3
+
+        return odroid_xu3()
+
+    def _kernel_config(self) -> KernelConfig:
+        if self.policy != "stock":
+            return KernelConfig()
+        if self.platform == "nexus6p":
+            from repro.experiments.nexus import nexus_thermal_config
+
+            return KernelConfig(thermal=nexus_thermal_config())
+        from repro.experiments.odroid import odroid_default_thermal
+
+        return KernelConfig(thermal=odroid_default_thermal())
+
+    def _default_limit_c(self) -> float:
+        return 41.0 if self.platform == "nexus6p" else 85.0
+
+    def run(self) -> ScenarioResult:
+        """Build, run and summarise the scenario."""
+        platform = self._platform()
+        apps = [spec.build() for spec in self.apps]
+        sim = Simulation(
+            platform, apps, kernel_config=self._kernel_config(), seed=self.seed,
+            enable_daq=True,
+        )
+        governor = None
+        if self.policy == "proposed":
+            config = self.governor or GovernorConfig(
+                t_limit_c=self.t_limit_c or self._default_limit_c(),
+                horizon_s=60.0,
+            )
+            governor = ApplicationAwareGovernor.for_simulation(sim, config)
+            for spec, app in zip(self.apps, apps):
+                if spec.kind == "catalog":
+                    for pid in app.pids():
+                        governor.registry.register(pid, spec.name)
+            governor.install(sim.kernel)
+        sim.run(self.duration_s)
+
+        fps = {}
+        for spec, app in zip(self.apps, apps):
+            metrics = app.metrics()
+            if "median_fps" in metrics:
+                fps[spec.name] = metrics["median_fps"]
+        _, temps = sim.traces.series("temp.max")
+        rails = [c.rail for c in platform.clusters]
+        rails += [platform.gpu.rail, platform.memory.rail]
+        events = ()
+        if governor is not None:
+            events = tuple(
+                (e.time_s, e.name, e.direction) for e in governor.events
+            )
+        return ScenarioResult(
+            policy=self.policy,
+            fps=fps,
+            peak_temp_c=float(np.max(temps)),
+            end_temp_c=float(temps[-1]),
+            breakdown=breakdown_from_traces(sim.traces, rails, start_s=5.0),
+            mean_power_w=sim.daq.mean_power_w(start_s=5.0),
+            governor_events=events,
+        )
+
+
+def compare_policies(
+    platform: str,
+    apps: tuple[AppSpec, ...],
+    duration_s: float = 120.0,
+    seed: int = 3,
+    t_limit_c: float | None = None,
+) -> dict[str, ScenarioResult]:
+    """Run the same app mix under all three policies."""
+    return {
+        policy: Scenario(
+            platform=platform, apps=apps, policy=policy,
+            duration_s=duration_s, seed=seed, t_limit_c=t_limit_c,
+        ).run()
+        for policy in POLICIES
+    }

@@ -1,0 +1,43 @@
+"""Deterministic random-number streams.
+
+Reproducibility policy: a single root seed per experiment, with one
+independent child stream per named consumer (each app, each sensor, the DAQ).
+Adding a new consumer never perturbs the draws seen by existing consumers,
+because streams are derived by name via ``numpy``'s ``SeedSequence.spawn``
+keyed on a stable hash of the name.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+class RngRegistry:
+    """Hands out named, independent ``numpy`` generators from one root seed."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """Root seed this registry was built from."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        The same (seed, name) pair always yields an identical stream,
+        independent of creation order.
+        """
+        if name not in self._streams:
+            key = zlib.crc32(name.encode("utf-8"))
+            seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(key,))
+            self._streams[name] = np.random.Generator(np.random.PCG64(seq))
+        return self._streams[name]
+
+    def names(self) -> list[str]:
+        """Names of all streams created so far (sorted for determinism)."""
+        return sorted(self._streams)

@@ -1,0 +1,87 @@
+"""Random workload generation for stress/robustness testing.
+
+Draws plausible frame-pipeline workloads and batch kernels from documented
+parameter ranges.  Used by the robustness tests: whatever mix the generator
+produces, the simulated device must stay numerically sane and, under the
+stock policy, thermally bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import BatchApp
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadRanges:
+    """Plausible mobile-app parameter ranges (inclusive bounds)."""
+
+    cpu_mcycles: tuple[float, float] = (2.0, 90.0)
+    gpu_mcycles: tuple[float, float] = (1.0, 20.0)
+    target_fps: tuple[float, float] = (30.0, 60.0)
+    sigma: tuple[float, float] = (0.0, 0.8)
+    phase_amp: tuple[float, float] = (0.0, 0.7)
+    phase_period_s: tuple[float, float] = (5.0, 40.0)
+    touch_rate_hz: tuple[float, float] = (0.0, 4.0)
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in self.__dict__.items():
+            if lo > hi:
+                raise ConfigurationError(f"range {name} is inverted")
+
+
+class WorkloadGenerator:
+    """Draws random apps from a :class:`WorkloadRanges` envelope."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        ranges: WorkloadRanges | None = None,
+    ) -> None:
+        self._rng = rng
+        self.ranges = ranges or WorkloadRanges()
+        self._counter = 0
+
+    def _draw(self, bounds: tuple[float, float]) -> float:
+        lo, hi = bounds
+        return float(self._rng.uniform(lo, hi))
+
+    def frame_app(self, name: str | None = None) -> FrameApp:
+        """One random frame-pipeline app."""
+        self._counter += 1
+        r = self.ranges
+        workload = FrameWorkload(
+            cpu_cycles_per_frame=self._draw(r.cpu_mcycles) * 1e6,
+            gpu_cycles_per_frame=self._draw(r.gpu_mcycles) * 1e6,
+            target_fps=self._draw(r.target_fps),
+            sigma=self._draw(r.sigma),
+            phase_amp=self._draw(r.phase_amp),
+            phase_period_s=self._draw(r.phase_period_s),
+            pipeline_depth=int(self._rng.integers(1, 4)),
+            touch_rate_hz=self._draw(r.touch_rate_hz),
+        )
+        return FrameApp(name or f"rand_app_{self._counter}", workload)
+
+    def batch_app(self, name: str | None = None) -> BatchApp:
+        """One random batch kernel (compute- or memory-bound)."""
+        self._counter += 1
+        if self._rng.random() < 0.5:
+            rate = None
+        else:
+            rate = float(self._rng.uniform(0.3, 2.5))
+        return BatchApp(
+            name or f"rand_batch_{self._counter}",
+            n_threads=int(self._rng.integers(1, 3)),
+            rate_gcycles_per_s=rate,
+        )
+
+    def mix(self, n_frame: int, n_batch: int) -> list:
+        """A random app mix with unique names."""
+        apps = [self.frame_app() for _ in range(n_frame)]
+        apps += [self.batch_app() for _ in range(n_batch)]
+        return apps

@@ -1,0 +1,32 @@
+"""SoC models: OPP tables, components, power model, concrete platforms."""
+
+from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.opp import OperatingPoint, OppTable
+from repro.soc.platform import BOARD_RAIL, PlatformSpec
+from repro.soc.power_model import (
+    ComponentActivity,
+    PowerSample,
+    SocPowerModel,
+    dynamic_power_w,
+    leakage_power_w,
+)
+from repro.soc.snapdragon810 import nexus6p
+
+__all__ = [
+    "BOARD_RAIL",
+    "ClusterSpec",
+    "ComponentActivity",
+    "GpuSpec",
+    "LeakageParams",
+    "MemorySpec",
+    "OperatingPoint",
+    "OppTable",
+    "PlatformSpec",
+    "PowerSample",
+    "SocPowerModel",
+    "dynamic_power_w",
+    "leakage_power_w",
+    "nexus6p",
+    "odroid_xu3",
+]

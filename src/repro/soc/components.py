@@ -1,0 +1,127 @@
+"""Static descriptions of SoC components (CPU clusters, GPU, memory).
+
+These are *specifications*: immutable data that parameterises the power
+model, the scheduler, and the thermal mapping.  Runtime state (current
+frequency, utilisation, temperature) lives in the kernel and thermal layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.soc.opp import OppTable
+
+
+@dataclass(frozen=True)
+class LeakageParams:
+    """Temperature-dependent leakage model parameters.
+
+    Leakage power of a component follows the standard compact model used by
+    the paper's companion analysis (Bhat et al., TECS 2017):
+
+        P_leak(T, V) = kappa * T^2 * exp(-beta / T) * (V / v_ref)
+
+    with ``T`` in kelvin.  ``kappa`` has units of W/K^2 at ``v_ref``.
+    """
+
+    kappa_w_per_k2: float
+    beta_k: float
+    v_ref: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kappa_w_per_k2 < 0.0:
+            raise ConfigurationError("leakage kappa must be non-negative")
+        if self.beta_k <= 0.0:
+            raise ConfigurationError("leakage beta must be positive")
+        if self.v_ref <= 0.0:
+            raise ConfigurationError("leakage v_ref must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous CPU cluster (e.g. the four Cortex-A57 'big' cores).
+
+    ``ceff_w_per_v2hz`` is the effective switched capacitance of one core:
+    a fully busy core at frequency f and voltage V dissipates
+    ``ceff * V^2 * f`` watts of dynamic power.
+    """
+
+    name: str
+    core_type: str
+    n_cores: int
+    opps: OppTable
+    ceff_w_per_v2hz: float
+    leakage: LeakageParams
+    idle_power_w: float = 0.0
+    thermal_node: str = ""
+    rail: str = ""
+    is_big: bool = False
+    ipc: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise ConfigurationError(f"cluster {self.name!r} needs >= 1 core")
+        if self.ceff_w_per_v2hz <= 0.0:
+            raise ConfigurationError(f"cluster {self.name!r}: ceff must be positive")
+        if self.idle_power_w < 0.0:
+            raise ConfigurationError(f"cluster {self.name!r}: idle power must be >= 0")
+        if self.ipc <= 0.0:
+            raise ConfigurationError(f"cluster {self.name!r}: ipc must be positive")
+        object.__setattr__(self, "thermal_node", self.thermal_node or self.name)
+        object.__setattr__(self, "rail", self.rail or self.name)
+
+    def capacity_cycles(self, freq_hz: float, dt_s: float) -> float:
+        """Effective work capacity (instruction-weighted cycles) of the whole
+        cluster over ``dt_s`` at ``freq_hz``."""
+        return self.ipc * freq_hz * self.n_cores * dt_s
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """A GPU treated as a single schedulable device with its own OPPs."""
+
+    name: str
+    gpu_type: str
+    opps: OppTable
+    ceff_w_per_v2hz: float
+    leakage: LeakageParams
+    idle_power_w: float = 0.0
+    thermal_node: str = ""
+    rail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ceff_w_per_v2hz <= 0.0:
+            raise ConfigurationError(f"gpu {self.name!r}: ceff must be positive")
+        if self.idle_power_w < 0.0:
+            raise ConfigurationError(f"gpu {self.name!r}: idle power must be >= 0")
+        object.__setattr__(self, "thermal_node", self.thermal_node or self.name)
+        object.__setattr__(self, "rail", self.rail or self.name)
+
+    def capacity_cycles(self, freq_hz: float, dt_s: float) -> float:
+        """Render capacity (cycles) of the GPU over ``dt_s`` at ``freq_hz``."""
+        return freq_hz * dt_s
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """DRAM + memory controller, modelled as base power plus an activity term.
+
+    ``activity_power_w`` is the extra power at 100% memory-side activity;
+    the engine derives activity from aggregate CPU/GPU utilisation.
+    """
+
+    name: str = "mem"
+    base_power_w: float = 0.1
+    activity_power_w: float = 0.4
+    leakage: LeakageParams = field(
+        default_factory=lambda: LeakageParams(kappa_w_per_k2=0.0, beta_k=1000.0)
+    )
+    thermal_node: str = ""
+    rail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.base_power_w < 0.0 or self.activity_power_w < 0.0:
+            raise ConfigurationError("memory power terms must be non-negative")
+        object.__setattr__(self, "thermal_node", self.thermal_node or self.name)
+        object.__setattr__(self, "rail", self.rail or self.name)

@@ -1,0 +1,137 @@
+"""Operating performance points (OPPs) and OPP tables.
+
+An OPP pairs a clock frequency with the supply voltage required to run at
+that frequency.  DVFS actors (cpufreq governors, cooling devices, the power
+model) all work in terms of an :class:`OppTable` — an immutable, ascending
+list of OPPs mirroring the ``opp-table`` device-tree nodes of a real SoC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.units import hz_to_khz
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A single frequency/voltage pair."""
+
+    freq_hz: float
+    voltage_v: float
+
+    def __post_init__(self) -> None:
+        if self.freq_hz <= 0.0:
+            raise ConfigurationError(f"OPP frequency must be positive: {self.freq_hz}")
+        if self.voltage_v <= 0.0:
+            raise ConfigurationError(f"OPP voltage must be positive: {self.voltage_v}")
+
+
+class OppTable:
+    """Immutable ascending table of :class:`OperatingPoint` entries.
+
+    Frequencies must be strictly increasing and voltages non-decreasing —
+    running faster never takes less voltage on real silicon, and several
+    governor algorithms (notably IPA's power tables) rely on this
+    monotonicity.
+    """
+
+    def __init__(self, points: Iterable[OperatingPoint]) -> None:
+        pts = tuple(points)
+        if len(pts) < 2:
+            raise ConfigurationError("an OPP table needs at least two points")
+        for prev, cur in zip(pts, pts[1:]):
+            if cur.freq_hz <= prev.freq_hz:
+                raise ConfigurationError(
+                    f"OPP frequencies must be strictly increasing: "
+                    f"{cur.freq_hz} after {prev.freq_hz}"
+                )
+            if cur.voltage_v < prev.voltage_v:
+                raise ConfigurationError(
+                    f"OPP voltages must be non-decreasing: "
+                    f"{cur.voltage_v} after {prev.voltage_v}"
+                )
+        self._points = pts
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[tuple[float, float]]) -> "OppTable":
+        """Build a table from ``(freq_hz, voltage_v)`` tuples."""
+        return cls(OperatingPoint(f, v) for f, v in pairs)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[OperatingPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> OperatingPoint:
+        return self._points[index]
+
+    @property
+    def min_freq_hz(self) -> float:
+        """Lowest supported frequency."""
+        return self._points[0].freq_hz
+
+    @property
+    def max_freq_hz(self) -> float:
+        """Highest supported frequency."""
+        return self._points[-1].freq_hz
+
+    def frequencies_hz(self) -> tuple[float, ...]:
+        """All frequencies, ascending."""
+        return tuple(p.freq_hz for p in self._points)
+
+    def frequencies_khz(self) -> tuple[int, ...]:
+        """All frequencies in kilohertz (the cpufreq sysfs unit), ascending."""
+        return tuple(hz_to_khz(p.freq_hz) for p in self._points)
+
+    def index_of(self, freq_hz: float) -> int:
+        """Index of the exact frequency ``freq_hz``; raises if absent."""
+        for i, p in enumerate(self._points):
+            if abs(p.freq_hz - freq_hz) <= 0.5:
+                return i
+        raise ConfigurationError(f"{freq_hz} Hz is not an OPP of this table")
+
+    def voltage_for(self, freq_hz: float) -> float:
+        """Supply voltage of the exact OPP at ``freq_hz``."""
+        return self._points[self.index_of(freq_hz)].voltage_v
+
+    def floor(self, freq_hz: float) -> OperatingPoint:
+        """Highest OPP whose frequency does not exceed ``freq_hz``.
+
+        Clamps to the lowest OPP when ``freq_hz`` is below the table.
+        """
+        chosen = self._points[0]
+        for p in self._points:
+            if p.freq_hz <= freq_hz + 0.5:
+                chosen = p
+            else:
+                break
+        return chosen
+
+    def ceil(self, freq_hz: float) -> OperatingPoint:
+        """Lowest OPP whose frequency is at least ``freq_hz``.
+
+        Clamps to the highest OPP when ``freq_hz`` is above the table.
+        Frequency governors use this to pick the slowest speed that still
+        meets a demand.
+        """
+        for p in self._points:
+            if p.freq_hz + 0.5 >= freq_hz:
+                return p
+        return self._points[-1]
+
+    def clamp(self, freq_hz: float) -> float:
+        """Clamp an arbitrary frequency into the table's range."""
+        return min(max(freq_hz, self.min_freq_hz), self.max_freq_hz)
+
+    def capped(self, max_freq_hz: float) -> tuple[OperatingPoint, ...]:
+        """All OPPs at or below ``max_freq_hz`` (at least the lowest one)."""
+        allowed = tuple(p for p in self._points if p.freq_hz <= max_freq_hz + 0.5)
+        return allowed if allowed else (self._points[0],)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mhz = ", ".join(f"{p.freq_hz / 1e6:.0f}" for p in self._points)
+        return f"OppTable([{mhz}] MHz)"

@@ -1,0 +1,128 @@
+"""Platform descriptor: one object tying together a SoC's components,
+thermal network, sensors and board-level constants.
+
+A :class:`PlatformSpec` is everything the simulation engine needs to
+instantiate a device — the software side (kernel configuration, apps,
+governors) is configured separately per scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.soc.components import ClusterSpec, GpuSpec, MemorySpec
+from repro.soc.power_model import SocPowerModel
+from repro.thermal.rc_network import ThermalNetworkSpec
+from repro.thermal.sensors import SensorSpec
+from repro.units import celsius_to_kelvin
+
+BOARD_RAIL = "board"
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Full description of a simulated device.
+
+    ``board_power_w`` is the rest-of-platform power (display, regulators,
+    radios) that contributes to battery drain and board heating but is not
+    under DVFS control.
+    """
+
+    name: str
+    clusters: Sequence[ClusterSpec]
+    gpu: GpuSpec
+    memory: MemorySpec
+    thermal: ThermalNetworkSpec
+    sensors: Sequence[SensorSpec]
+    board_power_w: float = 0.0
+    default_ambient_c: float = 25.0
+    initial_temp_c: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ConfigurationError(f"platform {self.name!r}: no CPU clusters")
+        names = [c.name for c in self.clusters]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate cluster names: {names}")
+        nodes = set(self.thermal.node_names)
+        for spec in (*self.clusters, self.gpu, self.memory):
+            if spec.thermal_node not in nodes:
+                raise ConfigurationError(
+                    f"{spec.name!r} maps to unknown thermal node "
+                    f"{spec.thermal_node!r}"
+                )
+        rails = set(self.thermal.rail_names)
+        expected = {c.rail for c in self.clusters} | {self.gpu.rail, self.memory.rail}
+        if self.board_power_w > 0.0:
+            expected.add(BOARD_RAIL)
+        missing = expected - rails
+        if missing:
+            raise ConfigurationError(
+                f"thermal network lacks power splits for rails {sorted(missing)}"
+            )
+        sensor_names = [s.name for s in self.sensors]
+        if len(set(sensor_names)) != len(sensor_names):
+            raise ConfigurationError(f"duplicate sensor names: {sensor_names}")
+        for sensor in self.sensors:
+            if sensor.node not in nodes:
+                raise ConfigurationError(
+                    f"sensor {sensor.name!r} placed on unknown node {sensor.node!r}"
+                )
+        if self.board_power_w < 0.0:
+            raise ConfigurationError("board power must be non-negative")
+
+    def cluster(self, name: str) -> ClusterSpec:
+        """Cluster spec by name; raises on unknown names."""
+        for spec in self.clusters:
+            if spec.name == name:
+                return spec
+        raise ConfigurationError(
+            f"no cluster {name!r} on {self.name!r}; "
+            f"have {[c.name for c in self.clusters]}"
+        )
+
+    @property
+    def big_cluster(self) -> ClusterSpec:
+        """The high-performance cluster (exactly one must be flagged big)."""
+        bigs = [c for c in self.clusters if c.is_big]
+        if len(bigs) != 1:
+            raise ConfigurationError(
+                f"platform {self.name!r} must flag exactly one big cluster"
+            )
+        return bigs[0]
+
+    @property
+    def little_cluster(self) -> ClusterSpec:
+        """The low-power cluster (first non-big cluster)."""
+        littles = [c for c in self.clusters if not c.is_big]
+        if not littles:
+            raise ConfigurationError(f"platform {self.name!r} has no LITTLE cluster")
+        return littles[0]
+
+    @property
+    def default_ambient_k(self) -> float:
+        """Default ambient temperature in kelvin."""
+        return celsius_to_kelvin(self.default_ambient_c)
+
+    @property
+    def initial_temp_k(self) -> float:
+        """Initial device temperature in kelvin (ambient if unspecified)."""
+        if self.initial_temp_c is None:
+            return self.default_ambient_k
+        return celsius_to_kelvin(self.initial_temp_c)
+
+    def power_model(self) -> SocPowerModel:
+        """Construct the power model for this platform."""
+        return SocPowerModel(
+            {c.name: c for c in self.clusters}, self.gpu, self.memory
+        )
+
+    def sensor(self, name: str) -> SensorSpec:
+        """Sensor spec by name."""
+        for spec in self.sensors:
+            if spec.name == name:
+                return spec
+        raise ConfigurationError(f"no sensor {name!r} on {self.name!r}")

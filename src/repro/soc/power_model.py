@@ -1,0 +1,174 @@
+"""Per-component power models: dynamic CV^2 f plus temperature-driven leakage.
+
+Power is the coupling variable of the whole reproduction: the kernel decides
+frequencies, the scheduler decides utilisations, this module turns both plus
+the current temperatures into per-rail watts, and the thermal model turns
+watts back into temperatures.  The leakage term is what creates the
+positive feedback loop the paper's stability analysis (Section IV.A) studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
+
+
+def dynamic_power_w(
+    ceff_w_per_v2hz: float, voltage_v: float, freq_hz: float, busy_units: float
+) -> float:
+    """Dynamic switching power: ``Ceff * V^2 * f`` scaled by busy units.
+
+    ``busy_units`` is the number of fully-busy execution units (e.g. 2.5
+    means two cores busy plus one half busy).
+    """
+    if busy_units < 0.0:
+        raise SimulationError(f"negative busy_units: {busy_units}")
+    return ceff_w_per_v2hz * voltage_v * voltage_v * freq_hz * busy_units
+
+
+def leakage_power_w(params: LeakageParams, temp_k: float, voltage_v: float) -> float:
+    """Temperature-dependent leakage: ``kappa * T^2 * exp(-beta/T) * V/Vref``."""
+    if temp_k <= 0.0:
+        raise SimulationError(f"non-physical temperature {temp_k} K")
+    import math
+
+    return (
+        params.kappa_w_per_k2
+        * temp_k
+        * temp_k
+        * math.exp(-params.beta_k / temp_k)
+        * (voltage_v / params.v_ref)
+    )
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Decomposed power of one rail at one instant."""
+
+    dynamic_w: float
+    leakage_w: float
+
+    @property
+    def total_w(self) -> float:
+        """Dynamic plus leakage power."""
+        return self.dynamic_w + self.leakage_w
+
+
+@dataclass
+class ComponentActivity:
+    """Runtime operating condition of one component for a power query.
+
+    ``idle_scale`` multiplies the component's idle power: 1.0 for a shallow
+    WFI idle, lower when cpuidle has gated the component deeper.
+    """
+
+    freq_hz: float
+    busy_units: float
+    temp_k: float
+    powered: bool = True
+    idle_scale: float = 1.0
+
+
+class SocPowerModel:
+    """Computes per-rail power for a set of component activities.
+
+    Built from the component specs of a platform; stateless apart from those
+    specs, so one instance can serve many simulations.
+    """
+
+    def __init__(
+        self,
+        clusters: Mapping[str, ClusterSpec],
+        gpu: GpuSpec,
+        memory: MemorySpec,
+    ) -> None:
+        if not clusters:
+            raise ConfigurationError("a SoC needs at least one CPU cluster")
+        self._clusters = dict(clusters)
+        self._gpu = gpu
+        self._memory = memory
+
+    def cluster_power(self, name: str, activity: ComponentActivity) -> PowerSample:
+        """Power of CPU cluster ``name`` under ``activity``."""
+        spec = self._clusters.get(name)
+        if spec is None:
+            raise SimulationError(f"unknown cluster {name!r}")
+        if not activity.powered:
+            return PowerSample(0.0, 0.0)
+        if activity.busy_units > spec.n_cores + 1e-9:
+            raise SimulationError(
+                f"cluster {name!r}: busy_units {activity.busy_units} exceeds "
+                f"{spec.n_cores} cores"
+            )
+        voltage = spec.opps.voltage_for(activity.freq_hz)
+        dyn = spec.idle_power_w * activity.idle_scale + dynamic_power_w(
+            spec.ceff_w_per_v2hz, voltage, activity.freq_hz, activity.busy_units
+        )
+        leak = leakage_power_w(spec.leakage, activity.temp_k, voltage)
+        if activity.busy_units < 1e-6:
+            # A fully idle cluster in a deep cpuidle state is power-gated:
+            # the gating removes leakage along with the clock tree.
+            leak *= activity.idle_scale
+        return PowerSample(dyn, leak)
+
+    def gpu_power(self, activity: ComponentActivity) -> PowerSample:
+        """Power of the GPU under ``activity`` (busy_units in [0, 1])."""
+        if not activity.powered:
+            return PowerSample(0.0, 0.0)
+        if activity.busy_units > 1.0 + 1e-9:
+            raise SimulationError(
+                f"gpu busy_units must be <= 1, got {activity.busy_units}"
+            )
+        spec = self._gpu
+        voltage = spec.opps.voltage_for(activity.freq_hz)
+        dyn = spec.idle_power_w * activity.idle_scale + dynamic_power_w(
+            spec.ceff_w_per_v2hz, voltage, activity.freq_hz, activity.busy_units
+        )
+        leak = leakage_power_w(spec.leakage, activity.temp_k, voltage)
+        if activity.busy_units < 1e-6:
+            leak *= activity.idle_scale
+        return PowerSample(dyn, leak)
+
+    def memory_power(self, activity_fraction: float, temp_k: float) -> PowerSample:
+        """Memory power at the given activity fraction in [0, 1]."""
+        if not 0.0 <= activity_fraction <= 1.0 + 1e-9:
+            raise SimulationError(
+                f"memory activity must be in [0, 1], got {activity_fraction}"
+            )
+        spec = self._memory
+        dyn = spec.base_power_w + spec.activity_power_w * min(activity_fraction, 1.0)
+        leak = leakage_power_w(spec.leakage, temp_k, spec.leakage.v_ref)
+        return PowerSample(dyn, leak)
+
+    def rail_powers(
+        self,
+        cluster_activity: Mapping[str, ComponentActivity],
+        gpu_activity: ComponentActivity,
+        memory_activity: float,
+        memory_temp_k: float,
+    ) -> dict[str, PowerSample]:
+        """Power of every rail, keyed by rail name."""
+        out: dict[str, PowerSample] = {}
+        for name, spec in self._clusters.items():
+            activity = cluster_activity.get(name)
+            if activity is None:
+                raise SimulationError(f"missing activity for cluster {name!r}")
+            out[spec.rail] = self.cluster_power(name, activity)
+        out[self._gpu.rail] = self.gpu_power(gpu_activity)
+        out[self._memory.rail] = self.memory_power(memory_activity, memory_temp_k)
+        return out
+
+    def max_cluster_power_w(self, name: str, freq_hz: float, temp_k: float) -> float:
+        """Worst-case (all cores busy) cluster power at an OPP — used by IPA."""
+        spec = self._clusters.get(name)
+        if spec is None:
+            raise SimulationError(f"unknown cluster {name!r}")
+        activity = ComponentActivity(freq_hz, float(spec.n_cores), temp_k)
+        return self.cluster_power(name, activity).total_w
+
+    def max_gpu_power_w(self, freq_hz: float, temp_k: float) -> float:
+        """Worst-case GPU power at an OPP — used by IPA."""
+        return self.gpu_power(ComponentActivity(freq_hz, 1.0, temp_k)).total_w

@@ -1,0 +1,66 @@
+"""Human-readable summaries of thermal networks.
+
+``describe_network`` renders the node/link structure with each node's
+effective resistance to ambient and its time constant — the quantities a
+thermal engineer sanity-checks first when reviewing a compact model.
+"""
+
+from __future__ import annotations
+
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import AMBIENT, ThermalNetworkSpec
+
+
+def describe_network(spec: ThermalNetworkSpec, dt_s: float = 0.01) -> str:
+    """Render a multi-line description of a thermal network."""
+    model = ThermalModel(spec, dt_s, ambient_k=300.0)
+    lines = ["Thermal network:"]
+    lines.append(f"  nodes ({len(spec.nodes)}):")
+    for node in spec.nodes:
+        # Effective junction-to-ambient resistance: DC gain from a rail
+        # injecting on this node, when one exists; else via a probe rail.
+        r_amb = _node_resistance(spec, model, node.name)
+        lines.append(
+            f"    {node.name:10s} C = {node.capacitance_j_per_k:6.2f} J/K"
+            f"   R_to_ambient = {r_amb:6.2f} K/W"
+        )
+    lines.append(f"  links ({len(spec.links)}):")
+    for link in spec.links:
+        other = AMBIENT if AMBIENT in (link.node_a, link.node_b) else link.node_b
+        a = link.node_a if link.node_a != AMBIENT else link.node_b
+        lines.append(
+            f"    {a:10s} -> {other:10s} "
+            f"G = {link.conductance_w_per_k:5.2f} W/K "
+            f"(R = {1.0 / link.conductance_w_per_k:5.2f} K/W)"
+        )
+    lines.append("  power splits:")
+    for rail in spec.rail_names:
+        split = ", ".join(
+            f"{node}: {frac * 100.0:.0f}%"
+            for node, frac in spec.power_split[rail].items()
+        )
+        lines.append(f"    {rail:10s} -> {split}")
+    lines.append(
+        f"  dominant time constant: {model.dominant_time_constant_s():.1f} s"
+    )
+    return "\n".join(lines)
+
+
+def _node_resistance(
+    spec: ThermalNetworkSpec, model: ThermalModel, node: str
+) -> float:
+    """K/W from heat injected at ``node`` to the ambient."""
+    for rail in spec.rail_names:
+        split = spec.power_split[rail]
+        if split.get(node, 0.0) == 1.0:
+            return model.dc_gain(node, rail)
+    # No dedicated rail: steady state with a synthetic unit injection.
+    import numpy as np
+
+    a_mat, _b, w_vec = spec.build_matrices()
+    caps = np.array([n.capacitance_j_per_k for n in spec.nodes])
+    names = list(spec.node_names)
+    inject = np.zeros(len(names))
+    inject[names.index(node)] = 1.0 / caps[names.index(node)]
+    t_ss = -np.linalg.solve(a_mat, inject + w_vec * 0.0)
+    return float(t_ss[names.index(node)])

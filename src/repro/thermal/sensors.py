@@ -1,0 +1,75 @@
+"""Temperature sensors: what the kernel *sees*, as opposed to ground truth.
+
+Real thermal sensors quantise (Exynos TMU reports whole degrees; Snapdragon
+tsens reports 0.1 degC steps), are noisy, and can carry a static offset.
+Thermal governors act on these readings, so the distinction matters for
+faithfully reproducing throttling behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.model import ThermalModel
+from repro.units import kelvin_to_celsius
+
+
+@dataclass(frozen=True)
+class SensorSpec:
+    """Placement and error model of one on-die temperature sensor."""
+
+    name: str
+    node: str
+    noise_std_c: float = 0.1
+    quantization_c: float = 0.1
+    offset_c: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.noise_std_c < 0.0:
+            raise ConfigurationError(f"sensor {self.name!r}: negative noise std")
+        if self.quantization_c < 0.0:
+            raise ConfigurationError(f"sensor {self.name!r}: negative quantisation")
+
+
+class TemperatureSensor:
+    """A readable sensor bound to a thermal model node and an RNG stream."""
+
+    def __init__(
+        self,
+        spec: SensorSpec,
+        model: ThermalModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self._spec = spec
+        self._model = model
+        self._rng = rng
+        # Fail fast on bad placement rather than on first read.
+        model.temperature_k(spec.node)
+
+    @property
+    def name(self) -> str:
+        """Sensor name (thermal zone type string in sysfs)."""
+        return self._spec.name
+
+    @property
+    def node(self) -> str:
+        """Thermal-model node this sensor observes."""
+        return self._spec.node
+
+    def read_c(self) -> float:
+        """One reading in degrees Celsius, with offset, noise, quantisation."""
+        true_c = kelvin_to_celsius(self._model.temperature_k(self._spec.node))
+        reading = true_c + self._spec.offset_c
+        if self._spec.noise_std_c > 0.0:
+            reading += self._rng.normal(0.0, self._spec.noise_std_c)
+        q = self._spec.quantization_c
+        if q > 0.0:
+            reading = round(reading / q) * q
+        return reading
+
+    def read_millicelsius(self) -> int:
+        """One reading in the integer millidegrees Celsius sysfs unit."""
+        return int(round(self.read_c() * 1000.0))

@@ -1,0 +1,59 @@
+"""Unit conventions and conversion helpers.
+
+Internal conventions used throughout the library:
+
+* time        — seconds (float)
+* frequency   — hertz (float); OPP tables also expose kilohertz for sysfs
+* voltage     — volts
+* power       — watts
+* energy      — joules
+* temperature — kelvin inside models and analyses
+
+The Linux-facing layers (sysfs, sensors) use the units the real kernel uses:
+kilohertz for ``cpufreq`` and millidegrees Celsius for thermal zones.  The
+helpers below are the only sanctioned conversion points, so unit bugs cannot
+hide in ad-hoc arithmetic.
+"""
+
+from __future__ import annotations
+
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temp_c + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_millicelsius(temp_k: float) -> int:
+    """Convert kelvin to the integer millidegrees Celsius used by sysfs."""
+    return int(round(kelvin_to_celsius(temp_k) * 1000.0))
+
+
+def millicelsius_to_kelvin(temp_mc: float) -> float:
+    """Convert sysfs millidegrees Celsius back to kelvin."""
+    return celsius_to_kelvin(temp_mc / 1000.0)
+
+
+def hz_to_khz(freq_hz: float) -> int:
+    """Convert hertz to the integer kilohertz used by cpufreq sysfs nodes."""
+    return int(round(freq_hz / KHZ))
+
+
+def khz_to_hz(freq_khz: float) -> float:
+    """Convert cpufreq kilohertz back to hertz."""
+    return float(freq_khz) * KHZ
+
+
+def mhz(value: float) -> float:
+    """Express ``value`` megahertz in hertz (readable OPP-table literals)."""
+    return value * MHZ

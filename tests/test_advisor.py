@@ -1,0 +1,74 @@
+"""Developer advisor."""
+
+import pytest
+
+from repro.apps.catalog import make_app
+from repro.core.advisor import advise, render_advice
+from repro.errors import AnalysisError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+
+def profile(app_name, duration=60.0, seed=3):
+    app = make_app(app_name)
+    sim = Simulation(nexus6p(), [app], kernel_config=KernelConfig(), seed=seed)
+    sim.run(duration)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def game_profile():
+    return profile("paperio")
+
+
+@pytest.fixture(scope="module")
+def call_profile():
+    return profile("hangouts")
+
+
+def test_heavy_game_will_throttle(game_profile):
+    report = advise(game_profile, "paperio", t_limit_c=40.0)
+    assert report.will_throttle
+    assert report.headroom_w < 0.0
+    assert 0.0 < report.demand_scale < 1.0
+    assert report.sustainable_fps_estimate is not None
+    assert report.sustainable_fps_estimate < 40.0
+
+
+def test_light_app_fits_generous_limit(call_profile):
+    report = advise(call_profile, "hangouts", t_limit_c=50.0)
+    assert not report.will_throttle
+    assert report.headroom_w > 0.0
+    assert report.demand_scale == 1.0
+
+
+def test_verdict_depends_on_limit(game_profile):
+    tight = advise(game_profile, "paperio", t_limit_c=38.0)
+    loose = advise(game_profile, "paperio", t_limit_c=60.0)
+    assert tight.will_throttle
+    assert not loose.will_throttle
+    assert tight.safe_budget_w < loose.safe_budget_w
+
+
+def test_steady_temp_reported(game_profile):
+    report = advise(game_profile, "paperio", t_limit_c=40.0)
+    assert report.steady_temp_c is not None
+    # A sustained game pushes the phone's package well past 40 degC.
+    assert report.steady_temp_c > 42.0
+
+
+def test_render_advice_mentions_verdict(game_profile):
+    text = render_advice(advise(game_profile, "paperio", t_limit_c=40.0))
+    assert "WILL be throttled" in text
+    assert "paperio" in text
+    ok = render_advice(advise(game_profile, "paperio", t_limit_c=60.0))
+    assert "no throttling expected" in ok
+
+
+def test_short_run_rejected():
+    app = make_app("paperio")
+    sim = Simulation(nexus6p(), [app], kernel_config=KernelConfig(), seed=1)
+    sim.run(2.0)
+    with pytest.raises(AnalysisError):
+        advise(sim, "paperio", t_limit_c=40.0)

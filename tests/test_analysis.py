@@ -1,0 +1,138 @@
+"""Analysis helpers: residency, breakdowns, tables, series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import breakdown_delta, breakdown_from_traces
+from repro.analysis.figures import Series, summarize
+from repro.analysis.residency import (
+    mean_frequency_khz,
+    parse_time_in_state,
+    residency_fractions,
+    residency_shift,
+    top_frequency_share,
+)
+from repro.analysis.tables import percent_reduction, render_table
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder
+
+
+def test_residency_fractions_normalise():
+    res = residency_fractions({200000: 1.0, 400000: 3.0})
+    assert res[200000] == pytest.approx(0.25)
+    assert sum(res.values()) == pytest.approx(1.0)
+
+
+def test_residency_empty_raises():
+    with pytest.raises(AnalysisError):
+        residency_fractions({200000: 0.0})
+
+
+def test_parse_time_in_state():
+    text = "200000 100\n400000 300\n"
+    parsed = parse_time_in_state(text)
+    assert parsed == {200000: 1.0, 400000: 3.0}
+
+
+def test_parse_time_in_state_malformed():
+    with pytest.raises(AnalysisError):
+        parse_time_in_state("garbage line here\n")
+    with pytest.raises(AnalysisError):
+        parse_time_in_state("")
+
+
+def test_mean_frequency():
+    res = {200000: 0.5, 600000: 0.5}
+    assert mean_frequency_khz(res) == pytest.approx(400000)
+
+
+def test_top_frequency_share():
+    res = {100000: 0.5, 200000: 0.3, 300000: 0.2}
+    assert top_frequency_share(res, n_top=2) == pytest.approx(0.5)
+
+
+def test_residency_shift_positive_when_throttled():
+    before = {200000: 0.2, 600000: 0.8}
+    after = {200000: 0.8, 600000: 0.2}
+    assert residency_shift(before, after) > 0.0
+
+
+def test_breakdown_from_traces():
+    tr = TraceRecorder()
+    for t in range(10):
+        tr.record("power.a", float(t), 3.0)
+        tr.record("power.b", float(t), 1.0)
+    bd = breakdown_from_traces(tr, ("a", "b"))
+    assert bd.total_w == pytest.approx(4.0)
+    assert bd.shares["a"] == pytest.approx(0.75)
+    assert bd.share_pct("a") == pytest.approx(75.0)
+
+
+def test_breakdown_window_filters():
+    tr = TraceRecorder()
+    for t in range(10):
+        tr.record("power.a", float(t), 1.0 if t < 5 else 9.0)
+    bd = breakdown_from_traces(tr, ("a",), start_s=5.0)
+    assert bd.total_w == pytest.approx(9.0)
+
+
+def test_breakdown_missing_rail():
+    tr = TraceRecorder()
+    tr.record("power.a", 0.0, 1.0)
+    with pytest.raises(AnalysisError):
+        breakdown_from_traces(tr, ("a", "zz"))
+    bd = breakdown_from_traces(tr, ("a",))
+    with pytest.raises(AnalysisError):
+        bd.share_pct("zz")
+
+
+def test_breakdown_delta():
+    tr = TraceRecorder()
+    tr.record("power.a", 0.0, 1.0)
+    tr.record("power.b", 0.0, 1.0)
+    before = breakdown_from_traces(tr, ("a", "b"))
+    tr2 = TraceRecorder()
+    tr2.record("power.a", 0.0, 3.0)
+    tr2.record("power.b", 0.0, 1.0)
+    after = breakdown_from_traces(tr2, ("a", "b"))
+    assert breakdown_delta(before, after, "a") == pytest.approx(25.0)
+
+
+def test_render_table_alignment():
+    text = render_table(["App", "FPS"], [["paperio", 35.0], ["x", 2]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "App" in lines[1] and "FPS" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_table_width_mismatch():
+    with pytest.raises(AnalysisError):
+        render_table(["a"], [["x", "y"]])
+    with pytest.raises(AnalysisError):
+        render_table([], [])
+
+
+def test_percent_reduction():
+    assert percent_reduction(35.0, 23.0) == pytest.approx(34.3, abs=0.1)
+    with pytest.raises(AnalysisError):
+        percent_reduction(0.0, 1.0)
+
+
+def test_series_queries():
+    s = Series("t", np.array([0.0, 1.0, 2.0]), np.array([10.0, 20.0, 30.0]))
+    assert s.at(0.5) == 20.0
+    assert s.at(99.0) == 30.0
+    assert s.max() == 30.0
+    assert s.final() == 30.0
+
+
+def test_series_validation():
+    with pytest.raises(AnalysisError):
+        Series("t", np.array([0.0]), np.array([1.0, 2.0]))
+
+
+def test_summarize_contains_checkpoints():
+    s = Series("temp", np.array([0.0, 10.0]), np.array([30.0, 50.0]))
+    text = summarize(s, (0.0, 10.0))
+    assert "temp" in text and "max=50.0" in text

@@ -1,0 +1,77 @@
+"""Battery model and engine integration."""
+
+import math
+
+import pytest
+
+from repro.apps.mibench import basicmath_large
+from repro.errors import ConfigurationError, SimulationError
+from repro.kernel.kernel import KernelConfig
+from repro.power.battery import NEXUS6P_CAPACITY_WH, Battery
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+
+def test_starts_full():
+    battery = Battery(capacity_wh=10.0)
+    assert battery.soc == 1.0
+    assert battery.remaining_wh == 10.0
+    assert not battery.empty
+
+
+def test_drain_accounting():
+    battery = Battery(capacity_wh=10.0)
+    battery.drain(5.0, 3600.0)  # 5 W for one hour
+    assert battery.remaining_wh == pytest.approx(5.0)
+    assert battery.soc == pytest.approx(0.5)
+
+
+def test_drain_clamps_at_empty():
+    battery = Battery(capacity_wh=1.0)
+    battery.drain(100.0, 3600.0)
+    assert battery.remaining_wh == 0.0
+    assert battery.empty
+
+
+def test_time_to_empty():
+    battery = Battery(capacity_wh=10.0)
+    assert battery.time_to_empty_s(5.0) == pytest.approx(7200.0)
+    assert battery.time_to_empty_s(0.0) == math.inf
+
+
+def test_recharge():
+    battery = Battery(capacity_wh=10.0, initial_soc=0.2)
+    battery.recharge()
+    assert battery.soc == 1.0
+    battery.recharge(0.5)
+    assert battery.soc == 0.5
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Battery(capacity_wh=0.0)
+    with pytest.raises(ConfigurationError):
+        Battery(initial_soc=1.5)
+    battery = Battery()
+    with pytest.raises(SimulationError):
+        battery.drain(-1.0, 1.0)
+    with pytest.raises(SimulationError):
+        battery.drain(1.0, 0.0)
+    with pytest.raises(SimulationError):
+        battery.time_to_empty_s(-1.0)
+
+
+def test_engine_integration_drains_and_traces():
+    battery = Battery(NEXUS6P_CAPACITY_WH)
+    sim = Simulation(
+        nexus6p(), [basicmath_large(cluster="a57")],
+        kernel_config=KernelConfig(), seed=1, battery=battery,
+    )
+    sim.run(60.0)
+    assert battery.soc < 1.0
+    _, soc = sim.traces.series("battery.soc")
+    assert soc[0] > soc[-1]
+    # Rough plausibility: a phone gaming hard lasts hours, not minutes.
+    _, watts = sim.traces.series("power.total")
+    projected_h = battery.time_to_empty_s(float(watts.mean())) / 3600.0
+    assert 1.0 < projected_h < 10.0

@@ -1,0 +1,79 @@
+"""Lumped-model identification from the full platform."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    ambient_offset_k,
+    effective_resistance_k_per_w,
+    fit_leakage,
+    lump_platform,
+)
+from repro.core.fixed_point import critical_power_w
+from repro.errors import StabilityError
+from repro.soc.power_model import leakage_power_w
+from repro.thermal.model import ThermalModel
+
+
+@pytest.fixture()
+def model(odroid_platform):
+    return ThermalModel(
+        odroid_platform.thermal, 0.01, ambient_k=odroid_platform.default_ambient_k
+    )
+
+
+def test_effective_resistance_weighted_average(model):
+    r_big = effective_resistance_k_per_w(model, "big", {"a15": 1.0})
+    assert r_big == pytest.approx(model.dc_gain("big", "a15"))
+    mixed = effective_resistance_k_per_w(model, "big", {"a15": 0.5, "gpu": 0.5})
+    assert mixed == pytest.approx(
+        0.5 * model.dc_gain("big", "a15") + 0.5 * model.dc_gain("big", "gpu")
+    )
+
+
+def test_effective_resistance_rejects_zero_shares(model):
+    with pytest.raises(StabilityError):
+        effective_resistance_k_per_w(model, "big", {"a15": 0.0})
+
+
+def test_ambient_offset(model):
+    offset = ambient_offset_k(model, "big", {"board": 0.5})
+    assert offset == pytest.approx(0.5 * model.dc_gain("big", "board"))
+
+
+def test_fit_leakage_reproduces_totals(odroid_platform):
+    kappa, beta = fit_leakage(odroid_platform)
+    # Re-evaluate the true total and the fit at a probe temperature.
+    t = 340.0
+    true_total = 0.0
+    for c in odroid_platform.clusters:
+        true_total += leakage_power_w(c.leakage, t, c.opps[len(c.opps) - 1].voltage_v)
+    true_total += leakage_power_w(
+        odroid_platform.gpu.leakage, t,
+        odroid_platform.gpu.opps[len(odroid_platform.gpu.opps) - 1].voltage_v,
+    )
+    true_total += leakage_power_w(
+        odroid_platform.memory.leakage, t, odroid_platform.memory.leakage.v_ref
+    )
+    fitted = kappa * t * t * np.exp(-beta / t)
+    assert fitted == pytest.approx(true_total, rel=0.01)
+
+
+def test_lump_platform_full_identification(odroid_platform, model):
+    params = lump_platform(odroid_platform, model)
+    assert 10.0 < params.r_k_per_w < 16.0
+    assert params.t_ambient_k > model.ambient_k  # board-power offset folded in
+    assert params.c_j_per_k > 0.0
+
+
+def test_lumped_critical_power_near_paper_value(odroid_platform, model):
+    # The identified model must place the critical power near the paper's
+    # 5.5 W (Figure 7b).
+    params = lump_platform(odroid_platform, model)
+    assert critical_power_w(params) == pytest.approx(5.5, abs=0.3)
+
+
+def test_lump_accepts_custom_hotspot(odroid_platform, model):
+    params_gpu = lump_platform(odroid_platform, model, node="gpu")
+    params_big = lump_platform(odroid_platform, model, node="big")
+    assert params_gpu.r_k_per_w != params_big.r_k_per_w

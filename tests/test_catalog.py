@@ -1,0 +1,53 @@
+"""Play-Store app catalog."""
+
+import pytest
+
+from repro.apps.catalog import CATALOG, make_app, popular_app_names
+
+
+def test_five_apps_in_paper_order():
+    assert popular_app_names() == (
+        "paperio", "stickman", "amazon", "hangouts", "facebook",
+    )
+    assert set(CATALOG) == set(popular_app_names())
+
+
+def test_categories_match_paper():
+    # "two games, one shopping app, one video conferencing app and one
+    # social media app"
+    categories = [CATALOG[n].category for n in popular_app_names()]
+    assert categories.count("game") == 2
+    assert "shopping" in categories
+    assert "video-conferencing" in categories
+    assert "social-media" in categories
+
+
+def test_games_are_gpu_dominated():
+    for name in ("paperio", "stickman"):
+        entry = CATALOG[name]
+        assert entry.kind == "gpu"
+        assert entry.workload.gpu_cycles_per_frame > entry.workload.cpu_cycles_per_frame
+
+
+def test_cpu_apps_are_cpu_dominated():
+    for name in ("amazon", "hangouts", "facebook"):
+        entry = CATALOG[name]
+        assert entry.kind == "cpu"
+        assert entry.workload.cpu_cycles_per_frame > entry.workload.gpu_cycles_per_frame
+
+
+def test_paper_fps_recorded():
+    entry = CATALOG["paperio"]
+    assert entry.paper_fps_without == 35.0
+    assert entry.paper_fps_with == 23.0
+
+
+def test_make_app_builds_frame_app():
+    app = make_app("stickman")
+    assert app.name == "stickman"
+    assert app.workload is CATALOG["stickman"].workload
+
+
+def test_make_app_unknown_raises():
+    with pytest.raises(KeyError):
+        make_app("tiktok")

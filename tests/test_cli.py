@@ -1,0 +1,88 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_critical_command(capsys):
+    assert main(["critical"]) == 0
+    out = capsys.readouterr().out
+    assert "5.50 W" in out
+
+
+def test_stability_command_stable(capsys):
+    main(["stability", "--power", "2.0"])
+    out = capsys.readouterr().out
+    assert "stable" in out
+    assert "68.1" in out
+
+
+def test_stability_command_runaway(capsys):
+    main(["stability", "--power", "8.0"])
+    out = capsys.readouterr().out
+    assert "runaway" in out
+
+
+def test_budget_command(capsys):
+    main(["budget", "--limit", "85"])
+    out = capsys.readouterr().out
+    assert "2.85 W" in out
+
+
+def test_fig7_command(capsys):
+    main(["fig7"])
+    out = capsys.readouterr().out
+    assert "P_dyn=2.0" in out
+    assert "runaway" in out
+
+
+def test_missing_command_exits():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["fig99"])
+
+
+def test_stability_requires_power():
+    with pytest.raises(SystemExit):
+        main(["stability"])
+
+
+def test_parser_lists_all_commands():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if isinstance(a, type(a)) and hasattr(a, "choices") and a.choices
+    )
+    assert set(sub.choices) >= {
+        "table1", "table2", "fig7", "fig8", "fig9",
+        "stability", "budget", "critical",
+    }
+
+
+def test_describe_command(capsys):
+    main(["describe", "--platform", "odroid-xu3"])
+    out = capsys.readouterr().out
+    assert "Thermal network:" in out
+    assert "board" in out
+
+
+def test_describe_unknown_platform():
+    with pytest.raises(SystemExit):
+        main(["describe", "--platform", "pixel9"])
+
+
+def test_advise_command(capsys):
+    main(["advise", "--app", "hangouts", "--limit", "50",
+          "--profile-s", "20"])
+    out = capsys.readouterr().out
+    assert "hangouts" in out
+    assert "verdict" in out
+
+
+def test_advise_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["advise", "--app", "tiktok"])

@@ -1,0 +1,67 @@
+"""A/B run comparison."""
+
+import pytest
+
+from repro.analysis.compare import compare_runs
+from repro.apps.catalog import make_app
+from repro.apps.mibench import basicmath_large
+from repro.errors import AnalysisError
+from repro.experiments.nexus import nexus_thermal_config
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.snapdragon810 import nexus6p
+
+
+def run_nexus(throttled, seed=3, duration=50.0):
+    config = KernelConfig(thermal=nexus_thermal_config() if throttled else None)
+    sim = Simulation(nexus6p(), [make_app("stickman")], kernel_config=config, seed=seed)
+    sim.run(duration)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return run_nexus(False), run_nexus(True)
+
+
+def test_throttled_run_deltas(pair):
+    unthrottled, throttled = pair
+    delta = compare_runs(unthrottled, throttled)
+    assert delta.fps["stickman"] < 0.0          # slower with the governor
+    assert delta.peak_temp_k < 0.0              # but cooler
+    assert delta.rail_power_w["gpu"] < 0.0      # and cheaper on the GPU rail
+    assert delta.big_residency_shift >= 0.0     # clocks shifted down
+
+
+def test_self_comparison_is_zero(pair):
+    unthrottled, _ = pair
+    delta = compare_runs(unthrottled, unthrottled)
+    assert delta.fps["stickman"] == 0.0
+    assert delta.peak_temp_k == 0.0
+    assert all(v == 0.0 for v in delta.rail_power_w.values())
+
+
+def test_render_mentions_metrics(pair):
+    unthrottled, throttled = pair
+    text = compare_runs(unthrottled, throttled).render("off", "on")
+    assert "fps[stickman]" in text
+    assert "peak temp" in text
+    assert "on vs off" in text
+
+
+def test_platform_mismatch_rejected(pair):
+    unthrottled, _ = pair
+    other = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1
+    )
+    other.run(1.0)
+    with pytest.raises(AnalysisError):
+        compare_runs(unthrottled, other)
+
+
+def test_unrun_simulation_rejected(pair):
+    unthrottled, _ = pair
+    fresh = Simulation(nexus6p(), kernel_config=KernelConfig(), seed=1)
+    with pytest.raises(AnalysisError):
+        compare_runs(unthrottled, fresh)

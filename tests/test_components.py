@@ -1,0 +1,69 @@
+"""Component spec validation and helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
+from repro.soc.opp import OppTable
+
+
+@pytest.fixture()
+def opps():
+    return OppTable.from_pairs([(200e6, 0.9), (1000e6, 1.1)])
+
+
+@pytest.fixture()
+def leak():
+    return LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0)
+
+
+def test_leakage_validation():
+    with pytest.raises(ConfigurationError):
+        LeakageParams(kappa_w_per_k2=-1.0, beta_k=1650.0)
+    with pytest.raises(ConfigurationError):
+        LeakageParams(kappa_w_per_k2=1e-4, beta_k=0.0)
+    with pytest.raises(ConfigurationError):
+        LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0, v_ref=0.0)
+
+
+def test_cluster_defaults_thermal_node_and_rail(opps, leak):
+    spec = ClusterSpec("big", "A15", 4, opps, 1e-10, leak)
+    assert spec.thermal_node == "big"
+    assert spec.rail == "big"
+
+
+def test_cluster_capacity_scales_with_ipc(opps, leak):
+    spec = ClusterSpec("big", "A15", 4, opps, 1e-10, leak, ipc=2.0)
+    assert spec.capacity_cycles(1e9, 0.01) == pytest.approx(2.0 * 1e9 * 4 * 0.01)
+
+
+def test_cluster_validation(opps, leak):
+    with pytest.raises(ConfigurationError):
+        ClusterSpec("c", "t", 0, opps, 1e-10, leak)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec("c", "t", 4, opps, 0.0, leak)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec("c", "t", 4, opps, 1e-10, leak, idle_power_w=-1.0)
+    with pytest.raises(ConfigurationError):
+        ClusterSpec("c", "t", 4, opps, 1e-10, leak, ipc=0.0)
+
+
+def test_gpu_capacity(opps, leak):
+    spec = GpuSpec("gpu", "Mali", opps, 1e-9, leak)
+    assert spec.capacity_cycles(600e6, 0.01) == pytest.approx(6e6)
+
+
+def test_gpu_validation(opps, leak):
+    with pytest.raises(ConfigurationError):
+        GpuSpec("gpu", "Mali", opps, -1.0, leak)
+
+
+def test_memory_defaults():
+    spec = MemorySpec()
+    assert spec.base_power_w >= 0.0
+    assert spec.thermal_node == "mem"
+
+
+def test_memory_validation():
+    with pytest.raises(ConfigurationError):
+        MemorySpec(base_power_w=-0.1)

@@ -1,0 +1,120 @@
+"""Focused tests for behaviours not exercised elsewhere."""
+
+import pytest
+
+from repro import errors
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import basicmath_large
+from repro.core.fixed_point import FixedPointReport, StabilityClass
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.kernel.kernel import KernelConfig
+from repro.kernel.sysfs import SysfsNode
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.snapdragon810 import nexus6p
+
+
+def test_error_hierarchy():
+    for cls in (
+        errors.ConfigurationError, errors.SimulationError, errors.SysfsError,
+        errors.SchedulingError, errors.AnalysisError, errors.StabilityError,
+    ):
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_sysfs_node_mode_flags():
+    ro = SysfsNode(getter=lambda: "x")
+    wo = SysfsNode(getter=None, setter=lambda v: None)
+    rw = SysfsNode(getter=lambda: "x", setter=lambda v: None)
+    assert ro.readable and not ro.writable
+    assert wo.writable and not wo.readable
+    assert rw.readable and rw.writable
+
+
+def test_fixed_point_report_is_stable_flag():
+    stable = FixedPointReport(
+        1.0, StabilityClass.STABLE, 4.0, 3.0, 330.0, 400.0
+    )
+    runaway = FixedPointReport(
+        8.0, StabilityClass.RUNAWAY, None, None, None, None
+    )
+    assert stable.is_stable
+    assert not runaway.is_stable
+
+
+def test_nexus_wiring_has_both_policies():
+    sim = Simulation(nexus6p(), kernel_config=KernelConfig(), seed=1)
+    fs = sim.kernel.fs
+    # a53 cpus 0-3 -> policy0; a57 cpus 4-7 -> policy4.
+    assert fs.read("/sys/devices/system/cpu/cpufreq/policy0/affected_cpus") == "0 1 2 3"
+    assert fs.read("/sys/devices/system/cpu/cpufreq/policy4/affected_cpus") == "4 5 6 7"
+
+
+def test_nexus_has_no_ina_paths():
+    sim = Simulation(nexus6p(), kernel_config=KernelConfig(), seed=1)
+    assert not sim.kernel.fs.exists("/sys/bus/i2c/drivers/INA231/4-0040/sensor_W")
+    # ... but the generic power-sensor paths exist on every platform.
+    assert sim.kernel.fs.exists("/sys/class/power_sensors/a57/power_w")
+
+
+def test_governor_duty_cycle_respects_registry():
+    game = FrameApp("game", FrameWorkload(6e6, 4e6, target_fps=60.0, sigma=0.1))
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [game, bml], kernel_config=KernelConfig(), seed=1)
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(t_limit_c=55.0, horizon_s=600.0, action="duty_cycle")
+    )
+    for pid in game.pids():
+        governor.registry.register(pid, "game")
+    governor.install(sim.kernel)
+    sim.run(15.0)
+    assert governor.events
+    assert all(e.name == "bml" for e in governor.events)
+    # Quota reductions halve down toward the floor.
+    api = sim.kernel.userspace_api()
+    assert api.cpu_quota(bml.pid) < 1.0
+    assert api.cpu_quota(game.pids()[0]) == 1.0
+
+
+def test_governor_migrate_back_reverses_to_little_events():
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(
+            t_limit_c=60.0, horizon_s=300.0, migrate_back=True,
+            back_margin_c=2.0, back_dwell_s=1.0,
+        ),
+    )
+    governor.install(sim.kernel)
+    sim.run(60.0)
+    directions = [e.direction for e in governor.events]
+    assert directions[0] == "to_little"
+    if "to_big" in directions:
+        # Each return must follow a demotion.
+        assert directions.index("to_big") > directions.index("to_little")
+
+
+def test_prediction_records_power_split():
+    sim = Simulation(odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1)
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(t_limit_c=90.0)
+    )
+    governor.install(sim.kernel)
+    sim.run(3.0)
+    pred = governor.predictions[-1]
+    assert pred.p_total_w > pred.p_dyn_w > 0.0  # leakage subtracted
+
+
+def test_platform_extras_survive():
+    odroid = odroid_xu3()
+    assert odroid.extras["fan"] == "disabled"
+    nexus = nexus6p()
+    assert nexus.extras["soc"] == "Snapdragon 810"
+
+
+def test_simulation_now_property():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    assert sim.now_s == 0.0
+    sim.step()
+    assert sim.now_s == pytest.approx(0.01)

@@ -1,0 +1,110 @@
+"""cpuidle: dwell-based idle-state selection and power gating."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.cpuidle import (
+    DEFAULT_IDLE_STATES,
+    ClusterIdleGovernor,
+    IdleState,
+)
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def test_state_validation():
+    with pytest.raises(ConfigurationError):
+        IdleState("x", power_scale=1.5, entry_dwell_s=0.0)
+    with pytest.raises(ConfigurationError):
+        IdleState("x", power_scale=0.5, entry_dwell_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        ClusterIdleGovernor([])
+    with pytest.raises(ConfigurationError):
+        # Shallowest state must be immediately available.
+        ClusterIdleGovernor([IdleState("deep", 0.1, 1.0)])
+    with pytest.raises(ConfigurationError):
+        # Deeper states must not consume more.
+        ClusterIdleGovernor(
+            [IdleState("a", 0.2, 0.0), IdleState("b", 0.8, 1.0)]
+        )
+
+
+def test_busy_cluster_stays_shallow():
+    governor = ClusterIdleGovernor()
+    for _ in range(100):
+        scale = governor.update(2.0, 4, 0.01)
+    assert scale == 1.0
+    assert governor.current_state.name == "wfi"
+
+
+def test_idle_cluster_deepens_with_dwell():
+    governor = ClusterIdleGovernor()
+    scales = [governor.update(0.0, 4, 0.01) for _ in range(30)]
+    # wfi immediately, core_sleep at 50 ms, cluster_off at 200 ms.
+    assert scales[0] == 1.0
+    assert scales[6] == pytest.approx(0.4)
+    governor2 = ClusterIdleGovernor()
+    for _ in range(25):
+        last = governor2.update(0.0, 4, 0.01)
+    assert last == pytest.approx(0.05)
+    assert governor2.current_state.name == "cluster_off"
+
+
+def test_activity_resets_dwell():
+    governor = ClusterIdleGovernor()
+    for _ in range(30):
+        governor.update(0.0, 4, 0.01)
+    assert governor.current_state.name == "cluster_off"
+    governor.update(1.0, 4, 0.01)
+    assert governor.current_state.name == "wfi"
+    # Dwell restarts: next idle tick is still shallow.
+    assert governor.update(0.0, 4, 0.01) == 1.0
+
+
+def test_residency_and_usage_accounting():
+    governor = ClusterIdleGovernor()
+    for _ in range(30):
+        governor.update(0.0, 4, 0.01)
+    total = sum(
+        governor.residency_s(s.name) for s in DEFAULT_IDLE_STATES
+    )
+    assert total == pytest.approx(0.3)
+    assert governor.usage("cluster_off") == 1
+    with pytest.raises(ConfigurationError):
+        governor.residency_s("nonexistent")
+
+
+def test_idle_device_power_drops_after_gating():
+    """End to end: a fully idle Odroid spends less on the big rail once
+    cpuidle gates the cluster."""
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    sim.run(5.0)
+    _, watts = sim.traces.series("power.a15")
+    # Late samples (deep idle): both the idle cost and the leakage are
+    # gated down to the retention level.
+    assert watts[-1] < 0.05
+    assert watts[-1] < 0.25 * watts[1]  # far below the shallow-idle draw
+    assert sim.kernel.idle_scale("a15") == pytest.approx(0.05)
+
+
+def test_busy_cluster_keeps_full_idle_cost():
+    from repro.apps.mibench import basicmath_large
+
+    sim = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1
+    )
+    sim.run(2.0)
+    assert sim.kernel.idle_scale("a15") == 1.0
+
+
+def test_cpuidle_sysfs_nodes():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    sim.run(1.0)
+    fs = sim.kernel.fs
+    base = "/sys/devices/system/cpu/cpu4/cpuidle"
+    assert fs.read(f"{base}/state0/name") == "wfi"
+    assert fs.read(f"{base}/state2/name") == "cluster_off"
+    time_us = fs.read_int(f"{base}/state2/time")
+    assert time_us > 0
+    assert fs.read_int(f"{base}/state2/usage") >= 1

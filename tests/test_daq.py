@@ -1,0 +1,90 @@
+"""NI-DAQ power capture."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.power.daq import PowerDaq
+from repro.sim.rng import RngRegistry
+
+
+def make_daq(**kwargs):
+    return PowerDaq(RngRegistry(0).stream("daq"), **kwargs)
+
+
+def test_sample_count_matches_rate():
+    daq = make_daq(sample_rate_hz=1000.0, noise_std_w=0.0)
+    for i in range(100):  # 1 s of 10 ms ticks
+        daq.capture(i * 0.01, 0.01, 2.0)
+    times, watts = daq.samples()
+    assert times.size == pytest.approx(1000, abs=2)
+
+
+def test_mean_power_noiseless():
+    daq = make_daq(noise_std_w=0.0)
+    for i in range(100):
+        daq.capture(i * 0.01, 0.01, 3.5)
+    assert daq.mean_power_w() == pytest.approx(3.5)
+
+
+def test_mean_power_window():
+    daq = make_daq(noise_std_w=0.0)
+    for i in range(100):
+        power = 1.0 if i < 50 else 3.0
+        daq.capture(i * 0.01, 0.01, power)
+    assert daq.mean_power_w(end_s=0.5) == pytest.approx(1.0)
+    assert daq.mean_power_w(start_s=0.5) == pytest.approx(3.0)
+
+
+def test_noise_statistics():
+    daq = make_daq(noise_std_w=0.05)
+    for i in range(200):
+        daq.capture(i * 0.01, 0.01, 2.0)
+    _, watts = daq.samples()
+    assert watts.mean() == pytest.approx(2.0, abs=0.01)
+    assert watts.std() == pytest.approx(0.05, rel=0.15)
+
+
+def test_energy_integration():
+    daq = make_daq(noise_std_w=0.0)
+    for i in range(1000):  # 10 s at 2 W -> 20 J
+        daq.capture(i * 0.01, 0.01, 2.0)
+    assert daq.energy_j() == pytest.approx(20.0, rel=0.01)
+
+
+def test_sample_times_strictly_increasing():
+    daq = make_daq()
+    for i in range(50):
+        daq.capture(i * 0.01, 0.01, 1.0)
+    times, _ = daq.samples()
+    assert (np.diff(times) > 0).all()
+
+
+def test_empty_capture_errors():
+    daq = make_daq()
+    with pytest.raises(AnalysisError):
+        daq.mean_power_w()
+    with pytest.raises(AnalysisError):
+        daq.energy_j()
+
+
+def test_window_without_samples_errors():
+    daq = make_daq(noise_std_w=0.0)
+    daq.capture(0.0, 0.01, 1.0)
+    with pytest.raises(AnalysisError):
+        daq.mean_power_w(start_s=100.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        make_daq(sample_rate_hz=0.0)
+    with pytest.raises(ConfigurationError):
+        make_daq(noise_std_w=-1.0)
+
+
+def test_low_rate_subsampling():
+    daq = make_daq(sample_rate_hz=10.0, noise_std_w=0.0)
+    for i in range(100):  # 1 s -> 10 samples
+        daq.capture(i * 0.01, 0.01, 1.0)
+    times, _ = daq.samples()
+    assert times.size == pytest.approx(10, abs=1)

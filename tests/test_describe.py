@@ -1,0 +1,35 @@
+"""Thermal-network description rendering."""
+
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.snapdragon810 import nexus6p
+from repro.thermal.describe import describe_network
+
+
+def test_describe_odroid_network():
+    text = describe_network(odroid_xu3().thermal)
+    assert "Thermal network:" in text
+    for node in ("big", "little", "gpu", "mem", "board"):
+        assert node in text
+    assert "dominant time constant" in text
+
+
+def test_describe_contains_resistances():
+    text = describe_network(odroid_xu3().thermal)
+    # The big node's junction-to-ambient resistance is in the 10-16 band.
+    for line in text.splitlines():
+        if line.strip().startswith("big ") and "R_to_ambient" in line:
+            value = float(line.split("R_to_ambient =")[1].split("K/W")[0])
+            assert 10.0 < value < 16.0
+            return
+    raise AssertionError("big node line not found")
+
+
+def test_describe_power_splits():
+    text = describe_network(nexus6p().thermal)
+    assert "a57" in text
+    assert "100%" in text
+
+
+def test_describe_links_include_resistance():
+    text = describe_network(nexus6p().thermal)
+    assert "G =" in text and "(R =" in text

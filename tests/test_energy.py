@@ -1,0 +1,65 @@
+"""Per-rail energy meter."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.power.energy import EnergyMeter
+
+
+def test_accumulates_energy():
+    meter = EnergyMeter()
+    for _ in range(100):
+        meter.accumulate({"a15": 2.0, "gpu": 1.0}, 0.01)
+    assert meter.energy_j("a15") == pytest.approx(2.0)
+    assert meter.total_energy_j() == pytest.approx(3.0)
+    assert meter.elapsed_s == pytest.approx(1.0)
+
+
+def test_average_power():
+    meter = EnergyMeter()
+    meter.accumulate({"a15": 4.0}, 0.5)
+    meter.accumulate({"a15": 0.0}, 0.5)
+    assert meter.average_power_w("a15") == pytest.approx(2.0)
+
+
+def test_breakdown_shares_sum_to_one():
+    meter = EnergyMeter()
+    meter.accumulate({"a15": 3.0, "gpu": 1.0}, 1.0)
+    shares = meter.breakdown()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["a15"] == pytest.approx(0.75)
+
+
+def test_breakdown_subset_renormalises():
+    meter = EnergyMeter()
+    meter.accumulate({"a15": 3.0, "gpu": 1.0, "board": 4.0}, 1.0)
+    shares = meter.breakdown(("a15", "gpu"))
+    assert shares["a15"] == pytest.approx(0.75)
+
+
+def test_unknown_rail_energy_is_zero():
+    meter = EnergyMeter()
+    meter.accumulate({"a15": 1.0}, 1.0)
+    assert meter.energy_j("gpu") == 0.0
+
+
+def test_errors_without_accumulation():
+    meter = EnergyMeter()
+    with pytest.raises(AnalysisError):
+        meter.average_power_w("a15")
+    with pytest.raises(AnalysisError):
+        meter.breakdown()
+
+
+def test_bad_dt():
+    meter = EnergyMeter()
+    with pytest.raises(AnalysisError):
+        meter.accumulate({"a15": 1.0}, 0.0)
+
+
+def test_reset():
+    meter = EnergyMeter()
+    meter.accumulate({"a15": 1.0}, 1.0)
+    meter.reset()
+    assert meter.elapsed_s == 0.0
+    assert meter.total_energy_j() == 0.0

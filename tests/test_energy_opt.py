@@ -1,0 +1,87 @@
+"""Energy-optimal frequency analysis."""
+
+import pytest
+
+from repro.analysis.energy_opt import (
+    energy_optimal_point,
+    energy_per_gigacycle,
+    race_to_idle_penalty,
+)
+from repro.errors import AnalysisError
+from repro.kernel.kernel import KernelConfig
+from repro.apps.mibench import basicmath_large
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+TEMP_K = 350.0
+
+
+@pytest.fixture(scope="module")
+def big():
+    return odroid_xu3().big_cluster
+
+
+def test_one_point_per_opp(big):
+    points = energy_per_gigacycle(big, TEMP_K)
+    assert len(points) == len(big.opps)
+    freqs = [p.freq_hz for p in points]
+    assert freqs == sorted(freqs)
+
+
+def test_seconds_inverse_to_frequency(big):
+    points = energy_per_gigacycle(big, TEMP_K)
+    assert points[0].seconds_per_gcycle > points[-1].seconds_per_gcycle
+    assert points[0].seconds_per_gcycle == pytest.approx(
+        1e9 / (big.ipc * big.opps.min_freq_hz), rel=1e-9
+    )
+
+
+def test_interior_energy_minimum(big):
+    points = energy_per_gigacycle(big, TEMP_K)
+    best = energy_optimal_point(big, TEMP_K)
+    # The optimum is strictly inside the ladder at gaming temperatures:
+    # leakage punishes the bottom, V^2 punishes the top.
+    assert points[0].joules_per_gcycle > best.joules_per_gcycle
+    assert points[-1].joules_per_gcycle > best.joules_per_gcycle
+    assert big.opps.min_freq_hz < best.freq_hz < big.opps.max_freq_hz
+
+
+def test_hotter_chip_pushes_optimum_up(big):
+    # More leakage makes waiting more expensive: run faster when hot.
+    cool = energy_optimal_point(big, 310.0)
+    hot = energy_optimal_point(big, 370.0)
+    assert hot.freq_hz >= cool.freq_hz
+
+
+def test_race_to_idle_penalty_positive(big):
+    penalty = race_to_idle_penalty(big, TEMP_K)
+    assert penalty > 0.0
+
+
+def test_busy_cores_validation(big):
+    with pytest.raises(AnalysisError):
+        energy_per_gigacycle(big, TEMP_K, busy_cores=0.0)
+    with pytest.raises(AnalysisError):
+        energy_per_gigacycle(big, TEMP_K, busy_cores=5.0)
+
+
+def test_simulation_cross_check(big):
+    """Measured J/Gcycle of pinned BML runs matches the analytic ordering."""
+    def measure(freq_mhz):
+        sim = Simulation(
+            odroid_xu3(), [basicmath_large()],
+            kernel_config=KernelConfig(
+                cpu_governor="userspace", gpu_governor="powersave"
+            ),
+            seed=1,
+        )
+        sim.kernel.userspace_set_speed("a15", freq_mhz * 1e6)
+        sim.run(20.0)
+        joules = sim.energy.energy_j("a15")
+        gcycles = sim.app("bml").progress_gigacycles()
+        return joules / gcycles
+
+    # Compare the very bottom, a mid OPP and the top of the ladder.
+    low, mid, high = measure(200), measure(1000), measure(2000)
+    assert mid < low    # crawling wastes leakage/idle energy
+    assert mid < high   # sprinting wastes V^2 energy

@@ -1,0 +1,134 @@
+"""Simulation engine wiring and recording."""
+
+import pytest
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import basicmath_large
+from repro.errors import ConfigurationError, SimulationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.snapdragon810 import nexus6p
+
+
+def test_run_advances_time(odroid_sim):
+    odroid_sim.run(1.0)
+    assert odroid_sim.now_s == pytest.approx(1.0)
+
+
+def test_run_duration_validation(odroid_sim):
+    with pytest.raises(ConfigurationError):
+        odroid_sim.run(0.0)
+
+
+def test_until_predicate_stops_early(odroid_sim):
+    odroid_sim.run(10.0, until=lambda sim: sim.now_s >= 0.5)
+    assert odroid_sim.now_s < 1.0
+
+
+def test_duplicate_app_names_rejected():
+    with pytest.raises(ConfigurationError):
+        Simulation(
+            odroid_xu3(),
+            [basicmath_large(), basicmath_large()],
+            kernel_config=KernelConfig(),
+        )
+
+
+def test_app_lookup(odroid_sim):
+    with pytest.raises(SimulationError):
+        odroid_sim.app("ghost")
+
+
+def test_traces_recorded_at_period(odroid_sim):
+    odroid_sim.run(2.0)
+    times, _ = odroid_sim.traces.series("temp.big")
+    assert len(times) == pytest.approx(20, abs=2)
+
+
+def test_trace_channels_exist(odroid_sim):
+    odroid_sim.run(0.5)
+    for name in (
+        "temp.big", "temp.max", "freq.a15", "freq.gpu",
+        "power.a15", "power.total", "busy.a15", "busy.gpu",
+    ):
+        assert name in odroid_sim.traces
+
+
+def test_board_power_included_in_total(odroid_sim):
+    odroid_sim.run(0.5)
+    _, total = odroid_sim.traces.series("power.total")
+    _, rails = odroid_sim.traces.series("power.a15")
+    assert total[0] > rails[0]
+    assert "power.board" in odroid_sim.traces
+
+
+def test_energy_meter_runs(odroid_sim):
+    odroid_sim.run(1.0)
+    assert odroid_sim.energy.total_energy_j() > 0.0
+    assert odroid_sim.energy.elapsed_s == pytest.approx(1.0)
+
+
+def test_daq_optional():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    assert sim.daq is None
+    sim2 = Simulation(
+        odroid_xu3(), kernel_config=KernelConfig(), seed=1, enable_daq=True
+    )
+    sim2.run(1.0)
+    times, _ = sim2.daq.samples()
+    assert times.size == pytest.approx(1000, abs=5)
+
+
+def test_ambient_override():
+    sim = Simulation(
+        odroid_xu3(), kernel_config=KernelConfig(), ambient_c=10.0,
+        initial_temp_c=10.0, seed=1,
+    )
+    sim.run(1.0)
+    assert sim.thermal.ambient_k == pytest.approx(283.15)
+    assert sim.thermal.temperature_k("big") == pytest.approx(283.15, abs=0.5)
+
+
+def test_determinism_same_seed():
+    def run_once():
+        app = FrameApp("g", FrameWorkload(5e6, 8e6, sigma=0.3))
+        sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=7)
+        sim.run(5.0)
+        return app.fps.frame_count, sim.thermal.temperature_k("big")
+
+    assert run_once() == run_once()
+
+
+def test_different_seeds_diverge():
+    def run_once(seed):
+        app = FrameApp("g", FrameWorkload(5e6, 8e6, sigma=0.3))
+        sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=seed)
+        sim.run(5.0)
+        return app.fps.frame_count
+
+    assert run_once(1) != run_once(2)
+
+
+def test_temperature_rises_under_load():
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    t0 = sim.thermal.temperature_k("big")
+    sim.run(20.0)
+    assert sim.thermal.temperature_k("big") > t0 + 2.0
+
+
+def test_idle_nexus_stays_in_idle_band():
+    # The Nexus model starts at 35 degC, close to its idle steady state
+    # (display/board power keeps it above the 25 degC ambient).
+    sim = Simulation(nexus6p(), kernel_config=KernelConfig(), seed=1)
+    sim.run(20.0)
+    temp = sim.thermal.temperature_k("soc")
+    assert 306.0 < temp < 313.0  # 33..40 degC: warm but not gaming-hot
+
+
+def test_completion_dispatch_roundtrip():
+    app = FrameApp("g", FrameWorkload(2e6, 2e6, target_fps=30.0, sigma=0.0))
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    sim.run(3.0)
+    assert app.fps.frame_count > 30  # frames flow through CPU+GPU stages

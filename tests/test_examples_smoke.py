@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Examples import each other's siblings only via repro; safe to exec.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "userspace_sysfs_tour", "replay_and_report"],
+)
+def test_fast_examples_run(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert out.strip()  # produced some report
+
+
+def test_custom_platform_example(capsys):
+    run_example("custom_platform")
+    out = capsys.readouterr().out
+    assert "Critical power" in out
+    assert "Governor: " in out  # the predictive migration happened

@@ -1,0 +1,90 @@
+"""Experiment modules: structure and cheap invariants.
+
+The full paper-fidelity runs live in benchmarks/; here we validate the
+cheap experiment code paths (Figure 7, ablation sweeps) and the experiment
+plumbing without long simulations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.stability import ODROID_XU3_LUMPED
+from repro.experiments.ablations import (
+    critical_power_vs_ambient,
+    critical_power_vs_resistance,
+    safe_budget_vs_limit,
+)
+from repro.experiments.fig7 import PAPER_POWERS_W, figure7
+from repro.experiments.nexus import nexus_thermal_config
+from repro.experiments.odroid import odroid_default_thermal, SCENARIOS
+
+
+def test_figure7_three_panels():
+    curves = figure7()
+    assert [c.p_dyn_w for c in curves] == list(PAPER_POWERS_W)
+
+
+def test_figure7_root_structure_matches_paper():
+    curves = {c.p_dyn_w: c for c in figure7()}
+    assert curves[2.0].n_roots == 2
+    assert curves[5.5].n_roots in (1, 2)  # critically stable (merged)
+    assert curves[8.0].n_roots == 0
+
+
+def test_figure7_critical_panel_roots_nearly_merged():
+    curve = next(c for c in figure7() if c.p_dyn_w == 5.5)
+    if curve.n_roots == 2:
+        assert curve.report.stable_aux - curve.report.unstable_aux < 0.15
+
+
+def test_figure7_curves_are_concave():
+    for curve in figure7():
+        assert (np.diff(curve.f, 2) < 1e-9).all()
+
+
+def test_figure7_moves_down_with_power():
+    curves = figure7()
+    assert (curves[1].f < curves[0].f).all()
+    assert (curves[2].f < curves[1].f).all()
+
+
+def test_figure7_custom_params():
+    curves = figure7(powers_w=(1.0,), x_range=(1.0, 3.0), n_points=11)
+    assert len(curves) == 1
+    assert curves[0].x[0] == 1.0 and curves[0].x[-1] == 3.0
+
+
+def test_critical_power_decreases_with_ambient():
+    sweep = critical_power_vs_ambient()
+    powers = [p for _, p in sweep]
+    assert all(b < a for a, b in zip(powers, powers[1:]))
+
+
+def test_critical_power_decreases_with_resistance():
+    sweep = critical_power_vs_resistance()
+    powers = [p for _, p in sweep]
+    assert all(b < a for a, b in zip(powers, powers[1:]))
+
+
+def test_critical_power_at_unit_scale_is_paper_value():
+    sweep = dict(critical_power_vs_resistance())
+    assert sweep[1.0] == pytest.approx(5.5, abs=0.01)
+
+
+def test_safe_budget_increases_with_limit():
+    sweep = safe_budget_vs_limit()
+    budgets = [b for _, b in sweep]
+    assert all(b >= a for a, b in zip(budgets, budgets[1:]))
+
+
+def test_thermal_config_factories():
+    nexus = nexus_thermal_config()
+    assert nexus.kind == "step_wise"
+    assert nexus.sensor == "pkg"
+    odroid = odroid_default_thermal()
+    assert odroid.kind == "ipa"
+    assert odroid.control_temp_c > odroid.switch_on_temp_c
+
+
+def test_scenarios_tuple():
+    assert SCENARIOS == ("alone", "bml_default", "bml_proposed")

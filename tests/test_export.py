@@ -1,0 +1,76 @@
+"""CSV export of traces and FPS series."""
+
+import csv
+
+import pytest
+
+from repro.analysis.export import fps_to_csv, traces_to_csv
+from repro.apps.frames import FpsMeter
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder
+
+
+@pytest.fixture()
+def traces():
+    tr = TraceRecorder()
+    for i in range(11):
+        tr.record("temp.big", i * 0.1, 50.0 + i)
+        tr.record("power.total", i * 0.1, 3.0)
+    return tr
+
+
+def test_traces_roundtrip(tmp_path, traces):
+    path = tmp_path / "out.csv"
+    rows = traces_to_csv(traces, path, grid_dt_s=0.1)
+    assert rows == 11
+    with path.open() as handle:
+        reader = list(csv.reader(handle))
+    assert reader[0] == ["time_s", "power.total", "temp.big"]
+    assert float(reader[1][2]) == 50.0
+    assert float(reader[-1][2]) == 60.0
+
+
+def test_traces_channel_subset(tmp_path, traces):
+    path = tmp_path / "out.csv"
+    traces_to_csv(traces, path, channels=["temp.big"])
+    header = path.read_text().splitlines()[0]
+    assert header == "time_s,temp.big"
+
+
+def test_traces_zoh_alignment(tmp_path):
+    tr = TraceRecorder()
+    tr.record("a", 0.0, 1.0)
+    tr.record("a", 1.0, 2.0)
+    tr.record("b", 0.5, 10.0)
+    path = tmp_path / "out.csv"
+    traces_to_csv(tr, path, grid_dt_s=0.5)
+    rows = list(csv.reader(path.open()))
+    # grid 0.0, 0.5, 1.0; columns are sorted channel names: a then b.
+    assert rows[0] == ["time_s", "a", "b"]
+    assert [r[0] for r in rows[1:]] == ["0.000", "0.500", "1.000"]
+    assert [float(r[1]) for r in rows[1:]] == [1.0, 1.0, 2.0]
+    assert [float(r[2]) for r in rows[1:]] == [10.0, 10.0, 10.0]
+
+
+def test_traces_validation(tmp_path, traces):
+    with pytest.raises(AnalysisError):
+        traces_to_csv(TraceRecorder(), tmp_path / "x.csv")
+    with pytest.raises(AnalysisError):
+        traces_to_csv(traces, tmp_path / "x.csv", grid_dt_s=0.0)
+
+
+def test_fps_export(tmp_path):
+    meter = FpsMeter()
+    for i in range(60):
+        meter.record(i / 30.0)  # 30 fps for 2 s
+    path = tmp_path / "fps.csv"
+    rows = fps_to_csv(meter, path, 0.0, 2.0)
+    assert rows == 2
+    data = list(csv.reader(path.open()))
+    assert data[0] == ["bucket_start_s", "fps"]
+    assert float(data[1][1]) == 30.0
+
+
+def test_fps_export_empty(tmp_path):
+    with pytest.raises(AnalysisError):
+        fps_to_csv(FpsMeter(), tmp_path / "fps.csv")

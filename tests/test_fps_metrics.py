@@ -1,0 +1,64 @@
+"""FPS percentile and jank metrics; fan-on platform variant."""
+
+import pytest
+
+from repro.apps.frames import FpsMeter
+from repro.core import critical_power_w, lump_platform
+from repro.errors import AnalysisError
+from repro.soc.exynos5422 import odroid_xu3
+from repro.thermal.model import ThermalModel
+
+
+def meter_with_pattern():
+    meter = FpsMeter()
+    t = 0.0
+    # 9 smooth seconds at 60 fps, 1 janky second at 20 fps, repeated.
+    for block in range(3):
+        for sec in range(9):
+            for i in range(60):
+                meter.record(t + i / 60.0)
+            t += 1.0
+        for i in range(20):
+            meter.record(t + i / 20.0)
+        t += 1.0
+    return meter
+
+
+def test_percentile_fps():
+    meter = meter_with_pattern()
+    assert meter.percentile_fps(50.0, 0.0, 30.0) == pytest.approx(60.0)
+    assert meter.percentile_fps(5.0, 0.0, 30.0) < 30.0
+
+
+def test_jank_ratio():
+    meter = meter_with_pattern()
+    assert meter.jank_ratio(0.0, 30.0) == pytest.approx(0.1, abs=0.02)
+
+
+def test_smooth_run_has_zero_jank():
+    meter = FpsMeter()
+    for i in range(300):
+        meter.record(i / 30.0)
+    assert meter.jank_ratio(0.0, 10.0) == 0.0
+
+
+def test_percentile_validation():
+    meter = meter_with_pattern()
+    with pytest.raises(AnalysisError):
+        meter.percentile_fps(150.0)
+    with pytest.raises(AnalysisError):
+        FpsMeter().jank_ratio()
+
+
+def test_fan_variant_lifts_critical_power():
+    fanless = odroid_xu3(fan=False)
+    fanned = odroid_xu3(fan=True)
+    assert fanless.extras["fan"] == "disabled"
+    assert fanned.extras["fan"] == "enabled"
+    crit_off = critical_power_w(
+        lump_platform(fanless, ThermalModel(fanless.thermal, 0.01, 300.0))
+    )
+    crit_on = critical_power_w(
+        lump_platform(fanned, ThermalModel(fanned.thermal, 0.01, 300.0))
+    )
+    assert crit_on > 3.0 * crit_off

@@ -1,0 +1,114 @@
+"""Frame pipeline apps and the FPS meter."""
+
+import numpy as np
+import pytest
+
+from repro.apps.frames import FpsMeter, FrameApp, FrameWorkload
+from repro.errors import AnalysisError, ConfigurationError, SimulationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def test_fps_meter_counts_buckets():
+    meter = FpsMeter()
+    for i in range(90):
+        meter.record(i / 30.0)  # 30 fps for 3 seconds
+    times, fps = meter.fps_series(0.0, 3.0)
+    assert len(fps) == 3
+    assert np.allclose(fps, 30.0)
+    assert meter.median_fps(0.0, 3.0) == 30.0
+
+
+def test_fps_meter_empty_window_raises():
+    meter = FpsMeter()
+    with pytest.raises(AnalysisError):
+        meter.median_fps()
+
+
+def test_fps_meter_mean():
+    meter = FpsMeter()
+    for i in range(30):
+        meter.record(i / 30.0)
+    for i in range(60):
+        meter.record(1.0 + i / 60.0)
+    assert meter.mean_fps(0.0, 2.0) == pytest.approx(45.0)
+
+
+def test_workload_validation():
+    with pytest.raises(ConfigurationError):
+        FrameWorkload(cpu_cycles_per_frame=0.0, gpu_cycles_per_frame=1e6)
+    with pytest.raises(ConfigurationError):
+        FrameWorkload(1e6, 1e6, target_fps=0.0)
+    with pytest.raises(ConfigurationError):
+        FrameWorkload(1e6, 1e6, phase_amp=1.0)
+    with pytest.raises(ConfigurationError):
+        FrameWorkload(1e6, 1e6, pipeline_depth=0)
+    with pytest.raises(ConfigurationError):
+        FrameWorkload(1e6, 1e6, sigma=-0.5)
+
+
+def test_app_requires_attachment():
+    app = FrameApp("x", FrameWorkload(1e6, 1e6))
+    with pytest.raises(SimulationError):
+        app.ctx
+
+
+def test_double_attach_rejected():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    app = FrameApp("x", FrameWorkload(1e6, 1e6))
+    sim.add_app(app)
+    with pytest.raises(SimulationError):
+        app.attach(app.ctx)
+
+
+def test_light_app_hits_vsync_target():
+    app = FrameApp(
+        "game", FrameWorkload(2e6, 2e6, target_fps=60.0, sigma=0.0)
+    )
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    sim.run(10.0)
+    assert app.fps.median_fps(start_s=2.0) == pytest.approx(60.0, abs=3.0)
+
+
+def test_gpu_bound_app_scales_with_frame_cost():
+    heavy = FrameApp(
+        "heavy", FrameWorkload(2e6, 24e6, target_fps=60.0, sigma=0.0)
+    )
+    sim = Simulation(odroid_xu3(), [heavy], kernel_config=KernelConfig(), seed=1)
+    sim.run(10.0)
+    # GPU peak is 600 MHz: 600e6/24e6 = 25 fps ceiling.
+    assert heavy.fps.median_fps(start_s=3.0) == pytest.approx(24.0, abs=3.0)
+
+
+def test_phase_modulation_changes_cost():
+    app = FrameApp(
+        "x", FrameWorkload(1e6, 1e6, phase_amp=0.5, phase_period_s=20.0, sigma=0.0)
+    )
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    # Peak of sin at t = period/4 = 5 s; trough at 15 s.
+    assert app._phase_factor(5.0) == pytest.approx(1.5)
+    assert app._phase_factor(15.0) == pytest.approx(0.5)
+
+
+def test_lognormal_cost_has_unit_mean():
+    app = FrameApp("x", FrameWorkload(1e6, 1e6, sigma=0.5))
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    draws = np.array([app._draw_cost(1.0, 0.0) for _ in range(20000)])
+    assert draws.mean() == pytest.approx(1.0, rel=0.02)
+
+
+def test_metrics_contain_fps():
+    app = FrameApp("x", FrameWorkload(2e6, 2e6, target_fps=30.0, sigma=0.0))
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    sim.run(10.0)
+    metrics = app.metrics()
+    assert metrics["frames"] > 0
+    assert "median_fps" in metrics
+
+
+def test_pids_exposed_after_attach():
+    app = FrameApp("x", FrameWorkload(1e6, 1e6))
+    assert app.pids() == []
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+    assert len(app.pids()) == 1

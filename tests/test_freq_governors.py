@@ -1,0 +1,178 @@
+"""Frequency governor policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.cpufreq.governors import (
+    InteractiveGovernor,
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    StepGovernor,
+    UserspaceGovernor,
+    make_governor,
+)
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.soc.opp import OppTable
+
+
+def make_policy(initial=200e6):
+    opps = OppTable.from_pairs(
+        [(200e6, 0.9), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+    return DvfsPolicy("cpu", opps, initial_freq_hz=initial)
+
+
+def feed(policy, util, ticks=5):
+    for _ in range(ticks):
+        policy.account(0.01, util)
+
+
+def test_performance_goes_to_max():
+    policy = make_policy()
+    PerformanceGovernor().update(policy, 0.0)
+    assert policy.cur_freq_hz == 1600e6
+
+
+def test_performance_respects_thermal_cap():
+    policy = make_policy()
+    policy.set_thermal_max(800e6)
+    PerformanceGovernor().update(policy, 0.0)
+    assert policy.cur_freq_hz == 800e6
+
+
+def test_powersave_goes_to_min():
+    policy = make_policy(1600e6)
+    PowersaveGovernor().update(policy, 0.0)
+    assert policy.cur_freq_hz == 200e6
+
+
+def test_userspace_sets_requested_speed():
+    policy = make_policy()
+    gov = UserspaceGovernor()
+    gov.set_speed(800e6)
+    gov.update(policy, 0.0)
+    assert policy.cur_freq_hz == 800e6
+
+
+def test_userspace_no_speed_is_noop():
+    policy = make_policy(400e6)
+    UserspaceGovernor().update(policy, 0.0)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_userspace_rejects_bad_speed():
+    with pytest.raises(ConfigurationError):
+        UserspaceGovernor().set_speed(0.0)
+
+
+def test_ondemand_jumps_to_max_when_busy():
+    policy = make_policy()
+    feed(policy, 0.95)
+    OndemandGovernor(up_threshold=0.9).update(policy, 0.0)
+    assert policy.cur_freq_hz == 1600e6
+
+
+def test_ondemand_tracks_demand_when_not_busy():
+    policy = make_policy(1600e6)
+    feed(policy, 0.3)
+    OndemandGovernor(up_threshold=0.9).update(policy, 0.0)
+    # demand = 1600 MHz * 0.3 / 0.9 = 533 MHz -> snaps up to 800 MHz
+    assert policy.cur_freq_hz == 800e6
+
+
+def test_ondemand_threshold_validation():
+    with pytest.raises(ConfigurationError):
+        OndemandGovernor(up_threshold=1.5)
+
+
+def test_interactive_raises_under_load():
+    policy = make_policy()
+    gov = InteractiveGovernor(target_load=0.8)
+    feed(policy, 1.0)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz > 200e6
+
+
+def test_interactive_hispeed_on_boost():
+    policy = make_policy()
+    gov = InteractiveGovernor(hispeed_freq_hz=800e6)
+    policy.notify_input(0.0)
+    feed(policy, 0.1)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz >= 800e6
+
+
+def test_interactive_min_sample_time_blocks_quick_drop():
+    policy = make_policy()
+    gov = InteractiveGovernor(target_load=0.8, min_sample_time_s=0.08)
+    feed(policy, 1.0)
+    gov.update(policy, 0.1)  # raises
+    high = policy.cur_freq_hz
+    feed(policy, 0.1)
+    gov.update(policy, 0.12)  # too soon after the raise
+    assert policy.cur_freq_hz == high
+    feed(policy, 0.1)
+    gov.update(policy, 0.5)  # dwell elapsed
+    assert policy.cur_freq_hz < high
+
+
+def test_interactive_go_hispeed_load():
+    policy = make_policy()
+    gov = InteractiveGovernor(hispeed_freq_hz=1600e6, go_hispeed_load=0.85)
+    feed(policy, 0.9)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz == 1600e6
+
+
+def test_interactive_validation():
+    with pytest.raises(ConfigurationError):
+        InteractiveGovernor(target_load=0.0)
+    with pytest.raises(ConfigurationError):
+        InteractiveGovernor(go_hispeed_load=2.0)
+
+
+def test_step_governor_steps_up_one_opp():
+    policy = make_policy()
+    gov = StepGovernor(up_threshold=0.9, down_threshold=0.7)
+    feed(policy, 0.95)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz == 400e6  # exactly one step
+
+
+def test_step_governor_steps_down_one_opp():
+    policy = make_policy(800e6)
+    gov = StepGovernor(up_threshold=0.9, down_threshold=0.7)
+    feed(policy, 0.3)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_step_governor_holds_in_band():
+    policy = make_policy(400e6)
+    gov = StepGovernor(up_threshold=0.9, down_threshold=0.7)
+    feed(policy, 0.8)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_step_governor_respects_thermal_cap():
+    policy = make_policy(400e6)
+    policy.set_thermal_max(400e6)
+    gov = StepGovernor()
+    feed(policy, 1.0)
+    gov.update(policy, 0.1)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_step_governor_validation():
+    with pytest.raises(ConfigurationError):
+        StepGovernor(up_threshold=0.5, down_threshold=0.7)
+
+
+def test_make_governor_registry():
+    assert make_governor("performance").name == "performance"
+    assert make_governor("interactive").name == "interactive"
+    assert make_governor("simple_ondemand").name == "simple_ondemand"
+    with pytest.raises(ConfigurationError):
+        make_governor("schedutil2")

@@ -1,0 +1,84 @@
+"""3DMark and Nenamark benchmark apps."""
+
+import pytest
+
+from repro.apps.gfxbench import NenamarkApp, ThreeDMarkApp
+from repro.errors import AnalysisError, ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_sim(apps, seed=1):
+    return Simulation(odroid_xu3(), apps, kernel_config=KernelConfig(), seed=seed)
+
+
+def test_3dmark_validation():
+    with pytest.raises(ConfigurationError):
+        ThreeDMarkApp(gt1_duration_s=0.0)
+
+
+def test_3dmark_phases_switch_demand():
+    mark = ThreeDMarkApp(gt1_duration_s=30.0, gt2_duration_s=30.0)
+    assert mark._mean_cycles(10.0)[1] < mark._mean_cycles(40.0)[1]
+
+
+def test_3dmark_gt2_slower_than_gt1():
+    mark = ThreeDMarkApp(gt1_duration_s=25.0, gt2_duration_s=25.0)
+    sim = make_sim([mark])
+    sim.run(50.0)
+    assert mark.gt1_fps(settle_s=5.0) > mark.gt2_fps(settle_s=5.0)
+
+
+def test_3dmark_unthrottled_fps_near_gpu_ceiling():
+    mark = ThreeDMarkApp(gt1_duration_s=25.0, gt2_duration_s=5.0)
+    sim = make_sim([mark])
+    sim.run(25.0)
+    # 600 MHz / 6.1 Mcycles ~ 98 fps.
+    assert mark.gt1_fps(settle_s=5.0) == pytest.approx(97.0, abs=6.0)
+
+
+def test_3dmark_metrics_before_completion():
+    mark = ThreeDMarkApp()
+    sim = make_sim([mark])
+    sim.run(1.0)
+    assert "frames" in mark.metrics()
+
+
+def test_nenamark_validation():
+    with pytest.raises(ConfigurationError):
+        NenamarkApp(slope_per_level=0.0)
+
+
+def test_nenamark_difficulty_ramp():
+    nena = NenamarkApp(level_duration_s=10.0)
+    assert nena.difficulty_levels(25.0) == pytest.approx(2.5)
+    assert nena._mean_cycles(30.0)[1] > nena._mean_cycles(0.0)[1]
+
+
+def test_nenamark_difficulty_capped():
+    nena = NenamarkApp(level_duration_s=1.0, max_levels=4.0)
+    assert nena.difficulty_levels(100.0) == 4.0
+
+
+def test_nenamark_terminates_with_score():
+    nena = NenamarkApp(level_duration_s=10.0)
+    sim = make_sim([nena])
+    sim.run(120.0, until=lambda s: nena.finished)
+    assert nena.finished
+    assert 1.0 < nena.score_levels < 8.0
+
+
+def test_nenamark_score_unavailable_before_finish():
+    nena = NenamarkApp()
+    with pytest.raises(AnalysisError):
+        nena.score_levels
+
+
+def test_nenamark_stops_submitting_after_finish():
+    nena = NenamarkApp(level_duration_s=5.0)
+    sim = make_sim([nena])
+    sim.run(200.0, until=lambda s: nena.finished)
+    frames = nena.fps.frame_count
+    sim.run(2.0)
+    assert nena.fps.frame_count <= frames + 5  # only in-flight stragglers

@@ -1,0 +1,152 @@
+"""The application-aware thermal governor (the paper's Section IV.B)."""
+
+import pytest
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import basicmath_large
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.core.stability import LumpedThermalParams
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_sim(apps, seed=1):
+    return Simulation(odroid_xu3(), apps, kernel_config=KernelConfig(), seed=seed)
+
+
+def make_governor(sim, **cfg_kwargs):
+    defaults = dict(t_limit_c=70.0, horizon_s=120.0, window_s=1.0, period_s=0.1)
+    defaults.update(cfg_kwargs)
+    gov = ApplicationAwareGovernor.for_simulation(sim, GovernorConfig(**defaults))
+    gov.install(sim.kernel)
+    return gov
+
+
+def light_game():
+    return FrameApp(
+        "game",
+        FrameWorkload(
+            cpu_cycles_per_frame=6e6,
+            gpu_cycles_per_frame=4e6,
+            target_fps=60.0,
+            sigma=0.1,
+        ),
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        GovernorConfig(period_s=0.0)
+    with pytest.raises(ConfigurationError):
+        GovernorConfig(window_s=0.05, period_s=0.1)
+
+
+def test_for_simulation_discovers_paths():
+    sim = make_sim([])
+    gov = make_governor(sim)
+    assert "/sys/class/thermal/" in gov._temp_path
+    assert set(gov._power_paths) == {"a15", "a7", "gpu", "mem"}
+
+
+def test_predictions_logged_each_period():
+    sim = make_sim([])
+    gov = make_governor(sim)
+    sim.run(2.0)
+    assert len(gov.predictions) == pytest.approx(20, abs=2)
+    assert all(p.p_total_w >= 0.0 for p in gov.predictions)
+
+
+def test_idle_system_predicts_no_violation():
+    sim = make_sim([])
+    gov = make_governor(sim, t_limit_c=85.0)
+    sim.run(5.0)
+    assert gov.events == []
+    last = gov.predictions[-1]
+    assert last.stable_temp_c is not None
+    assert last.stable_temp_c < 85.0
+
+
+def test_migrates_most_power_hungry_process():
+    game = light_game()
+    bml = basicmath_large()
+    sim = make_sim([game, bml])
+    gov = make_governor(sim, t_limit_c=60.0, horizon_s=300.0)
+    sim.run(20.0)
+    assert gov.events, "expected a migration"
+    event = gov.events[0]
+    assert event.name == "bml"
+    assert event.direction == "to_little"
+    assert sim.kernel.task_cluster(bml.pid) == "a7"
+
+
+def test_registered_process_never_migrated():
+    game = light_game()
+    bml = basicmath_large()
+    sim = make_sim([game, bml])
+    gov = make_governor(sim, t_limit_c=60.0, horizon_s=300.0)
+    for pid in bml.pids():
+        gov.registry.register(pid, "bml")
+    sim.run(20.0)
+    # BML is protected and the game's CPU task is the only candidate left.
+    assert all(e.name != "bml" for e in gov.events)
+    assert sim.kernel.task_cluster(bml.pid) == "a15"
+
+
+def test_everything_protected_means_no_action():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    gov = make_governor(sim, t_limit_c=60.0, horizon_s=300.0)
+    for pid in bml.pids():
+        gov.registry.register(pid)
+    sim.run(10.0)
+    assert gov.events == []
+
+
+def test_no_action_when_violation_far_away():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    # Violation predicted but the horizon is tiny: act only when imminent.
+    gov = make_governor(sim, t_limit_c=60.0, horizon_s=0.2)
+    sim.run(5.0)
+    assert gov.events == []
+
+
+def test_attribution_prefers_heavier_task():
+    # Two unbounded tasks with different thread counts: the wider one burns
+    # more cluster power and must be picked.
+    from repro.apps.mibench import BatchApp
+
+    narrow = BatchApp("narrow", n_threads=1)
+    wide = BatchApp("wide", n_threads=2)
+    sim = make_sim([narrow, wide])
+    gov = make_governor(sim, t_limit_c=55.0, horizon_s=600.0)
+    sim.run(15.0)
+    assert gov.events
+    assert gov.events[0].name == "wide"
+
+
+def test_migrate_back_extension():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    gov = make_governor(
+        sim, t_limit_c=60.0, horizon_s=300.0,
+        migrate_back=True, back_margin_c=2.0, back_dwell_s=1.0,
+    )
+    sim.run(15.0)
+    assert any(e.direction == "to_little" for e in gov.events)
+    # After migration the system cools well under the limit; with an
+    # aggressive margin the governor eventually brings BML back.
+    sim.run(60.0)
+    directions = [e.direction for e in gov.events]
+    assert "to_big" in directions
+
+
+def test_uses_lumped_params_when_given():
+    sim = make_sim([])
+    params = LumpedThermalParams(10.0, 5.0, 1e-3, 1650.0, 300.0)
+    gov = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(), params=params
+    )
+    assert gov.params is params

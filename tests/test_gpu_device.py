@@ -1,0 +1,65 @@
+"""GPU FIFO device."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernel.gpu import GpuDevice
+
+
+def test_submit_and_complete():
+    gpu = GpuDevice()
+    gpu.submit("game", 1e6, tag=("game", 1))
+    result = gpu.run_tick(200e6, 0.01)  # capacity 2e6
+    assert result.completed_tags == [("game", 1)]
+    assert result.busy_fraction == pytest.approx(0.5)
+
+
+def test_fifo_order():
+    gpu = GpuDevice()
+    gpu.submit("a", 1e6, tag="f1")
+    gpu.submit("a", 1e6, tag="f2")
+    result = gpu.run_tick(150e6, 0.01)  # capacity 1.5e6: f1 done, f2 half
+    assert result.completed_tags == ["f1"]
+    assert gpu.backlog_cycles == pytest.approx(0.5e6)
+
+
+def test_busy_fraction_saturates():
+    gpu = GpuDevice()
+    gpu.submit("a", 1e9)
+    result = gpu.run_tick(100e6, 0.01)
+    assert result.busy_fraction == pytest.approx(1.0)
+
+
+def test_idle_device():
+    gpu = GpuDevice()
+    result = gpu.run_tick(100e6, 0.01)
+    assert result.busy_fraction == 0.0
+    assert result.completed_tags == []
+
+
+def test_owner_accounting():
+    gpu = GpuDevice()
+    gpu.submit("a", 1e6)
+    gpu.submit("b", 1e6)
+    result = gpu.run_tick(200e6, 0.01)
+    assert result.owner_cycles["a"] == pytest.approx(1e6)
+    assert result.owner_cycles["b"] == pytest.approx(1e6)
+
+
+def test_queue_depth():
+    gpu = GpuDevice()
+    gpu.submit("a", 1e6)
+    gpu.submit("a", 1e6)
+    assert gpu.queue_depth == 2
+
+
+def test_invalid_submit():
+    gpu = GpuDevice()
+    with pytest.raises(SchedulingError):
+        gpu.submit("a", 0.0)
+
+
+def test_invalid_dt():
+    gpu = GpuDevice()
+    with pytest.raises(SchedulingError):
+        gpu.run_tick(100e6, 0.0)

@@ -1,0 +1,164 @@
+"""CPU-cluster hotplug and per-task CPU quotas."""
+
+import pytest
+
+from repro.apps.mibench import BatchApp, basicmath_large
+from repro.errors import ConfigurationError, SchedulingError
+from repro.kernel.kernel import HotplugConfig, KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.units import kelvin_to_celsius
+
+
+def make_sim(apps=(), config=None, seed=1):
+    return Simulation(
+        odroid_xu3(), list(apps), kernel_config=config or KernelConfig(), seed=seed
+    )
+
+
+# ------------------------------------------------------------------ hotplug
+
+def test_clusters_start_online():
+    sim = make_sim()
+    assert sim.kernel.cluster_online("a15")
+    assert sim.kernel.cluster_online("a7")
+
+
+def test_offline_migrates_tasks():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    sim.kernel.set_cluster_online("a15", False)
+    assert sim.kernel.task_cluster(bml.pid) == "a7"
+
+
+def test_offline_cluster_draws_no_power():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    sim.run(2.0)
+    sim.kernel.set_cluster_online("a15", False)
+    sim.run(2.0)
+    _, watts = sim.traces.series("power.a15")
+    assert watts[-1] == 0.0
+    # The migrated task keeps running on the LITTLE cluster.
+    _, little = sim.traces.series("busy.a7")
+    assert little[-1] > 0.5
+
+
+def test_cannot_offline_last_cluster():
+    sim = make_sim()
+    sim.kernel.set_cluster_online("a15", False)
+    with pytest.raises(ConfigurationError):
+        sim.kernel.set_cluster_online("a7", False)
+
+
+def test_unknown_cluster_rejected():
+    sim = make_sim()
+    with pytest.raises(ConfigurationError):
+        sim.kernel.set_cluster_online("a99", False)
+    with pytest.raises(ConfigurationError):
+        sim.kernel.cluster_online("a99")
+
+
+def test_spawn_falls_back_when_target_offline():
+    sim = make_sim()
+    sim.kernel.set_cluster_online("a15", False)
+    task = sim.kernel.spawn("late", cluster="a15")
+    assert task.cluster == "a7"
+
+
+def test_online_sysfs_nodes():
+    sim = make_sim()
+    fs = sim.kernel.fs
+    assert fs.read("/sys/devices/system/cpu/cpu4/online") == "1"
+    fs.write("/sys/devices/system/cpu/cpu4/online", "0")
+    assert not sim.kernel.cluster_online("a15")
+    fs.write("/sys/devices/system/cpu/cpu7/online", "1")
+    assert sim.kernel.cluster_online("a15")
+
+
+def test_hotplug_daemon_trips_and_recovers():
+    config = KernelConfig(
+        hotplug=HotplugConfig(sensor="soc_big", cluster="a15", trip_c=70.0)
+    )
+    burn = BatchApp("burn", n_threads=4)
+    sim = make_sim([burn], config=config)
+    sim.run(120.0)
+    # The big cluster got too hot, was powered off, and the task moved.
+    _, watts = sim.traces.series("power.a15")
+    assert (watts == 0.0).any(), "big cluster was never powered off"
+    assert sim.kernel.task_cluster(burn.pid) == "a7"
+    # Temperature is bounded by the hotplug action.
+    assert kelvin_to_celsius(sim.thermal.max_temperature_k()) < 85.0
+
+
+def test_hotplug_config_validation():
+    with pytest.raises(ConfigurationError):
+        HotplugConfig(sensor="s", cluster="c", trip_c=70.0, hyst_c=0.0)
+    config = KernelConfig(
+        hotplug=HotplugConfig(sensor="nope", cluster="a15", trip_c=70.0)
+    )
+    with pytest.raises(ConfigurationError):
+        make_sim(config=config)
+
+
+# ------------------------------------------------------------------- quotas
+
+def test_quota_limits_consumption():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    sim.run(5.0)
+    full = bml.progress_gigacycles()
+    bml2 = basicmath_large()
+    sim2 = make_sim([bml2])
+    sim2.kernel.scheduler.task(bml2.pid).set_cpu_quota(0.25)
+    sim2.run(5.0)
+    limited = bml2.progress_gigacycles()
+    assert limited < 0.5 * full
+
+
+def test_quota_validation():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    task = sim.kernel.scheduler.task(bml.pid)
+    with pytest.raises(SchedulingError):
+        task.set_cpu_quota(0.0)
+    with pytest.raises(SchedulingError):
+        task.set_cpu_quota(1.5)
+
+
+def test_quota_via_userspace_api():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    api = sim.kernel.userspace_api()
+    api.set_cpu_quota(bml.pid, 0.5)
+    assert api.cpu_quota(bml.pid) == 0.5
+
+
+def test_duty_cycle_governor_action():
+    from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim,
+        GovernorConfig(
+            t_limit_c=60.0, horizon_s=300.0, action="duty_cycle", min_quota=0.25
+        ),
+    )
+    governor.install(sim.kernel)
+    sim.run(20.0)
+    assert governor.events, "duty-cycle action never fired"
+    assert governor.events[0].direction.startswith("quota_")
+    # The offender stays on the big cluster but with a reduced quota (the
+    # governor halves until the predicted violation clears).
+    assert sim.kernel.task_cluster(bml.pid) == "a15"
+    assert sim.kernel.userspace_api().cpu_quota(bml.pid) <= 0.5
+
+
+def test_duty_cycle_config_validation():
+    from repro.core.governor import GovernorConfig
+
+    with pytest.raises(ConfigurationError):
+        GovernorConfig(action="freeze")
+    with pytest.raises(ConfigurationError):
+        GovernorConfig(action="duty_cycle", min_quota=0.0)

@@ -1,0 +1,104 @@
+"""End-to-end Odroid-XU3 behaviour (shortened Section IV.C scenarios)."""
+
+import pytest
+
+from repro.apps.gfxbench import ThreeDMarkApp
+from repro.apps.mibench import basicmath_large
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.experiments.odroid import odroid_default_thermal
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+DURATION_S = 100.0
+
+
+def run_scenario(with_bml, proposed, seed=3):
+    mark = ThreeDMarkApp(gt1_duration_s=DURATION_S, gt2_duration_s=10.0)
+    apps = [mark] + ([basicmath_large()] if with_bml else [])
+    config = (
+        KernelConfig() if proposed
+        else KernelConfig(thermal=odroid_default_thermal())
+    )
+    sim = Simulation(odroid_xu3(), apps, kernel_config=config, seed=seed)
+    governor = None
+    if proposed:
+        governor = ApplicationAwareGovernor.for_simulation(
+            sim, GovernorConfig(t_limit_c=85.0, horizon_s=60.0)
+        )
+        for pid in mark.pids():
+            governor.registry.register(pid, mark.name)
+        governor.install(sim.kernel)
+    sim.run(DURATION_S)
+    return sim, mark, governor
+
+
+@pytest.fixture(scope="module")
+def alone():
+    return run_scenario(False, False)
+
+
+@pytest.fixture(scope="module")
+def bml_default():
+    return run_scenario(True, False)
+
+
+@pytest.fixture(scope="module")
+def bml_proposed():
+    return run_scenario(True, True)
+
+
+def test_background_app_heats_the_system(alone, bml_default):
+    _, temps_alone = alone[0].traces.series("temp.max")
+    _, temps_bml = bml_default[0].traces.series("temp.max")
+    assert temps_bml[-1] > temps_alone[-1] + 5.0
+
+
+def test_proposed_governor_migrates_bml(bml_proposed):
+    sim, _, governor = bml_proposed
+    assert governor.events
+    assert governor.events[0].name == "bml"
+    assert governor.events[0].direction == "to_little"
+    assert sim.kernel.task_cluster(sim.app("bml").pid) == "a7"
+
+
+def test_proposed_controls_temperature(bml_default, bml_proposed):
+    _, temps_default = bml_default[0].traces.series("temp.max")
+    _, temps_proposed = bml_proposed[0].traces.series("temp.max")
+    assert temps_proposed[-1] < temps_default[-1] - 3.0
+
+
+def test_proposed_preserves_foreground_fps(alone, bml_default, bml_proposed):
+    fps_alone = alone[1].fps.median_fps(start_s=10.0, end_s=DURATION_S)
+    fps_default = bml_default[1].fps.median_fps(start_s=10.0, end_s=DURATION_S)
+    fps_proposed = bml_proposed[1].fps.median_fps(start_s=10.0, end_s=DURATION_S)
+    # Within one FPS bucket of the default (which barely throttles inside
+    # this shortened 100 s window) and of the standalone upper bound.
+    assert fps_proposed >= fps_default - 1.5
+    assert fps_proposed >= fps_alone - 5.0
+
+
+def test_bml_keeps_progressing_after_migration(bml_proposed):
+    sim, _, _ = bml_proposed
+    assert sim.app("bml").progress_gigacycles() > 50.0
+
+
+def test_power_shifts_from_big_to_little(bml_default, bml_proposed):
+    from repro.analysis.breakdown import breakdown_from_traces
+
+    default_bd = breakdown_from_traces(
+        bml_default[0].traces, ("a15", "a7", "gpu", "mem"), start_s=20.0
+    )
+    proposed_bd = breakdown_from_traces(
+        bml_proposed[0].traces, ("a15", "a7", "gpu", "mem"), start_s=20.0
+    )
+    assert proposed_bd.shares["a15"] < default_bd.shares["a15"]
+    assert proposed_bd.shares["a7"] > default_bd.shares["a7"]
+
+
+def test_governor_prediction_stream(bml_proposed):
+    _, _, governor = bml_proposed
+    assert len(governor.predictions) > 500
+    hot = [p for p in governor.predictions if p.stable_temp_c is None
+           or p.stable_temp_c > 85.0]
+    assert hot, "a violation should have been predicted at some point"

@@ -1,0 +1,64 @@
+"""App-interference measurement."""
+
+import pytest
+
+from repro.analysis.interference import measure_interference
+from repro.apps.catalog import make_app
+from repro.apps.mibench import basicmath_large
+from repro.errors import AnalysisError
+from repro.experiments.nexus import nexus_thermal_config
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+DURATION_S = 60.0
+
+
+def run(with_background, throttled=True, seed=3):
+    apps = [make_app("stickman")]
+    if with_background:
+        apps.append(basicmath_large(cluster="a57"))
+    config = KernelConfig(thermal=nexus_thermal_config() if throttled else None)
+    sim = Simulation(nexus6p(), apps, kernel_config=config, seed=seed)
+    sim.run(DURATION_S)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def solo():
+    return run(False)
+
+
+@pytest.fixture(scope="module")
+def contended():
+    return run(True)
+
+
+def test_background_slows_foreground(solo, contended):
+    result = measure_interference(solo, contended, "stickman", "bml")
+    assert result.slowdown_pct > 5.0
+    assert result.contended_fps < result.solo_fps
+
+
+def test_background_adds_heat_without_governor():
+    solo = run(False, throttled=False)
+    contended = run(True, throttled=False)
+    result = measure_interference(solo, contended, "stickman", "bml")
+    assert result.extra_heat_k > 1.0
+
+
+def test_result_fields(solo, contended):
+    result = measure_interference(solo, contended, "stickman", "bml")
+    assert result.foreground == "stickman"
+    assert result.background == "bml"
+    assert result.solo_fps > 0.0
+
+
+def test_background_in_solo_run_rejected(contended):
+    with pytest.raises(AnalysisError):
+        measure_interference(contended, contended, "stickman", "bml")
+
+
+def test_unknown_apps_rejected(solo, contended):
+    with pytest.raises(Exception):
+        measure_interference(solo, contended, "ghost", "bml")

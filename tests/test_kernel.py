@@ -1,0 +1,172 @@
+"""Kernel facade: assembly, governor cadence, daemons, syscalls."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.kernel.kernel import GPU_DOMAIN, Kernel, KernelConfig, ThermalConfig
+from repro.kernel.thermal.zone import TripPoint
+from repro.sim.clock import Clock
+from repro.sim.rng import RngRegistry
+from repro.soc.exynos5422 import odroid_xu3
+from repro.thermal.model import ThermalModel
+
+
+def make_kernel(config=None):
+    platform = odroid_xu3()
+    clock = Clock(0.01)
+    model = ThermalModel(
+        platform.thermal, 0.01, ambient_k=platform.default_ambient_k,
+        initial_k=platform.initial_temp_k,
+    )
+    kernel = Kernel(platform, model, clock, RngRegistry(1), config)
+    return kernel, clock, model
+
+
+def tick(kernel, clock, model, n=1, rails=None):
+    rails = rails or {"a15": 0.5, "a7": 0.1, "gpu": 0.2, "mem": 0.2, "board": 0.5}
+    results = []
+    for _ in range(n):
+        results.append(kernel.tick(clock.now, clock.dt))
+        model.step(rails)
+        kernel.update_power_readings(rails, clock.dt)
+        clock.advance()
+    return results
+
+
+def test_policies_cover_all_domains():
+    kernel, _, _ = make_kernel()
+    assert set(kernel.policies) == {"a7", "a15", GPU_DOMAIN}
+
+
+def test_default_zones_cover_all_sensors():
+    kernel, _, _ = make_kernel()
+    assert set(kernel.zones) == {"soc_big", "soc_gpu", "board"}
+
+
+def test_thermal_config_builds_cooling():
+    cfg = KernelConfig(
+        thermal=ThermalConfig(
+            kind="step_wise", sensor="soc_big", cooled=("a15",),
+            trips=(TripPoint(80.0),),
+        )
+    )
+    kernel, _, _ = make_kernel(cfg)
+    assert len(kernel.cooling_devices) == 1
+    assert kernel.zones["soc_big"].governor is not None
+
+
+def test_thermal_config_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalConfig(kind="magic", sensor="s", cooled=("a15",))
+    with pytest.raises(ConfigurationError):
+        ThermalConfig(kind="step_wise", sensor="s", cooled=("a15",))  # no trips
+    with pytest.raises(ConfigurationError):
+        ThermalConfig(kind="ipa", sensor="s", cooled=())
+
+
+def test_thermal_config_unknown_domain_rejected():
+    cfg = KernelConfig(
+        thermal=ThermalConfig(kind="ipa", sensor="soc_big", cooled=("a72",))
+    )
+    with pytest.raises(ConfigurationError):
+        make_kernel(cfg)
+
+
+def test_thermal_config_unknown_sensor_rejected():
+    cfg = KernelConfig(
+        thermal=ThermalConfig(kind="ipa", sensor="nope", cooled=("a15",))
+    )
+    with pytest.raises(ConfigurationError):
+        make_kernel(cfg)
+
+
+def test_spawn_defaults_to_big_cluster():
+    kernel, _, _ = make_kernel()
+    task = kernel.spawn("x")
+    assert task.cluster == "a15"
+
+
+def test_tick_runs_scheduler_and_gpu():
+    kernel, clock, model = make_kernel()
+    kernel.spawn("bml", unbounded=True)
+    kernel.gpu.submit("x", 1e5, tag=("x", 1))
+    result = tick(kernel, clock, model)[0]
+    assert result.usage["a15"].busy_cores > 0.0
+    assert ("x", 1) in result.gpu.completed_tags
+
+
+def test_interactive_raises_frequency_for_busy_thread():
+    kernel, clock, model = make_kernel()
+    kernel.spawn("bml", unbounded=True)
+    tick(kernel, clock, model, n=200)
+    assert kernel.policies["a15"].cur_freq_hz == pytest.approx(2000e6)
+
+
+def test_idle_system_stays_at_min_frequency():
+    kernel, clock, model = make_kernel()
+    tick(kernel, clock, model, n=200)
+    assert kernel.policies["a15"].cur_freq_hz == pytest.approx(200e6)
+
+
+def test_daemon_runs_at_period():
+    kernel, clock, model = make_kernel()
+    calls = []
+    kernel.register_daemon("d", 0.1, calls.append)
+    tick(kernel, clock, model, n=100)  # 1 second
+    assert len(calls) == 10
+
+
+def test_governor_switch_via_api():
+    kernel, clock, model = make_kernel()
+    kernel.set_cpu_governor("a15", "performance")
+    tick(kernel, clock, model, n=10)
+    assert kernel.policies["a15"].cur_freq_hz == pytest.approx(2000e6)
+
+
+def test_userspace_set_speed_requires_userspace_governor():
+    kernel, _, _ = make_kernel()
+    with pytest.raises(ConfigurationError):
+        kernel.userspace_set_speed("a15", 1e9)
+    kernel.set_cpu_governor("a15", "userspace")
+    kernel.userspace_set_speed("a15", 1e9)  # now fine
+
+
+def test_input_event_boosts_policies():
+    kernel, clock, model = make_kernel()
+    kernel.input_event(0.0)
+    assert kernel.policies["a15"].boosted(0.1)
+
+
+def test_power_sensor_readings_flow_through():
+    kernel, clock, model = make_kernel()
+    tick(kernel, clock, model, n=50, rails={"a15": 1.5, "a7": 0.1, "gpu": 0.2, "mem": 0.2})
+    assert kernel.power_sensors["a15"].read_w() == pytest.approx(1.5, rel=0.1)
+
+
+def test_migrate_and_cputime():
+    kernel, clock, model = make_kernel()
+    task = kernel.spawn("bml", unbounded=True)
+    tick(kernel, clock, model, n=10)
+    assert kernel.cputime_s(task.pid) > 0.0
+    kernel.migrate(task.pid, "a7")
+    assert kernel.task_cluster(task.pid) == "a7"
+
+
+def test_task_by_name():
+    kernel, _, _ = make_kernel()
+    task = kernel.spawn("bml", unbounded=True)
+    assert kernel.task_by_name("bml") is task
+    with pytest.raises(SchedulingError):
+        kernel.task_by_name("ghost")
+
+
+def test_userspace_api_surface():
+    kernel, _, _ = make_kernel()
+    task = kernel.spawn("bml", unbounded=True)
+    api = kernel.userspace_api()
+    assert task.pid in api.pids()
+    assert api.process_name(task.pid) == "bml"
+    assert api.big_cluster == "a15"
+    assert api.little_cluster == "a7"
+    api.set_affinity(task.pid, "a7")
+    assert kernel.task_cluster(task.pid) == "a7"

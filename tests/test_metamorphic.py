@@ -1,0 +1,86 @@
+"""Metamorphic engine tests: directionally-known perturbations.
+
+Full-system relations that must hold regardless of calibration details:
+hotter rooms run hotter; more board power runs hotter; a slower thermal
+limit throttles more; bigger demand burns more energy.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import basicmath_large
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+DURATION_S = 30.0
+
+
+def run_bml(ambient_c=None, platform=None, seed=1):
+    sim = Simulation(
+        platform or odroid_xu3(), [basicmath_large()],
+        kernel_config=KernelConfig(), seed=seed, ambient_c=ambient_c,
+        initial_temp_c=ambient_c,
+    )
+    sim.run(DURATION_S)
+    return sim
+
+
+def test_hotter_ambient_hotter_chip():
+    cool = run_bml(ambient_c=15.0)
+    warm = run_bml(ambient_c=35.0)
+    assert (
+        warm.thermal.temperature_k("big") > cool.thermal.temperature_k("big") + 10.0
+    )
+
+
+def test_hotter_ambient_more_leakage_power():
+    cool = run_bml(ambient_c=15.0)
+    warm = run_bml(ambient_c=35.0)
+    assert warm.energy.average_power_w("a15") > cool.energy.average_power_w("a15")
+
+
+def test_more_board_power_hotter_board():
+    base_platform = odroid_xu3()
+    hot_platform = dataclasses.replace(base_platform, board_power_w=2.0)
+    base = run_bml(platform=base_platform)
+    hot = run_bml(platform=hot_platform)
+    assert (
+        hot.thermal.temperature_k("board")
+        > base.thermal.temperature_k("board") + 3.0
+    )
+
+
+def test_heavier_frames_more_energy():
+    def run_game(gpu_cycles):
+        app = FrameApp(
+            "g", FrameWorkload(3e6, gpu_cycles, target_fps=30.0, sigma=0.0)
+        )
+        sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
+        sim.run(DURATION_S)
+        return sim.energy.energy_j("gpu")
+
+    assert run_game(12e6) > 1.5 * run_game(4e6)
+
+
+def test_seed_only_perturbs_noise_not_physics():
+    a = run_bml(seed=1)
+    b = run_bml(seed=2)
+    # Same workload, same physics: temperatures agree closely even though
+    # sensor noise and app RNG streams differ.
+    assert a.thermal.temperature_k("big") == pytest.approx(
+        b.thermal.temperature_k("big"), abs=0.5
+    )
+
+
+def test_double_duration_double_batch_progress():
+    short = run_bml()
+    long_sim = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1
+    )
+    long_sim.run(2 * DURATION_S)
+    assert long_sim.app("bml").progress_gigacycles() == pytest.approx(
+        2.0 * short.app("bml").progress_gigacycles(), rel=0.05
+    )

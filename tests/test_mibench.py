@@ -1,0 +1,61 @@
+"""MiBench batch workload model."""
+
+import pytest
+
+from repro.apps.mibench import BatchApp, basicmath_large
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_sim(apps):
+    return Simulation(odroid_xu3(), apps, kernel_config=KernelConfig(), seed=1)
+
+
+def test_bml_factory_name_and_placement():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    assert bml.name == "bml"
+    assert sim.kernel.task_cluster(bml.pid) == "a15"
+
+
+def test_progress_grows_with_time():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    sim.run(5.0)
+    first = bml.progress_gigacycles()
+    sim.run(5.0)
+    assert bml.progress_gigacycles() > first > 0.0
+
+
+def test_progress_slows_on_little_cluster():
+    fast = basicmath_large()
+    sim_fast = make_sim([fast])
+    sim_fast.run(20.0)
+
+    slow = basicmath_large(cluster="a7")
+    sim_slow = make_sim([slow])
+    sim_slow.run(20.0)
+
+    # big A15 at 2 GHz, IPC 1.8 vs LITTLE A7 at 1.4 GHz, IPC 1.0.
+    assert fast.progress_gigacycles() > 2.0 * slow.progress_gigacycles()
+
+
+def test_metrics():
+    bml = basicmath_large()
+    sim = make_sim([bml])
+    sim.run(2.0)
+    metrics = bml.metrics()
+    assert metrics["cluster"] == "a15"
+    assert metrics["migrations"] == 0
+    assert metrics["progress_gcycles"] > 0.0
+
+
+def test_multithreaded_batch():
+    wide = BatchApp("wide", n_threads=4)
+    narrow = BatchApp("narrow", n_threads=1)
+    sim_wide = make_sim([wide])
+    sim_wide.run(10.0)
+    sim_narrow = make_sim([narrow])
+    sim_narrow.run(10.0)
+    assert wide.progress_gigacycles() > 3.0 * narrow.progress_gigacycles()

@@ -1,0 +1,87 @@
+"""MiBench suite: rate-limited vs compute-bound kernels."""
+
+import pytest
+
+from repro.apps.mibench import (
+    MIBENCH_SUITE,
+    BatchApp,
+    dijkstra_large,
+    fft_large,
+    qsort_large,
+    susan_corners,
+)
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_sim(apps, seed=1):
+    return Simulation(odroid_xu3(), apps, kernel_config=KernelConfig(), seed=seed)
+
+
+def test_suite_contains_five_kernels():
+    assert set(MIBENCH_SUITE) == {"bml", "qsort", "susan", "fft", "dijkstra"}
+    for factory in MIBENCH_SUITE.values():
+        assert isinstance(factory(), BatchApp)
+
+
+def test_rate_validation():
+    with pytest.raises(ConfigurationError):
+        BatchApp("x", rate_gcycles_per_s=0.0)
+
+
+def test_rate_limited_kernel_uses_partial_cpu():
+    dijkstra = dijkstra_large()
+    sim = make_sim([dijkstra])
+    sim.run(10.0)
+    # 0.8 Gcycles/s of demand: the interactive governor settles at a low
+    # frequency (load ~target) instead of pinning the cluster at 2 GHz.
+    _, busy = sim.traces.series("busy.a15")
+    assert 0.3 < busy[-1] < 0.95
+    assert sim.kernel.policies["a15"].cur_freq_hz < 1200e6
+    assert dijkstra.progress_gigacycles() == pytest.approx(8.0, rel=0.1)
+
+
+def test_compute_bound_kernel_saturates_core():
+    qsort = qsort_large()
+    sim = make_sim([qsort])
+    sim.run(5.0)
+    _, busy = sim.traces.series("busy.a15")
+    assert busy[-1] == pytest.approx(1.0, abs=0.05)
+
+
+def test_multithreaded_susan_uses_two_cores():
+    susan = susan_corners()
+    sim = make_sim([susan])
+    sim.run(5.0)
+    _, busy = sim.traces.series("busy.a15")
+    assert busy[-1] == pytest.approx(2.0, abs=0.1)
+
+
+def test_memory_bound_draws_less_power_than_compute_bound():
+    fft = fft_large()
+    sim_fft = make_sim([fft])
+    sim_fft.run(10.0)
+    bml_sim = make_sim([MIBENCH_SUITE["bml"]()])
+    bml_sim.run(10.0)
+    assert (
+        sim_fft.energy.average_power_w("a15")
+        < bml_sim.energy.average_power_w("a15")
+    )
+
+
+def test_rate_limited_progress_independent_of_frequency():
+    # The kernel is stalled on memory: pinning the CPU slower barely
+    # changes its retirement rate (as long as capacity >= demand).
+    slow = Simulation(
+        odroid_xu3(), [fft_large()],
+        kernel_config=KernelConfig(cpu_governor="userspace"), seed=1,
+    )
+    slow.kernel.userspace_set_speed("a15", 1200e6)
+    slow.run(10.0)
+    fast = make_sim([fft_large()])
+    fast.run(10.0)
+    assert slow.app("fft").progress_gigacycles() == pytest.approx(
+        fast.app("fft").progress_gigacycles(), rel=0.1
+    )

@@ -1,0 +1,115 @@
+"""Conservative and schedutil frequency governors."""
+
+import pytest
+
+from repro.apps.mibench import basicmath_large
+from repro.errors import ConfigurationError
+from repro.kernel.cpufreq.governors import (
+    ConservativeGovernor,
+    SchedutilGovernor,
+    make_governor,
+)
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.opp import OppTable
+
+
+def make_policy(initial=200e6):
+    opps = OppTable.from_pairs(
+        [(200e6, 0.9), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+    return DvfsPolicy("cpu", opps, initial_freq_hz=initial)
+
+
+def feed(policy, util, ticks=5):
+    for _ in range(ticks):
+        policy.account(0.01, util)
+
+
+def test_conservative_steps_up_gradually():
+    policy = make_policy(200e6)
+    gov = ConservativeGovernor(freq_step=0.05)  # step = 80 MHz
+    feed(policy, 1.0)
+    gov.update(policy, 0.0)
+    # One step of 80 MHz from 200 snaps up to 400 (the next OPP), not max.
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_conservative_steps_down_gradually():
+    policy = make_policy(1600e6)
+    gov = ConservativeGovernor(freq_step=0.05)
+    feed(policy, 0.05)
+    gov.update(policy, 0.0)
+    assert policy.cur_freq_hz == 800e6  # floor of 1520 MHz
+
+
+def test_conservative_holds_in_band():
+    policy = make_policy(800e6)
+    gov = ConservativeGovernor()
+    feed(policy, 0.5)
+    gov.update(policy, 0.0)
+    assert policy.cur_freq_hz == 800e6
+
+
+def test_conservative_validation():
+    with pytest.raises(ConfigurationError):
+        ConservativeGovernor(up_threshold=0.2, down_threshold=0.8)
+    with pytest.raises(ConfigurationError):
+        ConservativeGovernor(freq_step=0.0)
+
+
+def test_schedutil_tracks_utilisation():
+    policy = make_policy(800e6)
+    gov = SchedutilGovernor(headroom=1.25)
+    feed(policy, 0.5)
+    gov.update(policy, 0.0)
+    # demand = 0.5 * 800 MHz * 1.25 = 500 MHz -> ceil to 800 MHz.
+    assert policy.cur_freq_hz == 800e6
+    feed(policy, 0.1)
+    gov.update(policy, 0.1)
+    # demand = 0.1 * 800 * 1.25 = 100 MHz -> lowest OPP.
+    assert policy.cur_freq_hz == 200e6
+
+
+def test_schedutil_saturates_at_max():
+    policy = make_policy(1600e6)
+    gov = SchedutilGovernor()
+    feed(policy, 1.0)
+    gov.update(policy, 0.0)
+    assert policy.cur_freq_hz == 1600e6
+
+
+def test_schedutil_validation():
+    with pytest.raises(ConfigurationError):
+        SchedutilGovernor(headroom=0.9)
+
+
+def test_registry_contains_new_governors():
+    assert make_governor("conservative").name == "conservative"
+    assert make_governor("schedutil").name == "schedutil"
+
+
+def test_schedutil_end_to_end_reaches_max_under_load():
+    sim = Simulation(
+        odroid_xu3(), [basicmath_large()],
+        kernel_config=KernelConfig(cpu_governor="schedutil"), seed=1,
+    )
+    sim.run(3.0)
+    assert sim.kernel.policies["a15"].cur_freq_hz == pytest.approx(2000e6)
+
+
+def test_conservative_end_to_end_ramps_slower_than_interactive():
+    def time_to_max(governor):
+        sim = Simulation(
+            odroid_xu3(), [basicmath_large()],
+            kernel_config=KernelConfig(cpu_governor=governor), seed=1,
+        )
+        for _ in range(1000):
+            sim.step()
+            if sim.kernel.policies["a15"].cur_freq_hz >= 2000e6:
+                return sim.now_s
+        return float("inf")
+
+    assert time_to_max("conservative") > time_to_max("interactive")

@@ -1,0 +1,67 @@
+"""Multi-hotspot stability analysis."""
+
+import pytest
+
+from repro.core.fixed_point import StabilityClass
+from repro.core.multinode import (
+    binding_hotspot,
+    candidate_nodes,
+    per_node_analysis,
+    safe_everywhere,
+)
+from repro.errors import StabilityError
+from repro.thermal.model import ThermalModel
+from repro.units import celsius_to_kelvin
+
+
+@pytest.fixture()
+def model(odroid_platform):
+    return ThermalModel(
+        odroid_platform.thermal, 0.01, ambient_k=odroid_platform.default_ambient_k
+    )
+
+
+def test_candidate_nodes(odroid_platform):
+    assert candidate_nodes(odroid_platform) == ("little", "big", "gpu", "mem")
+
+
+def test_per_node_reports_cover_all_nodes(odroid_platform, model):
+    reports = per_node_analysis(odroid_platform, model, 2.0)
+    assert set(reports) == set(candidate_nodes(odroid_platform))
+    for node, report in reports.items():
+        assert report.node == node
+
+
+def test_big_binds_for_cpu_heavy_mix(odroid_platform, model):
+    reports = per_node_analysis(
+        odroid_platform, model, 3.0,
+        rail_shares={"a15": 0.9, "gpu": 0.05, "a7": 0.03, "mem": 0.02},
+    )
+    assert binding_hotspot(reports).node == "big"
+
+
+def test_gpu_binds_for_gpu_heavy_mix(odroid_platform, model):
+    reports = per_node_analysis(
+        odroid_platform, model, 3.0,
+        rail_shares={"gpu": 0.9, "a15": 0.05, "a7": 0.03, "mem": 0.02},
+    )
+    assert binding_hotspot(reports).node == "gpu"
+
+
+def test_runaway_node_dominates(odroid_platform, model):
+    reports = per_node_analysis(odroid_platform, model, 8.0)
+    binding = binding_hotspot(reports)
+    assert binding.report.classification is StabilityClass.RUNAWAY
+
+
+def test_safe_everywhere(odroid_platform, model):
+    reports = per_node_analysis(odroid_platform, model, 1.0)
+    assert safe_everywhere(reports, celsius_to_kelvin(95.0))
+    assert not safe_everywhere(reports, celsius_to_kelvin(30.0))
+    hot = per_node_analysis(odroid_platform, model, 8.0)
+    assert not safe_everywhere(hot, celsius_to_kelvin(95.0))
+
+
+def test_empty_reports_rejected():
+    with pytest.raises(StabilityError):
+        binding_hotspot({})

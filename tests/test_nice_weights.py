@@ -1,0 +1,89 @@
+"""Nice-based weighted scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.scheduler import (
+    Scheduler,
+    _weighted_water_fill,
+    nice_to_weight,
+)
+from repro.soc.components import ClusterSpec, LeakageParams
+from repro.soc.opp import OppTable
+
+
+def make_scheduler(n_cores=2):
+    opps = OppTable.from_pairs([(200e6, 0.9), (1000e6, 1.1)])
+    leak = LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0)
+    spec = ClusterSpec("c", "t", n_cores, opps, 1e-10, leak, ipc=1.0)
+    return Scheduler({"c": spec})
+
+
+def test_nice_to_weight_ordering():
+    assert nice_to_weight(-10) > nice_to_weight(0) > nice_to_weight(10)
+    assert nice_to_weight(0) == 1.0
+
+
+def test_weighted_fill_proportional():
+    grants = _weighted_water_fill(9.0, [100.0, 100.0], [2.0, 1.0])
+    assert grants[0] == pytest.approx(6.0)
+    assert grants[1] == pytest.approx(3.0)
+
+
+def test_weighted_fill_ceiling_redistribution():
+    grants = _weighted_water_fill(9.0, [1.0, 100.0], [2.0, 1.0])
+    assert grants[0] == pytest.approx(1.0)
+    assert grants[1] == pytest.approx(8.0)
+
+
+def test_high_priority_task_gets_bigger_share():
+    sched = make_scheduler(n_cores=1)  # force contention on one core
+    fav = sched.spawn("fav", "c", unbounded=True, nice=-5)
+    meh = sched.spawn("meh", "c", unbounded=True, nice=5)
+    usage = sched.run_tick({"c": 1000e6}, 0.01).usage["c"]
+    assert usage.per_task_cycles[fav.pid] > 2.0 * usage.per_task_cycles[meh.pid]
+
+
+def test_equal_nice_equal_share():
+    sched = make_scheduler(n_cores=1)
+    a = sched.spawn("a", "c", unbounded=True)
+    b = sched.spawn("b", "c", unbounded=True)
+    usage = sched.run_tick({"c": 1000e6}, 0.01).usage["c"]
+    assert usage.per_task_cycles[a.pid] == pytest.approx(
+        usage.per_task_cycles[b.pid]
+    )
+
+
+@given(
+    capacity=st.floats(0.0, 1e9),
+    items=st.lists(
+        st.tuples(st.floats(0.0, 1e8), st.floats(0.1, 10.0)),
+        min_size=0, max_size=8,
+    ),
+)
+@settings(max_examples=200, deadline=None)
+def test_weighted_fill_invariants(capacity, items):
+    ceilings = [c for c, _ in items]
+    weights = [w for _, w in items]
+    grants = _weighted_water_fill(capacity, ceilings, weights)
+    assert sum(grants) <= capacity + 1e-6
+    for grant, ceiling in zip(grants, ceilings):
+        assert -1e-9 <= grant <= ceiling + 1e-6
+    # Work conserving.
+    slack = capacity - sum(grants)
+    if slack > 1e-6:
+        assert sum(grants) == pytest.approx(sum(ceilings), abs=1e-6)
+
+
+@given(
+    capacity=st.floats(1.0, 1e6),
+    weights=st.lists(st.floats(0.1, 10.0), min_size=2, max_size=6),
+)
+@settings(max_examples=150, deadline=None)
+def test_weighted_fill_respects_weight_ratio_without_ceilings(capacity, weights):
+    ceilings = [1e12] * len(weights)  # effectively unbounded
+    grants = _weighted_water_fill(capacity, ceilings, weights)
+    total_w = sum(weights)
+    for grant, weight in zip(grants, weights):
+        assert grant == pytest.approx(capacity * weight / total_w, rel=1e-6)

@@ -1,0 +1,100 @@
+"""OPP table semantics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.opp import OperatingPoint, OppTable
+
+
+@pytest.fixture()
+def table():
+    return OppTable.from_pairs(
+        [(200e6, 0.90), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+
+
+def test_operating_point_validation():
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(0.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        OperatingPoint(1e9, -0.1)
+
+
+def test_table_needs_two_points():
+    with pytest.raises(ConfigurationError):
+        OppTable([OperatingPoint(1e9, 1.0)])
+
+
+def test_frequencies_must_increase():
+    with pytest.raises(ConfigurationError):
+        OppTable.from_pairs([(400e6, 0.9), (400e6, 1.0)])
+    with pytest.raises(ConfigurationError):
+        OppTable.from_pairs([(800e6, 0.9), (400e6, 1.0)])
+
+
+def test_voltages_must_not_decrease():
+    with pytest.raises(ConfigurationError):
+        OppTable.from_pairs([(400e6, 1.0), (800e6, 0.9)])
+
+
+def test_min_max(table):
+    assert table.min_freq_hz == 200e6
+    assert table.max_freq_hz == 1600e6
+
+
+def test_len_iter_getitem(table):
+    assert len(table) == 4
+    assert [p.freq_hz for p in table][0] == 200e6
+    assert table[1].voltage_v == 0.95
+
+
+def test_frequencies_khz(table):
+    assert table.frequencies_khz() == (200000, 400000, 800000, 1600000)
+
+
+def test_index_of_exact(table):
+    assert table.index_of(800e6) == 2
+
+
+def test_index_of_missing_raises(table):
+    with pytest.raises(ConfigurationError):
+        table.index_of(801e6)
+
+
+def test_voltage_for(table):
+    assert table.voltage_for(1600e6) == 1.25
+
+
+def test_floor_picks_highest_not_above(table):
+    assert table.floor(900e6).freq_hz == 800e6
+    assert table.floor(800e6).freq_hz == 800e6
+
+
+def test_floor_clamps_below_table(table):
+    assert table.floor(50e6).freq_hz == 200e6
+
+
+def test_ceil_picks_lowest_at_or_above(table):
+    assert table.ceil(500e6).freq_hz == 800e6
+    assert table.ceil(800e6).freq_hz == 800e6
+
+
+def test_ceil_clamps_above_table(table):
+    assert table.ceil(5e9).freq_hz == 1600e6
+
+
+def test_clamp(table):
+    assert table.clamp(1e5) == 200e6
+    assert table.clamp(1e12) == 1600e6
+    assert table.clamp(500e6) == 500e6
+
+
+def test_capped_returns_allowed_prefix(table):
+    capped = table.capped(800e6)
+    assert [p.freq_hz for p in capped] == [200e6, 400e6, 800e6]
+
+
+def test_capped_never_empty(table):
+    capped = table.capped(1e6)
+    assert len(capped) == 1
+    assert capped[0].freq_hz == 200e6

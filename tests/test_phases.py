@@ -1,0 +1,87 @@
+"""Markov phase models."""
+
+import numpy as np
+import pytest
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.phases import (
+    BROWSE_PHASES,
+    GAME_PHASES,
+    MarkovPhaseModel,
+    Phase,
+)
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_model(phases=GAME_PHASES, seed=0):
+    return MarkovPhaseModel(phases, RngRegistry(seed).stream("phases"))
+
+
+def test_phase_validation():
+    with pytest.raises(ConfigurationError):
+        Phase("x", demand_factor=0.0, mean_dwell_s=1.0)
+    with pytest.raises(ConfigurationError):
+        Phase("x", demand_factor=1.0, mean_dwell_s=0.0)
+    with pytest.raises(ConfigurationError):
+        MarkovPhaseModel([], RngRegistry(0).stream("x"))
+    with pytest.raises(ConfigurationError):
+        MarkovPhaseModel(
+            [Phase("a", 1.0, 1.0), Phase("a", 2.0, 1.0)],
+            RngRegistry(0).stream("x"),
+        )
+
+
+def test_single_phase_is_constant():
+    model = make_model((Phase("only", 1.3, 5.0),))
+    for t in (0.0, 100.0, 1e6):
+        assert model.factor(t) == 1.3
+
+
+def test_factors_come_from_declared_phases():
+    model = make_model()
+    allowed = {p.demand_factor for p in GAME_PHASES}
+    for t in np.arange(0.0, 500.0, 0.5):
+        assert model.factor(t) in allowed
+
+
+def test_chain_actually_switches():
+    model = make_model()
+    seen = {model.factor(t) for t in np.arange(0.0, 500.0, 0.5)}
+    assert len(seen) == len(GAME_PHASES)
+
+
+def test_deterministic_per_seed():
+    a = [make_model(seed=3).factor(t) for t in np.arange(0.0, 100.0, 1.0)]
+    b = [make_model(seed=3).factor(t) for t in np.arange(0.0, 100.0, 1.0)]
+    assert a == b
+
+
+def test_dwell_times_roughly_exponential():
+    model = make_model((Phase("a", 1.0, 2.0), Phase("b", 2.0, 2.0)))
+    switches = 0
+    last = model.factor(0.0)
+    for t in np.arange(0.0, 2000.0, 0.1):
+        cur = model.factor(t)
+        if cur != last:
+            switches += 1
+            last = cur
+    # Mean dwell 2 s over 2000 s -> about 1000 switches.
+    assert 700 < switches < 1300
+
+
+def test_frame_app_accepts_phase_model():
+    app = FrameApp(
+        "game",
+        FrameWorkload(4e6, 5e6, target_fps=60.0, sigma=0.0),
+        phases=BROWSE_PHASES,
+    )
+    sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=2)
+    sim.run(30.0)
+    assert app.fps.frame_count > 500
+    # The phase factors must have been used at some point.
+    allowed = {p.demand_factor for p in BROWSE_PHASES}
+    assert app._phase_factor(sim.now_s) in allowed

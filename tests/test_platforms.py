@@ -1,0 +1,101 @@
+"""Concrete platform definitions match the paper's hardware descriptions."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.exynos5422 import INA231_ADDRESSES, odroid_xu3
+from repro.soc.platform import PlatformSpec
+from repro.soc.snapdragon810 import nexus6p
+
+
+def test_nexus_clusters_match_snapdragon810(nexus_platform):
+    big = nexus_platform.big_cluster
+    little = nexus_platform.little_cluster
+    assert big.core_type == "Cortex-A57"
+    assert little.core_type == "Cortex-A53"
+    assert big.n_cores == 4
+    assert little.n_cores == 4
+
+
+def test_nexus_gpu_frequencies_match_paper(nexus_platform):
+    # The paper names 180/305/390/450/510/600 MHz for the Adreno 430.
+    mhz = [round(f / 1e6) for f in nexus_platform.gpu.opps.frequencies_hz()]
+    assert mhz == [180, 305, 390, 450, 510, 600]
+
+
+def test_nexus_big_cluster_has_paper_frequencies(nexus_platform):
+    # 384 MHz (lowest) and 960 MHz are explicitly quoted in Section III.
+    mhz = [round(f / 1e6) for f in nexus_platform.big_cluster.opps.frequencies_hz()]
+    assert mhz[0] == 384
+    assert 960 in mhz
+    assert mhz[-1] == 1958
+
+
+def test_nexus_has_package_sensor(nexus_platform):
+    assert nexus_platform.sensor("pkg").node == "soc"
+    assert nexus_platform.sensor("skin").node == "skin"
+
+
+def test_nexus_defaults(nexus_platform):
+    assert nexus_platform.default_ambient_c == 25.0
+    assert nexus_platform.initial_temp_c == 35.0
+    assert nexus_platform.board_power_w > 0.0
+
+
+def test_odroid_clusters_match_exynos5422(odroid_platform):
+    assert odroid_platform.big_cluster.core_type == "Cortex-A15"
+    assert odroid_platform.little_cluster.core_type == "Cortex-A7"
+    assert odroid_platform.gpu.gpu_type.startswith("Mali T628")
+
+
+def test_odroid_frequency_ranges(odroid_platform):
+    big = odroid_platform.big_cluster.opps
+    little = odroid_platform.little_cluster.opps
+    assert (big.min_freq_hz, big.max_freq_hz) == (200e6, 2000e6)
+    assert (little.min_freq_hz, little.max_freq_hz) == (200e6, 1400e6)
+
+
+def test_odroid_ina231_addresses_cover_all_rails(odroid_platform):
+    assert set(INA231_ADDRESSES) == {"a15", "a7", "gpu", "mem"}
+    assert odroid_platform.extras["ina231"] == INA231_ADDRESSES
+
+
+def test_odroid_fan_disabled_means_weak_convection(odroid_platform):
+    # Junction-to-ambient resistance must be large without the fan: the
+    # big-core DC gain lands in the 10-16 K/W band used by the analysis.
+    from repro.thermal.model import ThermalModel
+
+    model = ThermalModel(odroid_platform.thermal, 0.01, 300.0)
+    assert 10.0 < model.dc_gain("big", "a15") < 16.0
+
+
+def test_platform_validation_catches_bad_sensor(odroid_platform):
+    from repro.thermal.sensors import SensorSpec
+
+    with pytest.raises(ConfigurationError):
+        PlatformSpec(
+            name="broken",
+            clusters=odroid_platform.clusters,
+            gpu=odroid_platform.gpu,
+            memory=odroid_platform.memory,
+            thermal=odroid_platform.thermal,
+            sensors=(SensorSpec("bad", node="nowhere"),),
+            board_power_w=odroid_platform.board_power_w,
+        )
+
+
+def test_platform_exactly_one_big(odroid_platform, nexus_platform):
+    for platform in (odroid_platform, nexus_platform):
+        assert platform.big_cluster.is_big
+        assert not platform.little_cluster.is_big
+
+
+def test_cluster_lookup(odroid_platform):
+    assert odroid_platform.cluster("a15").is_big
+    with pytest.raises(ConfigurationError):
+        odroid_platform.cluster("a99")
+
+
+def test_power_model_builds(odroid_platform, nexus_platform):
+    for platform in (odroid_platform, nexus_platform):
+        assert platform.power_model() is not None

@@ -1,0 +1,110 @@
+"""DVFS policy: limits, caps, residency, utilisation window."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.soc.opp import OppTable
+
+
+@pytest.fixture()
+def policy():
+    opps = OppTable.from_pairs(
+        [(200e6, 0.9), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+    return DvfsPolicy("cpu", opps, initial_freq_hz=200e6)
+
+
+def test_initial_frequency(policy):
+    assert policy.cur_freq_hz == 200e6
+
+
+def test_default_initial_is_max():
+    opps = OppTable.from_pairs([(200e6, 0.9), (400e6, 1.0)])
+    assert DvfsPolicy("x", opps).cur_freq_hz == 400e6
+
+
+def test_set_target_snaps_up_to_opp(policy):
+    assert policy.set_target(500e6) == 800e6
+
+
+def test_set_target_respects_user_max(policy):
+    policy.set_user_limits(200e6, 400e6)
+    assert policy.set_target(1600e6) == 400e6
+
+
+def test_set_target_respects_thermal_cap(policy):
+    policy.set_thermal_max(800e6)
+    assert policy.set_target(1600e6) == 800e6
+
+
+def test_effective_max_is_min_of_caps(policy):
+    policy.set_user_limits(200e6, 1600e6)
+    policy.set_thermal_max(400e6)
+    assert policy.effective_max_hz == 400e6
+
+
+def test_thermal_cap_reclamps_current(policy):
+    policy.set_target(1600e6)
+    policy.set_thermal_max(400e6)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_lifting_cap_does_not_raise_current(policy):
+    policy.set_target(400e6)
+    policy.set_thermal_max(1600e6)
+    assert policy.cur_freq_hz == 400e6
+
+
+def test_min_above_max_rejected(policy):
+    with pytest.raises(ConfigurationError):
+        policy.set_user_limits(800e6, 400e6)
+
+
+def test_set_target_tracks_last_raise(policy):
+    policy.set_target(800e6, now_s=1.0)
+    assert policy.last_raise_s == 1.0
+    policy.set_target(400e6, now_s=2.0)  # a decrease does not update it
+    assert policy.last_raise_s == 1.0
+
+
+def test_time_in_state_accumulates(policy):
+    policy.account(0.01, 0.5)
+    policy.account(0.01, 0.5)
+    policy.set_target(800e6)
+    policy.account(0.01, 0.5)
+    tis = policy.time_in_state
+    assert tis[200000] == pytest.approx(0.02)
+    assert tis[800000] == pytest.approx(0.01)
+
+
+def test_time_in_state_reset(policy):
+    policy.account(0.01, 0.5)
+    policy.reset_time_in_state()
+    assert sum(policy.time_in_state.values()) == 0.0
+
+
+def test_take_utilization_averages_and_resets(policy):
+    policy.account(0.01, 1.0)
+    policy.account(0.01, 0.0)
+    assert policy.take_utilization() == pytest.approx(0.5)
+    policy.account(0.01, 0.2)
+    assert policy.take_utilization() == pytest.approx(0.2)
+
+
+def test_take_utilization_empty_window_returns_last(policy):
+    policy.account(0.01, 0.7)
+    policy.take_utilization()
+    assert policy.take_utilization() == pytest.approx(0.7)
+
+
+def test_mean_util_tracked_separately(policy):
+    policy.account(0.01, 1.0, mean_util=0.25)
+    assert policy.last_util == 1.0
+    assert policy.last_mean_util == 0.25
+
+
+def test_boost_window(policy):
+    policy.notify_input(10.0, duration_s=0.5)
+    assert policy.boosted(10.3)
+    assert not policy.boosted(10.6)

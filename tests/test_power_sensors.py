@@ -1,0 +1,63 @@
+"""INA231-style rail power sensors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.sensors import RailPowerSensor
+from repro.sim.rng import RngRegistry
+
+
+def make_sensor(**kwargs):
+    return RailPowerSensor("a15", RngRegistry(0).stream("ina"), **kwargs)
+
+
+def test_reads_zero_before_first_update():
+    assert make_sensor().read_w() == 0.0
+
+
+def test_tracks_constant_power():
+    sensor = make_sensor(noise_rel=0.0, quantum_w=0.0)
+    for _ in range(100):
+        sensor.update(2.0, 0.01)
+    assert sensor.read_w() == pytest.approx(2.0, abs=1e-6)
+
+
+def test_ema_smooths_step_change():
+    sensor = make_sensor(noise_rel=0.0, quantum_w=0.0, averaging_tau_s=0.1)
+    for _ in range(100):
+        sensor.update(1.0, 0.01)
+    sensor.update(5.0, 0.01)
+    reading = sensor.read_w()
+    assert 1.0 < reading < 2.0  # one step of a 100 ms EMA
+
+
+def test_quantisation():
+    sensor = make_sensor(noise_rel=0.0, quantum_w=0.01)
+    sensor.update(1.2345, 1.0)
+    assert sensor.read_w() == pytest.approx(1.23, abs=1e-9)
+
+
+def test_noise_is_multiplicative():
+    sensor = make_sensor(noise_rel=0.05, quantum_w=0.0)
+    for _ in range(10):
+        sensor.update(2.0, 0.1)
+    readings = np.array([sensor.read_w() for _ in range(2000)])
+    assert readings.mean() == pytest.approx(2.0, rel=0.01)
+    assert readings.std() == pytest.approx(0.1, rel=0.15)
+
+
+def test_never_negative():
+    sensor = make_sensor(noise_rel=1.0, quantum_w=0.0)
+    sensor.update(0.001, 1.0)
+    assert all(sensor.read_w() >= 0.0 for _ in range(200))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        make_sensor(averaging_tau_s=0.0)
+    with pytest.raises(ConfigurationError):
+        make_sensor(noise_rel=-0.1)
+    sensor = make_sensor()
+    with pytest.raises(ConfigurationError):
+        sensor.update(-1.0, 0.01)

@@ -1,0 +1,77 @@
+"""Property-based tests for metering and idle-state selection (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.frames import FpsMeter
+from repro.kernel.cpuidle import ClusterIdleGovernor
+
+
+@given(
+    times=st.lists(st.floats(0.0, 100.0), min_size=0, max_size=300),
+    start=st.floats(0.0, 50.0),
+    span=st.integers(1, 50),
+)
+@settings(max_examples=150, deadline=None)
+def test_fps_buckets_conserve_frames(times, start, span):
+    """Sum of per-second FPS over a window equals the frames inside it."""
+    meter = FpsMeter()
+    for t in sorted(times):
+        meter.record(t)
+    end = start + span
+    _, fps = meter.fps_series(start, end)
+    counted = float(fps.sum())  # bucket width is 1 s
+    window_end = start + len(fps)
+    # np.histogram's last bin is closed on the right.
+    expected = sum(
+        1 for t in times if start <= t < window_end or t == window_end
+    )
+    assert counted == pytest.approx(expected)
+
+
+@given(
+    times=st.lists(st.floats(0.0, 30.0), min_size=5, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_fps_statistics_ordering(times):
+    meter = FpsMeter()
+    for t in sorted(times):
+        meter.record(t)
+    _, fps = meter.fps_series(0.0, 30.0)
+    if fps.size == 0:
+        return
+    p5 = meter.percentile_fps(5.0, 0.0, 30.0)
+    p95 = meter.percentile_fps(95.0, 0.0, 30.0)
+    median = meter.median_fps(0.0, 30.0)
+    assert p5 <= median <= p95
+    assert 0.0 <= meter.jank_ratio(0.0, 30.0) <= 1.0
+
+
+@given(
+    busy_pattern=st.lists(st.floats(0.0, 4.0), min_size=1, max_size=200),
+)
+@settings(max_examples=150, deadline=None)
+def test_idle_governor_invariants(busy_pattern):
+    """Scale always in [0, 1]; residencies sum to the elapsed time; the
+    state deepens only while idle."""
+    governor = ClusterIdleGovernor()
+    elapsed = 0.0
+    for busy in busy_pattern:
+        scale = governor.update(busy, 4, 0.01)
+        elapsed += 0.01
+        assert 0.0 <= scale <= 1.0
+        if busy > 0.1:
+            assert governor.current_state.name == "wfi"
+    total = sum(governor.residency_s(s.name) for s in governor.states)
+    assert total == pytest.approx(elapsed)
+
+
+@given(idle_ticks=st.integers(0, 100))
+@settings(max_examples=100, deadline=None)
+def test_idle_scale_monotone_with_dwell(idle_ticks):
+    """The power scale never increases while the cluster stays idle."""
+    governor = ClusterIdleGovernor()
+    scales = [governor.update(0.0, 4, 0.01) for _ in range(idle_ticks)]
+    assert all(b <= a + 1e-12 for a, b in zip(scales, scales[1:]))

@@ -1,0 +1,94 @@
+"""Property-based tests of the thermal substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import (
+    AMBIENT,
+    ThermalLinkSpec,
+    ThermalNetworkSpec,
+    ThermalNodeSpec,
+)
+
+
+@st.composite
+def chains(draw):
+    """A random chain network: node0 - node1 - ... - ambient."""
+    n = draw(st.integers(1, 4))
+    caps = [draw(st.floats(0.2, 20.0)) for _ in range(n)]
+    conds = [draw(st.floats(0.05, 5.0)) for _ in range(n)]
+    nodes = tuple(ThermalNodeSpec(f"n{i}", caps[i]) for i in range(n))
+    links = []
+    for i in range(n - 1):
+        links.append(ThermalLinkSpec(f"n{i}", f"n{i+1}", conds[i]))
+    links.append(ThermalLinkSpec(f"n{n-1}", AMBIENT, conds[-1]))
+    spec = ThermalNetworkSpec(
+        nodes=nodes, links=tuple(links), power_split={"p": {"n0": 1.0}}
+    )
+    return spec
+
+
+@given(spec=chains(), power=st.floats(0.0, 10.0))
+@settings(max_examples=60, deadline=None)
+def test_steady_state_at_or_above_ambient(spec, power):
+    model = ThermalModel(spec, 0.05, ambient_k=300.0)
+    ss = model.steady_state_k({"p": power})
+    assert all(t >= 300.0 - 1e-6 for t in ss.values())
+
+
+@given(spec=chains())
+@settings(max_examples=60, deadline=None)
+def test_network_is_passive(spec):
+    model = ThermalModel(spec, 0.05, ambient_k=300.0)
+    assert model.dominant_time_constant_s() > 0.0
+
+
+@given(spec=chains(), power=st.floats(0.0, 10.0), steps=st.integers(1, 200))
+@settings(max_examples=60, deadline=None)
+def test_trajectory_bounded_by_steady_state(spec, power, steps):
+    """Starting at ambient and heating: T never overshoots the steady state
+    (the chain network has no oscillatory modes)."""
+    model = ThermalModel(spec, 0.05, ambient_k=300.0)
+    ss = model.steady_state_k({"p": power})
+    for _ in range(steps):
+        model.step({"p": power})
+    for node, temp in model.temperatures_k().items():
+        assert temp <= ss[node] + 1e-6
+        assert temp >= 300.0 - 1e-6
+
+
+@given(spec=chains(), power=st.floats(0.1, 10.0))
+@settings(max_examples=40, deadline=None)
+def test_power_source_node_is_hottest_at_steady_state(spec, power):
+    model = ThermalModel(spec, 0.05, ambient_k=300.0)
+    ss = model.steady_state_k({"p": power})
+    assert ss["n0"] == max(ss.values())
+
+
+@given(
+    spec=chains(),
+    power=st.floats(0.0, 10.0),
+    ambient=st.floats(270.0, 330.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_superposition_of_ambient(spec, power, ambient):
+    """Linear system: shifting the ambient shifts the steady state 1:1."""
+    m1 = ThermalModel(spec, 0.05, ambient_k=300.0)
+    m2 = ThermalModel(spec, 0.05, ambient_k=ambient)
+    ss1 = m1.steady_state_k({"p": power})
+    ss2 = m2.steady_state_k({"p": power})
+    for node in ss1:
+        assert np.isclose(ss2[node] - ss1[node], ambient - 300.0, atol=1e-6)
+
+
+@given(spec=chains(), p1=st.floats(0.0, 5.0), p2=st.floats(0.0, 5.0))
+@settings(max_examples=40, deadline=None)
+def test_steady_state_monotone_in_power(spec, p1, p2):
+    model = ThermalModel(spec, 0.05, ambient_k=300.0)
+    lo, hi = sorted((p1, p2))
+    ss_lo = model.steady_state_k({"p": lo})
+    ss_hi = model.steady_state_k({"p": hi})
+    for node in ss_lo:
+        assert ss_hi[node] >= ss_lo[node] - 1e-9

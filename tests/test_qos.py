@@ -1,0 +1,95 @@
+"""QoS-tracking DVFS baseline controller."""
+
+import pytest
+
+from repro.apps.frames import FrameApp, FrameWorkload
+from repro.apps.mibench import basicmath_large
+from repro.core.qos import QosConfig, QosController
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_game(gpu_cycles=8e6, target=60.0):
+    return FrameApp(
+        "game",
+        FrameWorkload(
+            cpu_cycles_per_frame=6e6, gpu_cycles_per_frame=gpu_cycles,
+            target_fps=target, sigma=0.05, pipeline_depth=3,
+        ),
+    )
+
+
+def make_sim(apps, seed=1):
+    return Simulation(odroid_xu3(), apps, kernel_config=KernelConfig(), seed=seed)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        QosConfig(target_fps=0.0)
+    with pytest.raises(ConfigurationError):
+        QosConfig(target_fps=30.0, period_s=0.0)
+    with pytest.raises(ConfigurationError):
+        QosConfig(target_fps=30.0, deadband=1.0)
+
+
+def test_controller_discovers_ladders():
+    game = make_game()
+    sim = make_sim([game])
+    ctl = QosController.for_simulation(sim, game, QosConfig(target_fps=40.0))
+    assert len(ctl._cpu_freqs_khz) == 19
+    assert len(ctl._gpu_freqs_hz) == 7
+
+
+def test_controller_steps_down_when_overshooting():
+    # Light frames + a modest target: the controller lowers clocks to just
+    # meet the target instead of wasting power.
+    game = make_game(gpu_cycles=4e6, target=60.0)
+    sim = make_sim([game])
+    ctl = QosController.for_simulation(sim, game, QosConfig(target_fps=30.0))
+    ctl.install(sim.kernel)
+    sim.run(30.0)
+    directions = [a.direction for a in ctl.actions]
+    assert "down" in directions
+    # The GPU ends below its top OPP.
+    assert ctl._gpu_level < len(ctl._gpu_freqs_hz) - 1
+
+
+def test_controller_holds_near_target():
+    game = make_game(gpu_cycles=8e6, target=60.0)
+    sim = make_sim([game])
+    ctl = QosController.for_simulation(sim, game, QosConfig(target_fps=40.0))
+    ctl.install(sim.kernel)
+    sim.run(40.0)
+    achieved = game.fps.median_fps(start_s=15.0)
+    assert achieved == pytest.approx(40.0, abs=8.0)
+
+
+def test_thermal_backoff_throttles_foreground():
+    """The defining weakness vs the paper's governor: under thermal pressure
+    the QoS controller sacrifices its own app's frequency."""
+    game = make_game(gpu_cycles=8e6)
+    bml = basicmath_large()
+    sim = make_sim([game, bml])
+    ctl = QosController.for_simulation(
+        sim, game, QosConfig(target_fps=60.0, t_limit_c=65.0)
+    )
+    ctl.install(sim.kernel)
+    sim.run(120.0)
+    thermal_downs = [a for a in ctl.actions if a.direction == "thermal_down"]
+    assert thermal_downs, "thermal backoff never engaged"
+    late_fps = game.fps.median_fps(start_s=90.0)
+    # The foreground paid for the background's heat: it oscillates below
+    # its unthrottled 60 FPS target.
+    assert late_fps < 58.0
+    assert len(thermal_downs) > 0.1 * len(ctl.actions)
+
+
+def test_actions_logged_each_period():
+    game = make_game()
+    sim = make_sim([game])
+    ctl = QosController.for_simulation(sim, game, QosConfig(target_fps=40.0))
+    ctl.install(sim.kernel)
+    sim.run(10.0)
+    assert len(ctl.actions) == pytest.approx(16, abs=3)  # (10 - 2 s window)/0.5

@@ -1,0 +1,113 @@
+"""Thermal network spec validation and matrix construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.thermal.rc_network import (
+    AMBIENT,
+    ThermalLinkSpec,
+    ThermalNetworkSpec,
+    ThermalNodeSpec,
+)
+
+
+def simple_spec(**kwargs):
+    defaults = dict(
+        nodes=(
+            ThermalNodeSpec("chip", 1.0),
+            ThermalNodeSpec("board", 10.0),
+        ),
+        links=(
+            ThermalLinkSpec("chip", "board", 1.0),
+            ThermalLinkSpec("board", AMBIENT, 0.1),
+        ),
+        power_split={"cpu": {"chip": 1.0}},
+    )
+    defaults.update(kwargs)
+    return ThermalNetworkSpec(**defaults)
+
+
+def test_node_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalNodeSpec("x", 0.0)
+    with pytest.raises(ConfigurationError):
+        ThermalNodeSpec(AMBIENT, 1.0)
+
+
+def test_link_validation():
+    with pytest.raises(ConfigurationError):
+        ThermalLinkSpec("a", "a", 1.0)
+    with pytest.raises(ConfigurationError):
+        ThermalLinkSpec("a", "b", 0.0)
+
+
+def test_duplicate_node_names_rejected():
+    with pytest.raises(ConfigurationError):
+        simple_spec(nodes=(ThermalNodeSpec("x", 1.0), ThermalNodeSpec("x", 2.0)))
+
+
+def test_unknown_link_endpoint_rejected():
+    with pytest.raises(ConfigurationError):
+        simple_spec(links=(ThermalLinkSpec("chip", "nowhere", 1.0),))
+
+
+def test_must_reach_ambient():
+    with pytest.raises(ConfigurationError):
+        simple_spec(links=(ThermalLinkSpec("chip", "board", 1.0),))
+
+
+def test_power_split_must_sum_to_one():
+    with pytest.raises(ConfigurationError):
+        simple_spec(power_split={"cpu": {"chip": 0.5}})
+
+
+def test_power_split_unknown_node_rejected():
+    with pytest.raises(ConfigurationError):
+        simple_spec(power_split={"cpu": {"nowhere": 1.0}})
+
+
+def test_power_split_negative_fraction_rejected():
+    with pytest.raises(ConfigurationError):
+        simple_spec(power_split={"cpu": {"chip": 1.5, "board": -0.5}})
+
+
+def test_power_split_onto_ambient_rejected():
+    with pytest.raises(ConfigurationError):
+        simple_spec(power_split={"cpu": {AMBIENT: 1.0}})
+
+
+def test_matrices_shapes():
+    spec = simple_spec()
+    a, b, w = spec.build_matrices()
+    assert a.shape == (2, 2)
+    assert b.shape == (2, 1)
+    assert w.shape == (2,)
+
+
+def test_a_matrix_row_sums_non_positive():
+    # Diffusive system: A row sums are <= 0 (equality for interior nodes).
+    spec = simple_spec()
+    a, _b, _w = spec.build_matrices()
+    assert (a.sum(axis=1) <= 1e-12).all()
+
+
+def test_a_plus_w_conserves_at_uniform_temperature():
+    # At T = T_amb everywhere and zero power, dT/dt must vanish.
+    spec = simple_spec()
+    a, _b, w = spec.build_matrices()
+    t_amb = 300.0
+    rate = a @ np.full(2, t_amb) + w * t_amb
+    assert np.allclose(rate, 0.0, atol=1e-12)
+
+
+def test_b_scales_inverse_capacitance():
+    spec = simple_spec()
+    _a, b, _w = spec.build_matrices()
+    assert b[0, 0] == pytest.approx(1.0)  # C_chip = 1
+    assert b[1, 0] == pytest.approx(0.0)
+
+
+def test_rail_order_matches_power_split_order():
+    spec = simple_spec(power_split={"gpu": {"chip": 1.0}, "cpu": {"board": 1.0}})
+    assert spec.rail_names == ("gpu", "cpu")

@@ -1,0 +1,43 @@
+"""Real-time process registry."""
+
+import pytest
+
+from repro.core.registry import RealTimeRegistry
+from repro.errors import ConfigurationError
+
+
+def test_register_and_check():
+    reg = RealTimeRegistry()
+    reg.register(100, "game")
+    assert reg.is_protected(100)
+    assert not reg.is_protected(101)
+
+
+def test_unregister():
+    reg = RealTimeRegistry()
+    reg.register(100)
+    reg.unregister(100)
+    assert not reg.is_protected(100)
+
+
+def test_unregister_unknown_is_noop():
+    RealTimeRegistry().unregister(5)
+
+
+def test_pids_sorted():
+    reg = RealTimeRegistry()
+    reg.register(30)
+    reg.register(10)
+    assert reg.pids() == (10, 30)
+
+
+def test_len():
+    reg = RealTimeRegistry()
+    reg.register(1)
+    reg.register(1)  # idempotent
+    assert len(reg) == 1
+
+
+def test_invalid_pid():
+    with pytest.raises(ConfigurationError):
+        RealTimeRegistry().register(-1)

@@ -1,0 +1,95 @@
+"""Trace-replay workloads."""
+
+import pytest
+
+from repro.apps.replay import FrameRecord, ReplayApp, load_trace
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_frames(n=120, period=1.0 / 30.0, cpu=3e6, gpu=4e6):
+    return [FrameRecord(i * period, cpu, gpu) for i in range(n)]
+
+
+def make_sim(app, seed=1):
+    return Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=seed)
+
+
+def test_record_validation():
+    with pytest.raises(ConfigurationError):
+        FrameRecord(-1.0, 1e6, 1e6)
+    with pytest.raises(ConfigurationError):
+        FrameRecord(0.0, 0.0, 1e6)
+
+
+def test_app_validation():
+    with pytest.raises(ConfigurationError):
+        ReplayApp("x", [])
+    with pytest.raises(ConfigurationError):
+        ReplayApp("x", make_frames(3), pipeline_depth=0)
+
+
+def test_replays_at_recorded_rate():
+    app = ReplayApp("replay", make_frames(n=150))
+    sim = make_sim(app)
+    sim.run(6.0)
+    assert app.finished
+    # 30 fps recording, light frames: achieved ~30 fps.
+    assert app.fps.median_fps(start_s=1.0, end_s=5.0) == pytest.approx(30.0, abs=3.0)
+
+
+def test_stops_when_trace_exhausted():
+    app = ReplayApp("replay", make_frames(n=30))
+    sim = make_sim(app)
+    sim.run(5.0)
+    assert app.finished
+    assert app.metrics()["issued"] == 30
+
+
+def test_loop_mode_keeps_going():
+    app = ReplayApp("replay", make_frames(n=30), loop=True)
+    sim = make_sim(app)
+    sim.run(5.0)
+    assert not app.finished
+    assert app.metrics()["issued"] > 100
+
+
+def test_heavy_trace_is_gpu_bound():
+    app = ReplayApp("replay", make_frames(n=600, period=1 / 120.0, gpu=24e6))
+    sim = make_sim(app)
+    sim.run(6.0)
+    # 600 MHz / 24 Mcycles = 25 fps ceiling despite the 120 fps recording.
+    assert app.fps.median_fps(start_s=2.0) == pytest.approx(24.0, abs=4.0)
+
+
+def test_csv_roundtrip(tmp_path):
+    path = tmp_path / "trace.csv"
+    path.write_text(
+        "start_offset_s,cpu_cycles,gpu_cycles\n"
+        "0.0,3e6,4e6\n"
+        "0.033,3e6,4e6\n"
+        "0.066,3e6,4e6\n"
+    )
+    frames = load_trace(path)
+    assert len(frames) == 3
+    app = ReplayApp.from_csv("replay", path)
+    sim = make_sim(app)
+    sim.run(1.0)
+    assert app.finished
+
+
+def test_csv_validation(tmp_path):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("0.0,1e6\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(bad)
+    empty = tmp_path / "empty.csv"
+    empty.write_text("start,cpu,gpu\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(empty)
+    unsorted = tmp_path / "unsorted.csv"
+    unsorted.write_text("1.0,1e6,1e6\n0.5,1e6,1e6\n")
+    with pytest.raises(ConfigurationError):
+        load_trace(unsorted)

@@ -1,0 +1,53 @@
+"""Run-report generator."""
+
+import pytest
+
+from repro.analysis.report import summarize_run
+from repro.apps.mibench import basicmath_large
+from repro.errors import AnalysisError
+from repro.kernel.kernel import KernelConfig
+from repro.power.battery import Battery
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+@pytest.fixture(scope="module")
+def finished_sim():
+    sim = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(),
+        seed=1, battery=Battery(10.0),
+    )
+    sim.run(10.0)
+    return sim
+
+
+def test_report_before_running_raises():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    with pytest.raises(AnalysisError):
+        summarize_run(sim)
+
+
+def test_report_contains_all_sections(finished_sim):
+    report = summarize_run(finished_sim, title="Test run")
+    assert report.startswith("# Test run")
+    for heading in ("## Temperatures", "## Power", "## DVFS residencies",
+                    "## Applications"):
+        assert heading in report
+
+
+def test_report_mentions_platform_and_apps(finished_sim):
+    report = summarize_run(finished_sim)
+    assert "odroid-xu3" in report
+    assert "**bml**" in report
+
+
+def test_report_includes_battery(finished_sim):
+    report = summarize_run(finished_sim)
+    assert "Battery:" in report
+    assert "% remaining" in report
+
+
+def test_report_covers_all_rails(finished_sim):
+    report = summarize_run(finished_sim)
+    for rail in ("a15", "a7", "gpu", "mem", "board", "total"):
+        assert rail in report

@@ -1,0 +1,93 @@
+"""Thermal runaway: the analysis predicts what the full plant actually does.
+
+Section IV.A's punchline is that the number of fixed points tells you
+whether the operating point is safe.  Here we push the simulated Odroid
+past its critical power with every protection disabled and verify the plant
+really runs away — and that the same workload under the critical power
+settles exactly where the analysis says.
+"""
+
+import pytest
+
+from repro.apps.mibench import BatchApp
+from repro.core.calibration import lump_platform
+from repro.core.fixed_point import StabilityClass, analyze, critical_power_w
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.units import kelvin_to_celsius
+
+
+def make_hot_sim(n_threads: int):
+    """All protections off, performance governors, n busy big threads."""
+    config = KernelConfig(cpu_governor="performance", gpu_governor="performance")
+    sim = Simulation(
+        odroid_xu3(), [BatchApp("burn", n_threads=n_threads)],
+        kernel_config=config, seed=1,
+    )
+    return sim
+
+
+def test_four_busy_big_cores_exceed_critical_power():
+    sim = make_hot_sim(4)
+    sim.run(5.0)
+    params = lump_platform(sim.platform, sim.thermal)
+    _, watts = sim.traces.series("power.total")
+    p_dyn = watts[-1] - params.leakage_w(sim.thermal.temperature_k("big"))
+    assert p_dyn > critical_power_w(params)
+    report = analyze(params, p_dyn)
+    assert report.classification is StabilityClass.RUNAWAY
+
+
+def test_runaway_happens_in_the_plant():
+    sim = make_hot_sim(4)
+    sim.run(400.0)
+    # No governor, super-critical power: the plant must blow past any
+    # plausible junction temperature.
+    assert kelvin_to_celsius(sim.thermal.temperature_k("big")) > 120.0
+
+
+def test_subcritical_load_settles_near_predicted_fixed_point():
+    sim = make_hot_sim(1)  # one busy core: well below critical
+    sim.run(600.0)  # several time constants
+    # Identify the lumped model with the *actual* rail mix of this workload
+    # (big-cluster dominated), as a real characterisation run would.
+    shares = sim.energy.breakdown(("a15", "a7", "gpu", "mem"))
+    params = lump_platform(sim.platform, sim.thermal, rail_shares=shares)
+    # Sum the measurable SoC rails only: the constant board power is already
+    # folded into the identified effective ambient, and the external
+    # power.total channel would double-count it.
+    soc_watts = sum(
+        sim.traces.series(f"power.{rail}")[1][-1]
+        for rail in ("a15", "a7", "gpu", "mem")
+    )
+    t_big_k = sim.thermal.temperature_k("big")
+    p_dyn = soc_watts - params.leakage_w(t_big_k)
+    report = analyze(params, p_dyn)
+    assert report.classification is StabilityClass.STABLE
+    # The lumped prediction lands within a few kelvin of the plant.
+    assert report.stable_temp_k == pytest.approx(t_big_k, abs=5.0)
+
+
+def test_reactive_governor_mode():
+    """predictive=False acts only at the limit crossing."""
+    from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+
+    sim = Simulation(
+        odroid_xu3(), [BatchApp("burn", n_threads=2)],
+        kernel_config=KernelConfig(), seed=1,
+    )
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(t_limit_c=70.0, horizon_s=60.0, predictive=False)
+    )
+    governor.install(sim.kernel)
+    sim.run(30.0)
+    # Temperature has not reached 70 degC yet: the reactive mode waits.
+    below = [p for p in governor.predictions if p.temp_c < 70.0]
+    acted_below = [
+        e for e in governor.events
+        if e.time_s < min((p.time_s for p in governor.predictions
+                           if p.temp_c >= 70.0), default=float("inf"))
+    ]
+    assert below
+    assert not acted_below

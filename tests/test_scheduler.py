@@ -1,0 +1,137 @@
+"""Per-cluster water-filling scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernel.scheduler import Scheduler, _water_fill
+from repro.soc.components import ClusterSpec, LeakageParams
+from repro.soc.opp import OppTable
+
+
+def make_clusters():
+    opps = OppTable.from_pairs([(200e6, 0.9), (1000e6, 1.1)])
+    leak = LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0)
+    big = ClusterSpec("big", "A15", 4, opps, 1e-10, leak, ipc=1.0, is_big=True)
+    little = ClusterSpec("little", "A7", 4, opps, 1e-11, leak, ipc=1.0)
+    return {"big": big, "little": little}
+
+
+@pytest.fixture()
+def sched():
+    return Scheduler(make_clusters())
+
+
+FREQS = {"big": 1000e6, "little": 1000e6}
+
+
+def test_water_fill_even_split():
+    assert _water_fill(9.0, [10.0, 10.0, 10.0]) == [3.0, 3.0, 3.0]
+
+
+def test_water_fill_respects_ceilings():
+    out = _water_fill(9.0, [1.0, 10.0, 10.0])
+    assert out[0] == 1.0
+    assert out[1] == out[2] == 4.0
+
+
+def test_water_fill_surplus_capacity():
+    assert _water_fill(100.0, [5.0, 5.0]) == [5.0, 5.0]
+
+
+def test_water_fill_empty():
+    assert _water_fill(10.0, []) == []
+
+
+def test_spawn_and_lookup(sched):
+    t = sched.spawn("game", "big")
+    assert sched.task(t.pid) is t
+    assert t in sched.tasks()
+
+
+def test_spawn_unknown_cluster(sched):
+    with pytest.raises(SchedulingError):
+        sched.spawn("x", "mid")
+
+
+def test_unknown_pid(sched):
+    with pytest.raises(SchedulingError):
+        sched.task(424242)
+
+
+def test_single_thread_capped_at_one_core(sched):
+    t = sched.spawn("bml", "big", unbounded=True)
+    result = sched.run_tick(FREQS, 0.01)
+    usage = result.usage["big"]
+    # One thread can use at most one core's capacity.
+    assert usage.busy_cores == pytest.approx(1.0)
+    assert usage.per_task_cycles[t.pid] == pytest.approx(1000e6 * 0.01)
+
+
+def test_capacity_fully_shared_among_unbounded(sched):
+    for i in range(6):
+        sched.spawn(f"t{i}", "big", unbounded=True)
+    usage = sched.run_tick(FREQS, 0.01).usage["big"]
+    assert usage.busy_cores == pytest.approx(4.0)  # saturated cluster
+    # Fair split: 6 tasks share 4 cores.
+    grants = list(usage.per_task_cycles.values())
+    assert max(grants) == pytest.approx(min(grants))
+
+
+def test_bounded_task_completes_and_frees_capacity(sched):
+    t = sched.spawn("ui", "big")
+    t.add_work(1e6, tag=("ui", 1))
+    result = sched.run_tick(FREQS, 0.01)
+    assert ("ui", 1) in result.completed_tags
+    assert not t.runnable
+
+
+def test_clusters_are_isolated(sched):
+    sched.spawn("big-task", "big", unbounded=True)
+    usage = sched.run_tick(FREQS, 0.01).usage
+    assert usage["little"].busy_cores == 0.0
+    assert usage["big"].busy_cores > 0.0
+
+
+def test_migration_moves_load(sched):
+    t = sched.spawn("bml", "big", unbounded=True)
+    sched.set_affinity(t.pid, "little")
+    usage = sched.run_tick(FREQS, 0.01).usage
+    assert usage["big"].busy_cores == 0.0
+    assert usage["little"].busy_cores == pytest.approx(1.0)
+
+
+def test_kill_removes_from_dispatch(sched):
+    t = sched.spawn("bml", "big", unbounded=True)
+    sched.kill(t.pid)
+    usage = sched.run_tick(FREQS, 0.01).usage
+    assert usage["big"].busy_cores == 0.0
+    assert t not in sched.tasks()
+
+
+def test_max_core_load_single_busy_thread(sched):
+    sched.spawn("bml", "big", unbounded=True)
+    usage = sched.run_tick(FREQS, 0.01).usage["big"]
+    # One fully-busy thread: the busiest core is at 100%, the mean is 25%.
+    assert usage.max_core_load == pytest.approx(1.0)
+    assert usage.utilization == pytest.approx(0.25)
+
+
+def test_missing_frequency_rejected(sched):
+    with pytest.raises(SchedulingError):
+        sched.run_tick({"big": 1e9}, 0.01)
+
+
+def test_bad_dt_rejected(sched):
+    with pytest.raises(SchedulingError):
+        sched.run_tick(FREQS, 0.0)
+
+
+def test_multithreaded_task_uses_multiple_cores(sched):
+    sched.spawn("render", "big", n_threads=3, unbounded=True)
+    usage = sched.run_tick(FREQS, 0.01).usage["big"]
+    assert usage.busy_cores == pytest.approx(3.0)
+
+
+def test_scheduler_requires_clusters():
+    with pytest.raises(SchedulingError):
+        Scheduler({})

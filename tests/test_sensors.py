@@ -1,0 +1,72 @@
+"""Temperature sensor error model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import (
+    AMBIENT,
+    ThermalLinkSpec,
+    ThermalNetworkSpec,
+    ThermalNodeSpec,
+)
+from repro.thermal.sensors import SensorSpec, TemperatureSensor
+
+
+@pytest.fixture()
+def model():
+    spec = ThermalNetworkSpec(
+        nodes=(ThermalNodeSpec("chip", 1.0),),
+        links=(ThermalLinkSpec("chip", AMBIENT, 0.5),),
+        power_split={"cpu": {"chip": 1.0}},
+    )
+    return ThermalModel(spec, 0.01, ambient_k=313.15)  # 40 degC
+
+
+def make_sensor(model, **kwargs):
+    spec = SensorSpec("tmu", node="chip", **kwargs)
+    return TemperatureSensor(spec, model, RngRegistry(0).stream("s"))
+
+
+def test_noiseless_sensor_reads_truth(model):
+    sensor = make_sensor(model, noise_std_c=0.0, quantization_c=0.0)
+    assert sensor.read_c() == pytest.approx(40.0)
+
+
+def test_quantization(model):
+    sensor = make_sensor(model, noise_std_c=0.0, quantization_c=1.0)
+    assert sensor.read_c() == pytest.approx(40.0)
+    model.set_state({"chip": 313.15 + 0.4})
+    assert sensor.read_c() == pytest.approx(40.0)  # rounds down to whole degree
+
+
+def test_offset(model):
+    sensor = make_sensor(model, noise_std_c=0.0, quantization_c=0.0, offset_c=2.0)
+    assert sensor.read_c() == pytest.approx(42.0)
+
+
+def test_noise_statistics(model):
+    sensor = make_sensor(model, noise_std_c=0.5, quantization_c=0.0)
+    readings = np.array([sensor.read_c() for _ in range(2000)])
+    assert readings.mean() == pytest.approx(40.0, abs=0.05)
+    assert readings.std() == pytest.approx(0.5, abs=0.05)
+
+
+def test_millicelsius(model):
+    sensor = make_sensor(model, noise_std_c=0.0, quantization_c=0.0)
+    assert sensor.read_millicelsius() == 40000
+
+
+def test_bad_placement_fails_fast(model):
+    spec = SensorSpec("tmu", node="nowhere")
+    with pytest.raises(SimulationError):
+        TemperatureSensor(spec, model, RngRegistry(0).stream("s"))
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError):
+        SensorSpec("s", node="chip", noise_std_c=-1.0)
+    with pytest.raises(ConfigurationError):
+        SensorSpec("s", node="chip", quantization_c=-0.1)

@@ -1,0 +1,41 @@
+"""Skin-temperature extension experiment."""
+
+import pytest
+
+from repro.experiments.skin import (
+    SKIN_COMFORT_LIMIT_C,
+    run_skin,
+    skin_comparison,
+    skin_lag_s,
+)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return skin_comparison("paperio")
+
+
+def test_skin_below_package(runs):
+    unthrottled, _ = runs
+    # The shell is always cooler than the die under sustained load.
+    assert unthrottled.skin_final_c < unthrottled.package.final()
+
+
+def test_throttling_protects_skin(runs):
+    unthrottled, throttled = runs
+    assert throttled.skin_final_c < unthrottled.skin_final_c
+    assert throttled.skin_final_c < SKIN_COMFORT_LIMIT_C
+
+
+def test_skin_lags_package(runs):
+    unthrottled, _ = runs
+    assert skin_lag_s(unthrottled) > 5.0
+
+
+def test_skin_rise_positive_under_gaming(runs):
+    unthrottled, _ = runs
+    assert unthrottled.skin_rise_c > 0.8
+
+
+def test_run_skin_cached():
+    assert run_skin("paperio", False) is run_skin("paperio", False)

@@ -1,0 +1,105 @@
+"""Skin-temperature predictor identification and forecasting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import traces_to_csv  # noqa: F401  (sanity import)
+from repro.apps.catalog import make_app
+from repro.core.skin_predictor import SkinModel, fit_skin_model
+from repro.errors import AnalysisError
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.sim.trace import TraceRecorder
+from repro.soc.snapdragon810 import nexus6p
+
+
+def run_game(seed, duration=120.0):
+    app = make_app("paperio")
+    sim = Simulation(nexus6p(), [app], kernel_config=KernelConfig(), seed=seed)
+    sim.run(duration)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def train_sim():
+    return run_game(seed=3)
+
+
+@pytest.fixture(scope="module")
+def model(train_sim):
+    return fit_skin_model(train_sim.traces)
+
+
+def test_fit_quality(model):
+    # The plant is linear, so the one-step fit must be excellent.
+    assert model.rmse_c < 0.05
+    assert 0.9 < model.a < 1.0  # contracting, slow pole
+
+
+def test_one_step_prediction_tracks_training_data(train_sim, model):
+    _, skin = train_sim.traces.series("temp.skin")
+    _, pkg = train_sim.traces.series("temp.soc")
+    _, power = train_sim.traces.series("power.total")
+    # Predict 10 steps from a mid-run state and compare against the trace.
+    # (Trace records every 0.1 s; the model step is 1 s.)
+    i = 400
+    predicted = model.forecast(skin[i], pkg[i], power[i], horizon_s=10.0)
+    actual = skin[i + 100]
+    assert predicted == pytest.approx(actual, abs=0.3)
+
+
+def test_generalises_to_unseen_seed(model):
+    other = run_game(seed=11)
+    _, skin = other.traces.series("temp.skin")
+    _, pkg = other.traces.series("temp.soc")
+    _, power = other.traces.series("power.total")
+    i = 300
+    predicted = model.forecast(skin[i], pkg[i], power[i], horizon_s=20.0)
+    assert predicted == pytest.approx(skin[i + 200], abs=0.6)
+
+
+def test_steady_state_consistent_with_step(model):
+    t_ss = model.steady_state_c(45.0, 3.5)
+    assert model.step(t_ss, 45.0, 3.5) == pytest.approx(t_ss, abs=1e-9)
+
+
+def test_time_to_limit(model):
+    t0, pkg, power = 33.0, 50.0, 4.5
+    t_ss = model.steady_state_c(pkg, power)
+    limit = (t0 + t_ss) / 2.0
+    crossing = model.time_to_limit_s(t0, pkg, power, limit)
+    assert 0.0 < crossing < math.inf
+    # Verify by direct stepping.
+    value, elapsed = t0, 0.0
+    while value < limit:
+        value = model.step(value, pkg, power)
+        elapsed += model.dt_s
+    assert crossing == pytest.approx(elapsed, abs=model.dt_s)
+
+
+def test_time_to_limit_inf_when_safe(model):
+    assert model.time_to_limit_s(30.0, 32.0, 1.0, 60.0) == math.inf
+
+
+def test_time_to_limit_zero_when_already_over(model):
+    assert model.time_to_limit_s(50.0, 50.0, 3.0, 45.0) == 0.0
+
+
+def test_fit_validation():
+    with pytest.raises(AnalysisError):
+        fit_skin_model(TraceRecorder())
+    tr = TraceRecorder()
+    for i in range(20):
+        tr.record("temp.skin", i * 0.1, 30.0)
+        tr.record("temp.soc", i * 0.1, 35.0)
+        tr.record("power.total", i * 0.1, 2.0)
+    with pytest.raises(AnalysisError):
+        fit_skin_model(tr, dt_s=1.0)  # only 2 s of data
+
+
+def test_non_contracting_model_rejected():
+    model = SkinModel(a=1.1, b=0.0, c=0.0, d=0.0, dt_s=1.0, rmse_c=0.0)
+    with pytest.raises(AnalysisError):
+        model.steady_state_c(40.0, 2.0)

@@ -1,0 +1,104 @@
+"""Virtual sysfs/procfs file tree."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.kernel.sysfs import SysfsNode, VirtualFs
+
+
+@pytest.fixture()
+def fs():
+    return VirtualFs()
+
+
+def test_register_and_read(fs):
+    fs.register("/sys/x", getter=lambda: "42")
+    assert fs.read("/sys/x") == "42"
+
+
+def test_register_value(fs):
+    fs.register_value("/sys/const", "hello")
+    assert fs.read("/sys/const") == "hello"
+
+
+def test_write_invokes_setter(fs):
+    box = {}
+    fs.register("/sys/w", getter=lambda: box.get("v", ""), setter=lambda v: box.update(v=v))
+    fs.write("/sys/w", 123)
+    assert box["v"] == "123"
+    assert fs.read("/sys/w") == "123"
+
+
+def test_read_only_write_rejected(fs):
+    fs.register("/sys/ro", getter=lambda: "x")
+    with pytest.raises(SysfsError):
+        fs.write("/sys/ro", "y")
+
+
+def test_write_only_read_rejected(fs):
+    fs.register("/sys/wo", getter=None, setter=lambda v: None)
+    with pytest.raises(SysfsError):
+        fs.read("/sys/wo")
+
+
+def test_missing_path(fs):
+    with pytest.raises(SysfsError):
+        fs.read("/sys/none")
+    assert not fs.exists("/sys/none")
+
+
+def test_duplicate_registration_rejected(fs):
+    fs.register_value("/sys/x", "1")
+    with pytest.raises(SysfsError):
+        fs.register_value("/sys/x", "2")
+
+
+def test_relative_path_rejected(fs):
+    with pytest.raises(SysfsError):
+        fs.register_value("sys/x", "1")
+
+
+def test_path_normalisation(fs):
+    fs.register_value("/sys//class///x", "1")
+    assert fs.read("/sys/class/x") == "1"
+
+
+def test_read_int_and_float(fs):
+    fs.register_value("/sys/i", " 42000 ")
+    fs.register_value("/sys/f", "3.25")
+    fs.register_value("/sys/bad", "abc")
+    assert fs.read_int("/sys/i") == 42000
+    assert fs.read_float("/sys/f") == 3.25
+    with pytest.raises(SysfsError):
+        fs.read_int("/sys/bad")
+    with pytest.raises(SysfsError):
+        fs.read_float("/sys/bad")
+
+
+def test_listdir(fs):
+    fs.register_value("/sys/class/thermal/zone0/temp", "1")
+    fs.register_value("/sys/class/thermal/zone1/temp", "2")
+    assert fs.listdir("/sys/class/thermal") == ["zone0", "zone1"]
+
+
+def test_listdir_missing(fs):
+    with pytest.raises(SysfsError):
+        fs.listdir("/nope")
+
+
+def test_resolver_serves_dynamic_paths(fs):
+    def resolver(rel):
+        if rel == "7/comm":
+            return SysfsNode(getter=lambda: "task7")
+        return None
+
+    fs.register_resolver("/proc", resolver)
+    assert fs.read("/proc/7/comm") == "task7"
+    assert fs.exists("/proc/7/comm")
+    with pytest.raises(SysfsError):
+        fs.read("/proc/8/comm")
+
+
+def test_node_requires_some_callback():
+    with pytest.raises(SysfsError):
+        SysfsNode(None, None)

@@ -1,0 +1,108 @@
+"""Task work queues, accounting, migration."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.kernel.task import Task, TaskState
+
+
+def test_pids_unique():
+    a, b = Task("a", "big"), Task("b", "big")
+    assert a.pid != b.pid
+
+
+def test_new_task_is_runnable_only_with_work():
+    t = Task("t", "big")
+    assert not t.runnable
+    t.add_work(1e6)
+    assert t.runnable
+
+
+def test_unbounded_always_runnable():
+    t = Task("t", "big", unbounded=True)
+    assert t.runnable
+
+
+def test_backlog_sums_queue():
+    t = Task("t", "big")
+    t.add_work(1e6)
+    t.add_work(2e6)
+    assert t.backlog_cycles == pytest.approx(3e6)
+
+
+def test_add_work_validation():
+    t = Task("t", "big")
+    with pytest.raises(SchedulingError):
+        t.add_work(0.0)
+
+
+def test_consume_completes_tags_in_order():
+    t = Task("t", "big")
+    t.add_work(1e6, tag="f1")
+    t.add_work(1e6, tag="f2")
+    done = t.consume(1.5e6, 0.01, 1e9, 1.0)
+    assert done == ["f1"]
+    done = t.consume(1e6, 0.01, 1e9, 1.0)
+    assert done == ["f2"]
+
+
+def test_consume_partial_leaves_remainder():
+    t = Task("t", "big")
+    t.add_work(2e6, tag="f")
+    t.consume(0.5e6, 0.01, 1e9, 1.0)
+    assert t.backlog_cycles == pytest.approx(1.5e6)
+
+
+def test_consume_charges_core_seconds():
+    t = Task("t", "big")
+    t.add_work(2e6)
+    t.consume(2e6, 0.01, 1e9, 2.0)  # 2e6 cycles at 2 GHz effective
+    assert t.core_seconds["big"] == pytest.approx(2e6 / 2e9)
+
+
+def test_unbounded_consumes_without_queue():
+    t = Task("t", "big", unbounded=True)
+    t.consume(1e6, 0.01, 1e9, 1.0)
+    assert t.total_core_seconds() == pytest.approx(1e-3)
+
+
+def test_demand_bounded_by_backlog_and_threads():
+    t = Task("t", "big", n_threads=2)
+    t.add_work(5e6)
+    assert t.demand_cycles(1e6) == pytest.approx(2e6)  # thread ceiling
+    assert t.demand_cycles(1e7) == pytest.approx(5e6)  # backlog ceiling
+
+
+def test_migrate_tracks_cluster_and_count():
+    t = Task("t", "big")
+    t.migrate("little")
+    assert t.cluster == "little"
+    assert t.migrations == 1
+    t.migrate("little")  # no-op
+    assert t.migrations == 1
+
+
+def test_accounting_split_by_cluster():
+    t = Task("t", "big", unbounded=True)
+    t.consume(1e6, 0.01, 1e9, 1.0)
+    t.migrate("little")
+    t.consume(2e6, 0.01, 1e9, 1.0)
+    assert t.cycles_by_cluster == {"big": pytest.approx(1e6), "little": pytest.approx(2e6)}
+
+
+def test_exit_stops_everything():
+    t = Task("t", "big")
+    t.add_work(1e6)
+    t.exit()
+    assert t.state is TaskState.EXITED
+    assert not t.runnable
+    with pytest.raises(SchedulingError):
+        t.add_work(1e6)
+    with pytest.raises(SchedulingError):
+        t.migrate("little")
+
+
+def test_consume_negative_rejected():
+    t = Task("t", "big")
+    with pytest.raises(SchedulingError):
+        t.consume(-1.0, 0.01, 1e9, 1.0)

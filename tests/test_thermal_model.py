@@ -1,0 +1,140 @@
+"""Thermal model stepping, steady state, passivity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import (
+    AMBIENT,
+    ThermalLinkSpec,
+    ThermalNetworkSpec,
+    ThermalNodeSpec,
+)
+
+
+@pytest.fixture()
+def spec():
+    return ThermalNetworkSpec(
+        nodes=(ThermalNodeSpec("chip", 1.0), ThermalNodeSpec("board", 5.0)),
+        links=(
+            ThermalLinkSpec("chip", "board", 1.0),
+            ThermalLinkSpec("board", AMBIENT, 0.2),
+        ),
+        power_split={"cpu": {"chip": 1.0}},
+    )
+
+
+def test_starts_at_ambient(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    assert model.temperature_k("chip") == pytest.approx(300.0)
+
+
+def test_no_power_stays_at_ambient(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    for _ in range(1000):
+        model.step({"cpu": 0.0})
+    assert model.temperature_k("chip") == pytest.approx(300.0, abs=1e-9)
+
+
+def test_cooling_from_hot_start(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0, initial_k=350.0)
+    for _ in range(100):
+        model.step({"cpu": 0.0})
+    assert model.temperature_k("chip") < 350.0
+
+
+def test_heating_under_power(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    for _ in range(100):
+        model.step({"cpu": 2.0})
+    assert model.temperature_k("chip") > 300.0
+
+
+def test_converges_to_linear_steady_state(spec):
+    model = ThermalModel(spec, 0.1, ambient_k=300.0)
+    target = model.steady_state_k({"cpu": 2.0})
+    for _ in range(5000):  # 500 s >> slowest time constant
+        model.step({"cpu": 2.0})
+    assert model.temperature_k("chip") == pytest.approx(target["chip"], abs=0.01)
+    assert model.temperature_k("board") == pytest.approx(target["board"], abs=0.01)
+
+
+def test_steady_state_matches_hand_computation(spec):
+    # Series resistances: chip-board 1 K/W, board-ambient 5 K/W.
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    ss = model.steady_state_k({"cpu": 1.0})
+    assert ss["board"] == pytest.approx(305.0)
+    assert ss["chip"] == pytest.approx(306.0)
+
+
+def test_dc_gain_is_effective_resistance(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    assert model.dc_gain("chip", "cpu") == pytest.approx(6.0)
+    assert model.dc_gain("board", "cpu") == pytest.approx(5.0)
+
+
+def test_exact_discretisation_step_size_invariance(spec):
+    fine = ThermalModel(spec, 0.01, ambient_k=300.0)
+    coarse = ThermalModel(spec, 0.1, ambient_k=300.0)
+    for _ in range(1000):
+        fine.step({"cpu": 3.0})
+    for _ in range(100):
+        coarse.step({"cpu": 3.0})
+    assert fine.temperature_k("chip") == pytest.approx(
+        coarse.temperature_k("chip"), abs=1e-9
+    )
+
+
+def test_ambient_change_shifts_equilibrium(spec):
+    model = ThermalModel(spec, 0.1, ambient_k=300.0)
+    model.set_ambient(310.0)
+    for _ in range(5000):
+        model.step({"cpu": 0.0})
+    assert model.temperature_k("chip") == pytest.approx(310.0, abs=0.01)
+
+
+def test_set_state(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    model.set_state({"chip": 333.0})
+    assert model.temperature_k("chip") == 333.0
+
+
+def test_unknown_node_and_rail_rejected(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    with pytest.raises(SimulationError):
+        model.temperature_k("nope")
+    with pytest.raises(SimulationError):
+        model.step({"nope": 1.0})
+
+
+def test_negative_power_rejected(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    with pytest.raises(SimulationError):
+        model.step({"cpu": -1.0})
+
+
+def test_dominant_time_constant_positive(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    tau = model.dominant_time_constant_s()
+    assert tau > 0.0
+    # Board pole: roughly C_board * R_board-ambient = 25 s (coupled: larger).
+    assert 10.0 < tau < 100.0
+
+
+def test_max_temperature(spec):
+    model = ThermalModel(spec, 0.01, ambient_k=300.0)
+    for _ in range(200):
+        model.step({"cpu": 2.0})
+    assert model.max_temperature_k() == model.temperature_k("chip")
+
+
+def test_bad_dt_rejected(spec):
+    with pytest.raises(ConfigurationError):
+        ThermalModel(spec, 0.0)
+
+
+def test_platform_networks_are_passive(odroid_platform, nexus_platform):
+    for platform in (odroid_platform, nexus_platform):
+        model = ThermalModel(platform.thermal, 0.01, 300.0)
+        assert model.dominant_time_constant_s() > 0.0

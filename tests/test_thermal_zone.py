@@ -1,0 +1,120 @@
+"""Thermal zones and the step_wise governor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.kernel.thermal.cooling import DvfsCoolingDevice
+from repro.kernel.thermal.step_wise import StepWiseGovernor
+from repro.kernel.thermal.zone import ThermalZone, TripPoint
+from repro.sim.rng import RngRegistry
+from repro.soc.opp import OppTable
+from repro.thermal.model import ThermalModel
+from repro.thermal.rc_network import (
+    AMBIENT,
+    ThermalLinkSpec,
+    ThermalNetworkSpec,
+    ThermalNodeSpec,
+)
+from repro.thermal.sensors import SensorSpec, TemperatureSensor
+from repro.units import celsius_to_kelvin
+
+
+def make_zone(temp_c=35.0, trips=(TripPoint(40.0, hyst_c=2.0),)):
+    spec = ThermalNetworkSpec(
+        nodes=(ThermalNodeSpec("chip", 1.0),),
+        links=(ThermalLinkSpec("chip", AMBIENT, 0.5),),
+        power_split={"cpu": {"chip": 1.0}},
+    )
+    model = ThermalModel(spec, 0.01, ambient_k=celsius_to_kelvin(temp_c))
+    sensor = TemperatureSensor(
+        SensorSpec("tmu", node="chip", noise_std_c=0.0, quantization_c=0.0),
+        model,
+        RngRegistry(0).stream("s"),
+    )
+    opps = OppTable.from_pairs(
+        [(200e6, 0.9), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+    policy = DvfsPolicy("cpu", opps, initial_freq_hz=1600e6)
+    device = DvfsCoolingDevice("cdev", policy)
+    zone = ThermalZone(
+        "tmu", sensor, trips=trips, governor=StepWiseGovernor(),
+        bindings=(device,),
+    )
+    return zone, device, model
+
+
+def test_trip_validation():
+    with pytest.raises(ConfigurationError):
+        TripPoint(40.0, hyst_c=-1.0)
+    with pytest.raises(ConfigurationError):
+        TripPoint(40.0, trip_type="weird")
+
+
+def test_zone_validation():
+    zone, _, _ = make_zone()
+    with pytest.raises(ConfigurationError):
+        ThermalZone("z", zone.sensor, polling_s=0.0)
+
+
+def test_trips_sorted():
+    zone, _, _ = make_zone(trips=(TripPoint(45.0), TripPoint(40.0)))
+    assert [t.temp_c for t in zone.trips] == [40.0, 45.0]
+
+
+def test_below_trip_no_throttle():
+    zone, device, _ = make_zone(temp_c=35.0)
+    for _ in range(5):
+        zone.poll(0.0)
+    assert device.cur_state == 0
+
+
+def test_above_trip_escalates_one_step_per_poll():
+    zone, device, model = make_zone(temp_c=35.0)
+    model.set_state({"chip": celsius_to_kelvin(45.0)})
+    zone.poll(0.0)
+    s1 = device.cur_state
+    model.set_state({"chip": celsius_to_kelvin(46.0)})  # still rising
+    zone.poll(0.1)
+    assert s1 == 1
+    assert device.cur_state == 2
+
+
+def test_cooling_below_hysteresis_relaxes():
+    zone, device, model = make_zone(temp_c=35.0)
+    model.set_state({"chip": celsius_to_kelvin(45.0)})
+    zone.poll(0.0)
+    assert device.cur_state == 1
+    model.set_state({"chip": celsius_to_kelvin(37.0)})  # below 40 - 2
+    zone.poll(0.1)
+    assert device.cur_state == 0
+
+
+def test_in_band_relaxes_slowly():
+    # Relaxation inside the hysteresis band is paced: one step per
+    # ``relax_every`` polls while the trend is dropping.
+    zone, device, model = make_zone(temp_c=35.0)
+    model.set_state({"chip": celsius_to_kelvin(45.0)})
+    zone.poll(0.0)
+    assert device.cur_state == 1
+    model.set_state({"chip": celsius_to_kelvin(38.5)})  # in [38, 40]
+    relax_every = zone.governor.relax_every
+    for i in range(relax_every - 1):
+        zone.poll(0.1 * (i + 1))
+        assert device.cur_state == 1  # still holding
+    zone.poll(0.1 * relax_every)
+    assert device.cur_state == 0  # paced relaxation fired
+
+
+def test_unthrottle_helper():
+    zone, device, model = make_zone()
+    device.set_state(3)
+    zone.unthrottle()
+    assert device.cur_state == 0
+
+
+def test_zone_records_last_temp():
+    zone, _, _ = make_zone(temp_c=35.0)
+    temp = zone.poll(0.0)
+    assert temp == pytest.approx(35.0)
+    assert zone.last_temp_c == pytest.approx(35.0)

@@ -1,0 +1,90 @@
+"""Trace recorder and resampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sim.trace import TraceRecorder, resample_zoh
+
+
+def test_record_and_series():
+    tr = TraceRecorder()
+    tr.record("temp", 0.0, 25.0)
+    tr.record("temp", 1.0, 26.0)
+    times, values = tr.series("temp")
+    assert np.allclose(times, [0.0, 1.0])
+    assert np.allclose(values, [25.0, 26.0])
+
+
+def test_unknown_channel_raises():
+    tr = TraceRecorder()
+    with pytest.raises(AnalysisError):
+        tr.series("nope")
+
+
+def test_time_must_not_go_backwards():
+    tr = TraceRecorder()
+    tr.record("x", 1.0, 0.0)
+    with pytest.raises(AnalysisError):
+        tr.record("x", 0.5, 0.0)
+
+
+def test_record_many_shares_timestamp():
+    tr = TraceRecorder()
+    tr.record_many(2.0, {"a": 1.0, "b": 2.0})
+    assert tr.channel("a").times[0] == 2.0
+    assert tr.channel("b").times[0] == 2.0
+
+
+def test_window_selects_half_open_interval():
+    tr = TraceRecorder()
+    for t in range(10):
+        tr.record("x", float(t), float(t))
+    times, values = tr.window("x", 2.0, 5.0)
+    assert list(times) == [2.0, 3.0, 4.0]
+
+
+def test_last_value():
+    tr = TraceRecorder()
+    tr.record("x", 0.0, 5.0)
+    tr.record("x", 1.0, 7.0)
+    assert tr.channel("x").last() == 7.0
+
+
+def test_last_on_empty_channel_raises():
+    tr = TraceRecorder()
+    tr.record("x", 0.0, 1.0)
+    with pytest.raises(AnalysisError):
+        tr.channel("y")
+
+
+def test_contains_and_names():
+    tr = TraceRecorder()
+    tr.record("b", 0.0, 0.0)
+    tr.record("a", 0.0, 0.0)
+    assert "a" in tr
+    assert tr.names() == ["a", "b"]
+
+
+def test_merge_prefixed():
+    src = TraceRecorder()
+    src.record("x", 0.0, 1.0)
+    dst = TraceRecorder()
+    dst.merge_prefixed(src, "run1")
+    assert "run1.x" in dst
+
+
+def test_resample_zoh_holds_previous_value():
+    grid = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+    out = resample_zoh([0.0, 1.0, 2.0], [10.0, 20.0, 30.0], grid)
+    assert list(out) == [10.0, 10.0, 20.0, 20.0, 30.0]
+
+
+def test_resample_zoh_before_first_sample():
+    out = resample_zoh([1.0], [5.0], np.array([0.0, 2.0]))
+    assert list(out) == [5.0, 5.0]
+
+
+def test_resample_zoh_empty_raises():
+    with pytest.raises(AnalysisError):
+        resample_zoh([], [], np.array([0.0]))

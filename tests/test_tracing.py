@@ -1,0 +1,110 @@
+"""Kernel event tracer."""
+
+import pytest
+
+from repro.apps.mibench import basicmath_large
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig
+from repro.kernel.tracing import EventTracer, TraceEvent
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def test_tracer_basics():
+    tracer = EventTracer(capacity=3)
+    tracer.emit(1.0, "a", "x")
+    tracer.emit(2.0, "b", "y", "detail")
+    assert len(tracer) == 2
+    assert tracer.events(source="a")[0].event == "x"
+    assert tracer.events(event="y")[0].detail == "detail"
+
+
+def test_ring_buffer_drops_oldest():
+    tracer = EventTracer(capacity=2)
+    for i in range(5):
+        tracer.emit(float(i), "s", f"e{i}")
+    assert len(tracer) == 2
+    assert tracer.dropped == 3
+    assert tracer.events()[0].event == "e3"
+    assert "# 3 events dropped" in tracer.render()
+
+
+def test_render_format():
+    event = TraceEvent(1.234, "sched", "migrate", "pid=7 a15 -> a7")
+    assert event.render() == "[     1.234] sched: migrate pid=7 a15 -> a7"
+
+
+def test_clear():
+    tracer = EventTracer()
+    tracer.emit(0.0, "s", "e")
+    tracer.clear()
+    assert len(tracer) == 0
+    assert tracer.render() == ""
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        EventTracer(capacity=0)
+
+
+def test_kernel_emits_spawn_and_migrate():
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    sim.kernel.migrate(bml.pid, "a7")
+    events = sim.kernel.tracer.events(source="sched")
+    kinds = [e.event for e in events]
+    assert "spawn" in kinds
+    assert "migrate" in kinds
+
+
+def test_governor_migration_appears_in_trace():
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    governor = ApplicationAwareGovernor.for_simulation(
+        sim, GovernorConfig(t_limit_c=60.0, horizon_s=300.0)
+    )
+    governor.install(sim.kernel)
+    sim.run(20.0)
+    migrations = sim.kernel.tracer.events(source="sched", event="migrate")
+    assert migrations, "the governor's action must be traced"
+
+
+def test_hotplug_traced():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    sim.kernel.set_cluster_online("a15", False)
+    sim.kernel.set_cluster_online("a15", True)
+    events = sim.kernel.tracer.events(source="hotplug")
+    assert [e.event for e in events] == ["offline", "online"]
+
+
+def test_cooling_state_changes_traced():
+    from repro.experiments.odroid import odroid_default_thermal
+    from repro.apps.gfxbench import ThreeDMarkApp
+
+    sim = Simulation(
+        odroid_xu3(),
+        [ThreeDMarkApp(gt1_duration_s=60.0, gt2_duration_s=5.0),
+         basicmath_large()],
+        kernel_config=KernelConfig(thermal=odroid_default_thermal()),
+        seed=3,
+    )
+    sim.run(60.0)
+    changes = sim.kernel.tracer.events(source="thermal", event="cooling_state")
+    assert changes, "IPA throttling must leave cooling_state events"
+
+
+def test_trace_sysfs_nodes():
+    sim = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=1)
+    fs = sim.kernel.fs
+    fs.write("/sys/kernel/debug/tracing/trace_marker", "hello from userspace")
+    text = fs.read("/sys/kernel/debug/tracing/trace")
+    assert "userspace: marker hello from userspace" in text
+
+
+def test_quota_change_traced():
+    bml = basicmath_large()
+    sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
+    sim.kernel.userspace_api().set_cpu_quota(bml.pid, 0.5)
+    events = sim.kernel.tracer.events(source="cgroup")
+    assert events and "0.5" in events[0].detail

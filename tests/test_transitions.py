@@ -1,0 +1,70 @@
+"""DVFS transition statistics."""
+
+import pytest
+
+from repro.apps.mibench import basicmath_large
+from repro.kernel.cpufreq.policy import DvfsPolicy
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.opp import OppTable
+
+
+@pytest.fixture()
+def policy():
+    opps = OppTable.from_pairs(
+        [(200e6, 0.9), (400e6, 0.95), (800e6, 1.05)]
+    )
+    return DvfsPolicy("cpu", opps, initial_freq_hz=200e6)
+
+
+def test_starts_with_zero_transitions(policy):
+    assert policy.total_transitions == 0
+    assert policy.transitions == {}
+
+
+def test_counts_actual_changes_only(policy):
+    policy.set_target(400e6)
+    policy.set_target(400e6)  # no change
+    policy.set_target(800e6)
+    policy.set_target(200e6)
+    assert policy.total_transitions == 3
+
+
+def test_transition_matrix(policy):
+    policy.set_target(400e6)
+    policy.set_target(200e6)
+    policy.set_target(400e6)
+    assert policy.transitions[(200000, 400000)] == 2
+    assert policy.transitions[(400000, 200000)] == 1
+
+
+def test_thermal_cap_reclamp_counts_as_transition(policy):
+    policy.set_target(800e6)
+    policy.set_thermal_max(400e6)
+    assert policy.total_transitions == 2
+
+
+def test_sysfs_total_trans_and_table():
+    sim = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1
+    )
+    sim.run(5.0)
+    base = "/sys/devices/system/cpu/cpufreq/policy4/stats"
+    total = sim.kernel.fs.read_int(f"{base}/total_trans")
+    assert total > 0
+    table = sim.kernel.fs.read(f"{base}/trans_table")
+    rows = [line.split() for line in table.strip().splitlines()]
+    assert sum(int(r[2]) for r in rows) == total
+
+
+def test_interactive_governor_transition_count_is_sane():
+    # A steady unbounded load should ramp up and then mostly hold: the
+    # transition count stays far below one-per-evaluation.
+    sim = Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=KernelConfig(), seed=1
+    )
+    sim.run(20.0)
+    policy = sim.kernel.policies["a15"]
+    evaluations = 20.0 / 0.02
+    assert policy.total_transitions < 0.2 * evaluations

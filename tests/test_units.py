@@ -1,0 +1,39 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_celsius_kelvin_roundtrip():
+    assert units.kelvin_to_celsius(units.celsius_to_kelvin(36.6)) == pytest.approx(36.6)
+
+
+def test_zero_celsius():
+    assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+
+
+def test_kelvin_to_millicelsius_rounds():
+    assert units.kelvin_to_millicelsius(units.celsius_to_kelvin(40.0006)) == 40001
+
+
+def test_millicelsius_to_kelvin():
+    assert units.millicelsius_to_kelvin(40000) == pytest.approx(313.15)
+
+
+def test_hz_khz_roundtrip():
+    assert units.khz_to_hz(units.hz_to_khz(1958.4e6)) == pytest.approx(1958.4e6)
+
+
+def test_hz_to_khz_is_integer():
+    assert isinstance(units.hz_to_khz(600e6), int)
+    assert units.hz_to_khz(600e6) == 600000
+
+
+def test_mhz_literal():
+    assert units.mhz(600) == pytest.approx(600e6)
+
+
+def test_negative_temperatures_allowed_in_conversion():
+    # Conversions are pure arithmetic; validity checks live in the models.
+    assert units.celsius_to_kelvin(-40.0) == pytest.approx(233.15)

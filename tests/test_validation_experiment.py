@@ -1,0 +1,61 @@
+"""Validation-experiment plumbing (short settle times for speed)."""
+
+import pytest
+
+from repro.experiments.validation import (
+    ValidationPoint,
+    steady_state_validation,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    # Short settle: accuracy is looser but the structure must hold.
+    return steady_state_validation(
+        seed=1, freqs_mhz=(800, 1600), settle_s=200.0,
+        include_runaway_point=False,
+    )
+
+
+def test_returns_one_point_per_frequency(points):
+    assert [p.freq_mhz for p in points] == [800, 1600]
+
+
+def test_power_monotone_in_frequency(points):
+    assert points[1].p_dyn_w > points[0].p_dyn_w
+
+
+def test_plant_hotter_at_higher_frequency(points):
+    assert points[1].plant_ss_c > points[0].plant_ss_c + 10.0
+
+
+def test_stable_points_agree(points):
+    for p in points:
+        assert p.predicted_class == "stable"
+        assert p.agreement
+        assert not p.plant_ran_away
+
+
+def test_short_settle_error_still_bounded(points):
+    # 200 s is ~2 time constants: the plant is still a little cold, so the
+    # prediction overshoots slightly; it must stay within a few kelvin.
+    for p in points:
+        assert p.error_k is not None
+        assert abs(p.error_k) < 5.0
+
+
+def test_error_property_none_for_runaway():
+    p = ValidationPoint(
+        freq_mhz=2000, p_dyn_w=6.0, predicted_class="runaway",
+        predicted_ss_c=None, plant_ss_c=150.0, plant_ran_away=True,
+    )
+    assert p.error_k is None
+    assert p.agreement
+
+
+def test_disagreement_detected():
+    p = ValidationPoint(
+        freq_mhz=2000, p_dyn_w=6.0, predicted_class="runaway",
+        predicted_ss_c=None, plant_ss_c=80.0, plant_ran_away=False,
+    )
+    assert not p.agreement

@@ -1,0 +1,156 @@
+"""Sysfs/procfs wiring against a live kernel."""
+
+import pytest
+
+from repro.errors import SysfsError
+from repro.kernel.kernel import Kernel, KernelConfig, ThermalConfig
+from repro.kernel.thermal.zone import TripPoint
+from repro.kernel.wiring import policy_dir
+from repro.sim.clock import Clock
+from repro.sim.rng import RngRegistry
+from repro.soc.exynos5422 import odroid_xu3
+from repro.thermal.model import ThermalModel
+
+
+@pytest.fixture()
+def kernel():
+    platform = odroid_xu3()
+    clock = Clock(0.01)
+    model = ThermalModel(
+        platform.thermal, 0.01, ambient_k=platform.default_ambient_k,
+        initial_k=platform.initial_temp_k,
+    )
+    cfg = KernelConfig(
+        thermal=ThermalConfig(
+            kind="step_wise", sensor="soc_big", cooled=("a15", "gpu"),
+            trips=(TripPoint(85.0),),
+        )
+    )
+    return Kernel(platform, model, clock, RngRegistry(1), cfg)
+
+
+def test_policy_dirs_use_first_cpu_index(kernel):
+    assert policy_dir(kernel, "a7") == "/sys/devices/system/cpu/cpufreq/policy0"
+    assert policy_dir(kernel, "a15") == "/sys/devices/system/cpu/cpufreq/policy4"
+
+
+def test_scaling_cur_freq_in_khz(kernel):
+    khz = kernel.fs.read_int(
+        "/sys/devices/system/cpu/cpufreq/policy4/scaling_cur_freq"
+    )
+    assert khz == 200000
+
+
+def test_available_frequencies(kernel):
+    text = kernel.fs.read(
+        "/sys/devices/system/cpu/cpufreq/policy4/scaling_available_frequencies"
+    )
+    freqs = [int(tok) for tok in text.split()]
+    assert freqs[0] == 200000
+    assert freqs[-1] == 2000000
+
+
+def test_scaling_governor_roundtrip(kernel):
+    path = "/sys/devices/system/cpu/cpufreq/policy4/scaling_governor"
+    assert kernel.fs.read(path) == "interactive"
+    kernel.fs.write(path, "performance")
+    assert kernel.fs.read(path) == "performance"
+    assert kernel.governors["a15"].name == "performance"
+
+
+def test_scaling_max_freq_write_caps_policy(kernel):
+    path = "/sys/devices/system/cpu/cpufreq/policy4/scaling_max_freq"
+    kernel.fs.write(path, "1000000")
+    assert kernel.policies["a15"].user_max_hz == pytest.approx(1000e6)
+
+
+def test_scaling_setspeed_requires_userspace(kernel):
+    path = "/sys/devices/system/cpu/cpufreq/policy4/scaling_setspeed"
+    with pytest.raises(Exception):
+        kernel.fs.write(path, "1000000")
+    kernel.fs.write(
+        "/sys/devices/system/cpu/cpufreq/policy4/scaling_governor", "userspace"
+    )
+    kernel.fs.write(path, "1000000")
+
+
+def test_time_in_state_format(kernel):
+    kernel.policies["a15"].account(0.5, 0.5)
+    text = kernel.fs.read(
+        "/sys/devices/system/cpu/cpufreq/policy4/stats/time_in_state"
+    )
+    lines = text.strip().splitlines()
+    assert len(lines) == len(kernel.policies["a15"].opps)
+    khz, ticks = lines[0].split()
+    assert int(khz) == 200000
+    assert int(ticks) == 50  # 0.5 s at USER_HZ = 100
+
+
+def test_devfreq_nodes(kernel):
+    assert kernel.fs.read_int("/sys/class/devfreq/gpu/cur_freq") == 177000000
+    assert kernel.fs.read("/sys/class/devfreq/gpu/governor") == "adreno_tz"
+
+
+def test_thermal_zone_types_sorted(kernel):
+    types = [
+        kernel.fs.read(f"/sys/class/thermal/thermal_zone{i}/type")
+        for i in range(3)
+    ]
+    assert sorted(types) == ["board", "soc_big", "soc_gpu"]
+
+
+def test_thermal_zone_temp_millicelsius(kernel):
+    for i in range(3):
+        mc = kernel.fs.read_int(f"/sys/class/thermal/thermal_zone{i}/temp")
+        assert 40000 < mc < 60000  # initial 50 degC
+
+
+def test_trip_points_exposed(kernel):
+    # Find the governed zone by type.
+    for i in range(3):
+        if kernel.fs.read(f"/sys/class/thermal/thermal_zone{i}/type") == "soc_big":
+            base = f"/sys/class/thermal/thermal_zone{i}"
+            assert kernel.fs.read_int(f"{base}/trip_point_0_temp") == 85000
+            return
+    pytest.fail("governed zone not found")
+
+
+def test_cooling_device_nodes(kernel):
+    assert kernel.fs.read_int("/sys/class/thermal/cooling_device0/cur_state") == 0
+    max_state = kernel.fs.read_int("/sys/class/thermal/cooling_device0/max_state")
+    assert max_state == len(kernel.policies["a15"].opps) - 1
+    kernel.fs.write("/sys/class/thermal/cooling_device0/cur_state", "3")
+    assert kernel.cooling_devices[0].cur_state == 3
+
+
+def test_ina231_paths(kernel):
+    kernel.update_power_readings({"a15": 1.0, "a7": 0.1, "gpu": 0.5, "mem": 0.2}, 1.0)
+    watts = kernel.fs.read_float("/sys/bus/i2c/drivers/INA231/4-0040/sensor_W")
+    assert watts == pytest.approx(1.0, rel=0.1)
+
+
+def test_generic_power_paths(kernel):
+    kernel.update_power_readings({"a15": 1.0, "a7": 0.1, "gpu": 0.5, "mem": 0.2}, 1.0)
+    watts = kernel.fs.read_float("/sys/class/power_sensors/gpu/power_w")
+    assert watts == pytest.approx(0.5, rel=0.15)
+
+
+def test_proc_comm_and_sched(kernel):
+    task = kernel.spawn("bml", unbounded=True)
+    assert kernel.fs.read(f"/proc/{task.pid}/comm") == "bml"
+    sched = kernel.fs.read(f"/proc/{task.pid}/sched")
+    assert "se.sum_exec_runtime" in sched
+    assert "current_cluster : a15" in sched
+
+
+def test_proc_stat_format(kernel):
+    task = kernel.spawn("bml", unbounded=True)
+    stat = kernel.fs.read(f"/proc/{task.pid}/stat")
+    fields = stat.split()
+    assert fields[0] == str(task.pid)
+    assert fields[1] == "(bml)"
+
+
+def test_proc_unknown_pid(kernel):
+    with pytest.raises(SysfsError):
+        kernel.fs.read("/proc/99999/comm")

@@ -1,0 +1,69 @@
+"""Random workload generation and whole-system robustness."""
+
+import pytest
+
+from repro.apps.frames import FrameApp
+from repro.apps.mibench import BatchApp
+from repro.errors import ConfigurationError
+from repro.experiments.odroid import odroid_default_thermal
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.sim.rng import RngRegistry
+from repro.sim.workload_gen import WorkloadGenerator, WorkloadRanges
+from repro.soc.exynos5422 import odroid_xu3
+from repro.units import kelvin_to_celsius
+
+
+def make_generator(seed=0, ranges=None):
+    return WorkloadGenerator(RngRegistry(seed).stream("gen"), ranges)
+
+
+def test_ranges_validation():
+    with pytest.raises(ConfigurationError):
+        WorkloadRanges(cpu_mcycles=(10.0, 1.0))
+
+
+def test_frame_app_within_ranges():
+    gen = make_generator()
+    r = gen.ranges
+    for _ in range(50):
+        app = gen.frame_app()
+        w = app.workload
+        assert r.cpu_mcycles[0] * 1e6 <= w.cpu_cycles_per_frame <= r.cpu_mcycles[1] * 1e6
+        assert r.gpu_mcycles[0] * 1e6 <= w.gpu_cycles_per_frame <= r.gpu_mcycles[1] * 1e6
+        assert r.target_fps[0] <= w.target_fps <= r.target_fps[1]
+        assert 1 <= w.pipeline_depth <= 3
+
+
+def test_unique_names():
+    gen = make_generator()
+    apps = gen.mix(3, 3)
+    names = [a.name for a in apps]
+    assert len(set(names)) == 6
+    assert sum(isinstance(a, FrameApp) for a in apps) == 3
+    assert sum(isinstance(a, BatchApp) for a in apps) == 3
+
+
+def test_deterministic_per_seed():
+    a = make_generator(seed=7).frame_app().workload
+    b = make_generator(seed=7).frame_app().workload
+    assert a == b
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47])
+def test_random_mix_runs_safely_under_stock_policy(seed):
+    """Robustness: any generated mix simulates without blowing up, and the
+    stock IPA keeps the SoC out of the runaway regime."""
+    gen = make_generator(seed=seed)
+    apps = gen.mix(2, 1)
+    sim = Simulation(
+        odroid_xu3(), apps,
+        kernel_config=KernelConfig(thermal=odroid_default_thermal()),
+        seed=seed,
+    )
+    sim.run(60.0)
+    temp_c = kelvin_to_celsius(sim.thermal.max_temperature_k())
+    assert temp_c < 100.0  # IPA held the line
+    _, watts = sim.traces.series("power.total")
+    assert (watts >= 0.0).all()
+    assert (watts < 15.0).all()
