@@ -14,6 +14,8 @@ Public API layers:
   MiBench BML).
 * ``repro.sim``      — the simulation engine tying it all together.
 * ``repro.analysis`` — residency/FPS/power-breakdown analysis.
+* ``repro.obs``      — observability: metrics registry, span tracing,
+  step profiler, run manifests and exporters (see docs/OBSERVABILITY.md).
 * ``repro.experiments`` — one module per paper table/figure.
 
 Quick start::
@@ -33,6 +35,14 @@ from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
 from repro.core.stability import ODROID_XU3_LUMPED, LumpedThermalParams
 from repro.errors import ReproError
 from repro.kernel.kernel import Kernel, KernelConfig, ThermalConfig
+from repro.obs import (
+    MetricsRegistry,
+    SpanTracer,
+    StepProfiler,
+    build_manifest,
+    export_simulation,
+    prometheus_text,
+)
 from repro.sim.engine import Simulation
 from repro.soc.exynos5422 import odroid_xu3
 from repro.soc.snapdragon810 import nexus6p
@@ -46,13 +56,19 @@ __all__ = [
     "Kernel",
     "KernelConfig",
     "LumpedThermalParams",
+    "MetricsRegistry",
     "ReproError",
     "Simulation",
+    "SpanTracer",
     "StabilityClass",
+    "StepProfiler",
     "ThermalConfig",
     "analyze",
+    "build_manifest",
     "critical_power_w",
+    "export_simulation",
     "nexus6p",
     "odroid_xu3",
+    "prometheus_text",
     "__version__",
 ]

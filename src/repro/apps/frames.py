@@ -47,7 +47,9 @@ class FpsMeter:
         times = np.asarray(self._completions)
         if end_s is None:
             end_s = float(times[-1]) if times.size else start_s
-        n_buckets = int(math.floor((end_s - start_s) / self._bucket_s))
+        # The epsilon keeps float dust (start=1e-6, end=start+1) from
+        # collapsing an exact whole bucket into none.
+        n_buckets = int(math.floor((end_s - start_s) / self._bucket_s + 1e-9))
         if n_buckets <= 0:
             return np.empty(0), np.empty(0)
         edges = start_s + self._bucket_s * np.arange(n_buckets + 1)
@@ -149,6 +151,10 @@ class FrameApp(Application):
         self._in_flight = 0
         self._next_start_s = 0.0
         self._started = False
+        self._frame_start_s: dict[int, float] = {}
+        self._m_started = None
+        self._m_completed = None
+        self._m_frame_time = None
 
     def on_attach(self) -> None:
         kernel = self.ctx.kernel
@@ -156,6 +162,25 @@ class FrameApp(Application):
         self._task = kernel.spawn(
             self.name, cluster=cluster, n_threads=self.workload.cpu_threads
         )
+        metrics = getattr(kernel, "metrics", None)
+        if metrics is not None:
+            from repro.obs.metrics import FRAME_TIME_BUCKETS_S
+
+            labels = {"app": self.name}
+            self._m_started = metrics.counter(
+                "repro_frames_started_total", "Frames entered the pipeline",
+                labels=labels,
+            )
+            self._m_completed = metrics.counter(
+                "repro_frames_completed_total", "Frames fully rendered",
+                labels=labels,
+            )
+            self._m_frame_time = metrics.histogram(
+                "repro_frame_time_seconds",
+                "Simulated start-to-present latency of one frame",
+                buckets=FRAME_TIME_BUCKETS_S,
+                labels=labels,
+            )
         if self._phase_spec is not None:
             from repro.apps.phases import MarkovPhaseModel
 
@@ -194,6 +219,9 @@ class FrameApp(Application):
     def _begin_frame(self, now_s: float) -> None:
         self._frame_id += 1
         self._in_flight += 1
+        self._frame_start_s[self._frame_id] = now_s
+        if self._m_started is not None:
+            self._m_started.inc()
         cpu_mean, _ = self._mean_cycles(now_s)
         cost = self._draw_cost(cpu_mean, now_s)
         self._task.add_work(cost, tag=(self.name, self._frame_id, "cpu"))
@@ -223,6 +251,11 @@ class FrameApp(Application):
     def on_gpu_complete(self, tag: tuple, now_s: float) -> None:
         self._in_flight -= 1
         self.fps.record(now_s)
+        started_s = self._frame_start_s.pop(tag[1], None)
+        if self._m_completed is not None:
+            self._m_completed.inc()
+            if started_s is not None:
+                self._m_frame_time.observe(now_s - started_s)
 
     def metrics(self) -> dict:
         out = {"frames": self.fps.frame_count}

@@ -6,7 +6,16 @@ Commands regenerate the paper's artefacts or run one-off analyses:
 * ``fig7`` / ``fig8`` / ``fig9`` — the analysis/odroid figures (as text);
 * ``stability --power P`` — classify one operating point;
 * ``budget --limit C`` — safe dynamic power for a thermal limit;
-* ``critical`` — the critical power of the Odroid-XU3 lumped model.
+* ``critical`` — the critical power of the Odroid-XU3 lumped model;
+* ``advise --app A`` — profile a catalog app and print tuning advice;
+* ``describe --platform P`` — dump a platform's thermal RC network;
+* ``metrics --app A`` — run an app and print its Prometheus metrics;
+* ``trace --app A`` — run an app and print its span/ftrace event log.
+
+``table1``/``table2``/``fig8``/``fig9`` accept ``--export-dir DIR`` to dump
+each underlying run's full observability bundle — ``manifest.json``,
+``metrics.prom``, ``events.jsonl`` and per-channel trace CSVs (see
+``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -22,27 +31,41 @@ from repro.core.stability import ODROID_XU3_LUMPED
 from repro.units import celsius_to_kelvin, kelvin_to_celsius
 
 
+def _maybe_export(args: argparse.Namespace, command: str, runs_fn) -> str:
+    """Export the command's run set if ``--export-dir`` was given."""
+    export_dir = getattr(args, "export_dir", None)
+    if not export_dir:
+        return ""
+    from repro.obs.exporters import export_run_set
+
+    export_run_set(runs_fn(args.seed), export_dir,
+                   command=command, seed=args.seed)
+    return f"\n\nObservability bundle exported to {export_dir}"
+
+
 def _cmd_table1(args: argparse.Namespace) -> str:
-    from repro.experiments.nexus import table1
+    from repro.experiments.nexus import table1, table1_runs
 
     rows = table1(seed=args.seed)
-    return render_table(
+    out = render_table(
         ["App", "FPS w/o", "FPS w/", "Reduction %", "paper w/o", "paper w/"],
         [[r.app, r.fps_without, r.fps_with, r.reduction_pct,
           r.paper_fps_without, r.paper_fps_with] for r in rows],
         title="Table I",
     )
+    return out + _maybe_export(args, "table1", table1_runs)
 
 
 def _cmd_table2(args: argparse.Namespace) -> str:
-    from repro.experiments.odroid import table2
+    from repro.experiments.odroid import table2, table2_runs
 
     rows = table2(seed=args.seed)
-    return render_table(
+    out = render_table(
         ["Test", "Alone", "+BML", "+BML proposed", "unit"],
         [[r.test, r.alone, r.with_bml, r.with_proposed, r.unit] for r in rows],
         title="Table II",
     )
+    return out + _maybe_export(args, "table2", table2_runs)
 
 
 def _cmd_fig7(args: argparse.Namespace) -> str:
@@ -65,7 +88,7 @@ def _cmd_fig7(args: argparse.Namespace) -> str:
 
 
 def _cmd_fig8(args: argparse.Namespace) -> str:
-    from repro.experiments.odroid import figure8
+    from repro.experiments.odroid import figure8, figure89_runs
 
     lines = ["Figure 8: max temperature (degC)"]
     for scenario, series in figure8(seed=args.seed).items():
@@ -73,11 +96,11 @@ def _cmd_fig8(args: argparse.Namespace) -> str:
             f"  {scenario:13s}: t=50s {series.at(50):5.1f}  "
             f"t=150s {series.at(150):5.1f}  end {series.final():5.1f}"
         )
-    return "\n".join(lines)
+    return "\n".join(lines) + _maybe_export(args, "fig8", figure89_runs)
 
 
 def _cmd_fig9(args: argparse.Namespace) -> str:
-    from repro.experiments.odroid import INA_RAILS, figure9
+    from repro.experiments.odroid import INA_RAILS, figure9, figure89_runs
 
     lines = ["Figure 9: power distribution"]
     for scenario, pie in figure9(seed=args.seed).items():
@@ -85,7 +108,7 @@ def _cmd_fig9(args: argparse.Namespace) -> str:
             f"{rail}={pie.share_pct(rail):4.1f}%" for rail in INA_RAILS
         )
         lines.append(f"  {scenario:13s}: {pie.total_w:4.2f} W   {shares}")
-    return "\n".join(lines)
+    return "\n".join(lines) + _maybe_export(args, "fig9", figure89_runs)
 
 
 def _cmd_stability(args: argparse.Namespace) -> str:
@@ -141,6 +164,47 @@ def _cmd_describe(args: argparse.Namespace) -> str:
     return describe_network(platforms[args.platform]().thermal)
 
 
+def _run_catalog_app(args: argparse.Namespace):
+    """Run one catalog app on the phone model for the obs commands."""
+    from repro.apps.catalog import CATALOG, make_app
+    from repro.kernel.kernel import KernelConfig
+    from repro.sim.engine import Simulation
+    from repro.soc.snapdragon810 import nexus6p
+
+    if args.app not in CATALOG:
+        raise SystemExit(f"unknown app {args.app!r}; have {sorted(CATALOG)}")
+    sim = Simulation(
+        nexus6p(), [make_app(args.app)], kernel_config=KernelConfig(),
+        seed=args.seed, profile=args.profile,
+    )
+    sim.run(args.duration)
+    return sim
+
+
+def _cmd_metrics(args: argparse.Namespace) -> str:
+    from repro.obs.exporters import prometheus_text
+
+    sim = _run_catalog_app(args)
+    out = prometheus_text(sim.metrics)
+    if args.profile:
+        out += "\n" + sim.profiler.report().render()
+    return out
+
+
+def _cmd_trace(args: argparse.Namespace) -> str:
+    sim = _run_catalog_app(args)
+    sections = []
+    spans = sim.spans.render(limit=args.limit)
+    if spans:
+        sections.append(f"# spans (last {args.limit})\n{spans}")
+    events = sim.kernel.tracer.render()
+    if events:
+        sections.append(f"# kernel events\n{events}")
+    if args.profile:
+        sections.append(sim.profiler.report().render())
+    return "\n\n".join(sections) if sections else "(no spans or events)"
+
+
 def _cmd_critical(args: argparse.Namespace) -> str:
     return (
         f"Critical power (Odroid-XU3, fan off): "
@@ -148,10 +212,27 @@ def _cmd_critical(args: argparse.Namespace) -> str:
     )
 
 
+_EPILOG = """\
+commands:
+  table1     Table I: app FPS with/without thermal throttling (Nexus 6P)
+  table2     Table II: benchmark scores under background load (Odroid-XU3)
+  fig7       Figure 7: fixed-point stability analysis
+  fig8       Figure 8: maximum temperature traces (3DMark scenarios)
+  fig9       Figure 9: power distribution pies (3DMark scenarios)
+  stability  classify one dynamic-power operating point
+  budget     safe dynamic power for a thermal limit
+  critical   critical power of the Odroid-XU3 lumped model
+  advise     profile a catalog app and print tuning advice
+  describe   dump a platform's thermal RC network
+  metrics    run a catalog app, print its Prometheus metrics
+  trace      run a catalog app, print its span/ftrace event log
+"""
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
-        prog="repro", description=__doc__,
+        prog="repro", description=__doc__, epilog=_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -168,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.set_defaults(fn=fn)
         if needs_seed:
             cmd.add_argument("--seed", type=int, default=3)
+            cmd.add_argument(
+                "--export-dir", dest="export_dir", default=None,
+                help="write manifest/metrics/events/trace CSVs per run here",
+            )
 
     stab = sub.add_parser("stability")
     stab.add_argument("--power", type=float, required=True,
@@ -193,6 +278,20 @@ def build_parser() -> argparse.ArgumentParser:
     describe_cmd.add_argument("--platform", required=True,
                               help="nexus6p or odroid-xu3")
     describe_cmd.set_defaults(fn=_cmd_describe)
+
+    for name, fn in (("metrics", _cmd_metrics), ("trace", _cmd_trace)):
+        cmd = sub.add_parser(name)
+        cmd.add_argument("--app", default="hangouts",
+                         help="catalog app to run")
+        cmd.add_argument("--duration", type=float, default=30.0,
+                         help="simulated seconds to run")
+        cmd.add_argument("--seed", type=int, default=3)
+        cmd.add_argument("--profile", action="store_true",
+                         help="also print the step-phase wall-clock profile")
+        if name == "trace":
+            cmd.add_argument("--limit", type=int, default=200,
+                             help="max spans to print (newest only)")
+        cmd.set_defaults(fn=fn)
     return parser
 
 

@@ -21,6 +21,7 @@ processes back to the big cluster once ample thermal headroom returns.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -127,6 +128,10 @@ class ApplicationAwareGovernor:
         self._cool_since_s: float | None = None
         self.events: list[MigrationEvent] = []
         self.predictions: list[Prediction] = []
+        self._obs_metrics = None
+        self._obs_spans = None
+        self._m_runs = None
+        self._m_latency = None
 
     # ------------------------------------------------------------- helpers
 
@@ -170,10 +175,39 @@ class ApplicationAwareGovernor:
         return cls(api, lumped, power_paths, cluster_rails, temp_path, config)
 
     def install(self, kernel) -> None:
-        """Register as a periodic userspace daemon on ``kernel``."""
-        kernel.register_daemon(
-            "app-aware-governor", self.config.period_s, self.run
+        """Register as a periodic userspace daemon on ``kernel``.
+
+        Installation also wires the governor into the kernel's metrics
+        registry and span tracer: each control period is counted, its
+        wall-clock latency observed, and wrapped in an ``app_governor.run``
+        span (so the migrations it causes nest under it).
+        """
+        self._obs_metrics = kernel.metrics
+        self._obs_spans = kernel.spans
+        self._m_runs = kernel.metrics.counter(
+            "repro_app_governor_runs_total",
+            "Control periods of the application-aware governor",
         )
+        self._m_latency = kernel.metrics.histogram(
+            "repro_app_governor_latency_seconds",
+            "Wall-clock latency of one control period",
+        )
+        kernel.metrics.declare(
+            "repro_app_governor_actions_total",
+            "counter",
+            "Throttling actions taken (migrations, quota cuts)",
+        )
+        kernel.register_daemon(
+            "app-aware-governor", self.config.period_s, self._instrumented_run
+        )
+
+    def _instrumented_run(self, now_s: float) -> None:
+        with self._obs_spans.span("app_governor.run"):
+            t0 = time.perf_counter()
+            self.run(now_s)
+            elapsed_s = time.perf_counter() - t0
+        self._m_runs.inc()
+        self._m_latency.observe(elapsed_s)
 
     # ------------------------------------------------------- measurements
 
@@ -320,6 +354,11 @@ class ApplicationAwareGovernor:
             self._api.set_affinity(pid, little)
             self._migrated.append(pid)
             direction = "to_little"
+        if self._obs_metrics is not None:
+            self._obs_metrics.counter(
+                "repro_app_governor_actions_total",
+                labels={"action": self.config.action},
+            ).inc()
         self.events.append(
             MigrationEvent(
                 time_s=now_s,
@@ -355,6 +394,11 @@ class ApplicationAwareGovernor:
             self._api.set_affinity(pid, self._api.big_cluster)
         except Exception:
             return  # the process exited; nothing to undo
+        if self._obs_metrics is not None:
+            self._obs_metrics.counter(
+                "repro_app_governor_actions_total",
+                labels={"action": "migrate_back"},
+            ).inc()
         self.events.append(
             MigrationEvent(
                 time_s=now_s,

@@ -52,6 +52,9 @@ class NexusRun:
     residency_domain: str          # "gpu" or "a57"
     peak_temp_c: float
     mean_power_w: float
+    #: The finished simulation, kept for observability export
+    #: (``repro table1 --export-dir``): traces, metrics, spans, manifest.
+    sim: Simulation | None = None
 
 
 @lru_cache(maxsize=32)
@@ -79,7 +82,17 @@ def run_app(name: str, throttled: bool, seed: int = DEFAULT_SEED) -> NexusRun:
         residency_domain=domain,
         peak_temp_c=float(np.max(temps)),
         mean_power_w=sim.daq.mean_power_w(start_s=5.0),
+        sim=sim,
     )
+
+
+def table1_runs(seed: int = DEFAULT_SEED) -> dict[str, Simulation]:
+    """The simulations behind :func:`table1`, labelled for export."""
+    runs = {}
+    for name in popular_app_names():
+        runs[f"{name}_base"] = run_app(name, False, seed).sim
+        runs[f"{name}_throttled"] = run_app(name, True, seed).sim
+    return runs
 
 
 @dataclass(frozen=True)

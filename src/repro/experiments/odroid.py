@@ -67,6 +67,9 @@ class OdroidRun:
     migrations: tuple[tuple[float, str], ...]  # (time, direction)
     bml_progress_gcycles: float | None
     bml_final_cluster: str | None
+    #: The finished simulation, kept for observability export
+    #: (``repro table2 --export-dir``): traces, metrics, spans, manifest.
+    sim: Simulation | None = None
 
 
 def _check_scenario(scenario: str) -> None:
@@ -124,6 +127,7 @@ def _extract(scenario: str, sim: Simulation, governor, benchmark) -> OdroidRun:
         migrations=migrations,
         bml_progress_gcycles=bml_progress,
         bml_final_cluster=bml_cluster,
+        sim=sim,
     )
 
 
@@ -188,6 +192,20 @@ def table2(seed: int = DEFAULT_SEED) -> list[Table2Row]:
             3.5, 3.4, 3.5, "levels",
         ),
     ]
+
+
+def table2_runs(seed: int = DEFAULT_SEED) -> dict[str, Simulation]:
+    """The six simulations behind :func:`table2`, labelled for export."""
+    runs = {}
+    for scenario in SCENARIOS:
+        runs[f"3dmark_{scenario}"] = run_3dmark(scenario, seed).sim
+        runs[f"nenamark_{scenario}"] = run_nenamark(scenario, seed).sim
+    return runs
+
+
+def figure89_runs(seed: int = DEFAULT_SEED) -> dict[str, Simulation]:
+    """The three 3DMark simulations behind Figures 8/9, labelled for export."""
+    return {f"3dmark_{s}": run_3dmark(s, seed).sim for s in SCENARIOS}
 
 
 def figure8(seed: int = DEFAULT_SEED) -> dict[str, Series]:

@@ -15,6 +15,7 @@ powers back into the INA231-style sensors that userspace reads.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping
 
@@ -164,6 +165,8 @@ class Kernel:
         clock: Clock,
         rng: RngRegistry,
         config: KernelConfig | None = None,
+        metrics=None,
+        spans=None,
     ) -> None:
         self.platform = platform
         self.config = config or KernelConfig()
@@ -172,8 +175,16 @@ class Kernel:
         self.power_model = platform.power_model()
 
         from repro.kernel.tracing import EventTracer
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.spans import SpanTracer
 
-        self.tracer = EventTracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.spans = (
+            spans
+            if spans is not None
+            else SpanTracer(sim_time_fn=lambda: clock.now)
+        )
+        self.tracer = EventTracer(metrics=self.metrics)
         self.scheduler = Scheduler({c.name: c for c in platform.clusters})
         self.gpu = GpuDevice()
 
@@ -240,13 +251,94 @@ class Kernel:
             c.name: True for c in platform.clusters
         }
         self._cooling_states: dict[str, int] = {}
+        self._throttle_since_s: dict[str, float] = {}
         self._daemons: list[tuple[str, PeriodicTimer, Callable[[float], None]]] = []
         if self.config.hotplug is not None:
             self._install_hotplug(self.config.hotplug)
 
+        self._register_metrics()
+
         from repro.kernel.wiring import build_fs  # deferred: avoids import cycle
 
         self.fs = build_fs(self)
+
+    def _register_metrics(self) -> None:
+        """Create every kernel metric family up front.
+
+        Eager registration keeps the emitted catalogue identical whether or
+        not a given event ever fires, which is what the documentation test
+        asserts against.
+        """
+        from repro.obs.metrics import DURATION_BUCKETS_S, LATENCY_BUCKETS_S
+
+        m = self.metrics
+        self._m_gov_updates = {}
+        self._m_gov_latency = {}
+        self._m_gov_freq_changes = {}
+        for domain in self.policies:
+            labels = {"domain": domain}
+            self._m_gov_updates[domain] = m.counter(
+                "repro_governor_updates_total",
+                "DVFS governor evaluations",
+                labels=labels,
+            )
+            self._m_gov_latency[domain] = m.histogram(
+                "repro_governor_decision_latency_seconds",
+                "Wall-clock latency of one governor evaluation",
+                buckets=LATENCY_BUCKETS_S,
+                labels=labels,
+            )
+            self._m_gov_freq_changes[domain] = m.counter(
+                "repro_governor_freq_changes_total",
+                "Governor evaluations that changed the target frequency",
+                labels=labels,
+            )
+        self._m_migrations = m.counter(
+            "repro_migrations_total", "Task migrations between clusters"
+        )
+        self._m_spawns = m.counter(
+            "repro_tasks_spawned_total", "Tasks created"
+        )
+        m.declare(
+            "repro_hotplug_transitions_total",
+            "counter",
+            "Cluster power-state transitions",
+        )
+        self._m_cooling_changes = {}
+        self._m_throttle_duration = {}
+        for device in self.cooling_devices:
+            self._m_cooling_changes[device.name] = m.counter(
+                "repro_cooling_state_changes_total",
+                "Cooling-device state transitions",
+                labels={"device": device.name},
+            )
+            self._m_throttle_duration[device.name] = m.histogram(
+                "repro_throttle_duration_seconds",
+                "Simulated duration of one throttling episode",
+                buckets=DURATION_BUCKETS_S,
+                labels={"device": device.name},
+            )
+        m.declare(
+            "repro_cooling_state_changes_total",
+            "counter",
+            "Cooling-device state transitions",
+        )
+        m.declare(
+            "repro_throttle_duration_seconds",
+            "histogram",
+            "Simulated duration of one throttling episode",
+            buckets=DURATION_BUCKETS_S,
+        )
+        m.declare(
+            "repro_thermal_zone_temp_celsius", "gauge", "Last polled zone temperature"
+        )
+        m.declare(
+            "repro_thermal_trips_total",
+            "counter",
+            "Rising crossings of a zone trip point",
+        )
+        for zone in self.zones.values():
+            zone.attach_observability(m, self.spans)
 
     # ------------------------------------------------------------ assembly
 
@@ -409,10 +501,13 @@ class Kernel:
                 if task.cluster == name:
                     task.migrate(fallback)
         if self._cluster_online[name] != online:
-            self.tracer.emit(
-                self._clock.now, "hotplug",
-                "online" if online else "offline", name,
-            )
+            state = "online" if online else "offline"
+            self.tracer.emit(self._clock.now, "hotplug", state, name)
+            self.metrics.counter(
+                "repro_hotplug_transitions_total",
+                labels={"cluster": name, "state": state},
+            ).inc()
+            self.spans.instant("hotplug.transition", cluster=name, state=state)
         self._cluster_online[name] = online
 
     def _install_hotplug(self, cfg: HotplugConfig) -> None:
@@ -456,6 +551,7 @@ class Kernel:
         self.tracer.emit(
             self._clock.now, "sched", "spawn", f"{name} pid={task.pid} on {target}"
         )
+        self._m_spawns.inc()
         return task
 
     # --------------------------------------------------------------- tick
@@ -468,22 +564,54 @@ class Kernel:
         """Advance the OS by one simulation step."""
         for domain, timer in self._governor_timers.items():
             if timer.poll():
-                self.governors[domain].update(self.policies[domain], now_s)
+                policy = self.policies[domain]
+                before_hz = policy.cur_freq_hz
+                with self.spans.span("governor.update", domain=domain) as span:
+                    t0 = time.perf_counter()
+                    self.governors[domain].update(policy, now_s)
+                    elapsed_s = time.perf_counter() - t0
+                    span.set(
+                        freq_before_hz=before_hz, freq_after_hz=policy.cur_freq_hz
+                    )
+                self._m_gov_updates[domain].inc()
+                self._m_gov_latency[domain].observe(elapsed_s)
+                if policy.cur_freq_hz != before_hz:
+                    self._m_gov_freq_changes[domain].inc()
         for name, timer in self._zone_timers.items():
             if timer.poll():
-                self.zones[name].poll(now_s)
+                if self.zones[name].governor is not None:
+                    with self.spans.span("thermal.zone_poll", zone=name):
+                        self.zones[name].poll(now_s)
+                else:
+                    self.zones[name].poll(now_s)
         for _, timer, fn in self._daemons:
             if timer.poll():
                 fn(now_s)
 
         for device in self.cooling_devices:
             last = self._cooling_states.get(device.name)
-            if last is not None and device.cur_state != last:
+            cur = device.cur_state
+            if last is not None and cur != last:
                 self.tracer.emit(
                     now_s, "thermal", "cooling_state",
-                    f"{device.name} {last} -> {device.cur_state}",
+                    f"{device.name} {last} -> {cur}",
                 )
-            self._cooling_states[device.name] = device.cur_state
+                self._m_cooling_changes[device.name].inc()
+                self.spans.instant(
+                    "thermal.cooling_state",
+                    device=device.name,
+                    from_state=last,
+                    to_state=cur,
+                )
+                if last == 0 and cur > 0:
+                    self._throttle_since_s[device.name] = now_s
+                elif cur == 0:
+                    start = self._throttle_since_s.pop(device.name, None)
+                    if start is not None:
+                        self._m_throttle_duration[device.name].observe(
+                            now_s - start
+                        )
+            self._cooling_states[device.name] = cur
 
         freqs = self.current_freqs_hz()
         cluster_freqs = {
@@ -541,6 +669,10 @@ class Kernel:
             self.tracer.emit(
                 self._clock.now, "sched", "migrate",
                 f"pid={pid} {before} -> {cluster}",
+            )
+            self._m_migrations.inc()
+            self.spans.instant(
+                "sched.migrate", pid=pid, from_cluster=before, to_cluster=cluster
             )
 
     def task_by_name(self, name: str) -> Task:

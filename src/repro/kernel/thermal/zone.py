@@ -67,12 +67,51 @@ class ThermalZone:
         self.polling_s = polling_s
         self._history: deque[float] = deque(maxlen=history_len)
         self.last_temp_c: float | None = None
+        self._m_temp = None
+        self._m_trips = None
+        self._spans = None
+
+    def attach_observability(self, metrics, spans) -> None:
+        """Wire this zone into a metrics registry and span tracer.
+
+        Registers the zone temperature gauge and the trip counter; from then
+        on every :meth:`poll` updates the gauge and every rising crossing of
+        a trip point increments the counter and emits a ``thermal.trip``
+        span.  Called by the kernel at construction; optional for
+        standalone zones.
+        """
+        self._m_temp = metrics.gauge(
+            "repro_thermal_zone_temp_celsius",
+            "Last polled zone temperature",
+            labels={"zone": self.name},
+        )
+        self._m_trips = metrics.counter(
+            "repro_thermal_trips_total",
+            "Rising crossings of a zone trip point",
+            labels={"zone": self.name},
+        )
+        self._spans = spans
 
     def poll(self, now_s: float) -> float:
         """Read the sensor, update history, run the governor; returns degC."""
         temp_c = self.sensor.read_c()
+        prev_c = self.last_temp_c
         self._history.append(temp_c)
         self.last_temp_c = temp_c
+        if self._m_temp is not None:
+            self._m_temp.set(temp_c)
+            if prev_c is not None:
+                for trip in self.trips:
+                    if prev_c < trip.temp_c <= temp_c:
+                        self._m_trips.inc()
+                        if self._spans is not None:
+                            self._spans.instant(
+                                "thermal.trip",
+                                zone=self.name,
+                                trip_c=trip.temp_c,
+                                trip_type=trip.trip_type,
+                                temp_c=round(temp_c, 3),
+                            )
         if self.governor is not None:
             self.governor.update(self, now_s)
         return temp_c

@@ -6,14 +6,22 @@ traces.  The :class:`EventTracer` is a bounded ring buffer the kernel and
 userspace daemons emit into; it renders in an ftrace-like one-line format
 and is exposed at ``/sys/kernel/debug/tracing/trace`` (with a writable
 ``trace_marker``, like the real thing).
+
+When wired to a :class:`~repro.obs.metrics.MetricsRegistry` the tracer
+exports its health: total/dropped event counters and buffer occupancy, so
+silent ring-buffer overflow is visible in every metrics export.  The first
+drop additionally logs a one-line warning.
 """
 
 from __future__ import annotations
 
+import logging
 from collections import deque
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+
+log = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -34,18 +42,45 @@ class TraceEvent:
 class EventTracer:
     """Bounded ring buffer of :class:`TraceEvent`."""
 
-    def __init__(self, capacity: int = 10000) -> None:
+    def __init__(self, capacity: int = 10000, metrics=None) -> None:
         if capacity < 1:
             raise ConfigurationError("tracer capacity must be >= 1")
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
         self._dropped = 0
+        self._m_total = self._m_dropped = self._m_occupancy = None
+        if metrics is not None:
+            self._m_total = metrics.counter(
+                "repro_tracer_events_total", "Events emitted into the ring buffer"
+            )
+            self._m_dropped = metrics.counter(
+                "repro_tracer_events_dropped_total",
+                "Events lost to the ring-buffer bound",
+            )
+            self._m_occupancy = metrics.gauge(
+                "repro_tracer_buffer_occupancy",
+                "Events currently held in the ring buffer",
+            )
+            metrics.gauge(
+                "repro_tracer_buffer_capacity", "Ring-buffer capacity"
+            ).set(capacity)
 
     def emit(self, time_s: float, source: str, event: str, detail: str = "") -> None:
         """Record one event (oldest events are dropped when full)."""
         if len(self._events) == self.capacity:
+            if self._dropped == 0:
+                log.warning(
+                    "event tracer ring buffer full (capacity %d): "
+                    "oldest events are being dropped",
+                    self.capacity,
+                )
             self._dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc()
         self._events.append(TraceEvent(time_s, source, event, detail))
+        if self._m_total is not None:
+            self._m_total.inc()
+            self._m_occupancy.set(len(self._events))
 
     @property
     def dropped(self) -> int:
@@ -76,6 +111,8 @@ class EventTracer:
         """Empty the buffer."""
         self._events.clear()
         self._dropped = 0
+        if self._m_occupancy is not None:
+            self._m_occupancy.set(0)
 
     def __len__(self) -> int:
         return len(self._events)

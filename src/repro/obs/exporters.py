@@ -1,0 +1,252 @@
+"""Machine-readable export of a run's observability artefacts.
+
+Three formats, one directory layout:
+
+* ``metrics.prom``  — Prometheus text exposition of a
+  :class:`~repro.obs.metrics.MetricsRegistry` (scrape-file compatible);
+* ``events.jsonl``  — one JSON object per line: every finished span of the
+  :class:`~repro.obs.spans.SpanTracer` plus every kernel
+  :class:`~repro.kernel.tracing.TraceEvent`, merged in sim-time order;
+* ``traces/<channel>.csv`` — the raw samples of every
+  :class:`~repro.sim.trace.TraceRecorder` channel (no resampling — the
+  rectangular-grid CSV of :mod:`repro.analysis.export` still exists for
+  plotting).
+
+:func:`export_simulation` writes all of the above plus ``manifest.json``
+for one simulation; :func:`export_run_set` does it for a family of runs
+(one sub-directory per run, plus merged top-level artefacts where every
+sample/record carries a ``run`` label).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+import pathlib
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import AnalysisError
+from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+
+# ------------------------------------------------------------------ metrics
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: tuple, extra: Mapping[str, str] | None) -> str:
+    pairs = list(extra.items()) if extra else []
+    pairs += [(k, v) for k, v in labels]
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(
+    registry: MetricsRegistry, extra_labels: Mapping[str, str] | None = None
+) -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_header: set[str] = set()
+    for family, sample_name, labels, value in registry.collect():
+        if family.name not in seen_header:
+            seen_header.add(family.name)
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+        lines.append(
+            f"{sample_name}{_render_labels(labels, extra_labels)} "
+            f"{_format_value(value)}"
+        )
+    # Families registered but never given a child still get their headers:
+    # the catalogue is visible even before the first event.
+    for name in registry.names():
+        if name not in seen_header:
+            if registry.help(name):
+                lines.append(f"# HELP {name} {registry.help(name)}")
+            lines.append(f"# TYPE {name} {registry.kind(name)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry,
+    path: str | pathlib.Path,
+    extra_labels: Mapping[str, str] | None = None,
+) -> pathlib.Path:
+    """Write one registry's exposition to ``path``."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(prometheus_text(registry, extra_labels))
+    return path
+
+
+# ------------------------------------------------------------------- events
+
+
+def iter_event_dicts(
+    spans=None, tracer=None, run: str | None = None
+) -> Iterator[dict]:
+    """Spans + kernel trace events as dicts, merged by simulation time."""
+    records: list[dict] = []
+    if spans is not None:
+        records.extend(spans.to_dicts())
+    if tracer is not None:
+        for event in tracer.events():
+            records.append(
+                {
+                    "kind": "event",
+                    "name": f"{event.source}.{event.event}",
+                    "sim_time_s": event.time_s,
+                    "source": event.source,
+                    "event": event.event,
+                    "detail": event.detail,
+                }
+            )
+    records.sort(key=lambda r: r["sim_time_s"])
+    for record in records:
+        if run is not None:
+            record["run"] = run
+        yield record
+
+
+def write_events_jsonl(
+    path: str | pathlib.Path,
+    spans=None,
+    tracer=None,
+    run: str | None = None,
+) -> pathlib.Path:
+    """Write merged span/event records as JSON lines."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in iter_event_dicts(spans, tracer, run):
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_events_jsonl(path: str | pathlib.Path) -> list[dict]:
+    """Parse an ``events.jsonl`` back into dicts (round-trip of the writer)."""
+    out = []
+    with pathlib.Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+# -------------------------------------------------------------------- CSVs
+
+
+def _channel_filename(name: str) -> str:
+    return name.replace("/", "_").replace("\\", "_") + ".csv"
+
+
+def write_channel_csvs(
+    traces, directory: str | pathlib.Path, channels: Iterable[str] | None = None
+) -> list[pathlib.Path]:
+    """One raw ``(time_s, value)`` CSV per trace channel; returns the paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    names = list(channels) if channels is not None else traces.names()
+    paths = []
+    for name in names:
+        channel = traces.channel(name)
+        path = directory / _channel_filename(name)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time_s", name])
+            for t, v in zip(channel.times, channel.values):
+                writer.writerow([f"{t:.6g}", f"{v:.6g}"])
+        paths.append(path)
+    return paths
+
+
+# ---------------------------------------------------------------- run dumps
+
+
+def export_simulation(
+    sim,
+    export_dir: str | pathlib.Path,
+    label: str | None = None,
+    extra: dict | None = None,
+) -> dict:
+    """Dump one simulation's full observability bundle into ``export_dir``.
+
+    Writes ``manifest.json``, ``metrics.prom``, ``events.jsonl`` and
+    ``traces/<channel>.csv``; returns ``{artefact: path(s)}``.
+    """
+    export_dir = pathlib.Path(export_dir)
+    export_dir.mkdir(parents=True, exist_ok=True)
+    manifest = build_manifest(sim, label=label, extra=extra)
+    return {
+        "manifest": write_manifest(manifest, export_dir / "manifest.json"),
+        "metrics": write_prometheus(sim.metrics, export_dir / "metrics.prom"),
+        "events": write_events_jsonl(
+            export_dir / "events.jsonl",
+            spans=sim.spans,
+            tracer=sim.kernel.tracer,
+        ),
+        "traces": write_channel_csvs(sim.traces, export_dir / "traces"),
+    }
+
+
+def export_run_set(
+    sims: Mapping[str, object],
+    export_dir: str | pathlib.Path,
+    command: str | None = None,
+    seed: int | None = None,
+) -> dict:
+    """Dump a family of labelled runs (one CLI invocation's worth).
+
+    Layout: per-run bundles under ``<export_dir>/<label>/`` plus merged
+    top-level ``manifest.json`` / ``metrics.prom`` / ``events.jsonl`` in
+    which every sample and record carries a ``run`` label.
+    """
+    if not sims:
+        raise AnalysisError("no runs to export")
+    export_dir = pathlib.Path(export_dir)
+    export_dir.mkdir(parents=True, exist_ok=True)
+
+    run_manifests = {}
+    prom_parts = []
+    merged_events = export_dir / "events.jsonl"
+    with merged_events.open("w") as handle:
+        for raw_label, sim in sims.items():
+            label = raw_label.replace("/", "_")
+            export_simulation(sim, export_dir / label, label=label)
+            run_manifests[label] = build_manifest(sim, label=label)
+            prom_parts.append(
+                prometheus_text(sim.metrics, extra_labels={"run": label})
+            )
+            for record in iter_event_dicts(
+                spans=sim.spans, tracer=sim.kernel.tracer, run=label
+            ):
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    merged_manifest = {
+        "schema": MANIFEST_SCHEMA + "+set",
+        "command": command,
+        "seed": seed,
+        "runs": run_manifests,
+    }
+    write_manifest(merged_manifest, export_dir / "manifest.json")
+    (export_dir / "metrics.prom").write_text("".join(prom_parts))
+    return {
+        "manifest": export_dir / "manifest.json",
+        "metrics": export_dir / "metrics.prom",
+        "events": merged_events,
+        "runs": {label: export_dir / label for label in run_manifests},
+    }

@@ -1,0 +1,74 @@
+"""Run manifests: the provenance record written next to every export.
+
+A result nobody can reproduce is a rumour.  Every export directory gets a
+``manifest.json`` capturing what produced the artefacts: platform, seed,
+kernel configuration, step size, simulated duration, attached apps and the
+package version.  Re-running the manifested configuration regenerates the
+same traces bit-for-bit (the simulator is deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import json
+import pathlib
+import platform as _host_platform
+
+MANIFEST_SCHEMA = "repro.run/1"
+
+
+def _jsonable(value):
+    """Best-effort conversion to JSON-serialisable primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(value).items()}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def build_manifest(sim, label: str | None = None, extra: dict | None = None) -> dict:
+    """Describe one :class:`~repro.sim.engine.Simulation` for reproduction.
+
+    ``sim`` may be mid-run or finished; ``duration_s`` records its current
+    simulated time.  ``extra`` is merged in verbatim (e.g. the CLI command).
+    """
+    from repro import __version__
+
+    kernel = sim.kernel
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "label": label,
+        "repro_version": __version__,
+        "python_version": _host_platform.python_version(),
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "platform": sim.platform.name,
+        "seed": sim.seed,
+        "dt_s": sim.clock.dt,
+        "duration_s": sim.now_s,
+        "ticks": sim.clock.tick,
+        "apps": sorted(sim.apps),
+        "kernel_config": _jsonable(kernel.config),
+        "trace_channels": sim.traces.names(),
+        "metric_families": sim.metrics.names(),
+    }
+    if extra:
+        manifest.update(_jsonable(extra))
+    return manifest
+
+
+def write_manifest(manifest: dict, path: str | pathlib.Path) -> pathlib.Path:
+    """Write a manifest as pretty-printed JSON; returns the path."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def read_manifest(path: str | pathlib.Path) -> dict:
+    """Load a manifest back (round-trip of :func:`write_manifest`)."""
+    return json.loads(pathlib.Path(path).read_text())

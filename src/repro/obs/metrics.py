@@ -1,0 +1,322 @@
+"""Metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the single sink every instrumented layer
+(engine, kernel, thermal zones, governors, apps) emits into.  There is no
+process-wide global: each :class:`~repro.sim.engine.Simulation` owns one
+registry, so concurrent simulations never share state and tests stay
+hermetic.
+
+Metrics are organised Prometheus-style:
+
+* a *family* is a named metric (``repro_migrations_total``) of one type;
+* a family with labels has one *child* per label set
+  (``repro_governor_updates_total{domain="a57"}``);
+* :meth:`MetricsRegistry.collect` yields every sample for exposition
+  (see :mod:`repro.obs.exporters`).
+
+Names follow the Prometheus conventions: ``snake_case``, a unit suffix
+(``_seconds``, ``_watts``, ``_celsius``) and ``_total`` for counters.  The
+full catalogue lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds, wall-clock) for decision-sized work.
+LATENCY_BUCKETS_S = (
+    1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 5e-2,
+)
+
+#: Default frame-time buckets (seconds, simulated): 120/60/45/30/20/10 FPS.
+FRAME_TIME_BUCKETS_S = (1 / 120, 1 / 60, 1 / 45, 1 / 30, 1 / 20, 0.1, 0.25)
+
+#: Default throttle-episode duration buckets (seconds, simulated).
+DURATION_BUCKETS_S = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+def _check_labels(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
+    if not labels:
+        return ()
+    out = []
+    for key in sorted(labels):
+        if not _LABEL_RE.match(key):
+            raise ConfigurationError(f"invalid label name {key!r}")
+        out.append((key, str(labels[key])))
+    return tuple(out)
+
+
+class Counter:
+    """Monotonically increasing count (events, frames, migrations)."""
+
+    def __init__(self, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current count."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0.0:
+            raise ConfigurationError("counters can only increase")
+        self._value += amount
+
+    def samples(self, name: str) -> Iterator[tuple[str, tuple, float]]:
+        yield name, self.labels, self._value
+
+
+class Gauge:
+    """Last-written instantaneous value (temperature, power, occupancy)."""
+
+    def __init__(self, labels: tuple[tuple[str, str], ...] = ()) -> None:
+        self.labels = labels
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Overwrite the value."""
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount``."""
+        self._value -= amount
+
+    def samples(self, name: str) -> Iterator[tuple[str, tuple, float]]:
+        yield name, self.labels, self._value
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (latencies, frame times, durations).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket catches the rest,
+    exactly like a Prometheus classic histogram.
+    """
+
+    def __init__(
+        self,
+        buckets: Sequence[float],
+        labels: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError("histogram needs at least one bucket")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ConfigurationError("histogram buckets must be strictly increasing")
+        if any(math.isnan(b) or math.isinf(b) for b in bounds):
+            raise ConfigurationError("histogram buckets must be finite")
+        self.labels = labels
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total observations."""
+        return sum(self._counts)
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        return self._sum
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._counts[bisect.bisect_left(self.buckets, value)] += 1
+        self._sum += value
+
+    def bucket_counts(self) -> dict[float, int]:
+        """Cumulative count at each upper bound (+Inf included)."""
+        out = {}
+        running = 0
+        for bound, n in zip(self.buckets, self._counts):
+            running += n
+            out[bound] = running
+        out[math.inf] = running + self._counts[-1]
+        return out
+
+    def samples(self, name: str) -> Iterator[tuple[str, tuple, float]]:
+        for bound, cumulative in self.bucket_counts().items():
+            le = "+Inf" if math.isinf(bound) else f"{bound:g}"
+            yield f"{name}_bucket", self.labels + (("le", le),), float(cumulative)
+        yield f"{name}_sum", self.labels, self._sum
+        yield f"{name}_count", self.labels, float(self.count)
+
+
+@dataclass
+class _Family:
+    """One named metric family: type, help text, children by label set."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    help: str
+    buckets: tuple[float, ...] | None
+    children: dict[tuple, object]
+
+
+class MetricsRegistry:
+    """Registry of metric families; the emit target of all instrumentation."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------ creation
+
+    def _family(
+        self, name: str, kind: str, help: str, buckets=None
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ConfigurationError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets, {})
+            self._families[name] = family
+            return family
+        if family.kind != kind:
+            raise ConfigurationError(
+                f"metric {name!r} is a {family.kind}, not a {kind}"
+            )
+        if kind == "histogram" and buckets is not None and family.buckets != buckets:
+            raise ConfigurationError(
+                f"histogram {name!r} re-registered with different buckets"
+            )
+        if help and not family.help:
+            family.help = help
+        return family
+
+    def declare(
+        self,
+        name: str,
+        kind: str,
+        help: str = "",
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        """Register a family without creating a child.
+
+        Labelled families whose first event may never fire (hotplug, trips)
+        still show up in :meth:`names` and the exposition headers, keeping
+        the emitted catalogue identical run-to-run.
+        """
+        if kind not in ("counter", "gauge", "histogram"):
+            raise ConfigurationError(f"unknown metric kind {kind!r}")
+        bounds = tuple(float(b) for b in buckets) if buckets is not None else None
+        if kind == "histogram" and bounds is None:
+            bounds = tuple(float(b) for b in LATENCY_BUCKETS_S)
+        self._family(name, kind, help, bounds)
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """Get or create a counter child (family created on first call)."""
+        family = self._family(name, "counter", help)
+        key = _check_labels(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Counter(key)
+        return child
+
+    def gauge(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Gauge:
+        """Get or create a gauge child."""
+        family = self._family(name, "gauge", help)
+        key = _check_labels(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Gauge(key)
+        return child
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] | None = None,
+        labels: Mapping[str, str] | None = None,
+    ) -> Histogram:
+        """Get or create a histogram child (buckets fixed per family).
+
+        ``buckets=None`` reuses the family's buckets (or the default latency
+        buckets for a new family); passing different buckets for an existing
+        family is an error.
+        """
+        if buckets is None:
+            existing = self._families.get(name)
+            bounds = (
+                existing.buckets
+                if existing is not None and existing.buckets is not None
+                else tuple(float(b) for b in LATENCY_BUCKETS_S)
+            )
+        else:
+            bounds = tuple(float(b) for b in buckets)
+        family = self._family(name, "histogram", help, bounds)
+        key = _check_labels(labels)
+        child = family.children.get(key)
+        if child is None:
+            child = family.children[key] = Histogram(family.buckets, key)
+        return child
+
+    # ------------------------------------------------------------- queries
+
+    def names(self) -> list[str]:
+        """Sorted family names registered so far."""
+        return sorted(self._families)
+
+    def kind(self, name: str) -> str:
+        """Type of a family ("counter", "gauge", "histogram")."""
+        return self._families[name].kind
+
+    def help(self, name: str) -> str:
+        """Help text of a family."""
+        return self._families[name].help
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def get(self, name: str, labels: Mapping[str, str] | None = None):
+        """Existing child for (name, labels); raises if absent."""
+        try:
+            family = self._families[name]
+            return family.children[_check_labels(labels)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no metric {name!r} with labels {dict(labels or {})}"
+            ) from None
+
+    def children(self, name: str) -> list:
+        """All children of a family (one per label set)."""
+        return list(self._families[name].children.values())
+
+    def value(self, name: str, labels: Mapping[str, str] | None = None) -> float:
+        """Convenience: scalar value of a counter/gauge child."""
+        child = self.get(name, labels)
+        if isinstance(child, Histogram):
+            raise ConfigurationError(f"metric {name!r} is a histogram; no scalar value")
+        return child.value
+
+    def collect(self) -> Iterator[tuple[_Family, str, tuple, float]]:
+        """Yield ``(family, sample_name, labels, value)`` for every sample."""
+        for name in self.names():
+            family = self._families[name]
+            for child in family.children.values():
+                for sample_name, labels, value in child.samples(name):
+                    yield family, sample_name, labels, value

@@ -1,0 +1,196 @@
+"""Lightweight span tracing for discrete decisions.
+
+Where :class:`~repro.kernel.tracing.EventTracer` renders a flat ftrace-like
+log, spans carry *structure*: parent/child nesting (a cooling-state change
+caused by a governor evaluation is recorded as its child), a wall-clock
+duration (how long the decision took to compute) and a simulation-clock
+timestamp (when it happened in the modelled world).
+
+The tracer is a bounded ring buffer like the kernel's: completed spans
+beyond ``capacity`` drop oldest-first and are counted, never silently lost.
+
+Span names form a small taxonomy (``governor.update``, ``sched.migrate``,
+``thermal.cooling_state``, ``thermal.trip``, ``hotplug.transition``,
+``app_governor.run`` — see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) span."""
+
+    span_id: int
+    name: str
+    start_wall_s: float
+    start_sim_s: float
+    parent_id: int | None = None
+    end_wall_s: float | None = None
+    end_sim_s: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float | None:
+        """Wall-clock duration; None while the span is still open."""
+        if self.end_wall_s is None:
+            return None
+        return self.end_wall_s - self.start_wall_s
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the ``events.jsonl`` record shape)."""
+        return {
+            "kind": "span",
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "sim_time_s": self.start_sim_s,
+            "sim_end_s": self.end_sim_s,
+            "wall_duration_s": self.duration_s,
+            "attrs": dict(self.attrs),
+        }
+
+    def render(self) -> str:
+        """One human-readable line (ftrace-flavoured)."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
+        dur = (
+            f" ({self.duration_s * 1e6:.1f} us)"
+            if self.duration_s is not None
+            else ""
+        )
+        nest = f" <-{self.parent_id}" if self.parent_id is not None else ""
+        body = f" {attrs}" if attrs else ""
+        return f"[{self.start_sim_s:10.3f}] #{self.span_id}{nest} {self.name}{body}{dur}"
+
+
+class _SpanHandle:
+    """Context manager returned by :meth:`SpanTracer.span`."""
+
+    def __init__(self, tracer: "SpanTracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def set(self, **attrs) -> "_SpanHandle":
+        """Attach attributes to the span; chainable."""
+        self.span.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_SpanHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._finish(self.span)
+
+
+class SpanTracer:
+    """Bounded collector of :class:`Span` with automatic nesting."""
+
+    def __init__(
+        self,
+        capacity: int = 8192,
+        sim_time_fn: Callable[[], float] | None = None,
+        wall_time_fn: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("span tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._sim_time = sim_time_fn or (lambda: 0.0)
+        self._wall_time = wall_time_fn
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._dropped = 0
+
+    # ------------------------------------------------------------ emission
+
+    def _new_span(self, name: str, attrs: dict) -> Span:
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            start_wall_s=self._wall_time(),
+            start_sim_s=self._sim_time(),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        return span
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """Open a span; use as a context manager.  Nested spans get parents."""
+        span = self._new_span(name, attrs)
+        self._stack.append(span)
+        return _SpanHandle(self, span)
+
+    def instant(self, name: str, **attrs) -> Span:
+        """A zero-duration span (a point decision, not a timed region)."""
+        span = self._new_span(name, attrs)
+        span.end_wall_s = span.start_wall_s
+        span.end_sim_s = span.start_sim_s
+        self._store(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        span.end_wall_s = self._wall_time()
+        span.end_sim_s = self._sim_time()
+        # Close abandoned children too (exception unwound past them).
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self._store(span)
+
+    def _store(self, span: Span) -> None:
+        if len(self._finished) == self.capacity:
+            self._dropped += 1
+        self._finished.append(span)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans lost to the ring-buffer bound."""
+        return self._dropped
+
+    def spans(self, name: str | None = None) -> list[Span]:
+        """Finished spans, oldest first, optionally filtered by exact name."""
+        if name is None:
+            return list(self._finished)
+        return [s for s in self._finished if s.name == name]
+
+    def by_prefix(self, prefix: str) -> list[Span]:
+        """Finished spans whose name starts with ``prefix``."""
+        return [s for s in self._finished if s.name.startswith(prefix)]
+
+    def children_of(self, span_id: int) -> list[Span]:
+        """Finished spans whose parent is ``span_id``."""
+        return [s for s in self._finished if s.parent_id == span_id]
+
+    def to_dicts(self) -> Iterator[dict]:
+        """Every finished span as a JSON-serialisable dict, oldest first."""
+        for span in self._finished:
+            yield span.to_dict()
+
+    def render(self, limit: int | None = None) -> str:
+        """The buffer as one line per span (``limit``: only the newest N)."""
+        finished = list(self._finished)
+        if limit is not None:
+            finished = finished[-limit:] if limit > 0 else []
+        lines = [span.render() for span in finished]
+        if self._dropped:
+            lines.insert(0, f"# {self._dropped} spans dropped")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def clear(self) -> None:
+        """Drop all finished spans (open spans keep nesting)."""
+        self._finished.clear()
+        self._dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._finished)

@@ -22,6 +22,9 @@ from typing import Callable, Sequence
 from repro.apps.base import AppContext, Application
 from repro.errors import ConfigurationError, SimulationError
 from repro.kernel.kernel import GPU_DOMAIN, Kernel, KernelConfig
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import NULL_PROFILER, StepProfiler
+from repro.obs.spans import SpanTracer
 from repro.power.daq import PowerDaq
 from repro.power.energy import EnergyMeter
 from repro.sim.clock import Clock, PeriodicTimer
@@ -49,10 +52,23 @@ class Simulation:
         enable_daq: bool = False,
         daq_rate_hz: float = 1000.0,
         battery=None,
+        profile: bool = False,
     ) -> None:
         self.platform = platform
+        self.seed = seed
         self.clock = Clock(dt_s)
         self.rng = RngRegistry(seed)
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracer(sim_time_fn=lambda: self.clock.now)
+        self.profiler = StepProfiler() if profile else None
+        prof = self.profiler if profile else NULL_PROFILER
+        # Cached accumulators: no per-step lookups on the hot path.
+        self._ph_step = prof.step()
+        self._ph_apps = prof.phase("apps")
+        self._ph_kernel = prof.phase("kernel")
+        self._ph_power = prof.phase("power_model")
+        self._ph_thermal = prof.phase("thermal")
+        self._ph_record = prof.phase("record")
         ambient_k = (
             platform.default_ambient_k
             if ambient_c is None
@@ -67,9 +83,22 @@ class Simulation:
             platform.thermal, dt_s, ambient_k=ambient_k, initial_k=initial_k
         )
         self.kernel = Kernel(
-            platform, self.thermal, self.clock, self.rng, kernel_config
+            platform, self.thermal, self.clock, self.rng, kernel_config,
+            metrics=self.metrics, spans=self.spans,
         )
         self.traces = TraceRecorder()
+        self._m_steps = self.metrics.counter(
+            "repro_sim_steps_total", "Simulation ticks executed"
+        )
+        self._m_sim_time = self.metrics.gauge(
+            "repro_sim_time_seconds", "Current simulated time"
+        )
+        self._m_power = self.metrics.gauge(
+            "repro_power_total_watts", "Battery-side total power, last record"
+        )
+        self._m_temp_max = self.metrics.gauge(
+            "repro_temp_max_celsius", "Hottest thermal node, last record"
+        )
         self.energy = EnergyMeter()
         self.daq = (
             PowerDaq(self.rng.stream("daq"), sample_rate_hz=daq_rate_hz)
@@ -120,74 +149,91 @@ class Simulation:
                 app.on_cpu_complete(tag, now_s)
 
     def step(self) -> None:
-        """Advance the whole system by one tick."""
-        now = self.clock.now
-        dt = self.clock.dt
+        """Advance the whole system by one tick.
 
-        for app in self._apps.values():
-            app.step(now, dt)
+        The body is bracketed into the profiler phases of
+        :data:`repro.obs.profiler.STEP_PHASES`; with ``profile=False`` the
+        null profiler makes the brackets no-ops.
+        """
+        with self._ph_step:
+            now = self.clock.now
+            dt = self.clock.dt
 
-        kres = self.kernel.tick(now, dt)
-        self._dispatch(kres.completed_cpu_tags, gpu=False, now_s=now)
-        self._dispatch(kres.gpu.completed_tags, gpu=True, now_s=now)
+            with self._ph_apps:
+                for app in self._apps.values():
+                    app.step(now, dt)
 
-        temps = self.thermal.temperatures_k()
-        cluster_activity = {}
-        total_busy = 0.0
-        total_cores = 0
-        for cluster in self.platform.clusters:
-            usage = kres.usage[cluster.name]
-            cluster_activity[cluster.name] = ComponentActivity(
-                freq_hz=kres.freqs_hz[cluster.name],
-                busy_units=min(usage.busy_cores, float(cluster.n_cores)),
-                temp_k=temps[cluster.thermal_node],
-                powered=self.kernel.cluster_online(cluster.name),
-                idle_scale=self.kernel.idle_scale(cluster.name),
-            )
-            total_busy += usage.busy_cores
-            total_cores += cluster.n_cores
-        gpu_activity = ComponentActivity(
-            freq_hz=kres.freqs_hz[GPU_DOMAIN],
-            busy_units=min(kres.gpu.busy_fraction, 1.0),
-            temp_k=temps[self.platform.gpu.thermal_node],
-            idle_scale=self.kernel.idle_scale(GPU_DOMAIN),
-        )
-        mem_activity = min(
-            1.0,
-            0.25 * total_busy / max(total_cores, 1)
-            + 0.6 * kres.gpu.busy_fraction,
-        )
-        rails = self.kernel.power_model.rail_powers(
-            cluster_activity,
-            gpu_activity,
-            mem_activity,
-            temps[self.platform.memory.thermal_node],
-        )
-        rail_watts = {rail: sample.total_w for rail, sample in rails.items()}
-        soc_watts = dict(rail_watts)
-        if self.platform.board_power_w > 0.0:
-            rail_watts[BOARD_RAIL] = self.platform.board_power_w
-        battery_w = sum(rail_watts.values())
+            with self._ph_kernel:
+                kres = self.kernel.tick(now, dt)
+                self._dispatch(kres.completed_cpu_tags, gpu=False, now_s=now)
+                self._dispatch(kres.gpu.completed_tags, gpu=True, now_s=now)
 
-        self.thermal.step(rail_watts)
-        self.kernel.update_power_readings(soc_watts, dt)
-        self.energy.accumulate(rail_watts, dt)
-        if self.daq is not None:
-            self.daq.capture(now, dt, battery_w)
-        if self.battery is not None:
-            self.battery.drain(battery_w, dt)
+            with self._ph_power:
+                temps = self.thermal.temperatures_k()
+                cluster_activity = {}
+                total_busy = 0.0
+                total_cores = 0
+                for cluster in self.platform.clusters:
+                    usage = kres.usage[cluster.name]
+                    cluster_activity[cluster.name] = ComponentActivity(
+                        freq_hz=kres.freqs_hz[cluster.name],
+                        busy_units=min(usage.busy_cores, float(cluster.n_cores)),
+                        temp_k=temps[cluster.thermal_node],
+                        powered=self.kernel.cluster_online(cluster.name),
+                        idle_scale=self.kernel.idle_scale(cluster.name),
+                    )
+                    total_busy += usage.busy_cores
+                    total_cores += cluster.n_cores
+                gpu_activity = ComponentActivity(
+                    freq_hz=kres.freqs_hz[GPU_DOMAIN],
+                    busy_units=min(kres.gpu.busy_fraction, 1.0),
+                    temp_k=temps[self.platform.gpu.thermal_node],
+                    idle_scale=self.kernel.idle_scale(GPU_DOMAIN),
+                )
+                mem_activity = min(
+                    1.0,
+                    0.25 * total_busy / max(total_cores, 1)
+                    + 0.6 * kres.gpu.busy_fraction,
+                )
+                rails = self.kernel.power_model.rail_powers(
+                    cluster_activity,
+                    gpu_activity,
+                    mem_activity,
+                    temps[self.platform.memory.thermal_node],
+                )
+                rail_watts = {
+                    rail: sample.total_w for rail, sample in rails.items()
+                }
+                soc_watts = dict(rail_watts)
+                if self.platform.board_power_w > 0.0:
+                    rail_watts[BOARD_RAIL] = self.platform.board_power_w
+                battery_w = sum(rail_watts.values())
 
-        if self._record_timer.poll():
-            self._record(now, kres, rail_watts, battery_w)
+            with self._ph_thermal:
+                self.thermal.step(rail_watts)
 
-        self.clock.advance()
+            with self._ph_power:
+                self.kernel.update_power_readings(soc_watts, dt)
+                self.energy.accumulate(rail_watts, dt)
+                if self.daq is not None:
+                    self.daq.capture(now, dt, battery_w)
+                if self.battery is not None:
+                    self.battery.drain(battery_w, dt)
+
+            with self._ph_record:
+                self._m_steps.inc()
+                if self._record_timer.poll():
+                    self._record(now, kres, rail_watts, battery_w)
+                self.clock.advance()
 
     def _record(self, now, kres, rail_watts, battery_w) -> None:
+        max_temp_c = kelvin_to_celsius(self.thermal.max_temperature_k())
+        self._m_sim_time.set(now)
+        self._m_power.set(battery_w)
+        self._m_temp_max.set(max_temp_c)
         for node, temp_k in self.thermal.temperatures_k().items():
             self.traces.record(f"temp.{node}", now, kelvin_to_celsius(temp_k))
-        self.traces.record(
-            "temp.max", now, kelvin_to_celsius(self.thermal.max_temperature_k())
-        )
+        self.traces.record("temp.max", now, max_temp_c)
         for domain, freq in kres.freqs_hz.items():
             self.traces.record(f"freq.{domain}", now, freq / 1e6)
         for rail, watts in rail_watts.items():

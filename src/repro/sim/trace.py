@@ -16,12 +16,21 @@ from repro.errors import AnalysisError
 
 
 class TraceChannel:
-    """One named scalar time series."""
+    """One named scalar time series.
+
+    The numpy views returned by :attr:`times`/:attr:`values` are cached and
+    invalidated on :meth:`append` — analyses poll channels far more often
+    than the engine appends, and rebuilding the arrays was an O(n) copy per
+    access on hot channels.  The cached arrays are marked read-only so a
+    consumer cannot corrupt the shared copy.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self._times: list[float] = []
         self._values: list[float] = []
+        self._times_arr: np.ndarray | None = None
+        self._values_arr: np.ndarray | None = None
 
     def append(self, time_s: float, value: float) -> None:
         """Record ``value`` at ``time_s``; times must be non-decreasing."""
@@ -32,19 +41,27 @@ class TraceChannel:
             )
         self._times.append(float(time_s))
         self._values.append(float(value))
+        self._times_arr = None
+        self._values_arr = None
 
     def __len__(self) -> int:
         return len(self._times)
 
     @property
     def times(self) -> np.ndarray:
-        """Sample times in seconds."""
-        return np.asarray(self._times, dtype=float)
+        """Sample times in seconds (cached, read-only)."""
+        if self._times_arr is None:
+            self._times_arr = np.asarray(self._times, dtype=float)
+            self._times_arr.setflags(write=False)
+        return self._times_arr
 
     @property
     def values(self) -> np.ndarray:
-        """Sample values."""
-        return np.asarray(self._values, dtype=float)
+        """Sample values (cached, read-only)."""
+        if self._values_arr is None:
+            self._values_arr = np.asarray(self._values, dtype=float)
+            self._values_arr.setflags(write=False)
+        return self._values_arr
 
     def last(self) -> float:
         """Most recent value; raises if the channel is empty."""

@@ -60,7 +60,26 @@ def test_parser_lists_all_commands():
     assert set(sub.choices) >= {
         "table1", "table2", "fig7", "fig8", "fig9",
         "stability", "budget", "critical",
+        "advise", "describe", "metrics", "trace",
     }
+
+
+def test_epilog_names_every_command():
+    parser = build_parser()
+    sub = next(
+        a for a in parser._actions if hasattr(a, "choices") and a.choices
+    )
+    for name in sub.choices:
+        assert name in parser.epilog, f"epilog must mention {name!r}"
+
+
+def test_export_dir_flag_parses():
+    parser = build_parser()
+    for cmd in ("table1", "table2", "fig8", "fig9"):
+        args = parser.parse_args([cmd, "--export-dir", "/tmp/x"])
+        assert args.export_dir == "/tmp/x"
+        args = parser.parse_args([cmd])
+        assert args.export_dir is None
 
 
 def test_describe_command(capsys):
@@ -86,3 +105,53 @@ def test_advise_command(capsys):
 def test_advise_unknown_app():
     with pytest.raises(SystemExit):
         main(["advise", "--app", "tiktok"])
+
+
+def test_metrics_command(capsys):
+    main(["metrics", "--app", "hangouts", "--duration", "2"])
+    out = capsys.readouterr().out
+    assert "# TYPE repro_sim_steps_total counter" in out
+    assert "repro_sim_steps_total 200" in out
+    assert "repro_governor_decision_latency_seconds_bucket" in out
+
+
+def test_metrics_command_profile(capsys):
+    main(["metrics", "--app", "hangouts", "--duration", "1", "--profile"])
+    out = capsys.readouterr().out
+    assert "Step profile:" in out
+
+
+def test_trace_command(capsys):
+    main(["trace", "--app", "hangouts", "--duration", "2", "--limit", "5"])
+    out = capsys.readouterr().out
+    assert "# spans (last 5)" in out
+    assert "governor.update" in out
+    assert "# kernel events" in out
+    assert "sched: spawn" in out
+
+
+def test_metrics_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["metrics", "--app", "tiktok"])
+
+
+def test_table_export_dir(capsys, tmp_path, monkeypatch):
+    # Patch the heavy run helpers: the export plumbing is what's under test.
+    import repro.experiments.nexus as nexus
+    from repro.apps.catalog import make_app
+    from repro.kernel.kernel import KernelConfig
+    from repro.sim.engine import Simulation
+    from repro.soc.snapdragon810 import nexus6p
+
+    sim = Simulation(nexus6p(), [make_app("hangouts")],
+                     kernel_config=KernelConfig(), seed=3)
+    sim.run(1.0)
+    monkeypatch.setattr(nexus, "table1", lambda seed: [])
+    monkeypatch.setattr(nexus, "table1_runs", lambda seed: {"only": sim})
+    main(["table1", "--export-dir", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert f"exported to {tmp_path}" in out
+    assert (tmp_path / "manifest.json").exists()
+    assert (tmp_path / "metrics.prom").exists()
+    assert (tmp_path / "events.jsonl").exists()
+    assert (tmp_path / "only" / "traces").is_dir()

@@ -1,0 +1,67 @@
+"""docs/OBSERVABILITY.md must match what the code actually emits."""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.apps.catalog import make_app
+from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.snapdragon810 import nexus6p
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "OBSERVABILITY.md"
+
+#: Inline-code tokens that look like metric family names.
+_METRIC_RE = re.compile(r"`(repro_[a-z0-9_]+)`")
+
+
+@pytest.fixture(scope="module")
+def loaded_sim():
+    """A sim exercising every registration path: app + app-aware governor."""
+    sim = Simulation(nexus6p(), [make_app("hangouts")],
+                     kernel_config=KernelConfig(), seed=3)
+    governor = ApplicationAwareGovernor.for_simulation(sim, GovernorConfig())
+    for pid in sim.app("hangouts").pids():
+        governor.registry.register(pid, "hangouts")
+    governor.install(sim.kernel)
+    sim.run(1.0)
+    return sim
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/OBSERVABILITY.md is part of the obs contract"
+
+
+def test_metric_catalogue_matches_registry(loaded_sim):
+    documented = set(_METRIC_RE.findall(DOC.read_text()))
+    emitted = set(loaded_sim.metrics.names())
+    missing = emitted - documented
+    stale = documented - emitted
+    assert not missing, f"registered but undocumented: {sorted(missing)}"
+    assert not stale, f"documented but never registered: {sorted(stale)}"
+
+
+def test_catalogue_is_registered_eagerly(loaded_sim):
+    """The family list must not depend on which events happened to fire."""
+    sim = Simulation(nexus6p(), [make_app("hangouts")],
+                     kernel_config=KernelConfig(), seed=3)
+    governor = ApplicationAwareGovernor.for_simulation(sim, GovernorConfig())
+    for pid in sim.app("hangouts").pids():
+        governor.registry.register(pid, "hangouts")
+    governor.install(sim.kernel)
+    # No run() at all: everything is registered at construction/install.
+    assert sim.metrics.names() == loaded_sim.metrics.names()
+
+
+def test_span_taxonomy_documented(loaded_sim):
+    text = DOC.read_text()
+    for name in ("governor.update", "thermal.zone_poll", "thermal.trip",
+                 "thermal.cooling_state", "hotplug.transition",
+                 "sched.migrate", "app_governor.run"):
+        assert f"`{name}`" in text
+    # Every span name actually emitted must be in the documented taxonomy.
+    emitted = {s.name for s in loaded_sim.spans.spans()}
+    for name in emitted:
+        assert f"`{name}`" in text, f"span {name!r} missing from the doc"

@@ -1,0 +1,175 @@
+"""Exporters: Prometheus text, JSONL events, CSVs, run bundles."""
+
+import csv
+import json
+
+import pytest
+
+from repro.apps.catalog import make_app
+from repro.errors import AnalysisError
+from repro.kernel.kernel import KernelConfig
+from repro.kernel.tracing import EventTracer
+from repro.obs.exporters import (
+    export_run_set,
+    export_simulation,
+    iter_event_dicts,
+    prometheus_text,
+    read_events_jsonl,
+    write_channel_csvs,
+    write_events_jsonl,
+)
+from repro.obs.manifest import build_manifest, read_manifest, write_manifest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.sim.engine import Simulation
+from repro.sim.trace import TraceRecorder
+from repro.soc.snapdragon810 import nexus6p
+
+
+@pytest.fixture(scope="module")
+def short_sim():
+    sim = Simulation(nexus6p(), [make_app("hangouts")],
+                     kernel_config=KernelConfig(), seed=3)
+    sim.run(2.0)
+    return sim
+
+
+# ------------------------------------------------------------- prometheus
+
+
+def test_prometheus_text_counters_and_help():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", "help text", labels={"d": "a"}).inc(3)
+    text = prometheus_text(reg)
+    assert "# HELP repro_x_total help text" in text
+    assert "# TYPE repro_x_total counter" in text
+    assert 'repro_x_total{d="a"} 3' in text
+
+
+def test_prometheus_text_histogram_exposition():
+    reg = MetricsRegistry()
+    reg.histogram("repro_h_seconds", buckets=(0.5,)).observe(0.1)
+    text = prometheus_text(reg)
+    assert 'repro_h_seconds_bucket{le="0.5"} 1' in text
+    assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+    assert "repro_h_seconds_sum 0.1" in text
+    assert "repro_h_seconds_count 1" in text
+
+
+def test_prometheus_text_extra_labels_and_escaping():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", labels={"app": 'we"ird\\'}).inc()
+    text = prometheus_text(reg, extra_labels={"run": "r1"})
+    assert 'run="r1"' in text
+    assert 'app="we\\"ird\\\\"' in text
+
+
+def test_prometheus_text_declared_family_gets_header():
+    reg = MetricsRegistry()
+    reg.declare("repro_rare_total", "counter", "may never fire")
+    text = prometheus_text(reg)
+    assert "# TYPE repro_rare_total counter" in text
+
+
+# ----------------------------------------------------------------- events
+
+
+def test_events_jsonl_round_trip(tmp_path):
+    spans = SpanTracer()
+    with spans.span("governor.update", domain="a57"):
+        pass
+    tracer = EventTracer()
+    tracer.emit(0.5, "sched", "spawn", "pid=1")
+    path = write_events_jsonl(tmp_path / "events.jsonl", spans=spans,
+                              tracer=tracer, run="r1")
+    records = read_events_jsonl(path)
+    assert len(records) == 2
+    kinds = {r["kind"] for r in records}
+    assert kinds == {"span", "event"}
+    assert all(r["run"] == "r1" for r in records)
+    event = next(r for r in records if r["kind"] == "event")
+    assert event["name"] == "sched.spawn"
+    assert event["detail"] == "pid=1"
+
+
+def test_iter_event_dicts_sorted_by_sim_time():
+    tracer = EventTracer()
+    tracer.emit(2.0, "s", "late")
+    tracer.emit(1.0, "s", "early")
+    times = [r["sim_time_s"] for r in iter_event_dicts(tracer=tracer)]
+    assert times == sorted(times)
+
+
+# ------------------------------------------------------------------- CSVs
+
+
+def test_write_channel_csvs(tmp_path):
+    traces = TraceRecorder()
+    traces.record("power.total", 0.0, 1.5)
+    traces.record("power.total", 0.1, 2.5)
+    (path,) = write_channel_csvs(traces, tmp_path)
+    assert path.name == "power.total.csv"
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["time_s", "power.total"]
+    assert float(rows[1][1]) == 1.5
+    assert len(rows) == 3
+
+
+# --------------------------------------------------------------- manifests
+
+
+def test_manifest_content(short_sim, tmp_path):
+    manifest = build_manifest(short_sim, label="t", extra={"command": "x"})
+    assert manifest["platform"] == "nexus6p"
+    assert manifest["seed"] == 3
+    assert manifest["dt_s"] == 0.01
+    assert manifest["duration_s"] == pytest.approx(2.0)
+    assert manifest["apps"] == ["hangouts"]
+    assert manifest["command"] == "x"
+    assert "repro_sim_steps_total" in manifest["metric_families"]
+    assert isinstance(manifest["kernel_config"], dict)
+    path = write_manifest(manifest, tmp_path / "manifest.json")
+    assert read_manifest(path) == manifest
+
+
+# -------------------------------------------------------------- run dumps
+
+
+def test_export_simulation_writes_bundle(short_sim, tmp_path):
+    out = export_simulation(short_sim, tmp_path / "run", label="r")
+    assert (tmp_path / "run" / "manifest.json").exists()
+    assert (tmp_path / "run" / "metrics.prom").exists()
+    assert (tmp_path / "run" / "events.jsonl").exists()
+    assert out["traces"], "at least one channel CSV"
+    assert all(p.exists() for p in out["traces"])
+    text = (tmp_path / "run" / "metrics.prom").read_text()
+    assert "repro_sim_steps_total 200" in text
+
+
+def test_export_run_set_merges(short_sim, tmp_path):
+    out = export_run_set({"a": short_sim, "b": short_sim}, tmp_path,
+                         command="test", seed=3)
+    merged = read_manifest(tmp_path / "manifest.json")
+    assert merged["schema"].endswith("+set")
+    assert sorted(merged["runs"]) == ["a", "b"]
+    assert merged["command"] == "test"
+    prom = (tmp_path / "metrics.prom").read_text()
+    assert 'run="a"' in prom and 'run="b"' in prom
+    for record in read_events_jsonl(tmp_path / "events.jsonl"):
+        assert record["run"] in ("a", "b")
+    assert (tmp_path / "a" / "traces").is_dir()
+    assert set(out["runs"]) == {"a", "b"}
+
+
+def test_export_run_set_empty_raises(tmp_path):
+    with pytest.raises(AnalysisError):
+        export_run_set({}, tmp_path)
+
+
+def test_events_jsonl_lines_are_json(short_sim, tmp_path):
+    path = write_events_jsonl(tmp_path / "e.jsonl", spans=short_sim.spans,
+                              tracer=short_sim.kernel.tracer)
+    with path.open() as handle:
+        for line in handle:
+            json.loads(line)

@@ -1,0 +1,159 @@
+"""Metrics registry: counters, gauges, histograms, families."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import (
+    FRAME_TIME_BUCKETS_S,
+    LATENCY_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_increments():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_things_total", "things")
+    c.inc()
+    c.inc(2.5)
+    assert reg.value("repro_things_total") == 3.5
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.counter("repro_things_total").inc(-1.0)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_level")
+    g.set(10.0)
+    g.inc(2.0)
+    g.dec(5.0)
+    assert reg.value("repro_level") == 7.0
+
+
+def test_labeled_children_are_distinct():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_x_total", labels={"domain": "a57"})
+    b = reg.counter("repro_x_total", labels={"domain": "a53"})
+    a.inc()
+    assert reg.value("repro_x_total", {"domain": "a57"}) == 1.0
+    assert reg.value("repro_x_total", {"domain": "a53"}) == 0.0
+    assert len(reg.children("repro_x_total")) == 2
+    # same labels -> same child object
+    assert reg.counter("repro_x_total", labels={"domain": "a57"}) is a
+    assert b is not a
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.counter("bad name")
+    with pytest.raises(ConfigurationError):
+        reg.counter("repro_ok_total", labels={"bad-label": "x"})
+
+
+def test_kind_conflict_rejected():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total")
+    with pytest.raises(ConfigurationError):
+        reg.gauge("repro_x_total")
+
+
+def test_histogram_bucket_counts_are_cumulative():
+    h = Histogram(buckets=(1.0, 2.0, 5.0))
+    for v in (0.5, 1.5, 1.5, 4.0, 100.0):
+        h.observe(v)
+    counts = h.bucket_counts()
+    assert counts[1.0] == 1
+    assert counts[2.0] == 3
+    assert counts[5.0] == 4
+    assert counts[math.inf] == 5
+    assert h.count == 5
+    assert h.sum == pytest.approx(107.5)
+
+
+def test_histogram_boundary_value_lands_in_its_bucket():
+    # le is an upper bound: observe(1.0) must count under le="1".
+    h = Histogram(buckets=(1.0, 2.0))
+    h.observe(1.0)
+    assert h.bucket_counts()[1.0] == 1
+
+
+def test_histogram_bucket_validation():
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=())
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=(2.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=(1.0, 1.0))
+    with pytest.raises(ConfigurationError):
+        Histogram(buckets=(1.0, math.inf))
+
+
+def test_histogram_default_buckets_and_reuse():
+    reg = MetricsRegistry()
+    h1 = reg.histogram("repro_lat_seconds")
+    assert h1.buckets == tuple(float(b) for b in LATENCY_BUCKETS_S)
+    # A later call without buckets reuses the family's buckets.
+    reg2 = MetricsRegistry()
+    reg2.histogram("repro_ft_seconds", buckets=FRAME_TIME_BUCKETS_S,
+                   labels={"app": "a"})
+    h2 = reg2.histogram("repro_ft_seconds", labels={"app": "b"})
+    assert h2.buckets == tuple(float(b) for b in FRAME_TIME_BUCKETS_S)
+    with pytest.raises(ConfigurationError):
+        reg2.histogram("repro_ft_seconds", buckets=(1.0, 2.0))
+
+
+def test_histogram_samples_shape():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_h_seconds", buckets=(1.0,))
+    h.observe(0.5)
+    names = [s[1] for s in reg.collect()]
+    assert names == [
+        "repro_h_seconds_bucket",  # le="1"
+        "repro_h_seconds_bucket",  # le="+Inf"
+        "repro_h_seconds_sum",
+        "repro_h_seconds_count",
+    ]
+
+
+def test_declare_registers_family_without_children():
+    reg = MetricsRegistry()
+    reg.declare("repro_rare_total", "counter", "rarely fires")
+    assert "repro_rare_total" in reg
+    assert reg.kind("repro_rare_total") == "counter"
+    assert reg.children("repro_rare_total") == []
+    with pytest.raises(ConfigurationError):
+        reg.declare("repro_other", "timer")
+
+
+def test_declared_histogram_buckets_survive():
+    reg = MetricsRegistry()
+    reg.declare("repro_d_seconds", "histogram", buckets=(1.0, 2.0))
+    h = reg.histogram("repro_d_seconds")
+    assert h.buckets == (1.0, 2.0)
+
+
+def test_value_on_histogram_raises():
+    reg = MetricsRegistry()
+    reg.histogram("repro_h_seconds", buckets=(1.0,))
+    with pytest.raises(ConfigurationError):
+        reg.value("repro_h_seconds")
+
+
+def test_get_missing_raises():
+    reg = MetricsRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.get("repro_absent_total")
+
+
+def test_names_sorted():
+    reg = MetricsRegistry()
+    reg.counter("repro_b_total")
+    reg.counter("repro_a_total")
+    assert reg.names() == ["repro_a_total", "repro_b_total"]

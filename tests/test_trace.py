@@ -88,3 +88,25 @@ def test_resample_zoh_before_first_sample():
 def test_resample_zoh_empty_raises():
     with pytest.raises(AnalysisError):
         resample_zoh([], [], np.array([0.0]))
+
+
+def test_channel_arrays_cached_until_append():
+    tr = TraceRecorder()
+    tr.record("x", 0.0, 1.0)
+    ch = tr.channel("x")
+    first = ch.times
+    assert ch.times is first, "repeat access must reuse the cached array"
+    assert ch.values is ch.values
+    tr.record("x", 1.0, 2.0)
+    assert ch.times is not first, "append must invalidate the cache"
+    assert list(ch.times) == [0.0, 1.0]
+
+
+def test_channel_arrays_read_only():
+    tr = TraceRecorder()
+    tr.record("x", 0.0, 1.0)
+    ch = tr.channel("x")
+    with pytest.raises(ValueError):
+        ch.times[0] = 99.0
+    with pytest.raises(ValueError):
+        ch.values[0] = 99.0

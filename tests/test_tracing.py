@@ -48,6 +48,46 @@ def test_capacity_validation():
         EventTracer(capacity=0)
 
 
+def test_wraparound_keeps_newest_and_filters():
+    tracer = EventTracer(capacity=3)
+    for i in range(10):
+        tracer.emit(float(i), "s" if i % 2 else "t", f"e{i}")
+    assert len(tracer) == 3
+    assert tracer.dropped == 7
+    assert [e.event for e in tracer.events()] == ["e7", "e8", "e9"]
+    # filters apply to the surviving window only
+    assert [e.event for e in tracer.events(source="s")] == ["e7", "e9"]
+
+
+def test_tracer_metrics_wiring():
+    from repro.obs.metrics import MetricsRegistry
+
+    metrics = MetricsRegistry()
+    tracer = EventTracer(capacity=2, metrics=metrics)
+    tracer.emit(0.0, "s", "a")
+    assert metrics.value("repro_tracer_events_total") == 1.0
+    assert metrics.value("repro_tracer_buffer_occupancy") == 1.0
+    assert metrics.value("repro_tracer_buffer_capacity") == 2.0
+    tracer.emit(0.1, "s", "b")
+    tracer.emit(0.2, "s", "c")  # drops "a"
+    assert metrics.value("repro_tracer_events_dropped_total") == 1.0
+    assert metrics.value("repro_tracer_buffer_occupancy") == 2.0
+    tracer.clear()
+    assert metrics.value("repro_tracer_buffer_occupancy") == 0.0
+
+
+def test_tracer_warns_once_on_first_drop(caplog):
+    import logging
+
+    tracer = EventTracer(capacity=1)
+    with caplog.at_level(logging.WARNING, logger="repro.kernel.tracing"):
+        tracer.emit(0.0, "s", "a")
+        tracer.emit(0.1, "s", "b")
+        tracer.emit(0.2, "s", "c")
+    drops = [m for m in caplog.messages if "dropped" in m]
+    assert len(drops) == 1
+
+
 def test_kernel_emits_spawn_and_migrate():
     bml = basicmath_large()
     sim = Simulation(odroid_xu3(), [bml], kernel_config=KernelConfig(), seed=1)
