@@ -1,0 +1,15 @@
+# Convenience targets mirroring the CI pipeline (.github/workflows/ci.yml).
+# Everything runs from the source tree via PYTHONPATH, no install required.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint test check
+
+lint:
+	$(PYTHON) -m repro lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test

@@ -12,6 +12,7 @@ from repro.analysis.residency import residency_fractions
 from repro.analysis.tables import render_table
 from repro.errors import AnalysisError
 from repro.sim.engine import Simulation
+from repro.units import kelvin_to_celsius, khz_to_mhz
 
 
 def _temperature_section(sim: Simulation) -> list[str]:
@@ -45,7 +46,10 @@ def _residency_section(sim: Simulation) -> list[str]:
         except AnalysisError:
             continue
         top = sorted(residency.items(), key=lambda kv: -kv[1])[:3]
-        cells = ", ".join(f"{khz // 1000} MHz: {frac * 100.0:.0f}%" for khz, frac in top)
+        cells = ", ".join(
+            f"{int(khz_to_mhz(khz))} MHz: {frac * 100.0:.0f}%"
+            for khz, frac in top
+        )
         lines.append(f"- **{domain}**: {cells}")
     return lines
 
@@ -77,7 +81,7 @@ def summarize_run(sim: Simulation, title: str = "Simulation report") -> str:
         "",
         f"Platform: **{sim.platform.name}**, duration: "
         f"**{sim.now_s:.1f} s**, ambient: "
-        f"**{sim.thermal.ambient_k - 273.15:.1f} degC**",
+        f"**{kelvin_to_celsius(sim.thermal.ambient_k):.1f} degC**",
         "",
     ]
     lines += _temperature_section(sim) + [""]

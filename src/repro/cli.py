@@ -10,7 +10,11 @@ Commands regenerate the paper's artefacts or run one-off analyses:
 * ``advise --app A`` — profile a catalog app and print tuning advice;
 * ``describe --platform P`` — dump a platform's thermal RC network;
 * ``metrics --app A`` — run an app and print its Prometheus metrics;
-* ``trace --app A`` — run an app and print its span/ftrace event log.
+* ``trace --app A`` — run an app and print its span/ftrace event log;
+* ``lint`` — domain-aware static analysis over ``src/repro`` (unit
+  discipline, determinism, sysfs contract, float hygiene); exits non-zero
+  on findings that are neither suppressed nor baselined.  See
+  ``docs/STATIC_ANALYSIS.md``.
 
 ``table1``/``table2``/``fig8``/``fig9`` accept ``--export-dir DIR`` to dump
 each underlying run's full observability bundle — ``manifest.json``,
@@ -205,6 +209,28 @@ def _cmd_trace(args: argparse.Namespace) -> str:
     return "\n\n".join(sections) if sections else "(no spans or events)"
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import all_rules, run_lint, update_baseline
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"      {rule.rationale}")
+        return 0
+    report = run_lint(
+        targets=args.paths or None,
+        baseline_path=args.baseline,
+        use_baseline=not args.no_baseline,
+    )
+    if args.update_baseline:
+        count = update_baseline(report, baseline_path=args.baseline)
+        print(f"baseline updated: {count} entr(ies)")
+        return 0
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return 0 if report.ok else 1
+
+
 def _cmd_critical(args: argparse.Namespace) -> str:
     return (
         f"Critical power (Odroid-XU3, fan off): "
@@ -226,6 +252,7 @@ commands:
   describe   dump a platform's thermal RC network
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
+  lint       static analysis: units, determinism, sysfs paths, float ==
 """
 
 
@@ -274,6 +301,23 @@ def build_parser() -> argparse.ArgumentParser:
     advise_cmd.add_argument("--seed", type=int, default=3)
     advise_cmd.set_defaults(fn=_cmd_advise)
 
+    lint_cmd = sub.add_parser("lint")
+    lint_cmd.add_argument("paths", nargs="*",
+                          help="files/dirs to lint (default: the repro "
+                               "package)")
+    lint_cmd.add_argument("--format", choices=("text", "json"),
+                          default="text")
+    lint_cmd.add_argument("--baseline", default=None,
+                          help="baseline file (default: the checked-in "
+                               "src/repro/lint/baseline.json)")
+    lint_cmd.add_argument("--no-baseline", action="store_true",
+                          help="report every finding, ignoring the baseline")
+    lint_cmd.add_argument("--update-baseline", action="store_true",
+                          help="grandfather the current findings and exit 0")
+    lint_cmd.add_argument("--list-rules", action="store_true",
+                          help="print the rule catalogue and exit")
+    lint_cmd.set_defaults(fn=_cmd_lint)
+
     describe_cmd = sub.add_parser("describe")
     describe_cmd.add_argument("--platform", required=True,
                               help="nexus6p or odroid-xu3")
@@ -296,10 +340,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Command functions either return the text to print (exit code 0) or —
+    for commands with meaningful exit codes, like ``lint`` — print their
+    own output and return the code as an int.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    print(args.fn(args))
+    result = args.fn(args)
+    if isinstance(result, int):
+        return result
+    print(result)
     return 0
 
 

@@ -33,7 +33,12 @@ from repro.core.stability import LumpedThermalParams
 from repro.core.time_to_fixed_point import time_to_temperature_s
 from repro.errors import ConfigurationError, SysfsError
 from repro.kernel.kernel import UserspaceApi
-from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.units import (
+    celsius_to_kelvin,
+    kelvin_to_celsius,
+    millicelsius_to_celsius,
+    milliseconds_to_seconds,
+)
 
 
 @dataclass(frozen=True)
@@ -218,7 +223,7 @@ class ApplicationAwareGovernor:
         return powers
 
     def _read_temp_c(self) -> float:
-        return self._api.fs.read_int(self._temp_path) / 1000.0
+        return millicelsius_to_celsius(self._api.fs.read_int(self._temp_path))
 
     def _snapshot_utilization(self, now_s: float) -> None:
         runtime: dict[int, float] = {}
@@ -237,7 +242,7 @@ class ApplicationAwareGovernor:
                     cl = line.split(":", 1)[1].strip()
             if rt_ms is None or cl is None:
                 continue
-            runtime[pid] = rt_ms / 1000.0
+            runtime[pid] = milliseconds_to_seconds(rt_ms)
             cluster[pid] = cl
         self._samples.append(_UtilSample(now_s, runtime, cluster))
         horizon = now_s - self.config.window_s - 1e-9

@@ -22,6 +22,7 @@ from repro.apps.frames import FpsMeter
 from repro.errors import ConfigurationError
 from repro.kernel.kernel import GPU_DOMAIN, UserspaceApi
 from repro.kernel.wiring import policy_dir
+from repro.units import millicelsius_to_celsius
 
 
 @dataclass(frozen=True)
@@ -173,7 +174,9 @@ class QosController:
         if now_s < self.config.fps_window_s:
             return  # no complete FPS window yet
         fps = self._achieved_fps(now_s)
-        temp_c = self._api.fs.read_int(self._temp_path) / 1000.0
+        temp_c = millicelsius_to_celsius(
+            self._api.fs.read_int(self._temp_path)
+        )
         err = (self.config.target_fps - fps) / self.config.target_fps
         if temp_c > self.config.t_limit_c - self.config.thermal_margin_c:
             direction = "thermal_down"

@@ -14,6 +14,7 @@ from functools import lru_cache
 
 from repro.experiments.nexus import DEFAULT_SEED, run_app
 from repro.apps.catalog import popular_app_names
+from repro.units import joules_to_millijoules
 
 
 @dataclass(frozen=True)
@@ -44,11 +45,11 @@ def power_study(seed: int = DEFAULT_SEED) -> tuple[PowerRow, ...]:
                 app=name,
                 power_without_w=base.mean_power_w,
                 power_with_w=throttled.mean_power_w,
-                energy_per_frame_without_mj=(
-                    base.mean_power_w / base.median_fps * 1000.0
+                energy_per_frame_without_mj=joules_to_millijoules(
+                    base.mean_power_w / base.median_fps
                 ),
-                energy_per_frame_with_mj=(
-                    throttled.mean_power_w / throttled.median_fps * 1000.0
+                energy_per_frame_with_mj=joules_to_millijoules(
+                    throttled.mean_power_w / throttled.median_fps
                 ),
             )
         )

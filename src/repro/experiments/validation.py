@@ -20,7 +20,7 @@ from repro.core.fixed_point import StabilityClass, analyze
 from repro.kernel.kernel import KernelConfig
 from repro.sim.engine import Simulation
 from repro.soc.exynos5422 import odroid_xu3
-from repro.units import kelvin_to_celsius
+from repro.units import kelvin_to_celsius, mhz
 
 DEFAULT_SEED = 3
 RUNAWAY_STOP_C = 150.0
@@ -64,7 +64,7 @@ def _run_point(
         ),
         seed=seed,
     )
-    sim.kernel.userspace_set_speed("a15", freq_mhz * 1e6)
+    sim.kernel.userspace_set_speed("a15", mhz(freq_mhz))
     sim.kernel.userspace_set_speed("a7", 200e6)
 
     def too_hot(s: Simulation) -> bool:

@@ -575,7 +575,9 @@ class Kernel:
                     )
                 self._m_gov_updates[domain].inc()
                 self._m_gov_latency[domain].observe(elapsed_s)
-                if policy.cur_freq_hz != before_hz:
+                # Snapshot identity check: either the governor changed the
+                # frequency or it did not; no arithmetic dust can creep in.
+                if policy.cur_freq_hz != before_hz:  # repro-lint: disable=R401
                     self._m_gov_freq_changes[domain].inc()
         for name, timer in self._zone_timers.items():
             if timer.poll():

@@ -148,3 +148,7 @@ class VirtualFs:
     def paths(self) -> Iterable[str]:
         """All static paths (for introspection/tests)."""
         return sorted(self._nodes)
+
+    def resolver_prefixes(self) -> list[str]:
+        """Prefixes served by dynamic resolvers (for introspection/lint)."""
+        return sorted(prefix for prefix, _resolver in self._resolvers)

@@ -122,7 +122,7 @@ class Task:
         """
         if cycles < 0.0:
             raise SchedulingError(f"task {self.name!r}: negative consumption")
-        if cycles == 0.0:
+        if cycles <= 0.0:
             return []
         completed = []
         remaining = cycles

@@ -21,7 +21,13 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SysfsError
 from repro.kernel.sysfs import SysfsNode, VirtualFs
-from repro.units import khz_to_hz
+from repro.units import (
+    celsius_to_millicelsius,
+    hz_to_khz,
+    khz_to_hz,
+    seconds_to_microseconds,
+    seconds_to_milliseconds,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.kernel.kernel import Kernel
@@ -73,7 +79,7 @@ def _wire_cpufreq(fs: VirtualFs, kernel: "Kernel") -> None:
         )
         fs.register(
             f"{base}/scaling_cur_freq",
-            getter=lambda p=policy: str(int(round(p.cur_freq_hz / 1e3))),
+            getter=lambda p=policy: str(hz_to_khz(p.cur_freq_hz)),
         )
         fs.register(
             f"{base}/scaling_governor",
@@ -82,14 +88,14 @@ def _wire_cpufreq(fs: VirtualFs, kernel: "Kernel") -> None:
         )
         fs.register(
             f"{base}/scaling_min_freq",
-            getter=lambda p=policy: str(int(round(p.user_min_hz / 1e3))),
+            getter=lambda p=policy: str(hz_to_khz(p.user_min_hz)),
             setter=lambda v, p=policy: p.set_user_limits(
                 khz_to_hz(int(v)), p.user_max_hz
             ),
         )
         fs.register(
             f"{base}/scaling_max_freq",
-            getter=lambda p=policy: str(int(round(p.user_max_hz / 1e3))),
+            getter=lambda p=policy: str(hz_to_khz(p.user_max_hz)),
             setter=lambda v, p=policy: p.set_user_limits(
                 p.user_min_hz, khz_to_hz(int(v))
             ),
@@ -120,9 +126,11 @@ def _wire_cpufreq(fs: VirtualFs, kernel: "Kernel") -> None:
             fs.register_value(f"{idle_base}/name", state.name)
             fs.register(
                 f"{idle_base}/time",
-                getter=lambda d=name, n=state.name: str(
-                    int(kernel.idle_governors[d].residency_s(n) * 1e6)
-                ),
+                getter=lambda d=name, n=state.name: str(int(
+                    seconds_to_microseconds(
+                        kernel.idle_governors[d].residency_s(n)
+                    )
+                )),
             )
             fs.register(
                 f"{idle_base}/usage",
@@ -187,10 +195,12 @@ def _wire_thermal(fs: VirtualFs, kernel: "Kernel") -> None:
         )
         for j, trip in enumerate(zone.trips):
             fs.register_value(
-                f"{base}/trip_point_{j}_temp", str(int(trip.temp_c * 1000))
+                f"{base}/trip_point_{j}_temp",
+                str(celsius_to_millicelsius(trip.temp_c)),
             )
             fs.register_value(
-                f"{base}/trip_point_{j}_hyst", str(int(trip.hyst_c * 1000))
+                f"{base}/trip_point_{j}_hyst",
+                str(celsius_to_millicelsius(trip.hyst_c)),
             )
             fs.register_value(f"{base}/trip_point_{j}_type", trip.trip_type)
     for i, device in enumerate(kernel.cooling_devices):
@@ -249,7 +259,7 @@ def _wire_proc(fs: VirtualFs, kernel: "Kernel") -> None:
             return SysfsNode(getter=stat)
         if leaf == "sched":
             def sched(t=task) -> str:
-                runtime_ms = t.total_core_seconds() * 1000.0
+                runtime_ms = seconds_to_milliseconds(t.total_core_seconds())
                 lines = [
                     f"{t.name} ({t.pid}, #threads: {t.n_threads})",
                     f"se.sum_exec_runtime : {runtime_ms:.6f}",

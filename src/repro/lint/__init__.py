@@ -1,0 +1,40 @@
+"""``repro.lint`` — domain-aware static analysis for this reproduction.
+
+Four rule families guard the invariants the physics depends on:
+
+* **R1 units** — all kelvin/millidegree/kHz conversions go through
+  :mod:`repro.units` (no ad-hoc ``* 1000`` / ``273.15`` arithmetic);
+* **R2 determinism** — entropy comes from ``sim/rng.py`` streams and
+  time from the sim clock, never the wall clock or global RNGs;
+* **R3 sysfs contract** — every ``/sys``/``/proc`` path a controller
+  touches matches a node the kernel wiring actually registers;
+* **R4 float hygiene** — no exact ``==``/``!=`` between floats in the
+  numerical core.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, suppression
+syntax and the baseline workflow.
+"""
+
+from repro.lint.baseline import DEFAULT_BASELINE, BaselineEntry
+from repro.lint.engine import (
+    LintReport,
+    lint_file,
+    package_root,
+    run_lint,
+    update_baseline,
+)
+from repro.lint.finding import Finding
+from repro.lint.rules import all_rules, get_rule
+
+__all__ = [
+    "DEFAULT_BASELINE",
+    "BaselineEntry",
+    "Finding",
+    "LintReport",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "package_root",
+    "run_lint",
+    "update_baseline",
+]

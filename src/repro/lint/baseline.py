@@ -1,0 +1,139 @@
+"""Grandfathered-finding baseline.
+
+The baseline lets the linter land with the tree it audits: findings that
+are deliberate (with a recorded justification) are checked in here and
+reported as ``[baselined]`` instead of failing the run.  Matching is by
+``(rule, path, source-line text, occurrence)`` — *not* line number — so
+unrelated edits above a grandfathered line do not invalidate it, while
+any edit to the line itself (or fixing it) expires the entry and forces
+the baseline to be re-examined.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.finding import Finding
+
+#: Default checked-in baseline, shipped next to the engine.
+DEFAULT_BASELINE = pathlib.Path(__file__).with_name("baseline.json")
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    context: str  # stripped source line the finding sits on
+    occurrence: int = 0  # among identical (rule, path, context) findings
+    justification: str = ""
+
+    @property
+    def key(self) -> tuple:
+        return (self.rule, self.path, self.context, self.occurrence)
+
+    def to_json(self) -> dict:
+        out = {
+            "rule": self.rule,
+            "path": self.path,
+            "context": self.context,
+            "justification": self.justification,
+        }
+        if self.occurrence:
+            out["occurrence"] = self.occurrence
+        return out
+
+
+def _finding_keys(findings: Sequence[Finding]) -> list[tuple]:
+    """Baseline keys for ``findings``, occurrence-disambiguated."""
+    seen: dict[tuple, int] = {}
+    keys = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+        base = (f.rule, f.path, f.snippet)
+        n = seen.get(base, 0)
+        seen[base] = n + 1
+        keys.append((f, base + (n,)))
+    return keys
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of reconciling findings against a baseline."""
+
+    new: list
+    baselined: list
+    stale: list  # entries whose finding no longer exists
+
+
+def load(path: pathlib.Path | str) -> list[BaselineEntry]:
+    """Read a baseline file (missing file => empty baseline)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"unreadable baseline {path}: {exc}") from None
+    if data.get("version") != _VERSION:
+        raise ConfigurationError(
+            f"baseline {path}: unsupported version {data.get('version')!r}"
+        )
+    entries = []
+    for raw in data.get("entries", []):
+        entries.append(BaselineEntry(
+            rule=raw["rule"],
+            path=raw["path"],
+            context=raw["context"],
+            occurrence=int(raw.get("occurrence", 0)),
+            justification=raw.get("justification", ""),
+        ))
+    return entries
+
+
+def save(
+    path: pathlib.Path | str, entries: Iterable[BaselineEntry]
+) -> None:
+    """Write a baseline file (sorted, stable formatting)."""
+    ordered = sorted(entries, key=lambda e: e.key)
+    payload = {
+        "version": _VERSION,
+        "entries": [e.to_json() for e in ordered],
+    }
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def reconcile(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> BaselineMatch:
+    """Split findings into new vs baselined; report stale entries."""
+    remaining = {e.key: e for e in entries}
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding, key in _finding_keys(findings):
+        if key in remaining:
+            del remaining[key]
+            baselined.append(finding.as_baselined())
+        else:
+            new.append(finding)
+    stale = [remaining[k] for k in sorted(remaining)]
+    return BaselineMatch(new=new, baselined=baselined, stale=stale)
+
+
+def entries_for(
+    findings: Sequence[Finding], justification: str = "grandfathered"
+) -> list[BaselineEntry]:
+    """Baseline entries that would accept ``findings`` as-is."""
+    return [
+        BaselineEntry(
+            rule=key[0], path=key[1], context=key[2], occurrence=key[3],
+            justification=justification,
+        )
+        for _f, key in _finding_keys(findings)
+    ]

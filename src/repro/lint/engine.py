@@ -1,0 +1,248 @@
+"""The lint engine: file walking, suppression, baseline, reporting.
+
+Usage (programmatic)::
+
+    from repro.lint import run_lint
+    report = run_lint()          # scan src/repro with the full catalogue
+    assert report.ok, report.render_text()
+
+The CLI (``repro lint``) is a thin wrapper in ``repro.cli``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import repro
+from repro.errors import ConfigurationError
+from repro.lint import baseline as baseline_mod
+from repro.lint.finding import Finding
+from repro.lint.rules import FileContext, Rule, all_rules
+
+# Suppression comment grammar (always a trailing comment, hash elided
+# here so the engine does not match its own documentation):
+#   ``repro-lint: disable=R102`` on the offending line,
+#   ``repro-lint: disable-next-line=R401`` on the line above it,
+#   ``repro-lint: disable-file=R301`` within the first 10 lines.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line|disable-file)"
+    r"=([A-Za-z0-9,\s]+)"
+)
+
+_FILE_SCOPE_LINES = 10
+
+
+def package_root() -> pathlib.Path:
+    """Directory of the installed ``repro`` package (default scan root)."""
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+def _parse_rule_ids(raw: str) -> frozenset[str]:
+    ids = frozenset(tok.strip().upper() for tok in raw.split(",") if tok.strip())
+    for rule_id in ids:
+        if rule_id != "ALL" and not re.fullmatch(r"R\d+", rule_id):
+            raise ConfigurationError(
+                f"malformed rule id {rule_id!r} in suppression comment"
+            )
+    return ids
+
+
+@dataclass
+class _Suppressions:
+    by_line: dict[int, frozenset]
+    file_wide: frozenset
+
+    def active(self, line: int) -> frozenset:
+        return self.by_line.get(line, frozenset()) | self.file_wide
+
+    def suppresses(self, finding: Finding) -> bool:
+        ids = self.active(finding.line)
+        return "ALL" in ids or finding.rule in ids
+
+
+def _collect_suppressions(lines: Sequence[str]) -> _Suppressions:
+    by_line: dict[int, frozenset] = {}
+    file_wide: frozenset = frozenset()
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        kind, raw_ids = match.groups()
+        ids = _parse_rule_ids(raw_ids)
+        if kind == "disable":
+            by_line[lineno] = by_line.get(lineno, frozenset()) | ids
+        elif kind == "disable-next-line":
+            by_line[lineno + 1] = by_line.get(lineno + 1, frozenset()) | ids
+        elif kind == "disable-file":
+            if lineno > _FILE_SCOPE_LINES:
+                raise ConfigurationError(
+                    f"disable-file on line {lineno}: file-wide suppressions "
+                    f"must sit in the first {_FILE_SCOPE_LINES} lines"
+                )
+            file_wide = file_wide | ids
+    return _Suppressions(by_line=by_line, file_wide=file_wide)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list = field(default_factory=list)  # new + baselined, ordered
+    new: list = field(default_factory=list)
+    baselined: list = field(default_factory=list)
+    stale_baseline: list = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing requires action (exit code 0)."""
+        return not self.new and not self.stale_baseline
+
+    def render_text(self) -> str:
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.render())
+        for entry in self.stale_baseline:
+            lines.append(
+                f"{entry.path}: stale baseline entry {entry.rule} "
+                f"({entry.context!r} no longer found) — remove it or "
+                "re-run with --update-baseline"
+            )
+        lines.append(
+            f"{self.files_scanned} files, {len(self.rules_run)} rules: "
+            f"{len(self.new)} new finding(s), {len(self.baselined)} "
+            f"baselined, {len(self.stale_baseline)} stale baseline entr(ies)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps({
+            "findings": [f.to_json() for f in self.findings],
+            "stale_baseline": [e.to_json() for e in self.stale_baseline],
+            "summary": {
+                "files_scanned": self.files_scanned,
+                "rules": self.rules_run,
+                "new": len(self.new),
+                "baselined": len(self.baselined),
+                "stale_baseline": len(self.stale_baseline),
+                "ok": self.ok,
+            },
+        }, indent=2)
+
+
+def _iter_py_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
+    if root.is_file():
+        yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts or path.name.startswith("."):
+            continue
+        yield path
+
+
+def lint_file(
+    path: pathlib.Path,
+    relpath: str,
+    rules: Sequence[Rule],
+    services: dict,
+) -> list[Finding]:
+    """Run ``rules`` over one file, honouring suppression comments."""
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot lint {path}: {exc}") from None
+    lines = source.splitlines()
+    ctx = FileContext(
+        relpath=relpath, tree=tree, lines=lines, services=services
+    )
+    suppressions = _collect_suppressions(lines)
+    findings = []
+    for rule in rules:
+        if not rule.applies_to(relpath):
+            continue
+        for finding in rule.check(ctx):
+            if not suppressions.suppresses(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def run_lint(
+    targets: Sequence[str | pathlib.Path] | None = None,
+    rules: Sequence[Rule] | None = None,
+    baseline_path: str | pathlib.Path | None = None,
+    use_baseline: bool = True,
+) -> LintReport:
+    """Lint ``targets`` (default: the ``repro`` package) and reconcile.
+
+    ``relpath``s — the identity used by scoping and the baseline — are
+    taken relative to each target root, so the default scan yields paths
+    like ``core/governor.py`` regardless of checkout location.
+    """
+    active_rules = list(rules) if rules is not None else all_rules()
+    roots = (
+        [pathlib.Path(t).resolve() for t in targets]
+        if targets else [package_root()]
+    )
+    services: dict = {}
+    report = LintReport(rules_run=[r.id for r in active_rules])
+    raw_findings: list[Finding] = []
+    for root in roots:
+        if not root.exists():
+            raise ConfigurationError(f"lint target {root} does not exist")
+        base = root if root.is_dir() else root.parent
+        for path in _iter_py_files(root):
+            relpath = path.relative_to(base).as_posix()
+            raw_findings.extend(
+                lint_file(path, relpath, active_rules, services)
+            )
+            report.files_scanned += 1
+
+    if use_baseline:
+        entries = baseline_mod.load(
+            baseline_path if baseline_path is not None
+            else baseline_mod.DEFAULT_BASELINE
+        )
+    else:
+        entries = []
+    match = baseline_mod.reconcile(raw_findings, entries)
+    report.new = match.new
+    report.baselined = match.baselined
+    report.stale_baseline = match.stale
+    merged = match.new + match.baselined
+    merged.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    report.findings = merged
+    return report
+
+
+def update_baseline(
+    report: LintReport,
+    baseline_path: str | pathlib.Path | None = None,
+    justification: str = "grandfathered at baseline update",
+) -> int:
+    """Rewrite the baseline to accept ``report``'s current findings.
+
+    Keeps the justifications of still-matching entries, adds entries for
+    new findings, and drops stale ones.  Returns the entry count.
+    """
+    path = pathlib.Path(
+        baseline_path if baseline_path is not None
+        else baseline_mod.DEFAULT_BASELINE
+    )
+    kept = {
+        e.key: e
+        for e in baseline_mod.load(path)
+        if e not in report.stale_baseline
+    }
+    fresh = baseline_mod.entries_for(report.new, justification=justification)
+    for entry in fresh:
+        kept.setdefault(entry.key, entry)
+    baseline_mod.save(path, kept.values())
+    return len(kept)

@@ -1,0 +1,44 @@
+"""Finding datatype shared by the lint engine and its rules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    ``path`` is the file's path relative to the scanned root (posix
+    separators), which is what suppression scoping, the baseline, and all
+    reports key on — never the absolute path, so baselines are portable.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    baselined: bool = field(default=False, compare=False)
+
+    def as_baselined(self) -> "Finding":
+        """Copy of this finding marked as grandfathered."""
+        return replace(self, baselined=True)
+
+    def render(self) -> str:
+        """One-line human-readable report entry."""
+        tag = " [baselined]" if self.baselined else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}{tag}"
+
+    def to_json(self) -> dict:
+        """JSON-serialisable representation (for ``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "baselined": self.baselined,
+        }

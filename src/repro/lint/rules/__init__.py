@@ -1,0 +1,113 @@
+"""Rule registry for ``repro.lint``.
+
+Each rule family lives in its own module and registers concrete
+:class:`Rule` instances at import time via :func:`register`.  The engine
+asks :func:`all_rules` for the catalogue; docs tests assert that
+``docs/STATIC_ANALYSIS.md`` lists exactly these ids.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.lint.finding import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file.
+
+    ``relpath`` uses posix separators and is relative to the scanned root
+    (for the default scan, the ``repro`` package directory — e.g.
+    ``core/governor.py``).  ``services`` is a per-run cache shared across
+    files, used by rules that need cross-file state (the sysfs authority).
+    """
+
+    relpath: str
+    tree: ast.Module
+    lines: Sequence[str]
+    services: dict = field(default_factory=dict)
+
+    def snippet(self, line: int) -> str:
+        """Stripped source text of a 1-indexed line ('' out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class Rule:
+    """One named check producing findings for a file.
+
+    Subclasses set ``id`` (``R<family><nn>``), ``name`` (kebab-case slug),
+    ``rationale``, and implement :meth:`check`.  ``exclude``/``include``
+    are relpath prefixes (posix); an empty ``include`` means every file.
+    """
+
+    id: str = ""
+    name: str = ""
+    rationale: str = ""
+    include: tuple = ()
+    exclude: tuple = ()
+
+    def applies_to(self, relpath: str) -> bool:
+        """Whether this rule scans ``relpath`` (prefix-scoped)."""
+        if any(relpath == e or relpath.startswith(e) for e in self.exclude):
+            return False
+        if not self.include:
+            return True
+        return any(relpath == i or relpath.startswith(i) for i in self.include)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=f"[{self.name}] {message}",
+            snippet=ctx.snippet(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add ``rule`` to the catalogue (ids must be unique)."""
+    if not rule.id or not rule.name:
+        raise ConfigurationError("lint rules need an id and a name")
+    if rule.id in _REGISTRY:
+        raise ConfigurationError(f"duplicate lint rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look one rule up by id."""
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise ConfigurationError(f"unknown lint rule {rule_id!r}") from None
+
+
+# Importing the family modules populates the registry.  Keep this at the
+# bottom so the modules can import the names above.
+from repro.lint.rules import determinism as _determinism  # noqa: E402,F401
+from repro.lint.rules import float_eq as _float_eq  # noqa: E402,F401
+from repro.lint.rules import sysfs_contract as _sysfs  # noqa: E402,F401
+from repro.lint.rules import units as _units  # noqa: E402,F401

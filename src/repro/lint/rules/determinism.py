@@ -1,0 +1,176 @@
+"""R2 family — determinism.
+
+Every benchmark and regression test in this repository depends on the
+guarantee that one ``(seed, name)`` pair replays the exact same run.
+These rules keep nondeterminism out of simulation code: entropy must
+come from ``sim/rng.py`` streams, time from the simulated clock, and
+iteration order must never depend on hash randomisation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+#: ``np.random`` attributes that are deterministic constructions (seeded
+#: bit generators and generator classes), as used by ``sim/rng.py``.
+SEEDED_NP_ATTRS = frozenset({
+    "Generator", "BitGenerator", "SeedSequence",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: Wall-clock callables that leak real time into simulated state.
+WALL_CLOCK_CALLS = frozenset({"time", "time_ns", "now", "utcnow", "today"})
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render an attribute chain like ``np.random.default_rng``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class StdlibRandomRule(Rule):
+    """R201: the stdlib ``random`` module is used at all."""
+
+    id = "R201"
+    name = "det-stdlib-random"
+    rationale = (
+        "random.* draws from untracked global state; use a named stream "
+        "from sim/rng.py so replays and new consumers stay stable."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            "stdlib random imported; use a named "
+                            "sim/rng.py stream",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        ctx, node,
+                        "stdlib random imported; use a named sim/rng.py "
+                        "stream",
+                    )
+
+
+class WallClockRule(Rule):
+    """R202: wall-clock reads (``time.time``, ``datetime.now``)."""
+
+    id = "R202"
+    name = "det-wall-clock"
+    rationale = (
+        "time.time()/datetime.now() make results depend on when the run "
+        "happened; simulated behaviour must read the sim clock.  "
+        "time.perf_counter/monotonic stay allowed: they only measure "
+        "host-side durations for profiling."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            head, _, leaf = dotted.rpartition(".")
+            if leaf not in WALL_CLOCK_CALLS:
+                continue
+            if leaf in ("time", "time_ns") and head.split(".")[-1] != "time":
+                continue
+            if leaf in ("now", "utcnow", "today") and "datetime" not in head.split("."):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"wall-clock read {dotted}(); simulated state must use "
+                "the sim clock",
+            )
+
+
+class UnseededNumpyRule(Rule):
+    """R203: global/unseeded ``np.random`` entropy."""
+
+    id = "R203"
+    name = "det-unseeded-numpy"
+    rationale = (
+        "np.random.<fn>() draws from the process-global generator and "
+        "np.random.default_rng() without a seed draws OS entropy; both "
+        "break replay.  Build generators through sim/rng.py."
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if len(parts) < 2 or parts[-2] != "random":
+                continue
+            leaf = parts[-1]
+            if leaf in SEEDED_NP_ATTRS:
+                continue
+            if leaf == "default_rng" and (node.args or node.keywords):
+                continue  # explicitly seeded: fine
+            yield self.finding(
+                ctx, node,
+                f"unseeded numpy entropy {dotted}(); use a named "
+                "sim/rng.py stream",
+            )
+
+
+class SetIterationRule(Rule):
+    """R204: iteration directly over a set expression."""
+
+    id = "R204"
+    name = "det-set-iteration"
+    rationale = (
+        "Set iteration order depends on string-hash randomisation across "
+        "processes; wrap the set in sorted() before iterating so traces "
+        "and reports are stable."
+    )
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if self._is_set_expr(it):
+                    yield self.finding(
+                        ctx, it,
+                        "iterating a bare set; wrap in sorted() for a "
+                        "stable order",
+                    )
+
+
+register(StdlibRandomRule())
+register(WallClockRule())
+register(UnseededNumpyRule())
+register(SetIterationRule())

@@ -1,0 +1,81 @@
+"""R4 family — float hygiene.
+
+Exact ``==``/``!=`` between floats is how the ``FpsMeter.fps_series``
+bucket-count bug (fixed in PR 1) happened: IEEE dust makes two
+mathematically equal quantities compare unequal.  In the numerical core
+(fixed-point analysis, thermal integration, power models) such
+comparisons are flagged; compare against a tolerance or restructure to
+``<=``/``>=`` guards instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.rules.common import INTEGER_UNITS, is_float_constant, unit_of
+
+
+def _non_numeric_constant(node: ast.AST) -> bool:
+    """Constants that make an equality obviously not a float compare."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None or type(node.value) in (str, bytes, bool)
+    )
+
+
+def _floatish(node: ast.AST) -> bool:
+    """Whether an expression is recognisably float-valued."""
+    if is_float_constant(node):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id == "float":
+            return True
+        if node.func.id in ("abs", "round", "sum", "min", "max"):
+            return any(_floatish(a) for a in node.args)
+    if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+        children = (
+            (node.left, node.right) if isinstance(node, ast.BinOp)
+            else (node.operand,)
+        )
+        return any(_floatish(c) for c in children)
+    tag = unit_of(node)
+    if tag is not None:
+        # kHz/millidegree names hold the *integer* sysfs representation.
+        return tag.unit not in INTEGER_UNITS
+    return False
+
+
+class FloatEqualityRule(Rule):
+    """R401: exact equality between float expressions."""
+
+    id = "R401"
+    name = "float-exact-equality"
+    rationale = (
+        "== / != on floats silently fails on IEEE rounding dust; compare "
+        "with a tolerance (math.isclose, abs(a-b) <= eps) or use ordered "
+        "guards."
+    )
+    include = ("core/", "kernel/", "soc/", "thermal/", "power/", "sim/")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _non_numeric_constant(left) or _non_numeric_constant(right):
+                    continue  # `s == "passive"`, `x == None`: not floats
+                if _floatish(left) or _floatish(right):
+                    yield self.finding(
+                        ctx, node,
+                        f"exact float equality "
+                        f"{ast.unparse(left)!r} vs {ast.unparse(right)!r}; "
+                        "compare with a tolerance",
+                    )
+
+
+register(FloatEqualityRule())

@@ -1,0 +1,136 @@
+"""R3 family — the sysfs contract.
+
+The userspace controllers (``core/``) and experiments talk to the kernel
+exclusively through virtual ``/sys`` and ``/proc`` paths.  A typo'd node
+name only explodes mid-run — or worse, an ``fs.exists`` probe quietly
+returns False forever.  This rule extracts every ``/sys``/``/proc``
+string (including f-string templates) outside the kernel layer and
+checks it against the tree that ``kernel/wiring.py`` actually registers
+for both modelled platforms, so broken paths fail at lint time.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+_AUTHORITY_KEY = "sysfs_authority"
+
+
+def sysfs_authority() -> tuple[frozenset, tuple]:
+    """(static paths, resolver prefixes) registered by both platforms.
+
+    Built by instantiating the simulator kernels exactly as a deployment
+    would — so the check can never drift from the real registrations.
+    """
+    from repro.kernel.kernel import KernelConfig
+    from repro.sim.engine import Simulation
+    from repro.soc.exynos5422 import odroid_xu3
+    from repro.soc.snapdragon810 import nexus6p
+
+    paths: set[str] = set()
+    prefixes: set[str] = set()
+    for factory in (nexus6p, odroid_xu3):
+        sim = Simulation(factory(), [], kernel_config=KernelConfig(), seed=0)
+        fs = sim.kernel.userspace_api().fs
+        paths.update(fs.paths())
+        prefixes.update(fs.resolver_prefixes())
+    return frozenset(paths), tuple(sorted(prefixes))
+
+
+def _template_regex(parts: list) -> re.Pattern | None:
+    """Compile a path template into a regex; None if not checkable.
+
+    ``parts`` alternates literal strings and None markers for
+    interpolated f-string fields (each matched as one path component).
+    Templates that do not *start* with a literal ``/sys`` or ``/proc``
+    segment are skipped — their root is not statically known.
+    """
+    if not parts or not isinstance(parts[0], str):
+        return None
+    first = parts[0]
+    if not (first.startswith("/sys") or first.startswith("/proc")):
+        return None
+    pattern = ""
+    for part in parts:
+        pattern += re.escape(part) if isinstance(part, str) else r"[^/]+"
+    # Accept the template as a node, or as a directory above real nodes.
+    return re.compile(pattern.rstrip("/") + r"(/.*)?\Z")
+
+
+def _string_parts(node: ast.AST) -> list | None:
+    """Decompose a Str or JoinedStr into literal/placeholder parts."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return [node.value]
+    if isinstance(node, ast.JoinedStr):
+        parts: list = []
+        for value in node.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                parts.append(value.value)
+            else:
+                parts.append(None)
+        return parts
+    return None
+
+
+class SysfsContractRule(Rule):
+    """R301: a /sys or /proc path that the kernel never registers."""
+
+    id = "R301"
+    name = "sysfs-unknown-path"
+    rationale = (
+        "Controllers address the kernel by sysfs path strings; a typo "
+        "('scaling_curr_freq') surfaces only as a mid-run ENOENT or a "
+        "silently-false exists() probe.  Every path template must match "
+        "a node wiring.py registers on some modelled platform."
+    )
+    exclude = ("kernel/", "lint/")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Constants inside an f-string are also visited by ast.walk;
+        # they are fragments, not paths, so only the JoinedStr counts.
+        fragment_ids = {
+            id(value)
+            for node in ast.walk(ctx.tree) if isinstance(node, ast.JoinedStr)
+            for value in node.values
+        }
+        candidates = []
+        for node in ast.walk(ctx.tree):
+            if id(node) in fragment_ids:
+                continue
+            parts = _string_parts(node)
+            if parts is None:
+                continue
+            regex = _template_regex(parts)
+            if regex is not None:
+                candidates.append((node, parts, regex))
+        if not candidates:
+            return
+        if _AUTHORITY_KEY not in ctx.services:
+            ctx.services[_AUTHORITY_KEY] = sysfs_authority()
+        paths, prefixes = ctx.services[_AUTHORITY_KEY]
+        for node, parts, regex in candidates:
+            template = "".join(
+                p if isinstance(p, str) else "{*}" for p in parts
+            )
+            literal_head = parts[0]
+            if any(
+                literal_head.startswith(pfx) or pfx.startswith(literal_head + "/")
+                or literal_head == pfx.rstrip("/")
+                for pfx in prefixes
+            ):
+                continue  # resolver-served subtree (/proc/<pid>/...)
+            if any(regex.match(path) for path in paths):
+                continue
+            yield self.finding(
+                ctx, node,
+                f"path {template!r} matches no node registered by "
+                "kernel/wiring.py on any modelled platform",
+            )
+
+
+register(SysfsContractRule())

@@ -1,0 +1,268 @@
+"""R1 family — unit discipline.
+
+``repro.units`` declares itself the only sanctioned conversion point
+between internal units (kelvin, hertz, seconds, watts) and the
+kernel-facing ones (millidegrees, kilohertz, milliseconds).  These rules
+make that claim checkable: raw offset/scale arithmetic outside
+``units.py`` is flagged, as is arithmetic that mixes differently-scaled
+unit-suffixed names, and private re-implementations of the converters.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.rules import FileContext, Rule, register
+from repro.lint.rules.common import unit_of, unit_suffix, walk_numbers
+from repro.units import ZERO_CELSIUS_IN_KELVIN
+
+#: Decimal scale factors that smell like a unit conversion when they
+#: multiply or divide a unit-carrying expression.  100 (percent) and 60
+#: (minutes) are deliberately absent: they are common and benign.
+SCALE_LITERALS = (1000, 1000.0, 1_000_000, 1_000_000.0, 0.001, 1e-6)
+
+_R1_EXCLUDE = ("units.py", "lint/")
+
+
+def _unit_in_subtree(node: ast.AST):
+    """First unit tag found anywhere in an expression subtree."""
+    direct = unit_of(node)
+    if direct is not None:
+        return direct
+    for sub in ast.walk(node):
+        tag = unit_of(sub)
+        if tag is not None:
+            return tag
+    return None
+
+
+def _is_scale(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Constant)
+        and type(node.value) in (int, float)
+        and any(node.value == s for s in SCALE_LITERALS)
+    )
+
+
+class KelvinLiteralRule(Rule):
+    """R101: the 273.15 offset appears outside ``units.py``."""
+
+    id = "R101"
+    name = "units-kelvin-literal"
+    rationale = (
+        "A bare 273.15 is a kelvin/Celsius conversion hiding outside the "
+        "sanctioned converters; use celsius_to_kelvin/kelvin_to_celsius."
+    )
+    exclude = _R1_EXCLUDE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in walk_numbers(ctx.tree):
+            if node.value == ZERO_CELSIUS_IN_KELVIN:
+                yield self.finding(
+                    ctx, node,
+                    "raw 273.15 offset; use repro.units "
+                    "celsius_to_kelvin/kelvin_to_celsius",
+                )
+
+
+class ScaleArithmeticRule(Rule):
+    """R102: ``* 1000`` / ``/ 1000``-style scaling on unit-carrying values."""
+
+    id = "R102"
+    name = "units-adhoc-scaling"
+    rationale = (
+        "Multiplying or dividing a unit-suffixed value by a decimal scale "
+        "re-implements a converter inline; one silent kHz-vs-Hz slip "
+        "produces plausible-but-wrong physics."
+    )
+    exclude = _R1_EXCLUDE
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        flagged: set[int] = set()
+        for finding in self._walk(ctx.tree, ctx, flagged):
+            yield finding
+
+    def _walk(self, tree: ast.Module, ctx: FileContext, flagged: set[int]):
+        func_stack: list[str] = []
+
+        def scale_binops(node: ast.AST):
+            for sub in ast.walk(node):
+                if isinstance(
+                    sub, ast.BinOp
+                ) and isinstance(sub.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+                    if _is_scale(sub.left) or _is_scale(sub.right):
+                        yield sub
+
+        def visit(node: ast.AST):
+            findings = []
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func_stack.append(node.name)
+            elif isinstance(node, ast.BinOp) and id(node) not in flagged:
+                if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv)):
+                    operand = None
+                    if _is_scale(node.right):
+                        operand = node.left
+                    elif _is_scale(node.left):
+                        operand = node.right
+                    tag = _unit_in_subtree(operand) if operand is not None else None
+                    if tag is not None:
+                        flagged.add(id(node))
+                        findings.append(self.finding(
+                            ctx, node,
+                            f"decimal scaling of {tag.dimension} value "
+                            f"{ast.unparse(operand)!r}; use a repro.units "
+                            "converter",
+                        ))
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                suffixed = any(
+                    unit_of(t) is not None for t in targets
+                )
+                if suffixed and node.value is not None:
+                    for sub in scale_binops(node.value):
+                        if id(sub) not in flagged:
+                            flagged.add(id(sub))
+                            findings.append(self.finding(
+                                ctx, sub,
+                                "decimal scaling assigned to a "
+                                "unit-suffixed name; use a repro.units "
+                                "converter",
+                            ))
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is None or unit_suffix(kw.arg) is None:
+                        continue
+                    for sub in scale_binops(kw.value):
+                        if id(sub) not in flagged:
+                            flagged.add(id(sub))
+                            findings.append(self.finding(
+                                ctx, sub,
+                                f"decimal scaling passed as {kw.arg}=; "
+                                "use a repro.units converter",
+                            ))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if func_stack and unit_suffix(func_stack[-1]) is not None:
+                    for sub in scale_binops(node.value):
+                        if id(sub) not in flagged:
+                            flagged.add(id(sub))
+                            findings.append(self.finding(
+                                ctx, sub,
+                                f"decimal scaling returned from "
+                                f"{func_stack[-1]}(); use a repro.units "
+                                "converter",
+                            ))
+            yield from findings
+            for child in ast.iter_child_nodes(node):
+                yield from visit(child)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func_stack.pop()
+
+        yield from visit(tree)
+
+
+class MixedUnitRule(Rule):
+    """R103: additive/comparison arithmetic across unit suffixes."""
+
+    id = "R103"
+    name = "units-mixed-suffixes"
+    rationale = (
+        "Adding or comparing values whose names carry different unit "
+        "suffixes (temp_c + temp_k, freq_hz > freq_khz) is almost always "
+        "a missing conversion."
+    )
+    exclude = _R1_EXCLUDE
+
+    def _pairs(self, node: ast.AST):
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Add, ast.Sub)):
+            yield node.left, node.right
+        elif isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            for left, right in zip(operands, operands[1:]):
+                yield left, right
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            for left, right in self._pairs(node):
+                lu, ru = unit_of(left), unit_of(right)
+                if lu is None or ru is None or lu.unit == ru.unit:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"mixes {ast.unparse(left)!r} ({lu.unit}) with "
+                    f"{ast.unparse(right)!r} ({ru.unit}) without converting",
+                )
+
+
+class ReimplementedConverterRule(Rule):
+    """R104: a local function re-implements a sanctioned converter."""
+
+    id = "R104"
+    name = "units-reimplemented-converter"
+    rationale = (
+        "A one-line function applying a unit offset/scale duplicates "
+        "repro.units; call the sanctioned converter instead so every "
+        "conversion stays auditable in one module."
+    )
+    exclude = _R1_EXCLUDE
+
+    _CONSTANTS = SCALE_LITERALS + (ZERO_CELSIUS_IN_KELVIN,)
+
+    def _converter_body(self, params: set[str], expr: ast.AST) -> bool:
+        while isinstance(expr, ast.Call) and len(expr.args) == 1 and not expr.keywords:
+            # int(round(...))-style wrappers around the arithmetic.
+            expr = expr.args[0]
+        if not isinstance(expr, ast.BinOp):
+            return False
+        if not isinstance(expr.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+            return False
+        left, right = expr.left, expr.right
+        for a, b in ((left, right), (right, left)):
+            if (
+                isinstance(a, ast.Name)
+                and a.id in params
+                and isinstance(b, ast.Constant)
+                and type(b.value) in (int, float)
+                and any(b.value == c for c in self._CONSTANTS)
+            ):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = {a.arg for a in node.args.args}
+                body = [
+                    stmt for stmt in node.body
+                    if not (isinstance(stmt, ast.Expr)
+                            and isinstance(stmt.value, ast.Constant))
+                ]
+                if (
+                    len(body) == 1
+                    and isinstance(body[0], ast.Return)
+                    and body[0].value is not None
+                    and self._converter_body(params, body[0].value)
+                ):
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.name}() re-implements a unit converter; "
+                        "import it from repro.units",
+                    )
+            elif isinstance(node, ast.Lambda):
+                params = {a.arg for a in node.args.args}
+                if self._converter_body(params, node.body):
+                    yield self.finding(
+                        ctx, node,
+                        "lambda re-implements a unit converter; import it "
+                        "from repro.units",
+                    )
+
+
+register(KelvinLiteralRule())
+register(ScaleArithmeticRule())
+register(MixedUnitRule())
+register(ReimplementedConverterRule())

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass
 
 from repro.errors import AnalysisError
+from repro.units import seconds_to_microseconds, seconds_to_milliseconds
 
 #: The canonical phases of one :meth:`Simulation.step`, in execution order.
 STEP_PHASES = ("apps", "kernel", "power_model", "thermal", "record")
@@ -165,7 +166,9 @@ class PhaseStat:
     @property
     def mean_us(self) -> float:
         """Mean wall-clock per phase entry, microseconds."""
-        return self.total_s / self.calls * 1e6 if self.calls else 0.0
+        if not self.calls:
+            return 0.0
+        return seconds_to_microseconds(self.total_s / self.calls)
 
 
 @dataclass(frozen=True)
@@ -186,7 +189,7 @@ class ProfileReport:
     @property
     def mean_step_us(self) -> float:
         """Mean wall-clock per step, microseconds."""
-        return self.step_total_s / self.step_count * 1e6
+        return seconds_to_microseconds(self.step_total_s / self.step_count)
 
     def phase(self, name: str) -> PhaseStat:
         """Look up one phase by name."""
@@ -199,7 +202,7 @@ class ProfileReport:
         """Text table of the per-phase breakdown."""
         lines = [
             f"Step profile: {self.step_count} steps, "
-            f"{self.step_total_s * 1e3:.1f} ms total, "
+            f"{seconds_to_milliseconds(self.step_total_s):.1f} ms total, "
             f"{self.mean_step_us:.1f} us/step, "
             f"coverage {self.coverage * 100.0:.1f}%",
             f"  {'phase':<12s} {'calls':>8s} {'total ms':>10s} "
@@ -207,7 +210,8 @@ class ProfileReport:
         ]
         for p in self.phases:
             lines.append(
-                f"  {p.name:<12s} {p.calls:>8d} {p.total_s * 1e3:>10.2f} "
+                f"  {p.name:<12s} {p.calls:>8d} "
+                f"{seconds_to_milliseconds(p.total_s):>10.2f} "
                 f"{p.mean_us:>9.1f} {p.share * 100.0:>6.1f}%"
             )
         return "\n".join(lines)

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.units import seconds_to_microseconds
 
 
 @dataclass
@@ -61,7 +62,7 @@ class Span:
         """One human-readable line (ftrace-flavoured)."""
         attrs = " ".join(f"{k}={v}" for k, v in self.attrs.items())
         dur = (
-            f" ({self.duration_s * 1e6:.1f} us)"
+            f" ({seconds_to_microseconds(self.duration_s):.1f} us)"
             if self.duration_s is not None
             else ""
         )

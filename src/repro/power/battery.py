@@ -57,7 +57,7 @@ class Battery:
         """Projected runtime at a constant draw (inf at zero power)."""
         if power_w < 0.0:
             raise SimulationError(f"negative power {power_w}")
-        if power_w == 0.0:
+        if power_w <= 0.0:
             return math.inf
         return self._remaining_wh * 3600.0 / power_w
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
-from repro.units import hz_to_khz
+from repro.units import hz_to_khz, hz_to_mhz
 
 
 @dataclass(frozen=True)
@@ -133,5 +133,5 @@ class OppTable:
         return allowed if allowed else (self._points[0],)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        mhz = ", ".join(f"{p.freq_hz / 1e6:.0f}" for p in self._points)
-        return f"OppTable([{mhz}] MHz)"
+        points = ", ".join(f"{hz_to_mhz(p.freq_hz):.0f}" for p in self._points)
+        return f"OppTable([{points}] MHz)"

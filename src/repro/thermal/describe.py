@@ -52,7 +52,7 @@ def _node_resistance(
     """K/W from heat injected at ``node`` to the ambient."""
     for rail in spec.rail_names:
         split = spec.power_split[rail]
-        if split.get(node, 0.0) == 1.0:
+        if abs(split.get(node, 0.0) - 1.0) <= 1e-12:
             return model.dc_gain(node, rail)
     # No dedicated rail: steady state with a synthetic unit injection.
     import numpy as np

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.thermal.sensors import TemperatureSensor
+from repro.units import celsius_to_millicelsius
 
 
 class _SensorWrapper:
@@ -42,7 +43,7 @@ class _SensorWrapper:
 
     def read_millicelsius(self) -> int:
         """Reading in the sysfs millidegree unit."""
-        return int(round(self.read_c() * 1000.0))
+        return celsius_to_millicelsius(self.read_c())
 
 
 class StuckSensor(_SensorWrapper):

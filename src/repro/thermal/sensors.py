@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.thermal.model import ThermalModel
-from repro.units import kelvin_to_celsius
+from repro.units import celsius_to_millicelsius, kelvin_to_celsius
 
 
 @dataclass(frozen=True)
@@ -72,4 +72,4 @@ class TemperatureSensor:
 
     def read_millicelsius(self) -> int:
         """One reading in the integer millidegrees Celsius sysfs unit."""
-        return int(round(self.read_c() * 1000.0))
+        return celsius_to_millicelsius(self.read_c())

@@ -44,6 +44,16 @@ def millicelsius_to_kelvin(temp_mc: float) -> float:
     return celsius_to_kelvin(temp_mc / 1000.0)
 
 
+def celsius_to_millicelsius(temp_c: float) -> int:
+    """Convert degrees Celsius to the integer millidegrees used by sysfs."""
+    return int(round(temp_c * 1000.0))
+
+
+def millicelsius_to_celsius(temp_mc: float) -> float:
+    """Convert sysfs millidegrees Celsius back to degrees Celsius."""
+    return float(temp_mc) / 1000.0
+
+
 def hz_to_khz(freq_hz: float) -> int:
     """Convert hertz to the integer kilohertz used by cpufreq sysfs nodes."""
     return int(round(freq_hz / KHZ))
@@ -57,3 +67,53 @@ def khz_to_hz(freq_khz: float) -> float:
 def mhz(value: float) -> float:
     """Express ``value`` megahertz in hertz (readable OPP-table literals)."""
     return value * MHZ
+
+
+def hz_to_mhz(freq_hz: float) -> float:
+    """Convert hertz to megahertz (display/debug helper)."""
+    return freq_hz / MHZ
+
+
+def khz_to_mhz(freq_khz: float) -> float:
+    """Convert cpufreq kilohertz to megahertz (display helper)."""
+    return float(freq_khz) / 1e3
+
+
+def seconds_to_milliseconds(t_s: float) -> float:
+    """Convert seconds to milliseconds (``/proc`` runtime fields)."""
+    return t_s * 1000.0
+
+
+def milliseconds_to_seconds(t_ms: float) -> float:
+    """Convert milliseconds back to seconds."""
+    return t_ms / 1000.0
+
+
+def seconds_to_microseconds(t_s: float) -> float:
+    """Convert seconds to microseconds (cpuidle/span durations)."""
+    return t_s * 1e6
+
+
+def microseconds_to_seconds(t_us: float) -> float:
+    """Convert microseconds back to seconds."""
+    return t_us / 1e6
+
+
+def watts_to_microwatts(p_w: float) -> float:
+    """Convert watts to the microwatts used by power-capping sysfs nodes."""
+    return p_w * 1e6
+
+
+def microwatts_to_watts(p_uw: float) -> float:
+    """Convert microwatts back to watts."""
+    return p_uw / 1e6
+
+
+def joules_to_millijoules(e_j: float) -> float:
+    """Convert joules to millijoules (per-frame energy figures)."""
+    return e_j * 1000.0
+
+
+def millijoules_to_joules(e_mj: float) -> float:
+    """Convert millijoules back to joules."""
+    return e_mj / 1000.0

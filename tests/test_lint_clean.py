@@ -1,0 +1,71 @@
+"""The shipped tree must lint clean — this is the linter's own tier-1 gate.
+
+If this test fails after an edit, either fix the reported finding, add a
+suppression comment with a reason, or (for deliberate violations) record
+it in ``src/repro/lint/baseline.json`` via ``repro lint --update-baseline``.
+"""
+
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.lint import DEFAULT_BASELINE, package_root, run_lint
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lint()
+
+
+def test_shipped_tree_has_no_new_findings(report):
+    assert not report.new, "\n" + report.render_text()
+
+
+def test_shipped_baseline_has_no_stale_entries(report):
+    assert not report.stale_baseline, "\n" + report.render_text()
+
+
+def test_shipped_tree_is_ok(report):
+    assert report.ok
+    assert report.files_scanned > 50  # the whole package, not a subset
+
+
+def test_every_rule_family_ran(report):
+    families = {rule_id[:2] for rule_id in report.rules_run}
+    assert families == {"R1", "R2", "R3", "R4"}
+
+
+def test_cli_exit_zero_on_shipped_tree(capsys):
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 new finding(s)" in out
+
+
+def test_cli_exit_nonzero_on_seeded_violation(tmp_path, capsys):
+    """The ISSUE acceptance check: introduce a raw 273.15 into a copy of
+    ``core/governor.py`` and the lint run must fail."""
+    root = tmp_path / "repro"
+    shutil.copytree(package_root(), root)
+    governor = root / "core" / "governor.py"
+    governor.write_text(
+        governor.read_text()
+        + "\n\ndef _bad_probe(temp_k: float) -> float:\n"
+        + "    return temp_k - 273.15\n"
+    )
+    assert main(["lint", str(root), "--baseline", str(DEFAULT_BASELINE)]) != 0
+    out = capsys.readouterr().out
+    assert "R101" in out
+    assert "core/governor.py" in out
+
+
+def test_cli_json_output_is_structured(capsys):
+    import json
+
+    assert main(["lint", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["ok"] is True
+    assert payload["summary"]["new"] == 0
+    from repro.lint import all_rules
+
+    assert payload["summary"]["rules"] == [r.id for r in all_rules()]

@@ -1,0 +1,37 @@
+"""docs/STATIC_ANALYSIS.md must match the registered rule catalogue."""
+
+import pathlib
+import re
+
+from repro.lint import all_rules
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "STATIC_ANALYSIS.md"
+
+#: Inline-code tokens that look like rule ids.
+_RULE_ID_RE = re.compile(r"`(R\d{3})`")
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/STATIC_ANALYSIS.md is part of the lint contract"
+
+
+def test_rule_catalogue_matches_registry():
+    documented = set(_RULE_ID_RE.findall(DOC.read_text()))
+    registered = {rule.id for rule in all_rules()}
+    missing = registered - documented
+    stale = documented - registered
+    assert not missing, f"registered but undocumented: {sorted(missing)}"
+    assert not stale, f"documented but never registered: {sorted(stale)}"
+
+
+def test_rule_names_documented():
+    text = DOC.read_text()
+    for rule in all_rules():
+        assert f"`{rule.name}`" in text, (
+            f"rule name {rule.name!r} missing from the doc")
+
+
+def test_suppression_grammar_documented():
+    text = DOC.read_text()
+    for token in ("disable=", "disable-next-line=", "disable-file="):
+        assert token in text

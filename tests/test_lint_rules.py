@@ -1,0 +1,446 @@
+"""Per-rule positive/negative snippets, suppression and baseline behaviour.
+
+Each lint rule gets at least one known-bad snippet it must flag and one
+known-good snippet it must leave alone.  Snippets are written to a temp
+file and linted through the real engine (``lint_file``), so suppression
+comments and path scoping are exercised exactly as in production.
+"""
+
+import json
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    BaselineEntry,
+    all_rules,
+    get_rule,
+    lint_file,
+    run_lint,
+    update_baseline,
+)
+from repro.lint import baseline as baseline_mod
+from repro.lint.rules.sysfs_contract import sysfs_authority
+
+#: Shared across the module so the R301 sysfs authority (which boots both
+#: platform kernels) is computed once, not per test.
+SERVICES: dict = {}
+
+
+def lint_snippet(tmp_path, source, relpath="core/snippet.py", rules=None):
+    """Lint ``source`` as if it lived at ``relpath`` inside the package."""
+    path = tmp_path / pathlib.PurePosixPath(relpath).name
+    path.write_text(textwrap.dedent(source))
+    active = list(rules) if rules is not None else all_rules()
+    return lint_file(path, relpath, active, SERVICES)
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_ids_unique_and_sorted():
+    ids = [r.id for r in all_rules()]
+    assert ids == sorted(ids)
+    assert len(ids) == len(set(ids))
+    assert {"R101", "R102", "R103", "R104",
+            "R201", "R202", "R203", "R204",
+            "R301", "R401"} <= set(ids)
+
+
+def test_get_rule_unknown_raises():
+    with pytest.raises(ConfigurationError):
+        get_rule("R999")
+
+
+# ------------------------------------------------------------- R1: units
+
+
+def test_r101_flags_raw_kelvin_offset(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def to_c(temp_k):
+            x = temp_k - 273.15
+            return x * 2.0
+        """)
+    assert "R101" in rule_ids(findings)
+
+
+def test_r101_clean_when_using_units_module(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        from repro.units import kelvin_to_celsius
+
+        def to_c(temp_k):
+            return kelvin_to_celsius(temp_k)
+        """)
+    assert "R101" not in rule_ids(findings)
+
+
+def test_r101_not_applied_inside_units_py(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        ZERO = 273.15
+        """, relpath="units.py")
+    assert "R101" not in rule_ids(findings)
+
+
+def test_r102_flags_scale_on_unit_suffixed_assignment(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(freq_hz):
+            freq_khz = freq_hz / 1000
+            return freq_khz
+        """)
+    assert "R102" in rule_ids(findings)
+
+
+def test_r102_flags_scale_times_unit_operand(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(power_w, fps):
+            report(energy_per_frame_mj=power_w / fps * 1000.0)
+        """)
+    assert "R102" in rule_ids(findings)
+
+
+def test_r102_ignores_unitless_arithmetic(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(count):
+            batches = count / 1000
+            return batches
+        """)
+    assert "R102" not in rule_ids(findings)
+
+
+def test_r103_flags_mixed_unit_addition(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(temp_c, temp_k):
+            return temp_c + temp_k
+        """)
+    assert "R103" in rule_ids(findings)
+
+
+def test_r103_flags_mixed_unit_comparison(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(freq_hz, limit_khz):
+            return freq_hz > limit_khz
+        """)
+    assert "R103" in rule_ids(findings)
+
+
+def test_r103_same_unit_different_spelling_is_clean(tmp_path):
+    # ``_c`` and ``_celsius`` are the same unit; must not flag.
+    findings = lint_snippet(tmp_path, """
+        def f(skin_c, limit_celsius):
+            return skin_c - limit_celsius
+        """)
+    assert "R103" not in rule_ids(findings)
+
+
+def test_r104_flags_reimplemented_converter(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def to_khz(hz):
+            return hz / 1000
+        """)
+    assert "R104" in rule_ids(findings)
+
+
+def test_r104_ignores_non_conversion_helpers(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def clamp(value):
+            return max(0.25, value)
+        """)
+    assert "R104" not in rule_ids(findings)
+
+
+# ------------------------------------------------------- R2: determinism
+
+
+def test_r201_flags_stdlib_random_import(tmp_path):
+    assert "R201" in rule_ids(lint_snippet(tmp_path, "import random\n"))
+    assert "R201" in rule_ids(
+        lint_snippet(tmp_path, "from random import choice\n"))
+
+
+def test_r201_numpy_import_is_clean(tmp_path):
+    assert "R201" not in rule_ids(lint_snippet(tmp_path, "import numpy as np\n"))
+
+
+def test_r202_flags_wall_clock_reads(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import datetime
+        import time
+
+        def stamp():
+            return time.time(), datetime.datetime.now()
+        """)
+    assert rule_ids(findings).count("R202") == 2
+
+
+def test_r202_perf_counter_is_allowed(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import time
+
+        def elapsed(start):
+            return time.perf_counter() - start
+        """)
+    assert "R202" not in rule_ids(findings)
+
+
+def test_r203_flags_unseeded_numpy_random(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import numpy as np
+
+        def noise(n):
+            return np.random.rand(n)
+        """)
+    assert "R203" in rule_ids(findings)
+
+
+def test_r203_seeded_generator_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        import numpy as np
+
+        def noise(n, seed):
+            rng = np.random.default_rng(seed)
+            return rng.normal(0.0, 1.0, n)
+        """)
+    assert "R203" not in rule_ids(findings)
+
+
+def test_r204_flags_iteration_over_set_literal(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(xs):
+            for x in {1, 2, 3}:
+                xs.append(x)
+        """)
+    assert "R204" in rule_ids(findings)
+
+
+def test_r204_sorted_set_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(xs):
+            for x in sorted({1, 2, 3}):
+                xs.append(x)
+        """)
+    assert "R204" not in rule_ids(findings)
+
+
+# ----------------------------------------------------- R3: sysfs contract
+
+
+def test_r301_flags_unregistered_sysfs_path(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        BOGUS = "/sys/class/thermal/thermal_zone99/temp"
+        """, relpath="experiments/snippet.py")
+    assert "R301" in rule_ids(findings)
+
+
+def test_r301_registered_path_is_clean(tmp_path):
+    paths, _prefixes = sysfs_authority()
+    real = sorted(paths)[0]
+    findings = lint_snippet(tmp_path, f"""
+        KNOWN = "{real}"
+        """, relpath="experiments/snippet.py")
+    assert "R301" not in rule_ids(findings)
+
+
+def test_r301_proc_resolver_prefix_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def stat_path(pid):
+            return f"/proc/{pid}/stat"
+        """, relpath="experiments/snippet.py")
+    assert "R301" not in rule_ids(findings)
+
+
+def test_r301_skips_kernel_wiring_itself(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        BOGUS = "/sys/class/thermal/thermal_zone99/temp"
+        """, relpath="kernel/snippet.py")
+    assert "R301" not in rule_ids(findings)
+
+
+# ------------------------------------------------------ R4: float hygiene
+
+
+def test_r401_flags_float_equality(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def at_limit(temp_c, limit_c):
+            return temp_c == limit_c
+        """)
+    assert "R401" in rule_ids(findings)
+
+
+def test_r401_integer_comparison_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(count):
+            return count == 3
+        """)
+    assert "R401" not in rule_ids(findings)
+
+
+def test_r401_tolerance_comparison_is_clean(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def close(a_c, b_c):
+            return abs(a_c - b_c) <= 1e-9
+        """)
+    assert "R401" not in rule_ids(findings)
+
+
+def test_r401_scoped_to_numerical_core(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def at_limit(temp_c, limit_c):
+            return temp_c == limit_c
+        """, relpath="analysis/snippet.py")
+    assert "R401" not in rule_ids(findings)
+
+
+# ----------------------------------------------------------- suppression
+
+
+def test_disable_on_offending_line(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(temp_k):
+            return temp_k - 273.15  # repro-lint: disable=R101
+        """)
+    assert "R101" not in rule_ids(findings)
+
+
+def test_disable_next_line(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(temp_k):
+            # repro-lint: disable-next-line=R101
+            return temp_k - 273.15
+        """)
+    assert "R101" not in rule_ids(findings)
+
+
+def test_disable_only_silences_named_rule(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        def f(temp_k):
+            return temp_k - 273.15  # repro-lint: disable=R401
+        """)
+    assert "R101" in rule_ids(findings)
+
+
+def test_disable_file(tmp_path):
+    findings = lint_snippet(tmp_path, """
+        # repro-lint: disable-file=R101
+        def f(temp_k):
+            return temp_k - 273.15
+        """)
+    assert "R101" not in rule_ids(findings)
+
+
+def test_disable_file_rejected_after_first_lines(tmp_path):
+    filler = "\n".join(f"x{i} = {i}" for i in range(12))
+    with pytest.raises(ConfigurationError, match="disable-file"):
+        lint_snippet(
+            tmp_path, filler + "\n# repro-lint: disable-file=R101\n")
+
+
+def test_malformed_rule_id_rejected(tmp_path):
+    with pytest.raises(ConfigurationError, match="malformed"):
+        lint_snippet(tmp_path, "x = 1  # repro-lint: disable=banana\n")
+
+
+# -------------------------------------------------------------- baseline
+
+
+VIOLATION = "def to_c(temp_k):\n    return temp_k - 273.15\n"
+
+
+def test_baseline_add_then_accept(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(VIOLATION)
+    baseline = tmp_path / "baseline.json"
+
+    first = run_lint(targets=[target], baseline_path=baseline)
+    assert not first.ok
+    assert first.new
+
+    count = update_baseline(first, baseline_path=baseline,
+                            justification="known issue, tracked")
+    assert count == len(first.new)
+    data = json.loads(baseline.read_text())
+    assert data["version"] == 1
+    assert all(e["justification"] == "known issue, tracked"
+               for e in data["entries"])
+
+    second = run_lint(targets=[target], baseline_path=baseline)
+    assert second.ok
+    assert not second.new
+    assert len(second.baselined) == len(first.new)
+
+
+def test_baseline_expires_when_violation_fixed(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(run_lint(targets=[target], baseline_path=baseline),
+                    baseline_path=baseline)
+
+    target.write_text(
+        "from repro.units import kelvin_to_celsius\n"
+        "def to_c(temp_k):\n    return kelvin_to_celsius(temp_k)\n")
+    report = run_lint(targets=[target], baseline_path=baseline)
+    assert report.stale_baseline
+    assert not report.ok  # stale entries demand baseline maintenance
+
+    update_baseline(report, baseline_path=baseline)
+    assert json.loads(baseline.read_text())["entries"] == []
+    assert run_lint(targets=[target], baseline_path=baseline).ok
+
+
+def test_baseline_survives_edits_on_other_lines(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(VIOLATION)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(run_lint(targets=[target], baseline_path=baseline),
+                    baseline_path=baseline)
+
+    # Insert lines above: the match is by line text, not line number.
+    target.write_text("import math\n\n" + VIOLATION)
+    assert run_lint(targets=[target], baseline_path=baseline).ok
+
+
+def test_baseline_occurrence_disambiguates_identical_lines(tmp_path):
+    src = ("def a(temp_k):\n    return temp_k - 273.15\n"
+           "def b(temp_k):\n    return temp_k - 273.15\n")
+    target = tmp_path / "snippet.py"
+    target.write_text(src)
+    baseline = tmp_path / "baseline.json"
+    first = run_lint(targets=[target], baseline_path=baseline,
+                     rules=[get_rule("R101")])
+    assert len(first.new) == 2
+    # Baseline only the first occurrence: the second must stay new.
+    entries = baseline_mod.entries_for(first.new)[:1]
+    baseline_mod.save(baseline, entries)
+    second = run_lint(targets=[target], baseline_path=baseline,
+                      rules=[get_rule("R101")])
+    assert len(second.baselined) == 1
+    assert len(second.new) == 1
+
+
+def test_baseline_unsupported_version_rejected(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ConfigurationError, match="version"):
+        baseline_mod.load(bad)
+
+
+def test_no_baseline_flag_reports_everything(tmp_path):
+    target = tmp_path / "snippet.py"
+    target.write_text(VIOLATION)
+    report = run_lint(targets=[target], use_baseline=False)
+    assert not report.ok
+    assert not report.baselined
+
+
+def test_baseline_entry_key_roundtrip():
+    entry = BaselineEntry(rule="R101", path="core/x.py",
+                          context="x = 273.15", occurrence=1,
+                          justification="why")
+    assert entry.key == ("R101", "core/x.py", "x = 273.15", 1)
+    assert entry.to_json()["occurrence"] == 1

@@ -37,3 +37,46 @@ def test_mhz_literal():
 def test_negative_temperatures_allowed_in_conversion():
     # Conversions are pure arithmetic; validity checks live in the models.
     assert units.celsius_to_kelvin(-40.0) == pytest.approx(233.15)
+
+
+def test_celsius_millicelsius_roundtrip():
+    assert units.millicelsius_to_celsius(
+        units.celsius_to_millicelsius(41.275)) == pytest.approx(41.275)
+
+
+def test_celsius_to_millicelsius_rounds_not_truncates():
+    # The sysfs trip-point unit is integer millidegrees.  0.1 degC steps
+    # are not exactly representable in binary (56.7 * 1000 = 56699.999...),
+    # so the converter rounds; plain int() truncation would be off by one.
+    assert units.celsius_to_millicelsius(56.7) == 56700
+    assert isinstance(units.celsius_to_millicelsius(56.7), int)
+
+
+def test_hz_mhz_khz_consistency():
+    assert units.hz_to_mhz(1_958_400_000.0) == pytest.approx(1958.4)
+    assert units.khz_to_mhz(600_000) == pytest.approx(600.0)
+    assert units.khz_to_mhz(units.hz_to_khz(units.mhz(384.0))) == pytest.approx(384.0)
+
+
+def test_seconds_milliseconds_roundtrip():
+    assert units.milliseconds_to_seconds(
+        units.seconds_to_milliseconds(0.25)) == pytest.approx(0.25)
+    assert units.seconds_to_milliseconds(1.5) == pytest.approx(1500.0)
+
+
+def test_seconds_microseconds_roundtrip():
+    assert units.microseconds_to_seconds(
+        units.seconds_to_microseconds(0.004)) == pytest.approx(0.004)
+    assert units.seconds_to_microseconds(2e-6) == pytest.approx(2.0)
+
+
+def test_watts_microwatts_roundtrip():
+    assert units.microwatts_to_watts(
+        units.watts_to_microwatts(3.3)) == pytest.approx(3.3)
+    assert units.watts_to_microwatts(0.5) == pytest.approx(500_000.0)
+
+
+def test_joules_millijoules_roundtrip():
+    assert units.millijoules_to_joules(
+        units.joules_to_millijoules(0.125)) == pytest.approx(0.125)
+    assert units.joules_to_millijoules(2.0) == pytest.approx(2000.0)

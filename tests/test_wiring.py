@@ -115,6 +115,29 @@ def test_trip_points_exposed(kernel):
     pytest.fail("governed zone not found")
 
 
+def test_trip_point_millicelsius_rounds():
+    # 56.7 * 1000 is 56699.999... in binary; the sysfs value must round
+    # to 56700, not truncate to 56699 (see units.celsius_to_millicelsius).
+    platform = odroid_xu3()
+    model = ThermalModel(
+        platform.thermal, 0.01, ambient_k=platform.default_ambient_k,
+        initial_k=platform.initial_temp_k,
+    )
+    cfg = KernelConfig(
+        thermal=ThermalConfig(
+            kind="step_wise", sensor="soc_big", cooled=("a15",),
+            trips=(TripPoint(56.7),),
+        )
+    )
+    k = Kernel(platform, model, Clock(0.01), RngRegistry(1), cfg)
+    for i in range(3):
+        if k.fs.read(f"/sys/class/thermal/thermal_zone{i}/type") == "soc_big":
+            base = f"/sys/class/thermal/thermal_zone{i}"
+            assert k.fs.read_int(f"{base}/trip_point_0_temp") == 56700
+            return
+    pytest.fail("governed zone not found")
+
+
 def test_cooling_device_nodes(kernel):
     assert kernel.fs.read_int("/sys/class/thermal/cooling_device0/cur_state") == 0
     max_state = kernel.fs.read_int("/sys/class/thermal/cooling_device0/max_state")
