@@ -4,7 +4,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint test check
+CAMPAIGN_STORE ?= /tmp/repro-campaign-smoke
+
+.PHONY: lint test check campaign-smoke
 
 lint:
 	$(PYTHON) -m repro lint
@@ -12,4 +14,12 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
-check: lint test
+# Run the tiny built-in campaign twice: the first pass simulates, the
+# second must be served entirely from the content-addressed store.
+campaign-smoke:
+	rm -rf $(CAMPAIGN_STORE)
+	$(PYTHON) -m repro campaign run --preset smoke --store $(CAMPAIGN_STORE) --jobs 2
+	$(PYTHON) -m repro campaign run --preset smoke --store $(CAMPAIGN_STORE) --jobs 2 --resume --format json \
+	  | $(PYTHON) -c "import json,sys; s=json.load(sys.stdin)['summary']; assert s['cached']==s['total']>0, s; print(f\"campaign-smoke: {s['cached']}/{s['total']} cached\")"
+
+check: lint test campaign-smoke

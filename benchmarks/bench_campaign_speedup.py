@@ -1,0 +1,86 @@
+"""Smoke benchmark (extension): campaign parallel speedup.
+
+Runs the same 8-scenario campaign twice into fresh stores — serially and
+with four worker processes — and asserts the two properties the campaign
+subsystem promises: the parallel run is meaningfully faster on a
+multi-core host, and the stored result objects are byte-identical
+whatever the worker count.
+"""
+
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.analysis.tables import render_table
+from repro.campaign import Axis, CampaignRunner, CampaignSpec, ResultStore
+from repro.sim.experiment import AppSpec
+
+from _harness import run_once
+
+#: 8 scenarios x ~60 simulated seconds: enough work for the pool
+#: overheads to amortise, small enough for a smoke benchmark.
+SPEC = CampaignSpec(
+    name="speedup-smoke",
+    base={
+        "platform": "odroid-xu3",
+        "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+        "duration_s": 60.0,
+    },
+    axes=(
+        Axis("policy", ("none", "stock")),
+        Axis("seed", (1, 2)),
+        Axis("ambient_c", (25.0, 30.0)),
+    ),
+)
+
+
+def _timed_campaign(root: pathlib.Path, jobs: int):
+    store = ResultStore(root)
+    started = time.perf_counter()
+    report = CampaignRunner(SPEC, store, jobs=jobs).run()
+    elapsed = time.perf_counter() - started
+    assert report.ok and report.count("completed") == SPEC.size
+    return store, elapsed
+
+
+def _store_bytes(store: ResultStore) -> dict[str, bytes]:
+    objects = store.root / "objects"
+    return {
+        str(p.relative_to(objects)): p.read_bytes()
+        for p in objects.glob("*/*.json")
+    }
+
+
+def test_campaign_parallel_speedup(benchmark, emit):
+    def sweep():
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            serial_store, serial_s = _timed_campaign(root / "serial", jobs=1)
+            parallel_store, parallel_s = _timed_campaign(root / "par", jobs=4)
+            return (_store_bytes(serial_store), serial_s,
+                    _store_bytes(parallel_store), parallel_s)
+
+    serial_objects, serial_s, parallel_objects, parallel_s = run_once(
+        benchmark, sweep)
+    speedup = serial_s / parallel_s
+    emit("campaign_speedup", render_table(
+        ["jobs", "wall s", "speedup"],
+        [[1, f"{serial_s:.2f}", "1.00"],
+         [4, f"{parallel_s:.2f}", f"{speedup:.2f}"]],
+        title=f"Campaign speedup: {SPEC.size} runs x "
+              f"{SPEC.base['duration_s']:.0f} simulated s",
+    ))
+
+    # Determinism: worker scheduling never leaks into the stored bytes.
+    assert len(serial_objects) == SPEC.size
+    assert serial_objects == parallel_objects
+    # Speedup: modest floor, tolerant of loaded CI hosts.  Gated on the
+    # cores this process may actually use (cgroup/affinity aware), since
+    # on a single-core box extra workers can only add overhead.
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cores = os.cpu_count() or 1
+    if cores >= 4:
+        assert speedup > 1.5, f"4 workers only {speedup:.2f}x faster"

@@ -25,6 +25,18 @@ class PowerBreakdown:
                 f"no rail {rail!r}; have {sorted(self.shares)}"
             ) from None
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {"total_w": self.total_w, "shares": dict(self.shares)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "PowerBreakdown":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            total_w=float(data["total_w"]),
+            shares={str(r): float(s) for r, s in data["shares"].items()},
+        )
+
 
 def breakdown_from_traces(
     traces: TraceRecorder,

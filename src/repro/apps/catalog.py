@@ -128,10 +128,10 @@ CATALOG: dict[str, CatalogEntry] = {
 }
 
 
-def make_app(name: str) -> FrameApp:
-    """Instantiate a catalog app by name."""
+def make_app(name: str, cluster: str | None = None) -> FrameApp:
+    """Instantiate a catalog app by name, optionally pinned to a cluster."""
     entry = CATALOG[name]
-    return FrameApp(entry.name, entry.workload)
+    return FrameApp(entry.name, entry.workload, cluster=cluster)
 
 
 def popular_app_names() -> tuple[str, ...]:

@@ -1,0 +1,45 @@
+"""``repro.campaign`` — parallel, cached, resumable experiment campaigns.
+
+The paper's evaluation is a grid — platforms x policies x apps x seeds —
+and the follow-on governor/ambient sweeps have the same shape.  This
+package turns such grids into first-class objects:
+
+* :mod:`repro.campaign.spec` — the declarative grid language
+  (:class:`Axis`, :class:`CampaignSpec`) expanding into frozen
+  :class:`~repro.sim.experiment.Scenario` runs with stable ids;
+* :mod:`repro.campaign.store` — a content-addressed on-disk result store
+  (key = canonical hash of the scenario spec + repro version), so
+  re-running a campaign executes only cache misses and an interrupted
+  campaign resumes where it stopped;
+* :mod:`repro.campaign.runner` — a ``ProcessPoolExecutor`` fan-out with
+  per-run fault isolation and timeouts, campaign-level metrics and a
+  provenance manifest;
+* :mod:`repro.campaign.presets` — existing ablations ported onto the
+  runner (also the CLI's ``--preset`` choices).
+
+See ``docs/CAMPAIGNS.md`` for the spec language, cache layout, resume
+semantics and failure records, and ``repro campaign --help`` for the CLI.
+"""
+
+from repro.campaign.presets import PRESETS
+from repro.campaign.runner import (
+    CampaignReport,
+    CampaignRunner,
+    RunFailure,
+    RunRecord,
+)
+from repro.campaign.spec import Axis, CampaignRun, CampaignSpec
+from repro.campaign.store import ResultStore, scenario_key
+
+__all__ = [
+    "PRESETS",
+    "Axis",
+    "CampaignReport",
+    "CampaignRun",
+    "CampaignRunner",
+    "CampaignSpec",
+    "ResultStore",
+    "RunFailure",
+    "RunRecord",
+    "scenario_key",
+]

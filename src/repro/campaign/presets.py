@@ -1,0 +1,98 @@
+"""Built-in campaigns: existing ablations ported onto the runner.
+
+Each preset returns a :class:`~repro.campaign.spec.CampaignSpec` mirroring
+a sweep the repository already performs serially elsewhere:
+
+* :func:`governor_horizon_campaign` — the prediction-horizon ablation of
+  ``benchmarks/bench_ablation_governor_params.py`` (game + background BML
+  on the Odroid-XU3 under the proposed governor);
+* :func:`table1_seed_campaign` — the paper's Table I grid (each catalog
+  app alone on the Nexus 6P, with and without thermal management) swept
+  across seeds;
+* :func:`smoke_campaign` — a four-run miniature for CI and the
+  ``make campaign-smoke`` target.
+
+Presets are looked up by name through :data:`PRESETS` (the CLI's
+``--preset`` choices).
+"""
+
+from __future__ import annotations
+
+from repro.apps.catalog import popular_app_names
+from repro.campaign.spec import Axis, CampaignSpec
+from repro.sim.experiment import AppSpec
+
+
+def governor_horizon_campaign(
+    horizons_s: tuple[float, ...] = (10.0, 30.0, 60.0, 120.0),
+    duration_s: float = 150.0,
+    seed: int = 3,
+    t_limit_c: float = 60.0,
+) -> CampaignSpec:
+    """The governor-parameter ablation as a campaign.
+
+    Sweeps the application-aware governor's prediction horizon on the
+    3DMark-like foreground + BML background scenario: longer horizons act
+    earlier and cap the peak temperature, while the foreground frame rate
+    stays protected in every configuration.
+    """
+    return CampaignSpec(
+        name="governor-horizon",
+        base={
+            "platform": "odroid-xu3",
+            "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+            "policy": "proposed",
+            "duration_s": duration_s,
+            "seed": seed,
+            "governor": {"t_limit_c": t_limit_c},
+        },
+        axes=(Axis("governor.horizon_s", tuple(horizons_s)),),
+    )
+
+
+def table1_seed_campaign(
+    seeds: tuple[int, ...] = (1, 2, 3),
+    duration_s: float = 120.0,
+) -> CampaignSpec:
+    """The paper's Table I grid swept across seeds.
+
+    Every catalog app runs alone on the Nexus 6P twice per seed: without
+    thermal management (``none`` — the table's "FPS w/o" column) and under
+    the stock trip governor (``stock`` — "FPS w/").
+    """
+    return CampaignSpec(
+        name="table1-seeds",
+        base={"platform": "nexus6p", "duration_s": duration_s},
+        axes=(
+            Axis(
+                "apps",
+                tuple((AppSpec.catalog(name),) for name in popular_app_names()),
+            ),
+            Axis("policy", ("none", "stock")),
+            Axis("seed", tuple(seeds)),
+        ),
+    )
+
+
+def smoke_campaign(duration_s: float = 8.0) -> CampaignSpec:
+    """Four short Odroid runs — the CI smoke campaign."""
+    return CampaignSpec(
+        name="smoke",
+        base={
+            "platform": "odroid-xu3",
+            "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+            "duration_s": duration_s,
+        },
+        axes=(
+            Axis("policy", ("none", "stock")),
+            Axis("seed", (3, 4)),
+        ),
+    )
+
+
+#: Name → factory, as exposed by ``repro campaign --preset``.
+PRESETS = {
+    "governor-horizon": governor_horizon_campaign,
+    "smoke": smoke_campaign,
+    "table1-seeds": table1_seed_campaign,
+}

@@ -15,6 +15,13 @@ Commands regenerate the paper's artefacts or run one-off analyses:
   discipline, determinism, sysfs contract, float hygiene); exits non-zero
   on findings that are neither suppressed nor baselined.  See
   ``docs/STATIC_ANALYSIS.md``.
+* ``campaign run|status|results`` — expand a declarative scenario grid
+  (``--spec`` JSON file or built-in ``--preset``), fan the cache misses
+  out over ``--jobs`` worker processes into a content-addressed result
+  store, and report per-run outcomes.  Completed runs are cached by
+  scenario content, so re-running executes only the missing work and
+  ``--resume`` continues an interrupted campaign.  See
+  ``docs/CAMPAIGNS.md``.
 
 ``table1``/``table2``/``fig8``/``fig9`` accept ``--export-dir DIR`` to dump
 each underlying run's full observability bundle — ``manifest.json``,
@@ -25,6 +32,7 @@ each underlying run's full observability bundle — ``manifest.json``,
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -231,6 +239,93 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _load_campaign_spec(args: argparse.Namespace):
+    """Resolve ``--spec FILE`` / ``--preset NAME`` into a CampaignSpec."""
+    from repro.campaign import PRESETS, CampaignSpec
+
+    if bool(args.spec) == bool(args.preset):
+        raise SystemExit(
+            "campaign: give exactly one of --spec FILE or --preset NAME"
+        )
+    if args.preset:
+        try:
+            return PRESETS[args.preset]()
+        except KeyError:
+            raise SystemExit(
+                f"unknown preset {args.preset!r}; have {sorted(PRESETS)}"
+            ) from None
+    try:
+        with open(args.spec) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise SystemExit(f"campaign: cannot read spec: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"campaign: malformed spec JSON: {exc}") from None
+    return CampaignSpec.from_dict(data)
+
+
+def _campaign_runner(args: argparse.Namespace, jobs: int = 1,
+                     timeout_s: float | None = None):
+    from repro.campaign import CampaignRunner, ResultStore
+
+    spec = _load_campaign_spec(args)
+    store = ResultStore(args.store)
+    return CampaignRunner(spec, store, jobs=jobs, timeout_s=timeout_s)
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    runner = _campaign_runner(args, jobs=args.jobs, timeout_s=args.timeout)
+    if args.resume and runner.store.load_campaign_manifest(runner.spec.name) is None:
+        raise SystemExit(
+            f"campaign: nothing to resume — no manifest for "
+            f"{runner.spec.name!r} under {args.store}"
+        )
+    report = runner.run()
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return 0 if report.ok else 1
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    runner = _campaign_runner(args)
+    report = runner.status()
+    print(report.render_json() if args.format == "json"
+          else report.render_text())
+    return 0
+
+
+def _cmd_campaign_results(args: argparse.Namespace) -> int:
+    runner = _campaign_runner(args)
+    results = runner.results()
+    missing = [run.run_id for run in runner.runs if run.run_id not in results]
+    if args.format == "json":
+        payload = {
+            "name": runner.spec.name,
+            "results": {rid: res.to_dict() for rid, res in results.items()},
+            "missing": missing,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for run in runner.runs:
+        result = results.get(run.run_id)
+        if result is None:
+            continue
+        fps = "  ".join(f"{app}={val:.1f}" for app, val in sorted(result.fps.items()))
+        rows.append([
+            run.run_id, result.policy, f"{result.peak_temp_c:.1f}",
+            f"{result.end_temp_c:.1f}", f"{result.mean_power_w:.2f}", fps,
+        ])
+    out = render_table(
+        ["run", "policy", "peak degC", "end degC", "mean W", "median FPS"],
+        rows, title=f"Campaign {runner.spec.name}: cached results",
+    )
+    if missing:
+        out += f"\n{len(missing)} run(s) not cached yet: " + ", ".join(missing)
+    print(out)
+    return 0
+
+
 def _cmd_critical(args: argparse.Namespace) -> str:
     return (
         f"Critical power (Odroid-XU3, fan off): "
@@ -253,6 +348,7 @@ commands:
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
+  campaign   run/status/results of a parallel, cached scenario campaign
 """
 
 
@@ -317,6 +413,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="print the rule catalogue and exit")
     lint_cmd.set_defaults(fn=_cmd_lint)
+
+    campaign_cmd = sub.add_parser("campaign")
+    campaign_sub = campaign_cmd.add_subparsers(dest="action", required=True)
+    for action, fn in (
+        ("run", _cmd_campaign_run),
+        ("status", _cmd_campaign_status),
+        ("results", _cmd_campaign_results),
+    ):
+        cmd = campaign_sub.add_parser(action)
+        cmd.add_argument("--spec", default=None,
+                         help="campaign spec JSON file (docs/CAMPAIGNS.md)")
+        cmd.add_argument("--preset", default=None,
+                         help="built-in campaign (smoke, governor-horizon, "
+                              "table1-seeds)")
+        cmd.add_argument("--store", default="campaign-store",
+                         help="result-store directory (created on demand)")
+        cmd.add_argument("--format", choices=("text", "json"), default="text")
+        if action == "run":
+            cmd.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (1 = run in-process)")
+            cmd.add_argument("--timeout", type=float, default=None,
+                             help="per-run wall-clock timeout in seconds")
+            cmd.add_argument("--resume", action="store_true",
+                             help="continue an interrupted campaign; errors "
+                                  "if it was never started")
+        cmd.set_defaults(fn=fn)
 
     describe_cmd = sub.add_parser("describe")
     describe_cmd.add_argument("--platform", required=True,

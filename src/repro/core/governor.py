@@ -21,6 +21,7 @@ processes back to the big cluster once ample thermal headroom returns.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -72,6 +73,22 @@ class GovernorConfig:
             raise ConfigurationError(f"unknown governor action {self.action!r}")
         if not 0.0 < self.min_quota <= 1.0:
             raise ConfigurationError("min_quota must be in (0, 1]")
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "GovernorConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown GovernorConfig field(s) {sorted(unknown)}; "
+                f"have {sorted(known)}"
+            )
+        return cls(**dict(data))
 
 
 @dataclass(frozen=True)

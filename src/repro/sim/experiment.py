@@ -18,7 +18,8 @@ is registered as real-time).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -64,11 +65,25 @@ class AppSpec:
     def build(self) -> Application:
         """Instantiate the application."""
         if self.kind == "catalog":
-            app = make_app(self.name)
-            if self.cluster is not None:
-                app._cluster = self.cluster
-            return app
+            return make_app(self.name, cluster=self.cluster)
         return MIBENCH_SUITE[self.name](cluster=self.cluster)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {"kind": self.kind, "name": self.name, "cluster": self.cluster}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AppSpec":
+        """Inverse of :meth:`to_dict`, re-running catalog validation."""
+        kind = data.get("kind")
+        cluster = data.get("cluster")
+        if kind == "catalog":
+            return cls.catalog(data["name"], cluster)
+        if kind == "batch":
+            return cls.batch(data["name"], cluster)
+        raise ConfigurationError(
+            f"unknown AppSpec kind {kind!r}; have ('catalog', 'batch')"
+        )
 
 
 @dataclass(frozen=True)
@@ -83,6 +98,34 @@ class ScenarioResult:
     mean_power_w: float
     governor_events: tuple[tuple[float, str, str], ...]
 
+    def to_dict(self) -> dict:
+        """JSON-serialisable form — the campaign store's wire format."""
+        return {
+            "policy": self.policy,
+            "fps": dict(self.fps),
+            "peak_temp_c": self.peak_temp_c,
+            "end_temp_c": self.end_temp_c,
+            "breakdown": self.breakdown.to_dict(),
+            "mean_power_w": self.mean_power_w,
+            "governor_events": [list(e) for e in self.governor_events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            policy=str(data["policy"]),
+            fps={str(k): float(v) for k, v in data["fps"].items()},
+            peak_temp_c=float(data["peak_temp_c"]),
+            end_temp_c=float(data["end_temp_c"]),
+            breakdown=PowerBreakdown.from_dict(data["breakdown"]),
+            mean_power_w=float(data["mean_power_w"]),
+            governor_events=tuple(
+                (float(t), str(name), str(direction))
+                for t, name, direction in data["governor_events"]
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -94,7 +137,8 @@ class Scenario:
     duration_s: float = 120.0
     seed: int = 3
     t_limit_c: float | None = None
-    governor: GovernorConfig | None = field(default=None, compare=False)
+    governor: GovernorConfig | None = None
+    ambient_c: float | None = None
 
     def __post_init__(self) -> None:
         if self.platform not in PLATFORMS:
@@ -109,6 +153,48 @@ class Scenario:
             raise ConfigurationError("a scenario needs at least one app")
         if self.duration_s <= 0.0:
             raise ConfigurationError("duration must be positive")
+
+    def to_dict(self) -> dict:
+        """Complete JSON-serialisable description — the cache-key input."""
+        return {
+            "platform": self.platform,
+            "apps": [spec.to_dict() for spec in self.apps],
+            "policy": self.policy,
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "t_limit_c": self.t_limit_c,
+            "governor": None if self.governor is None else self.governor.to_dict(),
+            "ambient_c": self.ambient_c,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Scenario":
+        """Inverse of :meth:`to_dict`; optional keys fall back to defaults."""
+        known = {
+            "platform", "apps", "policy", "duration_s", "seed",
+            "t_limit_c", "governor", "ambient_c",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown Scenario field(s) {sorted(unknown)}; have {sorted(known)}"
+            )
+        governor = data.get("governor")
+        if isinstance(governor, Mapping):
+            governor = GovernorConfig.from_dict(governor)
+        return cls(
+            platform=data["platform"],
+            apps=tuple(
+                spec if isinstance(spec, AppSpec) else AppSpec.from_dict(spec)
+                for spec in data["apps"]
+            ),
+            policy=data.get("policy", "stock"),
+            duration_s=data.get("duration_s", 120.0),
+            seed=data.get("seed", 3),
+            t_limit_c=data.get("t_limit_c"),
+            governor=governor,
+            ambient_c=data.get("ambient_c"),
+        )
 
     def _platform(self):
         if self.platform == "nexus6p":
@@ -139,7 +225,7 @@ class Scenario:
         apps = [spec.build() for spec in self.apps]
         sim = Simulation(
             platform, apps, kernel_config=self._kernel_config(), seed=self.seed,
-            enable_daq=True,
+            ambient_c=self.ambient_c, enable_daq=True,
         )
         governor = None
         if self.policy == "proposed":

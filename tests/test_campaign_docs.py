@@ -1,0 +1,82 @@
+"""docs/CAMPAIGNS.md must match the CLI surface and the metric families."""
+
+import argparse
+import pathlib
+import re
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, PRESETS, ResultStore
+from repro.campaign.spec import Axis
+from repro.cli import build_parser
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "CAMPAIGNS.md"
+
+#: Inline-code tokens that look like CLI flags, e.g. `--jobs N`.
+_FLAG_RE = re.compile(r"`(--[a-z][a-z-]*)")
+
+#: Inline-code tokens that look like campaign metric family names.
+_METRIC_RE = re.compile(r"`(repro_campaign_[a-z0-9_]+)`")
+
+
+def _subparser_choices(parser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
+@pytest.fixture(scope="module")
+def campaign_parsers():
+    return _subparser_choices(_subparser_choices(build_parser())["campaign"])
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/CAMPAIGNS.md is part of the campaign contract"
+
+
+def test_every_documented_flag_exists(campaign_parsers):
+    implemented = {
+        flag
+        for sub in campaign_parsers.values()
+        for action in sub._actions
+        for flag in action.option_strings
+        if flag.startswith("--") and flag != "--help"
+    }
+    documented = set(_FLAG_RE.findall(DOC.read_text()))
+    stale = documented - implemented
+    missing = implemented - documented
+    assert not stale, f"documented but not in build_parser(): {sorted(stale)}"
+    assert not missing, f"flags missing from the doc: {sorted(missing)}"
+
+
+def test_actions_documented(campaign_parsers):
+    text = DOC.read_text()
+    assert set(campaign_parsers) == {"run", "status", "results"}
+    for action in campaign_parsers:
+        assert action in text
+
+
+def test_presets_documented():
+    text = DOC.read_text()
+    for name in PRESETS:
+        assert f"`{name}`" in text, f"preset {name!r} missing from the doc"
+
+
+def test_metric_catalogue_matches_runner(tmp_path):
+    spec = CampaignSpec(
+        name="doc-check",
+        base={"platform": "odroid-xu3",
+              "apps": ({"kind": "catalog", "name": "stickman",
+                        "cluster": None},)},
+        axes=(Axis("seed", (1,)),),
+    )
+    runner = CampaignRunner(spec, ResultStore(tmp_path), jobs=1)
+    emitted = {n for n in runner.metrics.names()
+               if n.startswith("repro_campaign_")}
+    documented = set(_METRIC_RE.findall(DOC.read_text()))
+    assert emitted, "runner registered no campaign metric families"
+    missing = emitted - documented
+    stale = documented - emitted
+    assert not missing, f"registered but undocumented: {sorted(missing)}"
+    assert not stale, f"documented but never registered: {sorted(stale)}"

@@ -1,0 +1,110 @@
+"""Content-addressed result store: keys, payloads, attempts."""
+
+import json
+
+import pytest
+
+from repro import __version__
+from repro.campaign.store import RESULT_SCHEMA, ResultStore, scenario_key
+from repro.errors import ConfigurationError
+from repro.sim.experiment import AppSpec, Scenario, ScenarioResult
+
+
+def scenario(**overrides):
+    fields = {
+        "platform": "odroid-xu3",
+        "apps": (AppSpec.catalog("stickman"),),
+        "policy": "none",
+        "duration_s": 8.0,
+    }
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+@pytest.fixture(scope="module")
+def short_result():
+    return scenario().run()
+
+
+def test_key_is_stable_and_content_derived():
+    a = scenario_key(scenario())
+    assert a == scenario_key(scenario())       # pure function of the spec
+    assert len(a) == 64 and int(a, 16) >= 0    # sha256 hex
+    assert a != scenario_key(scenario(seed=4))
+    assert a != scenario_key(scenario(ambient_c=30.0))
+    assert a != scenario_key(scenario(duration_s=9.0))
+
+
+def test_governor_knobs_change_the_key():
+    from repro.core.governor import GovernorConfig
+
+    base = scenario(policy="proposed", governor=GovernorConfig(horizon_s=30.0))
+    other = scenario(policy="proposed", governor=GovernorConfig(horizon_s=60.0))
+    assert scenario_key(base) != scenario_key(other)
+
+
+def test_save_load_roundtrip(tmp_path, short_result):
+    store = ResultStore(tmp_path / "store")
+    sc = scenario()
+    key = scenario_key(sc)
+    assert not store.has(key)
+    assert store.load(key) is None
+
+    path = store.save(key, sc, short_result)
+    assert store.has(key)
+    assert path == store.object_path(key)
+    assert path.parent.name == key[:2]         # objects/<key[:2]>/<key>.json
+
+    loaded = store.load(key)
+    assert loaded == short_result
+    payload = store.load_payload(key)
+    assert payload["schema"] == RESULT_SCHEMA
+    assert payload["repro_version"] == __version__
+    assert payload["scenario"] == sc.to_dict()
+    assert store.keys() == [key]
+    # No temp droppings left behind by the atomic write.
+    assert not list(path.parent.glob("*.tmp.*"))
+
+
+def test_save_is_byte_deterministic(tmp_path, short_result):
+    sc = scenario()
+    key = scenario_key(sc)
+    one = ResultStore(tmp_path / "one")
+    two = ResultStore(tmp_path / "two")
+    one.save(key, sc, short_result)
+    two.save(key, sc, short_result)
+    assert (one.object_path(key).read_bytes()
+            == two.object_path(key).read_bytes())
+
+
+def test_result_dict_roundtrip(short_result):
+    data = json.loads(json.dumps(short_result.to_dict()))
+    assert ScenarioResult.from_dict(data) == short_result
+
+
+def test_malformed_key_rejected(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(ConfigurationError):
+        store.object_path("ab")
+
+
+def test_attempt_markers(tmp_path):
+    store = ResultStore(tmp_path)
+    key = "deadbeef" * 8
+    assert store.attempts(key) == 0
+    assert store.record_attempt(key) == 1
+    assert store.record_attempt(key) == 2
+    assert store.attempts(key) == 2
+    store.clear_attempts(key)
+    assert store.attempts(key) == 0
+    store.clear_attempts(key)  # idempotent
+
+
+def test_campaign_manifest_paths(tmp_path):
+    store = ResultStore(tmp_path)
+    assert store.load_campaign_manifest("nope") is None
+    path = store.manifest_path("demo")
+    assert path == store.campaign_dir("demo") / "manifest.json"
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps({"name": "demo"}))
+    assert store.load_campaign_manifest("demo") == {"name": "demo"}

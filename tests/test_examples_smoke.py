@@ -32,6 +32,13 @@ def test_fast_examples_run(name, capsys):
     assert out.strip()  # produced some report
 
 
+def test_campaign_sweep_example(capsys):
+    run_example("campaign_sweep")
+    out = capsys.readouterr().out
+    assert "6/6 run(s) served from the store" in out
+    assert "Campaign example-sweep: results" in out
+
+
 def test_custom_platform_example(capsys):
     run_example("custom_platform")
     out = capsys.readouterr().out

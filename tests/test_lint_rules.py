@@ -227,6 +227,28 @@ def test_r204_sorted_set_is_clean(tmp_path):
     assert "R204" not in rule_ids(findings)
 
 
+def test_campaign_runner_is_determinism_clean(tmp_path):
+    """The campaign subsystem's only wall-clock reads are perf_counter
+    (sanctioned) and one justified, suppressed manifest timestamp."""
+    import repro.campaign.runner as runner_mod
+
+    source = pathlib.Path(runner_mod.__file__).read_text()
+    findings = lint_snippet(tmp_path, source, relpath="campaign/runner.py")
+    assert not [f for f in findings if f.rule.startswith("R2")], findings
+
+
+def test_campaign_runner_suppression_is_load_bearing(tmp_path):
+    """Strip the manifest timestamp's inline disable and R202 must fire —
+    proving the suppression exists because the read is really there."""
+    import repro.campaign.runner as runner_mod
+
+    source = pathlib.Path(runner_mod.__file__).read_text()
+    assert "# repro-lint: disable=R202" in source
+    stripped = source.replace("# repro-lint: disable=R202", "")
+    findings = lint_snippet(tmp_path, stripped, relpath="campaign/runner.py")
+    assert rule_ids(findings).count("R202") == 1
+
+
 # ----------------------------------------------------- R3: sysfs contract
 
 
