@@ -5,8 +5,9 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 CAMPAIGN_STORE ?= /tmp/repro-campaign-smoke
+PLATFORM_STORE ?= /tmp/repro-platform-matrix
 
-.PHONY: lint test check campaign-smoke
+.PHONY: lint test check campaign-smoke validate-platforms
 
 lint:
 	$(PYTHON) -m repro lint
@@ -14,12 +15,18 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
-# Run the tiny built-in campaign twice: the first pass simulates, the
-# second must be served entirely from the content-addressed store.
+validate-platforms:
+	$(PYTHON) -m repro platforms validate
+
+# Run the tiny built-in campaign twice (the first pass simulates, the
+# second must be served entirely from the content-addressed store), then
+# sweep every registered platform — including the purely data-defined
+# devices — through one short stock-policy run each.
 campaign-smoke:
-	rm -rf $(CAMPAIGN_STORE)
+	rm -rf $(CAMPAIGN_STORE) $(PLATFORM_STORE)
 	$(PYTHON) -m repro campaign run --preset smoke --store $(CAMPAIGN_STORE) --jobs 2
 	$(PYTHON) -m repro campaign run --preset smoke --store $(CAMPAIGN_STORE) --jobs 2 --resume --format json \
 	  | $(PYTHON) -c "import json,sys; s=json.load(sys.stdin)['summary']; assert s['cached']==s['total']>0, s; print(f\"campaign-smoke: {s['cached']}/{s['total']} cached\")"
+	$(PYTHON) -m repro campaign run --preset platform-matrix --store $(PLATFORM_STORE) --jobs 2
 
-check: lint test campaign-smoke
+check: lint validate-platforms test campaign-smoke

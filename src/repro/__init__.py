@@ -6,7 +6,8 @@ Public API layers:
 * ``repro.core``     — the paper's contribution: power-temperature stability
   analysis and the application-aware thermal governor.
 * ``repro.soc``      — SoC models (Snapdragon 810 / Nexus 6P, Exynos 5422 /
-  Odroid-XU3): OPP tables, power model.
+  Odroid-XU3, Snapdragon 821 / Pixel XL): OPP tables, power model, and the
+  data-driven platform registry (see docs/PLATFORMS.md).
 * ``repro.thermal``  — RC thermal networks and sensors.
 * ``repro.kernel``   — Linux-like substrate: scheduler, cpufreq/devfreq
   governors, thermal zones (step_wise, IPA), virtual sysfs/procfs.
@@ -44,8 +45,16 @@ from repro.obs import (
     prometheus_text,
 )
 from repro.sim.engine import Simulation
+from repro.soc.defs import PlatformDef
 from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.registry import (
+    REGISTRY,
+    PlatformRegistry,
+    build as build_platform,
+    platform_names,
+)
 from repro.soc.snapdragon810 import nexus6p
+from repro.soc.snapdragon821 import pixel_xl
 
 __version__ = "1.0.0"
 
@@ -57,6 +66,9 @@ __all__ = [
     "KernelConfig",
     "LumpedThermalParams",
     "MetricsRegistry",
+    "PlatformDef",
+    "PlatformRegistry",
+    "REGISTRY",
     "ReproError",
     "Simulation",
     "SpanTracer",
@@ -65,10 +77,13 @@ __all__ = [
     "ThermalConfig",
     "analyze",
     "build_manifest",
+    "build_platform",
     "critical_power_w",
     "export_simulation",
     "nexus6p",
     "odroid_xu3",
+    "pixel_xl",
+    "platform_names",
     "prometheus_text",
     "__version__",
 ]

@@ -10,10 +10,14 @@ a sweep the repository already performs serially elsewhere:
   app alone on the Nexus 6P, with and without thermal management) swept
   across seeds;
 * :func:`smoke_campaign` — a four-run miniature for CI and the
-  ``make campaign-smoke`` target.
+  ``make campaign-smoke`` target;
+* :func:`platform_matrix_campaign` — one short stock-policy run on every
+  platform in :mod:`repro.soc.registry`, proving that data-defined
+  devices sweep through campaigns with no campaign-code changes.
 
 Presets are looked up by name through :data:`PRESETS` (the CLI's
-``--preset`` choices).
+``--preset`` choices).  Platform names come from the registry's exported
+constants — no layer of the campaign system spells device strings.
 """
 
 from __future__ import annotations
@@ -21,6 +25,9 @@ from __future__ import annotations
 from repro.apps.catalog import popular_app_names
 from repro.campaign.spec import Axis, CampaignSpec
 from repro.sim.experiment import AppSpec
+from repro.soc.exynos5422 import ODROID_XU3
+from repro.soc.registry import platform_names
+from repro.soc.snapdragon810 import NEXUS6P
 
 
 def governor_horizon_campaign(
@@ -39,7 +46,7 @@ def governor_horizon_campaign(
     return CampaignSpec(
         name="governor-horizon",
         base={
-            "platform": "odroid-xu3",
+            "platform": ODROID_XU3,
             "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
             "policy": "proposed",
             "duration_s": duration_s,
@@ -62,7 +69,7 @@ def table1_seed_campaign(
     """
     return CampaignSpec(
         name="table1-seeds",
-        base={"platform": "nexus6p", "duration_s": duration_s},
+        base={"platform": NEXUS6P, "duration_s": duration_s},
         axes=(
             Axis(
                 "apps",
@@ -79,7 +86,7 @@ def smoke_campaign(duration_s: float = 8.0) -> CampaignSpec:
     return CampaignSpec(
         name="smoke",
         base={
-            "platform": "odroid-xu3",
+            "platform": ODROID_XU3,
             "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
             "duration_s": duration_s,
         },
@@ -90,9 +97,27 @@ def smoke_campaign(duration_s: float = 8.0) -> CampaignSpec:
     )
 
 
+def platform_matrix_campaign(duration_s: float = 8.0) -> CampaignSpec:
+    """One short stock-policy run on every registered platform.
+
+    The platform axis is read from the registry at expansion time, so a
+    newly registered device definition joins this sweep automatically.
+    """
+    return CampaignSpec(
+        name="platform-matrix",
+        base={
+            "apps": (AppSpec.catalog("stickman"),),
+            "policy": "stock",
+            "duration_s": duration_s,
+        },
+        axes=(Axis("platform", platform_names()),),
+    )
+
+
 #: Name → factory, as exposed by ``repro campaign --preset``.
 PRESETS = {
     "governor-horizon": governor_horizon_campaign,
+    "platform-matrix": platform_matrix_campaign,
     "smoke": smoke_campaign,
     "table1-seeds": table1_seed_campaign,
 }

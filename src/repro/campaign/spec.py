@@ -6,7 +6,7 @@ values over the fields of :class:`~repro.sim.experiment.Scenario`:
     spec = CampaignSpec(
         name="horizon-sweep",
         base={
-            "platform": "odroid-xu3",
+            "platform": "pixel-xl",
             "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
             "policy": "proposed",
             "duration_s": 30.0,

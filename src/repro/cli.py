@@ -9,6 +9,11 @@ Commands regenerate the paper's artefacts or run one-off analyses:
 * ``critical`` — the critical power of the Odroid-XU3 lumped model;
 * ``advise --app A`` — profile a catalog app and print tuning advice;
 * ``describe --platform P`` — dump a platform's thermal RC network;
+* ``platforms list|describe|validate`` — inspect the platform registry:
+  the device catalogue, one definition's full data (``--format json`` is
+  the round-trippable PlatformDef schema of ``docs/PLATFORMS.md``), or a
+  validation pass over every registered definition (``validate --file``
+  checks an out-of-tree JSON definition instead);
 * ``metrics --app A`` — run an app and print its Prometheus metrics;
 * ``trace --app A`` — run an app and print its span/ftrace event log;
 * ``lint`` — domain-aware static analysis over ``src/repro`` (unit
@@ -40,7 +45,8 @@ from repro.analysis.tables import render_table
 from repro.core.budget import safe_power_budget_w
 from repro.core.fixed_point import analyze, critical_power_w
 from repro.core.stability import ODROID_XU3_LUMPED
-from repro.units import celsius_to_kelvin, kelvin_to_celsius
+from repro.soc.snapdragon810 import NEXUS6P
+from repro.units import celsius_to_kelvin, hz_to_mhz, kelvin_to_celsius
 
 
 def _maybe_export(args: argparse.Namespace, command: str, runs_fn) -> str:
@@ -146,48 +152,50 @@ def _cmd_budget(args: argparse.Namespace) -> str:
     )
 
 
+def _build_platform(name: str):
+    """Resolve a platform name through the registry, exiting nicely."""
+    from repro.errors import ConfigurationError
+    from repro.soc import registry as platform_registry
+
+    try:
+        return platform_registry.build(name)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+
+
 def _cmd_advise(args: argparse.Namespace) -> str:
     from repro.apps.catalog import CATALOG, make_app
     from repro.core.advisor import advise, render_advice
     from repro.kernel.kernel import KernelConfig
     from repro.sim.engine import Simulation
-    from repro.soc.snapdragon810 import nexus6p
 
     if args.app not in CATALOG:
         raise SystemExit(f"unknown app {args.app!r}; have {sorted(CATALOG)}")
     sim = Simulation(
-        nexus6p(), [make_app(args.app)], kernel_config=KernelConfig(),
-        seed=args.seed,
+        _build_platform(args.platform), [make_app(args.app)],
+        kernel_config=KernelConfig(), seed=args.seed,
     )
     sim.run(args.profile_s)
     return render_advice(advise(sim, args.app, t_limit_c=args.limit))
 
 
 def _cmd_describe(args: argparse.Namespace) -> str:
-    from repro.soc.exynos5422 import odroid_xu3
-    from repro.soc.snapdragon810 import nexus6p
     from repro.thermal.describe import describe_network
 
-    platforms = {"nexus6p": nexus6p, "odroid-xu3": odroid_xu3}
-    if args.platform not in platforms:
-        raise SystemExit(
-            f"unknown platform {args.platform!r}; have {sorted(platforms)}"
-        )
-    return describe_network(platforms[args.platform]().thermal)
+    return describe_network(_build_platform(args.platform).thermal)
 
 
 def _run_catalog_app(args: argparse.Namespace):
-    """Run one catalog app on the phone model for the obs commands."""
+    """Run one catalog app on a platform model for the obs commands."""
     from repro.apps.catalog import CATALOG, make_app
     from repro.kernel.kernel import KernelConfig
     from repro.sim.engine import Simulation
-    from repro.soc.snapdragon810 import nexus6p
 
     if args.app not in CATALOG:
         raise SystemExit(f"unknown app {args.app!r}; have {sorted(CATALOG)}")
     sim = Simulation(
-        nexus6p(), [make_app(args.app)], kernel_config=KernelConfig(),
-        seed=args.seed, profile=args.profile,
+        _build_platform(args.platform), [make_app(args.app)],
+        kernel_config=KernelConfig(), seed=args.seed, profile=args.profile,
     )
     sim.run(args.duration)
     return sim
@@ -326,6 +334,105 @@ def _cmd_campaign_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_platforms_list(args: argparse.Namespace) -> str:
+    from repro.soc import registry as platform_registry
+
+    if args.format == "json":
+        payload = {
+            name: platform_registry.get(name).to_dict()
+            for name in platform_registry.platform_names()
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    rows = []
+    for name in platform_registry.platform_names():
+        pdef = platform_registry.get(name)
+        spec = pdef.compile()
+        thermal = pdef.stock_thermal_config()
+        rows.append([
+            name,
+            str(spec.extras.get("soc", "?")),
+            "+".join(c.name for c in spec.clusters),
+            str(len(spec.thermal.nodes)),
+            thermal.kind,
+            f"{pdef.default_t_limit_c:.0f}",
+        ])
+    return render_table(
+        ["platform", "soc", "clusters", "nodes", "stock policy", "limit degC"],
+        rows, title="Registered platforms",
+    )
+
+
+def _cmd_platforms_describe(args: argparse.Namespace) -> str:
+    from repro.errors import ConfigurationError
+    from repro.soc import registry as platform_registry
+    from repro.thermal.describe import describe_network
+
+    try:
+        pdef = platform_registry.get(args.platform)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.format == "json":
+        return json.dumps(pdef.to_dict(), indent=2, sort_keys=True)
+    spec = pdef.compile()
+    thermal = pdef.stock_thermal_config()
+    lines = [f"{pdef.name}: " + ", ".join(
+        f"{k}={v}" for k, v in sorted(spec.extras.items())
+        if isinstance(v, str)
+    )]
+    for cluster in spec.clusters:
+        role = "LITTLE" if cluster.is_little else ("big" if cluster.is_big else "mid")
+        lines.append(
+            f"  cluster {cluster.name} ({cluster.core_type}, {role}): "
+            f"{cluster.n_cores}x {hz_to_mhz(cluster.opps.min_freq_hz):.0f}-"
+            f"{hz_to_mhz(cluster.opps.max_freq_hz):.0f} MHz"
+        )
+    lines.append(
+        f"  gpu {spec.gpu.name} ({spec.gpu.gpu_type}): "
+        f"{hz_to_mhz(spec.gpu.opps.min_freq_hz):.0f}-"
+        f"{hz_to_mhz(spec.gpu.opps.max_freq_hz):.0f} MHz"
+    )
+    lines.append(
+        f"  sensors: " + ", ".join(s.name for s in spec.sensors)
+    )
+    lines.append(
+        f"  stock policy: {thermal.kind} on {thermal.sensor}, "
+        f"limit {pdef.default_t_limit_c:.1f} degC"
+    )
+    lines.append("")
+    lines.append(describe_network(spec.thermal))
+    return "\n".join(lines)
+
+
+def _cmd_platforms_validate(args: argparse.Namespace) -> str:
+    from repro.errors import ConfigurationError
+    from repro.soc import registry as platform_registry
+    from repro.soc.defs import PlatformDef
+
+    if args.file:
+        try:
+            with open(args.file) as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"platforms: cannot read {args.file}: {exc}") from None
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"platforms: malformed JSON: {exc}") from None
+        try:
+            pdef = PlatformDef.from_dict(data)
+            pdef.validate()
+        except ConfigurationError as exc:
+            raise SystemExit(f"platforms: invalid definition: {exc}") from None
+        return f"{pdef.name}: OK"
+    lines = []
+    for name in platform_registry.platform_names():
+        try:
+            platform_registry.get(name).validate()
+        except ConfigurationError as exc:
+            raise SystemExit(f"platforms: {name}: {exc}") from None
+        lines.append(f"{name}: OK")
+    lines.append(f"{len(lines)} platform definition(s) valid")
+    return "\n".join(lines)
+
+
 def _cmd_critical(args: argparse.Namespace) -> str:
     return (
         f"Critical power (Odroid-XU3, fan off): "
@@ -345,6 +452,7 @@ commands:
   critical   critical power of the Odroid-XU3 lumped model
   advise     profile a catalog app and print tuning advice
   describe   dump a platform's thermal RC network
+  platforms  list/describe/validate the registered platform definitions
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
@@ -390,6 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
     advise_cmd = sub.add_parser("advise")
     advise_cmd.add_argument("--app", required=True,
                             help="catalog app to profile")
+    advise_cmd.add_argument("--platform", default=NEXUS6P,
+                            help="registered platform to profile on")
     advise_cmd.add_argument("--limit", type=float, default=40.0,
                             help="thermal limit in degC")
     advise_cmd.add_argument("--profile-s", type=float, default=60.0,
@@ -426,7 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="campaign spec JSON file (docs/CAMPAIGNS.md)")
         cmd.add_argument("--preset", default=None,
                          help="built-in campaign (smoke, governor-horizon, "
-                              "table1-seeds)")
+                              "platform-matrix, table1-seeds)")
         cmd.add_argument("--store", default="campaign-store",
                          help="result-store directory (created on demand)")
         cmd.add_argument("--format", choices=("text", "json"), default="text")
@@ -442,13 +552,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     describe_cmd = sub.add_parser("describe")
     describe_cmd.add_argument("--platform", required=True,
-                              help="nexus6p or odroid-xu3")
+                              help="a registered platform name "
+                                   "(see `repro platforms list`)")
     describe_cmd.set_defaults(fn=_cmd_describe)
+
+    platforms_cmd = sub.add_parser("platforms")
+    platforms_sub = platforms_cmd.add_subparsers(dest="action", required=True)
+    plist = platforms_sub.add_parser("list")
+    plist.add_argument("--format", choices=("text", "json"), default="text")
+    plist.set_defaults(fn=_cmd_platforms_list)
+    pdesc = platforms_sub.add_parser("describe")
+    pdesc.add_argument("--platform", required=True,
+                       help="a registered platform name")
+    pdesc.add_argument("--format", choices=("text", "json"), default="text")
+    pdesc.set_defaults(fn=_cmd_platforms_describe)
+    pval = platforms_sub.add_parser("validate")
+    pval.add_argument("--file", default=None,
+                      help="validate this PlatformDef JSON file instead of "
+                           "the registry")
+    pval.set_defaults(fn=_cmd_platforms_validate)
 
     for name, fn in (("metrics", _cmd_metrics), ("trace", _cmd_trace)):
         cmd = sub.add_parser(name)
         cmd.add_argument("--app", default="hangouts",
                          help="catalog app to run")
+        cmd.add_argument("--platform", default=NEXUS6P,
+                         help="registered platform to run on")
         cmd.add_argument("--duration", type=float, default=30.0,
                          help="simulated seconds to run")
         cmd.add_argument("--seed", type=int, default=3)

@@ -17,27 +17,23 @@ from repro.analysis.residency import residency_fractions
 from repro.analysis.tables import percent_reduction
 from repro.apps.catalog import CATALOG, make_app, popular_app_names
 from repro.kernel.kernel import GPU_DOMAIN, KernelConfig, ThermalConfig
-from repro.kernel.thermal.zone import TripPoint
 from repro.sim.engine import Simulation
-from repro.soc.snapdragon810 import nexus6p
+from repro.soc.registry import get as get_platform
+from repro.soc.snapdragon810 import NEXUS6P, nexus6p
 
 RUN_DURATION_S = 140.0
 DEFAULT_SEED = 3
 
-#: The stock phone policy: step-wise trips on the package sensor, cooling
-#: both CPU clusters and the GPU (what MSM thermal does on the real device).
-NEXUS_TRIP_C = 40.0
-
 
 def nexus_thermal_config() -> ThermalConfig:
-    """The default thermal governor configuration of the simulated phone."""
-    return ThermalConfig(
-        kind="step_wise",
-        sensor="pkg",
-        cooled=("a57", "a53", GPU_DOMAIN),
-        trips=(TripPoint(NEXUS_TRIP_C, hyst_c=1.5),),
-        polling_s=0.1,
-    )
+    """The phone's stock governor, straight from its platform definition."""
+    return get_platform(NEXUS6P).stock_thermal_config()
+
+
+#: The stock trip temperature (step-wise trips on the package sensor,
+#: cooling both CPU clusters and the GPU — what MSM thermal does on the
+#: real device), read from the registered platform definition.
+NEXUS_TRIP_C = nexus_thermal_config().trips[0].temp_c
 
 
 @dataclass(frozen=True)

@@ -22,9 +22,10 @@ from repro.apps.gfxbench import NenamarkApp, ThreeDMarkApp
 from repro.apps.mibench import basicmath_large
 from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
 from repro.errors import ConfigurationError
-from repro.kernel.kernel import GPU_DOMAIN, KernelConfig, ThermalConfig
+from repro.kernel.kernel import KernelConfig, ThermalConfig
 from repro.sim.engine import Simulation
-from repro.soc.exynos5422 import odroid_xu3
+from repro.soc.exynos5422 import ODROID_XU3, odroid_xu3
+from repro.soc.registry import get as get_platform
 
 DEFAULT_SEED = 3
 RUN_DURATION_S = 250.0
@@ -35,21 +36,17 @@ INA_RAILS = ("a15", "a7", "gpu", "mem")
 
 
 def odroid_default_thermal() -> ThermalConfig:
-    """The stock Linux policy on the board: IPA on the big-core sensor."""
-    return ThermalConfig(
-        kind="ipa",
-        sensor="soc_big",
-        cooled=("a15", "a7", GPU_DOMAIN),
-        sustainable_power_w=2.5,
-        switch_on_temp_c=70.0,
-        control_temp_c=90.0,
-    )
+    """The board's stock policy (IPA on the big-core sensor), straight
+    from its platform definition."""
+    return get_platform(ODROID_XU3).stock_thermal_config()
 
 
 def proposed_governor_config() -> GovernorConfig:
-    """The paper's governor: 100 ms period, 1 s window, 85 degC limit."""
+    """The paper's governor: 100 ms period, 1 s window, and the platform
+    definition's temperature limit (85 degC on the board)."""
     return GovernorConfig(
-        t_limit_c=85.0, horizon_s=60.0, window_s=1.0, period_s=0.1
+        t_limit_c=get_platform(ODROID_XU3).default_t_limit_c,
+        horizon_s=60.0, window_s=1.0, period_s=0.1,
     )
 
 

@@ -6,7 +6,8 @@ name only explodes mid-run — or worse, an ``fs.exists`` probe quietly
 returns False forever.  This rule extracts every ``/sys``/``/proc``
 string (including f-string templates) outside the kernel layer and
 checks it against the tree that ``kernel/wiring.py`` actually registers
-for both modelled platforms, so broken paths fail at lint time.
+for every platform in :mod:`repro.soc.registry`, so broken paths fail at
+lint time — and newly registered devices join the authority automatically.
 """
 
 from __future__ import annotations
@@ -22,20 +23,21 @@ _AUTHORITY_KEY = "sysfs_authority"
 
 
 def sysfs_authority() -> tuple[frozenset, tuple]:
-    """(static paths, resolver prefixes) registered by both platforms.
+    """(static paths, resolver prefixes) over every registered platform.
 
     Built by instantiating the simulator kernels exactly as a deployment
-    would — so the check can never drift from the real registrations.
+    would — one per platform in the registry — so the check can never
+    drift from the real registrations and never lags behind new devices.
     """
     from repro.kernel.kernel import KernelConfig
     from repro.sim.engine import Simulation
-    from repro.soc.exynos5422 import odroid_xu3
-    from repro.soc.snapdragon810 import nexus6p
+    from repro.soc import registry as platform_registry
 
     paths: set[str] = set()
     prefixes: set[str] = set()
-    for factory in (nexus6p, odroid_xu3):
-        sim = Simulation(factory(), [], kernel_config=KernelConfig(), seed=0)
+    for name in platform_registry.platform_names():
+        spec = platform_registry.build(name)
+        sim = Simulation(spec, [], kernel_config=KernelConfig(), seed=0)
         fs = sim.kernel.userspace_api().fs
         paths.update(fs.paths())
         prefixes.update(fs.resolver_prefixes())

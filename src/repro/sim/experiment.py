@@ -4,16 +4,19 @@ The experiment modules each assemble platform + apps + policy by hand; this
 module packages that pattern into a single reusable entry point:
 
     result = Scenario(
-        platform="odroid-xu3",
+        platform="pixel-xl",
         apps=(AppSpec.catalog("stickman"), AppSpec.batch("bml")),
         policy="proposed",
         duration_s=120.0,
     ).run()
 
+Platforms resolve through :mod:`repro.soc.registry` — any registered
+:class:`~repro.soc.defs.PlatformDef` runs here with no code changes.
 Policies: ``none`` (no thermal management), ``stock`` (the platform's
-default kernel policy: step-wise trips on the phone, IPA on the Odroid),
-``proposed`` (the paper's application-aware governor; every non-batch app
-is registered as real-time).
+registered default kernel policy: step-wise trips on the phones, IPA on
+the Odroid), ``proposed`` (the paper's application-aware governor; every
+non-batch app is registered as real-time, and the temperature limit
+defaults to the platform definition's ``software.t_limit_c``).
 """
 
 from __future__ import annotations
@@ -31,8 +34,8 @@ from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
 from repro.errors import ConfigurationError
 from repro.kernel.kernel import KernelConfig
 from repro.sim.engine import Simulation
+from repro.soc import registry as platform_registry
 
-PLATFORMS = ("nexus6p", "odroid-xu3")
 POLICIES = ("none", "stock", "proposed")
 
 
@@ -141,9 +144,10 @@ class Scenario:
     ambient_c: float | None = None
 
     def __post_init__(self) -> None:
-        if self.platform not in PLATFORMS:
+        if not platform_registry.is_registered(self.platform):
             raise ConfigurationError(
-                f"unknown platform {self.platform!r}; have {PLATFORMS}"
+                f"unknown platform {self.platform!r}; "
+                f"have {platform_registry.platform_names()}"
             )
         if self.policy not in POLICIES:
             raise ConfigurationError(
@@ -197,27 +201,16 @@ class Scenario:
         )
 
     def _platform(self):
-        if self.platform == "nexus6p":
-            from repro.soc.snapdragon810 import nexus6p
-
-            return nexus6p()
-        from repro.soc.exynos5422 import odroid_xu3
-
-        return odroid_xu3()
+        return platform_registry.build(self.platform)
 
     def _kernel_config(self) -> KernelConfig:
         if self.policy != "stock":
             return KernelConfig()
-        if self.platform == "nexus6p":
-            from repro.experiments.nexus import nexus_thermal_config
-
-            return KernelConfig(thermal=nexus_thermal_config())
-        from repro.experiments.odroid import odroid_default_thermal
-
-        return KernelConfig(thermal=odroid_default_thermal())
+        thermal = platform_registry.get(self.platform).stock_thermal_config()
+        return KernelConfig(thermal=thermal)
 
     def _default_limit_c(self) -> float:
-        return 41.0 if self.platform == "nexus6p" else 85.0
+        return platform_registry.get(self.platform).default_t_limit_c
 
     def run(self) -> ScenarioResult:
         """Build, run and summarise the scenario."""

@@ -1,8 +1,14 @@
-"""SoC models: OPP tables, components, power model, concrete platforms."""
+"""SoC models: OPP tables, components, power model, platform definitions.
+
+Concrete devices are declarative :class:`~repro.soc.defs.PlatformDef` data
+registered with the default :data:`~repro.soc.registry.REGISTRY`; see
+docs/PLATFORMS.md for the schema and how to add a device.
+"""
 
 from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
-from repro.soc.exynos5422 import odroid_xu3
-from repro.soc.opp import OperatingPoint, OppTable
+from repro.soc.defs import PlatformDef
+from repro.soc.exynos5422 import ODROID_XU3, ODROID_XU3_FAN, odroid_xu3
+from repro.soc.opp import OperatingPoint, OppTable, voltage_ladder
 from repro.soc.platform import BOARD_RAIL, PlatformSpec
 from repro.soc.power_model import (
     ComponentActivity,
@@ -11,10 +17,26 @@ from repro.soc.power_model import (
     dynamic_power_w,
     leakage_power_w,
 )
-from repro.soc.snapdragon810 import nexus6p
+from repro.soc.registry import (
+    REGISTRY,
+    PlatformRegistry,
+    build as build_platform,
+    get as get_platform,
+    is_registered,
+    platform_names,
+    register as register_platform,
+    unregister as unregister_platform,
+)
+from repro.soc.snapdragon810 import NEXUS6P, nexus6p
+from repro.soc.snapdragon821 import PIXEL_XL, pixel_xl
 
 __all__ = [
     "BOARD_RAIL",
+    "NEXUS6P",
+    "ODROID_XU3",
+    "ODROID_XU3_FAN",
+    "PIXEL_XL",
+    "REGISTRY",
     "ClusterSpec",
     "ComponentActivity",
     "GpuSpec",
@@ -22,11 +44,21 @@ __all__ = [
     "MemorySpec",
     "OperatingPoint",
     "OppTable",
+    "PlatformDef",
+    "PlatformRegistry",
     "PlatformSpec",
     "PowerSample",
     "SocPowerModel",
+    "build_platform",
     "dynamic_power_w",
+    "get_platform",
+    "is_registered",
     "leakage_power_w",
     "nexus6p",
     "odroid_xu3",
+    "pixel_xl",
+    "platform_names",
+    "register_platform",
+    "unregister_platform",
+    "voltage_ladder",
 ]

@@ -57,6 +57,7 @@ class ClusterSpec:
     thermal_node: str = ""
     rail: str = ""
     is_big: bool = False
+    is_little: bool = False
     ipc: float = 1.0
 
     def __post_init__(self) -> None:
@@ -68,6 +69,10 @@ class ClusterSpec:
             raise ConfigurationError(f"cluster {self.name!r}: idle power must be >= 0")
         if self.ipc <= 0.0:
             raise ConfigurationError(f"cluster {self.name!r}: ipc must be positive")
+        if self.is_big and self.is_little:
+            raise ConfigurationError(
+                f"cluster {self.name!r} cannot be both big and LITTLE"
+            )
         object.__setattr__(self, "thermal_node", self.thermal_node or self.name)
         object.__setattr__(self, "rail", self.rail or self.name)
 
@@ -75,6 +80,15 @@ class ClusterSpec:
         """Effective work capacity (instruction-weighted cycles) of the whole
         cluster over ``dt_s`` at ``freq_hz``."""
         return self.ipc * freq_hz * self.n_cores * dt_s
+
+    def peak_core_dynamic_power_w(self) -> float:
+        """Dynamic power of one fully-busy core at the top OPP.
+
+        The platform layer uses this to pick the low-power (LITTLE) cluster
+        when no cluster carries an explicit ``is_little`` flag.
+        """
+        top = self.opps[len(self.opps) - 1]
+        return self.ceff_w_per_v2hz * top.voltage_v**2 * top.freq_hz
 
 
 @dataclass(frozen=True)

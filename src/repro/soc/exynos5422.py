@@ -1,4 +1,4 @@
-"""Odroid-XU3 platform model: Samsung Exynos 5422 on the open dev board.
+"""Odroid-XU3 platform definition: Samsung Exynos 5422 on the open dev board.
 
 The board exposes per-rail INA231 current sensors (big/A15, LITTLE/A7, GPU,
 memory), which is exactly what the paper's proposed governor consumes.  The
@@ -6,23 +6,26 @@ thermal constants model the board with the fan *disabled*, as in the paper's
 Section IV.C experiments — this makes the effective junction-to-ambient
 resistance large and pushes the power-temperature critical power down to
 ~5.5 W, matching the fixed-point plots of Fig. 7.
+
+Two :class:`~repro.soc.defs.PlatformDef` variants register here: the
+fanless board the paper studies, and an ``odroid-xu3-fan`` variant derived
+from the same definition purely as a data patch (the stock actively-cooled
+board: the heatsink-to-ambient conductance grows ~6x, lifting the critical
+power far beyond any realistic workload).  :func:`odroid_xu3` remains as a
+thin compatibility shim over the two registered definitions.
 """
 
 from __future__ import annotations
 
-from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
-from repro.soc.opp import OppTable
+from repro.soc.defs import PlatformDef
 from repro.soc.platform import PlatformSpec
-from repro.thermal.rc_network import (
-    AMBIENT,
-    ThermalLinkSpec,
-    ThermalNetworkSpec,
-    ThermalNodeSpec,
-)
-from repro.thermal.sensors import SensorSpec
-from repro.units import mhz
+from repro.soc.registry import REGISTRY
 
 LEAKAGE_BETA_K = 1650.0
+
+#: Registry names of the two variants (import these, don't quote strings).
+ODROID_XU3 = "odroid-xu3"
+ODROID_XU3_FAN = "odroid-xu3-fan"
 
 A15_FREQS_MHZ = tuple(range(200, 2001, 100))
 A7_FREQS_MHZ = tuple(range(200, 1401, 100))
@@ -36,119 +39,131 @@ INA231_ADDRESSES = {
     "a7": "4-0045",
 }
 
-
-def _voltage_ladder(
-    freqs_mhz: tuple[int, ...], v_min: float, v_max: float
-) -> OppTable:
-    """Linear voltage/frequency ladder between the table's endpoints."""
-    lo, hi = freqs_mhz[0], freqs_mhz[-1]
-    pairs = []
-    for f in freqs_mhz:
-        volt = v_min + (v_max - v_min) * (f - lo) / (hi - lo)
-        pairs.append((mhz(f), round(volt, 4)))
-    return OppTable.from_pairs(pairs)
-
-
-def odroid_xu3(fan: bool = False) -> PlatformSpec:
-    """Build the Odroid-XU3 platform spec.
-
-    The paper's Section IV.C experiments disable the fan ("since it is not
-    feasible for mobile platforms"), which is the default here.  ``fan=True``
-    models the stock actively-cooled board: the heatsink-to-ambient
-    conductance grows ~6x, lifting the critical power far beyond any
-    realistic workload.
-    """
-    big = ClusterSpec(
-        name="a15",
-        core_type="Cortex-A15",
-        n_cores=4,
-        opps=_voltage_ladder(A15_FREQS_MHZ, 0.9125, 1.3625),
-        ceff_w_per_v2hz=4.5e-10,
-        leakage=LeakageParams(kappa_w_per_k2=4.8e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.06,
-        thermal_node="big",
-        rail="a15",
-        is_big=True,
-        ipc=1.8,
-    )
-    little = ClusterSpec(
-        name="a7",
-        core_type="Cortex-A7",
-        n_cores=4,
-        opps=_voltage_ladder(A7_FREQS_MHZ, 0.90, 1.25),
-        ceff_w_per_v2hz=8.0e-11,
-        leakage=LeakageParams(kappa_w_per_k2=1.05e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.025,
-        thermal_node="little",
-        rail="a7",
-        ipc=1.0,
-    )
-    gpu = GpuSpec(
-        name="mali_t628",
-        gpu_type="Mali T628 MP6",
-        opps=_voltage_ladder(MALI_T628_FREQS_MHZ, 0.85, 1.075),
-        ceff_w_per_v2hz=1.5e-9,
-        leakage=LeakageParams(kappa_w_per_k2=2.2e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.05,
-        thermal_node="gpu",
-        rail="gpu",
-    )
-    memory = MemorySpec(
-        name="mem",
-        base_power_w=0.10,
-        activity_power_w=0.35,
-        leakage=LeakageParams(kappa_w_per_k2=7.0e-5, beta_k=LEAKAGE_BETA_K),
-        thermal_node="mem",
-        rail="mem",
-    )
-    thermal = ThermalNetworkSpec(
-        nodes=(
-            ThermalNodeSpec("big", capacitance_j_per_k=0.8),
-            ThermalNodeSpec("little", capacitance_j_per_k=0.5),
-            ThermalNodeSpec("gpu", capacitance_j_per_k=0.8),
-            ThermalNodeSpec("mem", capacitance_j_per_k=0.8),
-            ThermalNodeSpec("board", capacitance_j_per_k=3.2),
-        ),
-        links=(
-            ThermalLinkSpec("big", "board", conductance_w_per_k=1.0),
-            ThermalLinkSpec("little", "board", conductance_w_per_k=1.2),
-            ThermalLinkSpec("gpu", "board", conductance_w_per_k=1.0),
-            ThermalLinkSpec("mem", "board", conductance_w_per_k=1.5),
-            ThermalLinkSpec("big", "gpu", conductance_w_per_k=0.4),
-            ThermalLinkSpec("big", "little", conductance_w_per_k=0.4),
-            # Fan off: weak natural convection; fan on: forced airflow.
-            ThermalLinkSpec(
-                "board", AMBIENT, conductance_w_per_k=0.5 if fan else 0.08
-            ),
-        ),
-        power_split={
+ODROID_XU3_DEF = REGISTRY.register(PlatformDef(
+    name=ODROID_XU3,
+    clusters=(
+        {
+            "name": "a7",
+            "core_type": "Cortex-A7",
+            "n_cores": 4,
+            "opps": {"freqs_mhz": list(A7_FREQS_MHZ),
+                     "v_min": 0.90, "v_max": 1.25},
+            "ceff_w_per_v2hz": 8.0e-11,
+            "leakage": {"kappa_w_per_k2": 1.05e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.025,
+            "thermal_node": "little",
+            "rail": "a7",
+            "is_little": True,
+            "ipc": 1.0,
+        },
+        {
+            "name": "a15",
+            "core_type": "Cortex-A15",
+            "n_cores": 4,
+            "opps": {"freqs_mhz": list(A15_FREQS_MHZ),
+                     "v_min": 0.9125, "v_max": 1.3625},
+            "ceff_w_per_v2hz": 4.5e-10,
+            "leakage": {"kappa_w_per_k2": 4.8e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.06,
+            "thermal_node": "big",
+            "rail": "a15",
+            "is_big": True,
+            "ipc": 1.8,
+        },
+    ),
+    gpu={
+        "name": "mali_t628",
+        "gpu_type": "Mali T628 MP6",
+        "opps": {"freqs_mhz": list(MALI_T628_FREQS_MHZ),
+                 "v_min": 0.85, "v_max": 1.075},
+        "ceff_w_per_v2hz": 1.5e-9,
+        "leakage": {"kappa_w_per_k2": 2.2e-4, "beta_k": LEAKAGE_BETA_K},
+        "idle_power_w": 0.05,
+        "thermal_node": "gpu",
+        "rail": "gpu",
+    },
+    memory={
+        "name": "mem",
+        "base_power_w": 0.10,
+        "activity_power_w": 0.35,
+        "leakage": {"kappa_w_per_k2": 7.0e-5, "beta_k": LEAKAGE_BETA_K},
+        "thermal_node": "mem",
+        "rail": "mem",
+    },
+    thermal={
+        "nodes": [
+            {"name": "big", "capacitance_j_per_k": 0.8},
+            {"name": "little", "capacitance_j_per_k": 0.5},
+            {"name": "gpu", "capacitance_j_per_k": 0.8},
+            {"name": "mem", "capacitance_j_per_k": 0.8},
+            {"name": "board", "capacitance_j_per_k": 3.2},
+        ],
+        "links": [
+            {"a": "big", "b": "board", "conductance_w_per_k": 1.0},
+            {"a": "little", "b": "board", "conductance_w_per_k": 1.2},
+            {"a": "gpu", "b": "board", "conductance_w_per_k": 1.0},
+            {"a": "mem", "b": "board", "conductance_w_per_k": 1.5},
+            {"a": "big", "b": "gpu", "conductance_w_per_k": 0.4},
+            {"a": "big", "b": "little", "conductance_w_per_k": 0.4},
+            # Fan off: weak natural convection (the fan variant patches this).
+            {"a": "board", "b": "ambient", "conductance_w_per_k": 0.08},
+        ],
+        "power_split": {
             "a15": {"big": 1.0},
             "a7": {"little": 1.0},
             "gpu": {"gpu": 1.0},
             "mem": {"mem": 1.0},
             "board": {"board": 1.0},
         },
-    )
-    sensors = (
+    },
+    sensors=(
         # Exynos TMU sensors quantise to whole degrees.
-        SensorSpec("soc_big", node="big", noise_std_c=0.4, quantization_c=1.0),
-        SensorSpec("soc_gpu", node="gpu", noise_std_c=0.4, quantization_c=1.0),
-        SensorSpec("board", node="board", noise_std_c=0.2, quantization_c=0.5),
-    )
-    return PlatformSpec(
-        name="odroid-xu3",
-        clusters=(little, big),
-        gpu=gpu,
-        memory=memory,
-        thermal=thermal,
-        sensors=sensors,
-        board_power_w=0.5,
-        default_ambient_c=27.0,
-        initial_temp_c=50.0,
-        extras={
-            "soc": "Exynos 5422",
-            "os": "Android 7.1 / Linux 3.10.9",
-            "ina231": dict(INA231_ADDRESSES),
-            "fan": "enabled" if fan else "disabled",
+        {"name": "soc_big", "node": "big", "noise_std_c": 0.4,
+         "quantization_c": 1.0},
+        {"name": "soc_gpu", "node": "gpu", "noise_std_c": 0.4,
+         "quantization_c": 1.0},
+        {"name": "board", "node": "board", "noise_std_c": 0.2,
+         "quantization_c": 0.5},
+    ),
+    board_power_w=0.5,
+    default_ambient_c=27.0,
+    initial_temp_c=50.0,
+    extras={
+        "soc": "Exynos 5422",
+        "os": "Android 7.1 / Linux 3.10.9",
+        "ina231": dict(INA231_ADDRESSES),
+        "fan": "disabled",
+    },
+    software={
+        # The stock Linux policy on the board: IPA on the big-core sensor.
+        "thermal": {
+            "kind": "ipa",
+            "sensor": "soc_big",
+            "cooled": ["a15", "a7", "gpu"],
+            "sustainable_power_w": 2.5,
+            "switch_on_temp_c": 70.0,
+            "control_temp_c": 90.0,
         },
-    )
+        "t_limit_c": 85.0,
+    },
+))
+
+# The actively-cooled variant is the same definition patched as data:
+# forced airflow multiplies the board-to-ambient conductance and flips the
+# ``fan`` extra.  No code branches — this is the registry's variant idiom.
+_fan_data = ODROID_XU3_DEF.to_dict()
+_fan_data["name"] = ODROID_XU3_FAN
+_fan_data["thermal"]["links"][-1]["conductance_w_per_k"] = 0.5
+_fan_data["extras"]["fan"] = "enabled"
+ODROID_XU3_FAN_DEF = REGISTRY.register(PlatformDef.from_dict(_fan_data))
+del _fan_data
+
+
+def odroid_xu3(fan: bool = False) -> PlatformSpec:
+    """Build the Odroid-XU3 platform spec (compiles a registered def).
+
+    The paper's Section IV.C experiments disable the fan ("since it is not
+    feasible for mobile platforms"), which is the default here; ``fan=True``
+    compiles the ``odroid-xu3-fan`` variant instead.
+    """
+    return (ODROID_XU3_FAN_DEF if fan else ODROID_XU3_DEF).compile()

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import ConfigurationError
-from repro.units import hz_to_khz, hz_to_mhz
+from repro.units import hz_to_khz, hz_to_mhz, mhz
 
 
 @dataclass(frozen=True)
@@ -68,6 +68,14 @@ class OppTable:
 
     def __getitem__(self, index: int) -> OperatingPoint:
         return self._points[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, OppTable):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
 
     @property
     def min_freq_hz(self) -> float:
@@ -135,3 +143,33 @@ class OppTable:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         points = ", ".join(f"{hz_to_mhz(p.freq_hz):.0f}" for p in self._points)
         return f"OppTable([{points}] MHz)"
+
+
+def voltage_ladder(
+    freqs_mhz: Sequence[int], v_min: float, v_max: float
+) -> OppTable:
+    """Linear voltage/frequency ladder between the table's endpoints.
+
+    Real OPP tables pair each frequency with a calibrated supply voltage;
+    when only the endpoints are known, a linear interpolation between
+    ``v_min`` (at the lowest frequency) and ``v_max`` (at the highest) is
+    the standard approximation.  Voltages are rounded to 0.1 mV, matching
+    the granularity of device-tree OPP entries.
+    """
+    freqs = tuple(freqs_mhz)
+    if len(freqs) < 2:
+        raise ConfigurationError("a voltage ladder needs at least two frequencies")
+    lo, hi = freqs[0], freqs[-1]
+    if hi <= lo:
+        raise ConfigurationError(
+            f"voltage ladder frequencies must ascend: {lo}..{hi} MHz"
+        )
+    if v_max < v_min:
+        raise ConfigurationError(
+            f"voltage ladder needs v_min <= v_max, got {v_min}..{v_max} V"
+        )
+    pairs = []
+    for f in freqs:
+        volt = v_min + (v_max - v_min) * (f - lo) / (hi - lo)
+        pairs.append((mhz(f), round(volt, 4)))
+    return OppTable.from_pairs(pairs)

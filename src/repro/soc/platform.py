@@ -47,6 +47,12 @@ class PlatformSpec:
         names = [c.name for c in self.clusters]
         if len(set(names)) != len(names):
             raise ConfigurationError(f"duplicate cluster names: {names}")
+        flagged_little = [c.name for c in self.clusters if c.is_little]
+        if len(flagged_little) > 1:
+            raise ConfigurationError(
+                f"platform {self.name!r} flags multiple LITTLE clusters: "
+                f"{flagged_little}"
+            )
         nodes = set(self.thermal.node_names)
         for spec in (*self.clusters, self.gpu, self.memory):
             if spec.thermal_node not in nodes:
@@ -96,11 +102,20 @@ class PlatformSpec:
 
     @property
     def little_cluster(self) -> ClusterSpec:
-        """The low-power cluster (first non-big cluster)."""
+        """The low-power cluster.
+
+        An explicit ``is_little`` flag wins (at most one cluster may carry
+        it); without a flag, the non-big cluster with the lowest per-core
+        dynamic power at its top OPP is the LITTLE one — so the selection
+        never depends on cluster declaration order.
+        """
+        flagged = [c for c in self.clusters if c.is_little]
+        if flagged:
+            return flagged[0]
         littles = [c for c in self.clusters if not c.is_big]
         if not littles:
             raise ConfigurationError(f"platform {self.name!r} has no LITTLE cluster")
-        return littles[0]
+        return min(littles, key=lambda c: c.peak_core_dynamic_power_w())
 
     @property
     def default_ambient_k(self) -> float:

@@ -1,0 +1,142 @@
+"""Platform registry: the single resolver from platform names to devices.
+
+Every layer that used to branch on platform-name strings (scenario runner,
+campaign grids, lint's sysfs authority, the CLI) looks platforms up here
+instead.  The registry maps a name to its :class:`PlatformDef`; specs are
+compiled on demand with :func:`build`, so registering a new definition —
+pure data, no code branches — makes the device available everywhere at
+once: ``run_scenario``, campaign axes, ``repro platforms``, lint.
+
+The built-in definitions (Nexus 6P, Odroid-XU3 with and without fan,
+Pixel XL) self-register when their modules import; the module-level
+helpers load them lazily so direct imports of this module see the full
+catalogue.  Definitions registered at runtime (e.g. from a test or a
+notebook) live in the same default registry; note that campaign *worker
+processes* re-import from scratch, so a platform swept with ``--jobs > 1``
+must be registered at import time, not ad hoc.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.soc.defs import PlatformDef
+from repro.soc.platform import PlatformSpec
+
+
+class PlatformRegistry:
+    """A mutable name -> :class:`PlatformDef` catalogue."""
+
+    def __init__(self) -> None:
+        self._defs: dict[str, PlatformDef] = {}
+
+    def register(
+        self, platform_def: PlatformDef, replace: bool = False
+    ) -> PlatformDef:
+        """Add a definition; compiles it once so bad data fails fast.
+
+        Returns the definition, so modules can write
+        ``MY_DEF = REGISTRY.register(PlatformDef(...))``.
+        """
+        if not isinstance(platform_def, PlatformDef):
+            raise ConfigurationError(
+                f"can only register PlatformDef, got {type(platform_def).__name__}"
+            )
+        name = platform_def.name
+        if name in self._defs and not replace:
+            raise ConfigurationError(
+                f"platform {name!r} is already registered "
+                "(pass replace=True to override)"
+            )
+        platform_def.compile()
+        self._defs[name] = platform_def
+        return platform_def
+
+    def unregister(self, name: str) -> PlatformDef:
+        """Remove and return a definition; raises on unknown names."""
+        try:
+            return self._defs.pop(name)
+        except KeyError:
+            raise ConfigurationError(
+                f"platform {name!r} is not registered; have {self.names()}"
+            ) from None
+
+    def get(self, name: str) -> PlatformDef:
+        """Definition by name; raises listing the registered names."""
+        try:
+            return self._defs[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown platform {name!r}; have {self.names()}"
+            ) from None
+
+    def build(self, name: str) -> PlatformSpec:
+        """Compile the named definition into a fresh :class:`PlatformSpec`."""
+        return self.get(name).compile()
+
+    def names(self) -> tuple[str, ...]:
+        """Registered platform names, sorted."""
+        return tuple(sorted(self._defs))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._defs
+
+    def __len__(self) -> int:
+        return len(self._defs)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+
+#: The default registry all layers resolve through.
+REGISTRY = PlatformRegistry()
+
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in definition modules (they self-register)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    import repro.soc.exynos5422    # noqa: F401  (registers odroid-xu3[-fan])
+    import repro.soc.snapdragon810  # noqa: F401  (registers nexus6p)
+    import repro.soc.snapdragon821  # noqa: F401  (registers pixel-xl)
+
+
+def register(platform_def: PlatformDef, replace: bool = False) -> PlatformDef:
+    """Register a definition with the default registry."""
+    _ensure_builtins()
+    return REGISTRY.register(platform_def, replace=replace)
+
+
+def unregister(name: str) -> PlatformDef:
+    """Remove a definition from the default registry."""
+    _ensure_builtins()
+    return REGISTRY.unregister(name)
+
+
+def get(name: str) -> PlatformDef:
+    """Look up a definition in the default registry."""
+    _ensure_builtins()
+    return REGISTRY.get(name)
+
+
+def build(name: str) -> PlatformSpec:
+    """Compile a platform from the default registry."""
+    _ensure_builtins()
+    return REGISTRY.build(name)
+
+
+def platform_names() -> tuple[str, ...]:
+    """All names registered with the default registry, sorted."""
+    _ensure_builtins()
+    return REGISTRY.names()
+
+
+def is_registered(name: str) -> bool:
+    """Whether the default registry knows ``name``."""
+    _ensure_builtins()
+    return name in REGISTRY

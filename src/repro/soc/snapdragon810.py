@@ -1,4 +1,4 @@
-"""Nexus 6P platform model: Qualcomm Snapdragon 810 in a phone chassis.
+"""Nexus 6P platform definition: Qualcomm Snapdragon 810 in a phone chassis.
 
 Frequency ladders follow the shipped device (the paper quotes the Adreno 430
 steps 180/305/390/450/510/600 MHz and the A57 points 384 and 960 MHz, all of
@@ -10,23 +10,23 @@ top GPU frequencies (Figs. 1-6, Table I).
 
 The Snapdragon 810 (20 nm) was famously leaky; the leakage constants reflect
 that.
+
+The platform is *data*: a registered :class:`~repro.soc.defs.PlatformDef`
+(including the software defaults — the stock MSM-style trip governor and
+the proposed governor's 41 degC limit).  :func:`nexus6p` remains as a thin
+compatibility shim that compiles the registered definition.
 """
 
 from __future__ import annotations
 
-from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
-from repro.soc.opp import OppTable
+from repro.soc.defs import PlatformDef
 from repro.soc.platform import PlatformSpec
-from repro.thermal.rc_network import (
-    AMBIENT,
-    ThermalLinkSpec,
-    ThermalNetworkSpec,
-    ThermalNodeSpec,
-)
-from repro.thermal.sensors import SensorSpec
-from repro.units import mhz
+from repro.soc.registry import REGISTRY
 
 LEAKAGE_BETA_K = 1650.0
+
+#: Registry name of the device (import this instead of quoting the string).
+NEXUS6P = "nexus6p"
 
 A57_FREQS_MHZ = (
     384, 480, 633, 768, 864, 960, 1248, 1344, 1440, 1536, 1632, 1689, 1824, 1958,
@@ -34,98 +34,104 @@ A57_FREQS_MHZ = (
 A53_FREQS_MHZ = (384, 480, 600, 672, 768, 864, 960, 1248, 1344, 1478, 1555)
 ADRENO430_FREQS_MHZ = (180, 305, 390, 450, 510, 600)
 
-
-def _voltage_ladder(
-    freqs_mhz: tuple[int, ...], v_min: float, v_max: float
-) -> OppTable:
-    """Linear voltage/frequency ladder between the table's endpoints."""
-    lo, hi = freqs_mhz[0], freqs_mhz[-1]
-    pairs = []
-    for f in freqs_mhz:
-        volt = v_min + (v_max - v_min) * (f - lo) / (hi - lo)
-        pairs.append((mhz(f), round(volt, 4)))
-    return OppTable.from_pairs(pairs)
-
-
-def nexus6p() -> PlatformSpec:
-    """Build the Nexus 6P platform spec."""
-    big = ClusterSpec(
-        name="a57",
-        core_type="Cortex-A57",
-        n_cores=4,
-        opps=_voltage_ladder(A57_FREQS_MHZ, 0.80, 1.25),
-        ceff_w_per_v2hz=3.7e-10,
-        leakage=LeakageParams(kappa_w_per_k2=7.0e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.08,
-        thermal_node="soc",
-        rail="a57",
-        is_big=True,
-        ipc=1.6,
-    )
-    little = ClusterSpec(
-        name="a53",
-        core_type="Cortex-A53",
-        n_cores=4,
-        opps=_voltage_ladder(A53_FREQS_MHZ, 0.75, 1.05),
-        ceff_w_per_v2hz=6.0e-11,
-        leakage=LeakageParams(kappa_w_per_k2=1.0e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.03,
-        thermal_node="soc",
-        rail="a53",
-        ipc=1.0,
-    )
-    gpu = GpuSpec(
-        name="adreno430",
-        gpu_type="Adreno 430",
-        opps=_voltage_ladder(ADRENO430_FREQS_MHZ, 0.80, 1.10),
-        ceff_w_per_v2hz=3.4e-9,
-        leakage=LeakageParams(kappa_w_per_k2=4.0e-4, beta_k=LEAKAGE_BETA_K),
-        idle_power_w=0.05,
-        thermal_node="soc",
-        rail="gpu",
-    )
-    memory = MemorySpec(
-        name="mem",
-        base_power_w=0.12,
-        activity_power_w=0.45,
-        leakage=LeakageParams(kappa_w_per_k2=5.0e-5, beta_k=LEAKAGE_BETA_K),
-        thermal_node="pcb",
-        rail="mem",
-    )
-    thermal = ThermalNetworkSpec(
-        nodes=(
-            ThermalNodeSpec("soc", capacitance_j_per_k=2.5),
-            ThermalNodeSpec("pcb", capacitance_j_per_k=15.0),
-            ThermalNodeSpec("skin", capacitance_j_per_k=45.0),
-        ),
-        links=(
-            ThermalLinkSpec("soc", "pcb", conductance_w_per_k=0.90),
-            ThermalLinkSpec("pcb", "skin", conductance_w_per_k=0.55),
-            ThermalLinkSpec("skin", AMBIENT, conductance_w_per_k=0.30),
-            ThermalLinkSpec("soc", AMBIENT, conductance_w_per_k=0.02),
-        ),
-        power_split={
+NEXUS6P_DEF = REGISTRY.register(PlatformDef(
+    name=NEXUS6P,
+    clusters=(
+        {
+            "name": "a53",
+            "core_type": "Cortex-A53",
+            "n_cores": 4,
+            "opps": {"freqs_mhz": list(A53_FREQS_MHZ),
+                     "v_min": 0.75, "v_max": 1.05},
+            "ceff_w_per_v2hz": 6.0e-11,
+            "leakage": {"kappa_w_per_k2": 1.0e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.03,
+            "thermal_node": "soc",
+            "rail": "a53",
+            "is_little": True,
+            "ipc": 1.0,
+        },
+        {
+            "name": "a57",
+            "core_type": "Cortex-A57",
+            "n_cores": 4,
+            "opps": {"freqs_mhz": list(A57_FREQS_MHZ),
+                     "v_min": 0.80, "v_max": 1.25},
+            "ceff_w_per_v2hz": 3.7e-10,
+            "leakage": {"kappa_w_per_k2": 7.0e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.08,
+            "thermal_node": "soc",
+            "rail": "a57",
+            "is_big": True,
+            "ipc": 1.6,
+        },
+    ),
+    gpu={
+        "name": "adreno430",
+        "gpu_type": "Adreno 430",
+        "opps": {"freqs_mhz": list(ADRENO430_FREQS_MHZ),
+                 "v_min": 0.80, "v_max": 1.10},
+        "ceff_w_per_v2hz": 3.4e-9,
+        "leakage": {"kappa_w_per_k2": 4.0e-4, "beta_k": LEAKAGE_BETA_K},
+        "idle_power_w": 0.05,
+        "thermal_node": "soc",
+        "rail": "gpu",
+    },
+    memory={
+        "name": "mem",
+        "base_power_w": 0.12,
+        "activity_power_w": 0.45,
+        "leakage": {"kappa_w_per_k2": 5.0e-5, "beta_k": LEAKAGE_BETA_K},
+        "thermal_node": "pcb",
+        "rail": "mem",
+    },
+    thermal={
+        "nodes": [
+            {"name": "soc", "capacitance_j_per_k": 2.5},
+            {"name": "pcb", "capacitance_j_per_k": 15.0},
+            {"name": "skin", "capacitance_j_per_k": 45.0},
+        ],
+        "links": [
+            {"a": "soc", "b": "pcb", "conductance_w_per_k": 0.90},
+            {"a": "pcb", "b": "skin", "conductance_w_per_k": 0.55},
+            {"a": "skin", "b": "ambient", "conductance_w_per_k": 0.30},
+            {"a": "soc", "b": "ambient", "conductance_w_per_k": 0.02},
+        ],
+        "power_split": {
             "a57": {"soc": 1.0},
             "a53": {"soc": 1.0},
             "gpu": {"soc": 1.0},
             "mem": {"pcb": 1.0},
             "board": {"pcb": 0.7, "skin": 0.3},
         },
-    )
-    sensors = (
+    },
+    sensors=(
         # Package sensor used by the stock thermal governor (tsens: 0.1 degC).
-        SensorSpec("pkg", node="soc", noise_std_c=0.1, quantization_c=0.1),
-        SensorSpec("skin", node="skin", noise_std_c=0.1, quantization_c=0.1),
-    )
-    return PlatformSpec(
-        name="nexus6p",
-        clusters=(little, big),
-        gpu=gpu,
-        memory=memory,
-        thermal=thermal,
-        sensors=sensors,
-        board_power_w=1.2,
-        default_ambient_c=25.0,
-        initial_temp_c=35.0,
-        extras={"soc": "Snapdragon 810", "os": "Android 7"},
-    )
+        {"name": "pkg", "node": "soc", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+        {"name": "skin", "node": "skin", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+    ),
+    board_power_w=1.2,
+    default_ambient_c=25.0,
+    initial_temp_c=35.0,
+    extras={"soc": "Snapdragon 810", "os": "Android 7"},
+    software={
+        # The stock phone policy: step-wise trips on the package sensor,
+        # cooling both CPU clusters and the GPU (what MSM thermal does on
+        # the real device).
+        "thermal": {
+            "kind": "step_wise",
+            "sensor": "pkg",
+            "cooled": ["a57", "a53", "gpu"],
+            "trips": [{"temp_c": 40.0, "hyst_c": 1.5}],
+            "polling_s": 0.1,
+        },
+        "t_limit_c": 41.0,
+    },
+))
+
+
+def nexus6p() -> PlatformSpec:
+    """Build the Nexus 6P platform spec (compiles the registered def)."""
+    return NEXUS6P_DEF.compile()

@@ -1,0 +1,133 @@
+"""Pixel XL platform definition: Qualcomm Snapdragon 821 in a phone chassis.
+
+The third modelled device, and the registry's proof point: everything below
+is declarative data — no simulation, campaign, lint or CLI code knows this
+platform exists, yet it runs end-to-end through all of them because they
+resolve platforms through :mod:`repro.soc.registry`.
+
+The Snapdragon 821 (14 nm FinFET) pairs two Kryo performance cores with two
+power-optimised Kryo cores and an Adreno 530 (whose shipped frequency ladder
+tops out at 624 MHz, as below).  The 14 nm process runs far less leaky than
+the Nexus 6P's 20 nm Snapdragon 810, so the chassis constants dominate: the
+phone throttles on skin-driven package trips in the low 40s rather than on
+runaway silicon leakage.
+"""
+
+from __future__ import annotations
+
+from repro.soc.defs import PlatformDef
+from repro.soc.platform import PlatformSpec
+from repro.soc.registry import REGISTRY
+
+LEAKAGE_BETA_K = 1750.0
+
+#: Registry name of the device (import this instead of quoting the string).
+PIXEL_XL = "pixel-xl"
+
+KRYO_GOLD_FREQS_MHZ = (
+    307, 460, 614, 768, 902, 1056, 1209, 1363, 1516, 1670, 1824, 1977, 2150,
+)
+KRYO_SILVER_FREQS_MHZ = (307, 480, 652, 825, 998, 1171, 1344, 1593)
+ADRENO530_FREQS_MHZ = (133, 214, 315, 401, 510, 560, 624)
+
+PIXEL_XL_DEF = REGISTRY.register(PlatformDef(
+    name=PIXEL_XL,
+    clusters=(
+        {
+            "name": "kryo-silver",
+            "core_type": "Kryo-LP",
+            "n_cores": 2,
+            "opps": {"freqs_mhz": list(KRYO_SILVER_FREQS_MHZ),
+                     "v_min": 0.70, "v_max": 1.05},
+            "ceff_w_per_v2hz": 1.5e-10,
+            "leakage": {"kappa_w_per_k2": 1.2e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.03,
+            "thermal_node": "soc",
+            "rail": "kryo-silver",
+            "is_little": True,
+            "ipc": 1.3,
+        },
+        {
+            "name": "kryo-gold",
+            "core_type": "Kryo-HP",
+            "n_cores": 2,
+            "opps": {"freqs_mhz": list(KRYO_GOLD_FREQS_MHZ),
+                     "v_min": 0.75, "v_max": 1.20},
+            "ceff_w_per_v2hz": 4.2e-10,
+            "leakage": {"kappa_w_per_k2": 3.5e-4, "beta_k": LEAKAGE_BETA_K},
+            "idle_power_w": 0.06,
+            "thermal_node": "soc",
+            "rail": "kryo-gold",
+            "is_big": True,
+            "ipc": 1.9,
+        },
+    ),
+    gpu={
+        "name": "adreno530",
+        "gpu_type": "Adreno 530",
+        "opps": {"freqs_mhz": list(ADRENO530_FREQS_MHZ),
+                 "v_min": 0.75, "v_max": 1.05},
+        "ceff_w_per_v2hz": 2.8e-9,
+        "leakage": {"kappa_w_per_k2": 2.5e-4, "beta_k": LEAKAGE_BETA_K},
+        "idle_power_w": 0.05,
+        "thermal_node": "soc",
+        "rail": "gpu",
+    },
+    memory={
+        "name": "mem",
+        "base_power_w": 0.12,
+        "activity_power_w": 0.40,
+        "leakage": {"kappa_w_per_k2": 5.0e-5, "beta_k": LEAKAGE_BETA_K},
+        "thermal_node": "pcb",
+        "rail": "mem",
+    },
+    thermal={
+        "nodes": [
+            {"name": "soc", "capacitance_j_per_k": 2.8},
+            {"name": "pcb", "capacitance_j_per_k": 16.0},
+            {"name": "skin", "capacitance_j_per_k": 50.0},
+        ],
+        "links": [
+            {"a": "soc", "b": "pcb", "conductance_w_per_k": 1.0},
+            {"a": "pcb", "b": "skin", "conductance_w_per_k": 0.60},
+            {"a": "skin", "b": "ambient", "conductance_w_per_k": 0.33},
+            {"a": "soc", "b": "ambient", "conductance_w_per_k": 0.02},
+        ],
+        "power_split": {
+            "kryo-gold": {"soc": 1.0},
+            "kryo-silver": {"soc": 1.0},
+            "gpu": {"soc": 1.0},
+            "mem": {"pcb": 1.0},
+            "board": {"pcb": 0.7, "skin": 0.3},
+        },
+    },
+    sensors=(
+        # tsens package sensor (0.1 degC steps) plus a skin thermistor.
+        {"name": "pkg", "node": "soc", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+        {"name": "skin", "node": "skin", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+    ),
+    board_power_w=1.1,
+    default_ambient_c=25.0,
+    initial_temp_c=32.0,
+    extras={"soc": "Snapdragon 821", "os": "Android 8"},
+    software={
+        # Stock policy: step-wise package trips cooling clusters and GPU,
+        # tripping slightly higher than the 6P (better process, same skin
+        # budget).
+        "thermal": {
+            "kind": "step_wise",
+            "sensor": "pkg",
+            "cooled": ["kryo-gold", "kryo-silver", "gpu"],
+            "trips": [{"temp_c": 43.0, "hyst_c": 1.5}],
+            "polling_s": 0.1,
+        },
+        "t_limit_c": 45.0,
+    },
+))
+
+
+def pixel_xl() -> PlatformSpec:
+    """Build the Pixel XL platform spec (compiles the registered def)."""
+    return PIXEL_XL_DEF.compile()

@@ -155,3 +155,80 @@ def test_table_export_dir(capsys, tmp_path, monkeypatch):
     assert (tmp_path / "metrics.prom").exists()
     assert (tmp_path / "events.jsonl").exists()
     assert (tmp_path / "only" / "traces").is_dir()
+
+
+def test_platforms_list_command(capsys):
+    assert main(["platforms", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("nexus6p", "odroid-xu3", "odroid-xu3-fan", "pixel-xl"):
+        assert name in out
+
+
+def test_platforms_list_json_round_trips(capsys):
+    import json
+
+    from repro.soc.defs import PlatformDef
+
+    assert main(["platforms", "list", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload) >= {"nexus6p", "odroid-xu3", "pixel-xl"}
+    for data in payload.values():
+        PlatformDef.from_dict(data).validate()
+
+
+def test_platforms_describe_text(capsys):
+    assert main(["platforms", "describe", "--platform", "pixel-xl"]) == 0
+    out = capsys.readouterr().out
+    assert "kryo-gold" in out
+    assert "step_wise" in out
+    assert "Thermal network" in out
+
+
+def test_platforms_describe_json_is_the_def(capsys):
+    import json
+
+    from repro.soc.registry import get
+
+    assert main(["platforms", "describe", "--platform", "odroid-xu3",
+                 "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data == get("odroid-xu3").to_dict()
+
+
+def test_platforms_describe_unknown_exits():
+    with pytest.raises(SystemExit):
+        main(["platforms", "describe", "--platform", "palm-pre"])
+
+
+def test_platforms_validate_command(capsys):
+    assert main(["platforms", "validate"]) == 0
+    out = capsys.readouterr().out
+    assert "4 platform definition(s) valid" in out
+
+
+def test_platforms_validate_file(tmp_path, capsys):
+    import json
+
+    from repro.soc.registry import get
+
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(get("pixel-xl").to_dict()))
+    assert main(["platforms", "validate", "--file", str(good)]) == 0
+    assert "pixel-xl: OK" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    data = get("pixel-xl").to_dict()
+    data["software"]["thermal"]["sensor"] = "bogus"
+    bad.write_text(json.dumps(data))
+    with pytest.raises(SystemExit):
+        main(["platforms", "validate", "--file", str(bad)])
+
+
+def test_describe_any_registered_platform(capsys):
+    assert main(["describe", "--platform", "pixel-xl"]) == 0
+    assert "skin" in capsys.readouterr().out
+
+
+def test_describe_unknown_platform_exits():
+    with pytest.raises(SystemExit):
+        main(["describe", "--platform", "palm-pre"])

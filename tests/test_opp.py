@@ -98,3 +98,45 @@ def test_capped_never_empty(table):
     capped = table.capped(1e6)
     assert len(capped) == 1
     assert capped[0].freq_hz == 200e6
+
+
+def test_voltage_ladder_endpoints_and_rounding():
+    from repro.soc.opp import voltage_ladder
+
+    ladder = voltage_ladder((200, 500, 800), 0.90, 1.20)
+    assert ladder.frequencies_khz() == (200000, 500000, 800000)
+    assert ladder[0].voltage_v == 0.90
+    assert ladder[-1].voltage_v == 1.20
+    # Interpolated voltages round to 0.1 mV: 0.9 + 0.3 * 300/600 = 1.05.
+    assert ladder[1].voltage_v == 1.05
+
+
+def test_voltage_ladder_flat_voltage_is_allowed():
+    from repro.soc.opp import voltage_ladder
+
+    ladder = voltage_ladder((100, 200), 1.0, 1.0)
+    assert [p.voltage_v for p in ladder] == [1.0, 1.0]
+
+
+def test_voltage_ladder_rejects_bad_inputs():
+    from repro.soc.opp import voltage_ladder
+
+    with pytest.raises(ConfigurationError):
+        voltage_ladder((800,), 0.9, 1.2)          # one frequency
+    with pytest.raises(ConfigurationError):
+        voltage_ladder((800, 200), 0.9, 1.2)      # descending endpoints
+    with pytest.raises(ConfigurationError):
+        voltage_ladder((200, 200), 0.9, 1.2)      # zero span
+    with pytest.raises(ConfigurationError):
+        voltage_ladder((200, 800), 1.2, 0.9)      # v_max < v_min
+
+
+def test_table_value_equality_and_hash(table):
+    twin = OppTable.from_pairs(
+        [(200e6, 0.90), (400e6, 0.95), (800e6, 1.05), (1600e6, 1.25)]
+    )
+    other = OppTable.from_pairs([(200e6, 0.90), (400e6, 0.95)])
+    assert table == twin
+    assert hash(table) == hash(twin)
+    assert table != other
+    assert table != "not a table"

@@ -1,0 +1,100 @@
+"""docs/PLATFORMS.md must match the schema, the registry and the CLI."""
+
+import argparse
+import pathlib
+import re
+from dataclasses import fields as dataclass_fields
+
+import pytest
+
+from repro.cli import build_parser
+from repro.soc import defs
+from repro.soc.defs import PlatformDef
+from repro.soc.registry import platform_names
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "PLATFORMS.md"
+
+#: Inline-code tokens that look like CLI flags, e.g. `--format {text,json}`.
+_FLAG_RE = re.compile(r"`(--[a-z][a-z-]*)")
+
+
+def _subparser_choices(parser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
+@pytest.fixture(scope="module")
+def platforms_parsers():
+    return _subparser_choices(_subparser_choices(build_parser())["platforms"])
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/PLATFORMS.md is part of the platform contract"
+
+
+def test_every_def_field_documented():
+    text = DOC.read_text()
+    for field in dataclass_fields(PlatformDef):
+        assert f"`{field.name}`" in text, (
+            f"PlatformDef field {field.name!r} missing from the doc"
+        )
+
+
+def test_every_schema_key_documented():
+    text = DOC.read_text()
+    documented = set(re.findall(r"`([a-z0-9_]+)`", text))
+    schema_keys = set()
+    for const, value in vars(defs).items():
+        if const.isupper() and isinstance(value, frozenset):
+            schema_keys |= value
+    assert schema_keys, "defs exports no schema key sets"
+    missing = schema_keys - documented
+    assert not missing, f"schema keys missing from the doc: {sorted(missing)}"
+
+
+def test_registered_platforms_documented():
+    text = DOC.read_text()
+    for name in platform_names():
+        assert f"`{name}`" in text, f"platform {name!r} missing from the doc"
+
+
+def test_platform_matrix_preset_documented():
+    from repro.campaign import PRESETS
+
+    assert "platform-matrix" in PRESETS
+    assert "`platform-matrix`" in DOC.read_text()
+
+
+def test_actions_documented(platforms_parsers):
+    text = DOC.read_text()
+    assert set(platforms_parsers) == {"list", "describe", "validate"}
+    for action in platforms_parsers:
+        assert action in text
+
+
+def _flags(parsers) -> set:
+    found = set()
+    for sub in parsers.values():
+        for action in sub._actions:
+            for flag in action.option_strings:
+                if flag.startswith("--") and flag != "--help":
+                    found.add(flag)
+        try:
+            found |= _flags(_subparser_choices(sub))
+        except AssertionError:
+            pass
+    return found
+
+
+def test_every_documented_flag_exists(platforms_parsers):
+    documented = set(_FLAG_RE.findall(DOC.read_text()))
+    # The doc also mentions flags of other commands (campaign --jobs...);
+    # nothing documented may be stale anywhere in the CLI, and every
+    # `platforms` flag must be documented.
+    all_flags = _flags(_subparser_choices(build_parser()))
+    stale = documented - all_flags
+    missing = _flags(platforms_parsers) - documented
+    assert not stale, f"documented but not in build_parser(): {sorted(stale)}"
+    assert not missing, f"flags missing from the doc: {sorted(missing)}"

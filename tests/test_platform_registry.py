@@ -1,0 +1,134 @@
+"""Platform registry semantics, and a data-only device running end-to-end."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc import registry
+from repro.soc.defs import PlatformDef
+from repro.soc.exynos5422 import ODROID_XU3, ODROID_XU3_FAN
+from repro.soc.platform import PlatformSpec
+from repro.soc.registry import REGISTRY, PlatformRegistry
+from repro.soc.snapdragon810 import NEXUS6P, NEXUS6P_DEF
+from repro.soc.snapdragon821 import PIXEL_XL
+
+
+def _testbox_def(name="testbox"):
+    """A device no repo code knows: the phone definition patched as data."""
+    data = REGISTRY.get(PIXEL_XL).to_dict()
+    data["name"] = name
+    data["extras"] = {"soc": "Testbox"}
+    data["software"]["t_limit_c"] = 50.0
+    return PlatformDef.from_dict(data)
+
+
+def test_builtins_registered():
+    assert registry.platform_names() == (
+        NEXUS6P, ODROID_XU3, ODROID_XU3_FAN, PIXEL_XL,
+    )
+    for name in registry.platform_names():
+        assert registry.is_registered(name)
+        assert name in REGISTRY
+
+
+def test_build_compiles_a_fresh_spec():
+    spec = registry.build(NEXUS6P)
+    assert isinstance(spec, PlatformSpec)
+    assert spec.name == NEXUS6P
+    assert spec == registry.build(NEXUS6P)
+    assert spec is not registry.build(NEXUS6P)
+
+
+def test_get_unknown_lists_names():
+    with pytest.raises(ConfigurationError) as err:
+        registry.get("palm-pre")
+    assert "palm-pre" in str(err.value)
+    assert NEXUS6P in str(err.value)
+
+
+def test_fresh_registry_register_get_unregister():
+    reg = PlatformRegistry()
+    assert len(reg) == 0
+    returned = reg.register(_testbox_def())
+    assert returned.name == "testbox"
+    assert reg.names() == ("testbox",)
+    assert list(reg) == ["testbox"]
+    assert reg.build("testbox").extras == {"soc": "Testbox"}
+    removed = reg.unregister("testbox")
+    assert removed is returned
+    assert "testbox" not in reg
+    with pytest.raises(ConfigurationError):
+        reg.unregister("testbox")
+
+
+def test_duplicate_register_requires_replace():
+    reg = PlatformRegistry()
+    reg.register(_testbox_def())
+    with pytest.raises(ConfigurationError):
+        reg.register(_testbox_def())
+    patched = _testbox_def()
+    assert reg.register(patched, replace=True) is patched
+
+
+def test_register_rejects_non_defs():
+    with pytest.raises(ConfigurationError):
+        PlatformRegistry().register(NEXUS6P_DEF.compile())
+
+
+def test_register_rejects_broken_defs():
+    data = _testbox_def().to_dict()
+    data["thermal"]["nodes"] = [{"name": "soc", "capacitance_j_per_k": 2.0}]
+    data["thermal"]["links"] = [
+        {"a": "soc", "b": "ambient", "conductance_w_per_k": 0.1}
+    ]
+    broken = PlatformDef.from_dict(data)  # memory maps to a missing node
+    reg = PlatformRegistry()
+    with pytest.raises(ConfigurationError):
+        reg.register(broken)
+    assert len(reg) == 0
+
+
+def test_data_only_platform_runs_end_to_end(capsys):
+    """Register a device as pure data; run it through every layer."""
+    from repro.campaign.spec import Axis, CampaignSpec
+    from repro.cli import main
+    from repro.sim.experiment import AppSpec, Scenario
+
+    registry.register(_testbox_def())
+    try:
+        result = Scenario(
+            platform="testbox", apps=(AppSpec.catalog("stickman"),),
+            policy="stock", duration_s=8.0, seed=1,
+        ).run()
+        assert result.peak_temp_c > 0.0
+
+        runs = CampaignSpec(
+            name="testbox-grid",
+            base={"apps": (AppSpec.catalog("stickman"),), "duration_s": 8.0},
+            axes=(Axis("platform", ("testbox", PIXEL_XL)),),
+        ).expand()
+        assert [r.scenario.platform for r in runs] == ["testbox", PIXEL_XL]
+
+        assert main(["describe", "--platform", "testbox"]) == 0
+        assert main(["platforms", "describe", "--platform", "testbox"]) == 0
+        out = capsys.readouterr().out
+        assert "testbox" in out
+    finally:
+        registry.unregister("testbox")
+
+
+def test_unknown_platform_scenario_names_the_catalogue():
+    from repro.sim.experiment import AppSpec, Scenario
+
+    with pytest.raises(ConfigurationError) as err:
+        Scenario(platform="palm-pre", apps=(AppSpec.catalog("stickman"),))
+    assert PIXEL_XL in str(err.value)
+
+
+def test_lint_sysfs_authority_covers_all_platforms():
+    from repro.lint.rules.sysfs_contract import sysfs_authority
+
+    paths, _prefixes = sysfs_authority()
+    # The Odroid's INA231 nodes and the phones' tsens zones both appear:
+    # the authority is the union over every registered platform.
+    assert any("4-0040" in p for p in paths)
+    assert any("thermal" in p for p in paths)

@@ -99,3 +99,108 @@ def test_cluster_lookup(odroid_platform):
 def test_power_model_builds(odroid_platform, nexus_platform):
     for platform in (odroid_platform, nexus_platform):
         assert platform.power_model() is not None
+
+
+def _cluster(name, is_big=False, is_little=False, ceff=1e-10):
+    from repro.soc.components import ClusterSpec, LeakageParams
+    from repro.soc.opp import voltage_ladder
+
+    return ClusterSpec(
+        name=name, core_type=name.upper(), n_cores=4,
+        opps=voltage_ladder((200, 1000), 0.9, 1.1),
+        ceff_w_per_v2hz=ceff,
+        leakage=LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0),
+        thermal_node="soc", rail="cpu",
+        is_big=is_big, is_little=is_little,
+    )
+
+
+def _two_cluster_platform(clusters):
+    from repro.soc.components import GpuSpec, LeakageParams, MemorySpec
+    from repro.soc.opp import voltage_ladder
+    from repro.thermal.rc_network import (
+        ThermalLinkSpec, ThermalNetworkSpec, ThermalNodeSpec,
+    )
+
+    leak = LeakageParams(kappa_w_per_k2=1e-4, beta_k=1650.0)
+    return PlatformSpec(
+        name="twobox",
+        clusters=clusters,
+        gpu=GpuSpec(name="gfx", gpu_type="GFX",
+                    opps=voltage_ladder((100, 400), 0.8, 1.0),
+                    ceff_w_per_v2hz=1e-9, leakage=leak,
+                    thermal_node="soc", rail="gpu"),
+        memory=MemorySpec(thermal_node="soc", rail="mem"),
+        thermal=ThermalNetworkSpec(
+            nodes=(ThermalNodeSpec("soc", 2.0),),
+            links=(ThermalLinkSpec("soc", "ambient", 0.5),),
+            power_split={r: {"soc": 1.0}
+                         for r in ("cpu", "gpu", "mem", "a", "b")},
+        ),
+        sensors=(),
+    )
+
+
+def test_explicit_little_flag_wins_over_power_rule():
+    # "a" burns less power, but "b" carries the flag — the flag wins.
+    platform = _two_cluster_platform((
+        _cluster("a", ceff=1e-11),
+        _cluster("b", is_little=True, ceff=5e-10),
+        _cluster("big", is_big=True),
+    ))
+    assert platform.little_cluster.name == "b"
+
+
+def test_little_fallback_is_order_independent():
+    lo, hi = _cluster("lo", ceff=1e-11), _cluster("hi", ceff=5e-10)
+    big = _cluster("big", is_big=True)
+    for order in ((lo, hi, big), (hi, lo, big), (big, hi, lo)):
+        assert _two_cluster_platform(order).little_cluster.name == "lo"
+
+
+def test_multiple_little_flags_rejected():
+    with pytest.raises(ConfigurationError):
+        _two_cluster_platform((
+            _cluster("a", is_little=True),
+            _cluster("b", is_little=True),
+            _cluster("big", is_big=True),
+        ))
+
+
+def test_cluster_cannot_be_big_and_little():
+    with pytest.raises(ConfigurationError):
+        _cluster("both", is_big=True, is_little=True)
+
+
+def test_builtin_littles_are_flagged(nexus_platform, odroid_platform):
+    from repro.soc.snapdragon821 import pixel_xl
+
+    for platform in (nexus_platform, odroid_platform, pixel_xl()):
+        assert platform.little_cluster.is_little
+        assert platform.big_cluster.is_big
+        assert not platform.little_cluster.is_big
+
+
+def test_pixel_xl_matches_snapdragon821():
+    from repro.soc.snapdragon821 import pixel_xl
+
+    platform = pixel_xl()
+    assert platform.big_cluster.core_type == "Kryo-HP"
+    assert platform.little_cluster.n_cores == 2
+    mhz = [round(f / 1e6) for f in platform.gpu.opps.frequencies_hz()]
+    assert mhz == [133, 214, 315, 401, 510, 560, 624]
+    assert platform.sensor("pkg").node == "soc"
+
+
+def test_odroid_fan_variant_differs_only_in_cooling():
+    fanless, fanned = odroid_xu3(), odroid_xu3(fan=True)
+    assert fanned.name == "odroid-xu3-fan"
+    assert fanned.extras["fan"] == "enabled"
+    g = {(l.node_a, l.node_b): l.conductance_w_per_k
+         for l in fanless.thermal.links}
+    g_fan = {(l.node_a, l.node_b): l.conductance_w_per_k
+             for l in fanned.thermal.links}
+    assert g_fan[("board", "ambient")] > g[("board", "ambient")]
+    del g[("board", "ambient")], g_fan[("board", "ambient")]
+    assert g == g_fan
+    assert fanless.clusters == fanned.clusters

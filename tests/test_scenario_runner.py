@@ -81,3 +81,24 @@ def test_batch_cluster_override():
         duration_s=10.0,
     ).run()
     assert result.breakdown.shares["a7"] > result.breakdown.shares["a15"]
+
+
+def test_pixel_xl_runs_every_policy():
+    """The data-defined phone runs end-to-end with no code branches."""
+    results = compare_policies(
+        "pixel-xl", (AppSpec.catalog("stickman"),), duration_s=20.0,
+    )
+    assert set(results) == {"none", "stock", "proposed"}
+    for result in results.values():
+        assert result.peak_temp_c > 25.0
+        assert "stickman" in result.fps
+    # The proposed governor defaults to the definition's 45 degC limit.
+    assert results["proposed"].peak_temp_c <= results["none"].peak_temp_c + 0.5
+
+
+def test_proposed_limit_comes_from_platform_definition():
+    from repro.soc.registry import get
+
+    assert get("nexus6p").default_t_limit_c == 41.0
+    assert get("odroid-xu3").default_t_limit_c == 85.0
+    assert get("pixel-xl").default_t_limit_c == 45.0
