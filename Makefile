@@ -6,8 +6,9 @@ export PYTHONPATH := src
 
 CAMPAIGN_STORE ?= /tmp/repro-campaign-smoke
 PLATFORM_STORE ?= /tmp/repro-platform-matrix
+CHAOS_STORE ?= /tmp/repro-chaos-smoke
 
-.PHONY: lint test check campaign-smoke validate-platforms
+.PHONY: lint test check campaign-smoke chaos-smoke validate-platforms
 
 lint:
 	$(PYTHON) -m repro lint
@@ -29,4 +30,11 @@ campaign-smoke:
 	  | $(PYTHON) -c "import json,sys; s=json.load(sys.stdin)['summary']; assert s['cached']==s['total']>0, s; print(f\"campaign-smoke: {s['cached']}/{s['total']} cached\")"
 	$(PYTHON) -m repro campaign run --preset platform-matrix --store $(PLATFORM_STORE) --jobs 2
 
-check: lint validate-platforms test campaign-smoke
+# Run the full fault-injection grid (every built-in fault plan x policy x
+# platform) and fail if any run crashes or the hardened governor overshoots
+# the thermal limit by more than stock anywhere (docs/FAULTS.md).
+chaos-smoke:
+	rm -rf $(CHAOS_STORE)
+	$(PYTHON) -m repro chaos --duration 12 --jobs 2 --store $(CHAOS_STORE)
+
+check: lint validate-platforms test campaign-smoke chaos-smoke

@@ -1,0 +1,49 @@
+"""Fault injection in one platform: stuck sensor vs the hardened governor.
+
+Runs a short fault-injection sweep on the Odroid-XU3 — every built-in
+fault plan, stock and hardened proposed policies — and prints the
+resilience report: peak temperature, excess over the thermal limit,
+worst frame rate and failsafe residency per cell (docs/FAULTS.md).
+
+Run with:  python examples/chaos_sweep.py
+"""
+
+import tempfile
+
+from repro.campaign import Axis, CampaignRunner, CampaignSpec, ResultStore
+from repro.campaign.spec import FAULTS_AXIS
+from repro.faults import builtin_plan_names
+from repro.faults.report import resilience_report
+from repro.sim.experiment import AppSpec
+
+
+def build_spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="example-chaos",
+        base={
+            "platform": "odroid-xu3",
+            "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+            "duration_s": 10.0,
+            "seed": 3,
+        },
+        axes=(
+            Axis("policy", ("stock", "proposed")),
+            Axis(FAULTS_AXIS, builtin_plan_names()),
+        ),
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+    with tempfile.TemporaryDirectory() as root:
+        runner = CampaignRunner(spec, ResultStore(root), jobs=2)
+        campaign = runner.run()
+        print(campaign.render_text())
+        print()
+
+        report = resilience_report(runner.runs, runner.results())
+        print(report.render_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -56,7 +56,7 @@ from repro.soc.registry import (
 from repro.soc.snapdragon810 import nexus6p
 from repro.soc.snapdragon821 import pixel_xl
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ODROID_XU3_LUMPED",

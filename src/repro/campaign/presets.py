@@ -13,7 +13,11 @@ a sweep the repository already performs serially elsewhere:
   ``make campaign-smoke`` target;
 * :func:`platform_matrix_campaign` — one short stock-policy run on every
   platform in :mod:`repro.soc.registry`, proving that data-defined
-  devices sweep through campaigns with no campaign-code changes.
+  devices sweep through campaigns with no campaign-code changes;
+* :func:`chaos_campaign` — every built-in fault plan against both the
+  stock and the (hardened) proposed governor on every registered
+  platform, the grid behind the resilience report and the acceptance
+  property that hardening never *worsens* the peak temperature.
 
 Presets are looked up by name through :data:`PRESETS` (the CLI's
 ``--preset`` choices).  Platform names come from the registry's exported
@@ -23,7 +27,8 @@ constants — no layer of the campaign system spells device strings.
 from __future__ import annotations
 
 from repro.apps.catalog import popular_app_names
-from repro.campaign.spec import Axis, CampaignSpec
+from repro.campaign.spec import FAULTS_AXIS, Axis, CampaignSpec
+from repro.faults.plan import builtin_plan_names
 from repro.sim.experiment import AppSpec
 from repro.soc.exynos5422 import ODROID_XU3
 from repro.soc.registry import platform_names
@@ -114,8 +119,39 @@ def platform_matrix_campaign(duration_s: float = 8.0) -> CampaignSpec:
     )
 
 
+def chaos_campaign(
+    duration_s: float = 25.0,
+    seed: int = 3,
+) -> CampaignSpec:
+    """Every built-in fault plan x policy x platform — the chaos grid.
+
+    The game + background-BML mix runs long enough for each plan's fault
+    window to open, act and (where the plan closes it) heal.  Each policy
+    targets its platform's own limit (the proposed governor defaults to the
+    definition's ``software.t_limit_c``, the stock policy to its registered
+    trip table); comparing the ``stock`` and ``proposed`` rows per
+    (platform, plan) cell yields the resilience report and checks the
+    hardening acceptance property: the hardened governor's excess over the
+    platform limit never exceeds stock's.
+    """
+    return CampaignSpec(
+        name="chaos",
+        base={
+            "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+            "duration_s": duration_s,
+            "seed": seed,
+        },
+        axes=(
+            Axis("platform", platform_names()),
+            Axis("policy", ("stock", "proposed")),
+            Axis(FAULTS_AXIS, builtin_plan_names()),
+        ),
+    )
+
+
 #: Name → factory, as exposed by ``repro campaign --preset``.
 PRESETS = {
+    "chaos": chaos_campaign,
     "governor-horizon": governor_horizon_campaign,
     "platform-matrix": platform_matrix_campaign,
     "smoke": smoke_campaign,

@@ -97,6 +97,11 @@ class RunFailure:
     kind: str  # "exception" | "timeout" | "crash"
     error_type: str
     message: str
+    #: Fault plan the scenario was replaying when it failed, when any —
+    #: separates "crashed while being deliberately faulted" from a plain
+    #: crash (a fault plan that executes as designed is not a failure at
+    #: all: it completes and files a ScenarioResult).
+    fault_plan: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-serialisable form."""
@@ -104,15 +109,18 @@ class RunFailure:
             "kind": self.kind,
             "error_type": self.error_type,
             "message": self.message,
+            "fault_plan": self.fault_plan,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunFailure":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (``fault_plan`` optional, pre-1.1)."""
+        fault_plan = data.get("fault_plan")
         return cls(
             kind=str(data["kind"]),
             error_type=str(data["error_type"]),
             message=str(data["message"]),
+            fault_plan=None if fault_plan is None else str(fault_plan),
         )
 
 
@@ -238,6 +246,8 @@ def _execute_payload(payload: dict) -> dict:
     run_id = payload["run_id"]
     key = payload["key"]
     timeout_s = payload.get("timeout_s")
+    faults = payload["scenario"].get("faults")
+    fault_plan = None if faults is None else faults.get("name")
     store = ResultStore(payload["store_root"])
     store.record_attempt(key)
     if payload.get("allow_fault_injection") and os.environ.get(FAULT_ENV) == run_id:
@@ -257,6 +267,7 @@ def _execute_payload(payload: dict) -> dict:
                 "kind": "timeout",
                 "error_type": "Timeout",
                 "message": f"run exceeded the {timeout_s:g} s deadline",
+                "fault_plan": fault_plan,
             },
         }
     except Exception as exc:
@@ -270,6 +281,7 @@ def _execute_payload(payload: dict) -> dict:
                 "kind": "exception",
                 "error_type": type(exc).__name__,
                 "message": str(exc),
+                "fault_plan": fault_plan,
             },
         }
     elapsed = _wall_clock_s() - started

@@ -17,7 +17,9 @@ values over the fields of :class:`~repro.sim.experiment.Scenario`:
 
 Axes may range over the scenario scalars (``platform``, ``policy``,
 ``seed``, ``duration_s``, ``t_limit_c``, ``ambient_c``), over whole app
-mixes (``apps``: each value is a tuple of :class:`AppSpec`) and over any
+mixes (``apps``: each value is a tuple of :class:`AppSpec`), over fault
+plans (``faults.plan``: built-in plan names, plan dicts or
+:class:`~repro.faults.plan.FaultPlan` objects) and over any
 :class:`~repro.core.governor.GovernorConfig` field via a ``governor.``
 prefix.  Expansion is deterministic: run indices follow the product order
 of the axes as given, and every run gets a stable, content-derived id.
@@ -39,6 +41,7 @@ from typing import Mapping, Sequence
 
 from repro.core.governor import GovernorConfig
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan, resolve_plan
 from repro.sim.experiment import AppSpec, Scenario
 
 #: Scenario fields an axis (or the base) may set directly.
@@ -48,6 +51,9 @@ SCALAR_AXES = (
 
 #: Axis names addressing a GovernorConfig field start with this prefix.
 GOVERNOR_PREFIX = "governor."
+
+#: Axis name sweeping the scenario's fault plan.
+FAULTS_AXIS = "faults.plan"
 
 _CAMPAIGN_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
 
@@ -94,6 +100,8 @@ def _normalize_apps_value(value) -> tuple[AppSpec, ...]:
 def _jsonable_axis_value(name: str, value):
     if name == "apps":
         return [spec.to_dict() for spec in value]
+    if name == FAULTS_AXIS:
+        return value.to_dict()
     return value
 
 
@@ -112,16 +120,19 @@ class Axis:
                     f"unknown governor field {fld!r}; have "
                     f"{sorted(_governor_field_names())}"
                 )
-        elif self.name not in SCALAR_AXES + ("apps",):
+        elif self.name not in SCALAR_AXES + ("apps", FAULTS_AXIS):
             raise ConfigurationError(
                 f"unknown axis {self.name!r}; have "
-                f"{SCALAR_AXES + ('apps',)} and '{GOVERNOR_PREFIX}<field>'"
+                f"{SCALAR_AXES + ('apps', FAULTS_AXIS)} and "
+                f"'{GOVERNOR_PREFIX}<field>'"
             )
         values = tuple(self.values)
         if not values:
             raise ConfigurationError(f"axis {self.name!r} needs at least one value")
         if self.name == "apps":
             values = tuple(_normalize_apps_value(v) for v in values)
+        elif self.name == FAULTS_AXIS:
+            values = tuple(resolve_plan(v) for v in values)
         object.__setattr__(self, "values", values)
         canon = [canonical_json(_jsonable_axis_value(self.name, v)) for v in values]
         if len(set(canon)) != len(canon):
@@ -175,7 +186,7 @@ class CampaignSpec:
         object.__setattr__(self, "axes", axes)
 
         base = dict(self.base)
-        allowed = set(SCALAR_AXES) | {"apps", "governor"}
+        allowed = set(SCALAR_AXES) | {"apps", "governor", "faults"}
         unknown = set(base) - allowed
         if unknown:
             raise ConfigurationError(
@@ -183,6 +194,8 @@ class CampaignSpec:
             )
         if "apps" in base:
             base["apps"] = _normalize_apps_value(base["apps"])
+        if base.get("faults") is not None:
+            base["faults"] = resolve_plan(base["faults"]).to_dict()
         governor = base.get("governor")
         if isinstance(governor, GovernorConfig):
             base["governor"] = governor.to_dict()
@@ -226,6 +239,8 @@ class CampaignSpec:
             for axis, value in zip(self.axes, combo):
                 if axis.name.startswith(GOVERNOR_PREFIX):
                     governor[axis.name[len(GOVERNOR_PREFIX):]] = value
+                elif axis.name == FAULTS_AXIS:
+                    fields["faults"] = value
                 else:
                     fields[axis.name] = value
             if governor:

@@ -27,6 +27,11 @@ Commands regenerate the paper's artefacts or run one-off analyses:
   scenario content, so re-running executes only the missing work and
   ``--resume`` continues an interrupted campaign.  See
   ``docs/CAMPAIGNS.md``.
+* ``chaos`` — run the built-in fault-injection grid (every fault plan x
+  policy x platform) and print the resilience report comparing how the
+  stock and hardened proposed governors ride out each plan; exits
+  non-zero if any run fails or the hardened governor overshoots the
+  thermal limit by more than stock anywhere.  See ``docs/FAULTS.md``.
 
 ``table1``/``table2``/``fig8``/``fig9`` accept ``--export-dir DIR`` to dump
 each underlying run's full observability bundle — ``manifest.json``,
@@ -320,18 +325,47 @@ def _cmd_campaign_results(args: argparse.Namespace) -> int:
         if result is None:
             continue
         fps = "  ".join(f"{app}={val:.1f}" for app, val in sorted(result.fps.items()))
+        faults = "-"
+        if result.fault_plan is not None:
+            faults = f"{result.fault_plan} ({len(result.faults_injected)})"
         rows.append([
             run.run_id, result.policy, f"{result.peak_temp_c:.1f}",
             f"{result.end_temp_c:.1f}", f"{result.mean_power_w:.2f}", fps,
+            faults,
         ])
     out = render_table(
-        ["run", "policy", "peak degC", "end degC", "mean W", "median FPS"],
+        ["run", "policy", "peak degC", "end degC", "mean W", "median FPS",
+         "faults"],
         rows, title=f"Campaign {runner.spec.name}: cached results",
     )
     if missing:
         out += f"\n{len(missing)} run(s) not cached yet: " + ", ".join(missing)
     print(out)
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, ResultStore
+    from repro.campaign.presets import chaos_campaign
+    from repro.faults.report import resilience_report
+
+    spec = chaos_campaign(duration_s=args.duration, seed=args.seed)
+    runner = CampaignRunner(
+        spec, ResultStore(args.store), jobs=args.jobs, timeout_s=args.timeout
+    )
+    campaign = runner.run()
+    resilience = resilience_report(runner.runs, runner.results())
+    if args.format == "json":
+        payload = {
+            "campaign": campaign.to_dict(),
+            "resilience": resilience.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(campaign.render_text())
+        print()
+        print(resilience.render_text())
+    return 0 if campaign.ok and not resilience.hardening_regressions() else 1
 
 
 def _cmd_platforms_list(args: argparse.Namespace) -> str:
@@ -457,6 +491,7 @@ commands:
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
   campaign   run/status/results of a parallel, cached scenario campaign
+  chaos      fault-injection grid + resilience report (docs/FAULTS.md)
 """
 
 
@@ -535,8 +570,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--spec", default=None,
                          help="campaign spec JSON file (docs/CAMPAIGNS.md)")
         cmd.add_argument("--preset", default=None,
-                         help="built-in campaign (smoke, governor-horizon, "
-                              "platform-matrix, table1-seeds)")
+                         help="built-in campaign (chaos, smoke, "
+                              "governor-horizon, platform-matrix, "
+                              "table1-seeds)")
         cmd.add_argument("--store", default="campaign-store",
                          help="result-store directory (created on demand)")
         cmd.add_argument("--format", choices=("text", "json"), default="text")
@@ -549,6 +585,20 @@ def build_parser() -> argparse.ArgumentParser:
                              help="continue an interrupted campaign; errors "
                                   "if it was never started")
         cmd.set_defaults(fn=fn)
+
+    chaos_cmd = sub.add_parser("chaos")
+    chaos_cmd.add_argument("--duration", type=float, default=25.0,
+                           help="simulated seconds per run")
+    chaos_cmd.add_argument("--seed", type=int, default=3)
+    chaos_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = run in-process)")
+    chaos_cmd.add_argument("--timeout", type=float, default=None,
+                           help="per-run wall-clock timeout in seconds")
+    chaos_cmd.add_argument("--store", default="campaign-store",
+                           help="result-store directory (created on demand)")
+    chaos_cmd.add_argument("--format", choices=("text", "json"),
+                           default="text")
+    chaos_cmd.set_defaults(fn=_cmd_chaos)
 
     describe_cmd = sub.add_parser("describe")
     describe_cmd.add_argument("--platform", required=True,

@@ -34,3 +34,8 @@ class AnalysisError(ReproError):
 
 class StabilityError(ReproError):
     """The power-temperature stability analysis received invalid parameters."""
+
+
+class FaultInjectionError(ReproError):
+    """A fault plan or injector was invalid (unknown kind, bad window,
+    or a target that does not exist on the simulated platform)."""

@@ -1,0 +1,44 @@
+"""Fault injection: declarative, seed-deterministic chaos for the simulator.
+
+The package splits into:
+
+* :mod:`repro.faults.plan` — the declarative :class:`FaultPlan` /
+  :class:`FaultEvent` schema (JSON round-trip, validated at construction)
+  and the built-in plan library;
+* :mod:`repro.faults.sensors` — faulty-sensor wrappers (stuck, spiky,
+  dropping) layered over any :class:`~repro.thermal.sensors.ThermalSensor`;
+* :mod:`repro.faults.injectors` — the :class:`FaultController` daemon that
+  replays a plan against a live simulation;
+* :mod:`repro.faults.report` — the resilience report comparing policies
+  across fault plans.
+
+The hardened governor side (watchdog, plausibility filter, retry/backoff,
+failsafe mode) lives in :mod:`repro.core.governor`; the degradation ladder
+is documented in ``docs/FAULTS.md``.
+"""
+
+from repro.faults.injectors import FaultController
+from repro.faults.plan import (
+    BUILTIN_PLANS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    builtin_plan_names,
+    get_plan,
+    resolve_plan,
+)
+from repro.faults.sensors import DroppingSensor, SpikySensor, StuckSensor
+
+__all__ = [
+    "BUILTIN_PLANS",
+    "FAULT_KINDS",
+    "DroppingSensor",
+    "FaultController",
+    "FaultEvent",
+    "FaultPlan",
+    "SpikySensor",
+    "StuckSensor",
+    "builtin_plan_names",
+    "get_plan",
+    "resolve_plan",
+]

@@ -1,0 +1,257 @@
+"""Declarative, seed-deterministic fault plans.
+
+A :class:`FaultPlan` is a named list of :class:`FaultEvent` windows that a
+:class:`~repro.faults.injectors.FaultController` replays against a running
+simulation.  Plans are pure data: they validate at construction, round-trip
+through JSON (:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`) and
+therefore participate in the campaign store's content-addressed cache keys.
+All randomness an active fault consumes comes from the scenario's
+:class:`~repro.sim.rng.RngRegistry` streams, so a fault run is byte-
+reproducible at a fixed seed.
+
+Fault kinds
+-----------
+
+``sensor_stuck``
+    The targeted thermal zone's sensor freezes at the value read when the
+    window opens (a latched TMU register).
+``sensor_spike``
+    Occasional large positive spikes (``probability`` per read,
+    ``magnitude_c`` degrees) — ESD glitches on the sense line.
+``sensor_dropout``
+    The sensor repeats its last good reading with ``probability`` per read
+    (sample drops on the I2C/ADC path).
+``sysfs_eio``
+    Userspace reads of any node under ``target`` (a path prefix, default
+    ``/sys/class/thermal``) fail with an I/O error with ``probability`` per
+    read — a flaky hwmon bus.  Kernel-internal consumers are unaffected,
+    exactly as on real hardware.
+``governor_stall``
+    The userspace daemon named ``target`` (default ``app-aware-governor``)
+    misses every tick inside the window — scheduler starvation of the
+    control loop.
+``cooling_stuck``
+    The cooling device named ``target`` (default: all bound devices) stops
+    accepting state changes and stays at its current state.
+``fan_stop``
+    Every node-to-ambient conductance is scaled by ``scale`` (default 0.2,
+    the Odroid-XU3's fan-off/fan-on ratio) — the fan stops, or the case
+    vents are blocked.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import re
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import FaultInjectionError
+
+#: Every fault kind an event may carry, in documentation order.
+FAULT_KINDS = (
+    "sensor_stuck",
+    "sensor_spike",
+    "sensor_dropout",
+    "sysfs_eio",
+    "governor_stall",
+    "cooling_stuck",
+    "fan_stop",
+)
+
+#: Kinds whose ``probability`` field is consulted per read.
+_PROBABILISTIC_KINDS = ("sensor_spike", "sensor_dropout", "sysfs_eio")
+
+_PLAN_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9._-]*$")
+
+#: An ``end_s`` at or beyond this means "until the run ends".
+OPEN_END_S = 1.0e6
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault window: a kind, a time span and its parameters."""
+
+    kind: str
+    start_s: float
+    end_s: float
+    #: Kind-specific target: a zone/sensor name, a sysfs path prefix, a
+    #: daemon name or a cooling-device name.  ``None`` selects the kind's
+    #: documented default.
+    target: str | None = None
+    #: Per-read fault probability (spike/dropout/eio kinds).
+    probability: float = 1.0
+    #: Spike amplitude in degrees Celsius (``sensor_spike``).
+    magnitude_c: float = 25.0
+    #: Ambient-conductance multiplier while a ``fan_stop`` window is open.
+    scale: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultInjectionError(
+                f"unknown fault kind {self.kind!r}; have {FAULT_KINDS}"
+            )
+        if not math.isfinite(self.start_s) or self.start_s < 0.0:
+            raise FaultInjectionError(
+                f"{self.kind}: start_s must be finite and non-negative, "
+                f"got {self.start_s}"
+            )
+        if not math.isfinite(self.end_s) or self.end_s <= self.start_s:
+            raise FaultInjectionError(
+                f"{self.kind}: end_s must be finite and after start_s "
+                f"({self.start_s}), got {self.end_s}"
+            )
+        if not 0.0 < self.probability <= 1.0:
+            raise FaultInjectionError(
+                f"{self.kind}: probability must be in (0, 1], "
+                f"got {self.probability}"
+            )
+        if self.magnitude_c < 0.0:
+            raise FaultInjectionError(
+                f"{self.kind}: magnitude_c must be non-negative, "
+                f"got {self.magnitude_c}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise FaultInjectionError(
+                f"{self.kind}: scale must be in (0, 1], got {self.scale}"
+            )
+        if self.target is not None and (
+            not isinstance(self.target, str) or not self.target
+        ):
+            raise FaultInjectionError(
+                f"{self.kind}: target must be a non-empty string or None"
+            )
+        if self.kind == "sysfs_eio" and self.target is not None:
+            if not self.target.startswith(("/sys", "/proc")):
+                raise FaultInjectionError(
+                    f"sysfs_eio target must be a /sys or /proc path prefix, "
+                    f"got {self.target!r}"
+                )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultEvent":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown FaultEvent field(s) {sorted(unknown)}; "
+                f"have {sorted(known)}"
+            )
+        for required in ("kind", "start_s", "end_s"):
+            if required not in data:
+                raise FaultInjectionError(
+                    f"FaultEvent needs a {required!r} field"
+                )
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, ordered set of fault events."""
+
+    name: str
+    events: tuple[FaultEvent, ...]
+
+    def __post_init__(self) -> None:
+        if not _PLAN_NAME_RE.match(self.name):
+            raise FaultInjectionError(
+                f"fault plan name {self.name!r} must match "
+                f"{_PLAN_NAME_RE.pattern}"
+            )
+        events = tuple(
+            ev if isinstance(ev, FaultEvent) else FaultEvent.from_dict(ev)
+            for ev in self.events
+        )
+        if not events:
+            raise FaultInjectionError(
+                f"fault plan {self.name!r} needs at least one event"
+            )
+        object.__setattr__(self, "events", events)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form — what the campaign cache key hashes."""
+        return {
+            "name": self.name,
+            "events": [ev.to_dict() for ev in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`; rejects unknown keys."""
+        unknown = set(data) - {"name", "events"}
+        if unknown:
+            raise FaultInjectionError(
+                f"unknown FaultPlan field(s) {sorted(unknown)}"
+            )
+        if "name" not in data or "events" not in data:
+            raise FaultInjectionError("FaultPlan needs 'name' and 'events'")
+        return cls(name=data["name"], events=tuple(data["events"]))
+
+
+def _builtin_plans() -> dict[str, FaultPlan]:
+    plans = (
+        FaultPlan("stuck-cold", (
+            FaultEvent("sensor_stuck", start_s=4.0, end_s=OPEN_END_S),
+        )),
+        FaultPlan("spike-storm", (
+            FaultEvent("sensor_spike", start_s=3.0, end_s=OPEN_END_S,
+                       probability=0.1, magnitude_c=25.0),
+        )),
+        FaultPlan("dropout", (
+            FaultEvent("sensor_dropout", start_s=3.0, end_s=OPEN_END_S,
+                       probability=0.6),
+        )),
+        FaultPlan("eio-burst", (
+            FaultEvent("sysfs_eio", start_s=4.0, end_s=12.0,
+                       target="/sys/class/thermal", probability=1.0),
+        )),
+        FaultPlan("tick-stall", (
+            FaultEvent("governor_stall", start_s=5.0, end_s=10.0),
+        )),
+        FaultPlan("cooling-stuck", (
+            FaultEvent("cooling_stuck", start_s=3.0, end_s=OPEN_END_S),
+        )),
+        FaultPlan("fan-stop", (
+            FaultEvent("fan_stop", start_s=3.0, end_s=OPEN_END_S, scale=0.2),
+        )),
+    )
+    return {plan.name: plan for plan in plans}
+
+
+#: The built-in catalogue, keyed by plan name (the ``chaos`` preset's axis).
+BUILTIN_PLANS = _builtin_plans()
+
+
+def builtin_plan_names() -> tuple[str, ...]:
+    """Names of the built-in plans, in catalogue order."""
+    return tuple(BUILTIN_PLANS)
+
+
+def get_plan(name: str) -> FaultPlan:
+    """Look up a built-in plan by name."""
+    try:
+        return BUILTIN_PLANS[name]
+    except KeyError:
+        raise FaultInjectionError(
+            f"unknown fault plan {name!r}; have {sorted(BUILTIN_PLANS)}"
+        ) from None
+
+
+def resolve_plan(value) -> FaultPlan:
+    """Coerce a plan reference (FaultPlan, dict or built-in name)."""
+    if isinstance(value, FaultPlan):
+        return value
+    if isinstance(value, Mapping):
+        return FaultPlan.from_dict(value)
+    if isinstance(value, str):
+        return get_plan(value)
+    raise FaultInjectionError(
+        f"a fault plan must be a FaultPlan, its dict or a built-in name; "
+        f"got {value!r}"
+    )

@@ -1,0 +1,183 @@
+"""Resilience report: how each policy rides out each fault plan.
+
+Consumes the results of the ``chaos`` campaign preset (any campaign with a
+``faults.plan`` axis works) and groups them into per-(platform, plan) cells
+comparing the stock and hardened proposed policies on:
+
+* peak temperature and its *excess* over the platform's thermal limit —
+  the quantity the hardening acceptance property bounds;
+* the worst foreground frame rate (how much performance the fault cost);
+* time spent in failsafe mode and the number of fault events that armed.
+
+:func:`resilience_report` builds the structured report;
+:meth:`ResilienceReport.hardening_regressions` lists the cells where the
+hardened governor overshot the limit by *more* than stock did — the set
+the ``chaos`` acceptance test requires to be empty.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.campaign.spec import CampaignRun
+from repro.sim.experiment import ScenarioResult
+from repro.soc import registry as platform_registry
+
+#: Tolerance on the excess comparison: transient sensor noise may move the
+#: peak by a fraction of a degree between otherwise identical runs.
+EXCESS_TOLERANCE_C = 0.25
+
+
+@dataclass(frozen=True)
+class ResilienceRow:
+    """One campaign run viewed through the resilience lens."""
+
+    platform: str
+    fault_plan: str
+    policy: str
+    t_limit_c: float
+    peak_temp_c: float
+    excess_c: float
+    min_fps: float | None
+    failsafe_s: float
+    faults_injected: int
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "platform": self.platform,
+            "fault_plan": self.fault_plan,
+            "policy": self.policy,
+            "t_limit_c": self.t_limit_c,
+            "peak_temp_c": self.peak_temp_c,
+            "excess_c": self.excess_c,
+            "min_fps": self.min_fps,
+            "failsafe_s": self.failsafe_s,
+            "faults_injected": self.faults_injected,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """All resilience rows of one campaign, in grid order."""
+
+    rows: tuple[ResilienceRow, ...]
+
+    def hardening_regressions(
+        self, tolerance_c: float = EXCESS_TOLERANCE_C
+    ) -> list[tuple[str, str, float, float]]:
+        """Cells where 'proposed' overshot the limit by more than 'stock'.
+
+        Returns ``(platform, fault_plan, stock_excess_c, proposed_excess_c)``
+        for every (platform, plan) cell with both policies present where
+        the hardened governor's excess beats stock's by over ``tolerance_c``.
+        An empty list is the acceptance property holding.
+        """
+        by_cell: dict[tuple[str, str], dict[str, ResilienceRow]] = {}
+        for row in self.rows:
+            by_cell.setdefault((row.platform, row.fault_plan), {})[
+                row.policy
+            ] = row
+        regressions = []
+        for (platform, plan), cell in sorted(by_cell.items()):
+            stock = cell.get("stock")
+            proposed = cell.get("proposed")
+            if stock is None or proposed is None:
+                continue
+            if proposed.excess_c > stock.excess_c + tolerance_c:
+                regressions.append(
+                    (platform, plan, stock.excess_c, proposed.excess_c)
+                )
+        return regressions
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the CLI's ``--format json`` payload)."""
+        return {
+            "rows": [row.to_dict() for row in self.rows],
+            "hardening_regressions": [
+                list(r) for r in self.hardening_regressions()
+            ],
+        }
+
+    def render_json(self) -> str:
+        """Pretty-printed JSON of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Aligned table plus the acceptance-property verdict."""
+        from repro.analysis.tables import render_table
+
+        table_rows = []
+        for row in self.rows:
+            table_rows.append([
+                row.platform,
+                row.fault_plan,
+                row.policy,
+                f"{row.peak_temp_c:.2f}",
+                f"{row.excess_c:.2f}",
+                "-" if row.min_fps is None else f"{row.min_fps:.1f}",
+                f"{row.failsafe_s:.1f}",
+                row.faults_injected,
+            ])
+        table = render_table(
+            [
+                "platform", "fault plan", "policy", "peak C", "excess C",
+                "min fps", "failsafe s", "injected",
+            ],
+            table_rows,
+            title="Resilience report",
+        )
+        regressions = self.hardening_regressions()
+        if not regressions:
+            verdict = (
+                "hardening property holds: proposed never exceeds the limit "
+                "by more than stock"
+            )
+        else:
+            cells = ", ".join(
+                f"{platform}/{plan} (stock {stock:.2f} C vs "
+                f"proposed {proposed:.2f} C)"
+                for platform, plan, stock, proposed in regressions
+            )
+            verdict = f"hardening REGRESSION in {cells}"
+        return f"{table}\n{verdict}"
+
+
+def resilience_report(
+    runs: Sequence[CampaignRun],
+    results: Mapping[str, ScenarioResult],
+) -> ResilienceReport:
+    """Build the report from expanded runs and their cached results.
+
+    ``runs`` comes from :meth:`CampaignSpec.expand` (or
+    :attr:`CampaignRunner.runs`); ``results`` maps run ids to results as
+    returned by :meth:`CampaignRunner.results`.  Runs without a result
+    (failed or not yet executed) and runs without a fault plan are skipped.
+    """
+    rows = []
+    for run in runs:
+        result = results.get(run.run_id)
+        if result is None or result.fault_plan is None:
+            continue
+        scenario = run.scenario
+        limit_c = (
+            scenario.t_limit_c
+            if scenario.t_limit_c is not None
+            else platform_registry.get(scenario.platform).default_t_limit_c
+        )
+        rows.append(
+            ResilienceRow(
+                platform=scenario.platform,
+                fault_plan=result.fault_plan,
+                policy=scenario.policy,
+                t_limit_c=limit_c,
+                peak_temp_c=result.peak_temp_c,
+                excess_c=max(0.0, result.peak_temp_c - limit_c),
+                min_fps=min(result.fps.values()) if result.fps else None,
+                failsafe_s=result.failsafe_s,
+                faults_injected=len(result.faults_injected),
+            )
+        )
+    return ResilienceReport(rows=tuple(rows))

@@ -1,0 +1,136 @@
+"""Faulty-sensor wrappers.
+
+Thermal governors live or die by their sensors; real TMUs glitch, stick and
+drop samples.  These wrappers decorate a :class:`TemperatureSensor` with
+fault behaviours so the robustness of governors can be tested:
+
+* :class:`StuckSensor` — freezes at the value read at the fault time;
+* :class:`SpikySensor` — injects occasional large positive spikes;
+* :class:`DroppingSensor` — intermittently repeats the last good reading
+  (sample drops on the I2C/ADC path).
+
+All wrappers expose the same ``read_c`` / ``read_millicelsius`` interface,
+so they slot anywhere a sensor is used — in particular as a thermal zone's
+``sensor`` attribute, which also covers the zone's sysfs ``temp`` node.
+
+The probabilistic wrappers take an explicit :class:`numpy.random.Generator`;
+the :class:`~repro.faults.injectors.FaultController` threads a
+:class:`~repro.sim.rng.RngRegistry` stream through so fault runs are
+byte-reproducible at a fixed seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.thermal.sensors import TemperatureSensor
+from repro.units import celsius_to_millicelsius
+
+
+class _SensorWrapper:
+    """Delegating base: behaves like the wrapped sensor."""
+
+    def __init__(self, inner: TemperatureSensor) -> None:
+        self._inner = inner
+
+    @property
+    def name(self) -> str:
+        """Name of the underlying sensor."""
+        return self._inner.name
+
+    @property
+    def node(self) -> str:
+        """Observed thermal node of the underlying sensor."""
+        return self._inner.node
+
+    @property
+    def inner(self) -> TemperatureSensor:
+        """The wrapped sensor (for un-wrapping when a fault window closes)."""
+        return self._inner
+
+    def read_c(self) -> float:
+        raise NotImplementedError
+
+    def read_millicelsius(self) -> int:
+        """Reading in the sysfs millidegree unit."""
+        return celsius_to_millicelsius(self.read_c())
+
+
+class StuckSensor(_SensorWrapper):
+    """Returns live values until ``trigger()``, then freezes."""
+
+    def __init__(self, inner: TemperatureSensor) -> None:
+        super().__init__(inner)
+        self._stuck_at: float | None = None
+
+    def trigger(self) -> None:
+        """Freeze at the next reading."""
+        self._stuck_at = self._inner.read_c()
+
+    @property
+    def stuck(self) -> bool:
+        """Whether the fault is active."""
+        return self._stuck_at is not None
+
+    def clear(self) -> None:
+        """Remove the fault."""
+        self._stuck_at = None
+
+    def read_c(self) -> float:
+        if self._stuck_at is not None:
+            return self._stuck_at
+        return self._inner.read_c()
+
+
+class SpikySensor(_SensorWrapper):
+    """Injects positive spikes with a given probability per read."""
+
+    def __init__(
+        self,
+        inner: TemperatureSensor,
+        rng: np.random.Generator,
+        spike_probability: float = 0.01,
+        spike_magnitude_c: float = 25.0,
+    ) -> None:
+        super().__init__(inner)
+        if not 0.0 <= spike_probability <= 1.0:
+            raise ConfigurationError("spike probability must be in [0, 1]")
+        if spike_magnitude_c < 0.0:
+            raise ConfigurationError("spike magnitude must be non-negative")
+        self._rng = rng
+        self.spike_probability = spike_probability
+        self.spike_magnitude_c = spike_magnitude_c
+        self.spikes_emitted = 0
+
+    def read_c(self) -> float:
+        value = self._inner.read_c()
+        if self._rng.random() < self.spike_probability:
+            self.spikes_emitted += 1
+            value += self.spike_magnitude_c
+        return value
+
+
+class DroppingSensor(_SensorWrapper):
+    """Repeats the last good reading with a given probability per read."""
+
+    def __init__(
+        self,
+        inner: TemperatureSensor,
+        rng: np.random.Generator,
+        drop_probability: float = 0.2,
+    ) -> None:
+        super().__init__(inner)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1]")
+        self._rng = rng
+        self.drop_probability = drop_probability
+        self._last_good: float | None = None
+        self.drops = 0
+
+    def read_c(self) -> float:
+        if self._last_good is not None and self._rng.random() < self.drop_probability:
+            self.drops += 1
+            return self._last_good
+        self._last_good = self._inner.read_c()
+        return self._last_good

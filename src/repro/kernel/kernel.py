@@ -465,6 +465,27 @@ class Kernel:
         timer = PeriodicTimer(self._clock, period_s)
         self._daemons.append((name, timer, fn))
 
+    def daemon_names(self) -> list[str]:
+        """Names of the registered userspace daemons, in registration order."""
+        return [name for name, _timer, _fn in self._daemons]
+
+    def wrap_daemon(
+        self, name: str, wrap: Callable[[Callable[[float], None]], Callable[[float], None]]
+    ) -> None:
+        """Replace a daemon's callback with ``wrap(original)``.
+
+        The fault-injection layer uses this to model missed control ticks
+        (scheduler starvation) without the daemon's knowledge; the timer and
+        its phase are untouched.
+        """
+        for i, (daemon, timer, fn) in enumerate(self._daemons):
+            if daemon == name:
+                self._daemons[i] = (daemon, timer, wrap(fn))
+                return
+        raise ConfigurationError(
+            f"no daemon named {name!r}; have {self.daemon_names()}"
+        )
+
     def userspace_api(self) -> UserspaceApi:
         """The interface handed to userspace daemons."""
         return UserspaceApi(self)

@@ -56,6 +56,7 @@ class VirtualFs:
     def __init__(self) -> None:
         self._nodes: dict[str, SysfsNode] = {}
         self._resolvers: list[tuple[str, Callable[[str], SysfsNode | None]]] = []
+        self._read_faults: list[Callable[[str], None]] = []
 
     @staticmethod
     def _norm(path: str) -> str:
@@ -108,9 +109,27 @@ class VirtualFs:
         except SysfsError:
             return False
 
+    def add_read_fault(self, hook: Callable[[str], None]) -> Callable[[], None]:
+        """Install a read-fault hook; returns a zero-argument remover.
+
+        Every successful path lookup calls ``hook(path)`` before the node's
+        getter runs; a hook simulating a transient ``-EIO`` raises
+        :class:`SysfsError`.  Hooks only see reads (the userspace-facing
+        failure mode); missing paths still raise ENOENT-style errors first.
+        """
+        self._read_faults.append(hook)
+
+        def remove() -> None:
+            self._read_faults.remove(hook)
+
+        return remove
+
     def read(self, path: str) -> str:
         """Read a node; returns the raw string (usually newline-free)."""
-        return self._lookup(path).read()
+        node = self._lookup(path)
+        for hook in self._read_faults:
+            hook(self._norm(path))
+        return node.read()
 
     def read_int(self, path: str) -> int:
         """Read a node and parse it as an integer (sysfs convention)."""

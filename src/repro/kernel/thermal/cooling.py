@@ -20,14 +20,34 @@ class CoolingDevice:
         self.name = name
         self.max_state = max_state
         self._cur_state = 0
+        self._frozen = False
 
     @property
     def cur_state(self) -> int:
         """Current throttle state (0 = unthrottled)."""
         return self._cur_state
 
+    @property
+    def frozen(self) -> bool:
+        """Whether the device is ignoring state changes (fault injection)."""
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Stop accepting state changes — a stuck cooling actuator."""
+        self._frozen = True
+
+    def unfreeze(self) -> None:
+        """Resume accepting state changes."""
+        self._frozen = False
+
     def set_state(self, state: int) -> None:
-        """Set the throttle state, clamped to [0, max_state]."""
+        """Set the throttle state, clamped to [0, max_state].
+
+        A frozen device ignores the request, exactly like a fan whose
+        control line is dead: the governor keeps commanding, nothing moves.
+        """
+        if self._frozen:
+            return
         self._cur_state = min(max(int(state), 0), self.max_state)
         self._apply()
 

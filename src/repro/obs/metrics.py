@@ -43,6 +43,10 @@ FRAME_TIME_BUCKETS_S = (1 / 120, 1 / 60, 1 / 45, 1 / 30, 1 / 20, 0.1, 0.25)
 #: Default throttle-episode duration buckets (seconds, simulated).
 DURATION_BUCKETS_S = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0)
 
+#: Fault-detection latency buckets (seconds, simulated): how long an
+#: injected fault goes unnoticed by the hardened governor.
+DETECTION_LATENCY_BUCKETS_S = (0.1, 0.25, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0)
+
 
 def _check_labels(labels: Mapping[str, str] | None) -> tuple[tuple[str, str], ...]:
     if not labels:

@@ -32,6 +32,8 @@ from repro.apps.catalog import CATALOG, make_app
 from repro.apps.mibench import MIBENCH_SUITE
 from repro.core.governor import ApplicationAwareGovernor, GovernorConfig
 from repro.errors import ConfigurationError
+from repro.faults.injectors import FaultController
+from repro.faults.plan import FaultPlan, resolve_plan
 from repro.kernel.kernel import KernelConfig
 from repro.sim.engine import Simulation
 from repro.soc import registry as platform_registry
@@ -100,6 +102,13 @@ class ScenarioResult:
     breakdown: PowerBreakdown
     mean_power_w: float
     governor_events: tuple[tuple[float, str, str], ...]
+    #: Name of the fault plan replayed during the run (None = fault-free).
+    fault_plan: str | None = None
+    #: (sim time, kind) of every fault-plan event that actually armed —
+    #: distinguishes "the plan executed as designed" from a scenario crash.
+    faults_injected: tuple[tuple[float, str], ...] = ()
+    #: Simulated seconds the proposed governor spent in failsafe mode.
+    failsafe_s: float = 0.0
 
     def to_dict(self) -> dict:
         """JSON-serialisable form — the campaign store's wire format."""
@@ -111,11 +120,15 @@ class ScenarioResult:
             "breakdown": self.breakdown.to_dict(),
             "mean_power_w": self.mean_power_w,
             "governor_events": [list(e) for e in self.governor_events],
+            "fault_plan": self.fault_plan,
+            "faults_injected": [list(e) for e in self.faults_injected],
+            "failsafe_s": self.failsafe_s,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ScenarioResult":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (fault fields optional, pre-1.1)."""
+        fault_plan = data.get("fault_plan")
         return cls(
             policy=str(data["policy"]),
             fps={str(k): float(v) for k, v in data["fps"].items()},
@@ -127,6 +140,12 @@ class ScenarioResult:
                 (float(t), str(name), str(direction))
                 for t, name, direction in data["governor_events"]
             ),
+            fault_plan=None if fault_plan is None else str(fault_plan),
+            faults_injected=tuple(
+                (float(t), str(kind))
+                for t, kind in data.get("faults_injected", ())
+            ),
+            failsafe_s=float(data.get("failsafe_s", 0.0)),
         )
 
 
@@ -142,6 +161,8 @@ class Scenario:
     t_limit_c: float | None = None
     governor: GovernorConfig | None = None
     ambient_c: float | None = None
+    #: Fault plan to replay (a plan, a built-in plan name, or a plan dict).
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if not platform_registry.is_registered(self.platform):
@@ -157,6 +178,8 @@ class Scenario:
             raise ConfigurationError("a scenario needs at least one app")
         if self.duration_s <= 0.0:
             raise ConfigurationError("duration must be positive")
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            object.__setattr__(self, "faults", resolve_plan(self.faults))
 
     def to_dict(self) -> dict:
         """Complete JSON-serialisable description — the cache-key input."""
@@ -169,6 +192,7 @@ class Scenario:
             "t_limit_c": self.t_limit_c,
             "governor": None if self.governor is None else self.governor.to_dict(),
             "ambient_c": self.ambient_c,
+            "faults": None if self.faults is None else self.faults.to_dict(),
         }
 
     @classmethod
@@ -176,7 +200,7 @@ class Scenario:
         """Inverse of :meth:`to_dict`; optional keys fall back to defaults."""
         known = {
             "platform", "apps", "policy", "duration_s", "seed",
-            "t_limit_c", "governor", "ambient_c",
+            "t_limit_c", "governor", "ambient_c", "faults",
         }
         unknown = set(data) - known
         if unknown:
@@ -198,6 +222,7 @@ class Scenario:
             t_limit_c=data.get("t_limit_c"),
             governor=governor,
             ambient_c=data.get("ambient_c"),
+            faults=data.get("faults"),
         )
 
     def _platform(self):
@@ -232,7 +257,13 @@ class Scenario:
                     for pid in app.pids():
                         governor.registry.register(pid, spec.name)
             governor.install(sim.kernel)
+        controller = None
+        if self.faults is not None:
+            controller = FaultController(self.faults, sim, governor=governor)
+            controller.attach()
         sim.run(self.duration_s)
+        if controller is not None:
+            controller.finalize(sim.clock.now)
 
         fps = {}
         for spec, app in zip(self.apps, apps):
@@ -242,11 +273,20 @@ class Scenario:
         _, temps = sim.traces.series("temp.max")
         rails = [c.rail for c in platform.clusters]
         rails += [platform.gpu.rail, platform.memory.rail]
-        events = ()
+        events: tuple[tuple[float, str, str], ...] = ()
+        failsafe_s = 0.0
         if governor is not None:
-            events = tuple(
-                (e.time_s, e.name, e.direction) for e in governor.events
-            )
+            merged = [(e.time_s, e.name, e.direction) for e in governor.events]
+            merged += [
+                (e.time_s, "failsafe", e.action) for e in governor.failsafe_events
+            ]
+            events = tuple(sorted(merged))
+            failsafe_s = governor.failsafe_s
+        fault_plan = None
+        faults_injected: tuple[tuple[float, str], ...] = ()
+        if controller is not None:
+            fault_plan = controller.plan.name
+            faults_injected = tuple(controller.injected)
         return ScenarioResult(
             policy=self.policy,
             fps=fps,
@@ -255,6 +295,9 @@ class Scenario:
             breakdown=breakdown_from_traces(sim.traces, rails, start_s=5.0),
             mean_power_w=sim.daq.mean_power_w(start_s=5.0),
             governor_events=events,
+            fault_plan=fault_plan,
+            faults_injected=faults_injected,
+            failsafe_s=failsafe_s,
         )
 
 

@@ -44,14 +44,22 @@ class ThermalModel:
     ) -> None:
         if dt_s <= 0.0:
             raise ConfigurationError(f"thermal step must be positive, got {dt_s}")
-        self._spec = spec
+        self._base_spec = spec
         self._dt = float(dt_s)
         self._ambient_k = float(ambient_k)
         self._nodes = spec.node_names
         self._rails = spec.rail_names
         self._node_index = {name: i for i, name in enumerate(self._nodes)}
         self._rail_index = {name: i for i, name in enumerate(self._rails)}
+        self._ambient_scale = 1.0
+        self._configure(spec)
 
+        start = self._ambient_k if initial_k is None else float(initial_k)
+        self._state = np.full(len(self._nodes), start, dtype=float)
+
+    def _configure(self, spec) -> None:
+        """(Re)discretise the network; node temperatures are untouched."""
+        self._spec = spec
         a_mat, b_mat, w_vec = spec.build_matrices()
         self._a = a_mat
         self._b = b_mat
@@ -67,9 +75,6 @@ class ThermalModel:
         self._bd = gain @ b_mat
         self._wd = gain @ w_vec
         self._a_inv = a_inv
-
-        start = self._ambient_k if initial_k is None else float(initial_k)
-        self._state = np.full(len(self._nodes), start, dtype=float)
 
     @property
     def dt_s(self) -> float:
@@ -94,6 +99,36 @@ class ThermalModel:
     def set_ambient(self, ambient_k: float) -> None:
         """Change the ambient temperature (takes effect next step)."""
         self._ambient_k = float(ambient_k)
+
+    @property
+    def ambient_conductance_scale(self) -> float:
+        """Current multiplier on every node-to-ambient conductance."""
+        return self._ambient_scale
+
+    def set_ambient_conductance_scale(self, scale: float) -> None:
+        """Scale every node-to-ambient link and re-discretise the network.
+
+        Models degraded convection at runtime — a fan stopping, blocked
+        case vents — while preserving the node temperatures.  ``scale=1``
+        restores the as-built network.  The rebuild is exact: the matrix
+        exponential is recomputed from the scaled continuous-time network,
+        so integration accuracy is unchanged.
+        """
+        if scale <= 0.0:
+            raise ConfigurationError(
+                f"ambient conductance scale must be positive, got {scale}"
+            )
+        from dataclasses import replace
+
+        from repro.thermal.rc_network import AMBIENT
+
+        links = tuple(
+            replace(link, conductance_w_per_k=link.conductance_w_per_k * scale)
+            if AMBIENT in (link.node_a, link.node_b) else link
+            for link in self._base_spec.links
+        )
+        self._ambient_scale = float(scale)
+        self._configure(replace(self._base_spec, links=links))
 
     def set_state(self, temps_k: Mapping[str, float]) -> None:
         """Overwrite node temperatures (e.g. to start a warm device)."""

@@ -39,6 +39,13 @@ def test_campaign_sweep_example(capsys):
     assert "Campaign example-sweep: results" in out
 
 
+def test_chaos_sweep_example(capsys):
+    run_example("chaos_sweep")
+    out = capsys.readouterr().out
+    assert "Resilience report" in out
+    assert "hardening property holds" in out
+
+
 def test_custom_platform_example(capsys):
     run_example("custom_platform")
     out = capsys.readouterr().out

@@ -1,0 +1,134 @@
+"""docs/FAULTS.md must match the fault subsystem and the CLI."""
+
+import argparse
+import pathlib
+import re
+from dataclasses import fields as dataclass_fields
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core import governor as governor_mod
+from repro.core.governor import GovernorConfig
+from repro.faults import FAULT_KINDS, FaultEvent, builtin_plan_names
+from repro.faults.report import EXCESS_TOLERANCE_C
+
+DOC = pathlib.Path(__file__).parent.parent / "docs" / "FAULTS.md"
+
+#: Inline-code tokens that look like CLI flags, e.g. `--format {text,json}`.
+_FLAG_RE = re.compile(r"`(--[a-z][a-z-]*)")
+
+#: GovernorConfig knobs the degradation ladder documents.
+HARDENING_FIELDS = (
+    "sensor_staleness_s",
+    "max_temp_rate_c_per_s",
+    "eio_retries",
+    "eio_backoff_s",
+    "failsafe_after_s",
+    "breach_after_s",
+    "failsafe_exit_s",
+    "failsafe_margin_c",
+)
+
+#: Metric families the fault subsystem owns.
+FAULT_METRICS = (
+    "repro_faults_injected_total",
+    "repro_faults_detected_total",
+    "repro_governor_failsafe_seconds_total",
+    "repro_fault_detection_latency_seconds",
+)
+
+
+def _subparser_choices(parser):
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
+@pytest.fixture(scope="module")
+def doc_text():
+    return DOC.read_text()
+
+
+def test_doc_exists():
+    assert DOC.exists(), "docs/FAULTS.md is part of the fault contract"
+
+
+def test_every_fault_kind_documented(doc_text):
+    for kind in FAULT_KINDS:
+        assert f"`{kind}`" in doc_text, f"fault kind {kind!r} missing"
+
+
+def test_every_event_field_documented(doc_text):
+    for field in dataclass_fields(FaultEvent):
+        assert f"`{field.name}`" in doc_text, (
+            f"FaultEvent field {field.name!r} missing from the doc"
+        )
+
+
+def test_every_builtin_plan_documented(doc_text):
+    for name in builtin_plan_names():
+        assert f"`{name}`" in doc_text, f"built-in plan {name!r} missing"
+
+
+def test_hardening_knobs_documented_and_real(doc_text):
+    config_fields = {f.name for f in dataclass_fields(GovernorConfig)}
+    for name in HARDENING_FIELDS:
+        assert name in config_fields, f"{name!r} is not a GovernorConfig field"
+        assert f"`{name}`" in doc_text, f"hardening knob {name!r} missing"
+
+
+def test_ladder_constants_documented_and_real(doc_text):
+    for const in ("FAILSAFE_RELAX_PERIODS", "FAILSAFE_HYST_C",
+                  "EIO_BACKOFF_CAP"):
+        assert hasattr(governor_mod, const), f"{const} gone from governor"
+        assert f"`{const}`" in doc_text, f"constant {const} missing"
+    assert f"`EXCESS_TOLERANCE_C` ({EXCESS_TOLERANCE_C:g}" in doc_text, (
+        "documented excess tolerance does not match repro.faults.report"
+    )
+
+
+def test_fault_metrics_documented_everywhere(doc_text):
+    obs_doc = (DOC.parent / "OBSERVABILITY.md").read_text()
+    for family in FAULT_METRICS:
+        assert f"`{family}`" in doc_text, f"{family} missing from FAULTS.md"
+        assert f"`{family}`" in obs_doc, (
+            f"{family} missing from OBSERVABILITY.md"
+        )
+
+
+def test_detection_kinds_documented(doc_text):
+    # The detection kinds the governor's _note_fault may emit.
+    for kind in ("stale", "implausible", "eio", "stall", "breach"):
+        assert f"`{kind}`" in doc_text, f"detection kind {kind!r} missing"
+
+
+def test_chaos_flags_documented(doc_text):
+    chaos = _subparser_choices(build_parser())["chaos"]
+    chaos_flags = {
+        flag
+        for action in chaos._actions
+        for flag in action.option_strings
+        if flag.startswith("--") and flag != "--help"
+    }
+    documented = set(_FLAG_RE.findall(doc_text))
+    missing = chaos_flags - documented
+    assert not missing, f"chaos flags missing from the doc: {sorted(missing)}"
+    # Nothing documented may be stale anywhere in the CLI.
+    all_flags = set()
+
+    def walk(parsers):
+        for sub in parsers.values():
+            for action in sub._actions:
+                for flag in action.option_strings:
+                    if flag.startswith("--") and flag != "--help":
+                        all_flags.add(flag)
+            try:
+                walk(_subparser_choices(sub))
+            except AssertionError:
+                pass
+
+    walk(_subparser_choices(build_parser()))
+    stale = documented - all_flags
+    assert not stale, f"documented but not in build_parser(): {sorted(stale)}"

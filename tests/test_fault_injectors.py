@@ -1,0 +1,183 @@
+"""FaultController: windows open/close on schedule, injectors bite."""
+
+import pytest
+
+from repro.apps.mibench import basicmath_large
+from repro.errors import SysfsError
+from repro.faults import FaultController, FaultEvent, FaultPlan
+from repro.faults.sensors import DroppingSensor, SpikySensor, StuckSensor
+from repro.kernel.kernel import KernelConfig
+from repro.sim.engine import Simulation
+from repro.sim.experiment import AppSpec, Scenario
+from repro.soc import registry as platform_registry
+from repro.soc.exynos5422 import odroid_xu3
+
+
+def make_sim(seed=1, stock_thermal=False):
+    # Cooling devices are only bound under the stock thermal wiring.
+    config = KernelConfig(
+        thermal=platform_registry.get("odroid-xu3").stock_thermal_config()
+    ) if stock_thermal else KernelConfig()
+    return Simulation(
+        odroid_xu3(), [basicmath_large()], kernel_config=config, seed=seed,
+    )
+
+
+def run_plan(sim, plan, until_s):
+    controller = FaultController(plan, sim)
+    controller.attach()
+    sim.run(until_s)
+    return controller
+
+
+@pytest.mark.parametrize(
+    "kind, wrapper",
+    [
+        ("sensor_stuck", StuckSensor),
+        ("sensor_spike", SpikySensor),
+        ("sensor_dropout", DroppingSensor),
+    ],
+)
+def test_sensor_window_wraps_and_restores(kind, wrapper):
+    sim = make_sim()
+    zone = sim.kernel.zones["soc_big"]
+    original = zone.sensor
+    plan = FaultPlan("w", (
+        FaultEvent(kind, start_s=1.0, end_s=2.0, target="soc_big",
+                   probability=0.5),
+    ))
+    controller = FaultController(plan, sim)
+    controller.attach()
+    sim.run(1.5)
+    assert isinstance(zone.sensor, wrapper)
+    assert controller.injected == [(pytest.approx(1.0, abs=0.02), kind)]
+    sim.run(1.0)  # now past end_s: the original sensor is back
+    assert zone.sensor is original
+
+
+def test_sensor_target_must_be_a_zone():
+    sim = make_sim()
+    plan = FaultPlan("bad", (
+        FaultEvent("sensor_stuck", start_s=0.0, end_s=1.0, target="nope"),
+    ))
+    with pytest.raises(Exception, match="no thermal zone"):
+        FaultController(plan, sim)
+
+
+def test_sysfs_eio_hits_userspace_reads_only_inside_window():
+    sim = make_sim()
+    path = "/sys/class/thermal/thermal_zone0/temp"
+    plan = FaultPlan("eio", (
+        FaultEvent("sysfs_eio", start_s=1.0, end_s=2.0, probability=1.0),
+    ))
+    controller = FaultController(plan, sim)
+    controller.attach()
+    sim.run(0.5)
+    sim.kernel.fs.read(path)  # before the window: fine
+    sim.run(1.0)
+    with pytest.raises(SysfsError, match="I/O error"):
+        sim.kernel.fs.read(path)
+    # Paths outside the prefix are untouched even inside the window.
+    sim.kernel.fs.read("/sys/devices/system/cpu/cpufreq/policy0/scaling_cur_freq")
+    sim.run(1.0)
+    sim.kernel.fs.read(path)  # window closed: fine again
+
+
+def test_governor_stall_is_inert_without_the_daemon():
+    sim = make_sim()  # no app-aware governor installed
+    plan = FaultPlan("stall", (
+        FaultEvent("governor_stall", start_s=0.5, end_s=1.0),
+    ))
+    controller = run_plan(sim, plan, 2.0)
+    assert controller.injected == []  # armed as a no-op, recorded as none
+
+
+def test_governor_stall_suppresses_daemon_ticks():
+    sim = make_sim()
+    ticks = []
+    sim.kernel.register_daemon("victim", 0.1, ticks.append)
+    plan = FaultPlan("stall", (
+        FaultEvent("governor_stall", start_s=1.0, end_s=2.0, target="victim"),
+    ))
+    controller = run_plan(sim, plan, 3.0)
+    assert len(controller.injected) == 1
+    gap = [t for t in ticks if 1.05 <= t <= 1.95]
+    assert not gap, f"daemon ticked inside the stall window: {gap}"
+    assert any(t < 1.0 for t in ticks) and any(t > 2.0 for t in ticks)
+
+
+def test_cooling_stuck_freezes_devices():
+    sim = make_sim(stock_thermal=True)
+    plan = FaultPlan("stuck", (
+        FaultEvent("cooling_stuck", start_s=0.5, end_s=1.0),
+    ))
+    controller = FaultController(plan, sim)
+    controller.attach()
+    sim.run(0.7)
+    devices = sim.kernel.cooling_devices
+    assert devices and all(d.frozen for d in devices)
+    sim.run(0.5)
+    assert not any(d.frozen for d in devices)
+
+
+def test_fan_stop_scales_ambient_and_restores_on_finalize():
+    sim = make_sim()
+    plan = FaultPlan("fan", (
+        FaultEvent("fan_stop", start_s=0.5, end_s=1.0e6, scale=0.25),
+    ))
+    controller = FaultController(plan, sim)
+    controller.attach()
+    sim.run(1.0)
+    assert sim.thermal.ambient_conductance_scale == pytest.approx(0.25)
+    controller.finalize(sim.clock.now)  # open window closed at run end
+    assert sim.thermal.ambient_conductance_scale == pytest.approx(1.0)
+
+
+def test_fan_stop_makes_the_die_hotter():
+    def peak(faults):
+        scenario = Scenario(
+            platform="odroid-xu3",
+            apps=(AppSpec.catalog("stickman"),),
+            policy="stock", duration_s=10.0, seed=3, faults=faults,
+        )
+        return scenario.run().peak_temp_c
+
+    healthy = peak(None)
+    broken = peak("fan-stop")
+    assert broken > healthy + 0.5
+
+
+def test_injection_metrics_and_summary():
+    sim = make_sim(stock_thermal=True)
+    plan = FaultPlan("two", (
+        FaultEvent("fan_stop", start_s=0.5, end_s=1.0),
+        FaultEvent("cooling_stuck", start_s=1.5, end_s=2.0),
+    ))
+    controller = run_plan(sim, plan, 3.0)
+    summary = controller.summary()
+    assert summary["fault_plan"] == "two"
+    assert [kind for _t, kind in summary["faults_injected"]] == [
+        "fan_stop", "cooling_stuck",
+    ]
+    counter = sim.metrics.counter(
+        "repro_faults_injected_total",
+        "Fault-plan events activated by the fault controller",
+        labels={"kind": "fan_stop"},
+    )
+    assert counter.value == 1
+
+
+def test_identical_seeds_inject_identically():
+    def trace(seed):
+        sim = make_sim(seed)
+        plan = FaultPlan("rng", (
+            FaultEvent("sensor_spike", start_s=0.5, end_s=1.0e6,
+                       probability=0.3, magnitude_c=20.0),
+        ))
+        controller = run_plan(sim, plan, 3.0)
+        zone = sim.kernel.zones["soc_big"]
+        return controller.injected, zone.sensor.spikes_emitted
+
+    assert trace(7) == trace(7)
+    # A different seed draws a different spike pattern.
+    assert trace(7)[1] != trace(8)[1]

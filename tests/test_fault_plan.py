@@ -1,0 +1,152 @@
+"""FaultPlan/FaultEvent: validation, catalogue and JSON round-trip."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FaultInjectionError, ReproError
+from repro.faults import (
+    BUILTIN_PLANS,
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    builtin_plan_names,
+    get_plan,
+    resolve_plan,
+)
+
+
+def test_error_is_a_repro_error():
+    assert issubclass(FaultInjectionError, ReproError)
+
+
+@pytest.mark.parametrize("kind", FAULT_KINDS)
+def test_every_kind_constructs(kind):
+    event = FaultEvent(kind, start_s=1.0, end_s=2.0)
+    assert event.kind == kind
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"kind": "nope"},
+        {"start_s": -1.0},
+        {"start_s": float("nan")},
+        {"end_s": 1.0},  # not after start_s
+        {"end_s": float("inf")},
+        {"probability": 0.0},
+        {"probability": 1.5},
+        {"magnitude_c": -3.0},
+        {"scale": 0.0},
+        {"scale": 1.2},
+        {"target": ""},
+    ],
+)
+def test_event_validation(kwargs):
+    base = {"kind": "sensor_spike", "start_s": 1.0, "end_s": 5.0}
+    with pytest.raises(FaultInjectionError):
+        FaultEvent(**{**base, **kwargs})
+
+
+def test_eio_target_must_be_kernel_path():
+    with pytest.raises(FaultInjectionError, match="path prefix"):
+        FaultEvent("sysfs_eio", start_s=0.0, end_s=1.0, target="thermal")
+    FaultEvent("sysfs_eio", start_s=0.0, end_s=1.0, target="/sys/class/hwmon")
+
+
+def test_plan_validation():
+    event = FaultEvent("fan_stop", start_s=0.0, end_s=9.0)
+    with pytest.raises(FaultInjectionError, match="must match"):
+        FaultPlan("Bad Name", (event,))
+    with pytest.raises(FaultInjectionError, match="at least one"):
+        FaultPlan("empty", ())
+
+
+def test_plan_coerces_event_dicts():
+    plan = FaultPlan(
+        "from-dicts",
+        ({"kind": "sensor_stuck", "start_s": 1.0, "end_s": 2.0},),
+    )
+    assert isinstance(plan.events[0], FaultEvent)
+
+
+def test_from_dict_rejects_unknown_and_missing_keys():
+    with pytest.raises(FaultInjectionError, match="unknown"):
+        FaultEvent.from_dict(
+            {"kind": "fan_stop", "start_s": 0.0, "end_s": 1.0, "bogus": 1}
+        )
+    with pytest.raises(FaultInjectionError, match="end_s"):
+        FaultEvent.from_dict({"kind": "fan_stop", "start_s": 0.0})
+    with pytest.raises(FaultInjectionError, match="unknown"):
+        FaultPlan.from_dict({"name": "x", "events": [], "extra": True})
+    with pytest.raises(FaultInjectionError, match="'name' and 'events'"):
+        FaultPlan.from_dict({"name": "x"})
+
+
+def test_builtin_catalogue():
+    assert builtin_plan_names() == tuple(BUILTIN_PLANS)
+    assert len(BUILTIN_PLANS) == len(FAULT_KINDS)  # one plan per kind
+    covered = {ev.kind for plan in BUILTIN_PLANS.values() for ev in plan.events}
+    assert covered == set(FAULT_KINDS)
+    with pytest.raises(FaultInjectionError, match="unknown fault plan"):
+        get_plan("no-such-plan")
+
+
+def test_resolve_plan_accepts_all_forms():
+    plan = get_plan("fan-stop")
+    assert resolve_plan(plan) is plan
+    assert resolve_plan("fan-stop") == plan
+    assert resolve_plan(plan.to_dict()) == plan
+    with pytest.raises(FaultInjectionError):
+        resolve_plan(42)
+
+
+# -- property: plans survive the JSON round-trip byte-for-byte ------------
+
+_names = st.from_regex(r"[a-z0-9][a-z0-9._-]{0,15}", fullmatch=True)
+_times = st.floats(0.0, 1.0e5, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _events(draw):
+    start = draw(_times)
+    end = draw(
+        st.floats(
+            min_value=start, max_value=2.0e5, exclude_min=True,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    kind = draw(st.sampled_from(FAULT_KINDS))
+    target = None
+    if kind == "sysfs_eio" and draw(st.booleans()):
+        target = "/sys/" + draw(_names)
+    elif kind not in ("sysfs_eio", "fan_stop") and draw(st.booleans()):
+        target = draw(_names)
+    return FaultEvent(
+        kind=kind,
+        start_s=start,
+        end_s=end,
+        target=target,
+        probability=draw(
+            st.floats(0.0, 1.0, exclude_min=True, allow_nan=False)
+        ),
+        magnitude_c=draw(st.floats(0.0, 500.0, allow_nan=False)),
+        scale=draw(st.floats(0.0, 1.0, exclude_min=True, allow_nan=False)),
+    )
+
+
+@given(name=_names, events=st.lists(_events(), min_size=1, max_size=5))
+def test_plan_round_trips_through_json(name, events):
+    plan = FaultPlan(name, tuple(events))
+    wire = json.dumps(plan.to_dict(), sort_keys=True)
+    back = FaultPlan.from_dict(json.loads(wire))
+    assert back == plan
+    assert json.dumps(back.to_dict(), sort_keys=True) == wire
+
+
+@pytest.mark.parametrize("name", builtin_plan_names())
+def test_builtin_plans_round_trip(name):
+    plan = get_plan(name)
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
