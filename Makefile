@@ -7,8 +7,10 @@ export PYTHONPATH := src
 CAMPAIGN_STORE ?= /tmp/repro-campaign-smoke
 PLATFORM_STORE ?= /tmp/repro-platform-matrix
 CHAOS_STORE ?= /tmp/repro-chaos-smoke
+TELEMETRY_STORE ?= /tmp/repro-telemetry-smoke
 
-.PHONY: lint test check campaign-smoke chaos-smoke validate-platforms
+.PHONY: lint test check campaign-smoke chaos-smoke telemetry-smoke \
+	validate-platforms
 
 lint:
 	$(PYTHON) -m repro lint
@@ -37,4 +39,17 @@ chaos-smoke:
 	rm -rf $(CHAOS_STORE)
 	$(PYTHON) -m repro chaos --duration 12 --jobs 2 --store $(CHAOS_STORE)
 
-check: lint validate-platforms test campaign-smoke chaos-smoke
+# Exercise the cross-process telemetry pipeline end to end: run the tiny
+# campaign with the deterministic watch dashboard and an SLO gate, then
+# re-evaluate the stored fleet aggregate with `repro obs check` and gate
+# the aggregation overhead against the campaign wall time.
+telemetry-smoke:
+	rm -rf $(TELEMETRY_STORE)
+	$(PYTHON) -m repro campaign run --preset smoke --store $(TELEMETRY_STORE) \
+	  --jobs 2 --watch --no-tty --slo chaos-hardening
+	$(PYTHON) -m repro obs check --campaign smoke --store $(TELEMETRY_STORE) \
+	  --slo chaos-hardening
+	cd benchmarks && PYTHONPATH=$(CURDIR)/src \
+	  $(PYTHON) -m pytest -x -q bench_telemetry_overhead.py
+
+check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke

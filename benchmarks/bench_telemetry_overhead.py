@@ -1,0 +1,104 @@
+"""Smoke benchmark (extension): telemetry aggregation overhead.
+
+The cross-process telemetry pipeline rides along with every campaign —
+each worker snapshots its registry, the parent merges the snapshots and
+folds per-run outcomes into the fleet aggregate.  That bookkeeping must
+stay in the noise next to the simulations themselves: this benchmark
+re-runs the full aggregation path (ingest, merge, canonical JSON, fleet
+registry, Prometheus rendering, SLO evaluation) over a finished
+campaign's stored artefacts and gates it at 5% of the campaign's wall
+time.
+"""
+
+import pathlib
+import tempfile
+import time
+
+from repro.analysis.tables import render_table
+from repro.campaign import Axis, CampaignRunner, CampaignSpec, ResultStore
+from repro.obs.exporters import prometheus_text
+from repro.obs.telemetry import (
+    BUILTIN_SLOS,
+    CampaignAggregator,
+    registry_from_snapshot,
+    snapshot_json,
+)
+from repro.sim.experiment import AppSpec
+
+from _harness import run_once
+
+#: 8 scenarios x 12 simulated seconds: enough simulation wall time that a
+#: 5% budget is a real (not vacuous) bound, small enough for a smoke run.
+SPEC = CampaignSpec(
+    name="telemetry-overhead",
+    base={
+        "platform": "odroid-xu3",
+        "apps": (AppSpec.catalog("stickman"),),
+        "duration_s": 12.0,
+    },
+    axes=(
+        Axis("policy", ("none", "stock")),
+        Axis("seed", (1, 2)),
+        Axis("ambient_c", (25.0, 30.0)),
+    ),
+)
+
+OVERHEAD_BUDGET = 0.05
+
+
+def _aggregate_once(runner, results, snapshots):
+    """The complete aggregation path, exactly as the runner performs it."""
+    aggregator = CampaignAggregator(SPEC.name)
+    for run in runner.runs:
+        aggregator.ingest(
+            run.run_id, run.scenario, "completed",
+            result=results[run.run_id], snapshot=snapshots[run.run_id],
+        )
+    aggregate = aggregator.aggregate()
+    canonical = snapshot_json(aggregate.snapshot)
+    fleet_prom = prometheus_text(aggregate.to_registry())
+    merged_prom = prometheus_text(registry_from_snapshot(aggregate.snapshot))
+    verdict = BUILTIN_SLOS["chaos-hardening"].evaluate(aggregate)
+    return canonical, fleet_prom, merged_prom, verdict
+
+
+def test_telemetry_aggregation_overhead(benchmark, emit):
+    def measure():
+        with tempfile.TemporaryDirectory() as tmp:
+            store = ResultStore(pathlib.Path(tmp) / "store")
+            runner = CampaignRunner(SPEC, store, jobs=1)
+            started = time.perf_counter()
+            report = runner.run()
+            campaign_s = time.perf_counter() - started
+            assert report.ok and report.count("completed") == SPEC.size
+
+            results = runner.results()
+            snapshots = {
+                run.run_id: store.load_telemetry(runner.key_of(run))
+                for run in runner.runs
+            }
+            assert all(snapshots.values()), "every run ships a snapshot"
+
+            started = time.perf_counter()
+            canonical, fleet_prom, merged_prom, verdict = _aggregate_once(
+                runner, results, snapshots
+            )
+            aggregate_s = time.perf_counter() - started
+            assert canonical and fleet_prom and merged_prom
+            assert verdict.ok, "healthy grid must pass chaos-hardening"
+            return campaign_s, aggregate_s
+
+    campaign_s, aggregate_s = run_once(benchmark, measure)
+    overhead = aggregate_s / campaign_s
+    emit("telemetry_overhead", render_table(
+        ["stage", "wall s", "share"],
+        [["simulate campaign", f"{campaign_s:.3f}", "1.000"],
+         ["aggregate telemetry", f"{aggregate_s:.3f}", f"{overhead:.3f}"]],
+        title=f"Telemetry overhead: {SPEC.size} runs x "
+              f"{SPEC.base['duration_s']:.0f} simulated s "
+              f"(budget {OVERHEAD_BUDGET:.0%})",
+    ))
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"aggregation took {overhead:.1%} of campaign wall time "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )

@@ -12,8 +12,10 @@ package turns such grids into first-class objects:
   re-running a campaign executes only cache misses and an interrupted
   campaign resumes where it stopped;
 * :mod:`repro.campaign.runner` — a ``ProcessPoolExecutor`` fan-out with
-  per-run fault isolation and timeouts, campaign-level metrics and a
-  provenance manifest;
+  per-run fault isolation and timeouts, campaign-level metrics, a
+  provenance manifest, and the cross-process telemetry pipeline: each
+  worker ships its run's registry snapshot, merged into fleet aggregates
+  and SLO-gated through :mod:`repro.obs.telemetry`;
 * :mod:`repro.campaign.presets` — existing ablations ported onto the
   runner (also the CLI's ``--preset`` choices).
 

@@ -17,7 +17,10 @@ a sweep the repository already performs serially elsewhere:
 * :func:`chaos_campaign` — every built-in fault plan against both the
   stock and the (hardened) proposed governor on every registered
   platform, the grid behind the resilience report and the acceptance
-  property that hardening never *worsens* the peak temperature.
+  property that hardening never *worsens* the peak temperature;
+* :func:`fan_stop_campaign` — the fan-stop plan against a deliberately
+  tight limit, unmanaged vs hardened: the seeded-breach grid the
+  ``chaos-hardening`` SLO spec must flag (``repro obs check``).
 
 Presets are looked up by name through :data:`PRESETS` (the CLI's
 ``--preset`` choices).  Platform names come from the registry's exported
@@ -149,9 +152,38 @@ def chaos_campaign(
     )
 
 
+def fan_stop_campaign(
+    duration_s: float = 40.0,
+    seed: int = 3,
+    t_limit_c: float = 55.0,
+) -> CampaignSpec:
+    """The fan-stop chaos grid: unmanaged vs hardened under a dying fan.
+
+    The game + background-BML mix on the Odroid-XU3 with the fan pinned at
+    20 % throughput mid-run, against a deliberately tight thermal limit.
+    The ``none`` row overshoots that limit by many degrees — the seeded
+    breach the ``chaos-hardening`` SLO spec (``repro obs check``) must
+    flag — while the hardened ``proposed`` row detects the fault and rides
+    it out in failsafe.
+    """
+    return CampaignSpec(
+        name="fan-stop",
+        base={
+            "platform": ODROID_XU3,
+            "apps": (AppSpec.catalog("stickman"), AppSpec.batch("bml")),
+            "duration_s": duration_s,
+            "seed": seed,
+            "t_limit_c": t_limit_c,
+            "faults": "fan-stop",
+        },
+        axes=(Axis("policy", ("none", "proposed")),),
+    )
+
+
 #: Name → factory, as exposed by ``repro campaign --preset``.
 PRESETS = {
     "chaos": chaos_campaign,
+    "fan-stop": fan_stop_campaign,
     "governor-horizon": governor_horizon_campaign,
     "platform-matrix": platform_matrix_campaign,
     "smoke": smoke_campaign,

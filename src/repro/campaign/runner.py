@@ -22,6 +22,15 @@ and fans the cache misses out over a ``ProcessPoolExecutor``:
   completed / failed), a wall-time histogram, and a provenance manifest
   plus Prometheus snapshot written under ``campaigns/<name>/`` in the
   store.
+* **Telemetry** — each worker ships its run's deterministic registry
+  snapshot back in the summary (and into the stored object); the runner
+  folds them through a :class:`~repro.obs.telemetry.CampaignAggregator`
+  into ``telemetry.json`` / ``telemetry.prom`` (the merged fleet
+  registry, byte-identical whatever the worker count), ``aggregate.json``
+  (percentile series per platform/policy/fault-plan — what ``repro obs
+  check`` evaluates SLOs against) and ``fleet.prom``.  Progress hooks
+  (:class:`~repro.obs.telemetry.CampaignObserver`, e.g. the ``--watch``
+  dashboard) fire as runs resolve.
 """
 
 from __future__ import annotations
@@ -40,6 +49,11 @@ from repro.campaign.spec import CampaignRun, CampaignSpec
 from repro.campaign.store import ResultStore, scenario_key
 from repro.errors import ConfigurationError
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.aggregate import (
+    CampaignAggregate,
+    CampaignAggregator,
+    quantile,
+)
 from repro.sim.experiment import Scenario, ScenarioResult
 
 CAMPAIGN_MANIFEST_SCHEMA = "repro.campaign/1"
@@ -171,6 +185,16 @@ class CampaignReport:
             "pending": self.count("pending"),
         }
 
+    def cache_hit_ratio(self) -> float:
+        """Fraction of runs served from the result store (0.0 when empty)."""
+        if not self.records:
+            return 0.0
+        return self.count("cached") / len(self.records)
+
+    def wall_times(self) -> list[float]:
+        """Wall seconds of every executed run, in grid order."""
+        return [r.elapsed_s for r in self.records if r.elapsed_s is not None]
+
     def to_dict(self) -> dict:
         """JSON-serialisable form (the CLI's ``--format json`` payload)."""
         return {
@@ -201,7 +225,16 @@ class CampaignReport:
             f"{s['cached']} cached, {s['failed']} failed, "
             f"{s['pending']} pending"
         )
-        return f"{table}\n{line}"
+        lines = [table, line, f"cache hit ratio: {self.cache_hit_ratio():.2f}"]
+        walls = self.wall_times()
+        if walls:
+            lines.append(
+                f"wall s: p50 {quantile(walls, 0.50):.2f}, "
+                f"p90 {quantile(walls, 0.90):.2f}, max {max(walls):.2f}"
+            )
+        else:
+            lines.append("wall s: no executed runs")
+        return "\n".join(lines)
 
     def render_json(self) -> str:
         """Pretty-printed JSON of :meth:`to_dict`."""
@@ -215,10 +248,13 @@ class _Timeout(Exception):
     """Internal: raised by the SIGALRM handler on a per-run deadline."""
 
 
-def _run_scenario(scenario: Scenario, timeout_s: float | None) -> ScenarioResult:
-    """Run one scenario, under a SIGALRM deadline when one is requested."""
+def _run_scenario(
+    scenario: Scenario, timeout_s: float | None
+) -> tuple[ScenarioResult, dict]:
+    """Run one scenario (result + telemetry snapshot), under a SIGALRM
+    deadline when one is requested."""
     if not timeout_s or not hasattr(signal, "SIGALRM"):
-        return scenario.run()
+        return scenario.run_instrumented()
 
     def _on_alarm(signum, frame):
         raise _Timeout()
@@ -226,10 +262,10 @@ def _run_scenario(scenario: Scenario, timeout_s: float | None) -> ScenarioResult
     try:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
     except ValueError:  # not the main thread: alarms unavailable
-        return scenario.run()
+        return scenario.run_instrumented()
     signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return scenario.run()
+        return scenario.run_instrumented()
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
@@ -255,7 +291,7 @@ def _execute_payload(payload: dict) -> dict:
     started = _wall_clock_s()
     try:
         scenario = Scenario.from_dict(payload["scenario"])
-        result = _run_scenario(scenario, timeout_s)
+        result, telemetry = _run_scenario(scenario, timeout_s)
     except _Timeout:
         store.clear_attempts(key)
         return {
@@ -285,13 +321,15 @@ def _execute_payload(payload: dict) -> dict:
             },
         }
     elapsed = _wall_clock_s() - started
-    store.save(key, scenario, result)
+    store.save(key, scenario, result, telemetry=telemetry)
     store.clear_attempts(key)
     return {
         "run_id": run_id,
         "key": key,
         "status": "completed",
         "elapsed_s": elapsed,
+        "result": result.to_dict(),
+        "telemetry": telemetry,
     }
 
 
@@ -308,6 +346,7 @@ class CampaignRunner:
         jobs: int = 1,
         timeout_s: float | None = None,
         metrics: MetricsRegistry | None = None,
+        observer=None,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be at least 1")
@@ -318,8 +357,15 @@ class CampaignRunner:
         self.jobs = jobs
         self.timeout_s = timeout_s
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Progress hook (:class:`~repro.obs.telemetry.CampaignObserver`
+        #: protocol) — e.g. the ``--watch`` dashboard.  Optional.
+        self.observer = observer
+        #: Fleet aggregate of the most recent :meth:`run` (None before).
+        self.last_aggregate: CampaignAggregate | None = None
         self.runs = spec.expand()
+        self._runs_by_id = {run.run_id: run for run in self.runs}
         self._keys = {run.run_id: scenario_key(run.scenario) for run in self.runs}
+        self._aggregator = CampaignAggregator(spec.name)
         labels = {"campaign": spec.name}
         self._m_started = self.metrics.counter(
             "repro_campaign_runs_started_total",
@@ -398,7 +444,70 @@ class CampaignRunner:
             self._m_failed.inc()
         if record.elapsed_s is not None:
             self._m_wall.observe(record.elapsed_s)
+        result = summary.get("result")
+        self._ingest(
+            record,
+            result=None if result is None else ScenarioResult.from_dict(result),
+            telemetry=summary.get("telemetry"),
+        )
         return record
+
+    # ------------------------------------------------------------ telemetry
+
+    def _notify(self, method: str, *args) -> None:
+        if self.observer is not None:
+            getattr(self.observer, method)(*args)
+
+    def _ingest(
+        self,
+        record: RunRecord,
+        result: ScenarioResult | None = None,
+        telemetry: dict | None = None,
+        load_store: bool = False,
+    ) -> None:
+        """File one resolved run with the aggregator and notify the observer.
+
+        ``load_store=True`` pulls the result and telemetry from the store
+        (cached runs, and completions whose summary died with the pool).
+        """
+        if load_store:
+            payload = self.store.load_payload(record.key)
+            if payload is not None:
+                result = ScenarioResult.from_dict(payload["result"])
+                telemetry = payload.get("telemetry")
+        run = self._runs_by_id[record.run_id]
+        self._aggregator.ingest(
+            record.run_id,
+            run.scenario,
+            record.status,
+            elapsed_s=record.elapsed_s,
+            result=result,
+            snapshot=telemetry,
+            failure_kind=None if record.failure is None else record.failure.kind,
+        )
+        self._notify("run_finished", record)
+
+    def aggregate(self) -> CampaignAggregate:
+        """Fleet aggregate of the store's current view of this campaign.
+
+        Folds every cached run (``repro campaign watch`` on a store that
+        was populated earlier); :meth:`run` refreshes it live instead.
+        """
+        aggregator = CampaignAggregator(self.spec.name)
+        for run in self.runs:
+            key = self.key_of(run)
+            payload = self.store.load_payload(key)
+            if payload is None:
+                aggregator.ingest(run.run_id, run.scenario, "pending")
+            else:
+                aggregator.ingest(
+                    run.run_id,
+                    run.scenario,
+                    "cached",
+                    result=ScenarioResult.from_dict(payload["result"]),
+                    snapshot=payload.get("telemetry"),
+                )
+        return aggregator.aggregate()
 
     def _run_wave(self, runs: list[CampaignRun]) -> tuple[list[dict], bool]:
         """One fan-out over the pool (or inline for jobs=1).
@@ -438,7 +547,7 @@ class CampaignRunner:
             except BrokenProcessPool:
                 self.store.clear_attempts(key)
                 self._m_failed.inc()
-                return RunRecord(
+                record = RunRecord(
                     run_id=run.run_id,
                     key=key,
                     status="failed",
@@ -448,6 +557,8 @@ class CampaignRunner:
                         message="worker process died while executing this run",
                     ),
                 )
+                self._ingest(record)
+                return record
         return self._record_from_summary(summary)
 
     def run(self) -> CampaignReport:
@@ -456,16 +567,23 @@ class CampaignRunner:
         Also writes the campaign manifest and metrics snapshot under
         ``campaigns/<name>/`` in the store.
         """
+        self._aggregator = CampaignAggregator(self.spec.name)
+        self._notify(
+            "campaign_started", self.spec.name, len(self.runs), self._aggregator
+        )
         records: dict[str, RunRecord] = {}
         pending: list[CampaignRun] = []
         for run in self.runs:
             key = self.key_of(run)
             if self.store.has(key):
-                records[run.run_id] = RunRecord(run.run_id, key, "cached")
+                record = RunRecord(run.run_id, key, "cached")
+                records[run.run_id] = record
                 self._m_cached.inc()
+                self._ingest(record, load_store=True)
             else:
                 pending.append(run)
 
+        wave = 0
         while pending:
             suspects = [
                 run for run in pending
@@ -481,6 +599,8 @@ class CampaignRunner:
                 suspect_ids = {run.run_id for run in suspects}
                 pending = [r for r in pending if r.run_id not in suspect_ids]
                 continue
+            wave += 1
+            self._notify("wave_started", wave, len(pending))
             summaries, broken = self._run_wave(pending)
             for summary in summaries:
                 records[summary["run_id"]] = self._record_from_summary(summary)
@@ -491,20 +611,24 @@ class CampaignRunner:
                 key = self.key_of(run)
                 if self.store.has(key):
                     # Finished, but its summary died with the pool.
-                    records[run.run_id] = RunRecord(run.run_id, key, "completed")
+                    record = RunRecord(run.run_id, key, "completed")
+                    records[run.run_id] = record
                     self.store.clear_attempts(key)
                     self._m_completed.inc()
+                    self._ingest(record, load_store=True)
                 else:
                     still.append(run)
             if still and not broken:  # pragma: no cover - defensive
                 for run in still:
-                    records[run.run_id] = RunRecord(
+                    record = RunRecord(
                         run.run_id, self.key_of(run), "failed",
                         failure=RunFailure(
                             kind="crash", error_type="LostRun",
                             message="run returned no summary and no result",
                         ),
                     )
+                    records[run.run_id] = record
+                    self._ingest(record)
                 still = []
             pending = still
 
@@ -512,14 +636,22 @@ class CampaignRunner:
             name=self.spec.name,
             records=tuple(records[run.run_id] for run in self.runs),
         )
-        self._write_manifest(report)
+        self.last_aggregate = self._aggregator.aggregate()
+        self._write_manifest(report, self.last_aggregate)
+        self._notify("campaign_finished", report)
         return report
 
     # ------------------------------------------------------------ manifest
 
-    def _write_manifest(self, report: CampaignReport) -> None:
+    def _write_manifest(
+        self, report: CampaignReport, aggregate: CampaignAggregate
+    ) -> None:
         from repro.obs.exporters import write_prometheus
         from repro.obs.manifest import write_manifest
+        from repro.obs.telemetry.snapshot import (
+            registry_from_snapshot,
+            snapshot_json,
+        )
 
         manifest = {
             "schema": CAMPAIGN_MANIFEST_SCHEMA,
@@ -535,3 +667,19 @@ class CampaignRunner:
         directory = self.store.campaign_dir(self.spec.name)
         write_manifest(manifest, directory / "manifest.json")
         write_prometheus(self.metrics, directory / "metrics.prom")
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / "aggregate.json").write_text(
+            json.dumps(aggregate.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        write_prometheus(aggregate.to_registry(), directory / "fleet.prom")
+        if aggregate.snapshot is not None:
+            # Canonical merged telemetry: byte-identical for any worker
+            # count or scheduling order (the acceptance bar of the
+            # cross-process pipeline).
+            (directory / "telemetry.json").write_text(
+                snapshot_json(aggregate.snapshot) + "\n"
+            )
+            write_prometheus(
+                registry_from_snapshot(aggregate.snapshot),
+                directory / "telemetry.prom",
+            )

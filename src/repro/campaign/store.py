@@ -9,10 +9,15 @@ deterministic simulation output — never wall-clock data).
 
 Layout under the store root::
 
-    objects/<key[:2]>/<key>.json    one completed run (spec + result)
-    attempts/<key>.attempts         crash forensics: tries without a result
-    campaigns/<name>/manifest.json  per-campaign provenance manifest
-    campaigns/<name>/metrics.prom   campaign-level metrics snapshot
+    objects/<key[:2]>/<key>.json     one completed run (spec + result +
+                                     per-run telemetry snapshot)
+    attempts/<key>.attempts          crash forensics: tries without a result
+    campaigns/<name>/manifest.json   per-campaign provenance manifest
+    campaigns/<name>/metrics.prom    campaign-level metrics snapshot
+    campaigns/<name>/telemetry.json  merged fleet telemetry snapshot
+    campaigns/<name>/telemetry.prom  the same, as Prometheus exposition
+    campaigns/<name>/aggregate.json  fleet aggregate (what ``obs check`` reads)
+    campaigns/<name>/fleet.prom      fleet percentile gauges
 
 Writes are atomic (temp file + ``os.replace``), so a killed worker can
 never leave a half-written object behind.
@@ -30,8 +35,9 @@ from repro.errors import ConfigurationError
 from repro.sim.experiment import Scenario, ScenarioResult
 
 #: Version tag of the stored payload layout; part of the cache key, so a
-#: format change can never resurrect stale objects.
-RESULT_SCHEMA = "repro.campaign.result/1"
+#: format change can never resurrect stale objects.  /2 added the per-run
+#: ``telemetry`` snapshot to the payload.
+RESULT_SCHEMA = "repro.campaign.result/2"
 
 
 def _repro_version() -> str:
@@ -76,15 +82,27 @@ class ResultStore:
         return self.object_path(key).exists()
 
     def save(
-        self, key: str, scenario: Scenario, result: ScenarioResult
+        self,
+        key: str,
+        scenario: Scenario,
+        result: ScenarioResult,
+        telemetry: dict | None = None,
     ) -> pathlib.Path:
-        """Atomically file one completed run; returns the object path."""
+        """Atomically file one completed run; returns the object path.
+
+        ``telemetry`` is the run's registry snapshot
+        (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`, wall-clock
+        families excluded) — like the result, it must be deterministic
+        simulation output so stored objects stay byte-identical across
+        worker schedules.
+        """
         payload = {
             "schema": RESULT_SCHEMA,
             "repro_version": _repro_version(),
             "key": key,
             "scenario": scenario.to_dict(),
             "result": result.to_dict(),
+            "telemetry": telemetry,
         }
         path = self.object_path(key)
         _atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -103,6 +121,14 @@ class ResultStore:
         if payload is None:
             return None
         return ScenarioResult.from_dict(payload["result"])
+
+    def load_telemetry(self, key: str) -> dict | None:
+        """The cached run's telemetry snapshot (None on a miss or when the
+        run was stored without one)."""
+        payload = self.load_payload(key)
+        if payload is None:
+            return None
+        return payload.get("telemetry")
 
     def keys(self) -> list[str]:
         """All cached object keys, sorted."""
@@ -148,6 +174,21 @@ class ResultStore:
     def manifest_path(self, name: str) -> pathlib.Path:
         """Path of one campaign's manifest (existing or not)."""
         return self.campaign_dir(name) / "manifest.json"
+
+    def telemetry_path(self, name: str) -> pathlib.Path:
+        """Path of one campaign's merged telemetry snapshot."""
+        return self.campaign_dir(name) / "telemetry.json"
+
+    def aggregate_path(self, name: str) -> pathlib.Path:
+        """Path of one campaign's fleet aggregate."""
+        return self.campaign_dir(name) / "aggregate.json"
+
+    def load_aggregate(self, name: str) -> dict | None:
+        """A previously written fleet aggregate (None if never run)."""
+        path = self.aggregate_path(name)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
 
     def load_campaign_manifest(self, name: str) -> dict | None:
         """A previously written campaign manifest (None if never run)."""

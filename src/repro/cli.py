@@ -14,18 +14,26 @@ Commands regenerate the paper's artefacts or run one-off analyses:
   the round-trippable PlatformDef schema of ``docs/PLATFORMS.md``), or a
   validation pass over every registered definition (``validate --file``
   checks an out-of-tree JSON definition instead);
-* ``metrics --app A`` — run an app and print its Prometheus metrics;
-* ``trace --app A`` — run an app and print its span/ftrace event log;
+* ``metrics --app A`` — run an app and print its Prometheus metrics
+  (``--format json`` prints the canonical registry snapshot instead);
+* ``trace --app A`` — run an app and print its span/ftrace event log
+  (``--format json`` prints the merged event records as a JSON array);
+* ``obs check`` — evaluate a declarative SLO spec (built-in name or JSON
+  file, see ``docs/OBSERVABILITY.md``) against a campaign's stored fleet
+  aggregate; exits non-zero on any breached rule;
 * ``lint`` — domain-aware static analysis over ``src/repro`` (unit
   discipline, determinism, sysfs contract, float hygiene); exits non-zero
   on findings that are neither suppressed nor baselined.  See
   ``docs/STATIC_ANALYSIS.md``.
-* ``campaign run|status|results`` — expand a declarative scenario grid
-  (``--spec`` JSON file or built-in ``--preset``), fan the cache misses
-  out over ``--jobs`` worker processes into a content-addressed result
-  store, and report per-run outcomes.  Completed runs are cached by
-  scenario content, so re-running executes only the missing work and
-  ``--resume`` continues an interrupted campaign.  See
+* ``campaign run|status|results|watch`` — expand a declarative scenario
+  grid (``--spec`` JSON file or built-in ``--preset``), fan the cache
+  misses out over ``--jobs`` worker processes into a content-addressed
+  result store, and report per-run outcomes.  Completed runs are cached
+  by scenario content, so re-running executes only the missing work and
+  ``--resume`` continues an interrupted campaign.  ``run --watch`` shows
+  a live in-terminal dashboard (``--no-tty`` for plain deterministic
+  lines), ``run --slo`` gates the exit code on an SLO spec, and
+  ``watch`` renders the dashboard for a store populated earlier.  See
   ``docs/CAMPAIGNS.md``.
 * ``chaos`` — run the built-in fault-injection grid (every fault plan x
   policy x platform) and print the resilience report comparing how the
@@ -210,6 +218,13 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
     from repro.obs.exporters import prometheus_text
 
     sim = _run_catalog_app(args)
+    if args.format == "json":
+        # The canonical registry snapshot: sorted keys, sorted children —
+        # the machine-readable twin of the Prometheus exposition.
+        return json.dumps(
+            sim.metrics.snapshot(as_of_s=sim.clock.now),
+            indent=2, sort_keys=True,
+        )
     out = prometheus_text(sim.metrics)
     if args.profile:
         out += "\n" + sim.profiler.report().render()
@@ -218,6 +233,13 @@ def _cmd_metrics(args: argparse.Namespace) -> str:
 
 def _cmd_trace(args: argparse.Namespace) -> str:
     sim = _run_catalog_app(args)
+    if args.format == "json":
+        from repro.obs.exporters import iter_event_dicts
+
+        records = list(iter_event_dicts(sim.spans, sim.kernel.tracer))
+        if args.limit is not None:
+            records = records[-args.limit:]
+        return json.dumps(records, indent=2, sort_keys=True)
     sections = []
     spans = sim.spans.render(limit=args.limit)
     if spans:
@@ -278,16 +300,41 @@ def _load_campaign_spec(args: argparse.Namespace):
 
 
 def _campaign_runner(args: argparse.Namespace, jobs: int = 1,
-                     timeout_s: float | None = None):
+                     timeout_s: float | None = None, observer=None):
     from repro.campaign import CampaignRunner, ResultStore
 
     spec = _load_campaign_spec(args)
     store = ResultStore(args.store)
-    return CampaignRunner(spec, store, jobs=jobs, timeout_s=timeout_s)
+    return CampaignRunner(
+        spec, store, jobs=jobs, timeout_s=timeout_s, observer=observer
+    )
+
+
+def _resolve_slo_arg(ref):
+    """Resolve an ``--slo`` value, exiting nicely on a bad reference."""
+    from repro.errors import ConfigurationError
+    from repro.obs.telemetry import resolve_slo
+
+    if ref is None:
+        return None
+    try:
+        return resolve_slo(ref)
+    except ConfigurationError as exc:
+        raise SystemExit(f"slo: {exc}") from None
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    runner = _campaign_runner(args, jobs=args.jobs, timeout_s=args.timeout)
+    slo = _resolve_slo_arg(args.slo)
+    observer = None
+    if args.watch:
+        from repro.obs.telemetry import WatchView
+
+        observer = WatchView(
+            tty=False if args.no_tty else None, slo=slo
+        )
+    runner = _campaign_runner(
+        args, jobs=args.jobs, timeout_s=args.timeout, observer=observer
+    )
     if args.resume and runner.store.load_campaign_manifest(runner.spec.name) is None:
         raise SystemExit(
             f"campaign: nothing to resume — no manifest for "
@@ -296,7 +343,33 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     report = runner.run()
     print(report.render_json() if args.format == "json"
           else report.render_text())
-    return 0 if report.ok else 1
+    slo_ok = True
+    if slo is not None and runner.last_aggregate is not None:
+        verdict = slo.evaluate(runner.last_aggregate)
+        slo_ok = verdict.ok
+        print(verdict.render_text())
+    return 0 if report.ok and slo_ok else 1
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import aggregate_block
+
+    slo = _resolve_slo_arg(args.slo)
+    runner = _campaign_runner(args)
+    aggregate = runner.aggregate()
+    if args.format == "json":
+        payload = aggregate.to_dict()
+        payload.pop("snapshot", None)  # bulky; `telemetry.json` has it
+        if slo is not None:
+            payload["slo"] = slo.evaluate(aggregate).to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    total = len(aggregate.samples)
+    pending = int(aggregate.scalar("runs_pending"))
+    lines = [f"campaign {runner.spec.name}: {total - pending}/{total} resolved"]
+    lines += aggregate_block(aggregate, slo=slo, stragglers=False)
+    print("\n".join(lines))
+    return 0
 
 
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
@@ -342,6 +415,29 @@ def _cmd_campaign_results(args: argparse.Namespace) -> int:
         out += f"\n{len(missing)} run(s) not cached yet: " + ", ".join(missing)
     print(out)
     return 0
+
+
+def _cmd_obs_check(args: argparse.Namespace) -> int:
+    from repro.campaign import ResultStore
+    from repro.errors import ConfigurationError
+    from repro.obs.telemetry import CampaignAggregate
+
+    slo = _resolve_slo_arg(args.slo)
+    store = ResultStore(args.store)
+    data = store.load_aggregate(args.campaign)
+    if data is None:
+        raise SystemExit(
+            f"obs check: no aggregate for campaign {args.campaign!r} under "
+            f"{args.store} — run `repro campaign run` first"
+        )
+    try:
+        aggregate = CampaignAggregate.from_dict(data)
+    except ConfigurationError as exc:
+        raise SystemExit(f"obs check: {exc}") from None
+    report = slo.evaluate(aggregate)
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True)
+          if args.format == "json" else report.render_text())
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -490,7 +586,8 @@ commands:
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
-  campaign   run/status/results of a parallel, cached scenario campaign
+  campaign   run/status/results/watch of a parallel, cached campaign
+  obs        check: evaluate an SLO spec against a campaign aggregate
   chaos      fault-injection grid + resilience report (docs/FAULTS.md)
 """
 
@@ -565,17 +662,23 @@ def build_parser() -> argparse.ArgumentParser:
         ("run", _cmd_campaign_run),
         ("status", _cmd_campaign_status),
         ("results", _cmd_campaign_results),
+        ("watch", _cmd_campaign_watch),
     ):
         cmd = campaign_sub.add_parser(action)
         cmd.add_argument("--spec", default=None,
                          help="campaign spec JSON file (docs/CAMPAIGNS.md)")
         cmd.add_argument("--preset", default=None,
-                         help="built-in campaign (chaos, smoke, "
+                         help="built-in campaign (chaos, fan-stop, smoke, "
                               "governor-horizon, platform-matrix, "
                               "table1-seeds)")
         cmd.add_argument("--store", default="campaign-store",
                          help="result-store directory (created on demand)")
         cmd.add_argument("--format", choices=("text", "json"), default="text")
+        if action in ("run", "watch"):
+            cmd.add_argument("--slo", default=None,
+                             help="SLO spec: a built-in name or a JSON file "
+                                  "(docs/OBSERVABILITY.md); run exits "
+                                  "non-zero on breach")
         if action == "run":
             cmd.add_argument("--jobs", type=int, default=1,
                              help="worker processes (1 = run in-process)")
@@ -584,7 +687,26 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument("--resume", action="store_true",
                              help="continue an interrupted campaign; errors "
                                   "if it was never started")
+            cmd.add_argument("--watch", action="store_true",
+                             help="show a live progress dashboard while "
+                                  "the campaign runs")
+            cmd.add_argument("--no-tty", action="store_true", dest="no_tty",
+                             help="plain deterministic watch output (no "
+                                  "escape codes; for CI logs and pipes)")
         cmd.set_defaults(fn=fn)
+
+    obs_cmd = sub.add_parser("obs")
+    obs_sub = obs_cmd.add_subparsers(dest="action", required=True)
+    ocheck = obs_sub.add_parser("check")
+    ocheck.add_argument("--slo", required=True,
+                        help="SLO spec: a built-in name (chaos-hardening, "
+                             "fps-protection) or a JSON file")
+    ocheck.add_argument("--campaign", required=True,
+                        help="campaign name whose aggregate to evaluate")
+    ocheck.add_argument("--store", default="campaign-store",
+                        help="result-store directory holding the campaign")
+    ocheck.add_argument("--format", choices=("text", "json"), default="text")
+    ocheck.set_defaults(fn=_cmd_obs_check)
 
     chaos_cmd = sub.add_parser("chaos")
     chaos_cmd.add_argument("--duration", type=float, default=25.0,
@@ -633,6 +755,9 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--seed", type=int, default=3)
         cmd.add_argument("--profile", action="store_true",
                          help="also print the step-phase wall-clock profile")
+        cmd.add_argument("--format", choices=("text", "json"), default="text",
+                         help="json: machine-readable output with stable "
+                              "key order")
         if name == "trace":
             cmd.add_argument("--limit", type=int, default=200,
                              help="max spans to print (newest only)")

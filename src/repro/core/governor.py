@@ -300,6 +300,7 @@ class ApplicationAwareGovernor:
         self._m_latency = kernel.metrics.histogram(
             "repro_app_governor_latency_seconds",
             "Wall-clock latency of one control period",
+            wall_clock=True,
         )
         kernel.metrics.declare(
             "repro_app_governor_actions_total",

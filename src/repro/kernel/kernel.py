@@ -287,6 +287,7 @@ class Kernel:
                 "Wall-clock latency of one governor evaluation",
                 buckets=LATENCY_BUCKETS_S,
                 labels=labels,
+                wall_clock=True,
             )
             self._m_gov_freq_changes[domain] = m.counter(
                 "repro_governor_freq_changes_total",

@@ -10,7 +10,10 @@ Four concerns, one package:
   ``Simulation.step`` (enable with ``Simulation(profile=True)``);
 * :mod:`repro.obs.exporters` / :mod:`repro.obs.manifest` — JSONL events,
   Prometheus text exposition, per-channel CSVs and the ``manifest.json``
-  provenance record written alongside every export.
+  provenance record written alongside every export;
+* :mod:`repro.obs.telemetry` — cross-process pipeline: registry snapshots
+  merged across campaign workers, fleet percentile aggregation,
+  declarative SLO specs and the live watch dashboard.
 
 The metric-name catalogue and span taxonomy live in
 ``docs/OBSERVABILITY.md`` (and are asserted against the registry by the
@@ -31,6 +34,7 @@ from repro.obs.metrics import (
     DURATION_BUCKETS_S,
     FRAME_TIME_BUCKETS_S,
     LATENCY_BUCKETS_S,
+    SNAPSHOT_SCHEMA,
     Counter,
     Gauge,
     Histogram,
@@ -59,6 +63,7 @@ __all__ = [
     "NullProfiler",
     "PhaseStat",
     "ProfileReport",
+    "SNAPSHOT_SCHEMA",
     "Span",
     "SpanTracer",
     "StepProfiler",

@@ -37,6 +37,11 @@ def _escape_label(value: str) -> str:
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
+def _escape_help(text: str) -> str:
+    # Prometheus HELP lines escape backslash and newline (but not quotes).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _render_labels(labels: tuple, extra: Mapping[str, str] | None) -> str:
     pairs = list(extra.items()) if extra else []
     pairs += [(k, v) for k, v in labels]
@@ -64,7 +69,9 @@ def prometheus_text(
         if family.name not in seen_header:
             seen_header.add(family.name)
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(
+                    f"# HELP {family.name} {_escape_help(family.help)}"
+                )
             lines.append(f"# TYPE {family.name} {family.kind}")
         lines.append(
             f"{sample_name}{_render_labels(labels, extra_labels)} "
@@ -75,7 +82,7 @@ def prometheus_text(
     for name in registry.names():
         if name not in seen_header:
             if registry.help(name):
-                lines.append(f"# HELP {name} {registry.help(name)}")
+                lines.append(f"# HELP {name} {_escape_help(registry.help(name))}")
             lines.append(f"# TYPE {name} {registry.kind(name)}")
     return "\n".join(lines) + ("\n" if lines else "")
 

@@ -32,6 +32,9 @@ from repro.errors import ConfigurationError
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
+#: Version tag of :meth:`MetricsRegistry.snapshot`'s wire format.
+SNAPSHOT_SCHEMA = "repro.obs.snapshot/1"
+
 #: Default latency buckets (seconds, wall-clock) for decision-sized work.
 LATENCY_BUCKETS_S = (
     1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 5e-2,
@@ -159,6 +162,30 @@ class Histogram:
         out[math.inf] = running + self._counts[-1]
         return out
 
+    def raw_counts(self) -> tuple[int, ...]:
+        """Per-bucket (non-cumulative) counts, +Inf slot last — the
+        snapshot wire format (see :meth:`MetricsRegistry.snapshot`)."""
+        return tuple(self._counts)
+
+    def restore(self, counts: Sequence[int], total: float) -> None:
+        """Overwrite state from snapshot data (inverse of :meth:`raw_counts`).
+
+        ``counts`` must cover every bucket plus the +Inf slot; used by
+        :func:`repro.obs.telemetry.registry_from_snapshot` to rebuild a
+        registry from merged per-run snapshots.
+        """
+        if len(counts) != len(self.buckets) + 1:
+            raise ConfigurationError(
+                f"histogram restore needs {len(self.buckets) + 1} bucket "
+                f"counts (+Inf included), got {len(counts)}"
+            )
+        if any(int(c) != c or c < 0 for c in counts):
+            raise ConfigurationError(
+                "histogram bucket counts must be non-negative integers"
+            )
+        self._counts = [int(c) for c in counts]
+        self._sum = float(total)
+
     def samples(self, name: str) -> Iterator[tuple[str, tuple, float]]:
         for bound, cumulative in self.bucket_counts().items():
             le = "+Inf" if math.isinf(bound) else f"{bound:g}"
@@ -176,6 +203,10 @@ class _Family:
     help: str
     buckets: tuple[float, ...] | None
     children: dict[tuple, object]
+    #: True for families observing host wall-clock time (profiling data).
+    #: Wall-clock samples are not reproducible run-to-run, so snapshots
+    #: meant for deterministic cross-process merging exclude them.
+    wall_clock: bool = False
 
 
 class MetricsRegistry:
@@ -187,13 +218,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------ creation
 
     def _family(
-        self, name: str, kind: str, help: str, buckets=None
+        self, name: str, kind: str, help: str, buckets=None,
+        wall_clock: bool = False,
     ) -> _Family:
         if not _NAME_RE.match(name):
             raise ConfigurationError(f"invalid metric name {name!r}")
         family = self._families.get(name)
         if family is None:
-            family = _Family(name, kind, help, buckets, {})
+            family = _Family(name, kind, help, buckets, {}, wall_clock)
             self._families[name] = family
             return family
         if family.kind != kind:
@@ -206,6 +238,8 @@ class MetricsRegistry:
             )
         if help and not family.help:
             family.help = help
+        if wall_clock:
+            family.wall_clock = True
         return family
 
     def declare(
@@ -214,6 +248,7 @@ class MetricsRegistry:
         kind: str,
         help: str = "",
         buckets: Sequence[float] | None = None,
+        wall_clock: bool = False,
     ) -> None:
         """Register a family without creating a child.
 
@@ -226,13 +261,14 @@ class MetricsRegistry:
         bounds = tuple(float(b) for b in buckets) if buckets is not None else None
         if kind == "histogram" and bounds is None:
             bounds = tuple(float(b) for b in LATENCY_BUCKETS_S)
-        self._family(name, kind, help, bounds)
+        self._family(name, kind, help, bounds, wall_clock)
 
     def counter(
-        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None,
+        wall_clock: bool = False,
     ) -> Counter:
         """Get or create a counter child (family created on first call)."""
-        family = self._family(name, "counter", help)
+        family = self._family(name, "counter", help, wall_clock=wall_clock)
         key = _check_labels(labels)
         child = family.children.get(key)
         if child is None:
@@ -240,10 +276,11 @@ class MetricsRegistry:
         return child
 
     def gauge(
-        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None,
+        wall_clock: bool = False,
     ) -> Gauge:
         """Get or create a gauge child."""
-        family = self._family(name, "gauge", help)
+        family = self._family(name, "gauge", help, wall_clock=wall_clock)
         key = _check_labels(labels)
         child = family.children.get(key)
         if child is None:
@@ -256,12 +293,14 @@ class MetricsRegistry:
         help: str = "",
         buckets: Sequence[float] | None = None,
         labels: Mapping[str, str] | None = None,
+        wall_clock: bool = False,
     ) -> Histogram:
         """Get or create a histogram child (buckets fixed per family).
 
         ``buckets=None`` reuses the family's buckets (or the default latency
         buckets for a new family); passing different buckets for an existing
-        family is an error.
+        family is an error.  ``wall_clock=True`` marks the family as host
+        wall-clock data, excluded from deterministic snapshots.
         """
         if buckets is None:
             existing = self._families.get(name)
@@ -272,7 +311,7 @@ class MetricsRegistry:
             )
         else:
             bounds = tuple(float(b) for b in buckets)
-        family = self._family(name, "histogram", help, bounds)
+        family = self._family(name, "histogram", help, bounds, wall_clock)
         key = _check_labels(labels)
         child = family.children.get(key)
         if child is None:
@@ -292,6 +331,10 @@ class MetricsRegistry:
     def help(self, name: str) -> str:
         """Help text of a family."""
         return self._families[name].help
+
+    def is_wall_clock(self, name: str) -> bool:
+        """True if a family records host wall-clock (non-reproducible) data."""
+        return self._families[name].wall_clock
 
     def __contains__(self, name: str) -> bool:
         return name in self._families
@@ -324,3 +367,55 @@ class MetricsRegistry:
             for child in family.children.values():
                 for sample_name, labels, value in child.samples(name):
                     yield family, sample_name, labels, value
+
+    # ----------------------------------------------------------- snapshots
+
+    def snapshot(
+        self, as_of_s: float | None = None, include_wall_clock: bool = True
+    ) -> dict:
+        """Canonical JSON-serialisable dump of every family and child.
+
+        The snapshot is the wire format of the campaign telemetry pipeline
+        (:mod:`repro.obs.telemetry`): workers ship it back to the campaign
+        parent, which folds the per-run snapshots with
+        :func:`~repro.obs.telemetry.merge_snapshots`.  Children are listed
+        in sorted label order, so equal registries snapshot to byte-equal
+        canonical JSON.
+
+        ``as_of_s`` stamps the snapshot with the simulation time it was
+        taken at; gauges merge last-write-wins on that stamp.  Campaign
+        snapshots pass ``include_wall_clock=False`` to drop host-timing
+        families (marked ``wall_clock=True`` at registration), keeping the
+        shipped payload deterministic at a fixed seed.
+        """
+        families: dict[str, dict] = {}
+        for name in self.names():
+            family = self._families[name]
+            if not include_wall_clock and family.wall_clock:
+                continue
+            children = []
+            for key in sorted(family.children):
+                child = family.children[key]
+                entry: dict = {"labels": [[k, v] for k, v in key]}
+                if family.kind == "histogram":
+                    entry["counts"] = list(child.raw_counts())
+                    entry["sum"] = child.sum
+                elif family.kind == "gauge":
+                    entry["value"] = child.value
+                    entry["as_of_s"] = as_of_s
+                else:
+                    entry["value"] = child.value
+                children.append(entry)
+            families[name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "buckets": None if family.buckets is None
+                else list(family.buckets),
+                "wall_clock": family.wall_clock,
+                "children": children,
+            }
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "as_of_s": None if as_of_s is None else float(as_of_s),
+            "families": families,
+        }

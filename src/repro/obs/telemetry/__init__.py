@@ -1,0 +1,68 @@
+"""Cross-process telemetry: snapshots, fleet aggregation, SLOs, watch.
+
+Layered on :mod:`repro.obs` (PR 1) and the campaign runner (PR 3):
+workers snapshot their registries
+(:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`), the parent merges
+them (:func:`merge_snapshots`) and folds per-run outcomes into fleet
+percentile series (:class:`CampaignAggregator`), which declarative SLO
+specs (:class:`SloSpec`) gate and the watch dashboard
+(:class:`WatchView`) renders live.
+"""
+
+from repro.obs.telemetry.aggregate import (
+    AGGREGATE_SCHEMA,
+    FLEET_FAMILIES,
+    QUANTILES,
+    SCALARS,
+    SERIES,
+    CampaignAggregate,
+    CampaignAggregator,
+    RunSample,
+    quantile,
+)
+from repro.obs.telemetry.slo import (
+    BUILTIN_SLOS,
+    SLO_SCHEMA,
+    RuleOutcome,
+    SloReport,
+    SloRule,
+    SloSpec,
+    resolve_slo,
+)
+from repro.obs.telemetry.snapshot import (
+    merge_snapshots,
+    registry_from_snapshot,
+    snapshot_json,
+)
+from repro.obs.telemetry.watch import (
+    CampaignObserver,
+    WatchView,
+    aggregate_block,
+    find_stragglers,
+)
+
+__all__ = [
+    "AGGREGATE_SCHEMA",
+    "BUILTIN_SLOS",
+    "FLEET_FAMILIES",
+    "QUANTILES",
+    "SCALARS",
+    "SERIES",
+    "SLO_SCHEMA",
+    "CampaignAggregate",
+    "CampaignAggregator",
+    "CampaignObserver",
+    "RuleOutcome",
+    "RunSample",
+    "SloReport",
+    "SloRule",
+    "SloSpec",
+    "WatchView",
+    "aggregate_block",
+    "find_stragglers",
+    "merge_snapshots",
+    "quantile",
+    "registry_from_snapshot",
+    "resolve_slo",
+    "snapshot_json",
+]

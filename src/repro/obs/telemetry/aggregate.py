@@ -1,0 +1,431 @@
+"""Campaign-level aggregation: per-run telemetry to fleet-level series.
+
+A :class:`CampaignAggregator` ingests one entry per campaign run — its
+status, wall time, :class:`~repro.sim.experiment.ScenarioResult` and
+registry snapshot — and produces a :class:`CampaignAggregate`: the merged
+fleet registry plus percentile summaries of the safety/performance series
+the paper's case studies (and ROADMAP's fleet-advisor service) ask about,
+keyed by the campaign axes (platform, policy, fault plan).
+
+Per-run series
+--------------
+
+``excess_c``
+    How far the run's peak temperature overshot its thermal limit
+    (clamped at 0: staying under the limit is "no excess", per the
+    safety-bound framing of the TECS 2017 companion paper).  The limit is
+    the scenario's ``t_limit_c`` or the platform definition's default.
+``min_fps``
+    The worst app frame rate of the run (absent for batch-only mixes).
+``failsafe_s``
+    Simulated seconds the hardened governor spent in failsafe mode.
+``detection_latency_s``
+    Mean sim-time from fault activation to governor detection, from the
+    run's ``repro_fault_detection_latency_seconds`` histogram (absent when
+    no fault was detected).
+``wall_s``
+    Host wall-clock duration of the executed run (absent for cached runs).
+
+Campaign scalars: run counts by status, ``runs_crashed`` and
+``cache_hit_ratio``.  Summaries are nearest-rank percentiles (p50/p90/p99)
+plus min/max/mean — deterministic, no interpolation.
+
+The aggregate exports through the *existing* writers: :meth:`to_registry`
+builds a ``repro_fleet_*`` gauge registry for
+:func:`repro.obs.exporters.prometheus_text` /
+:func:`~repro.obs.exporters.write_prometheus`, and :meth:`to_dict` is the
+JSON persisted as ``campaigns/<name>/aggregate.json`` (what ``repro obs
+check`` evaluates SLOs against).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry.snapshot import merge_snapshots
+
+AGGREGATE_SCHEMA = "repro.obs.aggregate/1"
+
+#: The reported quantiles, in display order.
+QUANTILES = ("p50", "p90", "p99")
+
+#: Per-run series names (see the module docstring).
+SERIES = ("excess_c", "min_fps", "failsafe_s", "detection_latency_s", "wall_s")
+
+#: Campaign-level scalars (evaluated with the ``value`` aggregation).
+SCALARS = (
+    "runs_total", "runs_cached", "runs_completed", "runs_failed",
+    "runs_crashed", "runs_pending", "cache_hit_ratio",
+)
+
+#: Fleet metric family per series (all gauges, one child per quantile).
+FLEET_SERIES_FAMILIES = {
+    "excess_c": "repro_fleet_excess_celsius",
+    "min_fps": "repro_fleet_min_fps",
+    "failsafe_s": "repro_fleet_failsafe_seconds",
+    "detection_latency_s": "repro_fleet_detection_latency_seconds",
+    "wall_s": "repro_fleet_run_wall_seconds",
+}
+
+#: Every fleet family :meth:`CampaignAggregate.to_registry` can emit —
+#: asserted against docs/OBSERVABILITY.md by the doc-sync test.
+FLEET_FAMILIES = tuple(sorted(FLEET_SERIES_FAMILIES.values())) + (
+    "repro_fleet_cache_hit_ratio",
+    "repro_fleet_crashed_runs",
+    "repro_fleet_runs",
+)
+
+_SERIES_HELP = {
+    "excess_c": "Peak temperature overshoot past the run's thermal limit",
+    "min_fps": "Worst per-app median FPS of one run",
+    "failsafe_s": "Simulated seconds spent in governor failsafe mode",
+    "detection_latency_s": "Mean fault-detection latency of one run",
+    "wall_s": "Host wall-clock duration of one executed run",
+}
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sequence (deterministic)."""
+    if not values:
+        raise ConfigurationError("quantile of an empty series")
+    if not 0.0 < q <= 1.0:
+        raise ConfigurationError(f"quantile must be in (0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _series_stats(values: Sequence[float]) -> dict:
+    return {
+        "count": len(values),
+        "min": min(values),
+        "max": max(values),
+        "mean": sum(values) / len(values),
+        "p50": quantile(values, 0.50),
+        "p90": quantile(values, 0.90),
+        "p99": quantile(values, 0.99),
+    }
+
+
+def _default_limit_c(platform: str) -> float:
+    # Deferred import: repro.soc pulls in the platform registry, which the
+    # obs layer must not require at import time.
+    from repro.soc import registry as platform_registry
+
+    return platform_registry.get(platform).default_t_limit_c
+
+
+@dataclass(frozen=True)
+class RunSample:
+    """One run's contribution to the fleet aggregate."""
+
+    run_id: str
+    status: str  # "cached" | "completed" | "failed" | "pending"
+    platform: str
+    policy: str
+    fault_plan: str | None
+    crashed: bool
+    #: Present per-run series values (a subset of :data:`SERIES`).
+    values: Mapping[str, float]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "run_id": self.run_id,
+            "status": self.status,
+            "platform": self.platform,
+            "policy": self.policy,
+            "fault_plan": self.fault_plan,
+            "crashed": self.crashed,
+            "values": dict(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunSample":
+        """Inverse of :meth:`to_dict`."""
+        fault_plan = data.get("fault_plan")
+        return cls(
+            run_id=str(data["run_id"]),
+            status=str(data["status"]),
+            platform=str(data["platform"]),
+            policy=str(data["policy"]),
+            fault_plan=None if fault_plan is None else str(fault_plan),
+            crashed=bool(data.get("crashed", False)),
+            values={str(k): float(v) for k, v in data["values"].items()},
+        )
+
+
+def _detection_latency_s(snapshot: Mapping | None) -> float | None:
+    if not snapshot:
+        return None
+    family = snapshot["families"].get("repro_fault_detection_latency_seconds")
+    if family is None:
+        return None
+    total = sum(sum(c["counts"]) for c in family["children"])
+    if total == 0:
+        return None
+    return sum(float(c["sum"]) for c in family["children"]) / total
+
+
+class CampaignAggregator:
+    """Incrementally fold per-run telemetry into a campaign aggregate."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: dict[str, RunSample] = {}
+        self._snapshots: dict[str, Mapping] = {}
+
+    def ingest(
+        self,
+        run_id: str,
+        scenario,
+        status: str,
+        elapsed_s: float | None = None,
+        result=None,
+        snapshot: Mapping | None = None,
+        failure_kind: str | None = None,
+    ) -> RunSample:
+        """File one run's outcome; re-ingesting a run id overwrites it.
+
+        ``scenario`` is anything with ``platform``, ``policy``,
+        ``t_limit_c`` and ``faults`` attributes (a
+        :class:`~repro.sim.experiment.Scenario`).
+        """
+        values: dict[str, float] = {}
+        if elapsed_s is not None:
+            values["wall_s"] = float(elapsed_s)
+        if result is not None:
+            limit_c = scenario.t_limit_c
+            if limit_c is None:
+                limit_c = _default_limit_c(scenario.platform)
+            values["excess_c"] = max(0.0, result.peak_temp_c - limit_c)
+            if result.fps:
+                values["min_fps"] = min(result.fps.values())
+            values["failsafe_s"] = result.failsafe_s
+        latency = _detection_latency_s(snapshot)
+        if latency is not None:
+            values["detection_latency_s"] = latency
+        faults = getattr(scenario, "faults", None)
+        sample = RunSample(
+            run_id=run_id,
+            status=status,
+            platform=scenario.platform,
+            policy=scenario.policy,
+            fault_plan=None if faults is None else faults.name,
+            crashed=failure_kind == "crash",
+            values=values,
+        )
+        self._samples[run_id] = sample
+        if snapshot is not None:
+            self._snapshots[run_id] = snapshot
+        else:
+            self._snapshots.pop(run_id, None)
+        return sample
+
+    def aggregate(self, merge_telemetry: bool = True) -> "CampaignAggregate":
+        """The current fleet aggregate (samples in run-id order).
+
+        Snapshots merge in run-id — i.e. grid — order, so the merged
+        telemetry is byte-identical whatever order the workers finished in.
+        ``merge_telemetry=False`` skips the merge (snapshot ``None``) — the
+        cheap rolling view the watch dashboard re-evaluates per event.
+        """
+        order = sorted(self._samples)
+        snapshots = [self._snapshots[r] for r in order if r in self._snapshots]
+        return CampaignAggregate(
+            name=self.name,
+            samples=tuple(self._samples[r] for r in order),
+            snapshot=merge_snapshots(*snapshots)
+            if snapshots and merge_telemetry else None,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignAggregate:
+    """Fleet-level view of one campaign: samples + merged telemetry."""
+
+    name: str
+    samples: tuple[RunSample, ...]
+    #: Merged registry snapshot of every run that shipped one (or None).
+    snapshot: dict | None
+
+    # ------------------------------------------------------------- queries
+
+    def scalar(self, name: str) -> float:
+        """One campaign-level scalar (see :data:`SCALARS`)."""
+        if name not in SCALARS:
+            raise ConfigurationError(
+                f"unknown scalar {name!r}; have {SCALARS}"
+            )
+        counts = {"cached": 0, "completed": 0, "failed": 0, "pending": 0}
+        crashed = 0
+        for sample in self.samples:
+            counts[sample.status] = counts.get(sample.status, 0) + 1
+            crashed += sample.crashed
+        total = len(self.samples)
+        if name == "runs_total":
+            return float(total)
+        if name == "runs_crashed":
+            return float(crashed)
+        if name == "cache_hit_ratio":
+            return counts["cached"] / total if total else 0.0
+        return float(counts[name.removeprefix("runs_")])
+
+    def series(
+        self,
+        metric: str,
+        platform: str | None = None,
+        policy: str | None = None,
+        fault_plan: str | None = None,
+    ) -> list[float]:
+        """Per-run values of one series, optionally scoped by axis values."""
+        if metric not in SERIES:
+            raise ConfigurationError(
+                f"unknown series {metric!r}; have {SERIES}"
+            )
+        out = []
+        for sample in self.samples:
+            if platform is not None and sample.platform != platform:
+                continue
+            if policy is not None and sample.policy != policy:
+                continue
+            if fault_plan is not None and sample.fault_plan != fault_plan:
+                continue
+            if metric in sample.values:
+                out.append(sample.values[metric])
+        return out
+
+    def groups(self) -> list[tuple[str, str, str | None]]:
+        """Distinct (platform, policy, fault_plan) triples, sorted."""
+        triples = {
+            (s.platform, s.policy, s.fault_plan) for s in self.samples
+        }
+        return sorted(triples, key=lambda t: (t[0], t[1], t[2] or ""))
+
+    def summary(self) -> dict:
+        """Scalars plus per-series stats, overall and per axis group."""
+        overall = {}
+        for metric in SERIES:
+            values = self.series(metric)
+            if values:
+                overall[metric] = _series_stats(values)
+        group_rows = []
+        for platform, policy, fault_plan in self.groups():
+            row: dict = {
+                "platform": platform,
+                "policy": policy,
+                "fault_plan": fault_plan,
+                "series": {},
+            }
+            for metric in SERIES:
+                values = self.series(metric, platform, policy, fault_plan)
+                if values:
+                    row["series"][metric] = _series_stats(values)
+            group_rows.append(row)
+        return {
+            "scalars": {name: self.scalar(name) for name in SCALARS},
+            "overall": overall,
+            "groups": group_rows,
+        }
+
+    # ------------------------------------------------------------- exports
+
+    def to_registry(self) -> MetricsRegistry:
+        """Fleet gauges for the existing Prometheus/JSONL writers."""
+        registry = MetricsRegistry()
+        base = {"campaign": self.name}
+        for status in ("cached", "completed", "failed", "pending"):
+            registry.gauge(
+                "repro_fleet_runs", "Campaign runs by status",
+                labels={**base, "status": status},
+            ).set(self.scalar(f"runs_{status}"))
+        registry.gauge(
+            "repro_fleet_crashed_runs",
+            "Runs lost to a hard worker crash", labels=base,
+        ).set(self.scalar("runs_crashed"))
+        registry.gauge(
+            "repro_fleet_cache_hit_ratio",
+            "Fraction of runs served from the result store", labels=base,
+        ).set(self.scalar("cache_hit_ratio"))
+        summary = self.summary()
+        for metric, family in FLEET_SERIES_FAMILIES.items():
+            stats = summary["overall"].get(metric)
+            if stats is not None:
+                for q in QUANTILES:
+                    registry.gauge(
+                        family, _SERIES_HELP[metric],
+                        labels={**base, "quantile": q},
+                    ).set(stats[q])
+        for row in summary["groups"]:
+            axis_labels = {
+                **base,
+                "platform": row["platform"],
+                "policy": row["policy"],
+                "fault_plan": row["fault_plan"] or "none",
+            }
+            for metric, family in FLEET_SERIES_FAMILIES.items():
+                stats = row["series"].get(metric)
+                if stats is not None:
+                    for q in QUANTILES:
+                        registry.gauge(
+                            family, _SERIES_HELP[metric],
+                            labels={**axis_labels, "quantile": q},
+                        ).set(stats[q])
+        return registry
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form — ``campaigns/<name>/aggregate.json``."""
+        return {
+            "schema": AGGREGATE_SCHEMA,
+            "name": self.name,
+            "samples": [s.to_dict() for s in self.samples],
+            "summary": self.summary(),
+            "snapshot": self.snapshot,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CampaignAggregate":
+        """Inverse of :meth:`to_dict` (``summary`` is derived, ignored)."""
+        schema = data.get("schema")
+        if schema != AGGREGATE_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported aggregate schema {schema!r}; "
+                f"expected {AGGREGATE_SCHEMA!r}"
+            )
+        return cls(
+            name=str(data["name"]),
+            samples=tuple(
+                RunSample.from_dict(s) for s in data["samples"]
+            ),
+            snapshot=data.get("snapshot"),
+        )
+
+    def render_text(self) -> str:
+        """Human-readable fleet summary table."""
+        from repro.analysis.tables import render_table
+
+        summary = self.summary()
+        rows = []
+        for row in summary["groups"]:
+            cells = [row["platform"], row["policy"], row["fault_plan"] or "-"]
+            for metric in ("excess_c", "min_fps", "failsafe_s"):
+                stats = row["series"].get(metric)
+                cells.append("-" if stats is None else f"{stats['p90']:.2f}")
+            rows.append(cells)
+        table = render_table(
+            ["platform", "policy", "faults", "p90 excess degC",
+             "p90 min FPS", "p90 failsafe s"],
+            rows, title=f"Fleet summary: {self.name}",
+        )
+        scalars = summary["scalars"]
+        line = (
+            f"{scalars['runs_total']:.0f} run(s), cache hit ratio "
+            f"{scalars['cache_hit_ratio']:.2f}, "
+            f"{scalars['runs_failed']:.0f} failed "
+            f"({scalars['runs_crashed']:.0f} crashed)"
+        )
+        return f"{table}\n{line}"

@@ -1,0 +1,389 @@
+"""Declarative SLO rules over campaign aggregates.
+
+An :class:`SloSpec` is a named bundle of :class:`SloRule` predicates —
+``p99(excess_c) <= 0.25``, ``min(min_fps) >= 28``,
+``value(runs_crashed) == 0`` — evaluated against a
+:class:`~repro.obs.telemetry.aggregate.CampaignAggregate`.  Specs
+round-trip through JSON exactly like
+:class:`~repro.faults.plan.FaultPlan`, so fleets can keep their
+service-level objectives in version control next to their fault plans.
+
+``repro obs check --slo <spec>`` evaluates a spec against a campaign's
+``aggregate.json`` and exits non-zero on any breach, which is what the CI
+``telemetry-smoke`` job and the chaos-hardening acceptance gates run.
+
+Rule grammar
+------------
+
+``agg``
+    One of ``p50``/``p90``/``p99`` (nearest-rank percentiles),
+    ``min``/``max``/``mean``/``count`` over a per-run series, or
+    ``value`` for a campaign scalar such as ``runs_crashed``.
+``metric``
+    A series from :data:`repro.obs.telemetry.aggregate.SERIES` (for the
+    series aggregations) or a scalar from
+    :data:`~repro.obs.telemetry.aggregate.SCALARS` (for ``value``).
+``op`` / ``threshold``
+    ``<=``, ``<``, ``>=``, ``>`` or ``==`` against a float.
+``platform`` / ``policy`` / ``fault_plan``
+    Optional scope: only runs matching every given axis value count.
+``on_empty``
+    What an empty scoped series means: ``"breach"`` (default — silence is
+    suspicious) or ``"pass"`` (e.g. detection latency on a fault-free
+    grid, where no detection is the healthy outcome).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry.aggregate import (
+    SCALARS,
+    SERIES,
+    CampaignAggregate,
+    quantile,
+)
+
+SLO_SCHEMA = "repro.obs.slo/1"
+
+AGGREGATIONS = ("p50", "p90", "p99", "min", "max", "mean", "count", "value")
+OPERATORS = ("<=", "<", ">=", ">", "==")
+
+_OP_FN = {
+    "<=": lambda a, b: a <= b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    ">": lambda a, b: a > b,
+    "==": lambda a, b: a == b,
+}
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One predicate: ``agg(metric) op threshold`` within an axis scope."""
+
+    name: str
+    metric: str
+    agg: str
+    op: str
+    threshold: float
+    platform: str | None = None
+    policy: str | None = None
+    fault_plan: str | None = None
+    on_empty: str = "breach"
+
+    def __post_init__(self) -> None:
+        if self.agg not in AGGREGATIONS:
+            raise ConfigurationError(
+                f"unknown aggregation {self.agg!r}; have {AGGREGATIONS}"
+            )
+        if self.op not in OPERATORS:
+            raise ConfigurationError(
+                f"unknown operator {self.op!r}; have {OPERATORS}"
+            )
+        if self.on_empty not in ("breach", "pass"):
+            raise ConfigurationError(
+                f"on_empty must be 'breach' or 'pass', got {self.on_empty!r}"
+            )
+        if self.agg == "value":
+            if self.metric not in SCALARS:
+                raise ConfigurationError(
+                    f"value() needs a campaign scalar, got {self.metric!r}; "
+                    f"have {SCALARS}"
+                )
+            if (self.platform, self.policy, self.fault_plan) != (None,) * 3:
+                raise ConfigurationError(
+                    f"rule {self.name!r}: campaign scalars cannot be scoped "
+                    "by platform/policy/fault_plan"
+                )
+        elif self.metric not in SERIES:
+            raise ConfigurationError(
+                f"{self.agg}() needs a per-run series, got {self.metric!r}; "
+                f"have {SERIES}"
+            )
+
+    def describe(self) -> str:
+        """The predicate in grammar form, e.g. ``p99(excess_c) <= 0.25``."""
+        scope = [
+            f"{axis}={value}"
+            for axis, value in (
+                ("platform", self.platform),
+                ("policy", self.policy),
+                ("fault_plan", self.fault_plan),
+            )
+            if value is not None
+        ]
+        suffix = f" [{', '.join(scope)}]" if scope else ""
+        return f"{self.agg}({self.metric}) {self.op} {self.threshold:g}{suffix}"
+
+    def evaluate(self, aggregate: CampaignAggregate) -> "RuleOutcome":
+        """Check this rule against one campaign aggregate."""
+        if self.agg == "value":
+            observed = aggregate.scalar(self.metric)
+        else:
+            values = aggregate.series(
+                self.metric,
+                platform=self.platform,
+                policy=self.policy,
+                fault_plan=self.fault_plan,
+            )
+            if self.agg == "count":
+                observed = float(len(values))
+            elif not values:
+                ok = self.on_empty == "pass"
+                return RuleOutcome(
+                    rule=self, observed=None, ok=ok,
+                    detail="no matching runs"
+                    + ("" if ok else " (on_empty=breach)"),
+                )
+            elif self.agg == "min":
+                observed = min(values)
+            elif self.agg == "max":
+                observed = max(values)
+            elif self.agg == "mean":
+                observed = sum(values) / len(values)
+            else:
+                observed = quantile(values, float(self.agg[1:]) / 100.0)
+        ok = _OP_FN[self.op](observed, self.threshold)
+        return RuleOutcome(
+            rule=self, observed=observed, ok=ok,
+            detail=f"observed {observed:g}",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "agg": self.agg,
+            "op": self.op,
+            "threshold": self.threshold,
+            "platform": self.platform,
+            "policy": self.policy,
+            "fault_plan": self.fault_plan,
+            "on_empty": self.on_empty,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SloRule":
+        """Inverse of :meth:`to_dict`, rejecting unknown keys."""
+        known = {
+            "name", "metric", "agg", "op", "threshold",
+            "platform", "policy", "fault_plan", "on_empty",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SloRule field(s) {sorted(unknown)}; "
+                f"have {sorted(known)}"
+            )
+        return cls(
+            name=str(data["name"]),
+            metric=str(data["metric"]),
+            agg=str(data["agg"]),
+            op=str(data["op"]),
+            threshold=float(data["threshold"]),
+            platform=data.get("platform"),
+            policy=data.get("policy"),
+            fault_plan=data.get("fault_plan"),
+            on_empty=str(data.get("on_empty", "breach")),
+        )
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """A named bundle of SLO rules, JSON round-trippable."""
+
+    name: str
+    description: str = ""
+    rules: tuple[SloRule, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise ConfigurationError("an SLO spec needs at least one rule")
+        names = [rule.name for rule in self.rules]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate rule names in SLO spec {self.name!r}"
+            )
+
+    def evaluate(self, aggregate: CampaignAggregate) -> "SloReport":
+        """Check every rule; the report is ok iff all rules pass."""
+        return SloReport(
+            spec=self,
+            campaign=aggregate.name,
+            outcomes=tuple(rule.evaluate(aggregate) for rule in self.rules),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "schema": SLO_SCHEMA,
+            "name": self.name,
+            "description": self.description,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "SloSpec":
+        """Inverse of :meth:`to_dict`, rejecting unknown keys."""
+        known = {"schema", "name", "description", "rules"}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown SloSpec field(s) {sorted(unknown)}; "
+                f"have {sorted(known)}"
+            )
+        schema = data.get("schema", SLO_SCHEMA)
+        if schema != SLO_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported SLO schema {schema!r}; expected {SLO_SCHEMA!r}"
+            )
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            rules=tuple(SloRule.from_dict(r) for r in data["rules"]),
+        )
+
+
+@dataclass(frozen=True)
+class RuleOutcome:
+    """One rule's verdict against one aggregate."""
+
+    rule: SloRule
+    observed: float | None
+    ok: bool
+    detail: str
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every rule's verdict for one campaign."""
+
+    spec: SloSpec
+    campaign: str
+    outcomes: tuple[RuleOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        """True iff no rule breached."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def breaches(self) -> tuple[RuleOutcome, ...]:
+        """The failing outcomes, in rule order."""
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    def render_text(self) -> str:
+        """One line per rule plus a PASS/BREACH verdict."""
+        lines = [f"SLO {self.spec.name!r} vs campaign {self.campaign!r}:"]
+        for outcome in self.outcomes:
+            mark = "ok " if outcome.ok else "FAIL"
+            lines.append(
+                f"  [{mark}] {outcome.rule.name}: "
+                f"{outcome.rule.describe()} -- {outcome.detail}"
+            )
+        verdict = "PASS" if self.ok else (
+            f"BREACH ({len(self.breaches)} rule(s))"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (for ``--format json``)."""
+        return {
+            "slo": self.spec.name,
+            "campaign": self.campaign,
+            "ok": self.ok,
+            "rules": [
+                {
+                    "name": o.rule.name,
+                    "predicate": o.rule.describe(),
+                    "observed": o.observed,
+                    "ok": o.ok,
+                    "detail": o.detail,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def _builtin_specs() -> dict[str, SloSpec]:
+    chaos = SloSpec(
+        name="chaos-hardening",
+        description=(
+            "The hardened governor keeps thermal excess bounded and the "
+            "campaign loses no runs, even on fault-injected grids."
+        ),
+        rules=(
+            SloRule(
+                name="excess-bounded", metric="excess_c",
+                agg="p99", op="<=", threshold=0.25,
+            ),
+            SloRule(
+                name="detects-quickly", metric="detection_latency_s",
+                agg="mean", op="<=", threshold=30.0, on_empty="pass",
+            ),
+            SloRule(
+                name="no-crashes", metric="runs_crashed",
+                agg="value", op="==", threshold=0.0,
+            ),
+            SloRule(
+                name="no-failures", metric="runs_failed",
+                agg="value", op="==", threshold=0.0,
+            ),
+        ),
+    )
+    fps = SloSpec(
+        name="fps-protection",
+        description=(
+            "Interactive apps keep their frame rate: no run's worst app "
+            "drops below 28 FPS and every run completes."
+        ),
+        rules=(
+            SloRule(
+                name="fps-floor", metric="min_fps",
+                agg="min", op=">=", threshold=28.0,
+            ),
+            SloRule(
+                name="no-failures", metric="runs_failed",
+                agg="value", op="==", threshold=0.0,
+            ),
+        ),
+    )
+    return {chaos.name: chaos, fps.name: fps}
+
+
+#: Built-in specs by name — what ``repro obs check --slo <name>`` resolves.
+BUILTIN_SLOS = _builtin_specs()
+
+
+def resolve_slo(ref) -> SloSpec:
+    """Resolve a spec, built-in name, JSON file path, or plain dict."""
+    if isinstance(ref, SloSpec):
+        return ref
+    if isinstance(ref, Mapping):
+        return SloSpec.from_dict(ref)
+    name = str(ref)
+    if name in BUILTIN_SLOS:
+        return BUILTIN_SLOS[name]
+    path = Path(name)
+    if path.suffix == ".json" or path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read SLO spec {name!r}: {exc}"
+            ) from exc
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(
+                f"SLO spec {name!r} is not valid JSON: {exc}"
+            ) from exc
+        return SloSpec.from_dict(payload)
+    raise ConfigurationError(
+        f"unknown SLO spec {name!r}; built-ins: {sorted(BUILTIN_SLOS)}"
+    )

@@ -1,0 +1,183 @@
+"""Snapshot merging: the algebra behind cross-process telemetry.
+
+A snapshot (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) is the
+canonical JSON dump of one registry.  Campaign workers ship one per run;
+the parent folds them with :func:`merge_snapshots` into a single fleet
+registry, exactly as if every simulation had emitted into one process:
+
+* **counters** sum;
+* **gauges** are last-write-wins on the snapshot's simulation-time stamp
+  (``as_of_s``; later argument wins ties);
+* **histograms** add per-bucket counts and sums — families must agree on
+  bucket bounds.
+
+The merge is associative and, for counters and histograms, commutative
+(property-tested under hypothesis; exactly so up to float rounding of
+the summed values, which is why the campaign runner always folds in grid
+order rather than completion order).  :func:`snapshot_json` renders the
+byte-stable canonical form used for the on-disk ``telemetry.json`` — two
+campaigns that executed the same runs serialise identically whatever the
+worker count or scheduling order.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.obs.metrics import SNAPSHOT_SCHEMA, MetricsRegistry
+
+
+def snapshot_json(snapshot: Mapping) -> str:
+    """Byte-stable canonical JSON of a snapshot (sorted keys, compact)."""
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+
+def _check_schema(snapshot: Mapping) -> None:
+    schema = snapshot.get("schema")
+    if schema != SNAPSHOT_SCHEMA:
+        raise ConfigurationError(
+            f"unsupported snapshot schema {schema!r}; "
+            f"expected {SNAPSHOT_SCHEMA!r}"
+        )
+
+
+def _label_key(entry: Mapping) -> tuple[tuple[str, str], ...]:
+    return tuple((str(k), str(v)) for k, v in entry["labels"])
+
+
+def _as_of(entry: Mapping, default) -> float:
+    """Gauge write stamp: the child's own, else the snapshot's, else -inf."""
+    stamp = entry.get("as_of_s", default)
+    return -math.inf if stamp is None else float(stamp)
+
+
+def _merge_two(left: dict, right: Mapping) -> dict:
+    """Fold ``right`` into ``left`` (left is mutated and returned)."""
+    left_as_of = left.get("as_of_s")
+    right_as_of = right.get("as_of_s")
+    stamps = [s for s in (left_as_of, right_as_of) if s is not None]
+    left["as_of_s"] = max(stamps) if stamps else None
+
+    families = left["families"]
+    for name, incoming in right["families"].items():
+        mine = families.get(name)
+        if mine is None:
+            families[name] = {
+                "kind": incoming["kind"],
+                "help": incoming["help"],
+                "buckets": None if incoming["buckets"] is None
+                else list(incoming["buckets"]),
+                "wall_clock": bool(incoming["wall_clock"]),
+                "children": [_copy_child(incoming, c, right_as_of)
+                             for c in incoming["children"]],
+            }
+            continue
+        if mine["kind"] != incoming["kind"]:
+            raise ConfigurationError(
+                f"cannot merge {name!r}: {mine['kind']} vs {incoming['kind']}"
+            )
+        if mine["kind"] == "histogram" and mine["buckets"] != list(
+            incoming["buckets"] or ()
+        ):
+            raise ConfigurationError(
+                f"cannot merge histogram {name!r}: bucket bounds differ"
+            )
+        if incoming["help"] and not mine["help"]:
+            mine["help"] = incoming["help"]
+        mine["wall_clock"] = mine["wall_clock"] or bool(incoming["wall_clock"])
+        children = {_label_key(c): c for c in mine["children"]}
+        for entry in incoming["children"]:
+            key = _label_key(entry)
+            have = children.get(key)
+            if have is None:
+                children[key] = _copy_child(incoming, entry, right_as_of)
+                continue
+            if mine["kind"] == "counter":
+                have["value"] += float(entry["value"])
+            elif mine["kind"] == "gauge":
+                # Last write wins on the sim-time stamp; the later
+                # argument wins ties, so a left fold in grid order is
+                # deterministic.
+                if _as_of(entry, right_as_of) >= _as_of(have, None):
+                    have["value"] = float(entry["value"])
+                    have["as_of_s"] = entry.get("as_of_s", right_as_of)
+            else:
+                have["counts"] = [
+                    a + b for a, b in zip(have["counts"], entry["counts"])
+                ]
+                have["sum"] += float(entry["sum"])
+        mine["children"] = [children[k] for k in sorted(children)]
+    return left
+
+
+def _copy_child(family: Mapping, entry: Mapping, snapshot_as_of) -> dict:
+    out = {"labels": [list(kv) for kv in entry["labels"]]}
+    if family["kind"] == "histogram":
+        out["counts"] = list(entry["counts"])
+        out["sum"] = float(entry["sum"])
+    elif family["kind"] == "gauge":
+        out["value"] = float(entry["value"])
+        # Normalise: a merged gauge child always carries its own stamp.
+        out["as_of_s"] = entry.get("as_of_s", snapshot_as_of)
+    else:
+        out["value"] = float(entry["value"])
+    return out
+
+
+def merge_snapshots(*snapshots: Mapping) -> dict:
+    """Merge registry snapshots into one (associative; see module doc).
+
+    Accepts any number of snapshots (one yields a normalised copy, zero is
+    an error).  The result is itself a valid snapshot: families sorted by
+    name, children sorted by labels, counters summed, histogram buckets
+    added, gauges resolved last-write-wins by ``as_of_s``.
+    """
+    if not snapshots:
+        raise ConfigurationError("merge_snapshots needs at least one snapshot")
+    for snapshot in snapshots:
+        _check_schema(snapshot)
+    first = snapshots[0]
+    merged: dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "as_of_s": None,
+        "families": {},
+    }
+    _merge_two(merged, first)
+    for snapshot in snapshots[1:]:
+        _merge_two(merged, snapshot)
+    merged["families"] = {
+        name: merged["families"][name] for name in sorted(merged["families"])
+    }
+    return merged
+
+
+def registry_from_snapshot(snapshot: Mapping) -> MetricsRegistry:
+    """Rebuild a live :class:`MetricsRegistry` from a snapshot.
+
+    The inverse of :meth:`MetricsRegistry.snapshot` (up to the gauge
+    ``as_of_s`` stamps, which only exist on the wire): feeding the result
+    to :func:`repro.obs.exporters.prometheus_text` renders the merged
+    fleet exposition through the exact writer single runs use.
+    """
+    _check_schema(snapshot)
+    registry = MetricsRegistry()
+    for name, family in snapshot["families"].items():
+        registry.declare(
+            name, family["kind"], family["help"],
+            buckets=family["buckets"],
+            wall_clock=bool(family["wall_clock"]),
+        )
+        for entry in family["children"]:
+            labels = {k: v for k, v in entry["labels"]}
+            if family["kind"] == "counter":
+                registry.counter(name, labels=labels).inc(float(entry["value"]))
+            elif family["kind"] == "gauge":
+                registry.gauge(name, labels=labels).set(float(entry["value"]))
+            else:
+                registry.histogram(name, labels=labels).restore(
+                    entry["counts"], float(entry["sum"])
+                )
+    return registry

@@ -1,0 +1,179 @@
+"""Live campaign watch: an in-terminal fleet dashboard.
+
+:class:`WatchView` implements the :class:`CampaignObserver` hook the
+campaign runner calls as runs finish.  On a TTY it redraws a small status
+block in place (ANSI cursor-up); with ``tty=False`` (``--no-tty``, CI
+logs, piped output) it appends one plain line per event and never emits
+escape codes or wall-clock figures, so a single-job run's output is fully
+deterministic.
+
+The block shows per-wave progress, counts by status, straggler detection
+(completed runs whose wall time exceeded the p90 of all completed runs —
+only ever shown on a TTY, wall times are host-dependent) and, when an SLO
+spec is attached, the rolling verdict re-evaluated after every run.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from repro.obs.telemetry.aggregate import CampaignAggregator, quantile
+from repro.obs.telemetry.slo import SloSpec
+
+
+def aggregate_block(aggregate, slo=None, stragglers=False) -> list[str]:
+    """The dashboard's body lines for one fleet aggregate.
+
+    Shared by the live :class:`WatchView` and the one-shot
+    ``repro campaign watch`` rendering of a stored campaign.
+    """
+    lines = [
+        "  " + "  ".join(
+            f"{status} {aggregate.scalar(f'runs_{status}'):.0f}"
+            for status in ("cached", "completed", "failed", "pending")
+        )
+    ]
+    if stragglers:
+        for text in find_stragglers(aggregate):
+            lines.append(f"  straggler: {text}")
+    if slo is not None:
+        report = slo.evaluate(aggregate)
+        passed = sum(1 for o in report.outcomes if o.ok)
+        line = f"  SLO {slo.name}: {passed}/{len(report.outcomes)} ok"
+        if not report.ok:
+            failing = ",".join(o.rule.name for o in report.breaches)
+            line += f" [FAIL {failing}]"
+        lines.append(line)
+    return lines
+
+
+def find_stragglers(aggregate) -> list[str]:
+    """Completed runs whose wall time exceeded the fleet p90, rendered.
+
+    Wall times are host-dependent, so callers only show these on a TTY.
+    """
+    walls = [
+        (s.run_id, s.values["wall_s"])
+        for s in aggregate.samples if "wall_s" in s.values
+    ]
+    if len(walls) < 2:
+        return []
+    p90 = quantile([w for _, w in walls], 0.90)
+    return [
+        f"{run_id} {wall:.2f}s (p90 {p90:.2f}s)"
+        for run_id, wall in walls if wall > p90
+    ]
+
+
+class CampaignObserver:
+    """No-op base class for campaign progress hooks.
+
+    The runner calls these in order: :meth:`campaign_started` once,
+    :meth:`wave_started` per fan-out, :meth:`run_finished` per resolved
+    run (cached runs included), :meth:`campaign_finished` once.
+    """
+
+    def campaign_started(self, name: str, total: int, aggregator) -> None:
+        """The campaign is about to execute ``total`` grid points."""
+
+    def wave_started(self, index: int, size: int) -> None:
+        """A fan-out of ``size`` pending runs is starting."""
+
+    def run_finished(self, record) -> None:
+        """One run resolved (its sample is already in the aggregator)."""
+
+    def campaign_finished(self, report) -> None:
+        """Every run resolved; ``report`` is the final CampaignReport."""
+
+
+class WatchView(CampaignObserver):
+    """Render campaign progress to a terminal (or a plain log stream)."""
+
+    def __init__(
+        self,
+        out: TextIO | None = None,
+        tty: bool | None = None,
+        slo: SloSpec | None = None,
+    ) -> None:
+        self.out = out if out is not None else sys.stdout
+        self.tty = self.out.isatty() if tty is None else tty
+        self.slo = slo
+        self._aggregator: CampaignAggregator | None = None
+        self._name = ""
+        self._total = 0
+        self._done = 0
+        self._wave = 0
+        self._drawn_lines = 0
+
+    # ------------------------------------------------------------ observer
+
+    def campaign_started(self, name, total, aggregator) -> None:
+        self._name = name
+        self._total = total
+        self._done = 0
+        self._wave = 0
+        self._aggregator = aggregator
+        if not self.tty:
+            self._line(f"watch: campaign {name}: {total} run(s)")
+
+    def wave_started(self, index, size) -> None:
+        self._wave = index
+        if self.tty:
+            self._redraw()
+        else:
+            self._line(f"watch: wave {index}: {size} run(s)")
+
+    def run_finished(self, record) -> None:
+        self._done += 1
+        if self.tty:
+            self._redraw()
+        else:
+            self._line(
+                f"watch: {record.run_id} {record.status} "
+                f"({self._done}/{self._total})"
+            )
+
+    def campaign_finished(self, report) -> None:
+        if self.tty:
+            self._redraw(final=True)
+            self._drawn_lines = 0  # leave the last block on screen
+        else:
+            for line in self._block(final=True):
+                self._line(f"watch: {line}")
+
+    # ----------------------------------------------------------- rendering
+
+    def render(self) -> str:
+        """The current status block (what the TTY shows), as plain text."""
+        return "\n".join(self._block(final=True))
+
+    def _line(self, text: str) -> None:
+        self.out.write(text + "\n")
+        self.out.flush()
+
+    def _redraw(self, final: bool = False) -> None:
+        block = self._block(final=final)
+        if self._drawn_lines:
+            # Cursor up over the previous block, then clear to screen end.
+            self.out.write(f"\x1b[{self._drawn_lines}F\x1b[0J")
+        self.out.write("\n".join(block) + "\n")
+        self.out.flush()
+        self._drawn_lines = len(block)
+
+    def _block(self, final: bool = False) -> list[str]:
+        aggregate = (
+            self._aggregator.aggregate(merge_telemetry=False)
+            if self._aggregator is not None else None
+        )
+        header = f"campaign {self._name}: {self._done}/{self._total} resolved"
+        if self._wave and not final:
+            header += f" (wave {self._wave})"
+        if final:
+            header += " -- done"
+        lines = [header]
+        if aggregate is not None:
+            lines += aggregate_block(
+                aggregate, slo=self.slo, stragglers=self.tty
+            )
+        return lines

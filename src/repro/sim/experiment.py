@@ -239,6 +239,24 @@ class Scenario:
 
     def run(self) -> ScenarioResult:
         """Build, run and summarise the scenario."""
+        _, result = self._execute()
+        return result
+
+    def run_instrumented(self) -> tuple[ScenarioResult, dict]:
+        """Run and also return the simulation's telemetry snapshot.
+
+        The snapshot (see :meth:`repro.obs.metrics.MetricsRegistry.snapshot`)
+        is stamped with the final simulation time and excludes wall-clock
+        families, so it is byte-deterministic: campaign workers ship it to
+        the parent for cross-process merging.
+        """
+        sim, result = self._execute()
+        snapshot = sim.metrics.snapshot(
+            as_of_s=sim.clock.now, include_wall_clock=False
+        )
+        return result, snapshot
+
+    def _execute(self) -> tuple[Simulation, ScenarioResult]:
         platform = self._platform()
         apps = [spec.build() for spec in self.apps]
         sim = Simulation(
@@ -287,7 +305,7 @@ class Scenario:
         if controller is not None:
             fault_plan = controller.plan.name
             faults_injected = tuple(controller.injected)
-        return ScenarioResult(
+        return sim, ScenarioResult(
             policy=self.policy,
             fps=fps,
             peak_temp_c=float(np.max(temps)),

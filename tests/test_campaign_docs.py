@@ -52,7 +52,7 @@ def test_every_documented_flag_exists(campaign_parsers):
 
 def test_actions_documented(campaign_parsers):
     text = DOC.read_text()
-    assert set(campaign_parsers) == {"run", "status", "results"}
+    assert set(campaign_parsers) == {"run", "status", "results", "watch"}
     for action in campaign_parsers:
         assert action in text
 

@@ -35,12 +35,76 @@ def test_doc_exists():
 
 
 def test_metric_catalogue_matches_registry(loaded_sim):
-    documented = set(_METRIC_RE.findall(DOC.read_text()))
+    documented = {
+        name for name in _METRIC_RE.findall(DOC.read_text())
+        # Fleet families come from the campaign aggregator, not a sim
+        # registry; they are checked against FLEET_FAMILIES below.
+        if not name.startswith("repro_fleet_")
+    }
     emitted = set(loaded_sim.metrics.names())
     missing = emitted - documented
     stale = documented - emitted
     assert not missing, f"registered but undocumented: {sorted(missing)}"
     assert not stale, f"documented but never registered: {sorted(stale)}"
+
+
+def test_fleet_catalogue_matches_aggregator():
+    """Documented repro_fleet_* names == what the aggregate can emit."""
+    from repro.obs.telemetry import FLEET_FAMILIES
+
+    documented = {
+        name for name in _METRIC_RE.findall(DOC.read_text())
+        if name.startswith("repro_fleet_")
+    }
+    emitted = set(FLEET_FAMILIES)
+    assert documented == emitted, (
+        f"doc/aggregator drift: doc-only {sorted(documented - emitted)}, "
+        f"code-only {sorted(emitted - documented)}"
+    )
+
+
+def test_slo_vocabulary_documented():
+    """Every series, scalar, aggregation and built-in spec is in the doc."""
+    from repro.obs.telemetry import BUILTIN_SLOS, SCALARS, SERIES
+    from repro.obs.telemetry.slo import AGGREGATIONS
+
+    text = DOC.read_text()
+    for token in (*SERIES, *SCALARS, *AGGREGATIONS, *BUILTIN_SLOS):
+        assert f"`{token}`" in text, f"SLO token {token!r} missing from doc"
+
+
+def test_cli_telemetry_flags_documented():
+    """The obs/telemetry CLI surface named in the doc exists, and the new
+    flags are documented."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    def subparsers(parser):
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                return action.choices
+        raise AssertionError("no subparsers found")
+
+    top = subparsers(build_parser())
+    assert "obs" in top
+    assert "check" in subparsers(top["obs"])
+    check_flags = {
+        flag
+        for action in subparsers(top["obs"])["check"]._actions
+        for flag in action.option_strings
+    }
+    assert {"--slo", "--campaign", "--store", "--format"} <= check_flags
+    text = DOC.read_text()
+    for flag in ("--slo", "--watch", "--no-tty", "--format json"):
+        assert flag in text, f"flag {flag!r} missing from the doc"
+    for name in ("metrics", "trace"):
+        flags = {
+            flag
+            for action in top[name]._actions
+            for flag in action.option_strings
+        }
+        assert "--format" in flags, f"{name} lost its --format flag"
 
 
 def test_catalogue_is_registered_eagerly(loaded_sim):

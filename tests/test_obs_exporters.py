@@ -71,6 +71,54 @@ def test_prometheus_text_declared_family_gets_header():
     assert "# TYPE repro_rare_total counter" in text
 
 
+def test_prometheus_text_empty_registry_is_empty_string():
+    assert prometheus_text(MetricsRegistry()) == ""
+
+
+def test_prometheus_text_label_newline_escaped():
+    reg = MetricsRegistry()
+    reg.counter("repro_x_total", labels={"app": "a\nb"}).inc()
+    text = prometheus_text(reg)
+    assert 'app="a\\nb"' in text
+    # The rendered exposition must stay one sample per line.
+    samples = [l for l in text.splitlines() if not l.startswith("#")]
+    assert samples == ['repro_x_total{app="a\\nb"} 1']
+
+
+def test_prometheus_text_help_escaped():
+    reg = MetricsRegistry()
+    reg.declare("repro_odd_total", "counter", "line\nbreak \\ slash")
+    text = prometheus_text(reg)
+    assert "# HELP repro_odd_total line\\nbreak \\\\ slash" in text
+    assert len(text.splitlines()) == 2  # HELP + TYPE, nothing leaked
+
+
+def test_prometheus_text_help_escaping_also_on_populated_family():
+    # The HELP escape must apply on the collect() path too, not just the
+    # declared-but-empty path.
+    reg = MetricsRegistry()
+    reg.counter("repro_odd_total", "two\nlines").inc()
+    text = prometheus_text(reg)
+    assert "# HELP repro_odd_total two\\nlines" in text
+
+
+def test_prometheus_text_inf_bucket_present_even_when_empty():
+    reg = MetricsRegistry()
+    reg.histogram("repro_h_seconds", buckets=(1.0,), labels={"k": "v"})
+    text = prometheus_text(reg)
+    assert 'repro_h_seconds_bucket{k="v",le="+Inf"} 0' in text
+    assert 'repro_h_seconds_count{k="v"} 0' in text
+
+
+def test_prometheus_text_inf_observation_lands_in_inf_bucket():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_h_seconds", buckets=(1.0,))
+    hist.observe(float("inf"))
+    text = prometheus_text(reg)
+    assert 'repro_h_seconds_bucket{le="1"} 0' in text
+    assert 'repro_h_seconds_bucket{le="+Inf"} 1' in text
+
+
 # ----------------------------------------------------------------- events
 
 

@@ -1,0 +1,210 @@
+"""CampaignAggregator / CampaignAggregate: fleet series and exports."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.exporters import prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    FLEET_FAMILIES,
+    SCALARS,
+    SERIES,
+    CampaignAggregate,
+    CampaignAggregator,
+    quantile,
+)
+
+
+def scenario(platform="odroid-xu3", policy="none", t_limit_c=60.0,
+             fault_plan=None):
+    faults = None if fault_plan is None else SimpleNamespace(name=fault_plan)
+    return SimpleNamespace(platform=platform, policy=policy,
+                           t_limit_c=t_limit_c, faults=faults)
+
+
+def result(peak_temp_c=50.0, fps=None, failsafe_s=0.0):
+    return SimpleNamespace(peak_temp_c=peak_temp_c, fps=fps or {},
+                           failsafe_s=failsafe_s)
+
+
+def detection_snapshot(latencies):
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_fault_detection_latency_seconds",
+                         "detection", buckets=(1.0, 10.0))
+    for value in latencies:
+        hist.observe(value)
+    return reg.snapshot()
+
+
+# ---------------------------------------------------------------- quantile
+
+
+def test_quantile_nearest_rank():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert quantile(values, 0.50) == 5.0
+    assert quantile(values, 0.90) == 9.0
+    assert quantile(values, 0.99) == 10.0
+    assert quantile(values, 1.0) == 10.0
+    assert quantile([7.0], 0.50) == 7.0
+
+
+def test_quantile_rejects_empty_and_bad_q():
+    with pytest.raises(ConfigurationError):
+        quantile([], 0.5)
+    with pytest.raises(ConfigurationError):
+        quantile([1.0], 0.0)
+    with pytest.raises(ConfigurationError):
+        quantile([1.0], 1.5)
+
+
+# -------------------------------------------------------------- aggregator
+
+
+def test_ingest_derives_series_values():
+    agg = CampaignAggregator("t")
+    sample = agg.ingest(
+        "r1", scenario(t_limit_c=50.0), "completed", elapsed_s=1.5,
+        result=result(peak_temp_c=53.0, fps={"a": 30.0, "b": 25.0},
+                      failsafe_s=4.0),
+        snapshot=detection_snapshot([2.0, 4.0]),
+    )
+    assert sample.values["excess_c"] == pytest.approx(3.0)
+    assert sample.values["min_fps"] == 25.0
+    assert sample.values["failsafe_s"] == 4.0
+    assert sample.values["wall_s"] == 1.5
+    assert sample.values["detection_latency_s"] == pytest.approx(3.0)
+    assert set(sample.values) <= set(SERIES)
+
+
+def test_excess_clamps_at_zero_and_uses_platform_default_limit():
+    agg = CampaignAggregator("t")
+    cool = agg.ingest("r1", scenario(t_limit_c=60.0), "completed",
+                      result=result(peak_temp_c=45.0))
+    assert cool.values["excess_c"] == 0.0
+    # t_limit_c=None falls back to the platform definition's default.
+    defaulted = agg.ingest("r2", scenario(t_limit_c=None), "completed",
+                           result=result(peak_temp_c=200.0))
+    assert defaulted.values["excess_c"] > 0.0
+
+
+def test_no_detection_events_means_no_latency_series():
+    agg = CampaignAggregator("t")
+    sample = agg.ingest("r1", scenario(), "completed", result=result(),
+                        snapshot=detection_snapshot([]))
+    assert "detection_latency_s" not in sample.values
+
+
+def test_reingest_overwrites():
+    agg = CampaignAggregator("t")
+    agg.ingest("r1", scenario(), "pending")
+    agg.ingest("r1", scenario(), "completed", result=result())
+    aggregate = agg.aggregate()
+    assert len(aggregate.samples) == 1
+    assert aggregate.samples[0].status == "completed"
+
+
+def test_aggregate_orders_samples_by_run_id():
+    agg = CampaignAggregator("t")
+    agg.ingest("2-b", scenario(), "completed", result=result())
+    agg.ingest("1-a", scenario(), "completed", result=result())
+    assert [s.run_id for s in agg.aggregate().samples] == ["1-a", "2-b"]
+
+
+def test_merge_telemetry_false_skips_the_snapshot():
+    agg = CampaignAggregator("t")
+    agg.ingest("r1", scenario(), "completed", result=result(),
+               snapshot=detection_snapshot([1.0]))
+    assert agg.aggregate(merge_telemetry=False).snapshot is None
+    assert agg.aggregate().snapshot is not None
+
+
+# --------------------------------------------------------------- aggregate
+
+
+@pytest.fixture()
+def mixed_aggregate():
+    agg = CampaignAggregator("mixed")
+    agg.ingest("1", scenario(policy="none", t_limit_c=50.0), "completed",
+               elapsed_s=1.0, result=result(peak_temp_c=58.0))
+    agg.ingest("2", scenario(policy="proposed", t_limit_c=50.0), "completed",
+               elapsed_s=3.0,
+               result=result(peak_temp_c=50.5, fps={"a": 29.0}))
+    agg.ingest("3", scenario(policy="none", fault_plan="fan-stop"), "cached",
+               result=result(peak_temp_c=40.0))
+    agg.ingest("4", scenario(policy="none"), "failed", elapsed_s=0.5,
+               failure_kind="crash")
+    return agg.aggregate()
+
+
+def test_scalars(mixed_aggregate):
+    agg = mixed_aggregate
+    assert agg.scalar("runs_total") == 4.0
+    assert agg.scalar("runs_cached") == 1.0
+    assert agg.scalar("runs_completed") == 2.0
+    assert agg.scalar("runs_failed") == 1.0
+    assert agg.scalar("runs_pending") == 0.0
+    assert agg.scalar("runs_crashed") == 1.0
+    assert agg.scalar("cache_hit_ratio") == 0.25
+    with pytest.raises(ConfigurationError):
+        agg.scalar("bogus")
+    assert {name for name in SCALARS} == set(SCALARS)  # no duplicates
+
+
+def test_series_scoping(mixed_aggregate):
+    agg = mixed_aggregate
+    assert agg.series("excess_c") == [8.0, 0.5, 0.0]
+    assert agg.series("excess_c", policy="proposed") == [0.5]
+    assert agg.series("excess_c", fault_plan="fan-stop") == [0.0]
+    assert agg.series("min_fps") == [29.0]
+    assert agg.series("wall_s") == [1.0, 3.0, 0.5]
+    with pytest.raises(ConfigurationError):
+        agg.series("bogus")
+
+
+def test_groups_sorted(mixed_aggregate):
+    assert mixed_aggregate.groups() == [
+        ("odroid-xu3", "none", None),
+        ("odroid-xu3", "none", "fan-stop"),
+        ("odroid-xu3", "proposed", None),
+    ]
+
+
+def test_summary_shape(mixed_aggregate):
+    summary = mixed_aggregate.summary()
+    assert set(summary) == {"scalars", "overall", "groups"}
+    assert set(summary["scalars"]) == set(SCALARS)
+    excess = summary["overall"]["excess_c"]
+    assert excess["count"] == 3
+    assert excess["max"] == 8.0
+    assert excess["p50"] == 0.5
+    assert len(summary["groups"]) == 3
+
+
+def test_to_registry_families_subset_of_catalogue(mixed_aggregate):
+    registry = mixed_aggregate.to_registry()
+    names = set(registry.names())
+    assert names <= set(FLEET_FAMILIES)
+    assert "repro_fleet_runs" in names
+    text = prometheus_text(registry)
+    assert 'repro_fleet_runs{campaign="mixed",status="completed"} 2' in text
+    assert 'repro_fleet_cache_hit_ratio{campaign="mixed"} 0.25' in text
+    # Group children carry the axis labels, unfaulted groups say "none".
+    assert 'fault_plan="none"' in text and 'fault_plan="fan-stop"' in text
+
+
+def test_dict_round_trip(mixed_aggregate):
+    data = mixed_aggregate.to_dict()
+    assert data["schema"] == "repro.obs.aggregate/1"
+    assert "summary" in data  # derived, for human/jq consumers
+    back = CampaignAggregate.from_dict(data)
+    assert back == mixed_aggregate
+    with pytest.raises(ConfigurationError):
+        CampaignAggregate.from_dict({**data, "schema": "nope/1"})
+
+
+def test_render_text(mixed_aggregate):
+    text = mixed_aggregate.render_text()
+    assert "Fleet summary: mixed" in text
+    assert "4 run(s), cache hit ratio 0.25, 1 failed (1 crashed)" in text

@@ -1,0 +1,168 @@
+"""Declarative SLO rules: grammar validation, evaluation, round-trips."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import (
+    BUILTIN_SLOS,
+    CampaignAggregator,
+    SloRule,
+    SloSpec,
+    resolve_slo,
+)
+
+
+def aggregate(excesses=(), policy="none", crashed=0):
+    agg = CampaignAggregator("slo-test")
+    for i, excess in enumerate(excesses):
+        agg.ingest(
+            f"r{i}",
+            SimpleNamespace(platform="odroid-xu3", policy=policy,
+                            t_limit_c=50.0, faults=None),
+            "completed",
+            result=SimpleNamespace(peak_temp_c=50.0 + excess, fps={},
+                                   failsafe_s=0.0),
+        )
+    for i in range(crashed):
+        agg.ingest(
+            f"x{i}",
+            SimpleNamespace(platform="odroid-xu3", policy=policy,
+                            t_limit_c=50.0, faults=None),
+            "failed", failure_kind="crash",
+        )
+    return agg.aggregate()
+
+
+# ------------------------------------------------------------------- rules
+
+
+def test_rule_validation():
+    with pytest.raises(ConfigurationError, match="aggregation"):
+        SloRule("r", "excess_c", "p42", "<=", 1.0)
+    with pytest.raises(ConfigurationError, match="operator"):
+        SloRule("r", "excess_c", "p99", "!=", 1.0)
+    with pytest.raises(ConfigurationError, match="series"):
+        SloRule("r", "runs_crashed", "p99", "<=", 1.0)
+    with pytest.raises(ConfigurationError, match="scalar"):
+        SloRule("r", "excess_c", "value", "<=", 1.0)
+    with pytest.raises(ConfigurationError, match="scoped"):
+        SloRule("r", "runs_crashed", "value", "==", 0.0, policy="none")
+    with pytest.raises(ConfigurationError, match="on_empty"):
+        SloRule("r", "excess_c", "p99", "<=", 1.0, on_empty="warn")
+
+
+def test_rule_describe():
+    rule = SloRule("r", "excess_c", "p99", "<=", 0.25, policy="proposed")
+    assert rule.describe() == "p99(excess_c) <= 0.25 [policy=proposed]"
+    assert SloRule("r", "runs_crashed", "value", "==", 0.0).describe() == (
+        "value(runs_crashed) == 0"
+    )
+
+
+def test_rule_aggregations_evaluate():
+    agg = aggregate(excesses=[0.0, 1.0, 2.0, 3.0])
+    cases = {
+        "min": 0.0, "max": 3.0, "mean": 1.5, "count": 4.0,
+        "p50": 1.0, "p90": 3.0, "p99": 3.0,
+    }
+    for name, expected in cases.items():
+        outcome = SloRule("r", "excess_c", name, "==", expected).evaluate(agg)
+        assert outcome.ok, f"{name}: {outcome.detail}"
+        assert outcome.observed == expected
+
+
+def test_rule_scoping_and_empty_series():
+    agg = aggregate(excesses=[5.0], policy="none")
+    scoped = SloRule("r", "excess_c", "p99", "<=", 1.0, policy="proposed")
+    outcome = scoped.evaluate(agg)
+    assert not outcome.ok  # default on_empty="breach"
+    assert outcome.observed is None
+    assert "no matching runs" in outcome.detail
+    lenient = SloRule("r", "excess_c", "p99", "<=", 1.0,
+                      policy="proposed", on_empty="pass")
+    assert lenient.evaluate(agg).ok
+    # count() of an empty scope is 0, not an empty-series outcome.
+    counting = SloRule("r", "excess_c", "count", "==", 0.0,
+                       policy="proposed")
+    assert counting.evaluate(agg).ok
+
+
+def test_scalar_rule():
+    rule = SloRule("r", "runs_crashed", "value", "==", 0.0)
+    assert rule.evaluate(aggregate(excesses=[0.0])).ok
+    assert not rule.evaluate(aggregate(excesses=[0.0], crashed=1)).ok
+
+
+def test_rule_round_trip():
+    rule = SloRule("r", "excess_c", "p90", "<", 2.0, platform="nexus6p",
+                   on_empty="pass")
+    assert SloRule.from_dict(rule.to_dict()) == rule
+    with pytest.raises(ConfigurationError, match="unknown SloRule field"):
+        SloRule.from_dict({**rule.to_dict(), "bogus": 1})
+
+
+# ------------------------------------------------------------------- specs
+
+
+def test_spec_validation():
+    with pytest.raises(ConfigurationError, match="at least one rule"):
+        SloSpec(name="empty")
+    rule = SloRule("dup", "excess_c", "p99", "<=", 1.0)
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        SloSpec(name="dups", rules=(rule, rule))
+
+
+def test_spec_evaluate_and_report():
+    spec = SloSpec(name="s", rules=(
+        SloRule("tight", "excess_c", "p99", "<=", 0.5),
+        SloRule("loose", "excess_c", "p99", "<=", 100.0),
+    ))
+    report = spec.evaluate(aggregate(excesses=[2.0]))
+    assert not report.ok
+    assert [o.rule.name for o in report.breaches] == ["tight"]
+    text = report.render_text()
+    assert "[FAIL] tight" in text and "[ok ] loose" in text
+    assert text.endswith("BREACH (1 rule(s))")
+    payload = report.to_dict()
+    assert payload["ok"] is False
+    assert payload["rules"][0]["predicate"] == "p99(excess_c) <= 0.5"
+
+    passing = spec.evaluate(aggregate(excesses=[0.0]))
+    assert passing.ok and passing.render_text().endswith("PASS")
+
+
+def test_spec_round_trip():
+    spec = BUILTIN_SLOS["chaos-hardening"]
+    assert SloSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ConfigurationError, match="schema"):
+        SloSpec.from_dict({**spec.to_dict(), "schema": "bogus/1"})
+
+
+# ----------------------------------------------------------------- resolve
+
+
+def test_builtins_exist_and_pass_on_healthy_fleet():
+    assert set(BUILTIN_SLOS) == {"chaos-hardening", "fps-protection"}
+    healthy = aggregate(excesses=[0.0, 0.0])
+    assert BUILTIN_SLOS["chaos-hardening"].evaluate(healthy).ok
+    hot = aggregate(excesses=[3.0])
+    assert not BUILTIN_SLOS["chaos-hardening"].evaluate(hot).ok
+
+
+def test_resolve_slo(tmp_path):
+    spec = BUILTIN_SLOS["fps-protection"]
+    assert resolve_slo(spec) is spec
+    assert resolve_slo("fps-protection") is spec
+    assert resolve_slo(spec.to_dict()) == spec
+    path = tmp_path / "custom.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    assert resolve_slo(str(path)) == spec
+    with pytest.raises(ConfigurationError, match="unknown SLO spec"):
+        resolve_slo("no-such-spec")
+    bad = tmp_path / "bad.json"
+    bad.write_text("{nope")
+    with pytest.raises(ConfigurationError, match="not valid JSON"):
+        resolve_slo(str(bad))

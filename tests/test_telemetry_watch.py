@@ -1,0 +1,121 @@
+"""WatchView: live dashboard rendering, TTY and deterministic modes."""
+
+import io
+from types import SimpleNamespace
+
+from repro.obs.telemetry import (
+    BUILTIN_SLOS,
+    CampaignAggregator,
+    WatchView,
+    aggregate_block,
+    find_stragglers,
+)
+
+
+def scenario(policy="none"):
+    return SimpleNamespace(platform="odroid-xu3", policy=policy,
+                           t_limit_c=50.0, faults=None)
+
+
+def record(run_id, status="completed"):
+    return SimpleNamespace(run_id=run_id, status=status)
+
+
+def drive(view, runs=("1-a", "2-b"), waves=((1, 2),)):
+    """Walk a view through a tiny campaign's observer callbacks."""
+    agg = CampaignAggregator("demo")
+    view.campaign_started("demo", len(runs), agg)
+    for index, size in waves:
+        view.wave_started(index, size)
+    for run_id in runs:
+        agg.ingest(run_id, scenario(), "completed", elapsed_s=1.0,
+                   result=SimpleNamespace(peak_temp_c=45.0, fps={},
+                                          failsafe_s=0.0))
+        view.run_finished(record(run_id))
+    view.campaign_finished(SimpleNamespace(records=[]))
+    return agg
+
+
+# ------------------------------------------------------------ plain helpers
+
+
+def test_aggregate_block_counts_line():
+    agg = CampaignAggregator("demo")
+    agg.ingest("1", scenario(), "cached")
+    agg.ingest("2", scenario(), "completed", result=SimpleNamespace(
+        peak_temp_c=45.0, fps={}, failsafe_s=0.0))
+    lines = aggregate_block(agg.aggregate(merge_telemetry=False))
+    assert lines == ["  cached 1  completed 1  failed 0  pending 0"]
+
+
+def test_aggregate_block_slo_line():
+    agg = CampaignAggregator("demo")
+    agg.ingest("1", scenario(), "completed", result=SimpleNamespace(
+        peak_temp_c=58.0, fps={}, failsafe_s=0.0))  # excess 8.0: breach
+    lines = aggregate_block(agg.aggregate(merge_telemetry=False),
+                            slo=BUILTIN_SLOS["chaos-hardening"])
+    assert lines[-1] == "  SLO chaos-hardening: 3/4 ok [FAIL excess-bounded]"
+
+
+def test_find_stragglers():
+    # Nearest-rank p90 equals the max for fewer than ten samples, so a
+    # straggler can only surface once the fleet is big enough.
+    agg = CampaignAggregator("demo")
+    for i in range(10):
+        agg.ingest(f"{i:02d}", scenario(), "completed",
+                   elapsed_s=1.0 + i / 10)
+    agg.ingest("99", scenario(), "completed", elapsed_s=9.0)
+    (line,) = find_stragglers(agg.aggregate(merge_telemetry=False))
+    assert line == "99 9.00s (p90 1.90s)"
+    # Fewer than two timed runs: nothing to compare against.
+    lone = CampaignAggregator("demo")
+    lone.ingest("1", scenario(), "completed", elapsed_s=9.0)
+    assert find_stragglers(lone.aggregate(merge_telemetry=False)) == []
+
+
+# ------------------------------------------------------------------- views
+
+
+def test_no_tty_output_is_plain_and_deterministic():
+    out = io.StringIO()
+    drive(WatchView(out=out, tty=False))
+    text = out.getvalue()
+    assert "\x1b" not in text
+    assert all(line.startswith("watch: ") for line in text.splitlines())
+    assert "watch: campaign demo: 2 run(s)" in text
+    assert "watch: wave 1: 2 run(s)" in text
+    assert "watch: 1-a completed (1/2)" in text
+    assert "watch: 2-b completed (2/2)" in text
+    assert "watch: campaign demo: 2/2 resolved -- done" in text
+    # Wall times are host-dependent; the deterministic mode must not
+    # leak them (stragglers are TTY-only).
+    assert "straggler" not in text
+
+    again = io.StringIO()
+    drive(WatchView(out=again, tty=False))
+    assert again.getvalue() == text
+
+
+def test_tty_mode_redraws_in_place():
+    out = io.StringIO()
+    drive(WatchView(out=out, tty=True))
+    text = out.getvalue()
+    # First draw has no cursor movement; every redraw rewinds one block.
+    assert not text.startswith("\x1b")
+    # Each redraw rewinds the 2-line block (header + counts) and clears.
+    assert "\x1b[2F\x1b[0J" in text
+    assert text.count("resolved") >= 3  # wave + per-run + final redraws
+    assert "-- done" in text
+
+
+def test_render_reports_current_state():
+    out = io.StringIO()
+    view = WatchView(out=out, tty=False, slo=BUILTIN_SLOS["chaos-hardening"])
+    drive(view)
+    rendered = view.render()
+    assert rendered.splitlines()[0] == "campaign demo: 2/2 resolved -- done"
+    assert "SLO chaos-hardening: 4/4 ok" in rendered
+
+
+def test_tty_defaults_to_stream_isatty():
+    assert WatchView(out=io.StringIO()).tty is False
