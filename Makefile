@@ -9,11 +9,23 @@ PLATFORM_STORE ?= /tmp/repro-platform-matrix
 CHAOS_STORE ?= /tmp/repro-chaos-smoke
 TELEMETRY_STORE ?= /tmp/repro-telemetry-smoke
 
-.PHONY: lint test check campaign-smoke chaos-smoke telemetry-smoke \
-	validate-platforms
+LINT_CACHE ?= /tmp/repro-lint-cache.json
+
+.PHONY: lint lint-fast lint-full test check campaign-smoke chaos-smoke \
+	telemetry-smoke validate-platforms
 
 lint:
 	$(PYTHON) -m repro lint
+
+# Incremental + parallel: re-lints only files whose sha changed since the
+# cached pass.  For day-to-day editing loops.
+lint-fast:
+	$(PYTHON) -m repro lint --cache $(LINT_CACHE) --jobs 4
+
+# Cold and serial: what CI gates on, and what the lint-speed benchmark
+# compares the cached pass against.
+lint-full:
+	$(PYTHON) -m repro lint --jobs 1
 
 test:
 	$(PYTHON) -m pytest -x -q

@@ -34,8 +34,14 @@ class InterferenceResult:
         return (1.0 - self.contended_fps / self.solo_fps) * 100.0
 
     @property
-    def extra_heat_k(self) -> float:
-        """Peak-temperature increase caused by the background app."""
+    def extra_heat_c(self) -> float:
+        """Peak-temperature increase caused by the background app.
+
+        A difference of the two Celsius peaks, so it carries the ``_c``
+        suffix of its operands.  (The magnitude of a temperature *delta*
+        is the same in kelvin, but a ``_k``-named value invites callers
+        to apply the +273.15 affine conversion and corrupt the delta.)
+        """
         return self.contended_peak_temp_c - self.solo_peak_temp_c
 
 

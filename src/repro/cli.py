@@ -254,24 +254,36 @@ def _cmd_trace(args: argparse.Namespace) -> str:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import all_rules, run_lint, update_baseline
+    from repro.lint.cache import default_cache_path
 
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.name}")
             print(f"      {rule.rationale}")
         return 0
+    cache_path = (
+        default_cache_path() if args.cache == "" else args.cache
+    )
     report = run_lint(
         targets=args.paths or None,
         baseline_path=args.baseline,
         use_baseline=not args.no_baseline,
+        jobs=args.jobs,
+        cache_path=cache_path,
     )
     if args.update_baseline:
         count = update_baseline(report, baseline_path=args.baseline)
         print(f"baseline updated: {count} entr(ies)")
         return 0
-    print(report.render_json() if args.format == "json"
-          else report.render_text())
-    return 0 if report.ok else 1
+    if args.format == "sarif":
+        print(report.render_sarif(), end="")
+    elif args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    # Exit-code contract (docs/STATIC_ANALYSIS.md): 0 clean, 1 new
+    # findings, 2 only-stale-baseline (prune with --update-baseline).
+    return report.exit_code
 
 
 def _load_campaign_spec(args: argparse.Namespace):
@@ -643,7 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_cmd.add_argument("paths", nargs="*",
                           help="files/dirs to lint (default: the repro "
                                "package)")
-    lint_cmd.add_argument("--format", choices=("text", "json"),
+    lint_cmd.add_argument("--format", choices=("text", "json", "sarif"),
                           default="text")
     lint_cmd.add_argument("--baseline", default=None,
                           help="baseline file (default: the checked-in "
@@ -654,6 +666,15 @@ def build_parser() -> argparse.ArgumentParser:
                           help="grandfather the current findings and exit 0")
     lint_cmd.add_argument("--list-rules", action="store_true",
                           help="print the rule catalogue and exit")
+    lint_cmd.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="lint files on N worker processes "
+                               "(byte-identical to serial; default 1)")
+    lint_cmd.add_argument("--cache", nargs="?", const="", default=None,
+                          metavar="PATH",
+                          help="enable the incremental cache, optionally at "
+                               "PATH (bare --cache uses "
+                               "~/.cache/repro-lint/cache.json; omitted = "
+                               "cold run)")
     lint_cmd.set_defaults(fn=_cmd_lint)
 
     campaign_cmd = sub.add_parser("campaign")

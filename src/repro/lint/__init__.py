@@ -1,6 +1,7 @@
 """``repro.lint`` — domain-aware static analysis for this reproduction.
 
-Four rule families guard the invariants the physics depends on:
+Eight rule families guard the invariants the physics depends on.  Four
+are per-file pattern checks:
 
 * **R1 units** — all kelvin/millidegree/kHz conversions go through
   :mod:`repro.units` (no ad-hoc ``* 1000`` / ``273.15`` arithmetic);
@@ -11,8 +12,22 @@ Four rule families guard the invariants the physics depends on:
 * **R4 float hygiene** — no exact ``==``/``!=`` between floats in the
   numerical core.
 
+Four are whole-program semantic checks, built on a project index
+(:mod:`repro.lint.index`) and a unit-dataflow pass
+(:mod:`repro.lint.dataflow`):
+
+* **R5 unit flow** — unit dimensions propagated through assignments,
+  returns and call boundaries must agree with the names they land in;
+* **R6 RNG discipline** — every generator derives from a named
+  ``RngRegistry`` stream in a declared namespace; no orphan generators;
+* **R7 contract drift** — ``to_dict``/``from_dict`` key symmetry and
+  ``repro.<family>/<n>`` wire-format version agreement;
+* **R8 metric coherence** — emitted vs declared vs documented metric
+  families (three-way diff against ``docs/OBSERVABILITY.md``).
+
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, suppression
-syntax and the baseline workflow.
+syntax, the baseline workflow, exit codes, the incremental cache and
+the parallel/SARIF modes.
 """
 
 from repro.lint.baseline import DEFAULT_BASELINE, BaselineEntry

@@ -87,12 +87,21 @@ def load(path: pathlib.Path | str) -> list[BaselineEntry]:
         )
     entries = []
     for raw in data.get("entries", []):
+        justification = raw.get("justification", "")
+        if not justification.strip():
+            # A baseline entry is a recorded decision; an entry without
+            # its "why" is indistinguishable from a swept-under bug.
+            raise ConfigurationError(
+                f"baseline {path}: entry {raw.get('rule')} at "
+                f"{raw.get('path')} has an empty justification — every "
+                "grandfathered finding must record why it is deliberate"
+            )
         entries.append(BaselineEntry(
             rule=raw["rule"],
             path=raw["path"],
             context=raw["context"],
             occurrence=int(raw.get("occurrence", 0)),
-            justification=raw.get("justification", ""),
+            justification=justification,
         ))
     return entries
 

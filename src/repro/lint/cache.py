@@ -1,0 +1,154 @@
+"""Incremental lint-result cache.
+
+Per-file findings are a pure function of (source bytes, active rules),
+so they are cached keyed by the file's sha256 and invalidated by edits
+alone — a full-repo re-lint after touching one file re-checks one file.
+Project-wide rules (R5–R8) see the whole program, so their findings are
+keyed by the :meth:`ProjectContext.fingerprint` — any file or consulted
+document changing re-runs them all.
+
+The cache file is plain JSON.  A version bump, a different rule
+selection, or rule-logic changes (tracked by :data:`CACHE_SALT`) drop
+the whole cache rather than attempt migration; correctness never
+depends on the cache, only speed does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.finding import Finding
+
+_CACHE_VERSION = 1
+
+#: Bump when rule logic changes in a way sha-keyed entries cannot see.
+CACHE_SALT = "r1-r8/1"
+
+
+def default_cache_path() -> pathlib.Path:
+    """Per-user default cache location (created on first save)."""
+    return pathlib.Path.home() / ".cache" / "repro-lint" / "cache.json"
+
+
+def rules_fingerprint(rule_ids: Iterable[str]) -> str:
+    """Identity of one rule selection (plus the logic-version salt)."""
+    digest = hashlib.sha256(CACHE_SALT.encode("ascii"))
+    for rule_id in sorted(rule_ids):
+        digest.update(rule_id.encode("ascii"))
+    return digest.hexdigest()
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def _finding_from_json(raw: dict) -> Finding:
+    return Finding(
+        rule=raw["rule"],
+        path=raw["path"],
+        line=int(raw["line"]),
+        col=int(raw["col"]),
+        message=raw["message"],
+        snippet=raw.get("snippet", ""),
+    )
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters surfaced on the lint report."""
+
+    file_hits: int = 0
+    file_misses: int = 0
+    project_hit: bool = False
+
+
+@dataclass
+class LintCache:
+    """One cache file bound to one rule selection."""
+
+    path: pathlib.Path
+    fingerprint: str
+    files: dict = field(default_factory=dict)  # relpath -> {sha, findings}
+    project: dict | None = None  # {key, findings}
+    _dirty: bool = field(default=False, repr=False)
+
+    @classmethod
+    def open(
+        cls, path: pathlib.Path | str, rule_ids: Iterable[str]
+    ) -> "LintCache":
+        """Load ``path`` if it matches this rule selection, else start empty."""
+        path = pathlib.Path(path)
+        fingerprint = rules_fingerprint(rule_ids)
+        cache = cls(path=path, fingerprint=fingerprint)
+        if not path.exists():
+            return cache
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            return cache  # unreadable cache == cold cache
+        if (
+            data.get("version") != _CACHE_VERSION
+            or data.get("rules") != fingerprint
+        ):
+            return cache
+        cache.files = data.get("files", {})
+        cache.project = data.get("project")
+        return cache
+
+    # ------------------------------------------------------------ per-file
+
+    def get_file(self, relpath: str, sha256: str) -> list[Finding] | None:
+        entry = self.files.get(relpath)
+        if entry is None or entry.get("sha") != sha256:
+            return None
+        return [_finding_from_json(raw) for raw in entry["findings"]]
+
+    def put_file(
+        self, relpath: str, sha256: str, findings: Sequence[Finding]
+    ) -> None:
+        self.files[relpath] = {
+            "sha": sha256,
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+    # ------------------------------------------------------- project-wide
+
+    def get_project(self, key: str) -> list[Finding] | None:
+        if self.project is None or self.project.get("key") != key:
+            return None
+        return [_finding_from_json(raw) for raw in self.project["findings"]]
+
+    def put_project(self, key: str, findings: Sequence[Finding]) -> None:
+        self.project = {
+            "key": key,
+            "findings": [_finding_to_json(f) for f in findings],
+        }
+        self._dirty = True
+
+    # -------------------------------------------------------- persistence
+
+    def save(self) -> None:
+        """Write the cache back (no-op when nothing changed)."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": _CACHE_VERSION,
+            "rules": self.fingerprint,
+            "files": {k: self.files[k] for k in sorted(self.files)},
+            "project": self.project,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(payload, indent=2) + "\n")
+        self._dirty = False

@@ -1,0 +1,298 @@
+"""Unit-dimension abstract interpretation over the project index.
+
+The R1 rules catch unit bugs a single expression betrays (a ``* 1000``
+next to a ``_khz`` name).  This pass catches the ones that *cross*
+statements and files: a value born as millidegrees in one function
+flowing, through assignments, returns and call boundaries, into a
+parameter whose name says Celsius.
+
+The abstract domain is deliberately tiny: a value is either a known
+``(dimension, unit)`` tag — the vocabulary of
+:mod:`repro.lint.unitconv` — or unknown.  Three sources introduce
+tags:
+
+* **parameter / variable name conventions** — ``temp_mc`` is
+  millicelsius because its suffix says so;
+* **the sanctioned converters** — a call resolved to
+  ``repro.units.kelvin_to_celsius`` *returns* Celsius whatever its
+  argument was named (:data:`CONVERTER_SIGNATURES` pins each converter's
+  input and output unit, so a converter the table does not know is a
+  test failure, not a silent hole);
+* **other functions' summaries** — computed for the whole index to a
+  fixpoint, so a chain ``a() -> b() -> temp_mc`` still types ``a()``.
+
+Propagation is a single forward pass per function over assignments and
+returns (loops and reassignment joins collapse to unknown — lint must
+never be *wrong*, so every ambiguity widens).  Mismatches are only
+reported when both sides carry a *known* tag.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.lint.index import FunctionInfo, ModuleInfo, ProjectIndex
+from repro.lint.unitconv import UnitTag, unit_suffix
+
+#: Input/output units of every ``repro.units`` converter, keyed by bare
+#: function name.  ``tests/test_lint_dataflow.py`` asserts this table
+#: covers every public function of :mod:`repro.units`, so adding a
+#: converter without teaching the analyzer fails the suite.
+CONVERTER_SIGNATURES: dict[str, tuple[tuple[str, str], tuple[str, str]]] = {
+    # name: ((in dimension, in unit), (out dimension, out unit))
+    "celsius_to_kelvin": (("temperature", "celsius"), ("temperature", "kelvin")),
+    "kelvin_to_celsius": (("temperature", "kelvin"), ("temperature", "celsius")),
+    "kelvin_to_millicelsius": (
+        ("temperature", "kelvin"), ("temperature", "millicelsius")),
+    "millicelsius_to_kelvin": (
+        ("temperature", "millicelsius"), ("temperature", "kelvin")),
+    "celsius_to_millicelsius": (
+        ("temperature", "celsius"), ("temperature", "millicelsius")),
+    "millicelsius_to_celsius": (
+        ("temperature", "millicelsius"), ("temperature", "celsius")),
+    "hz_to_khz": (("frequency", "hertz"), ("frequency", "kilohertz")),
+    "khz_to_hz": (("frequency", "kilohertz"), ("frequency", "hertz")),
+    # mhz() *expresses megahertz in hertz* — its name suffix lies, which
+    # is exactly why the table, not the convention, is authoritative.
+    "mhz": (("frequency", "megahertz"), ("frequency", "hertz")),
+    "hz_to_mhz": (("frequency", "hertz"), ("frequency", "megahertz")),
+    "khz_to_mhz": (("frequency", "kilohertz"), ("frequency", "megahertz")),
+    "seconds_to_milliseconds": (("time", "seconds"), ("time", "milliseconds")),
+    "milliseconds_to_seconds": (("time", "milliseconds"), ("time", "seconds")),
+    "seconds_to_microseconds": (("time", "seconds"), ("time", "microseconds")),
+    "microseconds_to_seconds": (("time", "microseconds"), ("time", "seconds")),
+    "watts_to_microwatts": (("power", "watts"), ("power", "microwatts")),
+    "microwatts_to_watts": (("power", "microwatts"), ("power", "watts")),
+    "joules_to_millijoules": (("energy", "joules"), ("energy", "millijoules")),
+    "millijoules_to_joules": (("energy", "millijoules"), ("energy", "joules")),
+}
+
+#: Module whose functions the signature table describes.
+UNITS_MODULE_SUFFIX = "units"
+
+#: Builtins transparent to units: the result has its argument's unit.
+_TRANSPARENT_CALLS = frozenset({"int", "float", "round", "abs", "min", "max"})
+
+
+def _tag(dimension: str, unit: str) -> UnitTag:
+    return UnitTag(suffix="", dimension=dimension, unit=unit)
+
+
+def _join(a: UnitTag | None, b: UnitTag | None) -> UnitTag | None:
+    """Lattice join: equal units survive, anything else widens to None."""
+    if a is None or b is None:
+        return None
+    if (a.dimension, a.unit) == (b.dimension, b.unit):
+        return a
+    return None
+
+
+def converter_units(func: FunctionInfo) -> tuple[UnitTag, UnitTag] | None:
+    """(input, output) tags when ``func`` is a sanctioned converter."""
+    if func.class_name is not None:
+        return None
+    last = func.module.rpartition(".")[2]
+    if last != UNITS_MODULE_SUFFIX:
+        return None
+    sig = CONVERTER_SIGNATURES.get(func.name)
+    if sig is None:
+        return None
+    (in_dim, in_unit), (out_dim, out_unit) = sig
+    return _tag(in_dim, in_unit), _tag(out_dim, out_unit)
+
+
+@dataclass
+class FunctionSummary:
+    """What unit analysis knows about one function's boundary."""
+
+    func: FunctionInfo
+    #: Parameter name -> tag, for parameters whose names carry a suffix.
+    param_units: dict[str, UnitTag] = field(default_factory=dict)
+    #: Join of every return expression's inferred tag (None = unknown).
+    return_unit: UnitTag | None = None
+
+
+class UnitEnv:
+    """Name -> tag environment for one function body."""
+
+    def __init__(self, seed: Mapping[str, UnitTag] | None = None) -> None:
+        self._env: dict[str, UnitTag | None] = dict(seed or {})
+
+    def get(self, name: str) -> UnitTag | None:
+        if name in self._env:
+            return self._env[name]
+        return unit_suffix(name)
+
+    def set(self, name: str, tag: UnitTag | None) -> None:
+        if name in self._env:
+            # A name bound twice only keeps a tag both bindings agree on.
+            self._env[name] = _join(self._env[name], tag)
+        else:
+            self._env[name] = tag
+
+
+class UnitAnalysis:
+    """Project-wide unit inference: summaries plus per-expression typing."""
+
+    def __init__(self, index: ProjectIndex, rounds: int = 3) -> None:
+        self.index = index
+        self.summaries: dict[int, FunctionSummary] = {}
+        for func in index.iter_functions():
+            self.summaries[id(func.node)] = FunctionSummary(
+                func=func,
+                param_units={
+                    p: tag
+                    for p in (*func.params, *func.kwonly)
+                    if (tag := unit_suffix(p)) is not None
+                },
+            )
+        # Fixpoint over return-unit summaries: each round may type more
+        # call results from the previous round's summaries.  Three rounds
+        # close any realistic chain; the loop stops early when stable.
+        for _ in range(rounds):
+            changed = False
+            for func in index.iter_functions():
+                summary = self.summaries[id(func.node)]
+                inferred = self._infer_return(func)
+                if self._tag_key(inferred) != self._tag_key(summary.return_unit):
+                    summary.return_unit = inferred
+                    changed = True
+            if not changed:
+                break
+
+    @staticmethod
+    def _tag_key(tag: UnitTag | None) -> tuple | None:
+        return None if tag is None else (tag.dimension, tag.unit)
+
+    def summary_for(self, func: FunctionInfo) -> FunctionSummary:
+        """The (possibly empty) summary of a function.
+
+        Synthesized functions (dataclass constructors) are not in the
+        fixpoint table; they get a fresh suffix-only summary — their
+        "return value" is an object, never a unit-carrying number.
+        """
+        summary = self.summaries.get(id(func.node))
+        if summary is not None:
+            return summary
+        return FunctionSummary(
+            func=func,
+            param_units={
+                p: tag
+                for p in (*func.params, *func.kwonly)
+                if (tag := unit_suffix(p)) is not None
+            },
+        )
+
+    # --------------------------------------------------------- environments
+
+    def build_env(self, func: FunctionInfo) -> UnitEnv:
+        """Forward pass over ``func``'s body, binding assigned names."""
+        env = UnitEnv(self.summary_for(func).param_units)
+        module = self.index.modules[func.module]
+        for stmt in ast.walk(func.node):
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    env.set(target.id, self.infer(stmt.value, env, module,
+                                                  func.class_name))
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    env.set(stmt.target.id, self.infer(stmt.value, env, module,
+                                                       func.class_name))
+        return env
+
+    def _infer_return(self, func: FunctionInfo) -> UnitTag | None:
+        env = self.build_env(func)
+        module = self.index.modules[func.module]
+        returned: list[UnitTag | None] = []
+        for node in ast.walk(func.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                returned.append(
+                    self.infer(node.value, env, module, func.class_name)
+                )
+        if not returned:
+            return None
+        out = returned[0]
+        for tag in returned[1:]:
+            out = _join(out, tag)
+        return out
+
+    # ------------------------------------------------------------ inference
+
+    def infer(
+        self,
+        node: ast.AST,
+        env: UnitEnv,
+        module: ModuleInfo,
+        enclosing_class: str | None = None,
+    ) -> UnitTag | None:
+        """Tag of one expression, or None when not provable."""
+        if isinstance(node, ast.Name):
+            return env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return unit_suffix(node.attr)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env, module, enclosing_class)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub)
+        ):
+            left = self.infer(node.left, env, module, enclosing_class)
+            right = self.infer(node.right, env, module, enclosing_class)
+            if left is not None and right is not None:
+                return _join(left, right)
+            # x + 5.0 keeps x's unit; a unit-changing scale is R102's beat.
+            if isinstance(node.right, ast.Constant):
+                return left
+            if isinstance(node.left, ast.Constant):
+                return right
+            return None
+        if isinstance(node, ast.IfExp):
+            return _join(
+                self.infer(node.body, env, module, enclosing_class),
+                self.infer(node.orelse, env, module, enclosing_class),
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self.infer(node.operand, env, module, enclosing_class)
+        return None
+
+    def _infer_call(
+        self,
+        node: ast.Call,
+        env: UnitEnv,
+        module: ModuleInfo,
+        enclosing_class: str | None,
+    ) -> UnitTag | None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _TRANSPARENT_CALLS
+            and node.args
+        ):
+            # Numeric literals are transparent, as in BinOp: the common
+            # ``max(0.0, temp_c)`` clamp keeps the variable's unit.
+            tags = [
+                self.infer(a, env, module, enclosing_class)
+                for a in node.args
+                if not isinstance(a, ast.Constant)
+            ]
+            if not tags:
+                return None
+            out = tags[0]
+            for tag in tags[1:]:
+                out = _join(out, tag)
+            return out
+        callee = self.index.resolve_call(module, node, enclosing_class)
+        if callee is not None:
+            units = converter_units(callee)
+            if units is not None:
+                return units[1]
+            return self.summary_for(callee).return_unit
+        # Unresolvable call: fall back to the callee name's own suffix
+        # (``sensor.read_millicelsius()`` is millicelsius by convention).
+        func_name = None
+        if isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+        elif isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        return unit_suffix(func_name)

@@ -7,11 +7,30 @@ Usage (programmatic)::
     assert report.ok, report.render_text()
 
 The CLI (``repro lint``) is a thin wrapper in ``repro.cli``.
+
+The engine runs two kinds of rules.  Per-file rules see one
+:class:`FileContext` at a time; they are cached per file (keyed by
+source sha256) and can run in a ``ProcessPoolExecutor`` (``jobs > 1``)
+with byte-identical output, because each file's findings are a pure
+function of its bytes.  Project rules
+(:class:`~repro.lint.project.ProjectRule`, the R5–R8 families) run once
+over the whole-program index in the parent process, and are cached
+against the index fingerprint.
+
+Exit-code contract (``LintReport.exit_code``):
+
+* ``0`` — clean: no new findings, no stale baseline entries;
+* ``1`` — new findings (with or without stale entries);
+* ``2`` — *only* stale baseline entries: the code is clean but the
+  baseline lists findings that no longer occur, so it must be pruned
+  (``--update-baseline``) before the run is trustworthy again.
 """
 
 from __future__ import annotations
 
 import ast
+import concurrent.futures
+import hashlib
 import json
 import pathlib
 import re
@@ -21,8 +40,11 @@ from typing import Iterable, Sequence
 import repro
 from repro.errors import ConfigurationError
 from repro.lint import baseline as baseline_mod
+from repro.lint.cache import CacheStats, LintCache
 from repro.lint.finding import Finding
+from repro.lint.project import ProjectRule, build_project_context
 from repro.lint.rules import FileContext, Rule, all_rules
+from repro.lint.sarif import render_sarif
 
 # Suppression comment grammar (always a trailing comment, hash elided
 # here so the engine does not match its own documentation):
@@ -35,6 +57,11 @@ _SUPPRESS_RE = re.compile(
 )
 
 _FILE_SCOPE_LINES = 10
+
+#: Stable total order on findings — including the message, so two
+#: findings on one (line, col) from one rule cannot reorder between
+#: serial and parallel runs.
+_FINDING_ORDER = lambda f: (f.path, f.line, f.col, f.rule, f.message)  # noqa: E731
 
 
 def package_root() -> pathlib.Path:
@@ -98,11 +125,21 @@ class LintReport:
     stale_baseline: list = field(default_factory=list)
     files_scanned: int = 0
     rules_run: list = field(default_factory=list)
+    cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def ok(self) -> bool:
         """True when nothing requires action (exit code 0)."""
         return not self.new and not self.stale_baseline
+
+    @property
+    def exit_code(self) -> int:
+        """0 clean / 1 new findings / 2 only-stale-baseline."""
+        if self.new:
+            return 1
+        if self.stale_baseline:
+            return 2
+        return 0
 
     def render_text(self) -> str:
         lines = []
@@ -131,9 +168,20 @@ class LintReport:
                 "new": len(self.new),
                 "baselined": len(self.baselined),
                 "stale_baseline": len(self.stale_baseline),
+                "cache_file_hits": self.cache.file_hits,
+                "cache_file_misses": self.cache.file_misses,
+                "cache_project_hit": self.cache.project_hit,
                 "ok": self.ok,
+                "exit_code": self.exit_code,
             },
         }, indent=2)
+
+    def render_sarif(self) -> str:
+        from repro.lint.rules import get_rule
+
+        return render_sarif(
+            self, [get_rule(rule_id) for rule_id in self.rules_run]
+        )
 
 
 def _iter_py_files(root: pathlib.Path) -> Iterable[pathlib.Path]:
@@ -151,9 +199,11 @@ def lint_file(
     relpath: str,
     rules: Sequence[Rule],
     services: dict,
+    source: str | None = None,
 ) -> list[Finding]:
     """Run ``rules`` over one file, honouring suppression comments."""
-    source = path.read_text()
+    if source is None:
+        source = path.read_text()
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
@@ -170,7 +220,68 @@ def lint_file(
         for finding in rule.check(ctx):
             if not suppressions.suppresses(finding):
                 findings.append(finding)
-    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    findings.sort(key=_FINDING_ORDER)
+    return findings
+
+
+# Worker-process state for the parallel mode: installed once per worker
+# by the pool initialiser so rule objects and shared services (the sysfs
+# authority) are not re-built per file.
+_WORKER: dict = {}
+
+
+def _pool_init(rule_ids: Sequence[str], services: dict) -> None:
+    from repro.lint.rules import get_rule
+
+    _WORKER["rules"] = [get_rule(rule_id) for rule_id in rule_ids]
+    _WORKER["services"] = dict(services)
+
+
+def _pool_lint(job: tuple[str, str]) -> tuple[str, list[Finding]]:
+    path_str, relpath = job
+    findings = lint_file(
+        pathlib.Path(path_str), relpath, _WORKER["rules"], _WORKER["services"]
+    )
+    return relpath, findings
+
+
+def _sha256_text(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _run_project_rules(
+    root: pathlib.Path,
+    files: Sequence[tuple[pathlib.Path, str]],
+    project_rules: Sequence[ProjectRule],
+    services: dict,
+    cache: LintCache | None,
+    stats: CacheStats,
+    docs_dir: pathlib.Path | None,
+) -> list[Finding]:
+    """Run the whole-program families over one root (cached as a unit)."""
+    pctx = build_project_context(root, files, docs_dir, services)
+    key = pctx.fingerprint()
+    if cache is not None:
+        cached = cache.get_project(key)
+        if cached is not None:
+            stats.project_hit = True
+            return cached
+    suppressions: dict[str, _Suppressions] = {}
+    findings: list[Finding] = []
+    for rule in sorted(project_rules, key=lambda r: r.id):
+        for finding in rule.check_project(pctx):
+            module = pctx.index.by_relpath.get(finding.path)
+            if module is not None:
+                if finding.path not in suppressions:
+                    suppressions[finding.path] = _collect_suppressions(
+                        module.lines
+                    )
+                if suppressions[finding.path].suppresses(finding):
+                    continue
+            findings.append(finding)
+    findings.sort(key=_FINDING_ORDER)
+    if cache is not None:
+        cache.put_project(key, findings)
     return findings
 
 
@@ -179,31 +290,95 @@ def run_lint(
     rules: Sequence[Rule] | None = None,
     baseline_path: str | pathlib.Path | None = None,
     use_baseline: bool = True,
+    jobs: int = 1,
+    cache_path: str | pathlib.Path | None = None,
+    docs_dir: str | pathlib.Path | None = None,
 ) -> LintReport:
     """Lint ``targets`` (default: the ``repro`` package) and reconcile.
 
     ``relpath``s — the identity used by scoping and the baseline — are
     taken relative to each target root, so the default scan yields paths
     like ``core/governor.py`` regardless of checkout location.
+
+    ``jobs > 1`` fans the per-file pass over a process pool; output is
+    byte-identical to serial because findings are a pure per-file
+    function and the merge order is a total order.  ``cache_path``
+    enables the incremental cache (per-file results keyed by sha256,
+    project-wide results keyed by the index fingerprint).
     """
     active_rules = list(rules) if rules is not None else all_rules()
+    file_rules = [r for r in active_rules if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active_rules if isinstance(r, ProjectRule)]
     roots = (
         [pathlib.Path(t).resolve() for t in targets]
         if targets else [package_root()]
     )
+    docs_override = pathlib.Path(docs_dir) if docs_dir is not None else None
+    cache = (
+        LintCache.open(cache_path, [r.id for r in active_rules])
+        if cache_path is not None else None
+    )
     services: dict = {}
-    report = LintReport(rules_run=[r.id for r in active_rules])
-    raw_findings: list[Finding] = []
+    report = LintReport(rules_run=sorted(r.id for r in active_rules))
+    findings_by_relpath: dict[str, list[Finding]] = {}
+    to_lint: list[tuple[pathlib.Path, str, str]] = []  # path, relpath, source
+    root_files: list[tuple[pathlib.Path, list]] = []
+
     for root in roots:
         if not root.exists():
             raise ConfigurationError(f"lint target {root} does not exist")
         base = root if root.is_dir() else root.parent
+        files: list[tuple[pathlib.Path, str]] = []
         for path in _iter_py_files(root):
             relpath = path.relative_to(base).as_posix()
-            raw_findings.extend(
-                lint_file(path, relpath, active_rules, services)
-            )
+            files.append((path, relpath))
             report.files_scanned += 1
+            source = path.read_text()
+            if cache is not None:
+                cached = cache.get_file(relpath, _sha256_text(source))
+                if cached is not None:
+                    report.cache.file_hits += 1
+                    findings_by_relpath[relpath] = cached
+                    continue
+            report.cache.file_misses += 1
+            to_lint.append((path, relpath, source))
+        root_files.append((root, files))
+
+    if to_lint and jobs > 1:
+        # Shared services must exist before the fork: workers cannot
+        # build cross-file state (and must not, N times over).
+        for rule in file_rules:
+            rule.prepare(services)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_pool_init,
+            initargs=([r.id for r in file_rules], services),
+        ) as pool:
+            jobs_in = [(str(path), relpath) for path, relpath, _ in to_lint]
+            for relpath, findings in pool.map(_pool_lint, jobs_in):
+                findings_by_relpath[relpath] = findings
+    else:
+        for path, relpath, source in to_lint:
+            findings_by_relpath[relpath] = lint_file(
+                path, relpath, file_rules, services, source=source
+            )
+    if cache is not None:
+        for path, relpath, source in to_lint:
+            cache.put_file(
+                relpath, _sha256_text(source), findings_by_relpath[relpath]
+            )
+
+    raw_findings: list[Finding] = []
+    for relpath in sorted(findings_by_relpath):
+        raw_findings.extend(findings_by_relpath[relpath])
+    if project_rules:
+        for root, files in root_files:
+            raw_findings.extend(_run_project_rules(
+                root, files, project_rules, services, cache,
+                report.cache, docs_override,
+            ))
+    if cache is not None:
+        cache.save()
 
     if use_baseline:
         entries = baseline_mod.load(
@@ -217,7 +392,7 @@ def run_lint(
     report.baselined = match.baselined
     report.stale_baseline = match.stale
     merged = match.new + match.baselined
-    merged.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    merged.sort(key=_FINDING_ORDER)
     report.findings = merged
     return report
 
@@ -230,7 +405,10 @@ def update_baseline(
     """Rewrite the baseline to accept ``report``'s current findings.
 
     Keeps the justifications of still-matching entries, adds entries for
-    new findings, and drops stale ones.  Returns the entry count.
+    new findings, and drops stale ones.  Output is deterministic: the
+    kept set is rewritten sorted by entry key with stable JSON
+    formatting, so two runs over the same tree produce identical bytes.
+    Returns the entry count.
     """
     path = pathlib.Path(
         baseline_path if baseline_path is not None

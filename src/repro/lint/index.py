@@ -1,0 +1,350 @@
+"""Whole-program index: modules, symbols, imports, calls.
+
+The per-file rule families (R1–R4) see one file at a time; the
+cross-module families (R5–R8) need to know what the rest of the program
+looks like.  :class:`ProjectIndex` parses every file of the scan exactly
+once and answers the three questions those rules ask:
+
+* *what does this name refer to?* — import-alias resolution plus
+  per-module symbol tables (top-level functions, classes with their
+  methods and dataclass fields);
+* *which function does this call land in?* — :meth:`resolve_call`
+  follows names, dotted module attributes, ``self.`` method calls and
+  class constructors (synthesising parameter lists for dataclasses from
+  their annotated fields);
+* *has anything changed?* — per-file sha256 digests and a project-wide
+  :meth:`fingerprint`, the cache key for the incremental engine.
+
+The index is purely syntactic: nothing is imported or executed, so it
+works identically on fixture packages in tests and on ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with what call-checking needs."""
+
+    module: str  # dotted module name, e.g. "repro.core.governor"
+    qualname: str  # "lump_platform" or "ApplicationAwareGovernor.run"
+    relpath: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    params: tuple[str, ...]  # positional-or-keyword names, self/cls dropped
+    kwonly: tuple[str, ...]
+    has_vararg: bool
+    has_kwarg: bool
+    class_name: str | None = None
+
+    @property
+    def name(self) -> str:
+        """Bare function name (last qualname segment)."""
+        return self.qualname.rpartition(".")[2]
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and (for dataclasses) its field order."""
+
+    module: str
+    name: str
+    relpath: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Annotated class-level names in declaration order — the implicit
+    #: ``__init__`` signature of a dataclass.
+    fields: tuple[str, ...] = ()
+    is_dataclass: bool = False
+
+    def constructor(self) -> FunctionInfo | None:
+        """The callable signature of ``Cls(...)``, if statically known."""
+        init = self.methods.get("__init__")
+        if init is not None:
+            return init
+        if self.is_dataclass and self.fields:
+            return FunctionInfo(
+                module=self.module,
+                qualname=f"{self.name}.__init__",
+                relpath=self.relpath,
+                node=self.node,
+                params=self.fields,
+                kwonly=(),
+                has_vararg=False,
+                has_kwarg=False,
+                class_name=self.name,
+            )
+        return None
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table and source of one indexed module."""
+
+    name: str  # dotted module name
+    relpath: str  # posix path relative to the scan root
+    path: pathlib.Path
+    sha256: str
+    tree: ast.Module
+    lines: list[str]
+    #: local alias -> dotted target: ``{"units": "repro.units",
+    #: "celsius_to_kelvin": "repro.units.celsius_to_kelvin", "np": "numpy"}``
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level ``NAME = <literal>`` assignments (simple constants).
+    constants: dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> list[str] | None:
+    """Attribute chain as parts (["np", "random", "default_rng"])."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _decorator_names(node: ast.ClassDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        dotted = _dotted(target)
+        if dotted:
+            names.add(dotted[-1])
+    return names
+
+
+def _function_info(
+    node: ast.AST, module: str, relpath: str, class_name: str | None
+) -> FunctionInfo:
+    args = node.args
+    params = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if class_name is not None and params and params[0] in ("self", "cls"):
+        params = params[1:]
+    qualname = node.name if class_name is None else f"{class_name}.{node.name}"
+    return FunctionInfo(
+        module=module,
+        qualname=qualname,
+        relpath=relpath,
+        node=node,
+        params=tuple(params),
+        kwonly=tuple(a.arg for a in args.kwonlyargs),
+        has_vararg=args.vararg is not None,
+        has_kwarg=args.kwarg is not None,
+        class_name=class_name,
+    )
+
+
+def module_name_for(relpath: str, package: str | None) -> str:
+    """Dotted module name of ``relpath`` under ``package``.
+
+    ``core/governor.py`` under package ``repro`` -> ``repro.core.governor``;
+    package ``__init__.py`` files name the package itself.
+    """
+    parts = relpath[: -len(".py")].split("/")
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    if package:
+        parts = [package] + parts
+    return ".".join(parts) if parts else (package or "")
+
+
+def index_module(
+    path: pathlib.Path, relpath: str, package: str | None
+) -> ModuleInfo:
+    """Parse and symbol-table one file (raises SyntaxError on bad source)."""
+    source = path.read_text()
+    sha = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    tree = ast.parse(source, filename=str(path))
+    name = module_name_for(relpath, package)
+    info = ModuleInfo(
+        name=name,
+        relpath=relpath,
+        path=path,
+        sha256=sha,
+        tree=tree,
+        lines=source.splitlines(),
+    )
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                # Relative imports: resolve against this module's package.
+                base = name.split(".")
+                up = node.level or 1
+                base = base[: len(base) - up] if up <= len(base) else []
+                head = ".".join(base + ([node.module] if node.module else []))
+            else:
+                head = node.module
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports[local] = f"{head}.{alias.name}" if head else alias.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = _function_info(node, name, relpath, None)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(
+                module=name,
+                name=node.name,
+                relpath=relpath,
+                node=node,
+                is_dataclass="dataclass" in _decorator_names(node),
+            )
+            fields: list[str] = []
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[stmt.name] = _function_info(
+                        stmt, name, relpath, node.name
+                    )
+                elif isinstance(stmt, ast.AnnAssign) and isinstance(
+                    stmt.target, ast.Name
+                ):
+                    fields.append(stmt.target.id)
+            cls.fields = tuple(fields)
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                info.constants[target.id] = node.value
+    return info
+
+
+class ProjectIndex:
+    """All indexed modules of one lint run, with cross-module resolution."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.by_relpath: dict[str, ModuleInfo] = {m.relpath: m for m in modules}
+
+    @classmethod
+    def build(
+        cls, files: Sequence[tuple[pathlib.Path, str]], package: str | None
+    ) -> "ProjectIndex":
+        """Index ``(path, relpath)`` pairs under the root package name."""
+        return cls([index_module(p, rel, package) for p, rel in files])
+
+    # ------------------------------------------------------------- identity
+
+    def fingerprint(self) -> str:
+        """sha256 over every (relpath, file sha) — the project cache key."""
+        digest = hashlib.sha256()
+        for relpath in sorted(self.by_relpath):
+            digest.update(relpath.encode("utf-8"))
+            digest.update(self.by_relpath[relpath].sha256.encode("ascii"))
+        return digest.hexdigest()
+
+    # ----------------------------------------------------------- resolution
+
+    def resolve_name(self, module: ModuleInfo, dotted: str):
+        """Resolve a dotted name to a FunctionInfo/ClassInfo, or None.
+
+        The first segment is looked up in the module's own symbols and
+        import aliases; the remainder walks indexed modules ("units" ->
+        "repro.units", plus ".celsius_to_kelvin" -> that function).
+        """
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        if not rest:
+            if head in module.functions:
+                return module.functions[head]
+            if head in module.classes:
+                return module.classes[head]
+        target = module.imports.get(head)
+        if target is None:
+            return None
+        full = ".".join([target] + rest)
+        return self._resolve_dotted(full)
+
+    def _resolve_dotted(self, full: str):
+        parts = full.split(".")
+        # Longest module prefix wins: "repro.units.celsius_to_kelvin"
+        # -> module "repro.units", symbol "celsius_to_kelvin".
+        for cut in range(len(parts) - 1, 0, -1):
+            mod = self.modules.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if len(rest) == 1:
+                return mod.functions.get(rest[0]) or mod.classes.get(rest[0])
+            if len(rest) == 2:
+                cls = mod.classes.get(rest[0])
+                if cls is not None:
+                    return cls.methods.get(rest[1])
+            return None
+        return None
+
+    def resolve_call(
+        self,
+        module: ModuleInfo,
+        call: ast.Call,
+        enclosing_class: str | None = None,
+    ) -> FunctionInfo | None:
+        """The FunctionInfo a call lands in, when statically resolvable.
+
+        Handles plain names, imported names, dotted module attributes,
+        ``self.method(...)`` within a known class, and constructors
+        (returning the ``__init__`` signature, synthesised for
+        dataclasses).  Unresolvable receivers return None — the rules
+        treat that as "not checkable", never as a finding.
+        """
+        parts = _dotted(call.func)
+        if parts is None:
+            return None
+        if parts[0] in ("self", "cls") and enclosing_class is not None:
+            if len(parts) == 2:
+                cls = module.classes.get(enclosing_class)
+                if cls is not None:
+                    return cls.methods.get(parts[1])
+            return None
+        resolved = self.resolve_name(module, ".".join(parts))
+        if isinstance(resolved, ClassInfo):
+            return resolved.constructor()
+        if isinstance(resolved, FunctionInfo):
+            return resolved
+        return None
+
+    # ------------------------------------------------------------ traversal
+
+    def iter_functions(self) -> Iterable[FunctionInfo]:
+        """Every indexed function and method, in stable order."""
+        for relpath in sorted(self.by_relpath):
+            module = self.by_relpath[relpath]
+            for name in sorted(module.functions):
+                yield module.functions[name]
+            for cname in sorted(module.classes):
+                cls = module.classes[cname]
+                for mname in sorted(cls.methods):
+                    yield cls.methods[mname]
+
+    def constant_string(self, module: ModuleInfo, name: str) -> str | None:
+        """Value of a module-level string constant, if ``name`` is one."""
+        node = module.constants.get(name)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+
+def detect_package(root: pathlib.Path) -> str | None:
+    """Package name the scan root represents (None for loose files).
+
+    A directory containing ``__init__.py`` is a package named after the
+    directory itself — the default scan root ``.../src/repro`` indexes as
+    package ``repro`` so that ``from repro.units import ...`` resolves.
+    """
+    if root.is_dir() and (root / "__init__.py").exists():
+        return root.name
+    return None

@@ -1,0 +1,96 @@
+"""Project-context construction for the cross-module rule families.
+
+Per-file rules (R1–R4) receive a :class:`~repro.lint.rules.FileContext`
+and can be run on any one file in isolation — which is what makes them
+cacheable and parallelisable.  The R5–R8 families instead reason about
+the *whole* program: call graphs, unit flow across modules, the metric
+catalogue versus its documentation.  They subclass
+:class:`~repro.lint.rules.ProjectRule` and receive a single
+:class:`~repro.lint.rules.ProjectContext` holding the
+:class:`~repro.lint.index.ProjectIndex`, the shared
+:class:`~repro.lint.dataflow.UnitAnalysis`, and any markdown documents
+the scan could locate (``docs/OBSERVABILITY.md`` for R8).
+
+The classes themselves live in :mod:`repro.lint.rules` (the registry
+module must not import the analysis machinery); this module supplies the
+builders the engine calls, and re-exports the classes for convenience.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from typing import Sequence
+
+from repro.lint.dataflow import UnitAnalysis
+from repro.lint.index import ProjectIndex, detect_package
+from repro.lint.rules import (  # noqa: F401  (re-exported)
+    DocFile,
+    ProjectContext,
+    ProjectRule,
+)
+
+#: Documents project rules may consult, looked up by basename.  R8 reads
+#: the observability catalogue; the list is the *search* set, a missing
+#: file simply disables the checks that need it.
+PROJECT_DOCS = ("OBSERVABILITY.md",)
+
+#: How far above the scan root to look for a ``docs/`` directory.
+_DOCS_SEARCH_DEPTH = 4
+
+
+def find_docs(
+    root: pathlib.Path, docs_dir: pathlib.Path | None = None
+) -> dict[str, DocFile]:
+    """Locate :data:`PROJECT_DOCS` near ``root`` (or in ``docs_dir``).
+
+    Without an explicit ``docs_dir``, walk up from the scan root looking
+    for a ``docs/`` directory — ``src/repro`` finds the repository's
+    ``docs/`` two levels up.  Missing documents are simply absent from
+    the result; rules degrade to the checks that need no document.
+    """
+    candidates: list[pathlib.Path] = []
+    if docs_dir is not None:
+        candidates.append(pathlib.Path(docs_dir))
+    else:
+        probe = root if root.is_dir() else root.parent
+        for _ in range(_DOCS_SEARCH_DEPTH):
+            candidates.append(probe / "docs")
+            if probe.parent == probe:
+                break
+            probe = probe.parent
+    docs: dict[str, DocFile] = {}
+    for directory in candidates:
+        if not directory.is_dir():
+            continue
+        for basename in PROJECT_DOCS:
+            path = directory / basename
+            if basename not in docs and path.is_file():
+                text = path.read_text()
+                docs[basename] = DocFile(
+                    label=f"{directory.name}/{basename}",
+                    path=path,
+                    lines=text.splitlines(),
+                    sha256=hashlib.sha256(text.encode("utf-8")).hexdigest(),
+                )
+        if docs:
+            break
+    return docs
+
+
+def build_project_context(
+    root: pathlib.Path,
+    files: Sequence[tuple[pathlib.Path, str]],
+    docs_dir: pathlib.Path | None = None,
+    services: dict | None = None,
+) -> ProjectContext:
+    """Index ``files`` under ``root`` and assemble the shared context."""
+    package = detect_package(root if root.is_dir() else root.parent)
+    index = ProjectIndex.build(files, package)
+    return ProjectContext(
+        root=root,
+        index=index,
+        analysis=UnitAnalysis(index),
+        docs=find_docs(root, docs_dir),
+        services=services if services is not None else {},
+    )

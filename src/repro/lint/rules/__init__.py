@@ -63,6 +63,14 @@ class Rule:
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         raise NotImplementedError
 
+    def prepare(self, services: dict) -> None:
+        """Populate shared ``services`` before a parallel run.
+
+        Rules that lazily build expensive cross-file state inside
+        :meth:`check` override this so the engine can build it once in
+        the parent instead of once per worker.  No-op by default.
+        """
+
     def finding(
         self, ctx: FileContext, node: ast.AST, message: str
     ) -> Finding:
@@ -77,6 +85,71 @@ class Rule:
             message=f"[{self.name}] {message}",
             snippet=ctx.snippet(line),
         )
+
+
+@dataclass
+class DocFile:
+    """One markdown document available to project rules."""
+
+    label: str  # path label used in findings, e.g. "docs/OBSERVABILITY.md"
+    path: object  # pathlib.Path
+    lines: list
+    sha256: str
+
+
+@dataclass
+class ProjectContext:
+    """Everything a project-wide rule may inspect.
+
+    Built by :func:`repro.lint.project.build_project_context`; ``index``
+    is a :class:`repro.lint.index.ProjectIndex` and ``analysis`` a
+    :class:`repro.lint.dataflow.UnitAnalysis` (typed loosely here so the
+    registry module never imports the analysis machinery — that import
+    direction is what keeps the rule/dataflow graph acyclic).
+    """
+
+    root: object  # pathlib.Path of the scan root
+    index: object
+    analysis: object
+    docs: dict = field(default_factory=dict)  # basename -> DocFile
+    services: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        """Cache key: changes iff the index or a consulted doc changes."""
+        import hashlib
+
+        digest = hashlib.sha256(self.index.fingerprint().encode("ascii"))
+        for basename in sorted(self.docs):
+            digest.update(basename.encode("utf-8"))
+            digest.update(self.docs[basename].sha256.encode("ascii"))
+        return digest.hexdigest()
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole project, not per file.
+
+    ``applies_to`` is False for every file so the per-file loop skips
+    these; the engine dispatches them through :meth:`check_project`.
+    """
+
+    def applies_to(self, relpath: str) -> bool:
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def skip_relpath(self, relpath: str) -> bool:
+        """Prefix scoping for project findings (reuses include/exclude)."""
+        if any(relpath == e or relpath.startswith(e) for e in self.exclude):
+            return True
+        if self.include and not any(
+            relpath == i or relpath.startswith(i) for i in self.include
+        ):
+            return True
+        return False
 
 
 _REGISTRY: dict[str, Rule] = {}
@@ -106,8 +179,13 @@ def get_rule(rule_id: str) -> Rule:
 
 
 # Importing the family modules populates the registry.  Keep this at the
-# bottom so the modules can import the names above.
+# bottom so the modules can import the names above.  interproc_units must
+# precede the other project families (they reuse its finding helper).
 from repro.lint.rules import determinism as _determinism  # noqa: E402,F401
 from repro.lint.rules import float_eq as _float_eq  # noqa: E402,F401
+from repro.lint.rules import interproc_units as _interproc  # noqa: E402,F401
+from repro.lint.rules import metric_coherence as _metrics  # noqa: E402,F401
+from repro.lint.rules import rng_streams as _rng  # noqa: E402,F401
+from repro.lint.rules import serialization as _serial  # noqa: E402,F401
 from repro.lint.rules import sysfs_contract as _sysfs  # noqa: E402,F401
 from repro.lint.rules import units as _units  # noqa: E402,F401

@@ -1,0 +1,205 @@
+"""R5 family — inter-procedural unit mismatches.
+
+The R1 rules look at one expression; these look at *flow*.  A value
+typed millicelsius by the dataflow pass (:mod:`repro.lint.dataflow`)
+that arrives in a parameter whose name says Celsius is exactly the class
+of bug the paper's thermal pipeline cannot survive — the governor would
+compare 52 000 against a 75-degree limit and conclude the SoC is on
+fire (or never throttle at all, in the m°C-vs-°C direction).
+
+Every check fires only when *both* sides carry a known unit tag; any
+ambiguity (unresolvable call, mixed reassignment, arithmetic that could
+be a deliberate rescale) widens to unknown and stays silent.  The goal
+is zero false positives, accepting false negatives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.dataflow import converter_units
+from repro.lint.finding import Finding
+from repro.lint.index import FunctionInfo, ModuleInfo
+from repro.lint.rules import ProjectContext, ProjectRule
+from repro.lint.rules import register
+from repro.lint.rules.common import UnitTag, unit_suffix
+
+
+def _tags_differ(a: UnitTag, b: UnitTag) -> bool:
+    return (a.dimension, a.unit) != (b.dimension, b.unit)
+
+
+def _describe(tag: UnitTag) -> str:
+    return f"{tag.unit} ({tag.dimension})"
+
+
+class _ProjectFinding:
+    """Mixin building findings from index positions (no FileContext)."""
+
+    def project_finding(
+        self, module: ModuleInfo, node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(module.lines):
+            snippet = module.lines[line - 1].strip()
+        return Finding(
+            rule=self.id,
+            path=module.relpath,
+            line=line,
+            col=col,
+            message=f"[{self.name}] {message}",
+            snippet=snippet,
+        )
+
+
+def _iter_checked_functions(pctx: ProjectContext, rule: ProjectRule):
+    for func in pctx.index.iter_functions():
+        if rule.skip_relpath(func.relpath):
+            continue
+        yield func, pctx.index.modules[func.module]
+
+
+class CallArgUnitRule(_ProjectFinding, ProjectRule):
+    """R501: argument unit disagrees with the callee parameter's unit."""
+
+    id = "R501"
+    name = "call-arg-unit-mismatch"
+    rationale = (
+        "A millidegree value flowing into a Celsius-typed parameter "
+        "across a call boundary silently scales the physics by 1000x; "
+        "the per-expression R1 checks cannot see across files."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        for func, module in _iter_checked_functions(pctx, self):
+            env = pctx.analysis.build_env(func)
+            for call in ast.walk(func.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                callee = pctx.index.resolve_call(
+                    module, call, func.class_name
+                )
+                if callee is None:
+                    continue
+                for arg_node, param, expected in self._expectations(
+                    call, callee
+                ):
+                    actual = pctx.analysis.infer(
+                        arg_node, env, module, func.class_name
+                    )
+                    if actual is None or not _tags_differ(actual, expected):
+                        continue
+                    yield self.project_finding(
+                        module, arg_node,
+                        f"argument to {callee.qualname}({param}=...) is "
+                        f"{_describe(actual)} but the parameter expects "
+                        f"{_describe(expected)}",
+                    )
+
+    @staticmethod
+    def _expectations(call: ast.Call, callee: FunctionInfo):
+        """Yield (arg node, param name, expected tag) for checkable args."""
+        converter = converter_units(callee)
+        param_tags: dict[str, UnitTag] = {}
+        if converter is not None and callee.params:
+            param_tags[callee.params[0]] = converter[0]
+        else:
+            for p in (*callee.params, *callee.kwonly):
+                tag = unit_suffix(p)
+                if tag is not None:
+                    param_tags[p] = tag
+        if not param_tags:
+            return
+        for pos, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                return  # positions past a * are unknowable
+            if pos >= len(callee.params):
+                break
+            expected = param_tags.get(callee.params[pos])
+            if expected is not None:
+                yield arg, callee.params[pos], expected
+        for kw in call.keywords:
+            if kw.arg is None:
+                continue  # ** expansion never matches by name statically
+            expected = param_tags.get(kw.arg)
+            if expected is not None:
+                yield kw.value, kw.arg, expected
+
+
+class ReturnUnitRule(_ProjectFinding, ProjectRule):
+    """R502: inferred return unit disagrees with the function's name."""
+
+    id = "R502"
+    name = "return-unit-mismatch"
+    rationale = (
+        "A function named read_temp_c whose body provably returns "
+        "millicelsius poisons every caller that trusts the name; the "
+        "name is the only unit contract Python gives us."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        for func, module in _iter_checked_functions(pctx, self):
+            if converter_units(func) is not None:
+                # Sanctioned converters are typed by the signature table
+                # (mhz() legitimately returns hertz despite its name).
+                continue
+            declared = unit_suffix(func.name)
+            if declared is None:
+                continue
+            inferred = pctx.analysis.summary_for(func).return_unit
+            if inferred is None or not _tags_differ(inferred, declared):
+                continue
+            yield self.project_finding(
+                module, func.node,
+                f"{func.qualname} is named {_describe(declared)} but its "
+                f"return value is {_describe(inferred)}",
+            )
+
+
+class AssignUnitRule(_ProjectFinding, ProjectRule):
+    """R503: unit-suffixed variable bound to a different unit's value."""
+
+    id = "R503"
+    name = "assign-unit-mismatch"
+    rationale = (
+        "temp_c = sensor.read_millicelsius() type-launders a raw sysfs "
+        "value into a Celsius-named variable; every later use of the "
+        "name now lies, and only flow analysis sees the origin."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        for func, module in _iter_checked_functions(pctx, self):
+            env = pctx.analysis.build_env(func)
+            for stmt in ast.walk(func.node):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target, value = stmt.targets[0], stmt.value
+                elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                    target, value = stmt.target, stmt.value
+                else:
+                    continue
+                if not isinstance(target, ast.Name):
+                    continue
+                declared = unit_suffix(target.id)
+                if declared is None:
+                    continue
+                actual = pctx.analysis.infer(
+                    value, env, module, func.class_name
+                )
+                if actual is None or not _tags_differ(actual, declared):
+                    continue
+                yield self.project_finding(
+                    module, stmt,
+                    f"{target.id} is named {_describe(declared)} but is "
+                    f"assigned a {_describe(actual)} value",
+                )
+
+
+register(CallArgUnitRule())
+register(ReturnUnitRule())
+register(AssignUnitRule())

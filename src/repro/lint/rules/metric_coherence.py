@@ -1,0 +1,253 @@
+"""R8 family — metric-family coherence.
+
+``docs/OBSERVABILITY.md`` is the operator-facing catalogue of every
+metric family; dashboards and SLO gates are written against it.  These
+rules three-way-diff the names *emitted* by ``counter/gauge/histogram``
+call sites, the names *declared* via ``MetricsRegistry.declare``, and
+the names *documented* in the catalogue's tables:
+
+* R801 — emitted or declared but missing from the catalogue (operators
+  cannot discover it);
+* R802 — documented but emitted nowhere (the dashboard panel reads a
+  family that no longer exists);
+* R803 — kind skew: the same family emitted as two different kinds at
+  different sites, or documented as a kind the code disagrees with.
+
+Emission sites whose name argument is not a string literal (or a
+module-level string constant) are not statically knowable; their names
+still count toward R802's "exists somewhere" universe via the
+constant-string pool (the fleet gauges are emitted from a name table),
+so indirection never produces false "documented-but-absent" findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.index import ModuleInfo
+from repro.lint.rules import DocFile, ProjectContext, ProjectRule
+from repro.lint.rules import register
+from repro.lint.rules.interproc_units import _ProjectFinding
+
+#: The project's metric-name shape (prefix keeps unrelated ``.counter``
+#: calls from being misread as metric emissions).
+METRIC_NAME_RE = re.compile(r"\Arepro_[a-z0-9_]+\Z")
+
+#: Catalogue-table row: ``| `repro_x_total` | counter | labels | help |``.
+_DOC_ROW_RE = re.compile(r"^\|\s*`(repro_[a-z0-9_]+)`\s*\|\s*([a-z]+)\s*\|")
+
+#: Registry methods that emit (attr name doubles as the kind).
+_EMIT_KINDS = ("counter", "gauge", "histogram")
+
+#: Documentation file the catalogue lives in.
+CATALOGUE_DOC = "OBSERVABILITY.md"
+
+
+@dataclass
+class EmitSite:
+    """One statically-resolved metric emission or declaration."""
+
+    name: str
+    kind: str
+    module: ModuleInfo
+    node: ast.AST
+    declared: bool  # True for .declare(...) sites
+
+
+def _string_arg(node: ast.expr, module: ModuleInfo) -> str | None:
+    """A literal or module-constant string argument, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.Name):
+        expr = module.constants.get(node.id)
+        if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+            return expr.value
+    return None
+
+
+def collect_emit_sites(
+    pctx: ProjectContext, rule: ProjectRule
+) -> list[EmitSite]:
+    """Every statically-knowable emission/declaration, in stable order."""
+    sites: list[EmitSite] = []
+    for relpath in sorted(pctx.index.by_relpath):
+        if rule.skip_relpath(relpath):
+            continue
+        module = pctx.index.by_relpath[relpath]
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+            ):
+                continue
+            method = node.func.attr
+            if method not in (*_EMIT_KINDS, "declare"):
+                continue
+            args = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+            name_node = node.args[0] if node.args else args.get("name")
+            if name_node is None:
+                continue
+            name = _string_arg(name_node, module)
+            if name is None or not METRIC_NAME_RE.match(name):
+                continue
+            if method == "declare":
+                kind_node = (
+                    node.args[1] if len(node.args) > 1 else args.get("kind")
+                )
+                kind = _string_arg(kind_node, module) if kind_node else None
+                if kind is None:
+                    continue
+                sites.append(EmitSite(name, kind, module, node, True))
+            else:
+                sites.append(EmitSite(name, method, module, node, False))
+    return sites
+
+
+def constant_pool(pctx: ProjectContext, rule: ProjectRule) -> set[str]:
+    """Metric-shaped strings inside module-level constants (name tables)."""
+    pool: set[str] = set()
+    for relpath in sorted(pctx.index.by_relpath):
+        if rule.skip_relpath(relpath):
+            continue
+        module = pctx.index.by_relpath[relpath]
+        for expr in module.constants.values():
+            for node in ast.walk(expr):
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, str
+                ) and METRIC_NAME_RE.match(node.value):
+                    pool.add(node.value)
+    return pool
+
+
+def documented_families(doc: DocFile) -> dict[str, tuple[str, int]]:
+    """name -> (documented kind, 1-indexed doc line) from catalogue rows."""
+    families: dict[str, tuple[str, int]] = {}
+    for lineno, text in enumerate(doc.lines, start=1):
+        match = _DOC_ROW_RE.match(text.strip())
+        if match and match.group(1) not in families:
+            families[match.group(1)] = (match.group(2), lineno)
+    return families
+
+
+def _doc_finding(
+    rule, doc: DocFile, lineno: int, message: str
+) -> Finding:
+    snippet = ""
+    if 1 <= lineno <= len(doc.lines):
+        snippet = doc.lines[lineno - 1].strip()
+    return Finding(
+        rule=rule.id,
+        path=doc.label,
+        line=lineno,
+        col=0,
+        message=f"[{rule.name}] {message}",
+        snippet=snippet,
+    )
+
+
+class UndocumentedMetricRule(_ProjectFinding, ProjectRule):
+    """R801: a family the code emits but the catalogue omits."""
+
+    id = "R801"
+    name = "metric-undocumented"
+    rationale = (
+        "docs/OBSERVABILITY.md is the only discovery surface operators "
+        "have; a family emitted but not catalogued is telemetry nobody "
+        "can alert on, and the doc-vs-code drift compounds silently."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        doc = pctx.docs.get(CATALOGUE_DOC)
+        if doc is None:
+            return
+        documented = documented_families(doc)
+        reported: set[str] = set()
+        for site in collect_emit_sites(pctx, self):
+            if site.name in documented or site.name in reported:
+                continue
+            reported.add(site.name)
+            yield self.project_finding(
+                site.module, site.node,
+                f"metric {site.name!r} ({site.kind}) is emitted here but "
+                f"not documented in {doc.label}",
+            )
+
+
+class UnemittedMetricRule(_ProjectFinding, ProjectRule):
+    """R802: a catalogued family no code emits, declares, or names."""
+
+    id = "R802"
+    name = "metric-unemitted"
+    rationale = (
+        "A documented family the code never produces means a dashboard "
+        "panel or SLO gate is silently reading nothing — usually the "
+        "residue of a rename that missed the catalogue."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        doc = pctx.docs.get(CATALOGUE_DOC)
+        if doc is None:
+            return
+        exists = {s.name for s in collect_emit_sites(pctx, self)}
+        exists |= constant_pool(pctx, self)
+        for name, (_kind, lineno) in sorted(
+            documented_families(doc).items()
+        ):
+            if name not in exists:
+                yield _doc_finding(
+                    self, doc, lineno,
+                    f"metric {name!r} is documented but nothing in the "
+                    "scanned code emits, declares, or names it",
+                )
+
+
+class MetricKindSkewRule(_ProjectFinding, ProjectRule):
+    """R803: one family, two kinds (across sites or code-vs-doc)."""
+
+    id = "R803"
+    name = "metric-kind-skew"
+    rationale = (
+        "MetricsRegistry raises on kind conflicts only when both sites "
+        "execute in one process; static skew (or a doc row disagreeing "
+        "with the code) still corrupts cross-process merges and "
+        "operator expectations."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        doc = pctx.docs.get(CATALOGUE_DOC)
+        documented = documented_families(doc) if doc is not None else {}
+        sites = collect_emit_sites(pctx, self)
+        by_name: dict[str, list[EmitSite]] = {}
+        for site in sites:
+            by_name.setdefault(site.name, []).append(site)
+        for name in sorted(by_name):
+            group = by_name[name]
+            kinds = sorted({s.kind for s in group})
+            if len(kinds) > 1:
+                first = group[0]
+                yield self.project_finding(
+                    first.module, first.node,
+                    f"metric {name!r} is emitted with conflicting kinds "
+                    f"({', '.join(kinds)}) across the project",
+                )
+                continue
+            doc_entry = documented.get(name)
+            if doc_entry is not None and doc_entry[0] != kinds[0]:
+                first = group[0]
+                yield self.project_finding(
+                    first.module, first.node,
+                    f"metric {name!r} is a {kinds[0]} in code but "
+                    f"documented as a {doc_entry[0]}",
+                )
+
+
+register(UndocumentedMetricRule())
+register(UnemittedMetricRule())
+register(MetricKindSkewRule())

@@ -1,0 +1,196 @@
+"""R6 family — RNG-stream discipline.
+
+Reproducibility rests on one invariant: every random draw in a scenario
+derives from the root seed through a *named* ``RngRegistry`` stream.  An
+orphan generator (``np.random.default_rng()`` constructed ad hoc) gives
+byte-different campaigns run-to-run, and a stream name outside the
+declared namespaces silently forks the seed-derivation convention the
+fault-injection and sensor layers rely on.
+
+R601 bans generator construction anywhere except the registry module
+itself; R602 checks every ``.stream("...")`` name against the
+``STREAM_NAMESPACES`` frozenset declared next to ``RngRegistry``.  Both
+discover the registry module *from the index* (the module defining a
+class named ``RngRegistry``), so fixture packages exercise the same code
+path as ``src/repro``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.index import ModuleInfo, ProjectIndex
+from repro.lint.rules import ProjectContext, ProjectRule
+from repro.lint.rules import register
+from repro.lint.rules.interproc_units import _ProjectFinding
+
+#: Fully-qualified callables that mint generators or reseed global state.
+ORPHAN_CONSTRUCTORS = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.SeedSequence",
+    "numpy.random.seed",
+    "random.Random",
+    "random.seed",
+})
+
+#: Name of the namespace-allowlist constant R602 looks for.
+NAMESPACES_CONSTANT = "STREAM_NAMESPACES"
+
+#: Class whose defining module is the sanctioned generator factory.
+REGISTRY_CLASS = "RngRegistry"
+
+
+def registry_module(index: ProjectIndex) -> ModuleInfo | None:
+    """The module defining ``RngRegistry``, if the index has one."""
+    for relpath in sorted(index.by_relpath):
+        module = index.by_relpath[relpath]
+        if REGISTRY_CLASS in module.classes:
+            return module
+    return None
+
+
+def _dotted_parts(node: ast.AST) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return None
+
+
+def _resolve_full_name(module: ModuleInfo, node: ast.AST) -> str | None:
+    """Import-alias-resolved dotted name of a call target."""
+    parts = _dotted_parts(node)
+    if parts is None:
+        return None
+    head = module.imports.get(parts[0], parts[0])
+    return ".".join([head] + parts[1:])
+
+
+def declared_namespaces(module: ModuleInfo) -> frozenset[str] | None:
+    """String elements of the module's ``STREAM_NAMESPACES`` constant."""
+    expr = module.constants.get(NAMESPACES_CONSTANT)
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Call) and expr.args:
+        expr = expr.args[0]  # frozenset({...}) -> the set literal
+    if isinstance(expr, (ast.Set, ast.List, ast.Tuple)):
+        names = set()
+        for element in expr.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.add(element.value)
+            else:
+                return None  # not statically known; don't guess
+        return frozenset(names)
+    return None
+
+
+class OrphanGeneratorRule(_ProjectFinding, ProjectRule):
+    """R601: a random generator constructed outside the registry."""
+
+    id = "R601"
+    name = "orphan-rng-generator"
+    rationale = (
+        "Generators not minted by RngRegistry.stream() are invisible to "
+        "the root seed: the run stops being a pure function of "
+        "(scenario, seed), which breaks campaign caching and every "
+        "reproducibility claim downstream."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        sanctioned = registry_module(pctx.index)
+        for relpath in sorted(pctx.index.by_relpath):
+            module = pctx.index.by_relpath[relpath]
+            if self.skip_relpath(relpath):
+                continue
+            if sanctioned is not None and module is sanctioned:
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                full = _resolve_full_name(module, node.func)
+                if full in ORPHAN_CONSTRUCTORS:
+                    yield self.project_finding(
+                        module, node,
+                        f"{full}() constructs a generator outside "
+                        "RngRegistry; derive a named stream from the "
+                        "scenario seed instead",
+                    )
+
+
+class StreamNamespaceRule(_ProjectFinding, ProjectRule):
+    """R602: a stream name outside the declared namespaces."""
+
+    id = "R602"
+    name = "rng-stream-namespace"
+    rationale = (
+        "Stream names are the seed-derivation contract: consumers agree "
+        "on 'faults.*', 'sensor.*' etc. so adding one never perturbs "
+        "another's draws.  A name outside STREAM_NAMESPACES is either a "
+        "typo or an undeclared new consumer class."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        sanctioned = registry_module(pctx.index)
+        if sanctioned is None:
+            return
+        allowed = declared_namespaces(sanctioned)
+        if allowed is None:
+            return  # no allowlist declared; nothing to check against
+        for relpath in sorted(pctx.index.by_relpath):
+            module = pctx.index.by_relpath[relpath]
+            if self.skip_relpath(relpath):
+                continue
+            for node in ast.walk(module.tree):
+                namespace, site = self._stream_namespace(node)
+                if namespace is None or namespace in allowed:
+                    continue
+                yield self.project_finding(
+                    module, site,
+                    f"stream namespace {namespace!r} is not declared in "
+                    f"{NAMESPACES_CONSTANT} "
+                    f"({', '.join(sorted(allowed))})",
+                )
+
+    @staticmethod
+    def _stream_namespace(node: ast.AST):
+        """(namespace, site) of a ``.stream(<name>)`` call, else (None, None).
+
+        The namespace is the text before the first ``.`` of the stream
+        name; f-strings contribute their leading literal (a name whose
+        namespace is itself interpolated is not statically checkable).
+        """
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "stream"
+            and len(node.args) == 1
+        ):
+            return None, None
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            text = arg.value
+        elif isinstance(arg, ast.JoinedStr) and arg.values and isinstance(
+            arg.values[0], ast.Constant
+        ) and isinstance(arg.values[0].value, str):
+            text = arg.values[0].value
+            if "." not in text:
+                return None, None  # namespace boundary not in the literal
+        else:
+            return None, None
+        return text.split(".", 1)[0], node
+
+
+register(OrphanGeneratorRule())
+register(StreamNamespaceRule())

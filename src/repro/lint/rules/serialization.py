@@ -1,0 +1,267 @@
+"""R7 family — serialization and wire-format drift.
+
+A field added to ``to_dict`` but not ``from_dict`` survives every unit
+test that round-trips fresh objects and then silently drops data when a
+campaign store written by one version is read by the next.  R701 checks
+literal-keyed ``to_dict``/``from_dict`` pairs for key-set symmetry;
+R702 checks the ``repro.<family>/<version>`` wire-format literals for
+version skew and for raw duplicates of a literal some module already
+owns as a constant.
+
+Both checks are deliberately conservative: a serializer that builds its
+dict dynamically (``**`` expansion, ``dataclasses.fields``, ``asdict``,
+``dict(data)``) is skipped — its schema is enforced at runtime — and
+only provably-asymmetric literal keys are reported.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.finding import Finding
+from repro.lint.index import ClassInfo, FunctionInfo, ModuleInfo
+from repro.lint.rules import ProjectContext, ProjectRule
+from repro.lint.rules import register
+from repro.lint.rules.interproc_units import _ProjectFinding
+
+#: ``repro.obs.snapshot/1``-style wire-format version literals.
+WIRE_FORMAT_RE = re.compile(r"\Arepro(\.[a-z_]+)*/\d+\Z")
+
+#: Callables whose presence makes a serializer's key set dynamic.
+_DYNAMIC_CALLS = frozenset({"asdict", "fields", "vars"})
+
+
+def _str_keys(node: ast.Dict) -> set[str] | None:
+    """Literal string keys of a dict display; None if any key is dynamic."""
+    keys: set[str] = set()
+    for key in node.keys:
+        if key is None:
+            return None  # ** expansion
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys.add(key.value)
+        else:
+            return None
+    return keys
+
+
+def serialized_keys(func: FunctionInfo) -> set[str] | None:
+    """Top-level keys ``to_dict`` writes; None when not statically known.
+
+    Covers the two idioms the codebase uses — returning a dict display
+    directly, and building a named dict then returning it (including
+    ``out["key"] = ...`` inserts) — and refuses anything dynamic.
+    """
+    returned_names: set[str] = set()
+    returned_dicts: list[ast.Dict] = []
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            name = callee.attr if isinstance(callee, ast.Attribute) else (
+                callee.id if isinstance(callee, ast.Name) else None
+            )
+            if name in _DYNAMIC_CALLS:
+                return None
+        if isinstance(node, ast.Return) and node.value is not None:
+            if isinstance(node.value, ast.Dict):
+                returned_dicts.append(node.value)
+            elif isinstance(node.value, ast.Name):
+                returned_names.add(node.value.id)
+            else:
+                return None
+    if not returned_dicts and not returned_names:
+        return None
+    keys: set[str] = set()
+    for display in returned_dicts:
+        top = _str_keys(display)
+        if top is None:
+            return None
+        keys |= top
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id in returned_names
+            ):
+                if not isinstance(node.value, ast.Dict):
+                    return None
+                top = _str_keys(node.value)
+                if top is None:
+                    return None
+                keys |= top
+            elif (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in returned_names
+            ):
+                if isinstance(target.slice, ast.Constant) and isinstance(
+                    target.slice.value, str
+                ):
+                    keys.add(target.slice.value)
+                else:
+                    return None
+    return keys
+
+
+def deserialized_keys(func: FunctionInfo) -> set[str] | None:
+    """Keys ``from_dict`` reads from its payload parameter, or None.
+
+    Reads are ``data["k"]``, ``data.get("k", ...)`` and
+    ``data.pop("k", ...)``; ``**data`` / ``dict(data)`` / ``data.items()``
+    mark the reader dynamic.
+    """
+    if not func.params:
+        return None
+    payload = func.params[0]
+    keys: set[str] = set()
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.value, ast.Name
+        ) and node.value.id == payload:
+            if isinstance(node.slice, ast.Constant) and isinstance(
+                node.slice.value, str
+            ):
+                keys.add(node.slice.value)
+            else:
+                return None
+        elif isinstance(node, ast.Call):
+            callee = node.func
+            if (
+                isinstance(callee, ast.Attribute)
+                and isinstance(callee.value, ast.Name)
+                and callee.value.id == payload
+            ):
+                if callee.attr in ("get", "pop") and node.args and isinstance(
+                    node.args[0], ast.Constant
+                ) and isinstance(node.args[0].value, str):
+                    keys.add(node.args[0].value)
+                elif callee.attr in ("items", "keys", "values"):
+                    return None
+            elif isinstance(callee, ast.Name) and callee.id == "dict":
+                if any(
+                    isinstance(a, ast.Name) and a.id == payload
+                    for a in node.args
+                ):
+                    return None
+            for kw in node.keywords:
+                if kw.arg is None and isinstance(
+                    kw.value, ast.Name
+                ) and kw.value.id == payload:
+                    return None  # cls(**data)
+    return keys
+
+
+class RoundTripSymmetryRule(_ProjectFinding, ProjectRule):
+    """R701: to_dict writes a key from_dict never reads, or vice versa."""
+
+    id = "R701"
+    name = "roundtrip-key-drift"
+    rationale = (
+        "A key present on one side of a to_dict/from_dict pair only is "
+        "data loss (writer-only: dropped on load) or a KeyError-in-"
+        "waiting (reader-only: absent from stored payloads); fresh-"
+        "object round-trip tests cannot catch either."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        for relpath in sorted(pctx.index.by_relpath):
+            if self.skip_relpath(relpath):
+                continue
+            module = pctx.index.by_relpath[relpath]
+            for cname in sorted(module.classes):
+                yield from self._check_class(module, module.classes[cname])
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ClassInfo
+    ) -> Iterable[Finding]:
+        writer = cls.methods.get("to_dict")
+        reader = cls.methods.get("from_dict")
+        if writer is None or reader is None:
+            return
+        written = serialized_keys(writer)
+        read = deserialized_keys(reader)
+        if written is None or read is None:
+            return  # dynamic serializer; schema enforced at runtime
+        for key in sorted(written - read):
+            yield self.project_finding(
+                module, writer.node,
+                f"{cls.name}.to_dict writes {key!r} but "
+                f"{cls.name}.from_dict never reads it (dropped on load)",
+            )
+        for key in sorted(read - written):
+            yield self.project_finding(
+                module, reader.node,
+                f"{cls.name}.from_dict reads {key!r} but "
+                f"{cls.name}.to_dict never writes it (KeyError on real "
+                "payloads)",
+            )
+
+
+class WireFormatRule(_ProjectFinding, ProjectRule):
+    """R702: wire-format literal version skew or raw duplication."""
+
+    id = "R702"
+    name = "wire-format-drift"
+    rationale = (
+        "The 'repro.<family>/<n>' literals are the cross-process "
+        "compatibility contract; two sites disagreeing on <n>, or a "
+        "module re-typing a literal another module owns as a constant, "
+        "is how a version bump misses a reader."
+    )
+    exclude = ("lint/",)
+
+    def check_project(self, pctx: ProjectContext) -> Iterable[Finding]:
+        # family -> list of (version, module, node, is_constant_def)
+        sites: dict[str, list] = {}
+        owners: dict[str, str] = {}  # family -> module name defining it
+        for relpath in sorted(pctx.index.by_relpath):
+            if self.skip_relpath(relpath):
+                continue
+            module = pctx.index.by_relpath[relpath]
+            constant_nodes = {
+                id(expr) for expr in module.constants.values()
+            }
+            for node in ast.walk(module.tree):
+                if not (
+                    isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and WIRE_FORMAT_RE.match(node.value)
+                ):
+                    continue
+                family, _, version = node.value.rpartition("/")
+                is_def = id(node) in constant_nodes
+                sites.setdefault(family, []).append(
+                    (version, module, node, is_def)
+                )
+                if is_def and family not in owners:
+                    owners[family] = module.name
+        for family in sorted(sites):
+            yield from self._check_family(
+                family, sites[family], owners.get(family)
+            )
+
+    def _check_family(
+        self, family: str, entries: list, owner: str | None
+    ) -> Iterable[Finding]:
+        versions = sorted({version for version, *_ in entries})
+        for version, module, node, is_def in entries:
+            if len(versions) > 1:
+                yield self.project_finding(
+                    module, node,
+                    f"wire format {family!r} appears with versions "
+                    f"{', '.join(versions)} across the project; every "
+                    "site must agree",
+                )
+            elif not is_def and owner is not None and module.name != owner:
+                yield self.project_finding(
+                    module, node,
+                    f"literal {family}/{version} re-typed here; import "
+                    f"the constant {owner} defines instead",
+                )
+
+
+register(RoundTripSymmetryRule())
+register(WireFormatRule())

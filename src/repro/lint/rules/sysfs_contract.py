@@ -92,6 +92,11 @@ class SysfsContractRule(Rule):
     )
     exclude = ("kernel/", "lint/")
 
+    def prepare(self, services: dict) -> None:
+        """Build the authority up front (workers must not, N times)."""
+        if _AUTHORITY_KEY not in services:
+            services[_AUTHORITY_KEY] = sysfs_authority()
+
     def check(self, ctx: FileContext) -> Iterable[Finding]:
         # Constants inside an f-string are also visited by ast.walk;
         # they are fragments, not paths, so only the JoinedStr counts.

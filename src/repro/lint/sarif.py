@@ -1,0 +1,87 @@
+"""SARIF 2.1.0 rendering for lint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the log annotates the PR diff with each
+finding in place.  One run per report; baselined findings are emitted at
+``note`` level with ``baselineState: "unchanged"`` so code scanning
+shows them without failing the check, new findings are ``error`` /
+``"new"``.
+
+Output is fully deterministic — findings arrive pre-sorted from the
+engine and the serialisation is stable JSON — which is what lets the
+``--jobs N`` byte-identity guarantee extend to SARIF output.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Published schema for SARIF 2.1.0 (the version GitHub ingests).
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
+
+_TOOL_URI = "https://github.com/repro/repro"  # docs/STATIC_ANALYSIS.md
+
+
+def _rule_descriptor(rule) -> dict:
+    return {
+        "id": rule.id,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding, rule_index: dict) -> dict:
+    out = {
+        "ruleId": finding.rule,
+        "level": "note" if finding.baselined else "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": max(finding.line, 1),
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+        "baselineState": "unchanged" if finding.baselined else "new",
+    }
+    if finding.rule in rule_index:
+        out["ruleIndex"] = rule_index[finding.rule]
+    if finding.snippet:
+        out["locations"][0]["physicalLocation"]["region"]["snippet"] = {
+            "text": finding.snippet
+        }
+    return out
+
+
+def render_sarif(report, rules) -> str:
+    """SARIF 2.1.0 log for ``report`` run with ``rules``.
+
+    ``rules`` is the full active catalogue (so suppressed-to-zero rules
+    still appear as driver rules, which code scanning uses to close
+    previously-open alerts).
+    """
+    ordered = sorted(rules, key=lambda r: r.id)
+    rule_index = {rule.id: i for i, rule in enumerate(ordered)}
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": _TOOL_URI,
+                    "rules": [_rule_descriptor(r) for r in ordered],
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": [
+                _result(f, rule_index) for f in report.findings
+            ],
+        }],
+    }
+    return json.dumps(log, indent=2) + "\n"

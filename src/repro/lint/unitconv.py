@@ -1,0 +1,115 @@
+"""Unit-suffix vocabulary and shared AST helpers.
+
+This module is the single source of the name-suffix unit conventions
+(``_c``, ``_mc``, ``_khz``, …) used by both the per-file R1 rules and
+the whole-program dataflow pass.  It lives outside the ``rules``
+package on purpose: importing it must not trigger rule registration,
+or the engine/dataflow/rules import graph becomes circular.
+``repro.lint.rules.common`` re-exports everything for the rule modules.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import NamedTuple
+
+
+class UnitTag(NamedTuple):
+    """Unit information a name's suffix carries."""
+
+    suffix: str
+    dimension: str
+    unit: str  # equivalence class: `_c` and `_celsius` are both "celsius"
+
+
+#: Suffix -> (dimension, unit).  Ordered longest-first so that ``_mc``
+#: wins over ``_c`` and ``_khz`` over ``_hz``.
+UNIT_SUFFIXES: tuple[tuple[str, str, str], ...] = (
+    ("_millicelsius", "temperature", "millicelsius"),
+    ("_celsius", "temperature", "celsius"),
+    ("_kelvin", "temperature", "kelvin"),
+    ("_microseconds", "time", "microseconds"),
+    ("_milliseconds", "time", "milliseconds"),
+    ("_seconds", "time", "seconds"),
+    ("_khz", "frequency", "kilohertz"),
+    ("_mhz", "frequency", "megahertz"),
+    ("_ghz", "frequency", "gigahertz"),
+    ("_hz", "frequency", "hertz"),
+    ("_mc", "temperature", "millicelsius"),
+    ("_mj", "energy", "millijoules"),
+    ("_wh", "energy", "watthours"),
+    ("_ms", "time", "milliseconds"),
+    ("_us", "time", "microseconds"),
+    ("_mw", "power", "milliwatts"),
+    ("_uw", "power", "microwatts"),
+    ("_c", "temperature", "celsius"),
+    ("_k", "temperature", "kelvin"),
+    ("_s", "time", "seconds"),
+    ("_w", "power", "watts"),
+    ("_j", "energy", "joules"),
+)
+
+#: Bare names that are unambiguous unit spellings on their own.
+BARE_UNIT_NAMES: dict[str, tuple[str, str]] = {
+    "khz": ("frequency", "kilohertz"),
+    "mhz": ("frequency", "megahertz"),
+    "ghz": ("frequency", "gigahertz"),
+    "hz": ("frequency", "hertz"),
+    "mc": ("temperature", "millicelsius"),
+    "ms": ("time", "milliseconds"),
+    "us": ("time", "microseconds"),
+    "mj": ("energy", "millijoules"),
+    "mw": ("power", "milliwatts"),
+    "uw": ("power", "microwatts"),
+    "seconds": ("time", "seconds"),
+}
+
+#: Units whose carriers are the *integer* sysfs representation, where
+#: exact equality is well-defined.
+INTEGER_UNITS = frozenset({"kilohertz", "millicelsius"})
+
+
+def identifier_of(node: ast.AST) -> str | None:
+    """The rightmost identifier of a name-ish expression, if any.
+
+    ``temp_c`` -> ``temp_c``; ``self.config.t_limit_c`` -> ``t_limit_c``;
+    ``obj.read_c()`` -> ``read_c``.  Returns None for anything else.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return identifier_of(node.func)
+    return None
+
+
+def unit_suffix(name: str | None) -> UnitTag | None:
+    """The :class:`UnitTag` a name carries, or None."""
+    if not name or len(name) < 2:
+        return None
+    lowered = name.lower()
+    if lowered in BARE_UNIT_NAMES:
+        dimension, unit = BARE_UNIT_NAMES[lowered]
+        return UnitTag(lowered, dimension, unit)
+    for suffix, dimension, unit in UNIT_SUFFIXES:
+        if lowered.endswith(suffix) and len(lowered) > len(suffix):
+            return UnitTag(suffix, dimension, unit)
+    return None
+
+
+def unit_of(node: ast.AST) -> UnitTag | None:
+    """Unit tag carried by an expression node, if detectable."""
+    return unit_suffix(identifier_of(node))
+
+
+def is_float_constant(node: ast.AST) -> bool:
+    """Whether ``node`` is a literal float (not bool/int/str)."""
+    return isinstance(node, ast.Constant) and type(node.value) is float
+
+
+def walk_numbers(node: ast.AST):
+    """Yield every numeric ``ast.Constant`` under ``node``."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant) and type(sub.value) in (int, float):
+            yield sub

@@ -13,6 +13,13 @@ import zlib
 
 import numpy as np
 
+#: The sanctioned stream-name namespaces (the text before the first
+#: ``.`` of a stream name, or the whole name).  Every consumer class
+#: derives its streams under one of these; ``repro lint`` rule R602
+#: checks call sites against this set, so adding a new consumer class
+#: means declaring its namespace here first.
+STREAM_NAMESPACES = frozenset({"app", "daq", "faults", "ina", "sensor"})
+
 
 class RngRegistry:
     """Hands out named, independent ``numpy`` generators from one root seed."""

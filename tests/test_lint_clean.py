@@ -33,7 +33,7 @@ def test_shipped_tree_is_ok(report):
 
 def test_every_rule_family_ran(report):
     families = {rule_id[:2] for rule_id in report.rules_run}
-    assert families == {"R1", "R2", "R3", "R4"}
+    assert families == {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"}
 
 
 def test_cli_exit_zero_on_shipped_tree(capsys):

@@ -1,0 +1,194 @@
+"""Unit-dimension dataflow: the converter table and the inference pass.
+
+The first test is load-bearing for the whole R5 family: it pins
+``CONVERTER_SIGNATURES`` to exactly the public surface of
+``repro.units``, so adding a converter without teaching the analyzer
+(or typo-ing a table key) fails the suite instead of opening a silent
+hole in the analysis.
+"""
+
+import inspect
+import textwrap
+
+import repro.units
+from repro.lint.dataflow import (
+    CONVERTER_SIGNATURES,
+    UnitAnalysis,
+    converter_units,
+)
+from repro.lint.index import ProjectIndex
+from repro.lint.unitconv import unit_suffix
+
+
+def build_analysis(tmp_path, files):
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    pairs = [(pkg / "__init__.py", "__init__.py")]
+    for relpath, source in files.items():
+        path = pkg / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        pairs.append((path, relpath))
+    index = ProjectIndex.build(pairs, "app")
+    return index, UnitAnalysis(index)
+
+
+def summary(index, analysis, module, qualname):
+    mod = index.modules[module]
+    if "." in qualname:
+        cname, mname = qualname.split(".")
+        func = mod.classes[cname].methods[mname]
+    else:
+        func = mod.functions[qualname]
+    return analysis.summary_for(func)
+
+
+# ------------------------------------------------------ converter table
+
+
+def test_converter_table_covers_every_units_function():
+    public = {
+        name
+        for name, obj in vars(repro.units).items()
+        if inspect.isfunction(obj)
+        and not name.startswith("_")
+        and obj.__module__ == "repro.units"
+    }
+    assert public == set(CONVERTER_SIGNATURES), (
+        "repro.units and CONVERTER_SIGNATURES drifted apart — teach "
+        "repro.lint.dataflow about the new/renamed converter"
+    )
+
+
+def test_converter_units_resolves_from_any_units_module(tmp_path):
+    index, _ = build_analysis(tmp_path, {
+        "units.py": "def celsius_to_kelvin(temp_c):\n    return temp_c\n",
+        "other.py": "def celsius_to_kelvin(temp_c):\n    return temp_c\n",
+    })
+    in_units = index.modules["app.units"].functions["celsius_to_kelvin"]
+    elsewhere = index.modules["app.other"].functions["celsius_to_kelvin"]
+    tags = converter_units(in_units)
+    assert tags is not None
+    assert (tags[0].unit, tags[1].unit) == ("celsius", "kelvin")
+    # Same name outside a units module is NOT a sanctioned converter.
+    assert converter_units(elsewhere) is None
+
+
+def test_mhz_signature_overrides_its_name():
+    """``mhz()`` expresses megahertz *in hertz*: the table is authoritative
+    where the suffix convention would mislead the analysis."""
+    (_, _), (out_dim, out_unit) = CONVERTER_SIGNATURES["mhz"]
+    assert (out_dim, out_unit) == ("frequency", "hertz")
+    declared = unit_suffix("mhz")
+    assert declared is not None and declared.unit != out_unit
+
+
+# --------------------------------------------------------- summaries
+
+
+def test_return_unit_from_parameter_suffix(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": "def passthrough(temp_mc):\n    return temp_mc\n",
+    })
+    tag = summary(index, analysis, "app.m", "passthrough").return_unit
+    assert tag is not None and tag.unit == "millicelsius"
+
+
+def test_return_unit_through_converter_call(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "units.py": (
+            "def millicelsius_to_celsius(temp_mc):\n"
+            "    return temp_mc / 1000.0\n"
+        ),
+        "m.py": (
+            "from app.units import millicelsius_to_celsius\n"
+            "def read(raw_mc):\n"
+            "    return millicelsius_to_celsius(raw_mc)\n"
+        ),
+    })
+    tag = summary(index, analysis, "app.m", "read").return_unit
+    assert tag is not None and tag.unit == "celsius"
+
+
+def test_fixpoint_types_call_chains(tmp_path):
+    """a() -> b() -> c() -> suffixed param: three summary hops."""
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": """
+            def c(temp_mc):
+                return temp_mc
+
+            def b():
+                return c(52000)
+
+            def a():
+                return b()
+        """,
+    })
+    tag = summary(index, analysis, "app.m", "a").return_unit
+    assert tag is not None and tag.unit == "millicelsius"
+
+
+def test_disagreeing_returns_widen_to_unknown(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": """
+            def mixed(flag, temp_c, temp_mc):
+                if flag:
+                    return temp_c
+                return temp_mc
+        """,
+    })
+    assert summary(index, analysis, "app.m", "mixed").return_unit is None
+
+
+def test_rebinding_joins_to_unknown(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": """
+            def f(temp_c, freq_hz):
+                x = temp_c
+                x = freq_hz
+                return x
+        """,
+    })
+    assert summary(index, analysis, "app.m", "f").return_unit is None
+
+
+def test_transparent_builtins_and_constant_arithmetic(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": """
+            def clamped(temp_c):
+                return max(0.0, round(temp_c + 0.5))
+        """,
+    })
+    tag = summary(index, analysis, "app.m", "clamped").return_unit
+    assert tag is not None and tag.unit == "celsius"
+
+
+def test_unresolved_call_falls_back_to_callee_suffix(tmp_path):
+    index, analysis = build_analysis(tmp_path, {
+        "m.py": """
+            def f(sensor):
+                return sensor.read_millicelsius()
+        """,
+    })
+    tag = summary(index, analysis, "app.m", "f").return_unit
+    assert tag is not None and tag.unit == "millicelsius"
+
+
+def test_dataclass_constructor_summary_is_unitless(tmp_path):
+    """Synthesised constructors are not in the fixpoint table; asking for
+    their summary must not crash and must not claim a return unit."""
+    index, analysis = build_analysis(tmp_path, {
+        "model.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Trip:
+                temp_c: float
+        """,
+    })
+    ctor = index.modules["app.model"].classes["Trip"].constructor()
+    assert ctor is not None
+    got = analysis.summary_for(ctor)
+    assert got.return_unit is None
+    assert "temp_c" in got.param_units

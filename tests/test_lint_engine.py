@@ -1,0 +1,263 @@
+"""Engine mechanics: parallel byte-identity, the incremental cache,
+exit codes, SARIF output, and deterministic baseline updates.
+
+These tests run over small on-disk fixture trees so they are fast; the
+shipped-tree equivalents live in ``test_lint_clean.py``.  R301 is left
+out of the active set here — its authority boots two platform kernels,
+which the mechanics under test don't need.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint import all_rules, get_rule, run_lint, update_baseline
+from repro.lint.cache import LintCache, rules_fingerprint
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+
+#: Everything except the platform-booting sysfs rule.
+FAST_RULES = [r for r in all_rules() if r.id != "R301"]
+FAST_IDS = [r.id for r in FAST_RULES]
+
+#: A package with one violation per layer: R1 (per-file, parallelisable)
+#: and R5 (whole-program, parent-process) both fire.
+FIXTURE = {
+    "units.py": """
+        def celsius_to_millicelsius(temp_c):
+            return int(round(temp_c * 1000))
+    """,
+    "core/gov.py": """
+        def poll(zone):
+            temp_c = zone.read_millicelsius()
+            return temp_c
+    """,
+    "core/trip.py": """
+        def margin(trip_mc):
+            return trip_mc * 1000
+    """,
+    "obs/manifest.py": """
+        def stamp():
+            return {"schema": "repro.fixture/1"}
+    """,
+}
+
+
+def make_tree(tmp_path, files=FIXTURE):
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for relpath, source in files.items():
+        path = pkg / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return pkg
+
+
+def lint(pkg, **kwargs):
+    kwargs.setdefault("rules", FAST_RULES)
+    kwargs.setdefault("use_baseline", False)
+    return run_lint([pkg], **kwargs)
+
+
+# -------------------------------------------------------------- parallel
+
+
+def test_parallel_output_is_byte_identical(tmp_path):
+    pkg = make_tree(tmp_path)
+    serial = lint(pkg, jobs=1)
+    parallel = lint(pkg, jobs=4)
+    assert serial.new, "fixture should produce findings"
+    assert parallel.render_text() == serial.render_text()
+    assert parallel.render_json() == serial.render_json()
+    assert parallel.render_sarif() == serial.render_sarif()
+
+
+def test_parallel_project_rules_still_fire(tmp_path):
+    """Whole-program families run in the parent even with a pool."""
+    pkg = make_tree(tmp_path)
+    families = {f.rule[:2] for f in lint(pkg, jobs=4).new}
+    assert "R1" in families  # per-file, from the workers
+    assert "R5" in families  # project, from the parent
+
+
+# ----------------------------------------------------------------- cache
+
+
+def test_cache_rehit_and_stats(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    cold = lint(pkg, cache_path=cache)
+    assert cold.cache.file_hits == 0
+    assert cold.cache.file_misses == cold.files_scanned
+    assert cold.cache.project_hit is False
+    warm = lint(pkg, cache_path=cache)
+    assert warm.cache.file_hits == warm.files_scanned
+    assert warm.cache.file_misses == 0
+    assert warm.cache.project_hit is True
+    assert warm.render_text() == cold.render_text()
+
+
+def test_cache_invalidates_only_the_edited_file(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint(pkg, cache_path=cache)
+    (pkg / "core" / "trip.py").write_text(
+        "def margin(trip_mc):\n    return trip_mc\n"
+    )
+    after = lint(pkg, cache_path=cache)
+    assert after.cache.file_misses == 1  # just the edited file
+    assert after.cache.file_hits == after.files_scanned - 1
+    # The project pass keys on the whole-tree fingerprint: any edit
+    # re-runs R5-R8.
+    assert after.cache.project_hit is False
+    assert all(f.path != "core/trip.py" or f.rule[:2] != "R1"
+               for f in after.new)
+
+
+def test_cache_invalidates_on_rule_set_change(tmp_path):
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    lint(pkg, cache_path=cache)
+    subset = [r for r in FAST_RULES if r.id != "R102"]
+    report = lint(pkg, rules=subset, cache_path=cache)
+    assert report.cache.file_hits == 0  # fingerprint mismatch: cold
+
+
+def test_cache_fingerprint_is_order_insensitive():
+    assert rules_fingerprint(FAST_IDS) == rules_fingerprint(
+        list(reversed(FAST_IDS))
+    )
+
+
+def test_cache_corrupt_file_is_ignored(tmp_path):
+    cache = tmp_path / "cache.json"
+    cache.write_text("{not json")
+    opened = LintCache.open(cache, FAST_IDS)
+    assert opened.get_file("a.py", "0" * 64) is None
+    pkg = make_tree(tmp_path)
+    report = lint(pkg, cache_path=cache)  # must not raise
+    assert report.cache.file_misses == report.files_scanned
+
+
+def test_cached_findings_reconcile_against_fresh_baseline(tmp_path):
+    """Baseline matching runs after the cache: baselining a finding must
+    take effect even when every file is a cache hit."""
+    pkg = make_tree(tmp_path)
+    cache = tmp_path / "cache.json"
+    baseline = tmp_path / "baseline.json"
+    first = lint(pkg, cache_path=cache)
+    update_baseline(first, baseline, justification="fixture: accepted")
+    second = lint(pkg, cache_path=cache, use_baseline=True,
+                  baseline_path=baseline)
+    assert second.cache.file_hits == second.files_scanned
+    assert second.exit_code == 0
+    assert len(second.baselined) == len(first.new)
+
+
+# ------------------------------------------------------------ exit codes
+
+
+def test_exit_code_contract(tmp_path):
+    pkg = make_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    dirty = lint(pkg)
+    assert dirty.exit_code == 1
+    update_baseline(dirty, baseline, justification="fixture: accepted")
+    clean = lint(pkg, use_baseline=True, baseline_path=baseline)
+    assert clean.exit_code == 0
+    # Fix everything: only stale entries remain -> 2, not 1.
+    for relpath in ("core/trip.py", "core/gov.py"):
+        (pkg / relpath).write_text("VALUE = 1\n")
+    stale = lint(pkg, use_baseline=True, baseline_path=baseline)
+    assert stale.new == []
+    assert stale.stale_baseline
+    assert stale.exit_code == 2
+
+
+# ----------------------------------------------------------------- SARIF
+
+
+def test_sarif_is_valid_and_complete(tmp_path):
+    pkg = make_tree(tmp_path)
+    report = lint(pkg)
+    log = json.loads(report.render_sarif())
+    assert log["$schema"] == SARIF_SCHEMA
+    assert log["version"] == SARIF_VERSION == "2.1.0"
+    (run,) = log["runs"]
+    driver = run["tool"]["driver"]
+    assert [r["id"] for r in driver["rules"]] == sorted(FAST_IDS)
+    assert len(run["results"]) == len(report.findings)
+    for result, finding in zip(run["results"], report.findings):
+        assert result["ruleId"] == finding.rule
+        assert result["level"] == "error"
+        assert result["baselineState"] == "new"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        assert region["startColumn"] == finding.col + 1  # 1-based per spec
+        assert driver["rules"][result["ruleIndex"]]["id"] == finding.rule
+
+
+def test_sarif_baselined_findings_are_notes(tmp_path):
+    pkg = make_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(lint(pkg), baseline, justification="fixture: accepted")
+    report = lint(pkg, use_baseline=True, baseline_path=baseline)
+    results = json.loads(report.render_sarif())["runs"][0]["results"]
+    assert results, "baselined findings must still be reported"
+    assert all(r["level"] == "note" for r in results)
+    assert all(r["baselineState"] == "unchanged" for r in results)
+
+
+# ------------------------------------------------------- update-baseline
+
+
+def test_update_baseline_is_deterministic_and_prunes(tmp_path):
+    pkg = make_tree(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    update_baseline(lint(pkg), baseline, justification="fixture: accepted")
+    first_bytes = baseline.read_bytes()
+    update_baseline(
+        lint(pkg, use_baseline=True, baseline_path=baseline), baseline
+    )
+    assert baseline.read_bytes() == first_bytes  # same tree -> same bytes
+    # Fix one finding; the next update drops exactly its entries.
+    (pkg / "core" / "trip.py").write_text("VALUE = 1\n")
+    report = lint(pkg, use_baseline=True, baseline_path=baseline)
+    update_baseline(report, baseline)
+    entries = json.loads(baseline.read_text())["entries"]
+    assert entries, "untouched findings stay grandfathered"
+    assert all(e["path"] != "core/trip.py" for e in entries)
+    assert all(e["justification"].strip() for e in entries)
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def test_cli_jobs_and_sarif_roundtrip(tmp_path, capsys):
+    pkg = make_tree(tmp_path, files={
+        "clean.py": "GOOD_C = 41.0\n",
+    })
+    assert main(["lint", str(pkg), "--no-baseline", "--format", "sarif",
+                 "--jobs", "2"]) == 0
+    log = json.loads(capsys.readouterr().out)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"] == []
+
+
+def test_cli_cache_flag_creates_cache_file(tmp_path, capsys):
+    pkg = make_tree(tmp_path, files={
+        "clean.py": "GOOD_C = 41.0\n",
+    })
+    cache = tmp_path / "cache.json"
+    assert main(["lint", str(pkg), "--no-baseline",
+                 "--cache", str(cache)]) == 0
+    capsys.readouterr()
+    assert cache.exists()
+    assert main(["lint", str(pkg), "--no-baseline", "--format", "json",
+                 "--cache", str(cache)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    summary = payload["summary"]
+    assert summary["cache_file_hits"] == summary["files_scanned"]
+    assert summary["cache_project_hit"] is True

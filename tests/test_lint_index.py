@@ -1,0 +1,215 @@
+"""The whole-program index: symbol tables, call resolution, fingerprints.
+
+The index is purely syntactic, so these tests build small fixture
+packages on disk and assert resolution behaves identically to how it
+does over ``src/repro`` — same code path, no mocking.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.index import (
+    ProjectIndex,
+    detect_package,
+    index_module,
+    module_name_for,
+)
+
+
+def write_pkg(tmp_path, files):
+    """Materialise ``{relpath: source}`` as package ``app`` under tmp."""
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    out = [(pkg / "__init__.py", "__init__.py")]
+    for relpath, source in files.items():
+        path = pkg / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        out.append((path, relpath))
+    return pkg, out
+
+
+def build(tmp_path, files):
+    pkg, pairs = write_pkg(tmp_path, files)
+    return ProjectIndex.build(pairs, detect_package(pkg))
+
+
+# ------------------------------------------------------------- naming
+
+
+def test_module_name_for():
+    assert module_name_for("core/governor.py", "repro") == "repro.core.governor"
+    assert module_name_for("__init__.py", "repro") == "repro"
+    assert module_name_for("sub/__init__.py", "repro") == "repro.sub"
+    assert module_name_for("loose.py", None) == "loose"
+
+
+def test_detect_package(tmp_path):
+    pkg, _ = write_pkg(tmp_path, {})
+    assert detect_package(pkg) == "app"
+    loose = tmp_path / "scripts"
+    loose.mkdir()
+    assert detect_package(loose) is None
+
+
+# ------------------------------------------------------- symbol tables
+
+
+def test_index_module_symbols(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent("""
+        import numpy as np
+        from app.units import celsius_to_kelvin as c2k
+
+        LIMIT_C = 75.0
+        WIRE = "repro.fixture/1"
+
+        def top(x):
+            return x
+
+        class Box:
+            width_mm: float
+            def area(self):
+                return 0.0
+    """))
+    info = index_module(path, "mod.py", "app")
+    assert info.name == "app.mod"
+    assert info.imports["np"] == "numpy"
+    assert info.imports["c2k"] == "app.units.celsius_to_kelvin"
+    assert set(info.functions) == {"top"}
+    assert set(info.classes) == {"Box"}
+    assert info.classes["Box"].methods["area"].params == ()  # self dropped
+    assert isinstance(info.constants["LIMIT_C"], ast.Constant)
+
+
+def test_relative_import_resolution(tmp_path):
+    index = build(tmp_path, {
+        "units.py": "def mc_to_c(v):\n    return v / 1000.0\n",
+        "core/gov.py": "from ..units import mc_to_c\n",
+    })
+    gov = index.modules["app.core.gov"]
+    assert gov.imports["mc_to_c"] == "app.units.mc_to_c"
+    resolved = index.resolve_name(gov, "mc_to_c")
+    assert resolved is not None and resolved.qualname == "mc_to_c"
+
+
+# ------------------------------------------------------ call resolution
+
+
+def first_call(module, func_name):
+    func = module.functions[func_name]
+    for node in ast.walk(func.node):
+        if isinstance(node, ast.Call):
+            return node
+    raise AssertionError("no call in fixture function")
+
+
+def test_resolve_imported_function_call(tmp_path):
+    index = build(tmp_path, {
+        "units.py": "def khz_to_hz(freq_khz):\n    return freq_khz * 1000\n",
+        "use.py": (
+            "from app.units import khz_to_hz\n"
+            "def f(freq_khz):\n"
+            "    return khz_to_hz(freq_khz)\n"
+        ),
+    })
+    use = index.modules["app.use"]
+    callee = index.resolve_call(use, first_call(use, "f"))
+    assert callee is not None
+    assert callee.module == "app.units"
+    assert callee.params == ("freq_khz",)
+
+
+def test_resolve_dotted_module_attribute(tmp_path):
+    index = build(tmp_path, {
+        "units.py": "def hz_to_khz(freq_hz):\n    return freq_hz // 1000\n",
+        "use.py": (
+            "from app import units\n"
+            "def f(freq_hz):\n"
+            "    return units.hz_to_khz(freq_hz)\n"
+        ),
+    })
+    use = index.modules["app.use"]
+    callee = index.resolve_call(use, first_call(use, "f"))
+    assert callee is not None and callee.qualname == "hz_to_khz"
+
+
+def test_resolve_self_method(tmp_path):
+    index = build(tmp_path, {
+        "gov.py": """
+            class Governor:
+                def limit_c(self):
+                    return 75.0
+                def run(self):
+                    return self.limit_c()
+        """,
+    })
+    gov = index.modules["app.gov"]
+    run = gov.classes["Governor"].methods["run"]
+    call = next(n for n in ast.walk(run.node) if isinstance(n, ast.Call))
+    callee = index.resolve_call(gov, call, enclosing_class="Governor")
+    assert callee is not None and callee.qualname == "Governor.limit_c"
+
+
+def test_resolve_dataclass_constructor(tmp_path):
+    index = build(tmp_path, {
+        "model.py": """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Trip:
+                temp_c: float
+                hyst_c: float
+        """,
+        "use.py": (
+            "from app.model import Trip\n"
+            "def f():\n"
+            "    return Trip(60.0, 5.0)\n"
+        ),
+    })
+    use = index.modules["app.use"]
+    callee = index.resolve_call(use, first_call(use, "f"))
+    assert callee is not None
+    assert callee.params == ("temp_c", "hyst_c")  # synthesised __init__
+
+
+def test_unresolvable_call_is_none_not_error(tmp_path):
+    index = build(tmp_path, {
+        "use.py": (
+            "def f(sensor):\n"
+            "    return sensor.read()\n"
+        ),
+    })
+    use = index.modules["app.use"]
+    assert index.resolve_call(use, first_call(use, "f")) is None
+
+
+# ---------------------------------------------------------- fingerprint
+
+
+def test_fingerprint_tracks_content(tmp_path):
+    pkg, pairs = write_pkg(tmp_path, {"a.py": "X = 1\n"})
+    before = ProjectIndex.build(pairs, "app").fingerprint()
+    assert ProjectIndex.build(pairs, "app").fingerprint() == before  # stable
+    (pkg / "a.py").write_text("X = 2\n")
+    assert ProjectIndex.build(pairs, "app").fingerprint() != before
+
+
+def test_iter_functions_stable_order(tmp_path):
+    index = build(tmp_path, {
+        "b.py": "def zz():\n    pass\n\ndef aa():\n    pass\n",
+        "a.py": "class C:\n    def m(self):\n        pass\n",
+    })
+    names = [f.qualname for f in index.iter_functions()]
+    assert names == ["C.m", "aa", "zz"]
+    assert names == [f.qualname for f in index.iter_functions()]
+
+
+def test_syntax_error_surfaces(tmp_path):
+    path = tmp_path / "bad.py"
+    path.write_text("def broken(:\n")
+    with pytest.raises(SyntaxError):
+        index_module(path, "bad.py", "app")

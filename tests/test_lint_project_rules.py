@@ -1,0 +1,554 @@
+"""Fixture packages for the whole-program rule families (R5–R8).
+
+Each family gets a small on-disk package with a known-bad module, a
+known-clean module, and (family by family) suppression and baseline
+paths — all run through ``run_lint`` so suppression comments, relpath
+scoping and baseline reconciliation behave exactly as in production.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import get_rule, run_lint, update_baseline
+
+#: A minimal sanctioned-converter module: the dataflow pass recognises
+#: any module named ``units`` whose functions appear in the signature
+#: table, so fixtures exercise the same resolution path as repro.units.
+UNITS_PY = """
+    def celsius_to_kelvin(temp_c):
+        return temp_c + 273.15
+
+    def millicelsius_to_celsius(temp_mc):
+        return temp_mc / 1000.0
+"""
+
+
+def make_pkg(tmp_path, files, docs=None):
+    """Materialise ``{relpath: source}`` as package ``app``; docs aside."""
+    pkg = tmp_path / "app"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    for relpath, source in files.items():
+        path = pkg / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    docs_dir = None
+    if docs is not None:
+        docs_dir = tmp_path / "docs"
+        docs_dir.mkdir()
+        for name, text in docs.items():
+            (docs_dir / name).write_text(textwrap.dedent(text))
+    return pkg, docs_dir
+
+
+def lint_pkg(pkg, rule_ids, docs_dir=None, **kwargs):
+    """Run only ``rule_ids`` over the fixture package, no baseline."""
+    kwargs.setdefault("use_baseline", False)
+    return run_lint(
+        [pkg],
+        rules=[get_rule(rule_id) for rule_id in rule_ids],
+        docs_dir=docs_dir,
+        **kwargs,
+    )
+
+
+def rule_ids(report):
+    return [f.rule for f in report.new]
+
+
+# ------------------------------------------------------------ R5: units
+
+
+def test_r501_flags_cross_module_arg_mismatch(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "units.py": UNITS_PY,
+        "sensor.py": """
+            def smooth(temp_c):
+                return temp_c
+        """,
+        "daq.py": """
+            from app.sensor import smooth
+
+            def sample(raw_mc):
+                return smooth(raw_mc)
+        """,
+    })
+    report = lint_pkg(pkg, ["R501"])
+    assert rule_ids(report) == ["R501"]
+    finding = report.new[0]
+    assert finding.path == "daq.py"
+    assert "millicelsius" in finding.message
+    assert "temp_c" in finding.message
+
+
+def test_r501_flags_wrong_unit_into_converter(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "units.py": UNITS_PY,
+        "daq.py": """
+            from app.units import celsius_to_kelvin
+
+            def sample(raw_mc):
+                return celsius_to_kelvin(raw_mc)
+        """,
+    })
+    report = lint_pkg(pkg, ["R501"])
+    assert rule_ids(report) == ["R501"]
+
+
+def test_r501_keyword_argument_checked(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "gov.py": """
+            def set_limit(freq_khz):
+                return freq_khz
+
+            def apply(cur_hz):
+                return set_limit(freq_khz=cur_hz)
+        """,
+    })
+    report = lint_pkg(pkg, ["R501"])
+    assert rule_ids(report) == ["R501"]
+
+
+def test_r501_matching_units_and_unknowns_are_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "units.py": UNITS_PY,
+        "daq.py": """
+            from app.units import millicelsius_to_celsius
+
+            def smooth(temp_c):
+                return temp_c
+
+            def sample(raw_mc, mystery):
+                ok = smooth(millicelsius_to_celsius(raw_mc))
+                also_ok = smooth(mystery)  # unknown tag: never a finding
+                return ok, also_ok
+        """,
+    })
+    assert lint_pkg(pkg, ["R501"]).new == []
+
+
+def test_r502_flags_lying_function_name(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "sensor.py": """
+            def read_temp_c(raw_mc):
+                return raw_mc
+        """,
+    })
+    report = lint_pkg(pkg, ["R502"])
+    assert rule_ids(report) == ["R502"]
+    assert "read_temp_c" in report.new[0].message
+
+
+def test_r502_exempts_sanctioned_converters(tmp_path):
+    """``units.py`` converter names are typed by the table, not the
+    suffix — ``millicelsius_to_celsius`` ends in ``_celsius`` yet its
+    body returning something else must not flag."""
+    pkg, _ = make_pkg(tmp_path, {
+        "units.py": UNITS_PY,
+        "sensor.py": """
+            from app.units import millicelsius_to_celsius
+
+            def read_temp_c(raw_mc):
+                return millicelsius_to_celsius(raw_mc)
+        """,
+    })
+    assert lint_pkg(pkg, ["R502"]).new == []
+
+
+def test_r503_flags_type_laundering_assignment(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "gov.py": """
+            def poll(zone):
+                temp_c = zone.read_millicelsius()
+                return temp_c
+        """,
+    })
+    report = lint_pkg(pkg, ["R503"])
+    assert rule_ids(report) == ["R503"]
+    assert "temp_c" in report.new[0].message
+
+
+def test_r503_suppression_comment_honoured(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "gov.py": """
+            def poll(zone):
+                temp_c = zone.read_millicelsius()  # repro-lint: disable=R503 -- legacy shim
+                return temp_c
+        """,
+    })
+    assert lint_pkg(pkg, ["R503"]).new == []
+
+
+# -------------------------------------------------------------- R6: rng
+
+RNG_PY = """
+    import numpy as np
+
+    STREAM_NAMESPACES = frozenset({"daq", "faults"})
+
+    class RngRegistry:
+        def stream(self, name):
+            return np.random.default_rng(hash(name))
+"""
+
+
+def test_r601_flags_orphan_generator(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "noise.py": """
+            import numpy as np
+
+            def jitter():
+                return np.random.default_rng(42).normal()
+        """,
+    })
+    report = lint_pkg(pkg, ["R601"])
+    assert rule_ids(report) == ["R601"]
+    assert report.new[0].path == "noise.py"
+
+
+def test_r601_registry_module_is_exempt(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {"rng.py": RNG_PY})
+    assert lint_pkg(pkg, ["R601"]).new == []
+
+
+def test_r601_sees_through_import_aliases(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "noise.py": """
+            from numpy.random import default_rng
+
+            def jitter():
+                return default_rng(7)
+        """,
+    })
+    assert rule_ids(lint_pkg(pkg, ["R601"])) == ["R601"]
+
+
+def test_r602_flags_undeclared_namespace(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "sensor.py": """
+            def attach(registry):
+                return registry.stream("sesnor.noise")
+        """,
+    })
+    report = lint_pkg(pkg, ["R602"])
+    assert rule_ids(report) == ["R602"]
+    assert "sesnor" in report.new[0].message
+
+
+def test_r602_declared_namespaces_and_fstrings_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "sensor.py": """
+            def attach(registry, zone):
+                a = registry.stream("daq.noise")
+                b = registry.stream(f"faults.{zone}")
+                c = registry.stream(zone)  # fully dynamic: unknowable
+                return a, b, c
+        """,
+    })
+    assert lint_pkg(pkg, ["R602"]).new == []
+
+
+def test_r602_fstring_with_interpolated_namespace_is_skipped(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "sensor.py": """
+            def attach(registry, kind):
+                return registry.stream(f"{kind}.noise")
+        """,
+    })
+    assert lint_pkg(pkg, ["R602"]).new == []
+
+
+def test_r602_silent_without_declared_allowlist(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": """
+            class RngRegistry:
+                def stream(self, name):
+                    return name
+        """,
+        "sensor.py": """
+            def attach(registry):
+                return registry.stream("anything.goes")
+        """,
+    })
+    assert lint_pkg(pkg, ["R602"]).new == []
+
+
+# ---------------------------------------------------- R7: serialization
+
+
+def test_r701_flags_writer_only_key(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "snap.py": """
+            class Snapshot:
+                def to_dict(self):
+                    return {"temp": self.temp, "freq": self.freq}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(data["temp"])
+        """,
+    })
+    report = lint_pkg(pkg, ["R701"])
+    assert rule_ids(report) == ["R701"]
+    assert "'freq'" in report.new[0].message
+    assert "dropped on load" in report.new[0].message
+
+
+def test_r701_flags_reader_only_key(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "snap.py": """
+            class Snapshot:
+                def to_dict(self):
+                    return {"temp": self.temp}
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(data["temp"], data.get("freq", 0))
+        """,
+    })
+    report = lint_pkg(pkg, ["R701"])
+    assert rule_ids(report) == ["R701"]
+    assert "'freq'" in report.new[0].message
+
+
+def test_r701_symmetric_and_built_dict_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "snap.py": """
+            class Snapshot:
+                def to_dict(self):
+                    out = {"temp": self.temp}
+                    out["freq"] = self.freq
+                    return out
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(data["temp"], data.pop("freq", 0))
+        """,
+    })
+    assert lint_pkg(pkg, ["R701"]).new == []
+
+
+def test_r701_dynamic_serializers_are_skipped(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "snap.py": """
+            from dataclasses import asdict
+
+            class Snapshot:
+                def to_dict(self):
+                    return asdict(self)
+
+                @classmethod
+                def from_dict(cls, data):
+                    return cls(**data)
+        """,
+    })
+    assert lint_pkg(pkg, ["R701"]).new == []
+
+
+def test_r702_flags_version_skew(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "store.py": 'FORMAT = "repro.fixture/2"\n',
+        "reader.py": """
+            def accepts(header):
+                return header == "repro.fixture/1"
+        """,
+    })
+    report = lint_pkg(pkg, ["R702"])
+    assert rule_ids(report) == ["R702", "R702"]  # both sites implicated
+    assert all("repro.fixture" in f.message for f in report.new)
+
+
+def test_r702_flags_retyped_literal(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "store.py": 'FORMAT = "repro.fixture/1"\n',
+        "reader.py": """
+            def accepts(header):
+                return header == "repro.fixture/1"
+        """,
+    })
+    report = lint_pkg(pkg, ["R702"])
+    assert rule_ids(report) == ["R702"]
+    assert report.new[0].path == "reader.py"
+    assert "app.store" in report.new[0].message
+
+
+def test_r702_importing_the_constant_is_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "store.py": 'FORMAT = "repro.fixture/1"\n',
+        "reader.py": """
+            from app.store import FORMAT
+
+            def accepts(header):
+                return header == FORMAT
+        """,
+    })
+    assert lint_pkg(pkg, ["R702"]).new == []
+
+
+# --------------------------------------------------------- R8: metrics
+
+METRICS_DOC = """
+    # Observability
+
+    | Family | Kind | Help |
+    | --- | --- | --- |
+    | `repro_good_total` | counter | documented and emitted |
+    | `repro_ghost_total` | counter | documented, never emitted |
+"""
+
+
+def test_r801_flags_undocumented_family(tmp_path):
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "obs.py": """
+            def install(metrics):
+                metrics.counter("repro_good_total", "ok")
+                metrics.counter("repro_rogue_total", "undocumented")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC +
+             "    | `repro_rogue_total` | counter | pretend |\n"})
+    # Start from a doc that *does* list it: clean...
+    assert lint_pkg(pkg, ["R801"], docs_dir=docs_dir).new == []
+    # ...then drop the row: R801.
+    (docs_dir / "OBSERVABILITY.md").write_text(textwrap.dedent(METRICS_DOC))
+    report = lint_pkg(pkg, ["R801"], docs_dir=docs_dir)
+    assert rule_ids(report) == ["R801"]
+    assert "repro_rogue_total" in report.new[0].message
+    assert report.new[0].path == "obs.py"
+
+
+def test_r802_flags_documented_but_unemitted(tmp_path):
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "obs.py": """
+            def install(metrics):
+                metrics.counter("repro_good_total", "ok")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC})
+    report = lint_pkg(pkg, ["R802"], docs_dir=docs_dir)
+    assert rule_ids(report) == ["R802"]
+    finding = report.new[0]
+    assert "repro_ghost_total" in finding.message
+    assert finding.path == "docs/OBSERVABILITY.md"  # anchored in the doc
+
+
+def test_r802_constant_pool_counts_as_existing(tmp_path):
+    """Names emitted through a table (the fleet-gauge idiom) must not be
+    reported as documentation rot."""
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "obs.py": """
+            FAMILIES = ("repro_good_total", "repro_ghost_total")
+
+            def install(metrics):
+                for name in FAMILIES:
+                    metrics.counter(name, "from the table")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC})
+    assert lint_pkg(pkg, ["R802"], docs_dir=docs_dir).new == []
+
+
+def test_r803_flags_cross_site_kind_conflict(tmp_path):
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "a.py": """
+            def install(metrics):
+                metrics.counter("repro_good_total", "here a counter")
+        """,
+        "b.py": """
+            def install(metrics):
+                metrics.gauge("repro_good_total", "there a gauge")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC})
+    report = lint_pkg(pkg, ["R803"], docs_dir=docs_dir)
+    assert rule_ids(report) == ["R803"]
+    assert "conflicting kinds" in report.new[0].message
+
+
+def test_r803_flags_code_vs_doc_kind_skew(tmp_path):
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "obs.py": """
+            def install(metrics):
+                metrics.gauge("repro_good_total", "doc says counter")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC})
+    report = lint_pkg(pkg, ["R803"], docs_dir=docs_dir)
+    assert rule_ids(report) == ["R803"]
+    assert "documented as a counter" in report.new[0].message
+
+
+def test_r8_family_silent_without_catalogue_doc(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "obs.py": """
+            def install(metrics):
+                metrics.counter("repro_rogue_total", "no doc to drift from")
+        """,
+    })
+    report = lint_pkg(pkg, ["R801", "R802", "R803"],
+                      docs_dir=tmp_path / "nonexistent")
+    assert report.new == []
+
+
+def test_r8_declare_sites_participate(tmp_path):
+    pkg, docs_dir = make_pkg(tmp_path, {
+        "obs.py": """
+            def install(metrics):
+                metrics.counter("repro_good_total", "ok")
+                metrics.declare("repro_ghost_total", "gauge")
+        """,
+    }, docs={"OBSERVABILITY.md": METRICS_DOC})
+    # declare() keeps R802 quiet for the ghost, but its kind skews R803.
+    assert lint_pkg(pkg, ["R802"], docs_dir=docs_dir).new == []
+    report = lint_pkg(pkg, ["R803"], docs_dir=docs_dir)
+    assert rule_ids(report) == ["R803"]
+
+
+# --------------------------------------- baseline flow for project rules
+
+
+def test_project_finding_baseline_roundtrip(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "gov.py": """
+            def poll(zone):
+                temp_c = zone.read_millicelsius()
+                return temp_c
+        """,
+    })
+    baseline = tmp_path / "baseline.json"
+    first = lint_pkg(pkg, ["R503"])
+    assert first.exit_code == 1
+    update_baseline(first, baseline, justification="fixture shim, tracked")
+    second = lint_pkg(pkg, ["R503"], use_baseline=True,
+                      baseline_path=baseline)
+    assert second.exit_code == 0
+    assert len(second.baselined) == 1
+    # Fix the finding: the entry goes stale, which is exit code 2.
+    (pkg / "gov.py").write_text(textwrap.dedent("""
+        def poll(zone):
+            temp_mc = zone.read_millicelsius()
+            return temp_mc
+    """))
+    third = lint_pkg(pkg, ["R503"], use_baseline=True,
+                     baseline_path=baseline)
+    assert third.exit_code == 2
+    assert third.new == [] and len(third.stale_baseline) == 1
+
+
+def test_baseline_rejects_empty_justification(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({
+        "version": 1,
+        "entries": [{
+            "rule": "R503",
+            "path": "gov.py",
+            "context": "temp_c = zone.read_millicelsius()",
+            "justification": "   ",
+        }],
+    }))
+    pkg, _ = make_pkg(tmp_path, {"gov.py": "X = 1\n"})
+    with pytest.raises(ConfigurationError, match="empty justification"):
+        lint_pkg(pkg, ["R503"], use_baseline=True, baseline_path=baseline)

@@ -37,9 +37,10 @@ def test_doc_exists():
 def test_metric_catalogue_matches_registry(loaded_sim):
     documented = {
         name for name in _METRIC_RE.findall(DOC.read_text())
-        # Fleet families come from the campaign aggregator, not a sim
-        # registry; they are checked against FLEET_FAMILIES below.
-        if not name.startswith("repro_fleet_")
+        # Fleet and campaign families come from the campaign layer, not a
+        # sim registry; they are checked against FLEET_FAMILIES and a live
+        # CampaignRunner below.
+        if not name.startswith(("repro_fleet_", "repro_campaign_"))
     }
     emitted = set(loaded_sim.metrics.names())
     missing = emitted - documented
@@ -59,6 +60,35 @@ def test_fleet_catalogue_matches_aggregator():
     emitted = set(FLEET_FAMILIES)
     assert documented == emitted, (
         f"doc/aggregator drift: doc-only {sorted(documented - emitted)}, "
+        f"code-only {sorted(emitted - documented)}"
+    )
+
+
+def test_campaign_catalogue_matches_runner(tmp_path):
+    """Documented repro_campaign_* names == what a runner registers.
+
+    These families are emitted by ``repro.campaign.runner`` (host-side),
+    so the sim-registry check above cannot see them; lint rule R801 is
+    what originally forced them into this catalogue.
+    """
+    from repro.campaign import Axis, CampaignRunner, CampaignSpec, ResultStore
+
+    spec = CampaignSpec(
+        name="doc-check",
+        base={"platform": "odroid-xu3",
+              "apps": ({"kind": "catalog", "name": "stickman",
+                        "cluster": None},)},
+        axes=(Axis("seed", (1,)),),
+    )
+    runner = CampaignRunner(spec, ResultStore(tmp_path), jobs=1)
+    documented = {
+        name for name in _METRIC_RE.findall(DOC.read_text())
+        if name.startswith("repro_campaign_")
+    }
+    emitted = {n for n in runner.metrics.names()
+               if n.startswith("repro_campaign_")}
+    assert documented == emitted, (
+        f"doc/runner drift: doc-only {sorted(documented - emitted)}, "
         f"code-only {sorted(emitted - documented)}"
     )
 
