@@ -8,11 +8,12 @@ CAMPAIGN_STORE ?= /tmp/repro-campaign-smoke
 PLATFORM_STORE ?= /tmp/repro-platform-matrix
 CHAOS_STORE ?= /tmp/repro-chaos-smoke
 TELEMETRY_STORE ?= /tmp/repro-telemetry-smoke
+CALIB_DIR ?= /tmp/repro-calib-smoke
 
 LINT_CACHE ?= /tmp/repro-lint-cache.json
 
 .PHONY: lint lint-fast lint-full test check campaign-smoke chaos-smoke \
-	telemetry-smoke validate-platforms
+	telemetry-smoke validate-platforms calib-smoke
 
 lint:
 	$(PYTHON) -m repro lint
@@ -64,4 +65,16 @@ telemetry-smoke:
 	cd benchmarks && PYTHONPATH=$(CURDIR)/src \
 	  $(PYTHON) -m pytest -x -q bench_telemetry_overhead.py
 
-check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke
+# Close the calibration loop at reduced scale: excite a registered board,
+# fit a definition from the trace alone, and validate the fitted JSON as
+# an out-of-tree platform (docs/CALIBRATION.md).
+calib-smoke:
+	rm -rf $(CALIB_DIR) && mkdir -p $(CALIB_DIR)
+	$(PYTHON) -m repro platforms excite --platform odroid-xu3 \
+	  --dwell-s 0.5 --soak-s 4 --cooldown-s 8 --max-opps 4 \
+	  --out $(CALIB_DIR)/trace.json
+	$(PYTHON) -m repro platforms fit --trace $(CALIB_DIR)/trace.json \
+	  --name odroid-xu3-refit --out $(CALIB_DIR)/fitted.json --register
+	$(PYTHON) -m repro platforms validate --file $(CALIB_DIR)/fitted.json
+
+check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke calib-smoke

@@ -1,0 +1,44 @@
+"""Smoke benchmark (extension): full-pipeline calibration fit wall time.
+
+Excites the Odroid-XU3 at the default identification scale once (setup,
+untimed), then times the complete trace-to-validated-definition fit —
+every estimator stage plus assembly and schema validation.  The gate
+keeps the fit interactive: `repro platforms fit` is meant to be a
+sub-second command, not an offline job, so a regression that drags the
+NNLS/grid-search stages into multi-second territory fails here before it
+annoys anyone.
+"""
+
+import time
+
+from repro.calib import fit_platform, run_excitation
+
+from _harness import run_once
+
+#: Wall-time ceiling for one full fit (observed locally: ~0.2 s; the
+#: ceiling is tolerant of loaded CI hosts).
+MAX_FIT_SECONDS = 5.0
+
+
+def test_calib_fit_wall_time(benchmark, emit):
+    trace = run_excitation("odroid-xu3", seed=0)
+
+    def fit():
+        started = time.perf_counter()
+        pdef, report = fit_platform(trace, name="odroid-xu3-bench")
+        return pdef, report, time.perf_counter() - started
+
+    pdef, report, elapsed = run_once(benchmark, fit)
+    assert pdef.name == "odroid-xu3-bench"
+    assert elapsed < MAX_FIT_SECONDS, (
+        f"full-pipeline fit took {elapsed:.2f}s (limit {MAX_FIT_SECONDS}s)"
+    )
+    lines = [
+        f"trace: {trace.duration_s():.1f} s simulated, "
+        f"{len(trace.names())} channels",
+        f"fit: {elapsed:.3f} s wall ({len(report.stage_names())} stages, "
+        f"limit {MAX_FIT_SECONDS:.0f} s)",
+        "",
+        report.summary(),
+    ]
+    emit("bench_calib_fit", "\n".join(lines))

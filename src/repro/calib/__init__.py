@@ -1,0 +1,50 @@
+"""Auto-calibration: fit a registrable :class:`~repro.soc.defs.PlatformDef`
+from logged traces.
+
+The source paper derives its power/thermal models by hand from instrumented
+runs (DAQ power captures, sysfs temperature/frequency logs).  This package
+automates that system-identification step:
+
+* :mod:`repro.calib.trace` — the versioned ``CalibTrace`` wire format and
+  loaders for DAQ captures and sysfs-style logs;
+* :mod:`repro.calib.excite` — scripted step/staircase/cooldown excitation
+  runs through the existing :class:`~repro.sim.engine.Simulation` that
+  produce identification-grade traces;
+* :mod:`repro.calib.fit` — the staged estimators (per-OPP CV^2 f
+  regression, De Vogeleer log-linear leakage, RC-network identification)
+  and the :class:`FitReport` they fill in;
+* :mod:`repro.calib.assemble` — merges fitted parameters with the trace's
+  structural metadata into a validated ``PlatformDef``.
+
+The correctness contract is closed-loop: exciting a registered definition
+and fitting from the trace alone recovers every fitted parameter within
+tolerance (see ``docs/CALIBRATION.md``), and the fitted definition runs
+through scenarios, campaigns, chaos and lint with zero code branches.
+"""
+
+from repro.calib.assemble import assemble_platform_def, fit_platform
+from repro.calib.excite import ExcitationConfig, run_excitation
+from repro.calib.fit import FitReport, StageFit
+from repro.calib.trace import (
+    CALIB_TRACE_FORMAT,
+    CalibSegment,
+    CalibTrace,
+    trace_from_daq,
+    trace_from_recorder,
+    trace_from_sysfs_log,
+)
+
+__all__ = [
+    "CALIB_TRACE_FORMAT",
+    "CalibSegment",
+    "CalibTrace",
+    "ExcitationConfig",
+    "FitReport",
+    "StageFit",
+    "assemble_platform_def",
+    "fit_platform",
+    "run_excitation",
+    "trace_from_daq",
+    "trace_from_recorder",
+    "trace_from_sysfs_log",
+]

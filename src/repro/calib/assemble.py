@@ -1,0 +1,168 @@
+"""Turn a fit report plus a trace's structural prior into a `PlatformDef`.
+
+The estimators recover numbers; this module recovers a *device*: it merges
+the trace's structural metadata (cluster inventory, thermal topology,
+sensors, software defaults) with the fitted parameters of every stage into
+a :class:`~repro.soc.defs.PlatformDef` that validates and registers exactly
+like a hand-written definition.  The assembled definition is pure data —
+downstream layers (scenarios, campaigns, chaos, lint) cannot tell a fitted
+platform from an authored one, which is the whole point.
+"""
+
+from __future__ import annotations
+
+from repro.calib.fit import FitReport, fit_trace
+from repro.calib.trace import CalibTrace
+from repro.errors import CalibrationError
+from repro.soc.defs import PlatformDef
+
+
+def _positive(value: float, what: str) -> float:
+    if value <= 0.0:
+        raise CalibrationError(
+            f"{what} came out non-positive ({value!r}); the trace does not "
+            "excite this parameter enough to identify it"
+        )
+    return float(value)
+
+
+def _component_block(comp_meta: dict, dvfs, leakage, what: str) -> dict:
+    """Shared cluster/GPU assembly: structure from meta, numbers from fit."""
+    return {
+        "opps": dict(dvfs.params["opps"]),
+        "ceff_w_per_v2hz": _positive(
+            dvfs.params["ceff_w_per_v2hz"], f"{what} ceff"
+        ),
+        "idle_power_w": float(dvfs.params["idle_power_w"]),
+        "leakage": {
+            "kappa_w_per_k2": float(leakage.params["kappa_w_per_k2"]),
+            "beta_k": _positive(leakage.params["beta_k"], f"{what} beta"),
+        },
+        "thermal_node": comp_meta["thermal_node"],
+        "rail": comp_meta["rail"],
+    }
+
+
+def assemble_platform_def(
+    trace: CalibTrace, report: FitReport, name: str | None = None
+) -> PlatformDef:
+    """Build the definition described by ``trace`` structure + ``report`` fit.
+
+    ``name`` overrides the platform name (default: the trace's structural
+    platform name, falling back to its ``platform_hint``).  Raises
+    :class:`~repro.errors.CalibrationError` when a fitted parameter is
+    degenerate (non-positive capacitance, conductance or C_eff).
+    """
+    meta = trace.meta
+    resolved = name or meta.get("platform") or trace.platform_hint
+    if not resolved:
+        raise CalibrationError(
+            "cannot name the assembled platform: pass name=..., or use a "
+            "trace with a platform hint"
+        )
+
+    clusters = []
+    for comp in meta["clusters"]:
+        block = _component_block(
+            comp,
+            report.stage(f"dvfs.{comp['name']}"),
+            report.stage(f"leakage.{comp['name']}"),
+            f"cluster {comp['name']!r}",
+        )
+        block.update({
+            "name": comp["name"],
+            "core_type": comp["core_type"],
+            "n_cores": int(comp["n_cores"]),
+            "is_big": bool(comp.get("is_big", False)),
+            "is_little": bool(comp.get("is_little", False)),
+            "ipc": float(comp.get("ipc", 1.0)),
+        })
+        clusters.append(block)
+
+    gpu_meta = meta["gpu"]
+    gpu = _component_block(
+        gpu_meta, report.stage("dvfs.gpu"), report.stage("leakage.gpu"), "gpu",
+    )
+    gpu.update({"name": gpu_meta["name"], "gpu_type": gpu_meta["gpu_type"]})
+
+    mem_meta = meta["memory"]
+    mem_fit = report.stage("memory")
+    memory = {
+        "name": mem_meta["name"],
+        "base_power_w": float(mem_fit.params["base_power_w"]),
+        "activity_power_w": float(mem_fit.params["activity_power_w"]),
+        "leakage": {
+            "kappa_w_per_k2": float(mem_fit.params["kappa_w_per_k2"]),
+            "beta_k": _positive(mem_fit.params["beta_k"], "memory beta"),
+        },
+        "thermal_node": mem_meta["thermal_node"],
+        "rail": mem_meta["rail"],
+    }
+
+    rc = report.stage("rc")
+    nodes = [
+        {
+            "name": node["name"],
+            "capacitance_j_per_k": _positive(
+                node["capacitance_j_per_k"], f"node {node['name']!r} capacitance"
+            ),
+        }
+        for node in rc.params["nodes"]
+    ]
+    links = [
+        {
+            "a": link["a"],
+            "b": link["b"],
+            "conductance_w_per_k": _positive(
+                link["conductance_w_per_k"],
+                f"link {link['a']}-{link['b']} conductance",
+            ),
+        }
+        for link in rc.params["links"]
+    ]
+
+    board_w = float(report.stage("board").params["board_power_w"])
+    if board_w < 1e-6:
+        board_w = 0.0
+
+    extras = dict(meta.get("extras", {}))
+    extras["calibration"] = {
+        "source": "repro.calib",
+        "trace_hint": trace.platform_hint,
+        "stages": report.stage_names(),
+    }
+
+    return PlatformDef(
+        name=resolved,
+        clusters=tuple(clusters),
+        gpu=gpu,
+        memory=memory,
+        thermal={
+            "nodes": nodes,
+            "links": links,
+            "power_split": {
+                rail: dict(split)
+                for rail, split in meta["thermal"]["power_split"].items()
+            },
+        },
+        sensors=tuple(dict(s) for s in meta.get("sensors", ())),
+        board_power_w=board_w,
+        default_ambient_c=trace.ambient_c,
+        initial_temp_c=meta.get("initial_temp_c"),
+        extras=extras,
+        software=dict(meta.get("software", {})),
+    )
+
+
+def fit_platform(
+    trace: CalibTrace, name: str | None = None
+) -> tuple[PlatformDef, FitReport]:
+    """End-to-end: run every estimator, assemble and validate the definition.
+
+    Returns ``(platform_def, fit_report)``; the definition has passed
+    :meth:`~repro.soc.defs.PlatformDef.validate` and is ready to register.
+    """
+    report = fit_trace(trace)
+    pdef = assemble_platform_def(trace, report, name=name)
+    pdef.validate()
+    return pdef, report

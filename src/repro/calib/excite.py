@@ -1,0 +1,312 @@
+"""Scripted excitation runs that produce identification-grade traces.
+
+System identification needs inputs rich enough to separate the model terms:
+per-domain OPP *staircases* under saturating load expose the CV^2 f curve
+and the idle floor, an all-out heat *soak* spreads the temperature range the
+leakage fit needs, and a parked *cooldown* is the step response the RC
+identification reads its time constants from.  :func:`run_excitation`
+drives all of that through the ordinary :class:`~repro.sim.engine.Simulation`
+— userspace-pinned governors, real scheduler, real cpuidle gating — and
+returns a :class:`~repro.calib.trace.CalibTrace` whose ``meta`` block holds
+only the *structural* prior (cluster inventory, thermal topology, sensor
+datasheet constants), never the numbers the fit is supposed to recover.
+
+Dwell lengths are jittered on the ``calib.excite`` RNG stream so repeated
+runs with different seeds decorrelate any periodic artefact, while the same
+seed reproduces the exact trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.calib.trace import CalibSegment, CalibTrace
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import GPU_DOMAIN, KernelConfig
+from repro.sim.engine import Simulation
+from repro.soc.defs import PlatformDef
+from repro.units import hz_to_mhz, mhz
+
+
+@dataclass(frozen=True)
+class ExcitationConfig:
+    """Shape of one excitation run.
+
+    ``dwell_s`` is the nominal hold time per OPP step (jittered per step by
+    up to ``dwell_jitter`` of itself); ``max_opps_per_domain`` subsamples
+    long OPP ladders, always keeping both endpoints.
+    """
+
+    dwell_s: float = 1.2
+    max_opps_per_domain: int = 8
+    soak_s: float = 12.0
+    cooldown_s: float = 25.0
+    settle_s: float = 1.0
+    dwell_jitter: float = 0.1
+    dt_s: float = 0.01
+    record_period_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.dwell_s <= 0.0 or self.dt_s <= 0.0 or self.record_period_s <= 0.0:
+            raise ConfigurationError("excitation durations must be positive")
+        if self.soak_s <= 0.0 or self.cooldown_s <= 0.0 or self.settle_s <= 0.0:
+            raise ConfigurationError("excitation durations must be positive")
+        if self.max_opps_per_domain < 2:
+            raise ConfigurationError("need at least two OPPs per staircase")
+        if not 0.0 <= self.dwell_jitter < 1.0:
+            raise ConfigurationError("dwell jitter must be in [0, 1)")
+        if self.dwell_s < 4.0 * self.record_period_s:
+            raise ConfigurationError(
+                "dwell must span at least four record periods, otherwise "
+                "no clean samples survive the settling mask"
+            )
+
+
+def structural_meta(pdef: PlatformDef) -> dict:
+    """The prior a real device discloses without any measurement.
+
+    Cluster/GPU inventory and available frequencies mirror sysfs, the
+    thermal topology and rail-to-node power splits mirror the devicetree,
+    and sensor constants come off the datasheet.  Everything the estimators
+    fit — capacitances, conductances, C_eff, leakage, idle/base powers,
+    supply voltages — is deliberately absent.
+    """
+    spec = pdef.compile()
+    clusters = []
+    for cluster in spec.clusters:
+        clusters.append({
+            "name": cluster.name,
+            "core_type": cluster.core_type,
+            "n_cores": cluster.n_cores,
+            "freqs_mhz": [hz_to_mhz(f) for f in cluster.opps.frequencies_hz()],
+            "rail": cluster.rail,
+            "thermal_node": cluster.thermal_node,
+            "is_big": cluster.is_big,
+            "is_little": cluster.is_little,
+            "ipc": cluster.ipc,
+        })
+    meta = {
+        "source": "repro.calib.excite",
+        "platform": pdef.name,
+        "clusters": clusters,
+        "gpu": {
+            "name": spec.gpu.name,
+            "gpu_type": spec.gpu.gpu_type,
+            "freqs_mhz": [hz_to_mhz(f) for f in spec.gpu.opps.frequencies_hz()],
+            "rail": spec.gpu.rail,
+            "thermal_node": spec.gpu.thermal_node,
+        },
+        "memory": {
+            "name": spec.memory.name,
+            "rail": spec.memory.rail,
+            "thermal_node": spec.memory.thermal_node,
+        },
+        "thermal": {
+            "nodes": list(spec.thermal.node_names),
+            "links": [[link.node_a, link.node_b] for link in spec.thermal.links],
+            "power_split": {
+                rail: dict(split)
+                for rail, split in spec.thermal.power_split.items()
+            },
+        },
+        "sensors": [dict(s) for s in pdef.sensors],
+        "software": dict(pdef.software),
+        "extras": dict(pdef.extras),
+        "initial_temp_c": pdef.initial_temp_c,
+        "has_board_rail": pdef.board_power_w > 0.0,
+    }
+    return meta
+
+
+def _subsample_opps(freqs_hz: tuple, limit: int) -> list[float]:
+    """At most ``limit`` frequencies, endpoints always included, ascending."""
+    if len(freqs_hz) <= limit:
+        return list(freqs_hz)
+    step = (len(freqs_hz) - 1) / (limit - 1)
+    picked = sorted({round(i * step) for i in range(limit)})
+    return [freqs_hz[i] for i in picked]
+
+
+def _resolve(platform) -> PlatformDef:
+    if isinstance(platform, PlatformDef):
+        return platform
+    if isinstance(platform, str):
+        from repro.soc import registry
+
+        return registry.get(platform)
+    raise ConfigurationError(
+        f"platform must be a name or a PlatformDef, got {type(platform).__name__}"
+    )
+
+
+class _Excitation:
+    """One excitation run in progress (shared plumbing for the phases)."""
+
+    def __init__(self, pdef: PlatformDef, seed: int, config: ExcitationConfig):
+        self.pdef = pdef
+        self.config = config
+        spec = pdef.compile()
+        self.spec = spec
+        # Default KernelConfig: no stock thermal policy, nothing fighting the
+        # pinned frequencies during identification.
+        self.sim = Simulation(
+            spec,
+            kernel_config=KernelConfig(),
+            seed=seed,
+            dt_s=config.dt_s,
+            record_period_s=config.record_period_s,
+        )
+        self._jitter_rng = self.sim.rng.stream("calib.excite")
+        self.segments: list[CalibSegment] = []
+        self.domains = [c.name for c in spec.clusters] + [GPU_DOMAIN]
+        for domain in self.domains:
+            self.sim.kernel.set_cpu_governor(domain, "userspace")
+        self.park()
+
+    def opps(self, domain: str):
+        if domain == GPU_DOMAIN:
+            return self.spec.gpu.opps
+        return self.spec.cluster(domain).opps
+
+    def park(self) -> None:
+        """Pin every domain at its lowest OPP."""
+        for domain in self.domains:
+            self.sim.kernel.userspace_set_speed(domain, self.opps(domain).min_freq_hz)
+
+    def dwell(self) -> float:
+        """One jittered dwell, rounded to a whole number of ticks."""
+        cfg = self.config
+        raw = cfg.dwell_s * (1.0 + cfg.dwell_jitter * self._jitter_rng.uniform(-1.0, 1.0))
+        ticks = max(1, round(raw / cfg.dt_s))
+        return ticks * cfg.dt_s
+
+    def segment(self, name: str, kind: str, domain: str = "") -> "_SegmentScope":
+        return _SegmentScope(self, name, kind, domain)
+
+    def staircase_cluster(self, cluster) -> None:
+        """Sweep one CPU cluster's ladder under a saturating load."""
+        task = self.sim.kernel.spawn(
+            f"calib-{cluster.name}",
+            cluster=cluster.name,
+            n_threads=cluster.n_cores,
+            unbounded=True,
+        )
+        with self.segment(f"staircase-{cluster.name}", "staircase", cluster.name):
+            for freq_hz in _subsample_opps(
+                cluster.opps.frequencies_hz(), self.config.max_opps_per_domain
+            ):
+                self.sim.kernel.userspace_set_speed(cluster.name, freq_hz)
+                self.sim.run(self.dwell())
+        self.sim.kernel.scheduler.kill(task.pid)
+        self.park()
+
+    def staircase_gpu(self) -> None:
+        """Sweep the GPU ladder with exact-cycle render submissions."""
+        opps = self.spec.gpu.opps
+        with self.segment("staircase-gpu", "staircase", GPU_DOMAIN):
+            for freq_hz in _subsample_opps(
+                opps.frequencies_hz(), self.config.max_opps_per_domain
+            ):
+                self.sim.kernel.userspace_set_speed(GPU_DOMAIN, freq_hz)
+                dwell = self.dwell()
+                self.sim.kernel.gpu.submit("calib", cycles=freq_hz * dwell)
+                self.sim.run(dwell)
+        self.park()
+
+    def soak(self) -> None:
+        """Everything flat out at the top OPPs: the hot end of the fits."""
+        cfg = self.config
+        pids = []
+        for cluster in self.spec.clusters:
+            pids.append(self.sim.kernel.spawn(
+                f"calib-soak-{cluster.name}",
+                cluster=cluster.name,
+                n_threads=cluster.n_cores,
+                unbounded=True,
+            ).pid)
+        for domain in self.domains:
+            self.sim.kernel.userspace_set_speed(domain, self.opps(domain).max_freq_hz)
+        # Slightly undershoot the GPU cycles so the queue drains before the
+        # cooldown starts and the decay is unpolluted.
+        self.sim.kernel.gpu.submit(
+            "calib", cycles=self.spec.gpu.opps.max_freq_hz * cfg.soak_s * 0.97
+        )
+        with self.segment("soak", "soak"):
+            self.sim.run(cfg.soak_s)
+        for pid in pids:
+            self.sim.kernel.scheduler.kill(pid)
+        self.park()
+
+    def quiesce(self, name: str, duration_s: float) -> None:
+        """Parked, unloaded interval (settling or the cooldown step response)."""
+        with self.segment(name, "cooldown"):
+            self.sim.run(duration_s)
+
+    def build_trace(self) -> CalibTrace:
+        """Package the recorder channels (plus derived volt.*) as a trace."""
+        channels = {}
+        for name in self.sim.traces.names():
+            channels[name] = self.sim.traces.series(name)
+        # Regulator telemetry: a real capture logs the supply voltage next
+        # to the clock; the simulated analogue maps each recorded frequency
+        # through the OPP table it ran at.
+        for domain in self.domains:
+            times, freqs_mhz = self.sim.traces.series(f"freq.{domain}")
+            opps = self.opps(domain)
+            volts = [opps.voltage_for(mhz(f)) for f in freqs_mhz]
+            channels[f"volt.{domain}"] = (times, volts)
+        meta = structural_meta(self.pdef)
+        meta["seed"] = self.sim.seed
+        return CalibTrace(
+            channels=channels,
+            segments=self.segments,
+            ambient_c=self.pdef.default_ambient_c,
+            platform_hint=self.pdef.name,
+            meta=meta,
+        )
+
+
+class _SegmentScope:
+    """Records one :class:`CalibSegment` around a block of simulated time."""
+
+    def __init__(self, run: _Excitation, name: str, kind: str, domain: str):
+        self._run = run
+        self._name = name
+        self._kind = kind
+        self._domain = domain
+
+    def __enter__(self) -> None:
+        self._start = self._run.sim.now_s
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._run.segments.append(CalibSegment(
+                name=self._name,
+                kind=self._kind,
+                start_s=self._start,
+                end_s=self._run.sim.now_s,
+                domain=self._domain,
+            ))
+
+
+def run_excitation(
+    platform,
+    seed: int = 0,
+    config: ExcitationConfig | None = None,
+) -> CalibTrace:
+    """Excite ``platform`` (a registry name or a :class:`PlatformDef`).
+
+    The scenario is: settle parked, staircase each CPU cluster under
+    saturating load, staircase the GPU, soak everything at the top OPPs,
+    then cool down parked.  Returns the identification-grade trace.
+    """
+    cfg = config or ExcitationConfig()
+    pdef = _resolve(platform)
+    run = _Excitation(pdef, seed, cfg)
+    run.quiesce("settle", cfg.settle_s)
+    for cluster in run.spec.clusters:
+        run.staircase_cluster(cluster)
+    run.staircase_gpu()
+    run.soak()
+    run.quiesce("cooldown", cfg.cooldown_s)
+    return run.build_trace()

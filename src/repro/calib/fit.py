@@ -1,0 +1,730 @@
+"""Staged estimators: from a :class:`CalibTrace` to fitted model parameters.
+
+The identification is gray-box — the model *structure* (CV^2 f dynamic
+power, De Vogeleer-style ``kappa T^2 exp(-beta/T)`` leakage, a linear RC
+thermal network) is assumed, and the trace determines the numbers:
+
+* ``dvfs.<domain>`` — per-OPP regression of rail power against
+  ``V^2 f busy`` over the staircase samples where the component is active
+  (cpuidle keeps the idle scale at 1 there), recovering the effective
+  switched capacitance, the idle floor, and the voltage ladder endpoints
+  from the regulator-telemetry channel;
+* ``leakage.<domain>`` — two-step leakage fit: a non-negative joint fit
+  over a beta grid separates the leakage column from the dynamic terms,
+  then the *shared* log-linear estimator (:func:`fit_log_linear_leakage`,
+  also used by :mod:`repro.core.calibration`) refines (kappa, beta) on the
+  temperature-bias-corrected residual;
+* ``memory`` — same two-step scheme against the re-derived memory activity
+  (the engine's documented ``0.25 * busy/cores + 0.6 * gpu`` mix);
+* ``rc`` — one-step state regression over clean record pairs recovers the
+  discrete transition matrices; the matrix logarithm maps them back to
+  continuous time, and a single non-negative least-squares assembly pins
+  capacitances and link conductances to the declared topology;
+* ``board`` — the constant rest-of-platform rail.
+
+Each stage reports its parameters, residual and sample count in a
+:class:`StageFit`; :func:`fit_trace` runs all stages and returns the
+:class:`FitReport` that :mod:`repro.calib.assemble` turns into a
+:class:`~repro.soc.defs.PlatformDef`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+from scipy.linalg import logm
+from scipy.optimize import nnls
+
+from repro.errors import CalibrationError, StabilityError
+from repro.kernel.cpuidle import IDLE_BUSY_THRESHOLD
+from repro.units import celsius_to_kelvin, mhz
+
+#: Wire-format version of the fit-report JSON schema.
+FIT_REPORT_FORMAT = "repro.calib.fit_report/1"
+
+#: Search range for the leakage activation temperature (kelvin).
+BETA_GRID_K = (600.0, 4000.0)
+
+#: Ladder-regression residual (volts) below which the fitted OPP table is
+#: emitted as a compact ``{freqs_mhz, v_min, v_max}`` ladder.
+LADDER_RMS_MAX_V = 1e-3
+
+#: Minimum clean samples a per-component regression needs.
+MIN_SAMPLES = 8
+
+#: A rail whose recorded power never moves more than this (std, watts) is
+#: treated as constant and folded into the RC regression intercept.
+CONSTANT_RAIL_STD_W = 1e-6
+
+
+# --------------------------------------------------------------------------
+# shared leakage estimator (also the backend of core.calibration.fit_leakage)
+# --------------------------------------------------------------------------
+
+
+def fit_log_linear_leakage(temps_k, totals_w) -> tuple[float, float]:
+    """Fit ``(kappa, beta)`` to leakage totals at the reference voltage.
+
+    Regresses ``log(P / T^2) = log kappa - beta / T`` — the De Vogeleer
+    temperature-bias correction: dividing by ``T^2`` before taking logs
+    keeps the regression linear in ``1/T`` and unbiased across the
+    temperature range.  Raises :class:`~repro.errors.StabilityError` on
+    non-positive totals or a non-physical fitted beta, exactly as the
+    stability-analysis calibration always has.
+    """
+    temps_k = np.asarray(temps_k, dtype=float)
+    totals = np.asarray(totals_w, dtype=float)
+    if np.any(totals <= 0.0):
+        raise StabilityError("platform has zero leakage; nothing to fit")
+    y = np.log(totals / temps_k**2)
+    a = np.column_stack([np.ones_like(temps_k), -1.0 / temps_k])
+    coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
+    kappa = float(np.exp(coeffs[0]))
+    beta = float(coeffs[1])
+    if beta <= 0.0:
+        raise StabilityError(f"fitted beta is non-physical: {beta}")
+    return kappa, beta
+
+
+# --------------------------------------------------------------------------
+# report containers
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageFit:
+    """Result of one estimator stage.
+
+    ``params`` holds the fitted quantities in definition-schema shape;
+    ``diagnostics`` holds everything else (visited OPPs, time constants,
+    condition numbers) that aids debugging but never feeds the assembly.
+    """
+
+    stage: str
+    params: Mapping
+    residual_rms: float
+    n_samples: int
+    diagnostics: Mapping = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "stage": self.stage,
+            "params": dict(self.params),
+            "residual_rms": self.residual_rms,
+            "n_samples": self.n_samples,
+            "diagnostics": dict(self.diagnostics),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "StageFit":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            stage=data["stage"],
+            params=data["params"],
+            residual_rms=data["residual_rms"],
+            n_samples=data["n_samples"],
+            diagnostics=data.get("diagnostics", {}),
+        )
+
+
+class FitReport:
+    """All stage results of one identification run."""
+
+    def __init__(
+        self,
+        platform_hint: str = "",
+        stages: tuple = (),
+        warnings: tuple = (),
+    ) -> None:
+        self.platform_hint = str(platform_hint)
+        self.stages = tuple(stages)
+        self.warnings = tuple(str(w) for w in warnings)
+        names = [s.stage for s in self.stages]
+        if len(set(names)) != len(names):
+            raise CalibrationError(f"duplicate stage names in report: {names}")
+
+    def stage_names(self) -> list[str]:
+        """Stage names in fit order."""
+        return [s.stage for s in self.stages]
+
+    def stage(self, name: str) -> StageFit:
+        """Stage result by name; raises listing the available stages."""
+        for s in self.stages:
+            if s.stage == name:
+                return s
+        raise CalibrationError(
+            f"no stage {name!r} in report; have {self.stage_names()}"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FitReport):
+            return NotImplemented
+        return (
+            self.platform_hint == other.platform_hint
+            and self.warnings == other.warnings
+            and [s.to_dict() for s in self.stages]
+            == [s.to_dict() for s in other.stages]
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "format": FIT_REPORT_FORMAT,
+            "platform_hint": self.platform_hint,
+            "stages": [s.to_dict() for s in self.stages],
+            "warnings": list(self.warnings),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FitReport":
+        """Inverse of :meth:`to_dict`; checks the wire-format version."""
+        fmt = data.get("format")
+        if fmt != FIT_REPORT_FORMAT:
+            raise CalibrationError(
+                f"unsupported fit-report format {fmt!r}; "
+                f"this reader speaks {FIT_REPORT_FORMAT!r}"
+            )
+        return cls(
+            platform_hint=data.get("platform_hint", ""),
+            stages=tuple(StageFit.from_dict(s) for s in data.get("stages", ())),
+            warnings=tuple(data.get("warnings", ())),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FitReport":
+        """Parse a report from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(f"malformed fit-report JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise CalibrationError("fit-report JSON must be an object")
+        return cls.from_dict(data)
+
+    def summary(self) -> str:
+        """Human-readable multi-line summary for the CLI."""
+        lines = [f"fit report: {self.platform_hint or '(unnamed platform)'}"]
+        for s in self.stages:
+            keys = ", ".join(
+                f"{k}={v:.4g}" for k, v in s.params.items()
+                if isinstance(v, (int, float)) and not isinstance(v, bool)
+            )
+            lines.append(
+                f"  {s.stage:<18} rms={s.residual_rms:.3e}  "
+                f"n={s.n_samples:<5d} {keys}"
+            )
+        for w in self.warnings:
+            lines.append(f"  warning: {w}")
+        return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# trace access helpers
+# --------------------------------------------------------------------------
+
+
+def _grid(trace, names) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Values of ``names`` on the shared record grid.
+
+    The staged estimators need sample-aligned channels (power, frequency
+    and busy values of the *same* tick); sysfs-style logs with per-channel
+    clocks must be resampled before fitting.
+    """
+    times = None
+    values = {}
+    for name in names:
+        t, v = trace.series(name)
+        if times is None:
+            times = t
+        elif t.shape != times.shape or not np.allclose(t, times):
+            raise CalibrationError(
+                f"channel {name!r} is not sampled on the shared record grid; "
+                "the estimators need aligned channels"
+            )
+        values[name] = v
+    return times, values
+
+
+def _beta_column(volts, temps_k, beta: float) -> np.ndarray:
+    return volts * temps_k**2 * np.exp(-beta / temps_k)
+
+
+def _two_step_leakage(
+    p, dyn_col, volts, temps_k, design_extra, warnings, what: str
+) -> tuple[np.ndarray, float, float]:
+    """Joint NNLS over a beta grid, then the shared log-linear refinement.
+
+    ``design_extra`` supplies the non-leakage columns (intercept first).
+    Returns ``(linear_coeffs, kappa, beta)`` with the leakage evaluated at
+    the reference voltage (the ``volts`` column carries the V/v_ref bias).
+    """
+    def solve_at(beta: float):
+        a = np.column_stack([*design_extra, dyn_col, _beta_column(volts, temps_k, beta)])
+        coef, rnorm = nnls(a, p)
+        return coef, rnorm
+
+    lo, hi = BETA_GRID_K
+    grid = np.linspace(lo, hi, 35)
+    for _ in range(3):
+        scores = [solve_at(b)[1] for b in grid]
+        best = int(np.argmin(scores))
+        step = grid[1] - grid[0]
+        lo = max(BETA_GRID_K[0], grid[best] - step)
+        hi = min(BETA_GRID_K[1], grid[best] + step)
+        beta = float(grid[best])
+        grid = np.linspace(lo, hi, 9)
+
+    coef = solve_at(beta)[0]
+    kappa = float(coef[-1])
+    # Refinement loop: fix beta, re-solve the linear terms, re-fit
+    # (kappa, beta) on the leakage residual with the shared estimator.
+    for _ in range(3):
+        coef = solve_at(beta)[0]
+        linear = np.column_stack([*design_extra, dyn_col]) @ coef[:-1]
+        totals = (p - linear) / volts
+        valid = totals > 0.0
+        if valid.sum() < MIN_SAMPLES:
+            kappa, beta = float(coef[-1]), float(beta)
+            if kappa > 1e-12:
+                warnings.append(
+                    f"{what}: too few positive leakage residuals; "
+                    "keeping the grid-search (kappa, beta)"
+                )
+            break
+        try:
+            kappa, beta = fit_log_linear_leakage(temps_k[valid], totals[valid])
+        except StabilityError:
+            kappa, beta = float(coef[-1]), float(beta)
+            warnings.append(
+                f"{what}: leakage refinement failed; "
+                "keeping the grid-search (kappa, beta)"
+            )
+            break
+    return coef[:-1], kappa, beta
+
+
+def _fit_ladder(
+    prior_freqs_mhz, f_mhz, volts, warnings, what: str
+) -> tuple[dict, float | None]:
+    """Recover the OPP table from observed (frequency, voltage) pairs.
+
+    When the observed pairs sit on a linear ladder (within
+    :data:`LADDER_RMS_MAX_V`), emit the compact ladder block over the full
+    prior frequency list; otherwise fall back to explicit points over the
+    visited OPPs.
+    """
+    pairs = sorted({(round(float(f), 3), float(v)) for f, v in zip(f_mhz, volts)})
+    if len(pairs) < 2:
+        raise CalibrationError(
+            f"{what}: saw {len(pairs)} distinct OPPs; a fit needs >= 2"
+        )
+    freqs = [p[0] for p in pairs]
+    lo, hi = min(prior_freqs_mhz), max(prior_freqs_mhz)
+    if abs(freqs[0] - lo) > 1e-3 or abs(freqs[-1] - hi) > 1e-3:
+        warnings.append(
+            f"{what}: ladder endpoints not visited; emitting explicit points"
+        )
+        return {"points_mhz_v": [list(p) for p in pairs]}, None
+    v_min, v_max = pairs[0][1], pairs[-1][1]
+    predicted = np.array([
+        round(v_min + (v_max - v_min) * (f - lo) / (hi - lo), 4) for f, _ in pairs
+    ])
+    observed = np.array([v for _, v in pairs])
+    rms = float(np.sqrt(np.mean((predicted - observed) ** 2)))
+    if rms >= LADDER_RMS_MAX_V:
+        warnings.append(
+            f"{what}: voltages deviate from a linear ladder "
+            f"(rms {rms:.2e} V); emitting explicit points"
+        )
+        return {"points_mhz_v": [list(p) for p in pairs]}, rms
+    return {
+        "freqs_mhz": [float(f) for f in prior_freqs_mhz],
+        "v_min": v_min,
+        "v_max": v_max,
+    }, rms
+
+
+# --------------------------------------------------------------------------
+# per-component stages
+# --------------------------------------------------------------------------
+
+
+def _component_stages(
+    trace, domain: str, n_units: float, rail: str, node: str,
+    prior_freqs_mhz, warnings,
+) -> tuple[StageFit, StageFit]:
+    """``dvfs.<domain>`` and ``leakage.<domain>`` for one CPU cluster or GPU."""
+    what = f"domain {domain!r}"
+    _, chans = _grid(trace, [
+        f"power.{rail}", f"freq.{domain}", f"volt.{domain}",
+        f"busy.{domain}", f"temp.{node}",
+    ])
+    p = chans[f"power.{rail}"]
+    freq_hz = mhz(chans[f"freq.{domain}"])
+    volts = chans[f"volt.{domain}"]
+    busy = np.minimum(chans[f"busy.{domain}"], n_units)
+    temps_k = celsius_to_kelvin(chans[f"temp.{node}"])
+
+    stable = np.zeros(p.size, dtype=bool)
+    stable[1:] = np.abs(np.diff(freq_hz)) < 0.5
+    active = busy / n_units > IDLE_BUSY_THRESHOLD
+    mask = stable & active
+    if mask.sum() < MIN_SAMPLES:
+        raise CalibrationError(
+            f"{what}: only {int(mask.sum())} clean active samples; "
+            "the staircase must dwell longer or record faster"
+        )
+
+    dyn_col = (volts**2 * freq_hz * busy)[mask]
+    linear, kappa, beta = _two_step_leakage(
+        p[mask], dyn_col, volts[mask], temps_k[mask],
+        [np.ones(int(mask.sum()))], warnings, what,
+    )
+    idle_w, ceff = float(linear[0]), float(linear[1])
+    model = (
+        idle_w + ceff * dyn_col
+        + kappa * _beta_column(volts[mask], temps_k[mask], beta)
+    )
+    rms = float(np.sqrt(np.mean((p[mask] - model) ** 2)))
+
+    opps, ladder_rms = _fit_ladder(
+        prior_freqs_mhz, chans[f"freq.{domain}"][mask], volts[mask],
+        warnings, what,
+    )
+    dvfs = StageFit(
+        stage=f"dvfs.{domain}",
+        params={
+            "ceff_w_per_v2hz": ceff,
+            "idle_power_w": idle_w,
+            "opps": opps,
+        },
+        residual_rms=rms,
+        n_samples=int(mask.sum()),
+        diagnostics={
+            "ladder_rms_v": ladder_rms,
+            "visited_mhz": sorted({round(float(f), 3) for f in chans[f"freq.{domain}"][mask]}),
+        },
+    )
+    leakage = StageFit(
+        stage=f"leakage.{domain}",
+        params={"kappa_w_per_k2": kappa, "beta_k": beta},
+        residual_rms=rms,
+        n_samples=int(mask.sum()),
+        diagnostics={
+            "temp_span_k": [float(temps_k[mask].min()), float(temps_k[mask].max())],
+        },
+    )
+    return dvfs, leakage
+
+
+def _memory_stage(trace, meta, warnings) -> StageFit:
+    """``memory``: base + activity power and leakage of the DRAM rail.
+
+    The memory activity is not logged; it is re-derived from the busy
+    channels with the engine's documented mix — a modelling assumption a
+    real calibration would replace with DRAM event counters:
+    ``act = min(1, 0.25 * sum(busy) / total_cores + 0.6 * busy_gpu)``.
+    """
+    mem = meta["memory"]
+    clusters = meta["clusters"]
+    names = [f"busy.{c['name']}" for c in clusters]
+    _, chans = _grid(trace, [
+        f"power.{mem['rail']}", f"temp.{mem['thermal_node']}", "busy.gpu", *names,
+    ])
+    total_cores = sum(int(c["n_cores"]) for c in clusters)
+    total_busy = np.sum([chans[n] for n in names], axis=0)
+    act = np.minimum(
+        1.0, 0.25 * total_busy / max(total_cores, 1) + 0.6 * chans["busy.gpu"]
+    )
+    p = chans[f"power.{mem['rail']}"]
+    temps_k = celsius_to_kelvin(chans[f"temp.{mem['thermal_node']}"])
+    ones = np.ones(p.size)
+
+    linear, kappa, beta = _two_step_leakage(
+        p, act, ones, temps_k, [ones], warnings, "memory",
+    )
+    base, act_pw = float(linear[0]), float(linear[1])
+    if kappa < 1e-12:
+        # The rail shows no measurable temperature dependence; emit the
+        # spec default so the definition stays well-formed.
+        kappa, beta = 0.0, 1000.0
+    model = base + act_pw * act + kappa * _beta_column(ones, temps_k, beta)
+    rms = float(np.sqrt(np.mean((p - model) ** 2)))
+    return StageFit(
+        stage="memory",
+        params={
+            "base_power_w": base,
+            "activity_power_w": act_pw,
+            "kappa_w_per_k2": kappa,
+            "beta_k": beta,
+        },
+        residual_rms=rms,
+        n_samples=int(p.size),
+        diagnostics={"activity_span": [float(act.min()), float(act.max())]},
+    )
+
+
+def _board_stage(trace) -> StageFit:
+    """``board``: the constant rest-of-platform power, if the rail exists."""
+    if "power.board" not in trace:
+        return StageFit(
+            stage="board", params={"board_power_w": 0.0},
+            residual_rms=0.0, n_samples=0,
+        )
+    _, p = trace.series("power.board")
+    return StageFit(
+        stage="board",
+        params={"board_power_w": float(np.mean(p))},
+        residual_rms=float(np.std(p)),
+        n_samples=int(p.size),
+    )
+
+
+# --------------------------------------------------------------------------
+# RC-network identification
+# --------------------------------------------------------------------------
+
+
+def _clean_pairs(times, freq_chans, busy_chans, rail_chans) -> np.ndarray:
+    """Mask of record pairs ``(k, k+1)`` usable for one-step regression.
+
+    A pair is dirty when the recording cadence breaks, any DVFS domain
+    changes frequency, any busy count moves, or any rail power jumps more
+    than measurement drift explains (cpuidle gating steps, task churn).
+    """
+    dt = np.diff(times)
+    dt_rec = float(np.median(dt))
+    mask = np.abs(dt - dt_rec) < 1e-9
+    for chan in freq_chans:
+        mask &= np.abs(np.diff(chan)) < 0.5
+    for chan in busy_chans:
+        mask &= np.abs(np.diff(chan)) < 1e-9
+    for chan in rail_chans:
+        jump = np.abs(np.diff(chan))
+        limit = np.maximum(0.01 * np.abs(chan[:-1]), 0.005)
+        mask &= jump <= limit
+    return mask
+
+
+def _rc_stage(trace, meta, warnings) -> StageFit:
+    """``rc``: capacitances and link conductances of the declared topology."""
+    thermal = meta["thermal"]
+    nodes = list(thermal["nodes"])
+    links = [tuple(pair) for pair in thermal["links"]]
+    split = thermal["power_split"]
+    rails = sorted(split)
+    cluster_names = [c["name"] for c in meta["clusters"]]
+    domains = cluster_names + ["gpu"]
+
+    times, chans = _grid(trace, (
+        [f"temp.{n}" for n in nodes]
+        + [f"power.{r}" for r in rails]
+        + [f"freq.{d}" for d in domains]
+        + [f"busy.{d}" for d in domains]
+    ))
+    temps = np.column_stack([
+        celsius_to_kelvin(chans[f"temp.{n}"]) for n in nodes
+    ])
+    powers = {r: chans[f"power.{r}"] for r in rails}
+    varying = [r for r in rails if float(np.std(powers[r])) > CONSTANT_RAIL_STD_W]
+    constant = [r for r in rails if r not in varying]
+
+    pair_mask = _clean_pairs(
+        times,
+        [chans[f"freq.{d}"] for d in domains],
+        [chans[f"busy.{d}"] for d in domains],
+        [powers[r] for r in varying],
+    )
+    n_pairs = int(pair_mask.sum())
+    n = len(nodes)
+    if n_pairs < 10 * (n + len(varying) + 1):
+        raise CalibrationError(
+            f"rc: only {n_pairs} clean record pairs for "
+            f"{n + len(varying) + 1} regressors; record a longer trace"
+        )
+    dt_rec = float(np.median(np.diff(times)))
+
+    q = np.column_stack([powers[r] for r in varying]) if varying else np.empty((temps.shape[0], 0))
+    design = np.column_stack([
+        temps[:-1][pair_mask], q[:-1][pair_mask], np.ones(n_pairs),
+    ])
+    target = temps[1:][pair_mask]
+    coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+    ad = coeffs[:n, :].T
+    bd = coeffs[n:n + len(varying), :].T
+    c_int = coeffs[-1, :]
+
+    eigvals = np.linalg.eigvals(ad)
+    if np.any(np.abs(eigvals) >= 1.0) or np.any(eigvals.real <= 0.0):
+        raise CalibrationError(
+            f"rc: estimated transition matrix is not a stable thermal "
+            f"propagator (eigenvalues {np.round(eigvals, 4)})"
+        )
+    a_mat = logm(ad).real / dt_rec
+    gain = np.linalg.solve(a_mat, ad - np.eye(n))
+    b_mat = np.linalg.solve(gain, bd)
+    b_int = np.linalg.solve(gain, c_int)
+
+    t_amb_k = celsius_to_kelvin(trace.ambient_c)
+    node_index = {name: i for i, name in enumerate(nodes)}
+    rows, rhs = [], []
+    n_unknowns = n + len(links)
+
+    def row(caps=(), conducts=(), value=0.0):
+        r = np.zeros(n_unknowns)
+        for i, coeff in caps:
+            r[i] = coeff
+        for l, coeff in conducts:
+            r[n + l] = coeff
+        rows.append(r)
+        rhs.append(value)
+
+    # Anchors: a varying rail deposits a known fraction of its watts on a
+    # node, so B[i, r] * C_i must equal that fraction.  This fixes the
+    # overall scale the homogeneous conductance rows cannot.
+    for r_idx, rail in enumerate(varying):
+        frac = split[rail]
+        for name, i in node_index.items():
+            row(caps=[(i, float(b_mat[i, r_idx]))], value=float(frac.get(name, 0.0)))
+
+    link_index: dict[tuple[str, str], int] = {}
+    incident: dict[int, list[int]] = {i: [] for i in range(n)}
+    ambient_of: dict[int, int] = {}
+    for l, (a, b) in enumerate(links):
+        link_index[(a, b)] = link_index[(b, a)] = l
+        for end in (a, b):
+            if end == "ambient":
+                continue
+            incident[node_index[end]].append(l)
+        if "ambient" in (a, b):
+            other = b if a == "ambient" else a
+            i = node_index[other]
+            if i in ambient_of:
+                raise CalibrationError(
+                    f"rc: node {other!r} has multiple ambient links; "
+                    "they are not separately identifiable from one trace"
+                )
+            ambient_of[i] = l
+
+    # Off-diagonal couplings: C_i * A[i, j] equals the conductance of the
+    # (i, j) link, or zero when the topology declares none.
+    for name_i, i in node_index.items():
+        for name_j, j in node_index.items():
+            if i == j:
+                continue
+            l = link_index.get((name_i, name_j))
+            if l is None:
+                row(caps=[(i, float(a_mat[i, j]))])
+            else:
+                row(caps=[(i, float(a_mat[i, j]))], conducts=[(l, -1.0)])
+
+    # Diagonals: every conductance incident on a node (ambient included —
+    # it is already in the incidence list) drains it, so
+    # C_i * A[i, i] + sum(g) = 0.
+    for name_i, i in node_index.items():
+        row(
+            caps=[(i, float(a_mat[i, i]))],
+            conducts=[(l, 1.0) for l in incident[i]],
+        )
+
+    # Ambient drive: the regression intercept is w_i * T_amb plus the
+    # constant rails' contribution, i.e. C_i * b_int_i = q_const_i +
+    # g_ambient_i * T_amb.  This pins the ambient conductances directly.
+    q_const = {r: float(np.mean(powers[r])) for r in constant}
+    for name_i, i in node_index.items():
+        q_const_i = sum(
+            float(split[r].get(name_i, 0.0)) * q_const[r] for r in constant
+        )
+        conducts = [(ambient_of[i], -1.0)] if i in ambient_of else []
+        row(
+            caps=[(i, float(b_int[i]) / t_amb_k)],
+            conducts=conducts,
+            value=q_const_i / t_amb_k,
+        )
+
+    matrix = np.vstack(rows)
+    if np.linalg.matrix_rank(matrix) < n_unknowns:
+        raise CalibrationError(
+            "rc: the declared topology is not identifiable from this trace "
+            "(assembly system is rank-deficient)"
+        )
+    solution, _ = nnls(matrix, np.asarray(rhs))
+    caps = solution[:n]
+    conducts = solution[n:]
+
+    pred = design @ coeffs
+    rms = float(np.sqrt(np.mean((target - pred) ** 2)))
+    taus = sorted((-1.0 / ev.real) for ev in np.linalg.eigvals(a_mat) if ev.real < 0.0)
+    return StageFit(
+        stage="rc",
+        params={
+            "nodes": [
+                {"name": name, "capacitance_j_per_k": float(caps[i])}
+                for name, i in node_index.items()
+            ],
+            "links": [
+                {"a": a, "b": b, "conductance_w_per_k": float(conducts[l])}
+                for l, (a, b) in enumerate(links)
+            ],
+        },
+        residual_rms=rms,
+        n_samples=n_pairs,
+        diagnostics={
+            "dt_rec_s": dt_rec,
+            "time_constants_s": [float(t) for t in taus],
+            "constant_rails": constant,
+        },
+    )
+
+
+# --------------------------------------------------------------------------
+# orchestration
+# --------------------------------------------------------------------------
+
+
+def fit_trace(trace) -> FitReport:
+    """Run every estimator stage against ``trace`` and collect the report.
+
+    The trace ``meta`` must carry the structural prior written by
+    :func:`repro.calib.excite.structural_meta` (cluster inventory, thermal
+    topology); everything numeric comes from the channels.
+    """
+    meta = trace.meta
+    for key in ("clusters", "gpu", "memory", "thermal"):
+        if key not in meta:
+            raise CalibrationError(
+                f"trace meta lacks the structural prior key {key!r}; "
+                "capture traces with repro.calib.excite (or supply the "
+                "device inventory by hand)"
+            )
+    warnings: list[str] = []
+    stages: list[StageFit] = []
+    for cluster in meta["clusters"]:
+        dvfs, leakage = _component_stages(
+            trace, cluster["name"], float(cluster["n_cores"]),
+            cluster["rail"], cluster["thermal_node"],
+            cluster["freqs_mhz"], warnings,
+        )
+        stages += [dvfs, leakage]
+    gpu = meta["gpu"]
+    dvfs, leakage = _component_stages(
+        trace, "gpu", 1.0, gpu["rail"], gpu["thermal_node"],
+        gpu["freqs_mhz"], warnings,
+    )
+    stages += [dvfs, leakage]
+    stages.append(_memory_stage(trace, meta, warnings))
+    stages.append(_board_stage(trace))
+    stages.append(_rc_stage(trace, meta, warnings))
+    return FitReport(
+        platform_hint=trace.platform_hint or meta.get("platform", ""),
+        stages=tuple(stages),
+        warnings=tuple(warnings),
+    )

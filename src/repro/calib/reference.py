@@ -1,0 +1,204 @@
+"""Reference excitation that produces the ``snapdragon-modern`` artifacts.
+
+``snapdragon-modern`` is the first platform whose registered definition is a
+*build artifact of the calibration pipeline* rather than hand-written data:
+this module holds a generating stand-in definition (never registered), runs
+the standard excitation against it, and fits the bundled definition from the
+resulting trace alone.  Running ``python -m repro.calib.reference``
+regenerates both checked-in artifacts:
+
+* ``src/repro/soc/data/snapdragon_modern_trace.json`` — the excitation
+  trace (values rounded for a compact diff-able file);
+* ``src/repro/soc/data/snapdragon_modern.json`` — the fitted definition
+  :mod:`repro.soc.snapdragon_modern` registers at import time.
+
+Because the definition is fitted *from the rounded trace*, re-running the
+fit against the bundled trace reproduces the bundled definition (modulo
+BLAS least-squares noise far below the documented tolerances) — that is
+what ``tests/test_snapdragon_modern.py`` pins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.calib.assemble import fit_platform
+from repro.calib.excite import ExcitationConfig, run_excitation
+from repro.calib.trace import CalibTrace
+from repro.soc.defs import PlatformDef
+
+#: Seed of the bundled reference excitation run.
+REFERENCE_SEED = 7
+
+#: Compact excitation: fewer OPPs and shorter holds than the default, so the
+#: checked-in trace stays small while every estimator keeps enough leverage.
+REFERENCE_CONFIG = ExcitationConfig(
+    dwell_s=0.8,
+    max_opps_per_domain=6,
+    soak_s=8.0,
+    cooldown_s=15.0,
+)
+
+_BETA_K = 1850.0
+
+#: The generating ground truth for the reference run.  Deliberately NOT
+#: registered: the registry only ever sees the pipeline's fitted output.
+#: A modern flagship SoC layout — one prime core, four big cores, three
+#: efficiency cores, all on a 4 nm-class process (low leakage, tight
+#: voltage range, skin-limited chassis).
+SNAPDRAGON_MODERN_STAND_IN = PlatformDef(
+    name="snapdragon-modern",
+    clusters=(
+        {
+            "name": "little",
+            "core_type": "Cortex-A510",
+            "n_cores": 3,
+            "opps": {"freqs_mhz": [307, 499, 691, 940, 1098, 1401, 1598, 1785],
+                     "v_min": 0.55, "v_max": 0.85},
+            "ceff_w_per_v2hz": 1.1e-10,
+            "leakage": {"kappa_w_per_k2": 8.0e-5, "beta_k": _BETA_K},
+            "idle_power_w": 0.02,
+            "thermal_node": "soc",
+            "rail": "little",
+            "is_little": True,
+            "ipc": 1.4,
+        },
+        {
+            "name": "big",
+            "core_type": "Cortex-A715",
+            "n_cores": 4,
+            "opps": {"freqs_mhz": [499, 710, 940, 1170, 1401, 1631, 1862,
+                                   2050, 2316, 2650],
+                     "v_min": 0.57, "v_max": 0.95},
+            "ceff_w_per_v2hz": 3.2e-10,
+            "leakage": {"kappa_w_per_k2": 2.2e-4, "beta_k": _BETA_K},
+            "idle_power_w": 0.05,
+            "thermal_node": "soc",
+            "rail": "big",
+            "ipc": 2.2,
+        },
+        {
+            "name": "prime",
+            "core_type": "Cortex-X3",
+            "n_cores": 1,
+            "opps": {"freqs_mhz": [595, 836, 1114, 1459, 1785, 2112, 2496,
+                                   2802, 3014, 3187],
+                     "v_min": 0.60, "v_max": 1.05},
+            "ceff_w_per_v2hz": 5.5e-10,
+            "leakage": {"kappa_w_per_k2": 2.8e-4, "beta_k": _BETA_K},
+            "idle_power_w": 0.07,
+            "thermal_node": "soc",
+            "rail": "prime",
+            "is_big": True,
+            "ipc": 2.6,
+        },
+    ),
+    gpu={
+        "name": "adreno740",
+        "gpu_type": "Adreno 740",
+        "opps": {"freqs_mhz": [220, 313, 402, 500, 580, 680],
+                 "v_min": 0.60, "v_max": 0.95},
+        "ceff_w_per_v2hz": 2.2e-9,
+        "leakage": {"kappa_w_per_k2": 3.0e-4, "beta_k": _BETA_K},
+        "idle_power_w": 0.06,
+        "thermal_node": "soc",
+        "rail": "gpu",
+    },
+    memory={
+        "name": "mem",
+        "base_power_w": 0.10,
+        "activity_power_w": 0.45,
+        "leakage": {"kappa_w_per_k2": 6.0e-5, "beta_k": _BETA_K},
+        "thermal_node": "pcb",
+        "rail": "mem",
+    },
+    thermal={
+        "nodes": [
+            {"name": "soc", "capacitance_j_per_k": 3.2},
+            {"name": "pcb", "capacitance_j_per_k": 18.0},
+            {"name": "skin", "capacitance_j_per_k": 55.0},
+        ],
+        "links": [
+            {"a": "soc", "b": "pcb", "conductance_w_per_k": 1.2},
+            {"a": "pcb", "b": "skin", "conductance_w_per_k": 0.70},
+            {"a": "skin", "b": "ambient", "conductance_w_per_k": 0.38},
+            {"a": "soc", "b": "ambient", "conductance_w_per_k": 0.02},
+        ],
+        "power_split": {
+            "prime": {"soc": 1.0},
+            "big": {"soc": 1.0},
+            "little": {"soc": 1.0},
+            "gpu": {"soc": 1.0},
+            "mem": {"pcb": 1.0},
+            "board": {"pcb": 0.6, "skin": 0.4},
+        },
+    },
+    sensors=(
+        {"name": "pkg", "node": "soc", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+        {"name": "skin", "node": "skin", "noise_std_c": 0.1,
+         "quantization_c": 0.1},
+    ),
+    board_power_w=0.9,
+    default_ambient_c=25.0,
+    initial_temp_c=30.0,
+    extras={"soc": "Snapdragon 8-class (modern)", "process": "4 nm"},
+    software={
+        "thermal": {
+            "kind": "step_wise",
+            "sensor": "pkg",
+            "cooled": ["prime", "big", "gpu"],
+            "trips": [{"temp_c": 46.0, "hyst_c": 1.5}],
+            "polling_s": 0.1,
+        },
+        "t_limit_c": 48.0,
+    },
+)
+
+
+def _round_floats(obj, ndigits: int = 6):
+    """Round every float in a JSON-native structure (compact artifacts)."""
+    if isinstance(obj, float):
+        return round(obj, ndigits)
+    if isinstance(obj, list):
+        return [_round_floats(item, ndigits) for item in obj]
+    if isinstance(obj, dict):
+        return {key: _round_floats(value, ndigits) for key, value in obj.items()}
+    return obj
+
+
+def reference_trace() -> CalibTrace:
+    """The canonical excitation trace of the stand-in, rounded for bundling."""
+    raw = run_excitation(
+        SNAPDRAGON_MODERN_STAND_IN, seed=REFERENCE_SEED, config=REFERENCE_CONFIG
+    )
+    return CalibTrace.from_dict(_round_floats(raw.to_dict()))
+
+
+def data_dir() -> Path:
+    """Directory the bundled artifacts live in."""
+    return Path(__file__).resolve().parent.parent / "soc" / "data"
+
+
+def regenerate(out_dir: Path | None = None) -> tuple[Path, Path]:
+    """Re-run excite + fit and rewrite both artifacts; returns their paths."""
+    out = Path(out_dir) if out_dir is not None else data_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    trace = reference_trace()
+    pdef, _report = fit_platform(trace)
+    trace_path = out / "snapdragon_modern_trace.json"
+    def_path = out / "snapdragon_modern.json"
+    trace_path.write_text(
+        json.dumps(trace.to_dict(), sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+    def_path.write_text(
+        json.dumps(pdef.to_dict(), sort_keys=True, indent=2) + "\n"
+    )
+    return trace_path, def_path
+
+
+if __name__ == "__main__":
+    for path in regenerate():
+        print(path)

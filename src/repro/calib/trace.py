@@ -1,0 +1,366 @@
+"""The ``CalibTrace`` wire format: sampled channels for identification.
+
+A calibration trace is the unit of exchange between whatever logged a
+device (the excitation harness, a DAQ capture, a parsed sysfs log) and the
+estimators in :mod:`repro.calib.fit`.  It carries named sampled series —
+rail power, per-node temperature, per-domain frequency and regulator
+voltage, per-cluster busy counts — plus the excitation segment table and a
+``meta`` block holding the *structural* facts a fit cannot measure but any
+real device discloses (cluster inventory from sysfs, thermal topology from
+the devicetree, sensor datasheet constants).  Everything numeric the fit
+recovers — capacitances, conductances, C_eff, leakage, idle/base powers —
+is deliberately absent from ``meta``.
+
+Channel naming follows the engine's trace recorder: ``power.<rail>`` (W),
+``temp.<node>`` (degC), ``freq.<domain>`` (MHz), ``volt.<domain>`` (V),
+``busy.<cluster>`` (cores) and ``busy.gpu`` (fraction).
+
+Traces round-trip losslessly through :meth:`CalibTrace.to_dict` /
+:meth:`CalibTrace.from_dict`; the JSON schema is versioned by
+:data:`CALIB_TRACE_FORMAT` and documented in ``docs/CALIBRATION.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import CalibrationError
+
+#: Wire-format version of the trace JSON schema.
+CALIB_TRACE_FORMAT = "repro.calib.trace/1"
+
+#: Channel-name prefixes the estimators consume.
+POWER_PREFIX = "power."
+TEMP_PREFIX = "temp."
+FREQ_PREFIX = "freq."
+VOLT_PREFIX = "volt."
+BUSY_PREFIX = "busy."
+
+#: Segment kinds the excitation harness emits.
+SEGMENT_KINDS = ("staircase", "soak", "cooldown")
+
+
+@dataclass(frozen=True)
+class CalibSegment:
+    """One labelled excitation interval ``[start_s, end_s)``.
+
+    ``domain`` names the DVFS domain a staircase sweeps; soak and cooldown
+    segments leave it empty.
+    """
+
+    name: str
+    kind: str
+    start_s: float
+    end_s: float
+    domain: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SEGMENT_KINDS:
+            raise CalibrationError(
+                f"segment {self.name!r}: unknown kind {self.kind!r}; "
+                f"have {SEGMENT_KINDS}"
+            )
+        if self.end_s <= self.start_s:
+            raise CalibrationError(
+                f"segment {self.name!r}: end {self.end_s} must exceed "
+                f"start {self.start_s}"
+            )
+
+    @property
+    def duration_s(self) -> float:
+        """Length of the segment in seconds."""
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "domain": self.domain,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CalibSegment":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=data["name"],
+            kind=data["kind"],
+            start_s=data["start_s"],
+            end_s=data["end_s"],
+            domain=data.get("domain", ""),
+        )
+
+
+def _as_channel(name: str, times, values) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(times, dtype=float)
+    v = np.asarray(values, dtype=float)
+    if t.ndim != 1 or v.ndim != 1:
+        raise CalibrationError(f"channel {name!r}: series must be 1-D")
+    if t.size != v.size:
+        raise CalibrationError(
+            f"channel {name!r}: {t.size} times vs {v.size} values"
+        )
+    if t.size == 0:
+        raise CalibrationError(f"channel {name!r} is empty")
+    if not (np.isfinite(t).all() and np.isfinite(v).all()):
+        raise CalibrationError(f"channel {name!r} contains non-finite samples")
+    if np.any(np.diff(t) < 0.0):
+        raise CalibrationError(f"channel {name!r}: times go backwards")
+    t.setflags(write=False)
+    v.setflags(write=False)
+    return t, v
+
+
+class CalibTrace:
+    """A bundle of sampled channels plus segments and structural metadata.
+
+    Parameters
+    ----------
+    channels:
+        Mapping of channel name to ``(times_s, values)`` pairs.
+    segments:
+        Excitation segment table (may be empty for raw captures).
+    ambient_c:
+        Ambient temperature during the recording.
+    platform_hint:
+        Name of the device the trace came from ("" when unknown).
+    meta:
+        JSON-native structural metadata (see module docstring).
+    """
+
+    def __init__(
+        self,
+        channels: Mapping[str, tuple],
+        segments: Iterable[CalibSegment] = (),
+        ambient_c: float = 25.0,
+        platform_hint: str = "",
+        meta: Mapping | None = None,
+    ) -> None:
+        if not channels:
+            raise CalibrationError("a calibration trace needs >= 1 channel")
+        self._channels = {
+            name: _as_channel(name, times, values)
+            for name, (times, values) in channels.items()
+        }
+        self.segments = tuple(segments)
+        self.ambient_c = float(ambient_c)
+        self.platform_hint = str(platform_hint)
+        self.meta = dict(meta) if meta else {}
+
+    # ------------------------------------------------------------- queries
+
+    def names(self) -> list[str]:
+        """Sorted channel names."""
+        return sorted(self._channels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def series(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` of one channel; raises on unknown names."""
+        try:
+            return self._channels[name]
+        except KeyError:
+            raise CalibrationError(
+                f"no channel {name!r}; available: {self.names()}"
+            ) from None
+
+    def window(
+        self, name: str, start_s: float, end_s: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Samples of ``name`` with ``start_s <= t < end_s``."""
+        times, values = self.series(name)
+        mask = (times >= start_s) & (times < end_s)
+        return times[mask], values[mask]
+
+    def duration_s(self) -> float:
+        """Span from the earliest to the latest sample across channels."""
+        starts = [t[0] for t, _ in self._channels.values()]
+        ends = [t[-1] for t, _ in self._channels.values()]
+        return max(ends) - min(starts)
+
+    def segments_of(
+        self, kind: str | None = None, domain: str | None = None
+    ) -> tuple[CalibSegment, ...]:
+        """Segments filtered by kind and/or domain."""
+        return tuple(
+            seg for seg in self.segments
+            if (kind is None or seg.kind == kind)
+            and (domain is None or seg.domain == domain)
+        )
+
+    # ------------------------------------------------------- serialisation
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CalibTrace):
+            return NotImplemented
+        if (
+            self.names() != other.names()
+            or self.segments != other.segments
+            or self.ambient_c != other.ambient_c
+            or self.platform_hint != other.platform_hint
+            or self.meta != other.meta
+        ):
+            return False
+        for name in self.names():
+            st, sv = self.series(name)
+            ot, ov = other.series(name)
+            if not (np.array_equal(st, ot) and np.array_equal(sv, ov)):
+                return False
+        return True
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        return {
+            "format": CALIB_TRACE_FORMAT,
+            "platform_hint": self.platform_hint,
+            "ambient_c": self.ambient_c,
+            "segments": [seg.to_dict() for seg in self.segments],
+            "channels": {
+                name: {"times": list(times), "values": list(values)}
+                for name, (times, values) in sorted(self._channels.items())
+            },
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "CalibTrace":
+        """Inverse of :meth:`to_dict`; checks the wire-format version."""
+        fmt = data.get("format")
+        if fmt != CALIB_TRACE_FORMAT:
+            raise CalibrationError(
+                f"unsupported trace format {fmt!r}; "
+                f"this reader speaks {CALIB_TRACE_FORMAT!r}"
+            )
+        return cls(
+            channels={
+                name: (series["times"], series["values"])
+                for name, series in data["channels"].items()
+            },
+            segments=tuple(
+                CalibSegment.from_dict(seg) for seg in data.get("segments", ())
+            ),
+            ambient_c=data.get("ambient_c", 25.0),
+            platform_hint=data.get("platform_hint", ""),
+            meta=data.get("meta", {}),
+        )
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CalibTrace":
+        """Parse a trace from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(f"malformed trace JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise CalibrationError("trace JSON must be an object")
+        return cls.from_dict(data)
+
+
+# ------------------------------------------------------------------ loaders
+
+
+def trace_from_recorder(
+    recorder,
+    segments: Iterable[CalibSegment] = (),
+    ambient_c: float = 25.0,
+    platform_hint: str = "",
+    meta: Mapping | None = None,
+    channels: Iterable[str] | None = None,
+) -> CalibTrace:
+    """Build a trace from a :class:`~repro.sim.trace.TraceRecorder`.
+
+    This is the "simulated sysfs log" loader: the engine's recorder holds
+    exactly the channels a periodic sysfs poller would log.  ``channels``
+    restricts the copy to a subset (default: everything recorded).
+    """
+    wanted = list(channels) if channels is not None else recorder.names()
+    series = {}
+    for name in wanted:
+        times, values = recorder.series(name)
+        series[name] = (times, values)
+    return CalibTrace(
+        channels=series,
+        segments=segments,
+        ambient_c=ambient_c,
+        platform_hint=platform_hint,
+        meta=meta,
+    )
+
+
+def trace_from_daq(
+    daq,
+    ambient_c: float = 25.0,
+    platform_hint: str = "",
+    channel: str = "power.total",
+    meta: Mapping | None = None,
+) -> CalibTrace:
+    """Build a single-channel trace from a :class:`~repro.power.daq.PowerDaq`.
+
+    A battery-side DAQ capture only supports total-power analyses (energy
+    accounting, mean-power stages); per-rail fits need the richer channel
+    set of :func:`trace_from_recorder`.
+    """
+    times, watts = daq.samples()
+    if times.size < 2:
+        raise CalibrationError(
+            "DAQ capture has fewer than two samples; nothing to calibrate from"
+        )
+    return CalibTrace(
+        channels={channel: (times, watts)},
+        ambient_c=ambient_c,
+        platform_hint=platform_hint,
+        meta=meta,
+    )
+
+
+def trace_from_sysfs_log(
+    rows: Iterable,
+    ambient_c: float = 25.0,
+    platform_hint: str = "",
+    meta: Mapping | None = None,
+) -> CalibTrace:
+    """Build a trace from sysfs-poller log rows.
+
+    Each row is either a dict or a JSON-encoded object with keys ``t``
+    (seconds), ``channel`` (name) and ``value``.  Rows may interleave
+    channels arbitrarily; per-channel timestamps must be non-decreasing.
+    """
+    series: dict[str, tuple[list, list]] = {}
+    for i, row in enumerate(rows):
+        if isinstance(row, (str, bytes)):
+            try:
+                row = json.loads(row)
+            except json.JSONDecodeError as exc:
+                raise CalibrationError(
+                    f"sysfs log row {i}: malformed JSON: {exc}"
+                ) from None
+        if not isinstance(row, Mapping):
+            raise CalibrationError(f"sysfs log row {i}: expected an object")
+        try:
+            t, channel, value = row["t"], row["channel"], row["value"]
+        except KeyError as exc:
+            raise CalibrationError(
+                f"sysfs log row {i}: missing key {exc.args[0]!r}"
+            ) from None
+        times, values = series.setdefault(str(channel), ([], []))
+        times.append(float(t))
+        values.append(float(value))
+    if not series:
+        raise CalibrationError("sysfs log contains no rows")
+    return CalibTrace(
+        channels=series,
+        ambient_c=ambient_c,
+        platform_hint=platform_hint,
+        meta=meta,
+    )

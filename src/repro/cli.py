@@ -14,6 +14,9 @@ Commands regenerate the paper's artefacts or run one-off analyses:
   the round-trippable PlatformDef schema of ``docs/PLATFORMS.md``), or a
   validation pass over every registered definition (``validate --file``
   checks an out-of-tree JSON definition instead);
+* ``platforms excite|fit`` — the auto-calibration pipeline: record an
+  identification-grade excitation trace of a registered platform, or fit
+  a registrable PlatformDef from a trace alone (``docs/CALIBRATION.md``);
 * ``metrics --app A`` — run an app and print its Prometheus metrics
   (``--format json`` prints the canonical registry snapshot instead);
 * ``trace --app A`` — run an app and print its span/ftrace event log
@@ -575,6 +578,76 @@ def _cmd_platforms_validate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_platforms_excite(args: argparse.Namespace) -> str:
+    from repro.calib import ExcitationConfig, run_excitation
+    from repro.errors import ConfigurationError
+
+    try:
+        config = ExcitationConfig(
+            dwell_s=args.dwell_s,
+            max_opps_per_domain=args.max_opps,
+            soak_s=args.soak_s,
+            cooldown_s=args.cooldown_s,
+        )
+        trace = run_excitation(args.platform, seed=args.seed, config=config)
+    except ConfigurationError as exc:
+        raise SystemExit(f"platforms: {exc}") from None
+    text = trace.to_json(indent=None) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise SystemExit(f"platforms: cannot write {args.out}: {exc}") from None
+        return (
+            f"{args.platform}: excitation trace "
+            f"({trace.duration_s():.1f} s, {len(trace.names())} channels) "
+            f"-> {args.out}"
+        )
+    return text.rstrip("\n")
+
+
+def _cmd_platforms_fit(args: argparse.Namespace) -> str:
+    from repro.calib import CalibTrace, fit_platform
+    from repro.errors import CalibrationError, ConfigurationError
+    from repro.soc import registry as platform_registry
+
+    try:
+        with open(args.trace) as handle:
+            trace = CalibTrace.from_json(handle.read())
+    except OSError as exc:
+        raise SystemExit(f"platforms: cannot read {args.trace}: {exc}") from None
+    except CalibrationError as exc:
+        raise SystemExit(f"platforms: bad trace: {exc}") from None
+    try:
+        pdef, report = fit_platform(trace, name=args.name)
+    except (CalibrationError, ConfigurationError) as exc:
+        raise SystemExit(f"platforms: fit failed: {exc}") from None
+    lines = []
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                json.dump(pdef.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise SystemExit(f"platforms: cannot write {args.out}: {exc}") from None
+        lines.append(f"{pdef.name}: fitted definition -> {args.out}")
+    if args.register:
+        try:
+            platform_registry.register(pdef)
+        except ConfigurationError as exc:
+            raise SystemExit(f"platforms: cannot register: {exc}") from None
+        lines.append(f"{pdef.name}: registered (this process)")
+    if args.format == "json":
+        payload = {
+            "platform": pdef.to_dict(),
+            "report": report.to_dict(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
 def _cmd_critical(args: argparse.Namespace) -> str:
     return (
         f"Critical power (Odroid-XU3, fan off): "
@@ -594,7 +667,8 @@ commands:
   critical   critical power of the Odroid-XU3 lumped model
   advise     profile a catalog app and print tuning advice
   describe   dump a platform's thermal RC network
-  platforms  list/describe/validate the registered platform definitions
+  platforms  list/describe/validate the registered platform definitions,
+             excite one for calibration, or fit a definition from a trace
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
@@ -764,6 +838,34 @@ def build_parser() -> argparse.ArgumentParser:
                       help="validate this PlatformDef JSON file instead of "
                            "the registry")
     pval.set_defaults(fn=_cmd_platforms_validate)
+    pexc = platforms_sub.add_parser("excite")
+    pexc.add_argument("--platform", required=True,
+                      help="registered platform to excite")
+    pexc.add_argument("--seed", type=int, default=0,
+                      help="RNG seed of the excitation run")
+    pexc.add_argument("--out", default=None,
+                      help="write the CalibTrace JSON here (default: stdout)")
+    pexc.add_argument("--dwell-s", type=float, default=1.2,
+                      help="nominal hold time per OPP step")
+    pexc.add_argument("--soak-s", type=float, default=12.0,
+                      help="all-out heat soak duration")
+    pexc.add_argument("--cooldown-s", type=float, default=25.0,
+                      help="parked cooldown duration")
+    pexc.add_argument("--max-opps", type=int, default=8,
+                      help="max OPPs per staircase (endpoints always kept)")
+    pexc.set_defaults(fn=_cmd_platforms_excite)
+    pfit = platforms_sub.add_parser("fit")
+    pfit.add_argument("--trace", required=True,
+                      help="CalibTrace JSON file to fit from")
+    pfit.add_argument("--name", default=None,
+                      help="name the fitted definition (default: from trace)")
+    pfit.add_argument("--out", default=None,
+                      help="write the fitted PlatformDef JSON here")
+    pfit.add_argument("--register", action="store_true",
+                      help="register the fitted definition in this process "
+                           "(proves it compiles and does not collide)")
+    pfit.add_argument("--format", choices=("text", "json"), default="text")
+    pfit.set_defaults(fn=_cmd_platforms_fit)
 
     for name, fn in (("metrics", _cmd_metrics), ("trace", _cmd_trace)):
         cmd = sub.add_parser(name)

@@ -71,8 +71,11 @@ def fit_leakage(
     """Fit (kappa, beta) to the platform's total SoC leakage vs temperature.
 
     Evaluates every component's leakage at its maximum-OPP voltage over a
-    temperature grid and regresses ``log(P / T^2) = log kappa - beta / T``.
+    temperature grid and delegates the ``log(P / T^2) = log kappa - beta / T``
+    regression to :func:`repro.calib.fit.fit_log_linear_leakage`, the single
+    estimator shared with the trace-calibration pipeline.
     """
+    from repro.calib.fit import fit_log_linear_leakage
     from repro.soc.power_model import leakage_power_w
 
     if temps_k is None:
@@ -90,17 +93,7 @@ def fit_leakage(
             leakage_power_w(params, float(t), volt) for params, volt in components
         )
         totals.append(total)
-    totals = np.asarray(totals)
-    if np.any(totals <= 0.0):
-        raise StabilityError("platform has zero leakage; nothing to fit")
-    y = np.log(totals / temps_k**2)
-    a = np.column_stack([np.ones_like(temps_k), -1.0 / temps_k])
-    coeffs, *_ = np.linalg.lstsq(a, y, rcond=None)
-    kappa = float(np.exp(coeffs[0]))
-    beta = float(coeffs[1])
-    if beta <= 0.0:
-        raise StabilityError(f"fitted beta is non-physical: {beta}")
-    return kappa, beta
+    return fit_log_linear_leakage(temps_k, totals)
 
 
 def lump_platform(

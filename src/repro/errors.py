@@ -32,6 +32,16 @@ class AnalysisError(ReproError):
     """A trace analysis was requested on data that cannot support it."""
 
 
+class CalibrationError(AnalysisError):
+    """A calibration trace, capture or fit cannot support identification.
+
+    Subclasses :class:`AnalysisError` because every calibration problem is
+    an analysis-on-unsupportable-data problem; existing callers that catch
+    the base class keep working while calibration-aware callers can be
+    precise.
+    """
+
+
 class StabilityError(ReproError):
     """The power-temperature stability analysis received invalid parameters."""
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import AnalysisError, ConfigurationError
+from repro.errors import CalibrationError, ConfigurationError
 
 
 class PowerDaq:
@@ -73,22 +73,34 @@ class PowerDaq:
         return np.concatenate(self._time_chunks), np.concatenate(self._chunks)
 
     def mean_power_w(self, start_s: float | None = None, end_s: float | None = None) -> float:
-        """Average measured power over a window (whole capture by default)."""
+        """Average measured power over a window (whole capture by default).
+
+        Raises :class:`~repro.errors.CalibrationError` when the capture (or
+        the requested window) is empty — a degenerate capture can never
+        support a calibration-grade mean.
+        """
         times, watts = self.samples()
         if times.size == 0:
-            raise AnalysisError("DAQ has captured no samples")
+            raise CalibrationError("DAQ has captured no samples")
         mask = np.ones(times.size, dtype=bool)
         if start_s is not None:
             mask &= times >= start_s
         if end_s is not None:
             mask &= times < end_s
         if not mask.any():
-            raise AnalysisError("DAQ window contains no samples")
+            raise CalibrationError("DAQ window contains no samples")
         return float(watts[mask].mean())
 
     def energy_j(self) -> float:
-        """Integrated energy of the capture (trapezoidal)."""
+        """Integrated energy of the capture (trapezoidal).
+
+        Raises :class:`~repro.errors.CalibrationError` on empty or
+        single-sample captures: the trapezoid rule has no interval to
+        integrate, and silently returning 0 J would poison energy fits.
+        """
         times, watts = self.samples()
         if times.size < 2:
-            raise AnalysisError("need at least two samples to integrate energy")
+            raise CalibrationError(
+                "need at least two DAQ samples to integrate energy"
+            )
         return float(np.trapezoid(watts, times))

@@ -18,7 +18,7 @@ import numpy as np
 #: derives its streams under one of these; ``repro lint`` rule R602
 #: checks call sites against this set, so adding a new consumer class
 #: means declaring its namespace here first.
-STREAM_NAMESPACES = frozenset({"app", "daq", "faults", "ina", "sensor"})
+STREAM_NAMESPACES = frozenset({"app", "calib", "daq", "faults", "ina", "sensor"})
 
 
 class RngRegistry:

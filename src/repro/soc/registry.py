@@ -104,6 +104,7 @@ def _ensure_builtins() -> None:
     import repro.soc.exynos5422    # noqa: F401  (registers odroid-xu3[-fan])
     import repro.soc.snapdragon810  # noqa: F401  (registers nexus6p)
     import repro.soc.snapdragon821  # noqa: F401  (registers pixel-xl)
+    import repro.soc.snapdragon_modern  # noqa: F401  (registers snapdragon-modern)
 
 
 def register(platform_def: PlatformDef, replace: bool = False) -> PlatformDef:

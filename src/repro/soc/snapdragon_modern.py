@@ -1,0 +1,44 @@
+"""Snapdragon-modern platform definition: the calibration pipeline's output.
+
+Unlike every other built-in, this definition is not hand-written.  The JSON
+it loads (``soc/data/snapdragon_modern.json``) is a build artifact of
+``repro platforms fit``: the generating ground truth lives in
+:mod:`repro.calib.reference`, which excites it through the standard
+harness, bundles the trace (``soc/data/snapdragon_modern_trace.json``) and
+fits this definition from that trace alone.  Regenerate both files with
+``python -m repro.calib.reference``.
+
+Registering pipeline output exercises the registry's core promise from the
+consuming side: scenarios, campaigns, chaos and lint pick this platform up
+with zero code branches, exactly as they do the hand-written ones.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.soc.defs import PlatformDef
+from repro.soc.platform import PlatformSpec
+from repro.soc.registry import REGISTRY
+
+#: Registry name of the device (import this instead of quoting the string).
+SNAPDRAGON_MODERN = "snapdragon-modern"
+
+#: Bundled artifact the registered definition is loaded from.
+SNAPDRAGON_MODERN_DEF_PATH = (
+    Path(__file__).resolve().parent / "data" / "snapdragon_modern.json"
+)
+
+
+def _load() -> PlatformDef:
+    data = json.loads(SNAPDRAGON_MODERN_DEF_PATH.read_text())
+    return PlatformDef.from_dict(data)
+
+
+SNAPDRAGON_MODERN_DEF = REGISTRY.register(_load())
+
+
+def snapdragon_modern() -> PlatformSpec:
+    """Build the snapdragon-modern spec (compiles the registered def)."""
+    return SNAPDRAGON_MODERN_DEF.compile()

@@ -1,0 +1,146 @@
+"""Closed-loop calibration: excite a known def, fit from the trace alone.
+
+The pipeline's correctness contract (docs/CALIBRATION.md): every fitted
+parameter of every registered platform is recovered within 5 % of the
+generating definition, and the fitted definition's *behaviour* — peak
+temperature and FPS of a stock-policy scenario — stays within 2 % of the
+generating definition's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.calib import fit_platform, run_excitation
+from repro.calib.excite import ExcitationConfig, structural_meta
+from repro.calib.fit import fit_log_linear_leakage, fit_trace
+from repro.errors import CalibrationError, StabilityError
+from repro.sim.experiment import AppSpec, Scenario
+from repro.soc import registry
+
+TOL = 0.05
+
+#: The default excitation is already fast (< 1 s wall per platform); the
+#: well-cooled fan variant needs its full heat soak for leakage leverage.
+FAST = ExcitationConfig()
+
+
+def _rel(a, b):
+    return abs(a - b) / abs(b) if b != 0.0 else abs(a - b)
+
+
+@pytest.fixture(scope="module", params=registry.platform_names())
+def closed_loop(request):
+    """(generating spec, fitted def, fitted spec) for one platform."""
+    name = request.param
+    trace = run_excitation(name, seed=1, config=FAST)
+    fitted, report = fit_platform(trace)
+    return registry.get(name).compile(), fitted, fitted.compile(), report
+
+
+def test_round_trip_component_parameters(closed_loop):
+    spec, _fitted, fspec, _report = closed_loop
+    for truth, fit in list(zip(spec.clusters, fspec.clusters)) + [
+        (spec.gpu, fspec.gpu)
+    ]:
+        assert _rel(fit.ceff_w_per_v2hz, truth.ceff_w_per_v2hz) < TOL
+        assert _rel(fit.idle_power_w, truth.idle_power_w) < TOL
+        assert _rel(fit.leakage.kappa_w_per_k2, truth.leakage.kappa_w_per_k2) < TOL
+        assert _rel(fit.leakage.beta_k, truth.leakage.beta_k) < TOL
+        for freq_hz in truth.opps.frequencies_hz():
+            assert _rel(
+                fit.opps.voltage_for(freq_hz), truth.opps.voltage_for(freq_hz)
+            ) < TOL
+    assert _rel(fspec.memory.base_power_w, spec.memory.base_power_w) < TOL
+    assert _rel(fspec.memory.activity_power_w, spec.memory.activity_power_w) < TOL
+    assert _rel(fspec.board_power_w, spec.board_power_w) < TOL
+
+
+def test_round_trip_thermal_network(closed_loop):
+    spec, _fitted, fspec, _report = closed_loop
+    for truth, fit in zip(spec.thermal.nodes, fspec.thermal.nodes):
+        assert fit.name == truth.name
+        assert _rel(fit.capacitance_j_per_k, truth.capacitance_j_per_k) < TOL
+    conductances = {
+        tuple(sorted((link.node_a, link.node_b))): link.conductance_w_per_k
+        for link in spec.thermal.links
+    }
+    assert len(fspec.thermal.links) == len(conductances)
+    for link in fspec.thermal.links:
+        key = tuple(sorted((link.node_a, link.node_b)))
+        assert _rel(link.conductance_w_per_k, conductances[key]) < TOL
+
+
+def test_fit_report_is_plausible(closed_loop):
+    spec, _fitted, _fspec, report = closed_loop
+    expected = {f"dvfs.{c.name}" for c in spec.clusters}
+    expected |= {f"leakage.{c.name}" for c in spec.clusters}
+    expected |= {"dvfs.gpu", "leakage.gpu", "memory", "board", "rc"}
+    assert set(report.stage_names()) == expected
+    for stage_name in report.stage_names():
+        stage = report.stage(stage_name)
+        assert stage.residual_rms < 0.05, stage_name
+    assert "fit report" in report.summary()
+
+
+def test_fitted_def_behaviour_matches_generating_def():
+    """A fitted platform runs end-to-end and behaves like the original."""
+    name = "odroid-xu3"
+    trace = run_excitation(name, seed=1, config=FAST)
+    fitted, _report = fit_platform(trace, name="xu3-refit")
+    registry.register(fitted)
+    try:
+        results = {}
+        for platform in (name, "xu3-refit"):
+            results[platform] = Scenario(
+                platform=platform,
+                apps=(AppSpec.catalog("paperio"),),
+                policy="stock",
+                duration_s=20.0,
+                seed=5,
+            ).run()
+        truth, refit = results[name], results["xu3-refit"]
+        assert _rel(refit.peak_temp_c, truth.peak_temp_c) < 0.02
+        for app, fps in truth.fps.items():
+            assert _rel(refit.fps[app], fps) < 0.02
+    finally:
+        registry.unregister("xu3-refit")
+
+
+# ------------------------------------------------- estimator edge cases
+
+
+def test_shared_leakage_estimator_recovers_exactly():
+    temps = np.linspace(300.0, 380.0, 20)
+    kappa, beta = 2.5e-4, 1700.0
+    totals = kappa * temps**2 * np.exp(-beta / temps)
+    fit_kappa, fit_beta = fit_log_linear_leakage(temps, totals)
+    assert fit_kappa == pytest.approx(kappa, rel=1e-9)
+    assert fit_beta == pytest.approx(beta, rel=1e-9)
+
+
+def test_shared_leakage_estimator_error_taxonomy():
+    temps = np.linspace(300.0, 380.0, 5)
+    with pytest.raises(StabilityError, match="zero leakage"):
+        fit_log_linear_leakage(temps, np.zeros(5))
+    # Leakage *falling* with temperature has no physical (kappa, beta).
+    with pytest.raises(StabilityError, match="non-physical"):
+        fit_log_linear_leakage(temps, 1e3 * temps**2 * np.exp(500.0 / temps))
+
+
+def test_fit_trace_requires_structural_meta():
+    trace = run_excitation("odroid-xu3", seed=1, config=FAST)
+    from repro.calib import CalibTrace
+
+    stripped = CalibTrace.from_dict({**trace.to_dict(), "meta": {}})
+    with pytest.raises(CalibrationError, match="structural prior"):
+        fit_trace(stripped)
+
+
+def test_structural_meta_contains_no_fitted_numbers():
+    """The prior leaks nothing the fit is supposed to recover."""
+    pdef = registry.get("odroid-xu3")
+    meta = structural_meta(pdef)
+    text = str(meta)
+    for forbidden in ("ceff", "kappa", "beta", "capacitance", "conductance",
+                      "v_min", "v_max", "idle_power", "base_power"):
+        assert forbidden not in text

@@ -1,0 +1,271 @@
+"""CalibTrace/FitReport wire formats: round-trips, loaders, error taxonomy."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calib import (
+    CALIB_TRACE_FORMAT,
+    CalibSegment,
+    CalibTrace,
+    trace_from_daq,
+    trace_from_recorder,
+    trace_from_sysfs_log,
+)
+from repro.calib.fit import FitReport, StageFit
+from repro.errors import AnalysisError, CalibrationError
+from repro.power.daq import PowerDaq
+
+# ------------------------------------------------------------ strategies
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1, max_size=12
+)
+_values = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _channels(draw):
+    n_channels = draw(st.integers(1, 4))
+    out = {}
+    for _ in range(n_channels):
+        name = draw(_names)
+        n = draw(st.integers(1, 20))
+        times = sorted(draw(st.lists(
+            st.floats(0.0, 1e4, allow_nan=False), min_size=n, max_size=n,
+        )))
+        values = draw(st.lists(_values, min_size=n, max_size=n))
+        out[name] = (times, values)
+    return out
+
+
+@st.composite
+def _segments(draw):
+    segs = []
+    for _ in range(draw(st.integers(0, 3))):
+        start = draw(st.floats(0.0, 100.0, allow_nan=False))
+        length = draw(st.floats(0.001, 50.0, allow_nan=False))
+        segs.append(CalibSegment(
+            name=draw(_names),
+            kind=draw(st.sampled_from(("staircase", "soak", "cooldown"))),
+            start_s=start,
+            end_s=start + length,
+            domain=draw(st.sampled_from(("", "a7", "gpu"))),
+        ))
+    return segs
+
+
+@st.composite
+def _stage_fits(draw):
+    stages = []
+    seen = set()
+    for _ in range(draw(st.integers(0, 4))):
+        name = draw(_names)
+        if name in seen:
+            continue
+        seen.add(name)
+        stages.append(StageFit(
+            stage=name,
+            params=draw(st.dictionaries(_names, _values, max_size=3)),
+            residual_rms=draw(st.floats(0.0, 10.0, allow_nan=False)),
+            n_samples=draw(st.integers(0, 1000)),
+            diagnostics=draw(st.dictionaries(_names, _values, max_size=2)),
+        ))
+    return stages
+
+
+# ------------------------------------------------------------ round-trips
+
+
+@given(
+    channels=_channels(),
+    segments=_segments(),
+    ambient=st.floats(-20.0, 60.0, allow_nan=False),
+    hint=st.one_of(st.just(""), _names),
+)
+@settings(max_examples=60, deadline=None)
+def test_trace_json_round_trip(channels, segments, ambient, hint):
+    trace = CalibTrace(
+        channels=channels,
+        segments=segments,
+        ambient_c=ambient,
+        platform_hint=hint,
+        meta={"platform": hint, "note": "rt"},
+    )
+    again = CalibTrace.from_json(trace.to_json())
+    assert again == trace
+    # And the dict form is JSON-native (no numpy scalars/arrays).
+    json.dumps(trace.to_dict())
+
+
+@given(
+    stages=_stage_fits(),
+    hint=_names,
+    warnings=st.lists(_names, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_fit_report_json_round_trip(stages, hint, warnings):
+    report = FitReport(platform_hint=hint, stages=stages, warnings=warnings)
+    again = FitReport.from_json(report.to_json())
+    assert again == report
+    assert again.stage_names() == report.stage_names()
+
+
+def test_trace_format_version_checked():
+    trace = CalibTrace(channels={"power.total": ([0.0, 1.0], [1.0, 2.0])})
+    data = trace.to_dict()
+    assert data["format"] == CALIB_TRACE_FORMAT
+    data["format"] = "repro.calib.trace/999"
+    with pytest.raises(CalibrationError, match="unsupported trace format"):
+        CalibTrace.from_dict(data)
+
+
+def test_report_format_version_checked():
+    report = FitReport(platform_hint="x", stages=())
+    data = report.to_dict()
+    data["format"] = "nope"
+    with pytest.raises(CalibrationError, match="unsupported fit-report"):
+        FitReport.from_dict(data)
+
+
+def test_report_rejects_duplicate_stage_names():
+    stage = StageFit(stage="dvfs.a7", params={}, residual_rms=0.0, n_samples=1)
+    with pytest.raises(CalibrationError, match="duplicate"):
+        FitReport(platform_hint="x", stages=(stage, stage))
+
+
+def test_report_unknown_stage_lists_available():
+    report = FitReport(platform_hint="x", stages=(
+        StageFit(stage="rc", params={}, residual_rms=0.0, n_samples=1),
+    ))
+    with pytest.raises(CalibrationError, match="rc"):
+        report.stage("dvfs.a7")
+
+
+# ------------------------------------------------------- trace validation
+
+
+def test_trace_rejects_empty_channel_set():
+    with pytest.raises(CalibrationError, match="needs >= 1 channel"):
+        CalibTrace(channels={})
+
+
+def test_trace_rejects_ragged_channel():
+    with pytest.raises(CalibrationError, match="times vs"):
+        CalibTrace(channels={"power.total": ([0.0, 1.0], [1.0])})
+
+
+def test_trace_rejects_non_finite_samples():
+    with pytest.raises(CalibrationError, match="non-finite"):
+        CalibTrace(channels={"power.total": ([0.0, 1.0], [1.0, float("nan")])})
+
+
+def test_trace_rejects_backwards_time():
+    with pytest.raises(CalibrationError, match="backwards"):
+        CalibTrace(channels={"power.total": ([1.0, 0.0], [1.0, 2.0])})
+
+
+def test_trace_unknown_channel_lists_available():
+    trace = CalibTrace(channels={"power.total": ([0.0], [1.0])})
+    with pytest.raises(CalibrationError, match="power.total"):
+        trace.series("temp.soc")
+
+
+def test_segment_validation():
+    with pytest.raises(CalibrationError, match="unknown kind"):
+        CalibSegment(name="x", kind="warmup", start_s=0.0, end_s=1.0)
+    with pytest.raises(CalibrationError, match="must exceed"):
+        CalibSegment(name="x", kind="soak", start_s=1.0, end_s=1.0)
+
+
+def test_window_and_segment_queries():
+    trace = CalibTrace(
+        channels={"power.total": ([0.0, 1.0, 2.0, 3.0], [1.0, 2.0, 3.0, 4.0])},
+        segments=[
+            CalibSegment(name="s1", kind="staircase", start_s=0.0, end_s=2.0,
+                         domain="a7"),
+            CalibSegment(name="c1", kind="cooldown", start_s=2.0, end_s=3.0),
+        ],
+    )
+    times, values = trace.window("power.total", 1.0, 3.0)
+    assert list(times) == [1.0, 2.0] and list(values) == [2.0, 3.0]
+    assert len(trace.segments_of("staircase")) == 1
+    assert trace.segments_of("staircase", domain="gpu") == ()
+    assert trace.duration_s() == 3.0
+
+
+# ------------------------------------------------------------- loaders
+
+
+def test_trace_from_sysfs_log_interleaved_rows():
+    rows = [
+        {"t": 0.0, "channel": "temp.soc", "value": 30.0},
+        json.dumps({"t": 0.0, "channel": "power.total", "value": 1.5}),
+        {"t": 0.1, "channel": "temp.soc", "value": 30.1},
+    ]
+    trace = trace_from_sysfs_log(rows, platform_hint="dev")
+    assert trace.names() == ["power.total", "temp.soc"]
+    assert trace.series("temp.soc")[1].tolist() == [30.0, 30.1]
+
+
+def test_trace_from_sysfs_log_row_errors():
+    with pytest.raises(CalibrationError, match="row 0: malformed JSON"):
+        trace_from_sysfs_log(["{not json"])
+    with pytest.raises(CalibrationError, match="row 1: missing key 'value'"):
+        trace_from_sysfs_log([
+            {"t": 0.0, "channel": "a", "value": 1.0},
+            {"t": 0.1, "channel": "a"},
+        ])
+    with pytest.raises(CalibrationError, match="no rows"):
+        trace_from_sysfs_log([])
+
+
+def test_trace_from_recorder_via_simulation(odroid_sim):
+    odroid_sim.run(1.0)
+    trace = trace_from_recorder(
+        odroid_sim.traces, platform_hint="odroid-xu3",
+        channels=["temp.big", "power.total"],
+    )
+    assert trace.names() == ["power.total", "temp.big"]
+    assert trace.duration_s() > 0.0
+
+
+# ----------------------------------------------- PowerDaq edge behaviour
+
+
+def _daq(noise=0.0):
+    return PowerDaq(
+        np.random.default_rng(0), sample_rate_hz=100.0, noise_std_w=noise
+    )
+
+
+def test_daq_empty_capture_raises_typed_error():
+    daq = _daq()
+    with pytest.raises(CalibrationError, match="no samples"):
+        daq.mean_power_w()
+    with pytest.raises(CalibrationError, match="at least two"):
+        daq.energy_j()
+    # CalibrationError subclasses AnalysisError: pre-existing catchers of
+    # the old type keep working.
+    with pytest.raises(AnalysisError):
+        daq.mean_power_w()
+
+
+def test_daq_empty_window_raises_typed_error():
+    daq = _daq()
+    daq.capture(0.0, 0.1, 1.0)
+    with pytest.raises(CalibrationError, match="window contains no samples"):
+        daq.mean_power_w(start_s=5.0, end_s=6.0)
+
+
+def test_trace_from_daq_requires_two_samples():
+    daq = _daq()
+    daq.capture(0.0, 0.005, 1.0)  # one sample at t=0
+    with pytest.raises(CalibrationError, match="fewer than two"):
+        trace_from_daq(daq)
+    daq.capture(0.005, 0.1, 2.0)
+    trace = trace_from_daq(daq, platform_hint="dev")
+    assert "power.total" in trace

@@ -203,7 +203,7 @@ def test_platforms_describe_unknown_exits():
 def test_platforms_validate_command(capsys):
     assert main(["platforms", "validate"]) == 0
     out = capsys.readouterr().out
-    assert "4 platform definition(s) valid" in out
+    assert "5 platform definition(s) valid" in out
 
 
 def test_platforms_validate_file(tmp_path, capsys):

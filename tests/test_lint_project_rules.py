@@ -228,6 +228,44 @@ def test_r601_sees_through_import_aliases(tmp_path):
     assert rule_ids(lint_pkg(pkg, ["R601"])) == ["R601"]
 
 
+def test_r601_flags_orphan_generator_in_calib_subpackage(tmp_path):
+    """Calibration code gets no special dispensation from RNG discipline."""
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "calib/__init__.py": "",
+        "calib/excite.py": """
+            import numpy as np
+
+            def jitter_dwell(dwell_s):
+                return dwell_s * np.random.default_rng(0).uniform(0.9, 1.1)
+        """,
+    })
+    report = lint_pkg(pkg, ["R601"])
+    assert rule_ids(report) == ["R601"]
+    assert report.new[0].path == "calib/excite.py"
+
+
+def test_r601_calib_drawing_from_registry_stream_is_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": """
+            import numpy as np
+
+            STREAM_NAMESPACES = frozenset({"calib", "daq", "faults"})
+
+            class RngRegistry:
+                def stream(self, name):
+                    return np.random.default_rng(hash(name))
+        """,
+        "calib/__init__.py": "",
+        "calib/excite.py": """
+            def jitter_dwell(registry, dwell_s):
+                rng = registry.stream("calib.excite")
+                return dwell_s * rng.uniform(0.9, 1.1)
+        """,
+    })
+    assert lint_pkg(pkg, ["R601", "R602"]).new == []
+
+
 def test_r602_flags_undeclared_namespace(tmp_path):
     pkg, _ = make_pkg(tmp_path, {
         "rng.py": RNG_PY,

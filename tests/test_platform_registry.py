@@ -10,6 +10,7 @@ from repro.soc.platform import PlatformSpec
 from repro.soc.registry import REGISTRY, PlatformRegistry
 from repro.soc.snapdragon810 import NEXUS6P, NEXUS6P_DEF
 from repro.soc.snapdragon821 import PIXEL_XL
+from repro.soc.snapdragon_modern import SNAPDRAGON_MODERN
 
 
 def _testbox_def(name="testbox"):
@@ -23,7 +24,7 @@ def _testbox_def(name="testbox"):
 
 def test_builtins_registered():
     assert registry.platform_names() == (
-        NEXUS6P, ODROID_XU3, ODROID_XU3_FAN, PIXEL_XL,
+        NEXUS6P, ODROID_XU3, ODROID_XU3_FAN, PIXEL_XL, SNAPDRAGON_MODERN,
     )
     for name in registry.platform_names():
         assert registry.is_registered(name)

@@ -1,0 +1,101 @@
+"""snapdragon-modern: the platform whose definition the pipeline produced.
+
+The registered JSON must stay a faithful build artifact: loading the
+bundled trace and re-running ``fit_platform`` has to reproduce the bundled
+definition (within BLAS least-squares noise), and the platform must flow
+through every downstream layer with zero code branches.
+"""
+
+import json
+
+import pytest
+
+from repro.calib import CalibTrace, fit_platform
+from repro.calib.reference import (
+    REFERENCE_CONFIG,
+    REFERENCE_SEED,
+    SNAPDRAGON_MODERN_STAND_IN,
+)
+from repro.campaign import PRESETS
+from repro.sim.experiment import AppSpec, Scenario
+from repro.soc import registry
+from repro.soc.snapdragon_modern import (
+    SNAPDRAGON_MODERN,
+    SNAPDRAGON_MODERN_DEF,
+    SNAPDRAGON_MODERN_DEF_PATH,
+)
+
+TRACE_PATH = SNAPDRAGON_MODERN_DEF_PATH.with_name("snapdragon_modern_trace.json")
+
+
+def test_registered_from_artifact():
+    assert registry.is_registered(SNAPDRAGON_MODERN)
+    on_disk = json.loads(SNAPDRAGON_MODERN_DEF_PATH.read_text())
+    assert SNAPDRAGON_MODERN_DEF.to_dict() == on_disk
+    # Provenance: the definition records it came from the pipeline.
+    assert on_disk["extras"]["calibration"]["source"] == "repro.calib"
+
+
+def test_three_cluster_layout():
+    spec = SNAPDRAGON_MODERN_DEF.compile()
+    assert [c.name for c in spec.clusters] == ["little", "big", "prime"]
+    assert spec.big_cluster.name == "prime"
+    assert spec.little_cluster.name == "little"
+    assert sum(c.n_cores for c in spec.clusters) == 8
+
+
+def test_stand_in_is_not_registered():
+    """Only the pipeline's output reaches the registry, never the truth."""
+    assert SNAPDRAGON_MODERN_STAND_IN.name == SNAPDRAGON_MODERN
+    assert registry.get(SNAPDRAGON_MODERN) is not SNAPDRAGON_MODERN_STAND_IN
+    assert "calibration" not in SNAPDRAGON_MODERN_STAND_IN.extras
+
+
+def test_refit_of_bundled_trace_reproduces_bundled_def():
+    trace = CalibTrace.from_json(TRACE_PATH.read_text())
+    assert trace.platform_hint == SNAPDRAGON_MODERN
+    assert trace.meta["seed"] == REFERENCE_SEED
+    refit, _report = fit_platform(trace)
+    bundled = SNAPDRAGON_MODERN_DEF.compile()
+    respec = refit.compile()
+    for a, b in zip(bundled.thermal.nodes, respec.thermal.nodes):
+        assert b.capacitance_j_per_k == pytest.approx(
+            a.capacitance_j_per_k, rel=1e-6
+        )
+    for a, b in zip(bundled.clusters, respec.clusters):
+        assert b.ceff_w_per_v2hz == pytest.approx(a.ceff_w_per_v2hz, rel=1e-6)
+        assert b.leakage.beta_k == pytest.approx(a.leakage.beta_k, rel=1e-4)
+
+
+def test_reference_config_is_what_generated_the_artifacts():
+    trace = CalibTrace.from_json(TRACE_PATH.read_text())
+    staircases = trace.segments_of("staircase")
+    # One staircase per cluster plus the GPU, capped OPP count each.
+    assert len(staircases) == 4
+    per_domain = max(
+        round(seg.duration_s / REFERENCE_CONFIG.dwell_s) for seg in staircases
+    )
+    assert per_domain <= REFERENCE_CONFIG.max_opps_per_domain
+
+
+def test_joins_platform_matrix_and_chaos_presets():
+    matrix = PRESETS["platform-matrix"]()
+    assert any(
+        run.scenario.platform == SNAPDRAGON_MODERN for run in matrix.expand()
+    )
+    chaos = PRESETS["chaos"]()
+    assert any(
+        run.scenario.platform == SNAPDRAGON_MODERN for run in chaos.expand()
+    )
+
+
+def test_runs_a_scenario_end_to_end():
+    result = Scenario(
+        platform=SNAPDRAGON_MODERN,
+        apps=(AppSpec.catalog("paperio"),),
+        policy="stock",
+        duration_s=10.0,
+        seed=2,
+    ).run()
+    assert result.peak_temp_c > 25.0
+    assert result.mean_power_w > 0.0
