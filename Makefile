@@ -13,7 +13,7 @@ CALIB_DIR ?= /tmp/repro-calib-smoke
 LINT_CACHE ?= /tmp/repro-lint-cache.json
 
 .PHONY: lint lint-fast lint-full test check campaign-smoke chaos-smoke \
-	telemetry-smoke validate-platforms calib-smoke
+	telemetry-smoke validate-platforms calib-smoke engine-bench
 
 lint:
 	$(PYTHON) -m repro lint
@@ -77,4 +77,11 @@ calib-smoke:
 	  --name odroid-xu3-refit --out $(CALIB_DIR)/fitted.json --register
 	$(PYTHON) -m repro platforms validate --file $(CALIB_DIR)/fitted.json
 
-check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke calib-smoke
+# Time the stacked batch stepper against the scalar engine on a
+# 64-scenario grid and assert byte-identical outputs plus the >=10x
+# per-scenario throughput floor (docs/ENGINE.md).
+engine-bench:
+	cd benchmarks && PYTHONPATH=$(CURDIR)/src \
+	  $(PYTHON) -m pytest -x -q bench_engine_speedup.py
+
+check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke calib-smoke engine-bench

@@ -40,6 +40,7 @@ from scipy.optimize import nnls
 
 from repro.errors import CalibrationError, StabilityError
 from repro.kernel.cpuidle import IDLE_BUSY_THRESHOLD
+from repro.soc.power_model import memory_activity_proxy
 from repro.units import celsius_to_kelvin, mhz
 
 #: Wire-format version of the fit-report JSON schema.
@@ -441,9 +442,7 @@ def _memory_stage(trace, meta, warnings) -> StageFit:
     ])
     total_cores = sum(int(c["n_cores"]) for c in clusters)
     total_busy = np.sum([chans[n] for n in names], axis=0)
-    act = np.minimum(
-        1.0, 0.25 * total_busy / max(total_cores, 1) + 0.6 * chans["busy.gpu"]
-    )
+    act = memory_activity_proxy(total_busy, total_cores, chans["busy.gpu"])
     p = chans[f"power.{mem['rail']}"]
     temps_k = celsius_to_kelvin(chans[f"temp.{mem['thermal_node']}"])
     ones = np.ones(p.size)

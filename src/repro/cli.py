@@ -315,13 +315,15 @@ def _load_campaign_spec(args: argparse.Namespace):
 
 
 def _campaign_runner(args: argparse.Namespace, jobs: int = 1,
-                     timeout_s: float | None = None, observer=None):
+                     timeout_s: float | None = None, observer=None,
+                     batch: bool = False):
     from repro.campaign import CampaignRunner, ResultStore
 
     spec = _load_campaign_spec(args)
     store = ResultStore(args.store)
     return CampaignRunner(
-        spec, store, jobs=jobs, timeout_s=timeout_s, observer=observer
+        spec, store, jobs=jobs, timeout_s=timeout_s, observer=observer,
+        batch=batch,
     )
 
 
@@ -348,7 +350,8 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             tty=False if args.no_tty else None, slo=slo
         )
     runner = _campaign_runner(
-        args, jobs=args.jobs, timeout_s=args.timeout, observer=observer
+        args, jobs=args.jobs, timeout_s=args.timeout, observer=observer,
+        batch=args.batch,
     )
     if args.resume and runner.store.load_campaign_manifest(runner.spec.name) is None:
         raise SystemExit(
@@ -777,6 +780,10 @@ def build_parser() -> argparse.ArgumentParser:
         if action == "run":
             cmd.add_argument("--jobs", type=int, default=1,
                              help="worker processes (1 = run in-process)")
+            cmd.add_argument("--batch", action="store_true",
+                             help="stack same-platform runs into one "
+                                  "vectorized stepper per worker "
+                                  "(byte-identical to the scalar path)")
             cmd.add_argument("--timeout", type=float, default=None,
                              help="per-run wall-clock timeout in seconds")
             cmd.add_argument("--resume", action="store_true",

@@ -9,7 +9,23 @@ of the step by firing on the first tick at or after each deadline.
 
 from __future__ import annotations
 
+import math
+
 from repro.errors import ConfigurationError, SimulationError
+
+
+def ticks_for_duration(duration_s: float, dt_s: float) -> int:
+    """Whole ticks covering ``duration_s`` at step ``dt_s``.
+
+    This is the integer form of the engine's historical float loop
+    (``while now < end - 1e-9``) evaluated from a tick boundary: the count
+    depends only on the duration, never on how much float dust the current
+    time has accumulated, so arbitrarily long runs can be sliced into
+    back-to-back ``run()`` calls without gaining or losing ticks.
+    """
+    if dt_s <= 0.0:
+        raise ConfigurationError(f"clock step must be positive, got {dt_s}")
+    return max(0, math.ceil((duration_s - 1e-9) / dt_s))
 
 
 class Clock:

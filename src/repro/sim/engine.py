@@ -21,17 +21,17 @@ from typing import Callable, Sequence
 
 from repro.apps.base import AppContext, Application
 from repro.errors import ConfigurationError, SimulationError
-from repro.kernel.kernel import GPU_DOMAIN, Kernel, KernelConfig
+from repro.kernel.kernel import Kernel, KernelConfig
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profiler import NULL_PROFILER, StepProfiler
 from repro.obs.spans import SpanTracer
 from repro.power.daq import PowerDaq
 from repro.power.energy import EnergyMeter
-from repro.sim.clock import Clock, PeriodicTimer
+from repro.sim.clock import Clock, PeriodicTimer, ticks_for_duration
+from repro.sim.power_stage import PowerStage
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import TraceRecorder
-from repro.soc.platform import BOARD_RAIL, PlatformSpec
-from repro.soc.power_model import ComponentActivity
+from repro.soc.platform import PlatformSpec
 from repro.thermal.model import ThermalModel
 from repro.units import celsius_to_kelvin, kelvin_to_celsius
 
@@ -53,6 +53,7 @@ class Simulation:
         daq_rate_hz: float = 1000.0,
         battery=None,
         profile: bool = False,
+        thermal_integrator: str = "zoh",
     ) -> None:
         self.platform = platform
         self.seed = seed
@@ -66,6 +67,7 @@ class Simulation:
         self._ph_step = prof.step()
         self._ph_apps = prof.phase("apps")
         self._ph_kernel = prof.phase("kernel")
+        self._ph_assemble = prof.phase("power_assemble")
         self._ph_power = prof.phase("power_model")
         self._ph_thermal = prof.phase("thermal")
         self._ph_record = prof.phase("record")
@@ -80,12 +82,14 @@ class Simulation:
             else celsius_to_kelvin(initial_temp_c)
         )
         self.thermal = ThermalModel(
-            platform.thermal, dt_s, ambient_k=ambient_k, initial_k=initial_k
+            platform.thermal, dt_s, ambient_k=ambient_k, initial_k=initial_k,
+            integrator=thermal_integrator,
         )
         self.kernel = Kernel(
             platform, self.thermal, self.clock, self.rng, kernel_config,
             metrics=self.metrics, spans=self.spans,
         )
+        self.power_stage = PowerStage(platform, self.kernel, self.thermal)
         self.traces = TraceRecorder()
         self._m_steps = self.metrics.counter(
             "repro_sim_steps_total", "Simulation ticks executed"
@@ -168,63 +172,34 @@ class Simulation:
                 self._dispatch(kres.completed_cpu_tags, gpu=False, now_s=now)
                 self._dispatch(kres.gpu.completed_tags, gpu=True, now_s=now)
 
-            with self._ph_power:
-                temps = self.thermal.temperatures_k()
-                cluster_activity = {}
-                total_busy = 0.0
-                total_cores = 0
-                for cluster in self.platform.clusters:
-                    usage = kres.usage[cluster.name]
-                    cluster_activity[cluster.name] = ComponentActivity(
-                        freq_hz=kres.freqs_hz[cluster.name],
-                        busy_units=min(usage.busy_cores, float(cluster.n_cores)),
-                        temp_k=temps[cluster.thermal_node],
-                        powered=self.kernel.cluster_online(cluster.name),
-                        idle_scale=self.kernel.idle_scale(cluster.name),
-                    )
-                    total_busy += usage.busy_cores
-                    total_cores += cluster.n_cores
-                gpu_activity = ComponentActivity(
-                    freq_hz=kres.freqs_hz[GPU_DOMAIN],
-                    busy_units=min(kres.gpu.busy_fraction, 1.0),
-                    temp_k=temps[self.platform.gpu.thermal_node],
-                    idle_scale=self.kernel.idle_scale(GPU_DOMAIN),
-                )
-                mem_activity = min(
-                    1.0,
-                    0.25 * total_busy / max(total_cores, 1)
-                    + 0.6 * kres.gpu.busy_fraction,
-                )
-                rails = self.kernel.power_model.rail_powers(
-                    cluster_activity,
-                    gpu_activity,
-                    mem_activity,
-                    temps[self.platform.memory.thermal_node],
-                )
-                rail_watts = {
-                    rail: sample.total_w for rail, sample in rails.items()
-                }
-                soc_watts = dict(rail_watts)
-                if self.platform.board_power_w > 0.0:
-                    rail_watts[BOARD_RAIL] = self.platform.board_power_w
-                battery_w = sum(rail_watts.values())
+            self._finish_tick(now, dt, kres)
 
-            with self._ph_thermal:
-                self.thermal.step(rail_watts)
+    def _finish_tick(self, now: float, dt: float, kres) -> None:
+        """Power assembly through clock advance: the post-kernel half-tick.
 
-            with self._ph_power:
-                self.kernel.update_power_readings(soc_watts, dt)
-                self.energy.accumulate(rail_watts, dt)
-                if self.daq is not None:
-                    self.daq.capture(now, dt, battery_w)
-                if self.battery is not None:
-                    self.battery.drain(battery_w, dt)
+        Split out of :meth:`step` so the batch stepper can complete a tick
+        exactly after demoting a scenario from its vectorized fast path
+        mid-tick (apps + kernel already ran for that tick).
+        """
+        with self._ph_assemble:
+            rail_watts, soc_watts, battery_w = self.power_stage.assemble(kres)
 
-            with self._ph_record:
-                self._m_steps.inc()
-                if self._record_timer.poll():
-                    self._record(now, kres, rail_watts, battery_w)
-                self.clock.advance()
+        with self._ph_thermal:
+            self.thermal.step(rail_watts)
+
+        with self._ph_power:
+            self.kernel.update_power_readings(soc_watts, dt)
+            self.energy.accumulate(rail_watts, dt)
+            if self.daq is not None:
+                self.daq.capture(now, dt, battery_w)
+            if self.battery is not None:
+                self.battery.drain(battery_w, dt)
+
+        with self._ph_record:
+            self._m_steps.inc()
+            if self._record_timer.poll():
+                self._record(now, kres, rail_watts, battery_w)
+            self.clock.advance()
 
     def _record(self, now, kres, rail_watts, battery_w) -> None:
         max_temp_c = kelvin_to_celsius(self.thermal.max_temperature_k())
@@ -254,11 +229,15 @@ class Simulation:
         duration_s: float,
         until: Callable[["Simulation"], bool] | None = None,
     ) -> None:
-        """Run for ``duration_s`` seconds (or until the predicate is true)."""
+        """Run for ``duration_s`` seconds (or until the predicate is true).
+
+        The loop is counted in whole clock ticks (not float end-time
+        comparisons), so repeated or very long runs never gain or lose a
+        step to accumulated float dust.
+        """
         if duration_s <= 0.0:
             raise ConfigurationError("duration must be positive")
-        end = self.clock.now + duration_s
-        while self.clock.now < end - 1e-9:
+        for _ in range(ticks_for_duration(duration_s, self.clock.dt)):
             self.step()
             if until is not None and until(self):
                 break

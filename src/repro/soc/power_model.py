@@ -12,8 +12,33 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+import numpy as np
+
 from repro.errors import ConfigurationError, SimulationError
 from repro.soc.components import ClusterSpec, GpuSpec, LeakageParams, MemorySpec
+
+#: Weights of the CPU/GPU → DRAM activity proxy.  One definition: the
+#: engine applies it per tick and the calibration pipeline inverts it from
+#: logged busy channels, so the constants must never drift apart.
+MEM_ACTIVITY_CPU_WEIGHT = 0.25
+MEM_ACTIVITY_GPU_WEIGHT = 0.6
+
+
+def memory_activity_proxy(busy_cores, total_cores: int, gpu_busy):
+    """DRAM activity in [0, 1] from CPU busy-cores and GPU busy fraction.
+
+    ``act = min(1, 0.25 * busy_cores / total_cores + 0.6 * gpu_busy)`` — a
+    modelling assumption standing in for DRAM event counters.  Accepts
+    scalars (the engine's per-tick path) or numpy arrays (the calibration
+    fit over whole trace channels).
+    """
+    act = (
+        MEM_ACTIVITY_CPU_WEIGHT * busy_cores / max(total_cores, 1)
+        + MEM_ACTIVITY_GPU_WEIGHT * gpu_busy
+    )
+    if isinstance(act, np.ndarray):
+        return np.minimum(1.0, act)
+    return min(1.0, act)
 
 
 def dynamic_power_w(

@@ -33,7 +33,15 @@ class ThermalModel:
         Ambient temperature in kelvin (changeable at runtime).
     initial_k:
         Initial temperature of every node; defaults to the ambient.
+    integrator:
+        ``"zoh"`` (default) discretises with the matrix exponential — exact
+        for the linear dynamics under zero-order-held power inputs at any
+        step size.  ``"euler"`` uses the explicit forward-Euler update
+        ``Ad = I + A·dt``; it is first-order accurate and only offered as a
+        reference stepper for convergence testing.
     """
+
+    INTEGRATORS = ("zoh", "euler")
 
     def __init__(
         self,
@@ -41,9 +49,16 @@ class ThermalModel:
         dt_s: float,
         ambient_k: float = 298.15,
         initial_k: float | None = None,
+        integrator: str = "zoh",
     ) -> None:
         if dt_s <= 0.0:
             raise ConfigurationError(f"thermal step must be positive, got {dt_s}")
+        if integrator not in self.INTEGRATORS:
+            raise ConfigurationError(
+                f"unknown thermal integrator {integrator!r}; "
+                f"choose from {self.INTEGRATORS}"
+            )
+        self._integrator = integrator
         self._base_spec = spec
         self._dt = float(dt_s)
         self._ambient_k = float(ambient_k)
@@ -70,16 +85,65 @@ class ThermalModel:
             raise ConfigurationError(
                 "thermal network has no path to ambient (A is singular)"
             ) from exc
-        self._ad = expm(a_mat * self._dt)
-        gain = a_inv @ (self._ad - np.eye(len(self._nodes)))
-        self._bd = gain @ b_mat
-        self._wd = gain @ w_vec
+        # Hurwitz check at build time: every continuous-time eigenvalue must
+        # sit strictly in the left half-plane, otherwise the network is not
+        # passive and no discretisation of it is trustworthy.
+        eigenvalues = np.linalg.eigvals(a_mat)
+        self._slowest_pole = max(ev.real for ev in eigenvalues)
+        if self._slowest_pole >= 0.0:
+            raise ConfigurationError(
+                "thermal network is not passive (A is not Hurwitz: "
+                f"max Re(eig) = {self._slowest_pole:g})"
+            )
+        if self._integrator == "euler":
+            self._ad = np.eye(len(self._nodes)) + a_mat * self._dt
+            self._bd = b_mat * self._dt
+            self._wd = w_vec * self._dt
+        else:
+            self._ad = expm(a_mat * self._dt)
+            gain = a_inv @ (self._ad - np.eye(len(self._nodes)))
+            self._bd = gain @ b_mat
+            self._wd = gain @ w_vec
         self._a_inv = a_inv
 
     @property
     def dt_s(self) -> float:
         """Step size in seconds."""
         return self._dt
+
+    @property
+    def integrator(self) -> str:
+        """Discretisation mode: ``"zoh"`` or ``"euler"``."""
+        return self._integrator
+
+    @property
+    def discrete_system(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The discretised ``(Ad, Bd, wd)`` of ``T' = Ad·T + Bd·P + wd·T_amb``.
+
+        These are the live arrays (not copies): callers such as
+        :class:`repro.sim.batch.BatchSimulation` compare and reuse them
+        across stacked scenarios but must not mutate them.
+        """
+        return self._ad, self._bd, self._wd
+
+    def adopt_state(self, row: np.ndarray) -> None:
+        """Rebind the node-temperature vector to externally owned storage.
+
+        ``row`` (shape ``(n_nodes,)``, typically a row view of a stacked
+        ``(N, nodes)`` batch state) receives the current temperatures and
+        becomes the live state: sensors attached to this model keep reading
+        current values while a batch stepper updates the row in place.
+        """
+        if row.shape != self._state.shape:
+            raise SimulationError(
+                f"state shape mismatch: {row.shape} != {self._state.shape}"
+            )
+        row[:] = self._state
+        self._state = row
+
+    def detach_state(self) -> None:
+        """Give the model back its own state storage (undoes adopt_state)."""
+        self._state = self._state.copy()
 
     @property
     def node_names(self) -> tuple[str, ...]:
@@ -161,6 +225,18 @@ class ThermalModel:
         p = self._power_vector(rail_powers)
         self._state = self._ad @ self._state + self._bd @ p + self._wd * self._ambient_k
 
+    def step_in_place(self, p: np.ndarray) -> None:
+        """Advance one step from a prebuilt power vector, updating in place.
+
+        The batch stepper's hot path: ``p`` is already in rail order (no
+        dict mapping, no validation) and the state array object is preserved
+        so external row views stay live.  The arithmetic is exactly
+        :meth:`step`'s.
+        """
+        self._state[:] = (
+            self._ad @ self._state + self._bd @ p + self._wd * self._ambient_k
+        )
+
     def temperature_k(self, node: str) -> float:
         """Current temperature of ``node`` in kelvin."""
         return float(self._state[self._index(node)])
@@ -196,8 +272,7 @@ class ThermalModel:
 
     def dominant_time_constant_s(self) -> float:
         """Slowest thermal time constant (seconds)."""
-        eigenvalues = np.linalg.eigvals(self._a)
-        slowest = max(ev.real for ev in eigenvalues)
-        if slowest >= 0.0:
+        slowest = self._slowest_pole
+        if slowest >= 0.0:  # pragma: no cover - _configure rejects these
             raise SimulationError("thermal network is not passive (unstable A)")
         return -1.0 / slowest

@@ -1,0 +1,187 @@
+"""Stacked-scenario stepping: byte-identity against independent runs.
+
+The whole contract of :class:`repro.sim.batch.BatchSimulation` is that it
+is an execution strategy, not a model change: every trace channel, the
+deterministic metrics snapshot and the DAQ capture must match running each
+member alone bit for bit — whatever mix of platforms, policies, ambients
+and thermal governors is stacked (docs/ENGINE.md).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.kernel.kernel import KernelConfig, ThermalConfig
+from repro.sim.batch import BatchSimulation
+from repro.sim.engine import Simulation
+from repro.sim.experiment import AppSpec, Scenario, run_scenarios_batched
+from repro.soc import registry
+
+
+def _sim(platform="odroid-xu3", seed=1, **kwargs):
+    kwargs.setdefault("enable_daq", True)
+    return Simulation(
+        registry.build(platform), [AppSpec.batch("bml").build()],
+        seed=seed, **kwargs,
+    )
+
+
+def _fingerprint(sim) -> bytes:
+    parts = []
+    for name in sorted(sim.traces.names()):
+        times, values = sim.traces.series(name)
+        parts.append(name.encode() + times.tobytes() + values.tobytes())
+    parts.append(
+        json.dumps(
+            sim.metrics.snapshot(as_of_s=sim.clock.now, include_wall_clock=False),
+            sort_keys=True,
+        ).encode()
+    )
+    if sim.daq is not None:
+        times, values = sim.daq.samples()
+        parts.append(times.tobytes() + values.tobytes())
+    return b"".join(parts)
+
+
+def _assert_identical(build, duration_s, n=3, fast=True, run_each=None):
+    """Run ``n`` sims alone and stacked; compare their full fingerprints."""
+    alone = [build(i) for i in range(n)]
+    stacked = [build(i) for i in range(n)]
+    if run_each is None:
+        for sim in alone:
+            sim.run(duration_s)
+        batch = BatchSimulation(stacked, fast=fast)
+        batch.run(duration_s)
+    else:
+        for sim, d in zip(alone, run_each):
+            sim.run(d)
+        batch = BatchSimulation(stacked, fast=fast)
+        batch.run_each(run_each)
+    for i, (a, b) in enumerate(zip(alone, stacked)):
+        assert _fingerprint(a) == _fingerprint(b), f"member {i} diverged"
+    return batch
+
+
+def test_steady_batch_is_byte_identical_and_fast():
+    batch = _assert_identical(lambda i: _sim(seed=i), duration_s=12.0, n=4)
+    assert batch.stats["fast_ticks"] > 0
+    assert batch.stats["promotions"] > 0
+
+
+@pytest.mark.parametrize("platform", registry.platform_names())
+def test_every_platform_stock_batch_identity(platform):
+    def build(i):
+        scenario = Scenario(
+            platform=platform, apps=(AppSpec.batch("bml"),),
+            policy="stock", duration_s=6.0, seed=i + 1,
+        )
+        return scenario._build().sim
+
+    _assert_identical(build, duration_s=6.0, n=2)
+
+
+def test_proposed_policy_batch_identity():
+    # The proposed governor installs a kernel daemon, so these members can
+    # never promote — the scalar lock-step path must still match exactly.
+    def build(i):
+        scenario = Scenario(
+            platform="odroid-xu3", apps=(AppSpec.batch("bml"),),
+            policy="proposed", duration_s=6.0, seed=i, t_limit_c=60.0,
+        )
+        return scenario._build().sim
+
+    batch = _assert_identical(build, duration_s=6.0, n=2)
+    assert batch.stats["promotions"] == 0
+
+
+def test_throttling_demotes_and_stays_identical():
+    # Hot ambients under an IPA zone: governor actions (frequency caps,
+    # cooling-state changes) must demote members out of the fast path at
+    # exactly the right tick.
+    config = KernelConfig(thermal=ThermalConfig(
+        kind="ipa", sensor="soc_big", cooled=("a15", "a7"),
+        switch_on_temp_c=55.0, control_temp_c=60.0,
+    ))
+
+    def build(i):
+        return _sim(seed=i, kernel_config=config, ambient_c=56.0 + 2.0 * i,
+                    initial_temp_c=55.0)
+
+    batch = _assert_identical(build, duration_s=15.0, n=4)
+    assert batch.stats["demotions"] > 0
+    assert batch.stats["fast_ticks"] > 0
+
+
+def test_mixed_platform_batch_identity():
+    platforms = ("odroid-xu3", "pixel-xl", "nexus6p")
+
+    def build(i):
+        return _sim(platform=platforms[i], seed=i)
+
+    _assert_identical(build, duration_s=5.0, n=3)
+
+
+def test_fast_disabled_matches_too():
+    batch = _assert_identical(
+        lambda i: _sim(seed=i), duration_s=4.0, n=2, fast=False)
+    assert batch.stats["fast_ticks"] == 0
+
+
+def test_run_each_and_continuation():
+    # Different durations per member, plus a second run() continuing from
+    # mid-flight state, must equal single uninterrupted runs.
+    alone = [_sim(seed=i) for i in range(3)]
+    durations = [7.0, 4.0, 9.0]
+    for sim, d in zip(alone, durations):
+        sim.run(d)
+    stacked = [_sim(seed=i) for i in range(3)]
+    batch = BatchSimulation(stacked)
+    batch.run_each([3.0, 4.0, 3.0])
+    batch.run_each([4.0, 1e-9, 6.0])  # rounds up to 0 and 1-tick floors
+    # member 1 already done: give it no further ticks via a tiny duration
+    for a, b in zip(alone, stacked):
+        assert np.array_equal(
+            a.traces.series("temp.max")[1], b.traces.series("temp.max")[1]
+        )
+        assert _fingerprint(a) == _fingerprint(b)
+
+
+def test_batch_profile_covers_phases():
+    sims = [_sim(seed=i) for i in range(2)]
+    batch = BatchSimulation(sims, profile=True)
+    batch.run(3.0)
+    rendered = batch.profiler.report().render()
+    for phase in ("kernel", "power_assemble", "thermal_exact", "batch_sync"):
+        assert phase in rendered
+
+
+def test_batch_validation_errors():
+    with pytest.raises(ConfigurationError):
+        BatchSimulation([])
+    fast = _sim(seed=0)
+    slow = Simulation(registry.build("odroid-xu3"), dt_s=0.02)
+    with pytest.raises(ConfigurationError):
+        BatchSimulation([fast, slow])
+    a, b = _sim(seed=0), _sim(seed=1)
+    a.run(1.0)
+    with pytest.raises(ConfigurationError):
+        BatchSimulation([a, b])
+    with pytest.raises(ConfigurationError):
+        BatchSimulation([_sim(seed=0), _sim(seed=1)]).run_each([1.0])
+
+
+def test_run_scenarios_batched_matches_run_instrumented():
+    scenarios = [
+        Scenario(platform="odroid-xu3", apps=(AppSpec.batch("bml"),),
+                 policy="stock", duration_s=8.0, seed=seed)
+        for seed in (1, 2)
+    ]
+    batched = run_scenarios_batched(scenarios)
+    for scenario, (result, snapshot) in zip(scenarios, batched):
+        ref_result, ref_snapshot = scenario.run_instrumented()
+        assert result == ref_result
+        assert json.dumps(snapshot, sort_keys=True) == json.dumps(
+            ref_snapshot, sort_keys=True)
+    assert run_scenarios_batched([]) == []

@@ -108,3 +108,20 @@ def test_timer_reset_into_past_rejected():
     timer = PeriodicTimer(clock, 0.1)
     with pytest.raises(SimulationError):
         timer.reset(phase=0.01)
+
+
+def test_ticks_for_duration_is_float_dust_proof():
+    from repro.sim.clock import ticks_for_duration
+
+    # A million 0.1 ms steps: the naive end-time comparison loses ticks
+    # to accumulated float error; the counted loop must not.
+    assert ticks_for_duration(100.0, 1e-4) == 10**6
+    # Chunked scheduling sums to exactly the one-shot count, whatever the
+    # chunk size — the invariant Simulation.run and BatchSimulation rely
+    # on for continuation runs.
+    for chunk, n in ((0.1, 1000), (0.25, 400), (1.0, 100)):
+        assert sum(ticks_for_duration(chunk, 1e-4) for _ in range(n)) == 10**6
+    # Representative awkward dt: 0.01 is not a binary float, so repeated
+    # addition drifts, but the tick count never does.
+    assert ticks_for_duration(10.0, 0.01) == 1000
+    assert sum(ticks_for_duration(0.07, 0.01) for _ in range(1000)) == 7000

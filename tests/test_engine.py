@@ -132,3 +132,21 @@ def test_completion_dispatch_roundtrip():
     sim = Simulation(odroid_xu3(), [app], kernel_config=KernelConfig(), seed=1)
     sim.run(3.0)
     assert app.fps.frame_count > 30  # frames flow through CPU+GPU stages
+
+
+def test_chunked_runs_do_not_drift():
+    """Many short run() calls must land on exactly the same tick count —
+    and the same recorded traces — as one uninterrupted run."""
+    import numpy as np
+
+    one_shot = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=5)
+    one_shot.run(3.0)
+    chunked = Simulation(odroid_xu3(), kernel_config=KernelConfig(), seed=5)
+    for _ in range(30):
+        chunked.run(0.1)
+    assert chunked.clock.tick == one_shot.clock.tick == 300
+    for name in one_shot.traces.names():
+        times_a, values_a = one_shot.traces.series(name)
+        times_b, values_b = chunked.traces.series(name)
+        assert np.array_equal(times_a, times_b)
+        assert np.array_equal(values_a, values_b)

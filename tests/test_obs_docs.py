@@ -159,3 +159,13 @@ def test_span_taxonomy_documented(loaded_sim):
     emitted = {s.name for s in loaded_sim.spans.spans()}
     for name in emitted:
         assert f"`{name}`" in text, f"span {name!r} missing from the doc"
+
+
+def test_step_phase_list_matches_doc():
+    """The documented step-phase bullets are exactly STEP_PHASES, in order."""
+    from repro.obs.profiler import STEP_PHASES
+
+    text = DOC.read_text()
+    section = text.split("STEP_PHASES`:", 1)[1].split("\n\n", 2)[1]
+    documented = re.findall(r"^\* `([a-z_]+)`", section, flags=re.MULTILINE)
+    assert tuple(documented) == STEP_PHASES
