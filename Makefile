@@ -13,7 +13,8 @@ CALIB_DIR ?= /tmp/repro-calib-smoke
 LINT_CACHE ?= /tmp/repro-lint-cache.json
 
 .PHONY: lint lint-fast lint-full test check campaign-smoke chaos-smoke \
-	telemetry-smoke validate-platforms calib-smoke engine-bench
+	telemetry-smoke validate-platforms calib-smoke calib-robust-smoke \
+	engine-bench
 
 lint:
 	$(PYTHON) -m repro lint
@@ -77,6 +78,25 @@ calib-smoke:
 	  --name odroid-xu3-refit --out $(CALIB_DIR)/fitted.json --register
 	$(PYTHON) -m repro platforms validate --file $(CALIB_DIR)/fitted.json
 
+# Close the loop through a degraded capture: excite, apply the contract
+# degradation model (millidegree quantization + record drops + spikes),
+# fit robustly, validate the fitted JSON, and gate the robust fit's wall
+# time against the clean path (docs/CALIBRATION.md).
+calib-robust-smoke:
+	rm -rf $(CALIB_DIR)-robust && mkdir -p $(CALIB_DIR)-robust
+	$(PYTHON) -m repro platforms excite --platform odroid-xu3 \
+	  --seed 1 --out $(CALIB_DIR)-robust/trace.json
+	$(PYTHON) -m repro platforms degrade \
+	  --trace $(CALIB_DIR)-robust/trace.json --model noisy-sysfs --seed 7 \
+	  --out $(CALIB_DIR)-robust/degraded.json
+	$(PYTHON) -m repro platforms fit \
+	  --trace $(CALIB_DIR)-robust/degraded.json \
+	  --name odroid-xu3-robust-refit \
+	  --out $(CALIB_DIR)-robust/fitted.json --register
+	$(PYTHON) -m repro platforms validate --file $(CALIB_DIR)-robust/fitted.json
+	cd benchmarks && PYTHONPATH=$(CURDIR)/src \
+	  $(PYTHON) -m pytest -x -q bench_calib_robust.py
+
 # Time the stacked batch stepper against the scalar engine on a
 # 64-scenario grid and assert byte-identical outputs plus the >=10x
 # per-scenario throughput floor (docs/ENGINE.md).
@@ -84,4 +104,4 @@ engine-bench:
 	cd benchmarks && PYTHONPATH=$(CURDIR)/src \
 	  $(PYTHON) -m pytest -x -q bench_engine_speedup.py
 
-check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke calib-smoke engine-bench
+check: lint validate-platforms test campaign-smoke chaos-smoke telemetry-smoke calib-smoke calib-robust-smoke engine-bench

@@ -10,39 +10,69 @@ automates that system-identification step:
 * :mod:`repro.calib.excite` — scripted step/staircase/cooldown excitation
   runs through the existing :class:`~repro.sim.engine.Simulation` that
   produce identification-grade traces;
+* :mod:`repro.calib.degrade` — declarative, seed-deterministic sensor
+  degradation (quantization, noise, drops, spikes, jitter) that turns
+  clean traces into realistic sysfs/DAQ-grade ones;
+* :mod:`repro.calib.robust` — robust-estimation primitives (gap-aware
+  alignment, Hampel despiking, Huber/IRLS, confidence grading);
 * :mod:`repro.calib.fit` — the staged estimators (per-OPP CV^2 f
   regression, De Vogeleer log-linear leakage, RC-network identification)
-  and the :class:`FitReport` they fill in;
+  in clean and robust variants, plus the :class:`FitReport` they fill in
+  (verdicts, uncertainty, graceful demotion to structural priors);
 * :mod:`repro.calib.assemble` — merges fitted parameters with the trace's
   structural metadata into a validated ``PlatformDef``.
 
 The correctness contract is closed-loop: exciting a registered definition
 and fitting from the trace alone recovers every fitted parameter within
-tolerance (see ``docs/CALIBRATION.md``), and the fitted definition runs
-through scenarios, campaigns, chaos and lint with zero code branches.
+tolerance (see ``docs/CALIBRATION.md``) — and the same holds through a
+degraded trace (quantization + drops + spikes) at wider tolerance, while
+clean-trace fits stay byte-identical to the clean estimators' output.
 """
 
 from repro.calib.assemble import assemble_platform_def, fit_platform
+from repro.calib.degrade import (
+    BUILTIN_MODELS,
+    DEGRADE_FORMAT,
+    DegradationModel,
+    resolve_model,
+)
 from repro.calib.excite import ExcitationConfig, run_excitation
-from repro.calib.fit import FitReport, StageFit
+from repro.calib.fit import (
+    FIT_REPORT_FORMAT,
+    ROBUST_MODES,
+    VERDICTS,
+    FitReport,
+    StageFit,
+    needs_robust,
+)
 from repro.calib.trace import (
     CALIB_TRACE_FORMAT,
     CalibSegment,
     CalibTrace,
+    load_trace_file,
     trace_from_daq,
     trace_from_recorder,
     trace_from_sysfs_log,
 )
 
 __all__ = [
+    "BUILTIN_MODELS",
     "CALIB_TRACE_FORMAT",
+    "DEGRADE_FORMAT",
+    "FIT_REPORT_FORMAT",
+    "ROBUST_MODES",
+    "VERDICTS",
     "CalibSegment",
     "CalibTrace",
+    "DegradationModel",
     "ExcitationConfig",
     "FitReport",
     "StageFit",
     "assemble_platform_def",
     "fit_platform",
+    "load_trace_file",
+    "needs_robust",
+    "resolve_model",
     "run_excitation",
     "trace_from_daq",
     "trace_from_recorder",

@@ -131,6 +131,10 @@ def assemble_platform_def(
         "trace_hint": trace.platform_hint,
         "stages": report.stage_names(),
     }
+    # Only a degraded fit records verdicts, so clean-trace definitions stay
+    # byte-identical to those assembled before the robustness extension.
+    if report.degraded():
+        extras["calibration"]["verdicts"] = report.verdicts()
 
     return PlatformDef(
         name=resolved,
@@ -155,14 +159,15 @@ def assemble_platform_def(
 
 
 def fit_platform(
-    trace: CalibTrace, name: str | None = None
+    trace: CalibTrace, name: str | None = None, robust: str = "auto"
 ) -> tuple[PlatformDef, FitReport]:
     """End-to-end: run every estimator, assemble and validate the definition.
 
     Returns ``(platform_def, fit_report)``; the definition has passed
     :meth:`~repro.soc.defs.PlatformDef.validate` and is ready to register.
+    ``robust`` selects the fit path (see :func:`repro.calib.fit.fit_trace`).
     """
-    report = fit_trace(trace)
+    report = fit_trace(trace, robust=robust)
     pdef = assemble_platform_def(trace, report, name=name)
     pdef.validate()
     return pdef, report

@@ -1,0 +1,331 @@
+"""Declarative sensor degradation: turn clean traces into realistic ones.
+
+The excitation harness records the engine's noiseless node temperatures and
+rail powers; a real capture never looks like that.  sysfs thermal zones are
+millidegree-quantized, cpufreq reports kHz words, pollers drop samples,
+TMUs spike, and userspace timestamps jitter.  :class:`DegradationModel`
+describes those pathologies declaratively (``repro.calib.degrade/1`` wire
+format) and applies them seed-deterministically, so the robust estimators
+in :mod:`repro.calib.fit` can be exercised — and their closed-loop recovery
+contract enforced — against traces with the same defects as real dumps.
+
+Every knob defaults to zero, and the all-zero model is the identity
+transform on every channel (a pinned property test).  Randomness comes
+from a :class:`~repro.sim.rng.RngRegistry` built from the ``seed`` passed
+to :meth:`DegradationModel.apply`: one ``calib.degrade.<channel>`` stream
+per channel (stale repeats, spikes, noise, timestamp jitter — reusing the
+:mod:`repro.faults.sensors` wrappers for the first two) plus a shared
+``calib.degrade`` stream for record drops, which are drawn per *timestamp*
+so that channels sampled by the same poller lose whole records together,
+exactly as a stalled poll loop would.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Mapping
+
+import numpy as np
+
+from repro.calib.trace import CalibTrace, TEMP_PREFIX
+from repro.errors import CalibrationError, ConfigurationError
+from repro.faults.sensors import DroppingSensor, SeriesSensor, SpikySensor
+from repro.sim.rng import RngRegistry
+
+#: Wire-format version of the degradation-model JSON schema.
+DEGRADE_FORMAT = "repro.calib.degrade/1"
+
+#: Fraction of the neighbouring sample gap a jittered timestamp may move;
+#: < 0.5 keeps jittered times strictly ordered and grid-snappable.
+_JITTER_CLIP = 0.45
+
+#: Quantum (in the channel's unit) applied per channel-name prefix.
+_QUANTUM_KNOBS = (
+    ("temp.", "temp_quantum_c"),
+    ("freq.", "freq_quantum_mhz"),
+    ("volt.", "volt_quantum_v"),
+    ("power.", "power_quantum_w"),
+)
+
+#: Gaussian noise std (in the channel's unit) applied per prefix.
+_NOISE_KNOBS = (
+    ("temp.", "temp_noise_std_c"),
+    ("power.", "power_noise_std_w"),
+)
+
+
+@dataclass(frozen=True)
+class DegradationModel:
+    """One declarative recipe for degrading a clean :class:`CalibTrace`.
+
+    All knobs default to the identity.  Rates are probabilities in
+    ``[0, 1]``; quanta, noise stds, spike magnitude and jitter are in the
+    affected channel's native unit and must be non-negative.
+
+    ``channel_offsets`` maps a channel name to a constant additive bias in
+    that channel's unit (sensor calibration offset); ``drop_rate`` removes
+    whole records (all channels lose the same timestamps); ``stale_rate``
+    makes individual channels repeat their last good sample; ``spike_rate``
+    and ``spike_magnitude_c`` inject positive outliers into ``temp.*``
+    channels; ``time_jitter_std_s`` perturbs timestamps (clipped to keep
+    them ordered).
+    """
+
+    temp_quantum_c: float = 0.0
+    freq_quantum_mhz: float = 0.0
+    volt_quantum_v: float = 0.0
+    power_quantum_w: float = 0.0
+    temp_noise_std_c: float = 0.0
+    power_noise_std_w: float = 0.0
+    channel_offsets: Mapping[str, float] = field(default_factory=dict)
+    drop_rate: float = 0.0
+    stale_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_magnitude_c: float = 25.0
+    time_jitter_std_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for knob in (
+            "temp_quantum_c", "freq_quantum_mhz", "volt_quantum_v",
+            "power_quantum_w", "temp_noise_std_c", "power_noise_std_w",
+            "spike_magnitude_c", "time_jitter_std_s",
+        ):
+            value = float(getattr(self, knob))
+            if not np.isfinite(value) or value < 0.0:
+                raise ConfigurationError(
+                    f"degradation knob {knob} must be finite and >= 0, "
+                    f"got {getattr(self, knob)!r}"
+                )
+            object.__setattr__(self, knob, value)
+        for knob in ("drop_rate", "stale_rate", "spike_rate"):
+            value = float(getattr(self, knob))
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"degradation rate {knob} must be in [0, 1], "
+                    f"got {getattr(self, knob)!r}"
+                )
+            object.__setattr__(self, knob, value)
+        offsets = {}
+        for name, value in dict(self.channel_offsets).items():
+            value = float(value)
+            if not np.isfinite(value):
+                raise ConfigurationError(
+                    f"channel offset for {name!r} must be finite, got {value!r}"
+                )
+            offsets[str(name)] = value
+        object.__setattr__(self, "channel_offsets", offsets)
+
+    # ------------------------------------------------------------- queries
+
+    def is_identity(self) -> bool:
+        """Whether applying this model leaves every channel untouched."""
+        return (
+            self.temp_quantum_c == 0.0
+            and self.freq_quantum_mhz == 0.0
+            and self.volt_quantum_v == 0.0
+            and self.power_quantum_w == 0.0
+            and self.temp_noise_std_c == 0.0
+            and self.power_noise_std_w == 0.0
+            and not any(v != 0.0 for v in self.channel_offsets.values())
+            and self.drop_rate == 0.0
+            and self.stale_rate == 0.0
+            and self.spike_rate == 0.0
+            and self.time_jitter_std_s == 0.0
+        )
+
+    # ------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (see :meth:`from_dict`)."""
+        data = asdict(self)
+        data["channel_offsets"] = dict(sorted(self.channel_offsets.items()))
+        data["format"] = DEGRADE_FORMAT
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "DegradationModel":
+        """Inverse of :meth:`to_dict`; checks format and rejects typo'd knobs."""
+        fmt = data.get("format")
+        if fmt != DEGRADE_FORMAT:
+            raise CalibrationError(
+                f"unsupported degradation format {fmt!r}; "
+                f"this reader speaks {DEGRADE_FORMAT!r}"
+            )
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known - {"format"})
+        if unknown:
+            raise CalibrationError(
+                f"unknown degradation knob(s) {unknown}; have {sorted(known)}"
+            )
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DegradationModel":
+        """Parse a model from a JSON string."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(
+                f"malformed degradation JSON: {exc}"
+            ) from None
+        if not isinstance(data, dict):
+            raise CalibrationError("degradation JSON must be an object")
+        return cls.from_dict(data)
+
+    # --------------------------------------------------------- application
+
+    def apply(self, trace: CalibTrace, seed: int = 0) -> CalibTrace:
+        """Degrade ``trace`` deterministically; returns a new trace.
+
+        The result's ``meta`` gains a ``degradation`` block recording the
+        model and seed, so downstream fitting can tell (and report) that
+        it is looking at degraded data.
+        """
+        rng = RngRegistry(int(seed))
+        dropped = self._dropped_keys(trace, rng)
+        channels = {}
+        for name in trace.names():
+            times, values = trace.series(name)
+            keys = [_time_key(t) for t in times]
+            stream = rng.stream(f"calib.degrade.{name}")
+            values = np.array(values, dtype=float)
+            times = np.array(times, dtype=float)
+            if self.stale_rate > 0.0:
+                values = _replay(DroppingSensor(
+                    SeriesSensor(name, values), stream,
+                    drop_probability=self.stale_rate,
+                ), values.size)
+            if self.spike_rate > 0.0 and name.startswith(TEMP_PREFIX):
+                values = _replay(SpikySensor(
+                    SeriesSensor(name, values), stream,
+                    spike_probability=self.spike_rate,
+                    spike_magnitude_c=self.spike_magnitude_c,
+                ), values.size)
+            offset = self.channel_offsets.get(name, 0.0)
+            if offset != 0.0:
+                values = values + offset
+            for prefix, knob in _NOISE_KNOBS:
+                std = getattr(self, knob)
+                if std > 0.0 and name.startswith(prefix):
+                    values = values + stream.normal(0.0, std, values.size)
+            for prefix, knob in _QUANTUM_KNOBS:
+                quantum = getattr(self, knob)
+                if quantum > 0.0 and name.startswith(prefix):
+                    values = np.round(values / quantum) * quantum
+            if self.time_jitter_std_s > 0.0 and times.size > 1:
+                times = _jitter_times(times, stream, self.time_jitter_std_s)
+            if dropped:
+                keep = np.array([k not in dropped for k in keys], dtype=bool)
+                if not keep.any():
+                    keep[0] = True
+                times, values = times[keep], values[keep]
+            channels[name] = (times, values)
+        meta = dict(trace.meta)
+        meta["degradation"] = {"model": self.to_dict(), "seed": int(seed)}
+        return CalibTrace(
+            channels=channels,
+            segments=trace.segments,
+            ambient_c=trace.ambient_c,
+            platform_hint=trace.platform_hint,
+            meta=meta,
+        )
+
+    def _dropped_keys(self, trace: CalibTrace, rng: RngRegistry) -> set:
+        """Timestamps removed from *every* channel (stalled-poller drops)."""
+        if self.drop_rate <= 0.0:
+            return set()
+        keys = sorted({
+            _time_key(t)
+            for name in trace.names()
+            for t in trace.series(name)[0]
+        })
+        draws = rng.stream("calib.degrade").random(len(keys))
+        return {k for k, u in zip(keys, draws) if u < self.drop_rate}
+
+
+def _time_key(t: float) -> float:
+    """Timestamps rounded for cross-channel record matching."""
+    return round(float(t), 9)
+
+
+def _replay(wrapper, n: int) -> np.ndarray:
+    """Pull ``n`` readings through a fault-sensor wrapper."""
+    return np.array([wrapper.read_c() for _ in range(n)])
+
+
+def _jitter_times(times: np.ndarray, stream, std_s: float) -> np.ndarray:
+    """Gaussian timestamp jitter, clipped so sample order is preserved."""
+    gaps = np.diff(times)
+    lo = np.empty(times.size)
+    hi = np.empty(times.size)
+    lo[0], hi[-1] = -_JITTER_CLIP * gaps[0], _JITTER_CLIP * gaps[-1]
+    lo[1:] = -_JITTER_CLIP * gaps
+    hi[:-1] = _JITTER_CLIP * gaps
+    noise = stream.normal(0.0, std_s, times.size)
+    return times + np.clip(noise, lo, hi)
+
+
+#: Named recipes the CLI accepts for ``--model`` next to a JSON file path.
+#: ``sysfs`` is pure quantization (millidegree temps, kHz frequency words,
+#: mV regulator telemetry); ``noisy-sysfs`` adds the closed-loop contract's
+#: pathologies (10 % record drops + occasional TMU spikes); ``harsh`` piles
+#: on noise, heavier drops, stale repeats and timestamp jitter — expect
+#: ``low_confidence`` verdicts from it.
+BUILTIN_MODELS: Mapping[str, DegradationModel] = {
+    "sysfs": DegradationModel(
+        temp_quantum_c=0.001,
+        freq_quantum_mhz=0.001,
+        volt_quantum_v=0.001,
+    ),
+    # The closed-loop robustness contract model: millidegree temperature
+    # quantization, 10% record drops, 1% temperature spikes.  Voltage and
+    # frequency words are deliberately left unquantized here — leakage
+    # separation is ill-conditioned enough that even millivolt rounding
+    # pushes (kappa, beta, idle) past recovery tolerance; use "sysfs" or
+    # "harsh" to study that regime.
+    "noisy-sysfs": DegradationModel(
+        temp_quantum_c=0.001,
+        drop_rate=0.1,
+        spike_rate=0.01,
+        spike_magnitude_c=25.0,
+    ),
+    "harsh": DegradationModel(
+        temp_quantum_c=0.5,
+        freq_quantum_mhz=0.001,
+        volt_quantum_v=0.001,
+        temp_noise_std_c=0.3,
+        power_noise_std_w=0.02,
+        drop_rate=0.25,
+        stale_rate=0.05,
+        spike_rate=0.05,
+        spike_magnitude_c=25.0,
+        time_jitter_std_s=0.01,
+    ),
+}
+
+
+def resolve_model(spec: str) -> DegradationModel:
+    """A model from a built-in name or a JSON file path.
+
+    The CLI's ``--model`` goes through here: exact built-in names win;
+    anything else is read as a file.
+    """
+    if spec in BUILTIN_MODELS:
+        return BUILTIN_MODELS[spec]
+    try:
+        with open(spec, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise CalibrationError(
+            f"degradation model {spec!r} is neither a built-in "
+            f"({sorted(BUILTIN_MODELS)}) nor a readable file: {exc}"
+        ) from None
+    try:
+        return DegradationModel.from_json(text)
+    except CalibrationError as exc:
+        raise CalibrationError(f"{spec}: {exc}") from None

@@ -257,6 +257,9 @@ class _Excitation:
             channels[f"volt.{domain}"] = (times, volts)
         meta = structural_meta(self.pdef)
         meta["seed"] = self.sim.seed
+        # Recording property, not a fitted number: lets the gap-aware
+        # alignment recover the grid exactly even after heavy sample drops.
+        meta["record_period_s"] = self.config.record_period_s
         return CalibTrace(
             channels=channels,
             segments=self.segments,

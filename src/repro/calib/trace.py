@@ -238,11 +238,28 @@ class CalibTrace:
                 f"unsupported trace format {fmt!r}; "
                 f"this reader speaks {CALIB_TRACE_FORMAT!r}"
             )
+        declared = data.get("channels")
+        if not isinstance(declared, Mapping):
+            raise CalibrationError(
+                "trace JSON lacks a 'channels' object; nothing to fit from"
+            )
+        channels = {}
+        for name, series in declared.items():
+            if not isinstance(series, Mapping):
+                raise CalibrationError(
+                    "channel entry must be an object with "
+                    "'times' and 'values'",
+                    channel=str(name),
+                )
+            try:
+                channels[name] = (series["times"], series["values"])
+            except KeyError as exc:
+                raise CalibrationError(
+                    f"channel entry lacks the key {exc.args[0]!r}",
+                    channel=str(name),
+                ) from None
         return cls(
-            channels={
-                name: (series["times"], series["values"])
-                for name, series in data["channels"].items()
-            },
+            channels=channels,
             segments=tuple(
                 CalibSegment.from_dict(seg) for seg in data.get("segments", ())
             ),
@@ -268,6 +285,35 @@ class CalibTrace:
 
 
 # ------------------------------------------------------------------ loaders
+
+
+def load_trace_file(path) -> CalibTrace:
+    """Read a :class:`CalibTrace` from a JSON file, with file context.
+
+    Every failure mode — unreadable file, malformed or truncated JSON
+    (with the line/column from the decoder), wrong wire format, missing
+    channel data — surfaces as a :class:`~repro.errors.CalibrationError`
+    whose message starts with the path, never as a raw traceback.
+    """
+    path = str(path)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise CalibrationError(f"{path}: cannot read trace: {exc}") from None
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise CalibrationError(
+            f"{path}: malformed trace JSON: {exc.msg} "
+            f"(line {exc.lineno} column {exc.colno})"
+        ) from None
+    if not isinstance(data, dict):
+        raise CalibrationError(f"{path}: trace JSON must be an object")
+    try:
+        return CalibTrace.from_dict(data)
+    except CalibrationError as exc:
+        raise CalibrationError(f"{path}: {exc}") from None
 
 
 def trace_from_recorder(

@@ -14,9 +14,12 @@ Commands regenerate the paper's artefacts or run one-off analyses:
   the round-trippable PlatformDef schema of ``docs/PLATFORMS.md``), or a
   validation pass over every registered definition (``validate --file``
   checks an out-of-tree JSON definition instead);
-* ``platforms excite|fit`` — the auto-calibration pipeline: record an
-  identification-grade excitation trace of a registered platform, or fit
-  a registrable PlatformDef from a trace alone (``docs/CALIBRATION.md``);
+* ``platforms excite|degrade|fit`` — the auto-calibration pipeline: record
+  an identification-grade excitation trace of a registered platform,
+  degrade it with a declarative sensor-pathology model (quantization,
+  noise, drops, spikes, jitter), or fit a registrable PlatformDef from a
+  trace alone (``docs/CALIBRATION.md``).  ``fit`` exits 2 on an unusable
+  trace and 3 when the fit completed but had to demote stages;
 * ``metrics --app A`` — run an app and print its Prometheus metrics
   (``--format json`` prints the canonical registry snapshot instead);
 * ``trace --app A`` — run an app and print its span/ftrace event log
@@ -610,21 +613,60 @@ def _cmd_platforms_excite(args: argparse.Namespace) -> str:
     return text.rstrip("\n")
 
 
-def _cmd_platforms_fit(args: argparse.Namespace) -> str:
-    from repro.calib import CalibTrace, fit_platform
+#: Exit code for an unusable trace or degradation model (unreadable file,
+#: malformed/truncated JSON, wrong wire format, absent channels).
+EXIT_TRACE_ERROR = 2
+
+#: Exit code for a fit that completed but demoted at least one stage
+#: (``unfitted``/``low_confidence`` verdicts in the report).
+EXIT_DEGRADED_FIT = 3
+
+
+def _cmd_platforms_degrade(args: argparse.Namespace):
+    from repro.calib import load_trace_file, resolve_model
+    from repro.errors import CalibrationError, ConfigurationError
+
+    try:
+        trace = load_trace_file(args.trace)
+        model = resolve_model(args.model)
+        degraded = model.apply(trace, seed=args.seed)
+    except (CalibrationError, ConfigurationError) as exc:
+        print(f"platforms: {exc}", file=sys.stderr)
+        return EXIT_TRACE_ERROR
+    text = degraded.to_json(indent=None) + "\n"
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise SystemExit(
+                f"platforms: cannot write {args.out}: {exc}"
+            ) from None
+        return (
+            f"{args.trace}: degraded with {args.model!r} "
+            f"(seed {args.seed}) -> {args.out}"
+        )
+    return text.rstrip("\n")
+
+
+def _cmd_platforms_fit(args: argparse.Namespace):
+    from repro.calib import fit_platform, load_trace_file
     from repro.errors import CalibrationError, ConfigurationError
     from repro.soc import registry as platform_registry
 
     try:
-        with open(args.trace) as handle:
-            trace = CalibTrace.from_json(handle.read())
-    except OSError as exc:
-        raise SystemExit(f"platforms: cannot read {args.trace}: {exc}") from None
+        trace = load_trace_file(args.trace)
     except CalibrationError as exc:
-        raise SystemExit(f"platforms: bad trace: {exc}") from None
+        print(f"platforms: bad trace: {exc}", file=sys.stderr)
+        return EXIT_TRACE_ERROR
     try:
-        pdef, report = fit_platform(trace, name=args.name)
-    except (CalibrationError, ConfigurationError) as exc:
+        pdef, report = fit_platform(trace, name=args.name, robust=args.robust)
+    except CalibrationError as exc:
+        # Only robust="off" lets stage errors propagate this far; a trace
+        # defect is a trace problem, so it shares the trace exit code.
+        print(f"platforms: fit failed: {exc}", file=sys.stderr)
+        return EXIT_TRACE_ERROR
+    except ConfigurationError as exc:
         raise SystemExit(f"platforms: fit failed: {exc}") from None
     lines = []
     if args.out:
@@ -642,13 +684,24 @@ def _cmd_platforms_fit(args: argparse.Namespace) -> str:
             raise SystemExit(f"platforms: cannot register: {exc}") from None
         lines.append(f"{pdef.name}: registered (this process)")
     if args.format == "json":
-        payload = {
-            "platform": pdef.to_dict(),
-            "report": report.to_dict(),
-        }
-        return json.dumps(payload, indent=2, sort_keys=True)
-    lines.append(report.summary())
-    return "\n".join(lines)
+        output = json.dumps(
+            {"platform": pdef.to_dict(), "report": report.to_dict()},
+            indent=2, sort_keys=True,
+        )
+    else:
+        lines.append(report.summary())
+        output = "\n".join(lines)
+    degraded = report.degraded()
+    if degraded:
+        print(output)
+        names = ", ".join(f"{s.stage}={s.verdict}" for s in degraded)
+        print(
+            f"platforms: degraded fit ({names}); "
+            f"exit {EXIT_DEGRADED_FIT}",
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED_FIT
+    return output
 
 
 def _cmd_critical(args: argparse.Namespace) -> str:
@@ -671,7 +724,8 @@ commands:
   advise     profile a catalog app and print tuning advice
   describe   dump a platform's thermal RC network
   platforms  list/describe/validate the registered platform definitions,
-             excite one for calibration, or fit a definition from a trace
+             excite one for calibration, degrade a trace with a sensor
+             model, or fit a definition from a trace
   metrics    run a catalog app, print its Prometheus metrics
   trace      run a catalog app, print its span/ftrace event log
   lint       static analysis: units, determinism, sysfs paths, float ==
@@ -861,6 +915,19 @@ def build_parser() -> argparse.ArgumentParser:
     pexc.add_argument("--max-opps", type=int, default=8,
                       help="max OPPs per staircase (endpoints always kept)")
     pexc.set_defaults(fn=_cmd_platforms_excite)
+    pdeg = platforms_sub.add_parser("degrade")
+    pdeg.add_argument("--trace", required=True,
+                      help="CalibTrace JSON file to degrade")
+    pdeg.add_argument("--model", required=True,
+                      help="built-in degradation model name (sysfs, "
+                           "noisy-sysfs, harsh) or a DegradationModel "
+                           "JSON file")
+    pdeg.add_argument("--seed", type=int, default=0,
+                      help="RNG seed of the degradation draws")
+    pdeg.add_argument("--out", default=None,
+                      help="write the degraded CalibTrace JSON here "
+                           "(default: stdout)")
+    pdeg.set_defaults(fn=_cmd_platforms_degrade)
     pfit = platforms_sub.add_parser("fit")
     pfit.add_argument("--trace", required=True,
                       help="CalibTrace JSON file to fit from")
@@ -871,6 +938,11 @@ def build_parser() -> argparse.ArgumentParser:
     pfit.add_argument("--register", action="store_true",
                       help="register the fitted definition in this process "
                            "(proves it compiles and does not collide)")
+    pfit.add_argument("--robust", choices=("auto", "on", "off"),
+                      default="auto",
+                      help="fit path: auto picks robust estimators only "
+                           "for degraded/misaligned traces; off restores "
+                           "strict clean-trace fitting")
     pfit.add_argument("--format", choices=("text", "json"), default="text")
     pfit.set_defaults(fn=_cmd_platforms_fit)
 

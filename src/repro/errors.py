@@ -39,7 +39,42 @@ class CalibrationError(AnalysisError):
     an analysis-on-unsupportable-data problem; existing callers that catch
     the base class keep working while calibration-aware callers can be
     precise.
+
+    Raisers attach whatever locating context they have — the channel the
+    problem was seen on, the excitation segment, the sample-window bounds —
+    and the message renders it in a fixed bracketed suffix so operators can
+    jump straight to the offending slice of a trace::
+
+        rc: too few clean pairs [channel=temp.soc segment=soak window=1.000..2.500s]
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        channel: str = "",
+        segment: str = "",
+        window_s: tuple | None = None,
+    ) -> None:
+        self.channel = str(channel)
+        self.segment = str(segment)
+        self.window_s = (
+            (float(window_s[0]), float(window_s[1]))
+            if window_s is not None
+            else None
+        )
+        parts = []
+        if self.channel:
+            parts.append(f"channel={self.channel}")
+        if self.segment:
+            parts.append(f"segment={self.segment}")
+        if self.window_s is not None:
+            parts.append(
+                f"window={self.window_s[0]:.3f}..{self.window_s[1]:.3f}s"
+            )
+        if parts:
+            message = f"{message} [{' '.join(parts)}]"
+        super().__init__(message)
 
 
 class StabilityError(ReproError):

@@ -27,12 +27,18 @@ from repro.faults.plan import (
     get_plan,
     resolve_plan,
 )
-from repro.faults.sensors import DroppingSensor, SpikySensor, StuckSensor
+from repro.faults.sensors import (
+    DroppingSensor,
+    SeriesSensor,
+    SpikySensor,
+    StuckSensor,
+)
 
 __all__ = [
     "BUILTIN_PLANS",
     "FAULT_KINDS",
     "DroppingSensor",
+    "SeriesSensor",
     "FaultController",
     "FaultEvent",
     "FaultPlan",

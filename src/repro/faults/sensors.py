@@ -111,6 +111,38 @@ class SpikySensor(_SensorWrapper):
         return value
 
 
+class SeriesSensor:
+    """A sensor stand-in that replays a recorded series, one value per read.
+
+    The fault wrappers above were built for live thermal-zone sensors; this
+    adapter lets already-recorded arrays (a :class:`~repro.calib.trace.
+    CalibTrace` channel, in :mod:`repro.calib.degrade`) flow through the
+    exact same spike/drop code paths instead of reimplementing them.
+    Reading past the end of the series raises ``StopIteration``.
+    """
+
+    def __init__(self, name: str, values) -> None:
+        self._name = str(name)
+        self._values = iter(np.asarray(values, dtype=float))
+
+    @property
+    def name(self) -> str:
+        """Channel name the series came from."""
+        return self._name
+
+    @property
+    def node(self) -> str:
+        """Thermal-node alias: the channel name (no zone backs a replay)."""
+        return self._name
+
+    def read_c(self) -> float:
+        return float(next(self._values))
+
+    def read_millicelsius(self) -> int:
+        """Reading in the sysfs millidegree unit."""
+        return celsius_to_millicelsius(self.read_c())
+
+
 class DroppingSensor(_SensorWrapper):
     """Repeats the last good reading with a given probability per read."""
 

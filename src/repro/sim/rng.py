@@ -18,7 +18,12 @@ import numpy as np
 #: derives its streams under one of these; ``repro lint`` rule R602
 #: checks call sites against this set, so adding a new consumer class
 #: means declaring its namespace here first.
-STREAM_NAMESPACES = frozenset({"app", "calib", "daq", "faults", "ina", "sensor"})
+#: ``calib.degrade`` is listed alongside its parent ``calib`` namespace so
+#: the degradation layer's per-channel streams (``calib.degrade.<channel>``)
+#: are declared explicitly even though R602 only keys on the first segment.
+STREAM_NAMESPACES = frozenset(
+    {"app", "calib", "calib.degrade", "daq", "faults", "ina", "sensor"}
+)
 
 
 class RngRegistry:

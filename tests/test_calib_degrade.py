@@ -1,0 +1,265 @@
+"""DegradationModel: validation, determinism, identity and wire round-trips."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calib import (
+    BUILTIN_MODELS,
+    DEGRADE_FORMAT,
+    CalibTrace,
+    DegradationModel,
+    resolve_model,
+)
+from repro.errors import CalibrationError, ConfigurationError
+
+# ------------------------------------------------------------ strategies
+
+_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789._-", min_size=1, max_size=12
+)
+_values = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _channels(draw):
+    n_channels = draw(st.integers(1, 4))
+    out = {}
+    for _ in range(n_channels):
+        prefix = draw(st.sampled_from(("", "temp.", "power.", "freq.", "volt.")))
+        name = prefix + draw(_names)
+        n = draw(st.integers(1, 20))
+        times = sorted(draw(st.lists(
+            st.floats(0.0, 1e4, allow_nan=False), min_size=n, max_size=n,
+        )))
+        values = draw(st.lists(_values, min_size=n, max_size=n))
+        out[name] = (times, values)
+    return out
+
+
+#: Every pathology at once, for the round-trip property.
+_FULL_MODEL = DegradationModel(
+    temp_quantum_c=0.001,
+    freq_quantum_mhz=0.001,
+    volt_quantum_v=0.001,
+    power_quantum_w=0.001,
+    temp_noise_std_c=0.1,
+    power_noise_std_w=0.01,
+    drop_rate=0.2,
+    stale_rate=0.05,
+    spike_rate=0.05,
+    spike_magnitude_c=25.0,
+    time_jitter_std_s=0.01,
+)
+
+
+def _trace(n=200, dt=0.1):
+    times = [round(i * dt, 6) for i in range(n)]
+    return CalibTrace(
+        channels={
+            "temp.soc": (times, [30.0 + 0.05 * i for i in range(n)]),
+            "temp.board": (times, [25.0 + 0.01 * i for i in range(n)]),
+            "freq.a7": (times, [600.0 + (i % 3) * 200.0 for i in range(n)]),
+            "power.total": (times, [1.0 + 0.002 * i for i in range(n)]),
+        },
+        ambient_c=25.0,
+        platform_hint="dev",
+    )
+
+
+# ------------------------------------------------------------ validation
+
+
+def test_rejects_negative_quantum():
+    with pytest.raises(ConfigurationError, match="temp_quantum_c"):
+        DegradationModel(temp_quantum_c=-0.001)
+
+
+def test_rejects_non_finite_knob():
+    with pytest.raises(ConfigurationError, match="time_jitter_std_s"):
+        DegradationModel(time_jitter_std_s=float("inf"))
+
+
+def test_rejects_out_of_range_rate():
+    with pytest.raises(ConfigurationError, match="drop_rate"):
+        DegradationModel(drop_rate=1.5)
+    with pytest.raises(ConfigurationError, match="spike_rate"):
+        DegradationModel(spike_rate=-0.1)
+
+
+def test_rejects_non_finite_channel_offset():
+    with pytest.raises(ConfigurationError, match="offset"):
+        DegradationModel(channel_offsets={"temp.soc": float("nan")})
+
+
+# ------------------------------------------------------- serialisation
+
+
+def test_dict_round_trip_and_format_stamp():
+    model = _FULL_MODEL
+    data = model.to_dict()
+    assert data["format"] == DEGRADE_FORMAT
+    json.dumps(data)  # JSON-native
+    assert DegradationModel.from_dict(data) == model
+
+
+def test_from_dict_rejects_wrong_format():
+    data = DegradationModel().to_dict()
+    data["format"] = "repro.calib.degrade/999"
+    with pytest.raises(CalibrationError, match="unsupported degradation format"):
+        DegradationModel.from_dict(data)
+
+
+def test_from_dict_rejects_unknown_knob():
+    data = DegradationModel().to_dict()
+    data["temp_quantum"] = 0.001  # typo'd knob must not be silently dropped
+    with pytest.raises(CalibrationError, match="temp_quantum"):
+        DegradationModel.from_dict(data)
+
+
+def test_from_json_malformed_and_non_object():
+    with pytest.raises(CalibrationError, match="malformed degradation JSON"):
+        DegradationModel.from_json("{not json")
+    with pytest.raises(CalibrationError, match="must be an object"):
+        DegradationModel.from_json("[1, 2]")
+
+
+def test_builtin_models_resolve_and_round_trip():
+    for name, model in BUILTIN_MODELS.items():
+        assert resolve_model(name) == model
+        assert DegradationModel.from_json(model.to_json()) == model
+
+
+def test_resolve_model_file_path(tmp_path):
+    path = tmp_path / "model.json"
+    path.write_text(_FULL_MODEL.to_json(indent=2))
+    assert resolve_model(str(path)) == _FULL_MODEL
+
+
+def test_resolve_model_unknown_spec_lists_builtins(tmp_path):
+    with pytest.raises(CalibrationError, match="noisy-sysfs"):
+        resolve_model(str(tmp_path / "nope.json"))
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(CalibrationError, match="bad.json"):
+        resolve_model(str(bad))
+
+
+# --------------------------------------------------- identity & determinism
+
+
+def test_default_model_is_identity():
+    assert DegradationModel().is_identity()
+    # spike_magnitude_c alone is inert without a spike_rate.
+    assert DegradationModel(spike_magnitude_c=5.0).is_identity()
+    assert not DegradationModel(temp_quantum_c=0.001).is_identity()
+    assert not DegradationModel(channel_offsets={"temp.soc": 0.5}).is_identity()
+
+
+@given(channels=_channels(), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_zero_knob_model_is_identity_on_every_channel(channels, seed):
+    trace = CalibTrace(channels=channels)
+    model = DegradationModel()
+    out = model.apply(trace, seed=seed)
+    for name in trace.names():
+        times, values = trace.series(name)
+        out_t, out_v = out.series(name)
+        np.testing.assert_array_equal(out_t, np.asarray(times, dtype=float))
+        np.testing.assert_array_equal(out_v, np.asarray(values, dtype=float))
+    assert out.meta["degradation"] == {"model": model.to_dict(), "seed": seed}
+
+
+def test_apply_is_seed_deterministic():
+    trace = _trace()
+    one = _FULL_MODEL.apply(trace, seed=7)
+    two = _FULL_MODEL.apply(trace, seed=7)
+    assert json.dumps(one.to_dict(), sort_keys=True) == \
+        json.dumps(two.to_dict(), sort_keys=True)
+    other = _FULL_MODEL.apply(trace, seed=8)
+    assert json.dumps(other.to_dict(), sort_keys=True) != \
+        json.dumps(one.to_dict(), sort_keys=True)
+
+
+@given(channels=_channels(), seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_degraded_trace_wire_round_trip_is_byte_identical(channels, seed):
+    trace = CalibTrace(channels=channels)
+    degraded = _FULL_MODEL.apply(trace, seed=seed)
+    blob = json.dumps(degraded.to_dict(), sort_keys=True)
+    again = CalibTrace.from_dict(json.loads(blob))
+    assert again == degraded
+    assert json.dumps(again.to_dict(), sort_keys=True) == blob
+
+
+# ------------------------------------------------------------ pathologies
+
+
+def test_drops_remove_whole_records_across_channels():
+    trace = _trace()
+    out = DegradationModel(drop_rate=0.3).apply(trace, seed=3)
+    kept = {name: set(np.round(out.series(name)[0], 9))
+            for name in out.names()}
+    reference = kept["temp.soc"]
+    assert 0 < len(reference) < len(trace.series("temp.soc")[0])
+    for name, times in kept.items():
+        assert times == reference, f"{name} lost different records"
+
+
+def test_quantization_snaps_only_matching_prefix():
+    trace = _trace()
+    out = DegradationModel(temp_quantum_c=0.5).apply(trace, seed=0)
+    temps = out.series("temp.soc")[1]
+    np.testing.assert_allclose(temps, np.round(temps / 0.5) * 0.5)
+    np.testing.assert_array_equal(
+        out.series("power.total")[1], trace.series("power.total")[1]
+    )
+
+
+def test_spikes_hit_only_temperature_channels():
+    trace = _trace()
+    out = DegradationModel(spike_rate=0.2, spike_magnitude_c=25.0).apply(
+        trace, seed=11
+    )
+    clean = np.asarray(trace.series("temp.soc")[1])
+    spiked = out.series("temp.soc")[1]
+    assert np.any(spiked > clean + 10.0), "no spike landed at 20% rate"
+    np.testing.assert_array_equal(
+        out.series("power.total")[1], trace.series("power.total")[1]
+    )
+    np.testing.assert_array_equal(
+        out.series("freq.a7")[1], trace.series("freq.a7")[1]
+    )
+
+
+def test_stale_repeats_stay_within_original_values():
+    trace = _trace()
+    out = DegradationModel(stale_rate=0.3).apply(trace, seed=5)
+    clean = np.asarray(trace.series("power.total")[1])
+    stale = out.series("power.total")[1]
+    assert stale.size == clean.size
+    assert set(stale).issubset(set(clean))
+    assert np.any(stale != clean), "no sample went stale at 30% rate"
+
+
+def test_channel_offset_biases_named_channel_only():
+    trace = _trace()
+    out = DegradationModel(channel_offsets={"temp.soc": 1.5}).apply(trace, 0)
+    np.testing.assert_allclose(
+        out.series("temp.soc")[1],
+        np.asarray(trace.series("temp.soc")[1]) + 1.5,
+    )
+    np.testing.assert_array_equal(
+        out.series("temp.board")[1], trace.series("temp.board")[1]
+    )
+
+
+def test_time_jitter_preserves_sample_order():
+    trace = _trace()
+    out = DegradationModel(time_jitter_std_s=0.04).apply(trace, seed=9)
+    times = out.series("temp.soc")[0]
+    assert np.any(times != np.asarray(trace.series("temp.soc")[0]))
+    assert np.all(np.diff(times) > 0.0)

@@ -32,12 +32,15 @@ def doc_text():
 @pytest.fixture(scope="module")
 def calib_parsers():
     platforms = _subparser_choices(_subparser_choices(build_parser())["platforms"])
-    return {name: platforms[name] for name in ("excite", "fit")}
+    return {name: platforms[name] for name in ("excite", "degrade", "fit")}
 
 
 def test_wire_format_versions_documented(doc_text):
     assert f"`{CALIB_TRACE_FORMAT}`" in doc_text
     assert f"`{FIT_REPORT_FORMAT}`" in doc_text
+    from repro.calib import DEGRADE_FORMAT
+
+    assert f"`{DEGRADE_FORMAT}`" in doc_text
 
 
 def test_trace_schema_keys_documented(doc_text):
@@ -116,6 +119,57 @@ def test_rng_stream_namespace_documented(doc_text):
     assert "STREAM_NAMESPACES" in doc_text
 
 
+def test_degrade_stream_namespace_documented(doc_text):
+    from repro.sim.rng import STREAM_NAMESPACES
+
+    assert "calib.degrade" in STREAM_NAMESPACES
+    assert "`calib.degrade`" in doc_text
+
+
 def test_tolerances_documented(doc_text):
-    # The closed-loop contract numbers must appear (5 % params, 2 % run).
+    # The closed-loop contract numbers must appear (5 % params, 2 % run),
+    # plus the degraded-trace tolerances (10 % params, 3 % run).
     assert "5 %" in doc_text and "2 %" in doc_text
+    assert "10 %" in doc_text and "3 %" in doc_text
+
+
+def test_degradation_knobs_documented(doc_text):
+    import dataclasses
+
+    from repro.calib import DegradationModel
+
+    documented = set(re.findall(r"`([a-z_]+)`", doc_text))
+    knobs = {f.name for f in dataclasses.fields(DegradationModel)}
+    missing = knobs - documented
+    assert not missing, f"degradation knobs missing from the doc: {sorted(missing)}"
+
+
+def test_builtin_degradation_models_documented(doc_text):
+    from repro.calib import BUILTIN_MODELS
+
+    for name in BUILTIN_MODELS:
+        assert f"`{name}`" in doc_text, f"built-in model {name!r} missing"
+
+
+def test_verdicts_and_grades_documented(doc_text):
+    from repro.calib import VERDICTS
+    from repro.calib.robust import CONFIDENCE_GRADES
+
+    for verdict in VERDICTS:
+        assert f"`{verdict}`" in doc_text, f"verdict {verdict!r} missing"
+    for grade in CONFIDENCE_GRADES:
+        assert f"`{grade}`" in doc_text, f"grade {grade!r} missing"
+
+
+def test_robust_modes_documented(doc_text):
+    from repro.calib import ROBUST_MODES
+
+    for mode in ROBUST_MODES:
+        assert f"`{mode}`" in doc_text, f"robust mode {mode!r} missing"
+
+
+def test_exit_codes_documented(doc_text):
+    from repro.cli import EXIT_DEGRADED_FIT, EXIT_TRACE_ERROR
+
+    assert f"`{EXIT_TRACE_ERROR}`" in doc_text
+    assert f"`{EXIT_DEGRADED_FIT}`" in doc_text

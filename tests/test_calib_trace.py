@@ -233,6 +233,84 @@ def test_trace_from_recorder_via_simulation(odroid_sim):
     assert trace.duration_s() > 0.0
 
 
+# ------------------------------------------ error diagnostics & file loads
+
+
+def test_calibration_error_renders_bracketed_context():
+    """The locating-context suffix format is part of the operator contract."""
+    err = CalibrationError(
+        "too few clean pairs",
+        channel="temp.soc",
+        segment="soak",
+        window_s=(1.0, 2.5),
+    )
+    assert str(err) == (
+        "too few clean pairs [channel=temp.soc segment=soak window=1.000..2.500s]"
+    )
+    assert err.channel == "temp.soc"
+    assert err.segment == "soak"
+    assert err.window_s == (1.0, 2.5)
+
+
+def test_calibration_error_partial_context():
+    assert str(CalibrationError("boom")) == "boom"
+    assert str(CalibrationError("boom", channel="power.a7")) == \
+        "boom [channel=power.a7]"
+    assert str(CalibrationError("boom", window_s=(0, 1))) == \
+        "boom [window=0.000..1.000s]"
+
+
+def test_load_trace_file_round_trip(tmp_path):
+    from repro.calib import load_trace_file
+
+    trace = CalibTrace(
+        channels={"power.total": ([0.0, 1.0], [1.0, 2.0])},
+        ambient_c=21.0,
+        platform_hint="dev",
+    )
+    path = tmp_path / "trace.json"
+    path.write_text(trace.to_json(indent=2))
+    assert load_trace_file(path) == trace
+
+
+def test_load_trace_file_missing_file(tmp_path):
+    from repro.calib import load_trace_file
+
+    with pytest.raises(CalibrationError, match="cannot read trace"):
+        load_trace_file(tmp_path / "nope.json")
+
+
+def test_load_trace_file_truncated_json_reports_position(tmp_path):
+    from repro.calib import load_trace_file
+
+    path = tmp_path / "cut.json"
+    trace = CalibTrace(channels={"power.total": ([0.0, 1.0], [1.0, 2.0])})
+    path.write_text(trace.to_json(indent=2)[:40])
+    with pytest.raises(CalibrationError, match=r"malformed trace JSON.*line \d+ column \d+"):
+        load_trace_file(path)
+    # And the message leads with the offending path.
+    with pytest.raises(CalibrationError, match="cut.json"):
+        load_trace_file(path)
+
+
+def test_load_trace_file_non_object(tmp_path):
+    from repro.calib import load_trace_file
+
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2, 3]")
+    with pytest.raises(CalibrationError, match="must be an object"):
+        load_trace_file(path)
+
+
+def test_load_trace_file_schema_errors_carry_path(tmp_path):
+    from repro.calib import load_trace_file
+
+    path = tmp_path / "empty.json"
+    path.write_text(json.dumps({"format": CALIB_TRACE_FORMAT}))
+    with pytest.raises(CalibrationError, match="empty.json"):
+        load_trace_file(path)
+
+
 # ----------------------------------------------- PowerDaq edge behaviour
 
 

@@ -232,3 +232,114 @@ def test_describe_any_registered_platform(capsys):
 def test_describe_unknown_platform_exits():
     with pytest.raises(SystemExit):
         main(["describe", "--platform", "palm-pre"])
+
+
+# -------------------------------------------------- calibration pipeline
+
+
+@pytest.fixture(scope="module")
+def clean_trace_file(tmp_path_factory):
+    """One clean excitation trace on disk, shared by the calib CLI tests."""
+    path = tmp_path_factory.mktemp("calib") / "xu3.json"
+    assert main([
+        "platforms", "excite", "--platform", "odroid-xu3",
+        "--seed", "1", "--out", str(path),
+    ]) == 0
+    return path
+
+
+def test_platforms_excite_writes_trace(clean_trace_file):
+    from repro.calib import load_trace_file
+
+    trace = load_trace_file(clean_trace_file)
+    assert trace.platform_hint == "odroid-xu3"
+    assert trace.duration_s() > 0.0
+
+
+def test_platforms_degrade_round_trip(clean_trace_file, tmp_path, capsys):
+    from repro.calib import BUILTIN_MODELS, load_trace_file
+
+    out = tmp_path / "degraded.json"
+    assert main([
+        "platforms", "degrade", "--trace", str(clean_trace_file),
+        "--model", "noisy-sysfs", "--seed", "7", "--out", str(out),
+    ]) == 0
+    assert "noisy-sysfs" in capsys.readouterr().out
+    degraded = load_trace_file(out)
+    assert degraded.meta["degradation"] == {
+        "model": BUILTIN_MODELS["noisy-sysfs"].to_dict(), "seed": 7,
+    }
+    clean = load_trace_file(clean_trace_file)
+    assert len(degraded.series("temp.big")[0]) < len(clean.series("temp.big")[0])
+
+
+def test_platforms_degrade_unusable_inputs_exit_2(tmp_path, capsys, clean_trace_file):
+    from repro.cli import EXIT_TRACE_ERROR
+
+    code = main([
+        "platforms", "degrade", "--trace", str(tmp_path / "nope.json"),
+        "--model", "sysfs",
+    ])
+    assert code == EXIT_TRACE_ERROR
+    assert "cannot read trace" in capsys.readouterr().err
+
+    code = main([
+        "platforms", "degrade", "--trace", str(clean_trace_file),
+        "--model", "bogus-model",
+    ])
+    assert code == EXIT_TRACE_ERROR
+    assert "neither a built-in" in capsys.readouterr().err
+
+
+def test_platforms_fit_truncated_trace_exits_2(tmp_path, capsys, clean_trace_file):
+    from repro.cli import EXIT_TRACE_ERROR
+
+    cut = tmp_path / "cut.json"
+    cut.write_text(clean_trace_file.read_text()[:100])
+    assert main(["platforms", "fit", "--trace", str(cut)]) == EXIT_TRACE_ERROR
+    err = capsys.readouterr().err
+    assert "bad trace" in err and "line" in err
+
+
+def test_platforms_fit_clean_trace_summary(clean_trace_file, capsys):
+    assert main([
+        "platforms", "fit", "--trace", str(clean_trace_file),
+        "--name", "xu3-cli-refit",
+    ]) == 0
+    assert "fit report" in capsys.readouterr().out
+
+
+def test_platforms_fit_missing_channel_exits_3(tmp_path, capsys, clean_trace_file):
+    import json
+
+    from repro.cli import EXIT_DEGRADED_FIT
+
+    data = json.loads(clean_trace_file.read_text())
+    del data["channels"]["volt.gpu"]
+    partial = tmp_path / "partial.json"
+    partial.write_text(json.dumps(data))
+    code = main([
+        "platforms", "fit", "--trace", str(partial),
+        "--name", "xu3-partial",
+    ])
+    assert code == EXIT_DEGRADED_FIT
+    captured = capsys.readouterr()
+    assert "dvfs.gpu=unfitted" in captured.err
+    assert "fit report" in captured.out
+
+
+def test_platforms_fit_robust_off_raises_trace_exit(tmp_path, capsys, clean_trace_file):
+    import json
+
+    from repro.cli import EXIT_TRACE_ERROR
+
+    data = json.loads(clean_trace_file.read_text())
+    del data["channels"]["volt.gpu"]
+    partial = tmp_path / "partial.json"
+    partial.write_text(json.dumps(data))
+    code = main([
+        "platforms", "fit", "--trace", str(partial),
+        "--name", "xu3-partial-strict", "--robust", "off",
+    ])
+    assert code == EXIT_TRACE_ERROR
+    assert "fit failed" in capsys.readouterr().err

@@ -266,6 +266,46 @@ def test_r601_calib_drawing_from_registry_stream_is_clean(tmp_path):
     assert lint_pkg(pkg, ["R601", "R602"]).new == []
 
 
+def test_r601_flags_orphan_generator_in_degrade_module(tmp_path):
+    """Sensor degradation draws per-channel streams, never its own RNG."""
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": RNG_PY,
+        "calib/__init__.py": "",
+        "calib/degrade.py": """
+            import numpy as np
+
+            def drop_records(times, rate):
+                keep = np.random.default_rng(0).random(len(times)) >= rate
+                return [t for t, k in zip(times, keep) if k]
+        """,
+    })
+    report = lint_pkg(pkg, ["R601"])
+    assert rule_ids(report) == ["R601"]
+    assert report.new[0].path == "calib/degrade.py"
+
+
+def test_r6_degrade_streams_under_declared_namespace_are_clean(tmp_path):
+    pkg, _ = make_pkg(tmp_path, {
+        "rng.py": """
+            import numpy as np
+
+            STREAM_NAMESPACES = frozenset({"calib", "calib.degrade", "daq"})
+
+            class RngRegistry:
+                def stream(self, name):
+                    return np.random.default_rng(hash(name))
+        """,
+        "calib/__init__.py": "",
+        "calib/degrade.py": """
+            def degrade(registry, channel, values):
+                shared = registry.stream("calib.degrade")
+                per_channel = registry.stream(f"calib.degrade.{channel}")
+                return values + per_channel.normal(0.0, 1.0, len(values))
+        """,
+    })
+    assert lint_pkg(pkg, ["R601", "R602"]).new == []
+
+
 def test_r602_flags_undeclared_namespace(tmp_path):
     pkg, _ = make_pkg(tmp_path, {
         "rng.py": RNG_PY,

@@ -70,7 +70,7 @@ def test_platform_matrix_preset_documented():
 def test_actions_documented(platforms_parsers):
     text = DOC.read_text()
     assert set(platforms_parsers) == {
-        "list", "describe", "validate", "excite", "fit",
+        "list", "describe", "validate", "excite", "degrade", "fit",
     }
     for action in platforms_parsers:
         assert action in text
